@@ -1,0 +1,200 @@
+// Ablations of the attack design choices called out in DESIGN.md. These use
+// the scripted oracle attacker (attack/scripted_attacker.hpp) so the
+// comparisons isolate the *mechanism* from DRL training noise:
+//
+//   1. Critical-moment gating I(omega): gated attack vs always-on injection.
+//   2. Victim actuation retain rate alpha (Eq. 1): resilience sensitivity.
+//   3. Local feedback control: modular agent vs an open-loop variant that
+//      replays the planner heading without PID correction.
+#include "bench_common.hpp"
+
+#include "common/angle.hpp"
+
+#include "agents/modular_agent.hpp"
+#include "attack/scripted_attacker.hpp"
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+namespace {
+
+// Always-on variant of the oracle: injects toward the target NPC at every
+// step, critical moment or not (I(omega) ablated away).
+class AlwaysOnAttacker : public Attacker {
+ public:
+  explicit AlwaysOnAttacker(double budget) : budget_(budget) {}
+  void reset(const World&) override {}
+  double decide(const World& world) override {
+    const int target = world.target_npc_index();
+    if (target < 0) return 0.0;
+    const auto& npc = world.npcs()[static_cast<std::size_t>(target)];
+    const Vec2 rel = npc.vehicle().state().position - world.ego().state().position;
+    const double bearing = angle_diff(rel.heading(), world.ego().state().heading);
+    return bearing >= 0.0 ? budget_ : -budget_;
+  }
+  std::string name() const override { return "always-on"; }
+  double budget() const override { return budget_; }
+
+ private:
+  double budget_;
+};
+
+// Constant small steering bias — the kind of persistent fault/attack the
+// lateral feedback loop is supposed to rectify.
+class ConstantBiasAttacker : public Attacker {
+ public:
+  explicit ConstantBiasAttacker(double bias) : bias_(bias) {}
+  void reset(const World&) override {}
+  double decide(const World&) override { return bias_; }
+  std::string name() const override { return "constant-bias"; }
+  double budget() const override { return bias_; }
+
+ private:
+  double bias_;
+};
+
+// Open-loop modular agent: uses the same planner but commands a fixed
+// feed-forward steering variation of zero (no PID rectification), keeping
+// only speed control. Isolates the contribution of lateral feedback.
+class OpenLoopAgent : public DrivingAgent {
+ public:
+  void reset(const World& world) override { inner_.reset(world); }
+  Action decide(const World& world) override {
+    Action a = inner_.decide(world);
+    a.steer_variation = 0.0;  // ablate the lateral feedback path
+    return a;
+  }
+  std::string name() const override { return "open-loop"; }
+
+ private:
+  ModularAgent inner_;
+};
+
+void gating_ablation(int episodes) {
+  std::printf("-- Ablation 1: critical-moment gating I(omega) --\n");
+  ExperimentConfig cfg = zoo().experiment();
+  ModularAgent agent;
+  Table t({"attacker", "budget", "success rate", "mean adv reward",
+           "mean injected |delta| total"});
+  for (double budget : {0.6, 1.0}) {
+    ScriptedAttacker gated(budget, cfg.adv_reward);
+    AlwaysOnAttacker always(budget);
+    NoiseAttacker noise(budget);
+    for (Attacker* att : {static_cast<Attacker*>(&gated),
+                          static_cast<Attacker*>(&always),
+                          static_cast<Attacker*>(&noise)}) {
+      const auto ms = run_batch(agent, att, cfg, episodes, kEvalSeedBase);
+      RunningStats adv, inj;
+      for (const auto& m : ms) {
+        adv.add(m.adv_reward);
+        inj.add(m.total_injected);
+      }
+      t.add_row({att->name(), fmt(budget, 1), fmt_pct(success_rate(ms)),
+                 fmt(adv.mean(), 2), fmt(inj.mean(), 1)});
+    }
+  }
+  t.print();
+  std::printf("(gating should match or beat always-on success while injecting "
+              "far less — the 'lurk' behaviour the maneuver penalty teaches; "
+              "bounded noise shows untimed perturbation achieves nothing: "
+              "Eq. 1's low-pass averages it away)\n\n");
+  maybe_write_csv(t, "ablation_gating");
+}
+
+void alpha_ablation(int episodes) {
+  std::printf("-- Ablation 2: victim actuation retain rate alpha (Eq. 1) --\n");
+  // Fixed oracle budget; only the vehicle's actuator low-pass varies. A
+  // slower actuator (higher alpha) lets the attacker's persistent bias
+  // accumulate while shrinking the PID's per-step rectification authority.
+  Table t({"alpha", "success rate", "mean deviation RMSE"});
+  for (double alpha : {0.5, 0.7, 0.8}) {
+    ExperimentConfig cfg = zoo().experiment();
+    cfg.scenario.vehicle.alpha = alpha;
+    ModularAgent agent;
+    ScriptedAttacker att(0.8);
+    RunningStats dev;
+    std::vector<EpisodeMetrics> ms;
+    for (int k = 0; k < episodes; ++k) {
+      const EpisodeMetrics m = evaluate_with_reference(
+          agent, &att, cfg, kEvalSeedBase + static_cast<std::uint64_t>(k));
+      ms.push_back(m);
+      dev.add(std::max(0.0, m.deviation_rmse));
+    }
+    t.add_row({fmt(alpha, 1), fmt_pct(success_rate(ms)), fmt(dev.mean(), 3)});
+  }
+  t.print();
+  std::printf("(fixed budget 0.8; a slower actuator lets the attacker's "
+              "persistent bias accumulate faster than the PID can rectify)\n\n");
+  maybe_write_csv(t, "ablation_alpha");
+}
+
+void feedback_ablation(int episodes) {
+  std::printf("-- Ablation 3: lateral feedback control (PID) --\n");
+  ExperimentConfig cfg = zoo().experiment();
+  Table t({"agent", "steering bias", "mean steps", "mean passed npcs",
+           "collision-free episodes"});
+  ModularAgent closed;
+  OpenLoopAgent open;
+  for (double bias : {0.0, 0.1}) {
+    ConstantBiasAttacker att(bias);
+    for (DrivingAgent* agent : {static_cast<DrivingAgent*>(&closed),
+                                static_cast<DrivingAgent*>(&open)}) {
+      RunningStats steps, passed;
+      int clean = 0;
+      for (int k = 0; k < episodes; ++k) {
+        const EpisodeMetrics m =
+            run_episode(*agent, bias > 0.0 ? &att : nullptr, cfg,
+                        kEvalSeedBase + static_cast<std::uint64_t>(k));
+        steps.add(m.steps);
+        passed.add(m.passed_npcs);
+        clean += m.collision ? 0 : 1;
+      }
+      t.add_row({agent->name(), fmt(bias, 1), fmt(steps.mean(), 1),
+                 fmt(passed.mean(), 2),
+                 std::to_string(clean) + "/" + std::to_string(episodes)});
+    }
+  }
+  t.print();
+  std::printf("(open loop cannot overtake at all, and a small persistent bias "
+              "that the PID simply absorbs sends it off the road — the "
+              "rectification loop behind the modular pipeline's resilience)\n\n");
+  maybe_write_csv(t, "ablation_feedback");
+}
+
+void attack_surface_ablation(int episodes) {
+  std::printf("-- Ablation 4: attack surface (steering-only vs + thrust) --\n");
+  // The paper's threat model leaves the thrust unit untouched so the victim
+  // can brake out of trouble (Sec. IV-A). Compromising thrust as well drops
+  // the budget needed for a side collision.
+  ExperimentConfig cfg = zoo().experiment();
+  ModularAgent agent;
+  Table t({"attack surface", "steer budget", "success rate"});
+  for (double budget : {0.5, 0.7, 0.9}) {
+    ScriptedAttacker steer_only(budget, cfg.adv_reward);
+    FullActuationOracle full(budget, 1.0, cfg.adv_reward);
+    for (Attacker* att : {static_cast<Attacker*>(&steer_only),
+                          static_cast<Attacker*>(&full)}) {
+      const auto ms = run_batch(agent, att, cfg, episodes, kEvalSeedBase);
+      t.add_row({att->name(), fmt(budget, 1), fmt_pct(success_rate(ms))});
+    }
+  }
+  t.print();
+  std::printf("(denying the victim its braking escape lowers the steering "
+              "budget an attack needs — why the paper's steering-only model "
+              "is the harder, more interesting setting)\n\n");
+  maybe_write_csv(t, "ablation_surface");
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  print_header("Design-choice ablations (oracle attacker)", "DESIGN.md ablation index");
+  const int episodes = eval_episodes(10);
+  gating_ablation(episodes);
+  alpha_ablation(episodes);
+  feedback_ablation(episodes);
+  attack_surface_ablation(episodes);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared scaffolding for the figure-regeneration benches.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/zoo.hpp"
+
+namespace adsec::bench {
+
+// Every bench shares one zoo: policies train on first use (minutes on one
+// core at full scale) and load from the cache afterwards.
+inline PolicyZoo& zoo() {
+  static PolicyZoo z;
+  return z;
+}
+
+// Evaluation episode seeds are disjoint from training seeds.
+inline constexpr std::uint64_t kEvalSeedBase = 700000;
+
+// Optional CSV mirror of each printed table.
+inline void maybe_write_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("ADSEC_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  table.write_csv(std::string(dir) + "/" + name + ".csv");
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(paper: %s)\n\n", title.c_str(), paper_ref.c_str());
+}
+
+}  // namespace adsec::bench

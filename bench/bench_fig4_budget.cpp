@@ -1,0 +1,74 @@
+// Regenerates Fig. 4: box plots of (a) cumulative nominal driving reward and
+// (b) cumulative adversarial reward across attack budgets, for camera-based
+// and IMU-based attacks on the end-to-end driving agent.
+//
+// Paper shape targets: both attacks strengthen with budget; camera attack
+// beats IMU (higher mean adversarial reward, smaller variance); a sharp
+// transition between eps = 0.25 and eps = 0.75; camera attack at eps = 1
+// cuts the nominal driving reward by roughly 84%.
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+namespace {
+
+void sweep(const std::string& label, bool imu, int episodes) {
+  ExperimentConfig cfg = zoo().experiment();
+  auto agent = zoo().make_e2e_agent();
+
+  Table nominal({"budget", "min", "q1", "median", "q3", "max", "mean"});
+  Table adversarial({"budget", "min", "q1", "median", "q3", "max", "mean",
+                     "success rate"});
+  double nominal_at_zero = 0.0, nominal_at_one = 0.0;
+
+  for (double budget : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::unique_ptr<Attacker> attacker;
+    if (imu) {
+      attacker = zoo().make_imu_attacker(budget);
+    } else {
+      attacker = zoo().make_camera_attacker(budget);
+    }
+    const auto ms =
+        run_batch(*agent, budget > 0.0 ? attacker.get() : nullptr, cfg, episodes,
+                  kEvalSeedBase);
+    const auto rewards =
+        collect(ms, [](const EpisodeMetrics& m) { return m.nominal_reward; });
+    const auto adv = collect(ms, [](const EpisodeMetrics& m) { return m.adv_reward; });
+    const BoxStats rb = box_stats(rewards);
+    const BoxStats ab = box_stats(adv);
+    nominal.add_row_values({budget, rb.min, rb.q1, rb.median, rb.q3, rb.max, rb.mean}, 2);
+    adversarial.add_row({fmt(budget, 2), fmt(ab.min, 2), fmt(ab.q1, 2),
+                         fmt(ab.median, 2), fmt(ab.q3, 2), fmt(ab.max, 2),
+                         fmt(ab.mean, 2), fmt_pct(success_rate(ms))});
+    if (budget == 0.0) nominal_at_zero = rb.mean;
+    if (budget == 1.0) nominal_at_one = rb.mean;
+  }
+
+  std::printf("-- Fig. 4(a) nominal driving reward, %s attack --\n", label.c_str());
+  nominal.print();
+  maybe_write_csv(nominal, "fig4a_" + label);
+  std::printf("\n-- Fig. 4(b) adversarial reward, %s attack --\n", label.c_str());
+  adversarial.print();
+  maybe_write_csv(adversarial, "fig4b_" + label);
+  if (nominal_at_zero > 1e-9) {
+    std::printf("\n%s attack at eps=1.00 reduces nominal reward by %s "
+                "(paper, camera: ~84%%)\n\n",
+                label.c_str(),
+                fmt_pct(1.0 - nominal_at_one / nominal_at_zero).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Info);
+  print_header("Attack effect vs attack budget (camera vs IMU)",
+               "Fig. 4(a)/(b), Sec. V-A");
+  const int episodes = eval_episodes(30);
+  sweep("camera", /*imu=*/false, episodes);
+  sweep("imu", /*imu=*/true, episodes);
+  return 0;
+}

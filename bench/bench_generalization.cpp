@@ -1,0 +1,72 @@
+// Extension: generalization across scenario variants.
+//
+// The paper notes DRL-based driving "still has several challenges such as
+// lack of generalizability" (Sec. II-A). Both agents and the attack were
+// built/trained on the "paper" scenario; this bench replays them on unseen
+// variants — denser and sparser traffic, a two-lane road, S-curves, faster
+// NPCs — and reports how nominal driving and attack effectiveness transfer.
+#include "bench_common.hpp"
+
+#include "attack/scripted_attacker.hpp"
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+int main() {
+  set_log_level(LogLevel::Info);
+  print_header("Generalization across scenario variants (extension)",
+               "Sec. II-A generalizability discussion");
+  const int episodes = eval_episodes(10);
+
+  Table nominal({"scenario", "agent", "passed/total", "collision-free",
+                 "mean reward"});
+  Table attacked({"scenario", "agent", "oracle eps=1 success rate"});
+
+  for (const std::string& preset : scenario_preset_names()) {
+    ExperimentConfig cfg = zoo().experiment();
+    cfg.scenario = scenario_preset(preset);
+
+    auto modular = zoo().make_modular_agent();
+    auto e2e = zoo().make_e2e_agent();
+    struct Row {
+      DrivingAgent* agent;
+    } rows[] = {{modular.get()}, {e2e.get()}};
+
+    for (const Row& row : rows) {
+      RunningStats passed, reward;
+      int clean = 0;
+      for (int k = 0; k < episodes; ++k) {
+        const EpisodeMetrics m = run_episode(
+            *row.agent, nullptr, cfg, kEvalSeedBase + static_cast<std::uint64_t>(k));
+        passed.add(m.passed_npcs);
+        reward.add(m.nominal_reward);
+        clean += m.collision ? 0 : 1;
+      }
+      nominal.add_row({preset, row.agent->name(),
+                       fmt(passed.mean(), 2) + "/" +
+                           std::to_string(cfg.scenario.num_npcs),
+                       std::to_string(clean) + "/" + std::to_string(episodes),
+                       fmt(reward.mean(), 1)});
+
+      ScriptedAttacker oracle(1.0, cfg.adv_reward);
+      const auto ms = run_batch(*row.agent, &oracle, cfg, episodes, kEvalSeedBase);
+      attacked.add_row({preset, row.agent->name(), fmt_pct(success_rate(ms))});
+    }
+  }
+
+  std::printf("nominal driving on unseen scenario variants:\n");
+  nominal.print();
+  maybe_write_csv(nominal, "generalization_nominal");
+  std::printf("\nfull-budget oracle attack on the same variants:\n");
+  attacked.print();
+  maybe_write_csv(attacked, "generalization_attacked");
+  std::printf(
+      "\nExpected pattern: the modular pipeline (planner + PID, no learned\n"
+      "component tied to the training distribution) transfers across variants;\n"
+      "the end-to-end policy degrades away from its training scenario — the\n"
+      "generalizability gap the paper cites. The attack itself transfers\n"
+      "wherever overtaking happens, since its lever is the shared geometry of\n"
+      "a side collision.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): throughput of the building blocks —
+// simulator stepping, Frenet projection, sensor rendering, policy inference,
+// and SAC gradient updates. Not a paper figure; used to size training runs.
+#include <benchmark/benchmark.h>
+
+#include "agents/modular_agent.hpp"
+#include "nn/gaussian_policy.hpp"
+#include "rl/sac.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/imu.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World fresh_world(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  Rng rng(seed);
+  return make_scenario(cfg, rng);
+}
+
+void BM_WorldStep(benchmark::State& state) {
+  World w = fresh_world();
+  for (auto _ : state) {
+    if (w.done()) {
+      state.PauseTiming();
+      w = fresh_world();
+      state.ResumeTiming();
+    }
+    w.step({0.05, 0.3});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldStep);
+
+void BM_RoadProject(benchmark::State& state) {
+  const Road road = Road::freeway();
+  Rng rng(2);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 256; ++i) {
+    points.push_back(road.world_at(rng.uniform(0.0, road.length()),
+                                   rng.uniform(-5.0, 5.0)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(road.project(points[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoadProject);
+
+void BM_CameraObserve(benchmark::State& state) {
+  World w = fresh_world();
+  CameraSensor cam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.observe(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CameraObserve);
+
+void BM_ImuObserve(benchmark::State& state) {
+  World w = fresh_world();
+  ImuSensor imu;
+  imu.reset(w);
+  imu.update(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imu.observation());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImuObserve);
+
+void BM_PolicyInference(benchmark::State& state) {
+  Rng rng(3);
+  const int obs_dim = StackedCameraObserver({}, 3).dim();
+  GaussianPolicy pi = GaussianPolicy::make_mlp(obs_dim, {64, 64}, 2, rng);
+  Matrix obs = Matrix::randn(1, obs_dim, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pi.mean_action(obs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyInference);
+
+void BM_ModularDecide(benchmark::State& state) {
+  World w = fresh_world();
+  ModularAgent agent;
+  agent.reset(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.decide(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModularDecide);
+
+void BM_SacUpdate(benchmark::State& state) {
+  const int obs_dim = static_cast<int>(state.range(0));
+  SacConfig cfg;
+  cfg.batch_size = 32;
+  Rng rng(4);
+  Sac sac(obs_dim, 2, cfg, rng);
+  ReplayBuffer buf(4096, obs_dim, 2);
+  std::vector<double> obs(static_cast<std::size_t>(obs_dim));
+  for (int i = 0; i < 512; ++i) {
+    for (auto& v : obs) v = rng.uniform(-1.0, 1.0);
+    const double act[2] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    buf.add(obs, act, rng.uniform(), obs, false);
+  }
+  for (auto _ : state) {
+    sac.update(buf, rng);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SacUpdate)->Arg(64)->Arg(267);
+
+}  // namespace
+}  // namespace adsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Regenerates the paper's Sec. III-B/C nominal-performance claims:
+//   - modular pipeline: passes all NPC vehicles without collision, accurate
+//     trajectory following;
+//   - end-to-end agent: completes all 180 steps, overtakes ~5.96/6 NPCs per
+//     episode over 30 episodes, no collisions.
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+namespace {
+
+void report(const std::string& name, DrivingAgent& agent, int episodes) {
+  ExperimentConfig cfg = zoo().experiment();
+  const auto ms = run_batch(agent, nullptr, cfg, episodes, kEvalSeedBase);
+
+  RunningStats passed, reward, steps;
+  int collisions = 0;
+  for (const auto& m : ms) {
+    passed.add(m.passed_npcs);
+    reward.add(m.nominal_reward);
+    steps.add(m.steps);
+    collisions += m.collision ? 1 : 0;
+  }
+  Table t({"agent", "episodes", "passed npcs (mean/6)", "steps (mean)",
+           "nominal reward (mean±sd)", "collisions"});
+  t.add_row({name, std::to_string(episodes), fmt(passed.mean(), 2),
+             fmt(steps.mean(), 1), fmt(reward.mean(), 1) + " ± " + fmt(reward.stdev(), 1),
+             std::to_string(collisions)});
+  t.print();
+  maybe_write_csv(t, "nominal_" + name);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Info);
+  print_header("Nominal driving performance of both agents",
+               "Sec. III-B (modular: all passed, no collision) / "
+               "Sec. III-C (e2e: 5.96/6 over 30 episodes, no collision)");
+
+  const int episodes = eval_episodes(30);
+  auto modular = zoo().make_modular_agent();
+  report("modular", *modular, episodes);
+  auto e2e = zoo().make_e2e_agent();
+  report("e2e", *e2e, episodes);
+  return 0;
+}

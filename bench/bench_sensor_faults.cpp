@@ -1,0 +1,69 @@
+// Extension: sensor fault injection (a DSN-flavoured dependability sweep).
+//
+// The end-to-end agent's only world model is its camera; this bench injects
+// per-cell Gaussian noise and dropout into the semantic grid and measures
+// nominal driving degradation. The modular pipeline, which drives off map +
+// planner + odometry rather than the camera, rides along as the control.
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+int main() {
+  set_log_level(LogLevel::Info);
+  print_header("Camera fault injection: e2e agent dependability (extension)",
+               "dependability sweep (not in paper)");
+  const int episodes = eval_episodes(10);
+  ExperimentConfig cfg = zoo().experiment();
+
+  Table t({"fault", "level", "agent", "mean reward", "passed (mean)",
+           "collision-free"});
+
+  auto run_agent = [&](const std::string& fault, const std::string& level,
+                       DrivingAgent& agent) {
+    RunningStats reward, passed;
+    int clean = 0;
+    for (int k = 0; k < episodes; ++k) {
+      const EpisodeMetrics m = run_episode(agent, nullptr, cfg,
+                                           kEvalSeedBase + static_cast<std::uint64_t>(k));
+      reward.add(m.nominal_reward);
+      passed.add(m.passed_npcs);
+      clean += m.collision ? 0 : 1;
+    }
+    t.add_row({fault, level, agent.name(), fmt(reward.mean(), 1),
+               fmt(passed.mean(), 2),
+               std::to_string(clean) + "/" + std::to_string(episodes)});
+  };
+
+  // Baseline (no faults).
+  {
+    auto e2e = zoo().make_e2e_agent();
+    run_agent("none", "-", *e2e);
+    auto modular = zoo().make_modular_agent();
+    run_agent("none", "-", *modular);
+  }
+
+  for (double noise : {0.1, 0.3, 0.6}) {
+    CameraConfig cam = zoo().camera();
+    cam.cell_noise = noise;
+    E2EAgent agent(zoo().driving_policy(), cam, 3, "e2e");
+    run_agent("cell noise", fmt(noise, 1), agent);
+  }
+  for (double dropout : {0.1, 0.3, 0.6}) {
+    CameraConfig cam = zoo().camera();
+    cam.cell_dropout = dropout;
+    E2EAgent agent(zoo().driving_policy(), cam, 3, "e2e");
+    run_agent("cell dropout", fmt(dropout, 1), agent);
+  }
+
+  t.print();
+  maybe_write_csv(t, "sensor_faults");
+  std::printf("\nDropout deletes NPCs from the panorama — the policy overtakes\n"
+              "blind; noise corrupts the free-space map. Either fault class\n"
+              "degrades the end-to-end agent while the modular pipeline (which\n"
+              "does not consume the camera) is untouched: the flip side of the\n"
+              "architecture comparison in Fig. 5.\n");
+  return 0;
+}

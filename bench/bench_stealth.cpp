@@ -1,0 +1,114 @@
+// Extension: stealth vs effectiveness frontier.
+//
+// The paper motivates the IMU attacker with covertness of the *sensor*
+// installation; this bench measures covertness of the *injection* itself:
+// how long each attacker runs before a residual monitor on the steering
+// read-back (defense/detector.hpp) raises an alarm, vs how often it
+// achieves the side collision. Attackers that lurk (inject only at
+// critical moments) are detected later than an always-on injection of the
+// same budget — the quantitative version of the paper's "remain undetected
+// at all other times" design goal. Both the EWMA-envelope and CUSUM
+// monitors are reported.
+#include "bench_common.hpp"
+
+#include "attack/scripted_attacker.hpp"
+#include "common/angle.hpp"
+#include "core/experiment.hpp"
+#include "defense/detector.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+namespace {
+
+// Replays one attacked episode while feeding both monitors; returns steps
+// until each alarm (-1 = never) plus the episode outcome.
+struct StealthResult {
+  int ewma_alarm_step{-1};
+  int cusum_alarm_step{-1};
+  bool success{false};
+};
+
+StealthResult run_monitored(DrivingAgent& agent, Attacker& attacker,
+                            const ExperimentConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  World world = make_scenario(cfg.scenario, rng);
+  agent.reset(world);
+  attacker.reset(world);
+  AttackDetector ewma;
+  CusumDetector cusum;
+
+  StealthResult out;
+  double prev_applied = world.ego().actuation().steer;
+  while (!world.done()) {
+    Action a = agent.decide(world);
+    const double commanded = a.steer_variation;
+    const double delta = attacker.decide(world);
+    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+    world.step(a, delta);
+    attacker.post_step(world);
+
+    const double applied = world.ego().actuation().steer;
+    ewma.update(commanded, applied, prev_applied, world.ego().params().alpha);
+    cusum.update(commanded, applied, prev_applied, world.ego().params().alpha);
+    prev_applied = applied;
+    if (out.ewma_alarm_step < 0 && ewma.attack_detected()) {
+      out.ewma_alarm_step = world.step_count();
+    }
+    if (out.cusum_alarm_step < 0 && cusum.attack_detected()) {
+      out.cusum_alarm_step = world.step_count();
+    }
+  }
+  out.success =
+      world.collided() && world.collision()->type == CollisionType::Side;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  print_header("Stealth vs effectiveness of the attackers (extension)",
+               "Sec. IV design goal: 'lurk until a safety-critical moment'");
+  const int episodes = eval_episodes(10);
+  ExperimentConfig cfg = zoo().experiment();
+  auto victim = zoo().make_modular_agent();
+
+  Table t({"attacker", "budget", "success rate", "mean steps to EWMA alarm",
+           "mean steps to CUSUM alarm", "undetected episodes"});
+
+  const double budget = 1.0;
+  ScriptedAttacker oracle(budget, cfg.adv_reward);
+  NoiseAttacker noise(budget);
+  auto camera = zoo().make_camera_attacker(budget, /*vs_modular=*/true);
+  auto imu = zoo().make_imu_attacker(budget);
+
+  for (Attacker* att :
+       {static_cast<Attacker*>(&oracle), static_cast<Attacker*>(&noise),
+        static_cast<Attacker*>(camera.get()), static_cast<Attacker*>(imu.get())}) {
+    RunningStats ewma_steps, cusum_steps;
+    int undetected = 0, successes = 0;
+    for (int k = 0; k < episodes; ++k) {
+      const StealthResult r = run_monitored(
+          *victim, *att, cfg, kEvalSeedBase + static_cast<std::uint64_t>(k));
+      successes += r.success ? 1 : 0;
+      if (r.ewma_alarm_step >= 0) ewma_steps.add(r.ewma_alarm_step);
+      if (r.cusum_alarm_step >= 0) cusum_steps.add(r.cusum_alarm_step);
+      if (r.ewma_alarm_step < 0 && r.cusum_alarm_step < 0) ++undetected;
+    }
+    t.add_row({att->name(), fmt(budget, 1),
+               fmt_pct(static_cast<double>(successes) / episodes),
+               ewma_steps.count() > 0 ? fmt(ewma_steps.mean(), 1) : "never",
+               cusum_steps.count() > 0 ? fmt(cusum_steps.mean(), 1) : "never",
+               std::to_string(undetected) + "/" + std::to_string(episodes)});
+  }
+
+  t.print();
+  maybe_write_csv(t, "stealth");
+  std::printf(
+      "\nGated attackers stay silent (no alarm) until their strike — the alarm\n"
+      "fires only steps before impact. The untimed noise attacker trips the\n"
+      "monitors almost immediately AND achieves nothing: stealth and\n"
+      "effectiveness are aligned here, both favouring critical-moment gating.\n");
+  return 0;
+}

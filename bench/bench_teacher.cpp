@@ -1,0 +1,56 @@
+// Regenerates the paper's learning-from-teacher claim (Sec. IV-E): "the
+// same training process is ineffective for IMU-based policies due to the
+// lack of correlation between location information and the IMU trace."
+//
+// Four attackers on the same e2e victim at full budget:
+//   camera            — the teacher's own modality (upper bound)
+//   imu (full)        — oracle BC warm start + p_se teacher term
+//   imu (no p_se)     — oracle BC warm start, no teacher during RL
+//   imu (pure SAC)    — neither curriculum nor teacher (the paper's
+//                       "same process as camera" baseline)
+#include "bench_common.hpp"
+
+#include "core/experiment.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+
+int main() {
+  set_log_level(LogLevel::Info);
+  print_header("Learning-from-teacher ablation for the IMU attacker",
+               "Sec. IV-E");
+  const int episodes = eval_episodes(15);
+  ExperimentConfig cfg = zoo().experiment();
+  auto victim = zoo().make_e2e_agent();
+  const ImuConfig imu_cfg = zoo().imu();
+
+  Table t({"attacker", "success rate", "mean adv reward", "mean nominal reward"});
+  auto eval_attacker = [&](const std::string& label, Attacker& att) {
+    const auto ms = run_batch(*victim, &att, cfg, episodes, kEvalSeedBase);
+    RunningStats adv, nom;
+    for (const auto& m : ms) {
+      adv.add(m.adv_reward);
+      nom.add(m.nominal_reward);
+    }
+    t.add_row({label, fmt_pct(success_rate(ms)), fmt(adv.mean(), 1),
+               fmt(nom.mean(), 1)});
+  };
+
+  auto cam = zoo().make_camera_attacker(1.0);
+  eval_attacker("camera (teacher modality)", *cam);
+  LearnedImuAttacker imu_full(zoo().imu_attacker(), 1.0, imu_cfg);
+  eval_attacker("imu, BC + p_se (paper's scheme)", imu_full);
+  LearnedImuAttacker imu_nopse(zoo().imu_attacker_no_pse(), 1.0, imu_cfg);
+  eval_attacker("imu, BC only (no p_se)", imu_nopse);
+  LearnedImuAttacker imu_pure(zoo().imu_attacker_pure_sac(), 1.0, imu_cfg);
+  eval_attacker("imu, pure SAC (no guidance)", imu_pure);
+
+  t.print();
+  maybe_write_csv(t, "teacher_ablation");
+  std::printf("\nExpected ordering: the unguided IMU policy barely attacks — the\n"
+              "inertial trace alone gives SAC no gradient toward the collision;\n"
+              "guidance (oracle labels and/or the p_se imitation term) closes\n"
+              "most of the gap to the camera modality, reproducing the paper's\n"
+              "motivation for learning-from-teacher.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Compares the paper's two defenses (Sec. VI) on the same attacked episodes:
+// adversarial fine-tuning (pi_adv,rho) vs a PNN column behind a Simplex
+// switcher (pi_pnn,sigma). Shows the fine-tuned agents' catastrophic
+// forgetting at zero budget and the PNN agents' retention of nominal
+// performance.
+//
+//   ./defense_comparison [episodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/zoo.hpp"
+#include "defense/pnn_agent.hpp"
+
+using namespace adsec;
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 10;
+  std::printf("== defense comparison: fine-tuning vs PNN (%d episodes/cell) ==\n\n",
+              episodes);
+
+  PolicyZoo zoo;
+  const ExperimentConfig config = zoo.experiment();
+
+  auto ori = zoo.make_e2e_agent();
+  auto ft = zoo.make_finetuned_agent(0.5);
+  auto pnn = zoo.make_pnn_agent(0.2);
+
+  Table t({"agent", "budget", "mean nominal reward", "attack success rate"});
+  for (double budget : {0.0, 0.5, 1.0}) {
+    auto attacker = zoo.make_camera_attacker(budget);
+    struct Row {
+      DrivingAgent* agent;
+      PnnSwitchedAgent* switcher;
+    } rows[] = {{ori.get(), nullptr}, {ft.get(), nullptr}, {pnn.get(), pnn.get()}};
+    for (const Row& row : rows) {
+      if (row.switcher != nullptr) row.switcher->set_attack_budget_estimate(budget);
+      const auto ms = run_batch(*row.agent, budget > 0.0 ? attacker.get() : nullptr,
+                                config, episodes, 880000);
+      RunningStats reward;
+      for (const auto& m : ms) reward.add(m.nominal_reward);
+      t.add_row({row.agent->name(), fmt(budget, 1), fmt(reward.mean(), 1),
+                 fmt_pct(success_rate(ms))});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading the table: at budget 0.0 the fine-tuned agent typically gives up\n"
+      "nominal reward (overfitting to adversarial episodes), while the PNN\n"
+      "switcher runs the untouched original column and loses nothing. Under\n"
+      "attack, both enhanced agents resist far better than pi_ori.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// The stealth trade-off (paper Sec. IV-C/V-A): a concealed IMU is nearly
+// unnoticeable but sees only the ego's own inertial trace, so the IMU-based
+// attacker — trained by the learning-from-teacher scheme — is weaker than
+// the camera-based attacker. This example runs both on the same episodes.
+//
+//   ./imu_stealth_attack [episodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/zoo.hpp"
+
+using namespace adsec;
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 10;
+  std::printf("== camera vs IMU attacker on the e2e agent (%d episodes) ==\n\n",
+              episodes);
+
+  PolicyZoo zoo;
+  const ExperimentConfig config = zoo.experiment();
+  auto victim = zoo.make_e2e_agent();
+
+  Table t({"attacker", "budget", "success rate", "mean adv reward",
+           "mean nominal reward"});
+  for (double budget : {0.5, 1.0}) {
+    auto cam = zoo.make_camera_attacker(budget);
+    auto imu = zoo.make_imu_attacker(budget);
+    for (Attacker* att :
+         {static_cast<Attacker*>(cam.get()), static_cast<Attacker*>(imu.get())}) {
+      const auto ms = run_batch(*victim, att, config, episodes, 990000);
+      RunningStats adv, nominal;
+      for (const auto& m : ms) {
+        adv.add(m.adv_reward);
+        nominal.add(m.nominal_reward);
+      }
+      t.add_row({att->name(), fmt(budget, 1), fmt_pct(success_rate(ms)),
+                 fmt(adv.mean(), 1), fmt(nominal.mean(), 1)});
+    }
+  }
+  t.print();
+
+  std::printf("\nThe camera attacker observes the NPCs directly and times its\n"
+              "injection precisely; the IMU student only imitates it from the\n"
+              "inertial signature of the ego's own motion — effective, but with\n"
+              "lower success and higher variance. Stealth costs precision.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: build the paper's freeway scenario, drive it with the modular
+// pipeline, then repeat the same episode under a full-budget action-space
+// attack and compare the outcomes.
+//
+// This example is fully self-contained (no trained policies needed): the
+// attacker here is the geometric oracle. See camera_attack_demo.cpp for the
+// DRL-trained attack of the paper.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "agents/modular_agent.hpp"
+#include "attack/scripted_attacker.hpp"
+#include "core/experiment.hpp"
+
+using namespace adsec;
+
+namespace {
+
+void print_metrics(const char* title, const EpisodeMetrics& m) {
+  std::printf("%s\n", title);
+  std::printf("  steps            : %d (of 180)\n", m.steps);
+  std::printf("  NPCs passed      : %d / 6\n", m.passed_npcs);
+  std::printf("  nominal reward   : %.1f\n", m.nominal_reward);
+  std::printf("  adversarial rwd  : %.1f\n", m.adv_reward);
+  std::printf("  collision        : %s\n",
+              m.collision ? to_string(m.collision->type) : "none");
+  if (m.attack_effort > 0.0) {
+    std::printf("  attack effort    : %.2f (mean |delta| while active)\n",
+                m.attack_effort);
+  }
+  if (m.time_to_collision >= 0.0) {
+    std::printf("  time to collide  : %.2f s after first injection\n",
+                m.time_to_collision);
+  }
+  if (m.deviation_rmse >= 0.0) {
+    std::printf("  deviation RMSE   : %.3f (lane-width fractions)\n",
+                m.deviation_rmse);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== adsec quickstart: freeway lane-changing under action-space "
+              "attack ==\n\n");
+
+  // The experiment config bundles the paper's scenario (Sec. III-A): a
+  // 3-lane freeway, ego at 16 m/s reference, six NPCs at 6 m/s, 180 steps
+  // of 0.1 s.
+  ExperimentConfig config;
+  ModularAgent agent;
+
+  // 1. Nominal episode: the modular pipeline weaves through all six NPCs.
+  const EpisodeMetrics nominal = run_episode(agent, nullptr, config, /*seed=*/1);
+  print_metrics("[1] nominal driving (modular pipeline)", nominal);
+
+  // 2. Same seed, same agent — but an attacker perturbs the steering
+  //    variation with budget eps = 1 during safety-critical moments.
+  ScriptedAttacker attacker(/*budget=*/1.0);
+  const EpisodeMetrics attacked =
+      evaluate_with_reference(agent, &attacker, config, /*seed=*/1);
+  print_metrics("[2] under full-budget action-space attack", attacked);
+
+  // 3. A small budget is absorbed by the PID's per-step rectification.
+  ScriptedAttacker weak(/*budget=*/0.25);
+  const EpisodeMetrics resisted =
+      evaluate_with_reference(agent, &weak, config, /*seed=*/1);
+  print_metrics("[3] under small-budget attack (eps = 0.25)", resisted);
+
+  std::printf("Side collision requires enough budget to beat the victim's\n"
+              "feedback correction — the core finding the benches quantify.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The full Simplex loop in one episode: the detector watches the steering
+// read-back, the switcher starts on pi_ori, and when the camera attacker
+// begins injecting, the agent hot-swaps to the adversarially hardened PNN
+// column mid-drive. Prints the control-cycle timeline of the hand-over.
+//
+// Uses the policy zoo (pi_ori, pnn_column, camera attacker).
+//
+//   ./simplex_demo [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/angle.hpp"
+#include "core/zoo.hpp"
+#include "defense/simplex_agent.hpp"
+
+using namespace adsec;
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 0.75;
+  std::printf("== detector-driven Simplex hand-over (attack budget %.2f) ==\n\n",
+              budget);
+
+  PolicyZoo zoo;
+  DetectorSwitchedAgent agent(zoo.driving_policy(), zoo.pnn_column(), /*sigma=*/0.2,
+                              DetectorConfig{}, zoo.camera(), 3);
+  auto attacker = zoo.make_camera_attacker(budget);
+  const ExperimentConfig config = zoo.experiment();
+
+  Rng rng(31337);
+  World world = make_scenario(config.scenario, rng);
+  agent.reset(world);
+  attacker->reset(world);
+
+  bool was_adversarial = false;
+  bool announced_alarm = false;
+  std::printf("t(s)   delta   budget-estimate  column\n");
+  while (!world.done()) {
+    Action a = agent.decide(world);
+    const double delta = attacker->decide(world);
+    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+    world.step(a, delta);
+    attacker->post_step(world);
+
+    const bool adversarial = agent.using_adversarial_column();
+    if (adversarial != was_adversarial || world.step_count() % 25 == 0 ||
+        world.done()) {
+      std::printf("%5.1f  %6.3f  %15.3f  %s%s\n", world.time(), delta,
+                  agent.detector().budget_estimate(),
+                  adversarial ? "PNN (hardened)" : "pi_ori",
+                  adversarial != was_adversarial ? "   << SWITCH" : "");
+    }
+    if (!announced_alarm && agent.detector().attack_detected()) {
+      std::printf("       --- detector alarm at t = %.1f s ---\n", world.time());
+      announced_alarm = true;
+    }
+    was_adversarial = adversarial;
+  }
+
+  std::printf("\noutcome: %s after %d steps, %d/%d NPCs passed\n",
+              world.collided() ? to_string(world.collision()->type) : "clean finish",
+              world.step_count(), world.passed_npcs(),
+              static_cast<int>(world.npcs().size()));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Driving-agent interface shared by the two architectures the paper
+// compares: the modular pipeline (planner + PID) and the end-to-end DRL
+// policy. The experiment runner and the attack wrapper drive victims only
+// through this interface, so attacks are architecture-agnostic — exactly
+// the black-box premise of the paper's threat model.
+#pragma once
+
+#include <string>
+
+#include "sim/world.hpp"
+
+namespace adsec {
+
+class DrivingAgent {
+ public:
+  virtual ~DrivingAgent() = default;
+
+  // Called once at episode start, before the first decide().
+  virtual void reset(const World& world) = 0;
+
+  // Produce this tick's actuation variations from the current world. The
+  // agent may only use information its own sensors could provide.
+  virtual Action decide(const World& world) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace adsec

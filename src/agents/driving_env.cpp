@@ -1,0 +1,57 @@
+#include "agents/driving_env.hpp"
+
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+DrivingEnv::DrivingEnv(const ScenarioConfig& scenario, const CameraConfig& camera,
+                       const DrivingRewardConfig& reward,
+                       const BehaviorConfig& privileged_planner, int frame_stack)
+    : scenario_(scenario),
+      reward_config_(reward),
+      observer_(camera, frame_stack),
+      privileged_planner_(privileged_planner) {}
+
+const World& DrivingEnv::world() const {
+  if (!world_) throw std::logic_error("DrivingEnv::world: reset() not called");
+  return *world_;
+}
+
+std::vector<double> DrivingEnv::reset(std::uint64_t seed) {
+  Rng rng(seed);
+  world_.emplace(make_scenario(scenario_, rng));
+  privileged_planner_.reset(scenario_.ego_start_lane);
+  observer_.reset(*world_);
+  return observer_.observe(*world_);
+}
+
+EnvStep DrivingEnv::step(std::span<const double> action) {
+  if (!world_) throw std::logic_error("DrivingEnv::step: reset() not called");
+  if (action.size() != 2) throw std::invalid_argument("DrivingEnv::step: need 2 actions");
+  if (world_->done()) throw std::logic_error("DrivingEnv::step: episode finished");
+
+  // The privileged plan for this step defines the reward's waypoint vector.
+  const PlanStep plan = privileged_planner_.plan(*world_);
+
+  Action a;
+  a.steer_variation = clamp(action[0], -1.0, 1.0);
+  a.thrust_variation = clamp(action[1], -1.0, 1.0);
+
+  double delta = 0.0;
+  if (attack_hook_) {
+    delta = attack_hook_(*world_, a);
+    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+  }
+
+  world_->step(a, delta);
+
+  EnvStep out;
+  out.reward = driving_reward(*world_, plan, reward_config_);
+  out.done = world_->done();
+  out.obs = observer_.observe(*world_);
+  return out;
+}
+
+}  // namespace adsec

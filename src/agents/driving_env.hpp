@@ -1,0 +1,60 @@
+// RL environment for training the end-to-end driving policy pi_v.
+//
+// Observations: stacked semantic-camera frames (sensors/camera.hpp).
+// Actions:      [steer variation nu, thrust variation gamma], each in [-1,1].
+// Reward:       privileged waypoint-following reward (agents/reward.hpp)
+//               shaped by the modular pipeline's planner, per Sec. III-C.
+//
+// The same environment doubles as the *adversarial training* environment
+// for the defenses: an optional attacker hook injects a steering
+// perturbation delta each step (nu' = nu + delta), so fine-tuning
+// (Sec. VI-A) and PNN column training (Sec. VI-B) train the driving policy
+// in the presence of the camera-based attack.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "agents/reward.hpp"
+#include "planner/behavior.hpp"
+#include "rl/env.hpp"
+#include "sensors/camera.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+
+// Attack hook: given the victim's chosen action and the current world,
+// return the steering perturbation delta (already scaled by the budget).
+// Called each step after the policy acts and before the world advances.
+using AttackHook = std::function<double(const World&, const Action&)>;
+
+class DrivingEnv : public Env {
+ public:
+  DrivingEnv(const ScenarioConfig& scenario, const CameraConfig& camera = {},
+             const DrivingRewardConfig& reward = {},
+             const BehaviorConfig& privileged_planner = {}, int frame_stack = 3);
+
+  std::vector<double> reset(std::uint64_t seed) override;
+  EnvStep step(std::span<const double> action) override;
+
+  int obs_dim() const override { return observer_.dim(); }
+  int act_dim() const override { return 2; }
+
+  // Install/remove the adversarial hook (defense training).
+  void set_attack_hook(AttackHook hook) { attack_hook_ = std::move(hook); }
+  void clear_attack_hook() { attack_hook_ = nullptr; }
+
+  const World& world() const;
+  const ScenarioConfig& scenario() const { return scenario_; }
+
+ private:
+  ScenarioConfig scenario_;
+  DrivingRewardConfig reward_config_;
+  StackedCameraObserver observer_;
+  BehaviorPlanner privileged_planner_;
+  std::optional<World> world_;
+  AttackHook attack_hook_;
+};
+
+}  // namespace adsec

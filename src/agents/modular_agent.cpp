@@ -1,0 +1,27 @@
+#include "agents/modular_agent.hpp"
+
+namespace adsec {
+
+ModularAgent::ModularAgent(const ModularAgentConfig& config)
+    : config_(config),
+      planner_(config.behavior),
+      lateral_(config.lateral),
+      longitudinal_(config.longitudinal) {}
+
+void ModularAgent::reset(const World& world) {
+  planner_.reset(world.road().lane_at_offset(world.ego_frenet().d));
+  lateral_.reset();
+  longitudinal_.reset();
+  last_plan_ = {};
+}
+
+Action ModularAgent::decide(const World& world) {
+  last_plan_ = planner_.plan(world);
+  Action a;
+  const double dt = world.config().dt;
+  a.steer_variation = lateral_.update(world.ego(), last_plan_, world.ego_frenet(), dt);
+  a.thrust_variation = longitudinal_.update(world.ego(), last_plan_.desired_speed, dt);
+  return a;
+}
+
+}  // namespace adsec

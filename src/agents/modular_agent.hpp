@@ -1,0 +1,42 @@
+// The modular driving pipeline (paper Sec. III-B): behaviour planner for
+// lane-change/overtake decisions plus longitudinal and lateral PID
+// controllers that trace the planned waypoints — the stand-in for CARLA
+// Autopilot in "aggressive mode".
+#pragma once
+
+#include "agents/agent.hpp"
+#include "control/lateral.hpp"
+#include "control/longitudinal.hpp"
+#include "planner/behavior.hpp"
+
+namespace adsec {
+
+struct ModularAgentConfig {
+  BehaviorConfig behavior;
+  LateralConfig lateral;
+  LongitudinalConfig longitudinal;
+};
+
+class ModularAgent : public DrivingAgent {
+ public:
+  explicit ModularAgent(const ModularAgentConfig& config = {});
+
+  void reset(const World& world) override;
+  Action decide(const World& world) override;
+  std::string name() const override { return "modular"; }
+
+  // The plan computed by the most recent decide() — exposed so the
+  // experiment harness can log the reference trajectory and so the
+  // privileged reward can reuse this planner.
+  const PlanStep& last_plan() const { return last_plan_; }
+  BehaviorPlanner& planner() { return planner_; }
+
+ private:
+  ModularAgentConfig config_;
+  BehaviorPlanner planner_;
+  LateralController lateral_;
+  LongitudinalController longitudinal_;
+  PlanStep last_plan_{};
+};
+
+}  // namespace adsec

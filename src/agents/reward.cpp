@@ -1,0 +1,35 @@
+#include "agents/reward.hpp"
+
+#include <algorithm>
+
+namespace adsec {
+
+double driving_reward(const World& world, const PlanStep& plan,
+                      const DrivingRewardConfig& config) {
+  const double dt = world.config().dt;
+  const Vec2 v = world.ego().velocity();
+  double r = config.waypoint_weight * dt * v.dot(plan.waypoint_dir);
+
+  // Reward shaping aggregates multiple goals; without hard constraints the
+  // agent "may drive faster for higher rewards" (paper) — this term keeps
+  // the speed near the reference instead of unbounded.
+  const double speed = world.ego().state().speed;
+  if (speed > config.ref_speed) {
+    r -= config.overspeed_weight * dt * (speed - config.ref_speed);
+  }
+
+  // Barrier-proximity shaping: linear in the intrusion past the outer lane
+  // centers, so gradients point back toward the road long before contact.
+  const double edge_start = world.road().half_width() - config.edge_margin;
+  const double intrusion = std::abs(world.ego_frenet().d) - edge_start;
+  if (intrusion > 0.0) {
+    r -= config.edge_weight * dt * intrusion;
+  }
+
+  if (world.collided()) {
+    r -= config.collision_penalty;
+  }
+  return r;
+}
+
+}  // namespace adsec

@@ -1,0 +1,35 @@
+// Driving reward (paper Sec. III-C): the dot product of the vehicle's
+// velocity with the privileged planner's waypoint direction, accumulated per
+// 0.1 s step, minus penalties for collisions. "From a vague requirement
+// (driving along the road without collision) to precise instruction (driving
+// along a series of legal waypoints)."
+#pragma once
+
+#include "planner/behavior.hpp"
+#include "sim/world.hpp"
+
+namespace adsec {
+
+struct DrivingRewardConfig {
+  double waypoint_weight = 1.0;    // on dt * (v . w_hat)
+  double collision_penalty = 30.0; // any collision or barrier strike
+  double overspeed_weight = 0.5;   // soft penalty above the reference speed
+  double ref_speed = 16.0;
+
+  // Shaped penalty for straying beyond the outer lane centers toward the
+  // barriers ("safety consideration" term of the paper's aggregate reward).
+  double edge_weight = 2.0;
+  double edge_margin = 1.75;  // start penalizing this far inside the edge, m
+};
+
+// Reward for the step that just executed. `plan` must be the plan computed
+// for this step (before World::step), `world` the post-step world.
+double driving_reward(const World& world, const PlanStep& plan,
+                      const DrivingRewardConfig& config = {});
+
+// Cumulative "nominal driving reward" of a finished episode, recomputed from
+// the world's step history against a reference planner — used when scoring
+// episodes that were rolled out under attack.
+// (Defined in core/metrics; declared here conceptually.)
+
+}  // namespace adsec

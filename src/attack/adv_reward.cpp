@@ -1,0 +1,62 @@
+#include "attack/adv_reward.hpp"
+
+#include <cmath>
+
+namespace adsec {
+
+namespace {
+bool valid_npc(const World& world, int npc_index) {
+  return npc_index >= 0 && npc_index < static_cast<int>(world.npcs().size());
+}
+}  // namespace
+
+double omega(const World& world, int npc_index) {
+  if (!valid_npc(world, npc_index)) return 1.0;  // "far ahead" => non-critical
+  const auto& npc = world.npcs()[static_cast<std::size_t>(npc_index)];
+  const Vec2 e2n =
+      (npc.vehicle().state().position - world.ego().state().position).normalized();
+  const Vec2 vnpc = npc.vehicle().heading_vector();
+  return e2n.dot(vnpc);
+}
+
+bool critical_moment(const World& world, int npc_index, double beta) {
+  return std::abs(omega(world, npc_index)) <= beta;
+}
+
+double collision_potential(const World& world, int npc_index) {
+  if (!valid_npc(world, npc_index)) return 0.0;
+  const auto& npc = world.npcs()[static_cast<std::size_t>(npc_index)];
+  const Vec2 e2n =
+      (npc.vehicle().state().position - world.ego().state().position).normalized();
+  const Vec2 vego = world.ego().heading_vector();
+  return e2n.dot(vego);
+}
+
+double adv_reward_step(const World& world, int target_npc, double delta,
+                       const AdvRewardConfig& config) {
+  double r = 0.0;
+
+  // Terminal collision term C(lambda).
+  if (world.collided()) {
+    r += world.collision()->type == CollisionType::Side ? config.collision_reward
+                                                        : -config.collision_reward;
+  } else if (world.done()) {
+    r -= config.timeout_penalty;
+  }
+
+  // Shaping: collision potential inside critical moments, maneuver penalty
+  // outside them.
+  if (critical_moment(world, target_npc, config.beta)) {
+    r += collision_potential(world, target_npc);
+  } else {
+    r -= config.pm_weight * std::abs(delta);
+  }
+  return r;
+}
+
+double teacher_term(double delta, double teacher_delta, const AdvRewardConfig& config) {
+  const double err = delta - teacher_delta;
+  return -config.teacher_weight * err * err;
+}
+
+}  // namespace adsec

@@ -1,0 +1,50 @@
+// Adversarial reward shaping (paper Sec. IV-D):
+//
+//   R_adv = C(lambda) + I(omega) * r_e2n + (1 - I(omega)) * p_m   [+ p_se]
+//
+// C(lambda):  +a for a side collision, -a for any other collision outcome
+//             (rear-end, frontal, barrier) — and, so that "unsuccessful"
+//             episodes end with negative cumulative reward as in the paper,
+//             -a when the episode times out with no collision at all.
+// r_e2n:      collision potential = v_hat_e2n . v_hat_ego — maximal when the
+//             ego drives straight at the target NPC.
+// I(omega):   critical-moment indicator; 1 iff |v_hat_e2n . v_hat_npc| <=
+//             beta = cos(pi/6), i.e. the ego is spatially beside the target.
+// p_m:        maneuver penalty, -pm_weight * |delta| per step, teaching the
+//             attacker to lurk outside critical moments.
+// p_se:       (IMU student only) -teacher_weight * (delta - delta_teacher)^2,
+//             the learning-from-teacher term of Sec. IV-E.
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace adsec {
+
+struct AdvRewardConfig {
+  double collision_reward = 10.0;          // a
+  double beta = 0.8660254037844387;        // cos(pi/6)
+  double pm_weight = 0.5;
+  double teacher_weight = 1.0;
+  double timeout_penalty = 10.0;           // no-collision episodes
+};
+
+// omega for the given NPC: v_hat_e2n . v_hat_npc.
+double omega(const World& world, int npc_index);
+
+// I(omega) — is this a safety-critical moment w.r.t. the NPC?
+bool critical_moment(const World& world, int npc_index, double beta);
+
+// r_e2n — collision potential toward the NPC.
+double collision_potential(const World& world, int npc_index);
+
+// Per-step adversarial reward. `target_npc` is the target chosen *before*
+// the step (world.target_npc_index()); `world` is the post-step world;
+// `delta` the injected perturbation. The terminal C(lambda) / timeout terms
+// are included on the step where the episode ends.
+double adv_reward_step(const World& world, int target_npc, double delta,
+                       const AdvRewardConfig& config);
+
+// p_se helper for the IMU student.
+double teacher_term(double delta, double teacher_delta, const AdvRewardConfig& config);
+
+}  // namespace adsec

@@ -1,0 +1,85 @@
+#include "attack/attack_env.hpp"
+
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+AttackEnv::AttackEnv(const AttackEnvConfig& config, std::shared_ptr<DrivingAgent> victim)
+    : config_(config),
+      victim_(std::move(victim)),
+      camera_observer_(config.camera, config.frame_stack),
+      imu_(config.imu) {
+  if (!victim_) throw std::invalid_argument("AttackEnv: null victim");
+}
+
+void AttackEnv::set_teacher(GaussianPolicy teacher) {
+  teacher_observer_.emplace(config_.camera, config_.frame_stack);
+  if (teacher.obs_dim() != teacher_observer_->dim() || teacher.act_dim() != 1) {
+    throw std::invalid_argument("AttackEnv::set_teacher: teacher dims mismatch");
+  }
+  teacher_.emplace(std::move(teacher));
+}
+
+int AttackEnv::obs_dim() const {
+  return config_.sensor == AttackSensorType::Camera ? camera_observer_.dim()
+                                                    : imu_.dim();
+}
+
+const World& AttackEnv::world() const {
+  if (!world_) throw std::logic_error("AttackEnv::world: reset() not called");
+  return *world_;
+}
+
+std::vector<double> AttackEnv::observe() {
+  return config_.sensor == AttackSensorType::Camera ? camera_observer_.observe(*world_)
+                                                    : imu_.observation();
+}
+
+std::vector<double> AttackEnv::reset(std::uint64_t seed) {
+  Rng rng(seed);
+  world_.emplace(make_scenario(config_.scenario, rng));
+  victim_->reset(*world_);
+  if (config_.sensor == AttackSensorType::Camera) {
+    camera_observer_.reset(*world_);
+  } else {
+    imu_.reset(*world_);
+  }
+  if (teacher_) teacher_observer_->reset(*world_);
+  return observe();
+}
+
+EnvStep AttackEnv::step(std::span<const double> action) {
+  if (!world_) throw std::logic_error("AttackEnv::step: reset() not called");
+  if (action.size() != 1) throw std::invalid_argument("AttackEnv::step: need 1 action");
+  if (world_->done()) throw std::logic_error("AttackEnv::step: episode finished");
+
+  const double delta = config_.budget * clamp(action[0], -1.0, 1.0);
+
+  // Teacher's delta from its own camera view of the same moment.
+  double teacher_delta = 0.0;
+  if (teacher_) {
+    const auto tobs = teacher_observer_->observe(*world_);
+    const Matrix ta = teacher_->mean_action(Matrix::from_vector(tobs));
+    teacher_delta = config_.budget * clamp(ta(0, 0), -1.0, 1.0);
+  }
+
+  // Victim decides; the perturbation is added to its steering variation
+  // (clipped at the mechanical limit), Sec. IV-C.
+  Action a = victim_->decide(*world_);
+  const int target = world_->target_npc_index();
+  a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+
+  world_->step(a, delta);
+  if (config_.sensor == AttackSensorType::Imu) imu_.update(*world_);
+
+  EnvStep out;
+  out.reward = adv_reward_step(*world_, target, delta, config_.reward);
+  if (teacher_) out.reward += teacher_term(delta, teacher_delta, config_.reward);
+  out.done = world_->done();
+  out.obs = observe();
+  return out;
+}
+
+}  // namespace adsec

@@ -1,0 +1,69 @@
+// Adversarial MDP (paper Fig. 2): the entire driving system — victim agent,
+// vehicle, traffic — is the black-box environment; the attacker's action is
+// the steering perturbation delta; observations come from the attacker's
+// own sensor (extra camera or IMU); the reward is R_adv (adv_reward.hpp).
+//
+// For the learning-from-teacher scheme (Sec. IV-E), install a camera-based
+// teacher policy: each step the teacher's delta is computed from its own
+// camera pipeline and the p_se term is added to the student's reward.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "agents/agent.hpp"
+#include "attack/adv_reward.hpp"
+#include "nn/gaussian_policy.hpp"
+#include "rl/env.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/imu.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+
+enum class AttackSensorType { Camera, Imu };
+
+struct AttackEnvConfig {
+  ScenarioConfig scenario;
+  AttackSensorType sensor = AttackSensorType::Camera;
+  CameraConfig camera;  // used when sensor == Camera (and by the teacher)
+  ImuConfig imu;        // used when sensor == Imu
+  int frame_stack = 3;
+  double budget = 1.0;  // epsilon_b: delta = budget * policy output
+  AdvRewardConfig reward;
+};
+
+class AttackEnv : public Env {
+ public:
+  // `victim` is the fixed driving agent under attack; it is reset at every
+  // episode and drives the ego through its own decide() calls.
+  AttackEnv(const AttackEnvConfig& config, std::shared_ptr<DrivingAgent> victim);
+
+  // Install a camera-based teacher for IMU-student training.
+  void set_teacher(GaussianPolicy teacher);
+
+  std::vector<double> reset(std::uint64_t seed) override;
+  EnvStep step(std::span<const double> action) override;
+
+  int obs_dim() const override;
+  int act_dim() const override { return 1; }
+
+  const World& world() const;
+  const AttackEnvConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> observe();
+
+  AttackEnvConfig config_;
+  std::shared_ptr<DrivingAgent> victim_;
+  std::optional<World> world_;
+
+  StackedCameraObserver camera_observer_;
+  ImuSensor imu_;
+
+  // Teacher (camera pipeline + policy) for the p_se term.
+  std::optional<GaussianPolicy> teacher_;
+  std::optional<StackedCameraObserver> teacher_observer_;
+};
+
+}  // namespace adsec

@@ -1,0 +1,68 @@
+#include "attack/attacker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+LearnedCameraAttacker::LearnedCameraAttacker(GaussianPolicy policy, double budget,
+                                             const CameraConfig& camera, int frame_stack)
+    : policy_(std::move(policy)), observer_(camera, frame_stack), budget_(budget) {
+  if (policy_.obs_dim() != observer_.dim()) {
+    throw std::invalid_argument("LearnedCameraAttacker: obs dim mismatch");
+  }
+  if (policy_.act_dim() != 1) {
+    throw std::invalid_argument("LearnedCameraAttacker: attacker outputs one delta");
+  }
+}
+
+void LearnedCameraAttacker::reset(const World& world) { observer_.reset(world); }
+
+double LearnedCameraAttacker::decide(const World& world) {
+  const auto obs = observer_.observe(world);
+  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
+  return budget_ * clamp(a(0, 0), -1.0, 1.0);
+}
+
+DeterministicCameraAttacker::DeterministicCameraAttacker(Mlp policy, double budget,
+                                                         const CameraConfig& camera,
+                                                         int frame_stack)
+    : policy_(std::move(policy)), observer_(camera, frame_stack), budget_(budget) {
+  if (policy_.in_dim() != observer_.dim() || policy_.out_dim() != 1) {
+    throw std::invalid_argument("DeterministicCameraAttacker: policy dims mismatch");
+  }
+}
+
+void DeterministicCameraAttacker::reset(const World& world) { observer_.reset(world); }
+
+double DeterministicCameraAttacker::decide(const World& world) {
+  const auto obs = observer_.observe(world);
+  const Matrix u = policy_.forward_inference(Matrix::from_vector(obs));
+  return budget_ * std::tanh(u(0, 0));
+}
+
+LearnedImuAttacker::LearnedImuAttacker(GaussianPolicy policy, double budget,
+                                       const ImuConfig& imu)
+    : policy_(std::move(policy)), imu_(imu), budget_(budget) {
+  if (policy_.obs_dim() != imu_.dim()) {
+    throw std::invalid_argument("LearnedImuAttacker: obs dim mismatch");
+  }
+  if (policy_.act_dim() != 1) {
+    throw std::invalid_argument("LearnedImuAttacker: attacker outputs one delta");
+  }
+}
+
+void LearnedImuAttacker::reset(const World& world) { imu_.reset(world); }
+
+double LearnedImuAttacker::decide(const World& world) {
+  (void)world;  // the IMU attacker sees only its inertial window
+  const auto obs = imu_.observation();
+  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
+  return budget_ * clamp(a(0, 0), -1.0, 1.0);
+}
+
+void LearnedImuAttacker::post_step(const World& world) { imu_.update(world); }
+
+}  // namespace adsec

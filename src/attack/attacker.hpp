@@ -1,0 +1,100 @@
+// Attacker interface and the two learned attackers of the paper: camera-
+// based (extra roof camera, Sec. IV-C) and IMU-based (concealed inertial
+// sensor). Both return the steering perturbation delta for the current step,
+// already scaled to the attack budget:  nu' = nu + delta.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/gaussian_policy.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/imu.hpp"
+#include "sim/world.hpp"
+
+namespace adsec {
+
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  virtual void reset(const World& world) = 0;
+
+  // Steering perturbation for the step about to execute, in
+  // [-budget, budget].
+  virtual double decide(const World& world) = 0;
+
+  // Thrust perturbation. The paper's threat model leaves the thrust unit
+  // untouched (Sec. IV-A) — "the AD agent can avoid a collision by slowing
+  // down or braking" — so the default is 0; the attack-surface ablation
+  // overrides this to quantify how much that restriction costs the
+  // attacker.
+  virtual double decide_thrust(const World& world) {
+    (void)world;
+    return 0.0;
+  }
+
+  // Called after World::step — sensors that integrate motion (IMU) hook in
+  // here. Default: nothing.
+  virtual void post_step(const World& world) { (void)world; }
+
+  virtual std::string name() const = 0;
+  virtual double budget() const = 0;
+};
+
+class LearnedCameraAttacker : public Attacker {
+ public:
+  LearnedCameraAttacker(GaussianPolicy policy, double budget,
+                        const CameraConfig& camera = {}, int frame_stack = 3);
+
+  void reset(const World& world) override;
+  double decide(const World& world) override;
+  std::string name() const override { return "camera-attack"; }
+  double budget() const override { return budget_; }
+  void set_budget(double b) { budget_ = b; }
+
+  const GaussianPolicy& policy() const { return policy_; }
+
+ private:
+  GaussianPolicy policy_;
+  StackedCameraObserver observer_;
+  double budget_;
+};
+
+// Camera attacker with a deterministic (TD3-style) policy network: tanh of
+// an MLP's output. Used by the algorithm-generality ablation.
+class DeterministicCameraAttacker : public Attacker {
+ public:
+  DeterministicCameraAttacker(Mlp policy, double budget,
+                              const CameraConfig& camera = {}, int frame_stack = 3);
+
+  void reset(const World& world) override;
+  double decide(const World& world) override;
+  std::string name() const override { return "camera-attack-td3"; }
+  double budget() const override { return budget_; }
+  void set_budget(double b) { budget_ = b; }
+
+ private:
+  Mlp policy_;
+  StackedCameraObserver observer_;
+  double budget_;
+};
+
+class LearnedImuAttacker : public Attacker {
+ public:
+  LearnedImuAttacker(GaussianPolicy policy, double budget, const ImuConfig& imu = {});
+
+  void reset(const World& world) override;
+  double decide(const World& world) override;
+  void post_step(const World& world) override;
+  std::string name() const override { return "imu-attack"; }
+  double budget() const override { return budget_; }
+  void set_budget(double b) { budget_ = b; }
+
+ private:
+  GaussianPolicy policy_;
+  ImuSensor imu_;
+  double budget_;
+};
+
+}  // namespace adsec

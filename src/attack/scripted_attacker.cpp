@@ -1,0 +1,51 @@
+#include "attack/scripted_attacker.hpp"
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+ScriptedAttacker::ScriptedAttacker(double budget, const AdvRewardConfig& reward)
+    : budget_(budget), reward_(reward) {}
+
+void ScriptedAttacker::reset(const World& world) { (void)world; }
+
+double ScriptedAttacker::decide(const World& world) {
+  const int target = world.target_npc_index();
+  if (target < 0) return 0.0;
+  if (!critical_moment(world, target, reward_.beta)) return 0.0;
+
+  // Steer toward the target: sign of the NPC's bearing in the ego frame.
+  const auto& npc = world.npcs()[static_cast<std::size_t>(target)];
+  const Vec2 rel = npc.vehicle().state().position - world.ego().state().position;
+  const double bearing = angle_diff(rel.heading(), world.ego().state().heading);
+  return bearing >= 0.0 ? budget_ : -budget_;
+}
+
+NoiseAttacker::NoiseAttacker(double budget, std::uint64_t seed)
+    : budget_(budget), seed_(seed), rng_(seed) {}
+
+void NoiseAttacker::reset(const World& world) {
+  (void)world;
+  rng_ = Rng(seed_);
+}
+
+double NoiseAttacker::decide(const World& world) {
+  (void)world;
+  return rng_.uniform(-budget_, budget_);
+}
+
+FullActuationOracle::FullActuationOracle(double steer_budget, double thrust_budget,
+                                         const AdvRewardConfig& reward)
+    : ScriptedAttacker(steer_budget, reward),
+      thrust_budget_(thrust_budget),
+      reward_(reward) {}
+
+double FullActuationOracle::decide_thrust(const World& world) {
+  const int target = world.target_npc_index();
+  if (target < 0) return 0.0;
+  if (!critical_moment(world, target, reward_.beta)) return 0.0;
+  // Pin the throttle open: deny the victim its escape route (braking).
+  return thrust_budget_;
+}
+
+}  // namespace adsec

@@ -1,0 +1,67 @@
+// Geometric "oracle" attacker — not part of the paper, used here as a
+// validation baseline and in ablations: during critical moments it steers
+// the ego straight at the target NPC with the full budget; otherwise it
+// stays silent. A learned attacker should approach (and, with lurk/timing
+// subtlety, can exceed) this oracle's success rate.
+#pragma once
+
+#include "attack/adv_reward.hpp"
+#include "attack/attacker.hpp"
+#include "common/rng.hpp"
+
+namespace adsec {
+
+class ScriptedAttacker : public Attacker {
+ public:
+  explicit ScriptedAttacker(double budget, const AdvRewardConfig& reward = {});
+
+  void reset(const World& world) override;
+  double decide(const World& world) override;
+  std::string name() const override { return "scripted-oracle"; }
+  double budget() const override { return budget_; }
+  void set_budget(double b) { budget_ = b; }
+
+ private:
+  double budget_;
+  AdvRewardConfig reward_;
+};
+
+// Baseline for the ablation suite: injects budget-bounded uniform noise at
+// every step, with no notion of critical moments. Comparing it against the
+// gated oracle and the learned policies isolates how much of the attack's
+// power comes from *timing* rather than raw perturbation magnitude.
+class NoiseAttacker : public Attacker {
+ public:
+  explicit NoiseAttacker(double budget, std::uint64_t seed = 99);
+
+  void reset(const World& world) override;
+  double decide(const World& world) override;
+  std::string name() const override { return "noise"; }
+  double budget() const override { return budget_; }
+
+ private:
+  double budget_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+// Attack-surface ablation: the oracle with the thrust channel ALSO
+// compromised. During critical moments it floors the throttle so the victim
+// cannot brake out of the side collision — the "all control accesses"
+// setting the paper cites from prior work (Lee et al.) and deliberately
+// avoids. Comparing success thresholds against the steering-only oracle
+// quantifies how much harder the paper's restricted threat model is.
+class FullActuationOracle : public ScriptedAttacker {
+ public:
+  FullActuationOracle(double steer_budget, double thrust_budget,
+                      const AdvRewardConfig& reward = {});
+
+  double decide_thrust(const World& world) override;
+  std::string name() const override { return "full-actuation-oracle"; }
+
+ private:
+  double thrust_budget_;
+  AdvRewardConfig reward_;
+};
+
+}  // namespace adsec

@@ -1,0 +1,62 @@
+// State-space (observation) attack — the comparison point the paper's
+// background draws against action-space attacks (Sec. II-B: "state-space
+// attacks target agent inputs ... action-space attacks directly alter the
+// agent output").
+//
+// FGSM on the victim's own policy: perturb the camera observation by
+// eps * sign(d steering / d obs), pushing the end-to-end policy's steering
+// output toward the target NPC during critical moments. This is a
+// *white-box* attack (it differentiates the victim network), in contrast to
+// the black-box action-space attacks that are the paper's subject — the
+// bench quantifies that trade: more knowledge per unit of access, but
+// effectiveness bounded by the policy's own actuation limits.
+#pragma once
+
+#include "agents/agent.hpp"
+#include "attack/adv_reward.hpp"
+#include "nn/gaussian_policy.hpp"
+#include "sensors/camera.hpp"
+
+namespace adsec {
+
+// Gradient of the (pre-tanh) steering output with respect to the
+// observation, for a single observation row.
+std::vector<double> steering_obs_gradient(GaussianPolicy& policy,
+                                          const std::vector<double>& obs);
+
+// One FGSM step: obs + eps * sign(grad) * direction  (direction = +1 pushes
+// steering positive/left, -1 negative/right).
+std::vector<double> fgsm_perturb(const std::vector<double>& obs,
+                                 const std::vector<double>& grad, double eps,
+                                 double direction);
+
+// End-to-end driving agent whose *observations* are adversarially perturbed
+// before reaching the policy — the state-space counterpart of the
+// action-space attack wrapper. The perturbation activates only during
+// critical moments, aimed at the target NPC, mirroring the action-space
+// attack's gating so the two are comparable.
+class FgsmAttackedE2EAgent : public DrivingAgent {
+ public:
+  // `eps` is the observation-space budget (per-feature clip). eps = 0 makes
+  // the wrapper behave exactly like a clean E2EAgent.
+  FgsmAttackedE2EAgent(GaussianPolicy policy, double eps,
+                       const CameraConfig& camera = {}, int frame_stack = 3,
+                       const AdvRewardConfig& reward = {});
+
+  void reset(const World& world) override;
+  Action decide(const World& world) override;
+  std::string name() const override { return "e2e-fgsm-attacked"; }
+
+  double eps() const { return eps_; }
+  // Total |perturbation| injected so far (for effort-style reporting).
+  double total_injected() const { return total_injected_; }
+
+ private:
+  GaussianPolicy policy_;
+  StackedCameraObserver observer_;
+  double eps_;
+  AdvRewardConfig reward_;
+  double total_injected_{0.0};
+};
+
+}  // namespace adsec

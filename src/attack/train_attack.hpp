@@ -1,0 +1,54 @@
+// Training entry points for the adversarial policies (paper Sec. IV-E).
+#pragma once
+
+#include <memory>
+
+#include "attack/attack_env.hpp"
+#include "rl/td3.hpp"
+#include "rl/trainer.hpp"
+
+namespace adsec {
+
+struct AttackTrainSpec {
+  AttackEnvConfig env;
+  SacConfig sac;
+  TrainConfig train;
+
+  // Curriculum: behaviour-clone the geometric oracle (scripted_attacker.hpp)
+  // before SAC. Random exploration almost never discovers a side collision —
+  // Eq. 1 low-passes zero-mean noise away — so the oracle supplies the
+  // "strike during critical moments" prior and SAC refines timing and
+  // stealth under R_adv. Set bc_episodes = 0 to train pure SAC as in the
+  // paper (needs far more steps to take off).
+  int bc_episodes = 30;
+  int bc_epochs = 30;
+};
+
+// SAC-train a camera- or IMU-based adversarial policy against the given
+// (fixed) victim. For the IMU student, pass the camera-based teacher policy
+// — its p_se term is added to the reward (learning-from-teacher).
+GaussianPolicy train_attacker(const AttackTrainSpec& spec,
+                              std::shared_ptr<DrivingAgent> victim,
+                              const GaussianPolicy* teacher = nullptr);
+
+// Defaults tuned for this repo's simulator: enough steps to converge on one
+// CPU core, scaled by ADSEC_TRAIN_SCALE.
+AttackTrainSpec default_attack_spec(AttackSensorType sensor, double budget);
+
+// Algorithm-generality ablation: the same camera attack trained with TD3
+// instead of SAC (oracle BC warm start, then deterministic policy-gradient
+// fine-tuning). Returns the deterministic actor network.
+struct Td3AttackSpec {
+  AttackEnvConfig env;
+  Td3Config td3;
+  int total_steps = 12000;
+  int bc_episodes = 30;
+  int bc_epochs = 30;
+  std::uint64_t seed = 52;
+};
+
+Td3AttackSpec default_td3_attack_spec(double budget);
+
+Mlp train_td3_attacker(const Td3AttackSpec& spec, std::shared_ptr<DrivingAgent> victim);
+
+}  // namespace adsec

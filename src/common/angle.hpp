@@ -1,0 +1,29 @@
+// Angle helpers. All angles are radians unless a name says otherwise.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace adsec {
+
+inline constexpr double kPi = std::numbers::pi;
+
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+// Wrap to (-pi, pi].
+inline double wrap_angle(double rad) {
+  rad = std::fmod(rad + kPi, 2.0 * kPi);
+  if (rad < 0.0) rad += 2.0 * kPi;
+  return rad - kPi;
+}
+
+// Signed smallest difference a-b wrapped to (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_angle(a - b); }
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace adsec

@@ -1,0 +1,62 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace adsec {
+
+namespace {
+std::optional<std::string> get_env(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+}  // namespace
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+  if (auto v = get_env("ADSEC_ZOO_DIR")) cfg.zoo_dir = *v;
+  if (auto v = get_env("ADSEC_TRAIN_SCALE")) {
+    try {
+      cfg.train_scale = std::max(0.0, std::stod(*v));
+    } catch (...) {
+      log_warn("ADSEC_TRAIN_SCALE='%s' is not a number; ignored", v->c_str());
+    }
+  }
+  if (auto v = get_env("ADSEC_EPISODES")) {
+    try {
+      cfg.episodes_override = std::max(1, std::stoi(*v));
+    } catch (...) {
+      log_warn("ADSEC_EPISODES='%s' is not a number; ignored", v->c_str());
+    }
+  }
+  if (auto v = get_env("ADSEC_LOG")) {
+    if (*v == "debug") set_log_level(LogLevel::Debug);
+    else if (*v == "info") set_log_level(LogLevel::Info);
+    else if (*v == "warn") set_log_level(LogLevel::Warn);
+    else if (*v == "error") set_log_level(LogLevel::Error);
+    else if (*v == "off") set_log_level(LogLevel::Off);
+    else log_warn("ADSEC_LOG='%s' unknown; ignored", v->c_str());
+  }
+  return cfg;
+}
+
+RuntimeConfig& runtime_config() {
+  static RuntimeConfig cfg = RuntimeConfig::from_env();
+  return cfg;
+}
+
+int scaled_steps(int nominal, int min_steps) {
+  const double scaled = nominal * runtime_config().train_scale;
+  return std::max(min_steps, static_cast<int>(scaled));
+}
+
+int eval_episodes(int nominal) {
+  const auto& cfg = runtime_config();
+  return cfg.episodes_override.value_or(nominal);
+}
+
+}  // namespace adsec

@@ -1,0 +1,36 @@
+// Process-wide runtime options.
+//
+// The benchmark harness trains several DRL policies from scratch. To keep
+// `ctest` fast while letting benches do full-fidelity runs, training sizes
+// are scaled by a single `train_scale` knob. Environment variables:
+//
+//   ADSEC_ZOO_DIR      where trained policies are cached (default "zoo")
+//   ADSEC_TRAIN_SCALE  multiplier on training steps (default 1.0)
+//   ADSEC_EPISODES     override for per-configuration evaluation episodes
+//   ADSEC_LOG          debug|info|warn|error|off
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace adsec {
+
+struct RuntimeConfig {
+  std::string zoo_dir = "zoo";
+  double train_scale = 1.0;
+  std::optional<int> episodes_override;
+
+  // Read environment variables on top of the defaults.
+  static RuntimeConfig from_env();
+};
+
+// Process-wide singleton (mutable for tests).
+RuntimeConfig& runtime_config();
+
+// Scale a step count by train_scale with a floor of `min_steps`.
+int scaled_steps(int nominal, int min_steps = 1);
+
+// Evaluation episode count honouring ADSEC_EPISODES.
+int eval_episodes(int nominal);
+
+}  // namespace adsec

@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace adsec {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fprintf(stderr, "\n");
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+#define ADSEC_LOG_IMPL(name, level, tag)        \
+  void name(const char* fmt, ...) {             \
+    va_list args;                               \
+    va_start(args, fmt);                        \
+    vlog(level, tag, fmt, args);                \
+    va_end(args);                               \
+  }
+
+ADSEC_LOG_IMPL(log_debug, LogLevel::Debug, "debug")
+ADSEC_LOG_IMPL(log_info, LogLevel::Info, "info")
+ADSEC_LOG_IMPL(log_warn, LogLevel::Warn, "warn")
+ADSEC_LOG_IMPL(log_error, LogLevel::Error, "error")
+
+#undef ADSEC_LOG_IMPL
+
+}  // namespace adsec

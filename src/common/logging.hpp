@@ -1,0 +1,20 @@
+// Tiny leveled logger. Benches set the level to Info to narrate training
+// progress; tests default to Warn to keep ctest output readable.
+#pragma once
+
+#include <string>
+
+namespace adsec {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style logging; no-op below the current level.
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace adsec

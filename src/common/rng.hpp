@@ -1,0 +1,76 @@
+// Deterministic, seedable random number generation.
+//
+// Everything stochastic in the library (NPC spawn jitter, sensor noise,
+// SAC exploration, replay sampling) draws from an explicitly passed Rng so
+// experiments are reproducible bit-for-bit given a seed. PCG32 keeps the
+// state small and the streams independent across seeds.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace adsec {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return next_u32() * (1.0 / 4294967296.0); }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint32_t uniform_int(std::uint32_t n) {
+    // Lemire's nearly-divisionless bounded integers would be overkill here;
+    // modulo bias is negligible for the small n we use.
+    return n == 0 ? 0 : next_u32() % n;
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Derive an independent child generator (for per-component streams).
+  Rng split() { return Rng(next_u32() | (std::uint64_t(next_u32()) << 32), next_u32()); }
+
+ private:
+  std::uint64_t state_{0};
+  std::uint64_t inc_{0};
+  bool has_cached_{false};
+  double cached_{0.0};
+};
+
+}  // namespace adsec

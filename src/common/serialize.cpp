@@ -1,0 +1,98 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace adsec {
+
+namespace {
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& buf, T v) {
+  std::uint8_t tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  buf.insert(buf.end(), tmp, tmp + sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::write_u32(std::uint32_t v) { append_raw(buf_, v); }
+void BinaryWriter::write_i64(std::int64_t v) { append_raw(buf_, v); }
+void BinaryWriter::write_f64(double v) { append_raw(buf_, v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::write_f64_vector(const std::vector<double>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) write_f64(x);
+}
+
+void BinaryWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("BinaryWriter::save: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buf_.data()),
+            static_cast<std::streamsize>(buf_.size()));
+  if (!out) throw std::runtime_error("BinaryWriter::save: write failed for " + path);
+}
+
+BinaryReader::BinaryReader(std::vector<std::uint8_t> bytes) : buf_(std::move(bytes)) {}
+
+BinaryReader BinaryReader::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("BinaryReader::load: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("BinaryReader::load: read failed for " + path);
+  return BinaryReader(std::move(bytes));
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw std::runtime_error("BinaryReader: truncated input");
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  need(4);
+  std::uint32_t v;
+  std::memcpy(&v, buf_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  need(8);
+  std::int64_t v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  need(8);
+  double v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const auto n = read_u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> BinaryReader::read_f64_vector() {
+  const auto n = read_u32();
+  std::vector<double> v(n);
+  for (auto& x : v) x = read_f64();
+  return v;
+}
+
+}  // namespace adsec

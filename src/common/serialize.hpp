@@ -1,0 +1,48 @@
+// Minimal binary serialization for trained policies (the policy zoo).
+//
+// Format: little-endian, a 4-byte magic + version, then tagged primitives.
+// This is deliberately simple — the only consumers are this library's own
+// save/load paths, which round-trip through the same code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adsec {
+
+class BinaryWriter {
+ public:
+  void write_u32(std::uint32_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f64_vector(const std::vector<double>& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  void save(const std::string& path) const;  // throws on I/O failure
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> bytes);
+  static BinaryReader load(const std::string& path);  // throws on I/O failure
+
+  std::uint32_t read_u32();
+  std::int64_t read_i64();
+  double read_f64();
+  std::string read_string();
+  std::vector<double> read_f64_vector();
+
+  bool at_end() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;  // throws std::runtime_error on underrun
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace adsec

@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace adsec {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (q <= 0.0) return v.front();
+  if (q >= 1.0) return v.back();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+BoxStats box_stats(std::span<const double> xs) {
+  BoxStats b;
+  b.n = static_cast<int>(xs.size());
+  if (xs.empty()) return b;
+  b.min = min_of(xs);
+  b.q1 = quantile(xs, 0.25);
+  b.median = median(xs);
+  b.q3 = quantile(xs, 0.75);
+  b.max = max_of(xs);
+  b.mean = mean(xs);
+  return b;
+}
+
+std::string format_box(const BoxStats& b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%8.2f %8.2f %8.2f %8.2f %8.2f (mean %8.2f)",
+                b.min, b.q1, b.median, b.q3, b.max, b.mean);
+  return buf;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / n_;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const { return n_ < 2 ? 0.0 : m2_ / (n_ - 1); }
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+}  // namespace adsec

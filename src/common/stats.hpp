@@ -1,0 +1,57 @@
+// Descriptive statistics used by the experiment harness: the paper reports
+// box plots (Figs. 4 and 6), RMSE trajectory deviation (Figs. 5 and 7) and
+// windowed success rates (Fig. 8).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adsec {
+
+double mean(std::span<const double> xs);
+double stdev(std::span<const double> xs);  // sample standard deviation
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+// Root mean square of the values themselves (deviation series -> RMSE).
+double rms(std::span<const double> xs);
+
+// Five-number summary + mean, as used for box plots.
+struct BoxStats {
+  double min{0}, q1{0}, median{0}, q3{0}, max{0}, mean{0};
+  int n{0};
+};
+
+BoxStats box_stats(std::span<const double> xs);
+
+// Render "min/q1/med/q3/max (mean)" for console tables.
+std::string format_box(const BoxStats& b);
+
+// Pearson correlation; returns 0 for degenerate inputs.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+// Online accumulator for streaming means/variances (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  int count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace adsec

@@ -1,0 +1,41 @@
+// Console table / CSV rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures as an
+// aligned text table (the "figure series"), optionally mirrored to CSV so
+// the data can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adsec {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  // Render with column alignment and a header rule.
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+  // Comma-separated (headers + rows); cells containing commas get quoted.
+  std::string to_csv() const;
+  void write_csv(const std::string& path) const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers used across benches.
+std::string fmt(double v, int precision = 3);
+std::string fmt_pct(double v, int precision = 1);  // 0.84 -> "84.0%"
+
+}  // namespace adsec

@@ -1,0 +1,72 @@
+// Small 2-D vector used throughout the simulator.
+//
+// All simulator geometry is planar: the action-space attack studied in the
+// paper acts on steering, i.e. on lateral planar motion, so a 2-D world is
+// the natural substrate.
+#pragma once
+
+#include <cmath>
+
+namespace adsec {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; sign tells left/right of *this.
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  // Unit vector; returns (0,0) for (near-)zero input instead of NaN so that
+  // reward terms built on unit vectors stay finite at standstill.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 1e-12 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+
+  // Rotate counter-clockwise by `rad`.
+  Vec2 rotated(double rad) const {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  // Perpendicular (counter-clockwise normal).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  double heading() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return {v.x * s, v.y * s}; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+// Heading given as an angle -> unit vector.
+inline Vec2 unit_from_heading(double rad) { return {std::cos(rad), std::sin(rad)}; }
+
+}  // namespace adsec

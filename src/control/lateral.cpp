@@ -1,0 +1,37 @@
+#include "control/lateral.hpp"
+
+#include <cmath>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+double invert_actuation_blend(double desired, double current, double retain) {
+  // Eq. 1: a_t = (1 - retain) * nu + retain * a_{t-1}. Solving for nu and
+  // clipping to the mechanical limit gives the fastest admissible approach.
+  const double nu = (desired - retain * current) / (1.0 - retain);
+  return clamp(nu, -1.0, 1.0);
+}
+
+LateralController::LateralController(const LateralConfig& config)
+    : config_(config), pid_(config.heading) {}
+
+void LateralController::reset() { pid_.reset(); }
+
+double LateralController::update(const Vehicle& ego, const PlanStep& plan,
+                                 const Frenet& ego_frenet, double dt) {
+  // Desired heading: toward the lookahead waypoint, biased by cross-track
+  // error so steady-state offsets are pulled out even on curves.
+  const double to_waypoint = plan.waypoint_dir.heading();
+  const double cross_track = plan.target_d - ego_frenet.d;
+  const double desired_heading =
+      wrap_angle(to_waypoint + config_.cross_track_gain * cross_track);
+
+  const double heading_err = angle_diff(desired_heading, ego.state().heading);
+  const double desired_steer = pid_.update(heading_err, dt);  // normalized [-1,1]
+
+  return invert_actuation_blend(desired_steer, ego.actuation().steer,
+                                ego.params().alpha);
+}
+
+}  // namespace adsec

@@ -1,0 +1,41 @@
+// Lateral (steering) controller of the modular pipeline.
+//
+// PID on the heading error toward the planner's lookahead waypoint, plus a
+// cross-track term. Because the plant applies Eq. 1 smoothing, the
+// controller *inverts* Eq. 1 to command the steering variation nu that moves
+// the applied actuation toward the desired value as fast as the mechanical
+// limit allows — this is the "timely rectification" the paper credits for
+// the modular agent's resilience.
+#pragma once
+
+#include "control/pid.hpp"
+#include "planner/behavior.hpp"
+#include "sim/vehicle.hpp"
+
+namespace adsec {
+
+struct LateralConfig {
+  PidGains heading{3.2, 0.15, 0.25, -1.0, 1.0, 0.4};
+  double cross_track_gain = 0.08;  // rad of desired heading per metre of offset
+};
+
+class LateralController {
+ public:
+  explicit LateralController(const LateralConfig& config = {});
+
+  // Steering variation nu in [-1, 1] for this step.
+  double update(const Vehicle& ego, const PlanStep& plan, const Frenet& ego_frenet,
+                double dt);
+
+  void reset();
+
+ private:
+  LateralConfig config_;
+  Pid pid_;
+};
+
+// Invert Eq. 1: the variation that moves the applied actuation from
+// `current` toward `desired` (both normalized), given retain rate `retain`.
+double invert_actuation_blend(double desired, double current, double retain);
+
+}  // namespace adsec

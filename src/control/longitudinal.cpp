@@ -1,0 +1,20 @@
+#include "control/longitudinal.hpp"
+
+#include "control/lateral.hpp"  // invert_actuation_blend
+
+namespace adsec {
+
+LongitudinalController::LongitudinalController(const LongitudinalConfig& config)
+    : config_(config), pid_(config.speed) {}
+
+void LongitudinalController::reset() { pid_.reset(); }
+
+double LongitudinalController::update(const Vehicle& ego, double desired_speed,
+                                      double dt) {
+  const double err = desired_speed - ego.state().speed;
+  const double desired_thrust = pid_.update(err, dt);
+  return invert_actuation_blend(desired_thrust, ego.actuation().thrust,
+                                ego.params().eta);
+}
+
+}  // namespace adsec

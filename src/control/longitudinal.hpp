@@ -1,0 +1,29 @@
+// Longitudinal (speed) controller of the modular pipeline: PID on the speed
+// error producing a thrust variation, inverted through Eq. 1 like the
+// lateral controller.
+#pragma once
+
+#include "control/pid.hpp"
+#include "sim/vehicle.hpp"
+
+namespace adsec {
+
+struct LongitudinalConfig {
+  PidGains speed{0.35, 0.05, 0.0, -1.0, 1.0, 0.5};
+};
+
+class LongitudinalController {
+ public:
+  explicit LongitudinalController(const LongitudinalConfig& config = {});
+
+  // Thrust variation gamma in [-1, 1] for this step.
+  double update(const Vehicle& ego, double desired_speed, double dt);
+
+  void reset();
+
+ private:
+  LongitudinalConfig config_;
+  Pid pid_;
+};
+
+}  // namespace adsec

@@ -1,0 +1,39 @@
+#include "control/pid.hpp"
+
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+Pid::Pid(const PidGains& gains) : gains_(gains) {
+  if (gains.out_min >= gains.out_max) {
+    throw std::invalid_argument("Pid: out_min must be < out_max");
+  }
+}
+
+double Pid::update(double error, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Pid: dt must be > 0");
+
+  integral_ += error * dt;
+  if (gains_.ki > 0.0) {
+    const double lim = gains_.integral_limit / gains_.ki;
+    integral_ = clamp(integral_, -lim, lim);
+  }
+
+  double derivative = 0.0;
+  if (has_prev_) derivative = (error - prev_error_) / dt;
+  prev_error_ = error;
+  has_prev_ = true;
+
+  const double out = gains_.kp * error + gains_.ki * integral_ + gains_.kd * derivative;
+  return clamp(out, gains_.out_min, gains_.out_max);
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace adsec

@@ -1,0 +1,35 @@
+// Generic PID controller with clamped output and integral anti-windup.
+// The modular driving pipeline (paper Sec. III-B) uses one longitudinal and
+// one lateral instance; its per-step rectification of attack-induced
+// deviations is the mechanism behind the pipeline's resilience result.
+#pragma once
+
+namespace adsec {
+
+struct PidGains {
+  double kp{0.0};
+  double ki{0.0};
+  double kd{0.0};
+  double out_min{-1.0};
+  double out_max{1.0};
+  double integral_limit{1.0};  // |integral * ki| is clamped to this
+};
+
+class Pid {
+ public:
+  explicit Pid(const PidGains& gains);
+
+  // One controller tick; `dt` must be > 0.
+  double update(double error, double dt);
+
+  void reset();
+  const PidGains& gains() const { return gains_; }
+
+ private:
+  PidGains gains_;
+  double integral_{0.0};
+  double prev_error_{0.0};
+  bool has_prev_{false};
+};
+
+}  // namespace adsec

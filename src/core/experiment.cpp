@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include "agents/reward.hpp"
+#include "common/angle.hpp"
+
+namespace adsec {
+
+EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
+                           const ExperimentConfig& config, std::uint64_t seed,
+                           Trajectory* traj_out) {
+  Rng rng(seed);
+  World world = make_scenario(config.scenario, rng);
+  agent.reset(world);
+  if (attacker != nullptr) attacker->reset(world);
+
+  BehaviorPlanner reference(config.reference_planner);
+  reference.reset(config.scenario.ego_start_lane);
+
+  EpisodeMetrics m;
+  double plan_dev2 = 0.0;
+  while (!world.done()) {
+    const PlanStep plan = reference.plan(world);
+    Action a = agent.decide(world);
+    double delta = 0.0;
+    double thrust_delta = 0.0;
+    if (attacker != nullptr) {
+      delta = attacker->decide(world);
+      thrust_delta = attacker->decide_thrust(world);
+    }
+    const int target = world.target_npc_index();
+
+    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+    a.thrust_variation = clamp(a.thrust_variation + thrust_delta, -1.0, 1.0);
+    world.step(a, delta);
+    if (attacker != nullptr) attacker->post_step(world);
+
+    m.nominal_reward += driving_reward(world, plan, config.driving_reward);
+    m.adv_reward += adv_reward_step(world, target, delta, config.adv_reward);
+
+    const double lane_err =
+        (world.ego_frenet().d - plan.target_d) / config.scenario.lane_width;
+    plan_dev2 += lane_err * lane_err;
+  }
+  if (world.step_count() > 0) {
+    m.plan_deviation_rmse = std::sqrt(plan_dev2 / world.step_count());
+  }
+
+  m.steps = world.step_count();
+  m.passed_npcs = world.passed_npcs();
+  m.collision = world.collision();
+  m.side_collision =
+      world.collided() && world.collision()->type == CollisionType::Side;
+  m.attack_effort = attack_effort(world);
+  for (const auto& rec : world.history()) m.total_injected += std::abs(rec.attack_delta);
+  m.time_to_collision = time_to_collision(world);
+  if (traj_out != nullptr) *traj_out = extract_trajectory(world);
+  return m;
+}
+
+EpisodeMetrics evaluate_with_reference(DrivingAgent& agent, Attacker* attacker,
+                                       const ExperimentConfig& config,
+                                       std::uint64_t seed) {
+  Trajectory reference;
+  run_episode(agent, nullptr, config, seed, &reference);
+
+  Trajectory attacked;
+  EpisodeMetrics m = run_episode(agent, attacker, config, seed, &attacked);
+  m.deviation_rmse =
+      deviation_rmse(attacked, reference, config.scenario.lane_width);
+  return m;
+}
+
+std::vector<EpisodeMetrics> run_batch(DrivingAgent& agent, Attacker* attacker,
+                                      const ExperimentConfig& config, int episodes,
+                                      std::uint64_t seed_base, bool with_reference) {
+  std::vector<EpisodeMetrics> out;
+  out.reserve(static_cast<std::size_t>(episodes));
+  for (int k = 0; k < episodes; ++k) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
+    out.push_back(with_reference
+                      ? evaluate_with_reference(agent, attacker, config, seed)
+                      : run_episode(agent, attacker, config, seed));
+  }
+  return out;
+}
+
+double success_rate(const std::vector<EpisodeMetrics>& ms) {
+  if (ms.empty()) return 0.0;
+  int n = 0;
+  for (const auto& m : ms) n += m.side_collision ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(ms.size());
+}
+
+std::vector<double> collect(const std::vector<EpisodeMetrics>& ms,
+                            const std::function<double(const EpisodeMetrics&)>& f) {
+  std::vector<double> out;
+  out.reserve(ms.size());
+  for (const auto& m : ms) out.push_back(f(m));
+  return out;
+}
+
+}  // namespace adsec

@@ -1,0 +1,51 @@
+// Episode rollout harness: drives any DrivingAgent through the freeway
+// scenario, with an optional attacker on the steering path, and collects
+// the paper's metrics. `evaluate_with_reference` additionally rolls the
+// same seed WITHOUT the attacker to obtain the reference trajectory for the
+// deviation-RMSE metric (the "predetermined path").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "agents/agent.hpp"
+#include "agents/reward.hpp"
+#include "attack/adv_reward.hpp"
+#include "attack/attacker.hpp"
+#include "core/metrics.hpp"
+#include "planner/behavior.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+
+struct ExperimentConfig {
+  ScenarioConfig scenario;
+  DrivingRewardConfig driving_reward;
+  AdvRewardConfig adv_reward;
+  BehaviorConfig reference_planner;  // privileged planner for reward/reference
+};
+
+// Roll one episode. `attacker` may be null (nominal driving). If `traj_out`
+// is non-null the ego (s, d) trajectory is stored there.
+EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
+                           const ExperimentConfig& config, std::uint64_t seed,
+                           Trajectory* traj_out = nullptr);
+
+// Attacked episode + nominal reference episode of the same seed; fills
+// deviation_rmse. The agent is reset for each of the two runs.
+EpisodeMetrics evaluate_with_reference(DrivingAgent& agent, Attacker* attacker,
+                                       const ExperimentConfig& config,
+                                       std::uint64_t seed);
+
+// Batch evaluation over `episodes` seeds (seed_base + k).
+std::vector<EpisodeMetrics> run_batch(DrivingAgent& agent, Attacker* attacker,
+                                      const ExperimentConfig& config, int episodes,
+                                      std::uint64_t seed_base,
+                                      bool with_reference = false);
+
+// Summary helpers over a batch.
+double success_rate(const std::vector<EpisodeMetrics>& ms);
+std::vector<double> collect(const std::vector<EpisodeMetrics>& ms,
+                            const std::function<double(const EpisodeMetrics&)>& f);
+
+}  // namespace adsec

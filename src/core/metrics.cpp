@@ -1,0 +1,116 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adsec {
+
+Trajectory extract_trajectory(const World& world) {
+  Trajectory t;
+  t.s.reserve(world.history().size());
+  t.d.reserve(world.history().size());
+  for (const auto& rec : world.history()) {
+    t.s.push_back(rec.ego_frenet.s);
+    t.d.push_back(rec.ego_frenet.d);
+  }
+  return t;
+}
+
+int attack_attempt_start(const World& world, double floor) {
+  double peak = 0.0;
+  for (const auto& rec : world.history()) {
+    peak = std::max(peak, std::abs(rec.attack_delta));
+  }
+  const double level = std::max(0.5 * peak, floor);
+  if (peak < floor) return -1;
+  for (std::size_t i = 0; i < world.history().size(); ++i) {
+    if (std::abs(world.history()[i].attack_delta) >= level) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double attack_effort(const World& world, double floor) {
+  const int start = attack_attempt_start(world, floor);
+  if (start < 0) return 0.0;
+  double total = 0.0;
+  int steps = 0;
+  for (std::size_t i = static_cast<std::size_t>(start); i < world.history().size(); ++i) {
+    total += std::abs(world.history()[i].attack_delta);
+    ++steps;
+  }
+  return steps > 0 ? total / steps : 0.0;
+}
+
+double time_to_collision(const World& world, double floor) {
+  if (!world.collided()) return -1.0;
+  const int start = attack_attempt_start(world, floor);
+  if (start < 0) return -1.0;
+  const double dt = world.config().dt;
+  const int collision_step = world.collision()->step;
+  // history index i corresponds to step i+1.
+  return std::max(0.0, (collision_step - (start + 1)) * dt);
+}
+
+double deviation_rmse(const Trajectory& attacked, const Trajectory& reference,
+                      double lane_width) {
+  if (attacked.s.empty() || reference.s.empty()) return 0.0;
+  if (lane_width <= 0.0) throw std::invalid_argument("deviation_rmse: bad lane width");
+
+  // Reference d as a function of s via linear interpolation. Reference s is
+  // monotone increasing (freeway driving).
+  auto ref_d_at = [&](double s) {
+    const auto& rs = reference.s;
+    const auto& rd = reference.d;
+    if (s <= rs.front()) return rd.front();
+    if (s >= rs.back()) return rd.back();
+    const auto it = std::lower_bound(rs.begin(), rs.end(), s);
+    const auto hi = static_cast<std::size_t>(it - rs.begin());
+    const std::size_t lo = hi - 1;
+    const double span = rs[hi] - rs[lo];
+    const double w = span > 1e-9 ? (s - rs[lo]) / span : 0.0;
+    return rd[lo] * (1.0 - w) + rd[hi] * w;
+  };
+
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < attacked.s.size(); ++i) {
+    const double dev = (attacked.d[i] - ref_d_at(attacked.s[i])) / lane_width;
+    sum2 += dev * dev;
+  }
+  return std::sqrt(sum2 / static_cast<double>(attacked.s.size()));
+}
+
+EffortWindowStats success_by_effort_window(const std::vector<double>& efforts,
+                                           const std::vector<bool>& successes,
+                                           double window, double max_lo) {
+  if (efforts.size() != successes.size()) {
+    throw std::invalid_argument("success_by_effort_window: size mismatch");
+  }
+  EffortWindowStats stats;
+  const int buckets = static_cast<int>(std::round(max_lo / window)) + 1;
+  stats.window_lo.resize(static_cast<std::size_t>(buckets));
+  stats.episodes.assign(static_cast<std::size_t>(buckets), 0);
+  stats.successes.assign(static_cast<std::size_t>(buckets), 0);
+  for (int b = 0; b < buckets; ++b) stats.window_lo[static_cast<std::size_t>(b)] = b * window;
+
+  for (std::size_t i = 0; i < efforts.size(); ++i) {
+    int b = static_cast<int>(efforts[i] / window);
+    b = std::min(b, buckets - 1);
+    b = std::max(b, 0);
+    ++stats.episodes[static_cast<std::size_t>(b)];
+    if (successes[i]) ++stats.successes[static_cast<std::size_t>(b)];
+  }
+  stats.success_rate.resize(static_cast<std::size_t>(buckets));
+  for (int b = 0; b < buckets; ++b) {
+    const auto ub = static_cast<std::size_t>(b);
+    stats.success_rate[ub] =
+        stats.episodes[ub] > 0
+            ? static_cast<double>(stats.successes[ub]) / stats.episodes[ub]
+            : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace adsec

@@ -1,0 +1,80 @@
+// Evaluation metrics used across the paper's figures:
+//   - cumulative nominal driving reward (Figs. 4a, 6)
+//   - cumulative adversarial reward (Fig. 4b)
+//   - attack success / success rate (Figs. 5, 7, 8)
+//   - trajectory deviation RMSE vs attack effort (Figs. 5, 7)
+//   - time-to-collision from first injection (Sec. V-B)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace adsec {
+
+struct EpisodeMetrics {
+  int steps{0};
+  int passed_npcs{0};
+  std::optional<CollisionEvent> collision;
+  bool side_collision{false};      // the attacker's success criterion
+  double nominal_reward{0.0};      // cumulative driving reward
+  double adv_reward{0.0};          // cumulative adversarial reward
+  double attack_effort{0.0};       // mean |delta| over the attack attempt
+  double total_injected{0.0};      // sum |delta|
+  double time_to_collision{-1.0};  // s from first injection to collision; -1 if n/a
+  double deviation_rmse{-1.0};     // filled by evaluate_with_reference; -1 if n/a
+
+  // RMSE of the lateral error to the privileged planner's target lane
+  // center, in lane-width fractions — the "deviation from the predetermined
+  // path" of Figs. 5/7 (the green-arrow route of Fig. 1a). Always filled by
+  // run_episode.
+  double plan_deviation_rmse{0.0};
+};
+
+// A trajectory sampled as (s, d) pairs along the episode.
+struct Trajectory {
+  std::vector<double> s;
+  std::vector<double> d;
+};
+
+// Extract the ego trajectory from a finished world's history.
+Trajectory extract_trajectory(const World& world);
+
+// Start of the "attack attempt": index of the first step whose |delta|
+// reaches half of the episode's peak |delta| (and at least `floor`).
+// Learned attackers emit small residual deltas while lurking; the attempt
+// begins when the injection ramps toward its strike level. Returns -1 if
+// nothing above `floor` was injected.
+int attack_attempt_start(const World& world, double floor = 0.02);
+
+// Attack effort: mean |delta| from the attempt start to the episode end
+// (the paper's "mean attack effort averaged over the number of steps in
+// each attack attempt"); 0 if there was no attempt.
+double attack_effort(const World& world, double floor = 0.02);
+
+// Time from the attack-attempt start to the collision, in seconds; -1 when
+// there was no attempt or no collision.
+double time_to_collision(const World& world, double floor = 0.02);
+
+// RMSE of the attacked run's lateral offset against a reference run of the
+// same scenario, matched by arclength and normalized by the lane width
+// (the paper's "RMSE in the percentage of the steering deviation").
+double deviation_rmse(const Trajectory& attacked, const Trajectory& reference,
+                      double lane_width);
+
+// Success rate aggregation for Fig. 8: fraction of successful episodes in
+// each attack-effort window of width `window` starting at 0; the last bucket
+// is open-ended ("0.8+").
+struct EffortWindowStats {
+  std::vector<double> window_lo;   // left edge of each window
+  std::vector<int> episodes;       // episodes falling in the window
+  std::vector<int> successes;
+  std::vector<double> success_rate;
+};
+
+EffortWindowStats success_by_effort_window(const std::vector<double>& efforts,
+                                           const std::vector<bool>& successes,
+                                           double window = 0.2, double max_lo = 0.8);
+
+}  // namespace adsec

@@ -1,0 +1,87 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adsec {
+
+TraceRow EpisodeTrace::capture(const World& world, double delta, bool critical,
+                               int target_npc) {
+  TraceRow row;
+  row.t = world.time();
+  row.s = world.ego_frenet().s;
+  row.d = world.ego_frenet().d;
+  row.speed = world.ego().state().speed;
+  row.heading = world.ego().state().heading;
+  row.steer = world.ego().actuation().steer;
+  row.thrust = world.ego().actuation().thrust;
+  row.delta = delta;
+  row.critical = critical;
+  row.target_npc = target_npc;
+  return row;
+}
+
+std::string EpisodeTrace::to_csv() const {
+  std::ostringstream os;
+  os << "t,s,d,speed,heading,steer,thrust,delta,critical,target_npc\n";
+  for (const auto& r : rows_) {
+    os << r.t << ',' << r.s << ',' << r.d << ',' << r.speed << ',' << r.heading
+       << ',' << r.steer << ',' << r.thrust << ',' << r.delta << ','
+       << (r.critical ? 1 : 0) << ',' << r.target_npc << '\n';
+  }
+  return os.str();
+}
+
+void EpisodeTrace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("EpisodeTrace::write_csv: cannot open " + path);
+  out << to_csv();
+}
+
+std::string render_ascii(const World& world, double rear, double ahead, int width) {
+  const Road& road = world.road();
+  const int lanes = road.num_lanes();
+  // One text row per lane plus two barrier rows; columns map arclength.
+  const double ego_s = world.ego_frenet().s;
+  const double span = rear + ahead;
+  auto col_of = [&](double s) {
+    return static_cast<int>((s - (ego_s - rear)) / span * (width - 1));
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(lanes) + 2,
+                                std::string(static_cast<std::size_t>(width), ' '));
+  grid.front().assign(static_cast<std::size_t>(width), '=');  // left barrier
+  grid.back().assign(static_cast<std::size_t>(width), '=');   // right barrier
+  for (int l = 1; l <= lanes; ++l) {
+    for (int c = 0; c < width; c += 2) grid[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)] = '.';
+  }
+
+  // Row index for a lateral offset: lane rows are ordered left (top) to
+  // right (bottom).
+  auto row_of = [&](double d) {
+    const int lane = road.lane_at_offset(d);
+    return 1 + (lanes - 1 - lane);
+  };
+
+  for (std::size_t i = 0; i < world.npcs().size(); ++i) {
+    const auto& npc = world.npcs()[i];
+    const int c = col_of(npc.frenet().s);
+    if (c < 0 || c >= width) continue;
+    grid[static_cast<std::size_t>(row_of(npc.frenet().d))][static_cast<std::size_t>(c)] =
+        static_cast<char>('0' + (i % 10));
+  }
+  {
+    const int c = col_of(ego_s);
+    if (c >= 0 && c < width) {
+      grid[static_cast<std::size_t>(row_of(world.ego_frenet().d))][static_cast<std::size_t>(c)] = '>';
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& line : grid) os << line << '\n';
+  return os.str();
+}
+
+}  // namespace adsec

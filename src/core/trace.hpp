@@ -1,0 +1,52 @@
+// Episode tracing utilities: a per-step recorder that mirrors everything the
+// experiment runner sees (for offline analysis / plotting) and an ASCII
+// bird's-eye renderer of the freeway for terminal demos.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace adsec {
+
+struct TraceRow {
+  double t{0.0};
+  double s{0.0};
+  double d{0.0};
+  double speed{0.0};
+  double heading{0.0};
+  double steer{0.0};        // applied actuation
+  double thrust{0.0};
+  double delta{0.0};        // injected steering perturbation
+  bool critical{false};     // I(omega) w.r.t. the target NPC
+  int target_npc{-1};
+};
+
+class EpisodeTrace {
+ public:
+  void clear() { rows_.clear(); }
+  void add(const TraceRow& row) { rows_.push_back(row); }
+
+  const std::vector<TraceRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  // CSV with a header row; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+  std::string to_csv() const;
+
+  // Build a row from the current world state (call after World::step).
+  static TraceRow capture(const World& world, double delta, bool critical,
+                          int target_npc);
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+// ASCII bird's-eye snapshot of the road around the ego: '>' ego, 'n' NPCs,
+// '|' barriers, '.' lane markings. `span` metres of road ahead/behind are
+// mapped onto `width` character columns.
+std::string render_ascii(const World& world, double rear = 15.0,
+                         double ahead = 45.0, int width = 61);
+
+}  // namespace adsec

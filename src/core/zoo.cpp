@@ -1,0 +1,323 @@
+#include "core/zoo.hpp"
+
+#include <array>
+#include <filesystem>
+
+#include "agents/driving_env.hpp"
+#include "common/angle.hpp"
+#include "attack/train_attack.hpp"
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "defense/finetune.hpp"
+#include "nn/io.hpp"
+#include "rl/bc.hpp"
+#include "rl/trainer.hpp"
+
+namespace adsec {
+
+namespace {
+
+// Deterministic return of a policy driving the given env.
+double eval_policy_return(const GaussianPolicy& policy, Env& env, int episodes,
+                          std::uint64_t seed_base) {
+  double total = 0.0;
+  for (int k = 0; k < episodes; ++k) {
+    auto obs = env.reset(seed_base + static_cast<std::uint64_t>(k));
+    bool done = false;
+    while (!done) {
+      const Matrix a = policy.mean_action(Matrix::from_vector(obs));
+      std::vector<double> act(a.data(), a.data() + a.cols());
+      EnvStep s = env.step(act);
+      total += s.reward;
+      done = s.done;
+      obs = std::move(s.obs);
+    }
+  }
+  return total / episodes;
+}
+
+}  // namespace
+
+PolicyZoo::PolicyZoo(std::string dir)
+    : dir_(dir.empty() ? runtime_config().zoo_dir : std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  // Shared experiment configuration — the paper's scenario (Sec. III-A)
+  // with the default rewards; every consumer reads these from the zoo so
+  // training and evaluation always agree.
+  experiment_ = ExperimentConfig{};
+}
+
+std::string PolicyZoo::path(const std::string& name) const {
+  return dir_ + "/" + name + ".bin";
+}
+
+GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
+                                          GaussianPolicy (PolicyZoo::*train)()) {
+  const std::string file = path(name);
+  if (file_exists(file)) {
+    log_debug("zoo: loading %s", file.c_str());
+    return load_policy_file(file);
+  }
+  log_info("zoo: training %s (cache miss at %s)", name.c_str(), file.c_str());
+  GaussianPolicy policy = (this->*train)();
+  save_policy_file(policy, file);
+  log_info("zoo: saved %s", file.c_str());
+  return policy;
+}
+
+GaussianPolicy PolicyZoo::driving_policy() {
+  return cached_or_train("pi_ori", &PolicyZoo::train_driving_policy);
+}
+
+GaussianPolicy PolicyZoo::camera_attacker_vs_e2e() {
+  return cached_or_train("attacker_cam_e2e", &PolicyZoo::train_camera_attacker_vs_e2e);
+}
+
+GaussianPolicy PolicyZoo::camera_attacker_vs_modular() {
+  return cached_or_train("attacker_cam_modular",
+                         &PolicyZoo::train_camera_attacker_vs_modular);
+}
+
+GaussianPolicy PolicyZoo::imu_attacker() {
+  return cached_or_train("attacker_imu", &PolicyZoo::train_imu_attacker);
+}
+
+GaussianPolicy PolicyZoo::finetuned(double rho) {
+  // Two published variants only (Sec. VI-A).
+  if (rho < 0.2) return cached_or_train("finetune_r11", &PolicyZoo::train_finetuned_r11);
+  return cached_or_train("finetune_r2", &PolicyZoo::train_finetuned_r2);
+}
+
+GaussianPolicy PolicyZoo::pnn_column() {
+  return cached_or_train("pnn_column", &PolicyZoo::train_pnn_column);
+}
+
+Mlp PolicyZoo::td3_attacker() {
+  const std::string file = path("attacker_cam_td3");
+  if (file_exists(file)) return load_mlp_file(file);
+  log_info("zoo: training attacker_cam_td3 (cache miss at %s)", file.c_str());
+  auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
+  Td3AttackSpec spec = default_td3_attack_spec(1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.camera = camera_;
+  spec.env.reward = experiment_.adv_reward;
+  Mlp actor = train_td3_attacker(spec, std::move(victim));
+  save_mlp_file(actor, file);
+  return actor;
+}
+
+// ---------------------------------------------------------------- training
+
+GaussianPolicy PolicyZoo::train_driving_policy() {
+  // Phase 1 — behaviour cloning from the modular pipeline (the privileged
+  // teacher): collect (stacked camera obs, expert variation) pairs.
+  const int bc_episodes = std::max(4, scaled_steps(24));
+  StackedCameraObserver observer(camera_, frame_stack_);
+  ModularAgent expert;
+
+  // DAgger-style collection: the *executed* action carries exploration
+  // noise so the dataset covers off-nominal states, while the *label* stays
+  // the expert's clean action — this is what keeps the cloned policy from
+  // drifting off the expert distribution at run time.
+  Rng noise_rng(555);
+  std::vector<std::vector<double>> obs_rows;
+  std::vector<std::array<double, 2>> act_rows;
+  for (int ep = 0; ep < bc_episodes; ++ep) {
+    Rng rng(1000 + static_cast<std::uint64_t>(ep));
+    World world = make_scenario(experiment_.scenario, rng);
+    expert.reset(world);
+    observer.reset(world);
+    const double noise = (ep % 3 == 0) ? 0.0 : 0.15;  // keep clean episodes too
+    while (!world.done()) {
+      const auto obs = observer.observe(world);
+      const Action a = expert.decide(world);
+      obs_rows.push_back(obs);
+      act_rows.push_back({a.steer_variation, a.thrust_variation});
+      Action executed = a;
+      executed.steer_variation =
+          clamp(a.steer_variation + noise_rng.normal(0.0, noise), -1.0, 1.0);
+      executed.thrust_variation =
+          clamp(a.thrust_variation + noise_rng.normal(0.0, noise), -1.0, 1.0);
+      world.step(executed);
+    }
+  }
+  log_info("zoo: BC dataset: %zu transitions from %d expert episodes",
+           obs_rows.size(), bc_episodes);
+
+  const int obs_dim = static_cast<int>(obs_rows.front().size());
+  Matrix obs_m(static_cast<int>(obs_rows.size()), obs_dim);
+  Matrix act_m(static_cast<int>(act_rows.size()), 2);
+  for (std::size_t i = 0; i < obs_rows.size(); ++i) {
+    for (int j = 0; j < obs_dim; ++j) obs_m(static_cast<int>(i), j) = obs_rows[i][static_cast<std::size_t>(j)];
+    act_m(static_cast<int>(i), 0) = clamp(act_rows[i][0], -0.999, 0.999);
+    act_m(static_cast<int>(i), 1) = clamp(act_rows[i][1], -0.999, 0.999);
+  }
+
+  Rng rng(2024);
+  GaussianPolicy policy = GaussianPolicy::make_mlp(obs_dim, {64, 64}, 2, rng);
+  BcConfig bc;
+  bc.epochs = std::max(5, scaled_steps(40));
+  const BcResult bc_res = bc_train(policy, obs_m, act_m, bc);
+  log_info("zoo: BC final action MSE %.4f", bc_res.epoch_losses.back());
+
+  // Phase 2 — SAC fine-tuning under the shaped privileged reward.
+  DrivingEnv env(experiment_.scenario, camera_, experiment_.driving_reward,
+                 experiment_.reference_planner, frame_stack_);
+  SacConfig sac_cfg;
+  sac_cfg.batch_size = 32;
+  sac_cfg.actor_lr = 1e-4;
+  sac_cfg.critic_lr = 1e-3;
+  sac_cfg.init_alpha = 0.01;
+  sac_cfg.auto_alpha = false;  // keep the entropy pressure gentle when
+                               // fine-tuning the behaviour-cloned policy
+  sac_cfg.actor_delay_updates = scaled_steps(1500, 50);
+  TrainConfig train_cfg;
+  train_cfg.total_steps = scaled_steps(60000, 200);
+  train_cfg.start_steps = 0;  // the BC policy explores better than noise
+  train_cfg.update_after = scaled_steps(300, 20);
+  train_cfg.eval_every = scaled_steps(3000, 100);
+  train_cfg.eval_episodes = 3;
+  train_cfg.plateau_eps = 3.0;
+  train_cfg.plateau_patience = 5;
+  train_cfg.seed = 7;
+
+  Rng sac_rng(train_cfg.seed);
+  Sac sac(policy, sac_cfg, sac_rng);
+  const TrainResult tr = train_sac(sac, env, train_cfg);
+
+  // Deploy the best of {BC warm start, SAC final iterate, SAC best-eval
+  // snapshot}, scored on held-out seeds — SAC fine-tuning can only improve
+  // the deployed policy, never regress it.
+  GaussianPolicy best = policy;
+  double best_ret = eval_policy_return(policy, env, 10, 555000);
+  const GaussianPolicy* candidates[] = {
+      &sac.actor(), tr.best_actor ? &*tr.best_actor : nullptr};
+  for (const GaussianPolicy* cand : candidates) {
+    if (cand == nullptr) continue;
+    const double ret = eval_policy_return(*cand, env, 10, 555000);
+    if (ret > best_ret) {
+      best_ret = ret;
+      best = *cand;
+    }
+  }
+  log_info("zoo: driving policy deployed return %.1f", best_ret);
+  return best;
+}
+
+GaussianPolicy PolicyZoo::train_camera_attacker_vs_e2e() {
+  auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
+  AttackTrainSpec spec = default_attack_spec(AttackSensorType::Camera, 1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.camera = camera_;
+  spec.env.reward = experiment_.adv_reward;
+  return train_attacker(spec, std::move(victim));
+}
+
+GaussianPolicy PolicyZoo::train_camera_attacker_vs_modular() {
+  auto victim = std::make_shared<ModularAgent>();
+  AttackTrainSpec spec = default_attack_spec(AttackSensorType::Camera, 1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.camera = camera_;
+  spec.env.reward = experiment_.adv_reward;
+  spec.train.seed = 43;
+  return train_attacker(spec, std::move(victim));
+}
+
+GaussianPolicy PolicyZoo::train_imu_attacker() {
+  auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
+  const GaussianPolicy teacher = camera_attacker_vs_e2e();
+  AttackTrainSpec spec = default_attack_spec(AttackSensorType::Imu, 1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.camera = camera_;  // teacher pipeline
+  spec.env.imu = imu_;
+  spec.env.reward = experiment_.adv_reward;
+  spec.train.seed = 44;
+  return train_attacker(spec, std::move(victim), &teacher);
+}
+
+GaussianPolicy PolicyZoo::imu_attacker_no_pse() {
+  return cached_or_train("attacker_imu_nopse", &PolicyZoo::train_imu_attacker_no_pse);
+}
+
+GaussianPolicy PolicyZoo::imu_attacker_pure_sac() {
+  return cached_or_train("attacker_imu_puresac",
+                         &PolicyZoo::train_imu_attacker_pure_sac);
+}
+
+GaussianPolicy PolicyZoo::train_imu_attacker_no_pse() {
+  auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
+  AttackTrainSpec spec = default_attack_spec(AttackSensorType::Imu, 1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.imu = imu_;
+  spec.env.reward = experiment_.adv_reward;
+  spec.train.seed = 45;
+  return train_attacker(spec, std::move(victim), /*teacher=*/nullptr);
+}
+
+GaussianPolicy PolicyZoo::train_imu_attacker_pure_sac() {
+  auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
+  AttackTrainSpec spec = default_attack_spec(AttackSensorType::Imu, 1.0);
+  spec.env.scenario = experiment_.scenario;
+  spec.env.imu = imu_;
+  spec.env.reward = experiment_.adv_reward;
+  spec.bc_episodes = 0;  // the paper's unguided process
+  spec.train.start_steps = scaled_steps(800, 40);
+  spec.train.seed = 46;
+  return train_attacker(spec, std::move(victim), /*teacher=*/nullptr);
+}
+
+GaussianPolicy PolicyZoo::train_finetuned_r11() {
+  return adversarial_finetune(driving_policy(), camera_attacker_vs_e2e(),
+                              experiment_.scenario, default_finetune_spec(1.0 / 11.0));
+}
+
+GaussianPolicy PolicyZoo::train_finetuned_r2() {
+  FinetuneSpec spec = default_finetune_spec(0.5);
+  spec.train.seed = 78;
+  return adversarial_finetune(driving_policy(), camera_attacker_vs_e2e(),
+                              experiment_.scenario, spec);
+}
+
+GaussianPolicy PolicyZoo::train_pnn_column() {
+  // Qualified call selects the free trainer in defense/pnn_agent.hpp.
+  return adsec::train_pnn_column(driving_policy(), camera_attacker_vs_e2e(),
+                                 experiment_.scenario, default_pnn_spec());
+}
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<ModularAgent> PolicyZoo::make_modular_agent() const {
+  return std::make_unique<ModularAgent>();
+}
+
+std::unique_ptr<E2EAgent> PolicyZoo::make_e2e_agent() {
+  return std::make_unique<E2EAgent>(driving_policy(), camera_, frame_stack_);
+}
+
+std::unique_ptr<E2EAgent> PolicyZoo::make_finetuned_agent(double rho) {
+  const std::string label = rho < 0.2 ? "e2e-adv,rho=1/11" : "e2e-adv,rho=1/2";
+  return std::make_unique<E2EAgent>(finetuned(rho), camera_, frame_stack_, label);
+}
+
+std::unique_ptr<PnnSwitchedAgent> PolicyZoo::make_pnn_agent(double sigma) {
+  return std::make_unique<PnnSwitchedAgent>(driving_policy(), pnn_column(), sigma,
+                                            camera_, frame_stack_);
+}
+
+std::unique_ptr<LearnedCameraAttacker> PolicyZoo::make_camera_attacker(double budget,
+                                                                       bool vs_modular) {
+  return std::make_unique<LearnedCameraAttacker>(
+      vs_modular ? camera_attacker_vs_modular() : camera_attacker_vs_e2e(), budget,
+      camera_, frame_stack_);
+}
+
+std::unique_ptr<LearnedImuAttacker> PolicyZoo::make_imu_attacker(double budget) {
+  return std::make_unique<LearnedImuAttacker>(imu_attacker(), budget, imu_);
+}
+
+std::unique_ptr<DeterministicCameraAttacker> PolicyZoo::make_td3_attacker(double budget) {
+  return std::make_unique<DeterministicCameraAttacker>(td3_attacker(), budget, camera_,
+                                                       frame_stack_);
+}
+
+}  // namespace adsec

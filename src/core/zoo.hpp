@@ -1,0 +1,83 @@
+// Policy zoo: lazily trains and disk-caches every learned policy the
+// benchmarks need, so that the paper's seven policies (driving agent, three
+// attackers, two fine-tuned defenses, PNN column) are trained exactly once
+// and shared across bench binaries, tests, and examples.
+//
+// Cache files live under ADSEC_ZOO_DIR (default "zoo/"); delete a file to
+// force retraining. All training is deterministic given the seeds baked
+// into the specs, so the cache is reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agents/e2e_agent.hpp"
+#include "agents/modular_agent.hpp"
+#include "attack/attacker.hpp"
+#include "core/experiment.hpp"
+#include "defense/pnn_agent.hpp"
+
+namespace adsec {
+
+class PolicyZoo {
+ public:
+  // `dir` empty => runtime_config().zoo_dir. The directory is created.
+  explicit PolicyZoo(std::string dir = "");
+
+  // Shared experiment configuration (scenario, rewards, reference planner).
+  const ExperimentConfig& experiment() const { return experiment_; }
+  const CameraConfig& camera() const { return camera_; }
+  const ImuConfig& imu() const { return imu_; }
+
+  // ---- Learned policies (train-on-miss, cached). ----
+  GaussianPolicy driving_policy();              // pi_ori (BC warm start + SAC)
+  GaussianPolicy camera_attacker_vs_e2e();      // pi_adv (camera), victim pi_ori
+  GaussianPolicy camera_attacker_vs_modular();  // pi_adv (camera), victim modular
+  GaussianPolicy imu_attacker();                // pi_adv (IMU), learning-from-teacher
+
+  // Teacher-ablation variants of the IMU attacker (Sec. IV-E claim: "the
+  // same training process is ineffective for IMU-based policies"):
+  //   no_pse:  oracle BC warm start but no p_se teacher term during SAC
+  //   pure:    no BC, no teacher — the plain SAC process that works for the
+  //            camera modality
+  GaussianPolicy imu_attacker_no_pse();
+  GaussianPolicy imu_attacker_pure_sac();
+  GaussianPolicy finetuned(double rho);         // pi_adv,rho (rho in {1/11, 1/2})
+  GaussianPolicy pnn_column();                  // second PNN column
+  Mlp td3_attacker();                           // TD3 camera attack (ablation)
+
+  // ---- Agent / attacker factories wired to the zoo's configs. ----
+  std::unique_ptr<ModularAgent> make_modular_agent() const;
+  std::unique_ptr<E2EAgent> make_e2e_agent();  // drives pi_ori
+  std::unique_ptr<E2EAgent> make_finetuned_agent(double rho);
+  std::unique_ptr<PnnSwitchedAgent> make_pnn_agent(double sigma);
+  std::unique_ptr<LearnedCameraAttacker> make_camera_attacker(double budget,
+                                                              bool vs_modular = false);
+  std::unique_ptr<LearnedImuAttacker> make_imu_attacker(double budget);
+  std::unique_ptr<DeterministicCameraAttacker> make_td3_attacker(double budget);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path(const std::string& name) const;
+  GaussianPolicy cached_or_train(const std::string& name,
+                                 GaussianPolicy (PolicyZoo::*train)());
+
+  GaussianPolicy train_driving_policy();
+  GaussianPolicy train_camera_attacker_vs_e2e();
+  GaussianPolicy train_camera_attacker_vs_modular();
+  GaussianPolicy train_imu_attacker();
+  GaussianPolicy train_imu_attacker_no_pse();
+  GaussianPolicy train_imu_attacker_pure_sac();
+  GaussianPolicy train_finetuned_r11();
+  GaussianPolicy train_finetuned_r2();
+  GaussianPolicy train_pnn_column();
+
+  std::string dir_;
+  ExperimentConfig experiment_;
+  CameraConfig camera_;
+  ImuConfig imu_;
+  int frame_stack_{3};
+};
+
+}  // namespace adsec

@@ -1,0 +1,71 @@
+#include "defense/detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+AttackDetector::AttackDetector(const DetectorConfig& config, std::uint64_t noise_seed)
+    : config_(config), noise_(noise_seed) {
+  if (config.ewma < 0.0 || config.ewma >= 1.0) {
+    throw std::invalid_argument("AttackDetector: ewma must be in [0, 1)");
+  }
+  if (config.min_steps < 1) {
+    throw std::invalid_argument("AttackDetector: min_steps must be >= 1");
+  }
+}
+
+void AttackDetector::reset() {
+  envelope_ = 0.0;
+  above_count_ = 0;
+  alarmed_ = false;
+}
+
+double AttackDetector::update(double commanded_nu, double applied, double prev_applied,
+                              double alpha) {
+  if (alpha >= 1.0) throw std::invalid_argument("AttackDetector: alpha must be < 1");
+
+  const double noisy_applied = applied + noise_.normal(0.0, config_.readback_noise);
+  const double expected = (1.0 - alpha) * clamp(commanded_nu, -1.0, 1.0) +
+                          alpha * prev_applied;
+  const double residual = noisy_applied - expected;
+  const double delta_hat = residual / (1.0 - alpha);
+
+  envelope_ = config_.ewma * envelope_ + (1.0 - config_.ewma) * std::abs(delta_hat);
+
+  if (envelope_ > config_.threshold) {
+    if (++above_count_ >= config_.min_steps) alarmed_ = true;
+  } else {
+    above_count_ = 0;
+  }
+  return delta_hat;
+}
+
+CusumDetector::CusumDetector(const Config& config, std::uint64_t noise_seed)
+    : config_(config), noise_(noise_seed) {
+  if (config.threshold <= 0.0) {
+    throw std::invalid_argument("CusumDetector: threshold must be > 0");
+  }
+}
+
+void CusumDetector::reset() {
+  cusum_ = 0.0;
+  alarmed_ = false;
+}
+
+double CusumDetector::update(double commanded_nu, double applied, double prev_applied,
+                             double alpha) {
+  if (alpha >= 1.0) throw std::invalid_argument("CusumDetector: alpha must be < 1");
+  const double noisy = applied + noise_.normal(0.0, config_.readback_noise);
+  const double expected =
+      (1.0 - alpha) * clamp(commanded_nu, -1.0, 1.0) + alpha * prev_applied;
+  const double delta_hat = (noisy - expected) / (1.0 - alpha);
+
+  cusum_ = std::max(0.0, cusum_ + std::abs(delta_hat) - config_.drift);
+  if (cusum_ > config_.threshold) alarmed_ = true;
+  return delta_hat;
+}
+
+}  // namespace adsec

@@ -1,0 +1,92 @@
+// Action-space attack detector — the practical switcher input the paper's
+// conclusion asks for ("the switcher can use different metrics such as ...
+// the magnitude of a detected perturbation ... as a proxy of the attack
+// budget", Sec. VI-B).
+//
+// Mechanism: the control unit knows the steering variation nu it commanded;
+// a steering-angle sensor reads back the *applied* actuation. Under Eq. 1,
+//     a_t = (1 - alpha) * (nu_t + delta_t) + alpha * a_{t-1},
+// so the one-step residual
+//     r_t = a_t - [(1 - alpha) * nu_t + alpha * a_{t-1}] = (1 - alpha) * delta_t
+// recovers the injected perturbation up to readback noise:
+// delta_hat_t = r_t / (1 - alpha). An EWMA of |delta_hat| estimates the
+// attack budget; an alarm fires after `min_steps` consecutive samples above
+// threshold (debouncing sensor noise).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace adsec {
+
+struct DetectorConfig {
+  double readback_noise = 0.01;  // stdev of the steering-feedback sensor
+  double ewma = 0.75;            // smoothing of the |delta_hat| envelope
+  double threshold = 0.08;       // alarm threshold on the smoothed estimate
+  int min_steps = 2;             // consecutive above-threshold samples to alarm
+};
+
+class AttackDetector {
+ public:
+  explicit AttackDetector(const DetectorConfig& config = {},
+                          std::uint64_t noise_seed = 17);
+
+  void reset();
+
+  // Feed one control cycle: the variation the controller commanded, the
+  // applied actuation read back from the plant (noisy), the previous applied
+  // actuation, and the plant's Eq. 1 retain rate. Returns delta_hat.
+  double update(double commanded_nu, double applied, double prev_applied,
+                double alpha);
+
+  // Smoothed |delta| envelope — the budget-estimate proxy for the switcher.
+  double budget_estimate() const { return envelope_; }
+
+  bool attack_detected() const { return alarmed_; }
+
+  // Steps from the first above-threshold sample to the alarm (-1 if never
+  // alarmed). Diagnostic for detection latency.
+  int detection_latency() const { return alarmed_ ? config_.min_steps : -1; }
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  Rng noise_;
+  double envelope_{0.0};
+  int above_count_{0};
+  bool alarmed_{false};
+};
+
+// CUSUM change detector on the same residual stream — the classic
+// sequential test, compared against the EWMA-envelope detector in
+// bench_detector/bench_stealth. Accumulates evidence that |delta_hat|
+// exceeds `drift` and alarms when the cumulative sum crosses `threshold`;
+// faster on small sustained injections, slower to release.
+struct CusumConfig {
+  double readback_noise = 0.01;
+  double drift = 0.05;     // allowed |delta_hat| under H0
+  double threshold = 0.5;  // alarm level for the cumulative sum
+};
+
+class CusumDetector {
+ public:
+  using Config = CusumConfig;
+
+  explicit CusumDetector(const Config& config = {}, std::uint64_t noise_seed = 23);
+
+  void reset();
+  double update(double commanded_nu, double applied, double prev_applied,
+                double alpha);
+
+  bool attack_detected() const { return alarmed_; }
+  double statistic() const { return cusum_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng noise_;
+  double cusum_{0.0};
+  bool alarmed_{false};
+};
+
+}  // namespace adsec

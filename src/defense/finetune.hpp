@@ -1,0 +1,59 @@
+// Adversarial training via fine-tuning (paper Sec. VI-A).
+//
+// The end-to-end policy is SAC-fine-tuned in episodes where the camera-based
+// attacker is active with a budget drawn per episode: with probability rho
+// the episode is nominal (zero budget), otherwise the budget is uniform over
+// {0.1, ..., 1.0}. rho = 1/11 gives every case equal probability; rho = 1/2
+// makes half the training nominal — the two variants pi_adv,rho the paper
+// compares.
+#pragma once
+
+#include <memory>
+
+#include "agents/driving_env.hpp"
+#include "attack/attacker.hpp"
+#include "rl/trainer.hpp"
+
+namespace adsec {
+
+// DrivingEnv that re-rolls the attack budget each episode and wires the
+// attacker into the victim's actuation path. Also used for PNN column
+// training (defense/pnn_agent.hpp).
+class AdversarialDrivingEnv : public DrivingEnv {
+ public:
+  // `nominal_ratio` = rho. `budgets` are the nonzero budgets sampled
+  // uniformly when the episode is adversarial.
+  AdversarialDrivingEnv(const ScenarioConfig& scenario, GaussianPolicy attacker,
+                        double nominal_ratio, std::vector<double> budgets,
+                        const CameraConfig& camera = {},
+                        const DrivingRewardConfig& reward = {},
+                        const BehaviorConfig& privileged_planner = {},
+                        int frame_stack = 3);
+
+  std::vector<double> reset(std::uint64_t seed) override;
+
+  double current_budget() const { return attacker_.budget(); }
+
+ private:
+  LearnedCameraAttacker attacker_;
+  double nominal_ratio_;
+  std::vector<double> budgets_;
+  Rng budget_rng_;
+};
+
+struct FinetuneSpec {
+  double nominal_ratio = 1.0 / 11.0;  // rho
+  std::vector<double> budgets = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  SacConfig sac;
+  TrainConfig train;
+};
+
+FinetuneSpec default_finetune_spec(double rho);
+
+// Fine-tune a copy of `original` against `attacker`; returns pi_adv,rho.
+GaussianPolicy adversarial_finetune(const GaussianPolicy& original,
+                                    const GaussianPolicy& attacker,
+                                    const ScenarioConfig& scenario,
+                                    const FinetuneSpec& spec);
+
+}  // namespace adsec

@@ -1,0 +1,59 @@
+#include "defense/simplex_agent.hpp"
+
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace adsec {
+
+DetectorSwitchedAgent::DetectorSwitchedAgent(GaussianPolicy original,
+                                             GaussianPolicy pnn_column, double sigma,
+                                             const DetectorConfig& detector,
+                                             const CameraConfig& camera,
+                                             int frame_stack)
+    : original_(std::move(original)),
+      pnn_column_(std::move(pnn_column)),
+      observer_(camera, frame_stack),
+      detector_(detector),
+      sigma_(sigma) {
+  if (original_.obs_dim() != observer_.dim() ||
+      pnn_column_.obs_dim() != observer_.dim()) {
+    throw std::invalid_argument("DetectorSwitchedAgent: obs dim mismatch");
+  }
+}
+
+void DetectorSwitchedAgent::reset(const World& world) {
+  observer_.reset(world);
+  detector_.reset();
+  last_commanded_nu_ = 0.0;
+  prev_applied_ = world.ego().actuation().steer;
+  has_prev_cycle_ = false;
+}
+
+Action DetectorSwitchedAgent::decide(const World& world) {
+  // The steering read-back from the last cycle carries the residual of any
+  // injected perturbation; feed it to the detector before acting.
+  const double applied = world.ego().actuation().steer;
+  if (has_prev_cycle_) {
+    detector_.update(last_commanded_nu_, applied, prev_applied_,
+                     world.ego().params().alpha);
+  }
+  prev_applied_ = applied;
+
+  const auto obs = observer_.observe(world);
+  const GaussianPolicy& active = using_adversarial_column() ? pnn_column_ : original_;
+  const Matrix a = active.mean_action(Matrix::from_vector(obs));
+
+  Action act;
+  act.steer_variation = a(0, 0);
+  act.thrust_variation = a(0, 1);
+  last_commanded_nu_ = act.steer_variation;
+  has_prev_cycle_ = true;
+  return act;
+}
+
+std::string DetectorSwitchedAgent::name() const {
+  return "pnn-detector-sigma=" + fmt(sigma_, 1);
+}
+
+}  // namespace adsec

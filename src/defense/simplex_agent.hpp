@@ -1,0 +1,51 @@
+// Detector-driven Simplex agent: the PNN switcher of pnn_agent.hpp with the
+// idealized "known attack budget" replaced by the run-time AttackDetector.
+// This closes the loop the paper leaves open ("requires prior knowledge of
+// the attacker's strategy ... the switcher can use the magnitude of a
+// detected perturbation as a proxy of the attack budget").
+#pragma once
+
+#include "agents/agent.hpp"
+#include "defense/detector.hpp"
+#include "nn/gaussian_policy.hpp"
+#include "sensors/camera.hpp"
+
+namespace adsec {
+
+class DetectorSwitchedAgent : public DrivingAgent {
+ public:
+  // Switches from `original` to the adversarially trained `pnn_column` when
+  // the detector's budget estimate exceeds `sigma`.
+  DetectorSwitchedAgent(GaussianPolicy original, GaussianPolicy pnn_column,
+                        double sigma, const DetectorConfig& detector = {},
+                        const CameraConfig& camera = {}, int frame_stack = 3);
+
+  void reset(const World& world) override;
+  Action decide(const World& world) override;
+  std::string name() const override;
+
+  const AttackDetector& detector() const { return detector_; }
+
+  // Simplex hand-over is sticky: once the detector has *alarmed*, the
+  // hardened column keeps control for the rest of the episode (a real
+  // fail-over does not flap around the threshold). Before the alarm, the
+  // smoothed budget estimate gates the switch like the idealized sigma rule.
+  bool using_adversarial_column() const {
+    return detector_.attack_detected() || detector_.budget_estimate() > sigma_;
+  }
+  double sigma() const { return sigma_; }
+
+ private:
+  GaussianPolicy original_;
+  GaussianPolicy pnn_column_;
+  StackedCameraObserver observer_;
+  AttackDetector detector_;
+  double sigma_;
+
+  // One-cycle memory for the residual computation.
+  double last_commanded_nu_{0.0};
+  double prev_applied_{0.0};
+  bool has_prev_cycle_{false};
+};
+
+}  // namespace adsec

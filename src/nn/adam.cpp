@@ -1,0 +1,56 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsec {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+           const AdamConfig& config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Adam: params/grads count mismatch");
+  }
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+
+  if (config_.grad_clip > 0.0) {
+    double norm2 = 0.0;
+    for (const auto* g : grads_) {
+      for (std::size_t i = 0; i < g->size(); ++i) norm2 += g->data()[i] * g->data()[i];
+    }
+    const double norm = std::sqrt(norm2);
+    if (norm > config_.grad_clip) {
+      const double s = config_.grad_clip / norm;
+      for (auto* g : grads_) g->scale_inplace(s);
+    }
+  }
+
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Matrix& p = *params_[k];
+    Matrix& g = *grads_[k];
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double gi = g.data()[i];
+      m.data()[i] = config_.beta1 * m.data()[i] + (1.0 - config_.beta1) * gi;
+      v.data()[i] = config_.beta2 * v.data()[i] + (1.0 - config_.beta2) * gi * gi;
+      const double mhat = m.data()[i] / bc1;
+      const double vhat = v.data()[i] / bc2;
+      p.data()[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+    g.set_zero();
+  }
+}
+
+}  // namespace adsec

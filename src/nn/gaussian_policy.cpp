@@ -1,0 +1,145 @@
+#include "nn/gaussian_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
+}
+
+GaussianPolicy::GaussianPolicy(std::unique_ptr<Trunk> trunk, int act_dim)
+    : trunk_(std::move(trunk)), act_dim_(act_dim) {
+  if (!trunk_) throw std::invalid_argument("GaussianPolicy: null trunk");
+  if (trunk_->out_dim() != 2 * act_dim) {
+    throw std::invalid_argument("GaussianPolicy: trunk out_dim must be 2*act_dim");
+  }
+}
+
+GaussianPolicy::GaussianPolicy(const GaussianPolicy& other)
+    : trunk_(other.trunk_->clone()), act_dim_(other.act_dim_) {}
+
+GaussianPolicy& GaussianPolicy::operator=(const GaussianPolicy& other) {
+  if (this != &other) {
+    trunk_ = other.trunk_->clone();
+    act_dim_ = other.act_dim_;
+    cache_ = {};
+  }
+  return *this;
+}
+
+GaussianPolicy GaussianPolicy::make_mlp(int obs_dim, const std::vector<int>& hidden,
+                                        int act_dim, Rng& rng) {
+  std::vector<int> dims;
+  dims.push_back(obs_dim);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(2 * act_dim);
+  return GaussianPolicy(std::make_unique<Mlp>(dims, Activation::ReLU, rng), act_dim);
+}
+
+void GaussianPolicy::split_head(const Matrix& head, int act_dim, Matrix& mu,
+                                Matrix& log_std) {
+  const int n = head.rows();
+  mu = Matrix(n, act_dim);
+  log_std = Matrix(n, act_dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < act_dim; ++j) {
+      mu(i, j) = head(i, j);
+      log_std(i, j) = clamp(head(i, act_dim + j), kLogStdMin, kLogStdMax);
+    }
+  }
+}
+
+PolicySample GaussianPolicy::sample_from_head(const Matrix& head, int act_dim, Rng& rng,
+                                              SampleCache* cache) {
+  Matrix mu, ls;
+  split_head(head, act_dim, mu, ls);
+  const int n = head.rows();
+
+  Matrix sigma(n, act_dim), xi(n, act_dim), a(n, act_dim);
+  PolicySample out;
+  out.log_prob = Matrix(n, 1);
+  for (int i = 0; i < n; ++i) {
+    double logp = 0.0;
+    for (int j = 0; j < act_dim; ++j) {
+      const double s = std::exp(ls(i, j));
+      const double x = rng.normal();
+      const double u = mu(i, j) + s * x;
+      const double av = std::tanh(u);
+      sigma(i, j) = s;
+      xi(i, j) = x;
+      a(i, j) = av;
+      logp += -0.5 * x * x - ls(i, j) - kHalfLog2Pi - std::log(1.0 - av * av + kTanhEps);
+    }
+    out.log_prob(i, 0) = logp;
+  }
+  out.action = a;
+  if (cache != nullptr) {
+    cache->a = std::move(a);
+    cache->sigma = std::move(sigma);
+    cache->xi = std::move(xi);
+    cache->valid = true;
+  }
+  return out;
+}
+
+PolicySample GaussianPolicy::sample(const Matrix& obs, Rng& rng) {
+  const Matrix head = trunk_->forward(obs);
+  return sample_from_head(head, act_dim_, rng, &cache_);
+}
+
+PolicySample GaussianPolicy::sample_inference(const Matrix& obs, Rng& rng) const {
+  const Matrix head = trunk_->forward_inference(obs);
+  return sample_from_head(head, act_dim_, rng, nullptr);
+}
+
+Matrix GaussianPolicy::mean_action(const Matrix& obs) const {
+  const Matrix head = trunk_->forward_inference(obs);
+  Matrix mu, ls;
+  split_head(head, act_dim_, mu, ls);
+  for (int i = 0; i < mu.rows(); ++i) {
+    for (int j = 0; j < mu.cols(); ++j) mu(i, j) = std::tanh(mu(i, j));
+  }
+  return mu;
+}
+
+void GaussianPolicy::backward(const Matrix& dL_da, const Matrix& dL_dlogp) {
+  if (!cache_.valid) throw std::logic_error("GaussianPolicy::backward: no cached sample");
+  const int n = cache_.a.rows();
+  if (dL_da.rows() != n || dL_da.cols() != act_dim_ || dL_dlogp.rows() != n ||
+      dL_dlogp.cols() != 1) {
+    throw std::invalid_argument("GaussianPolicy::backward: gradient shape mismatch");
+  }
+
+  // Head gradient layout: [d mu | d log_std].
+  Matrix dhead(n, 2 * act_dim_);
+  for (int i = 0; i < n; ++i) {
+    const double glp = dL_dlogp(i, 0);
+    for (int j = 0; j < act_dim_; ++j) {
+      const double a = cache_.a(i, j);
+      const double one_m_a2 = 1.0 - a * a;
+      const double sx = cache_.sigma(i, j) * cache_.xi(i, j);
+      const double da_dmu = one_m_a2;
+      const double da_dls = one_m_a2 * sx;
+      // logp = -0.5*xi^2 - ls - c - log(1 - a^2 + eps); with xi fixed,
+      // d(-log(1-a^2+eps))/du = +2a(1-a^2)/(1-a^2+eps).
+      const double dlogp_dmu = 2.0 * a * one_m_a2 / (one_m_a2 + kTanhEps);
+      const double dlogp_dls = -1.0 + 2.0 * a * one_m_a2 * sx / (one_m_a2 + kTanhEps);
+      dhead(i, j) = dL_da(i, j) * da_dmu + glp * dlogp_dmu;
+      dhead(i, act_dim_ + j) = dL_da(i, j) * da_dls + glp * dlogp_dls;
+    }
+  }
+  trunk_->backward(dhead);
+  cache_.valid = false;
+}
+
+void GaussianPolicy::save(BinaryWriter& w) const {
+  w.write_string("gaussian_policy");
+  w.write_u32(static_cast<std::uint32_t>(act_dim_));
+  trunk_->save(w);
+}
+
+}  // namespace adsec

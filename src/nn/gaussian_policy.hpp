@@ -1,0 +1,81 @@
+// Tanh-squashed Gaussian policy head (the SAC actor).
+//
+// The trunk outputs [mu | log_std] (2 * act_dim). Sampling uses the
+// reparameterization trick: a = tanh(mu + sigma * xi), xi ~ N(0, I), with
+// the tanh log-density correction. `backward` takes the loss gradients with
+// respect to the sampled action and to log-prob and chains them through the
+// sampling noise into the trunk — exactly what SAC's actor loss
+// E[alpha * log pi - Q] needs.
+#pragma once
+
+#include <memory>
+
+#include "nn/mlp.hpp"
+
+namespace adsec {
+
+struct PolicySample {
+  Matrix action;    // batch x act_dim, each element in (-1, 1)
+  Matrix log_prob;  // batch x 1
+};
+
+class GaussianPolicy {
+ public:
+  GaussianPolicy(std::unique_ptr<Trunk> trunk, int act_dim);
+  GaussianPolicy(const GaussianPolicy& other);
+  GaussianPolicy& operator=(const GaussianPolicy& other);
+  GaussianPolicy(GaussianPolicy&&) = default;
+  GaussianPolicy& operator=(GaussianPolicy&&) = default;
+
+  // Standard actor: MLP trunk with the given hidden sizes.
+  static GaussianPolicy make_mlp(int obs_dim, const std::vector<int>& hidden,
+                                 int act_dim, Rng& rng);
+
+  // Training-mode sample; caches intermediates for backward().
+  PolicySample sample(const Matrix& obs, Rng& rng);
+
+  // Stochastic sample without caching (usable on const objects).
+  PolicySample sample_inference(const Matrix& obs, Rng& rng) const;
+
+  // Deterministic action tanh(mu) — used at evaluation time.
+  Matrix mean_action(const Matrix& obs) const;
+
+  // Chain loss gradients through the last sample() into the trunk.
+  // dL_da: batch x act_dim; dL_dlogp: batch x 1.
+  void backward(const Matrix& dL_da, const Matrix& dL_dlogp);
+
+  void zero_grad() { trunk_->zero_grad(); }
+  std::vector<Matrix*> params() { return trunk_->params(); }
+  std::vector<Matrix*> grads() { return trunk_->grads(); }
+
+  int obs_dim() const { return trunk_->in_dim(); }
+  int act_dim() const { return act_dim_; }
+  Trunk& trunk() { return *trunk_; }
+  const Trunk& trunk() const { return *trunk_; }
+
+  void save(BinaryWriter& w) const;
+  // Loading lives in nn/io.hpp (needs trunk-type dispatch).
+
+ private:
+  struct SampleCache {
+    Matrix a;      // tanh(u)
+    Matrix sigma;  // exp(log_std)
+    Matrix xi;     // noise
+    bool valid{false};
+  };
+
+  // Split trunk output into mu and clamped log_std.
+  static void split_head(const Matrix& head, int act_dim, Matrix& mu, Matrix& log_std);
+  static PolicySample sample_from_head(const Matrix& head, int act_dim, Rng& rng,
+                                       SampleCache* cache);
+
+  std::unique_ptr<Trunk> trunk_;
+  int act_dim_{0};
+  SampleCache cache_;
+};
+
+inline constexpr double kLogStdMin = -5.0;
+inline constexpr double kLogStdMax = 2.0;
+inline constexpr double kTanhEps = 1e-6;
+
+}  // namespace adsec

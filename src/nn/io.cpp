@@ -1,0 +1,70 @@
+#include "nn/io.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace adsec {
+
+namespace {
+// Peek the tag by copying the reader state: BinaryReader has no rewind, so
+// loaders re-dispatch on the tag string they consume. We instead read the
+// tag here and reconstruct via tag-specific "load_body" — simplest is to
+// re-implement dispatch: read tag, then delegate to a loader that assumes
+// the tag is already consumed. To keep Mlp/PnnTrunk::load self-contained
+// (they read their own tag), we wrap the reader around a one-string
+// push-back buffer.
+}  // namespace
+
+std::unique_ptr<Trunk> load_trunk(BinaryReader& r) {
+  // The trunk serialization begins with its tag; Mlp::load / PnnTrunk::load
+  // each consume and validate the tag themselves, so dispatch needs a peek.
+  // BinaryReader is cheap to copy (it owns its buffer), so probe on a copy.
+  BinaryReader probe = r;
+  const std::string tag = probe.read_string();
+  if (tag == "mlp") {
+    auto mlp = std::make_unique<Mlp>(Mlp::load(r));
+    return mlp;
+  }
+  if (tag == "pnn") {
+    return std::make_unique<PnnTrunk>(PnnTrunk::load(r));
+  }
+  throw std::runtime_error("load_trunk: unknown trunk tag '" + tag + "'");
+}
+
+GaussianPolicy load_gaussian_policy(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "gaussian_policy") {
+    throw std::runtime_error("load_gaussian_policy: bad tag '" + tag + "'");
+  }
+  const auto act_dim = static_cast<int>(r.read_u32());
+  return GaussianPolicy(load_trunk(r), act_dim);
+}
+
+void save_policy_file(const GaussianPolicy& policy, const std::string& path) {
+  BinaryWriter w;
+  policy.save(w);
+  w.save(path);
+}
+
+GaussianPolicy load_policy_file(const std::string& path) {
+  BinaryReader r = BinaryReader::load(path);
+  return load_gaussian_policy(r);
+}
+
+void save_mlp_file(const Mlp& mlp, const std::string& path) {
+  BinaryWriter w;
+  mlp.save(w);
+  w.save(path);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  BinaryReader r = BinaryReader::load(path);
+  return Mlp::load(r);
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace adsec

@@ -1,0 +1,27 @@
+// Save/load entry points with trunk-type dispatch ("mlp" vs "pnn") and
+// convenience file-level helpers used by the policy zoo.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/gaussian_policy.hpp"
+#include "nn/pnn.hpp"
+
+namespace adsec {
+
+// Reads a trunk saved by Mlp::save or PnnTrunk::save.
+std::unique_ptr<Trunk> load_trunk(BinaryReader& r);
+
+// Counterpart of GaussianPolicy::save.
+GaussianPolicy load_gaussian_policy(BinaryReader& r);
+
+void save_policy_file(const GaussianPolicy& policy, const std::string& path);
+GaussianPolicy load_policy_file(const std::string& path);
+
+void save_mlp_file(const Mlp& mlp, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+}  // namespace adsec

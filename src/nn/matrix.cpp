@@ -1,0 +1,128 @@
+#include "nn/matrix.hpp"
+
+#include <stdexcept>
+
+namespace adsec {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative shape");
+}
+
+Matrix Matrix::randn(int rows, int cols, Rng& rng, double scale) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.normal(0.0, scale);
+  return m;
+}
+
+Matrix Matrix::from_vector(const std::vector<double>& v) {
+  Matrix m(1, static_cast<int>(v.size()));
+  m.data_ = v;
+  return m;
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+void Matrix::add_inplace(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::add_inplace: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::axpy_inplace(double scale, const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::axpy_inplace: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::scale_inplace(double s) {
+  for (auto& x : data_) x *= s;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  Matrix c(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    double* crow = c.data() + static_cast<std::size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<std::size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dim mismatch");
+  Matrix c(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    const double* brow = b.data() + static_cast<std::size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      double* crow = c.data() + static_cast<std::size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dim mismatch");
+  Matrix c(a.rows(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    double* crow = c.data() + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const double* brow = b.data() + static_cast<std::size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix linear_forward(const Matrix& x, const Matrix& w, const Matrix& b) {
+  if (b.rows() != 1 || b.cols() != w.cols()) {
+    throw std::invalid_argument("linear_forward: bias shape mismatch");
+  }
+  Matrix y = matmul(x, w);
+  for (int i = 0; i < y.rows(); ++i) {
+    double* row = y.data() + static_cast<std::size_t>(i) * y.cols();
+    for (int j = 0; j < y.cols(); ++j) row[j] += b(0, j);
+  }
+  return y;
+}
+
+Matrix column_sum(const Matrix& m) {
+  Matrix s(1, m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) s(0, j) += m(i, j);
+  }
+  return s;
+}
+
+Matrix hconcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("hconcat: row mismatch");
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+    for (int j = 0; j < b.cols(); ++j) c(i, a.cols() + j) = b(i, j);
+  }
+  return c;
+}
+
+}  // namespace adsec

@@ -1,0 +1,77 @@
+// Dense row-major matrix of doubles — the only tensor type the NN stack
+// needs. Sized for this library's workloads (batch x few-hundred features):
+// a cache-friendly ikj matmul is plenty on one core.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace adsec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);  // zero-initialized
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols); }
+  // He-style init scaled by 1/sqrt(fan_in); used for hidden layers.
+  static Matrix randn(int rows, int cols, Rng& rng, double scale);
+  static Matrix from_vector(const std::vector<double>& v);  // 1 x n row
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& operator()(int r, int c) { return data_[idx(r, c)]; }
+  double operator()(int r, int c) const { return data_[idx(r, c)]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> row(int r) { return {data_.data() + idx(r, 0), static_cast<std::size_t>(cols_)}; }
+  std::span<const double> row(int r) const {
+    return {data_.data() + idx(r, 0), static_cast<std::size_t>(cols_)};
+  }
+
+  void fill(double v);
+  void set_zero() { fill(0.0); }
+
+  // this += other (same shape).
+  void add_inplace(const Matrix& other);
+  // this += scale * other.
+  void axpy_inplace(double scale, const Matrix& other);
+  void scale_inplace(double s);
+
+  std::vector<double> to_vector() const { return data_; }
+
+ private:
+  std::size_t idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+  int rows_{0};
+  int cols_{0};
+  std::vector<double> data_;
+};
+
+// C = A * B. Shapes must agree; throws std::invalid_argument otherwise.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+// C = A^T * B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+// Y = X * W + 1 * b   (b is 1 x out, broadcast over rows).
+Matrix linear_forward(const Matrix& x, const Matrix& w, const Matrix& b);
+
+// Column-sum of grad (for bias gradients): 1 x cols.
+Matrix column_sum(const Matrix& m);
+
+// Horizontal concat [a | b] (same row count).
+Matrix hconcat(const Matrix& a, const Matrix& b);
+
+}  // namespace adsec

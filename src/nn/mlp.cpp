@@ -1,0 +1,171 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsec {
+
+void apply_activation(Activation act, Matrix& z) {
+  switch (act) {
+    case Activation::Identity:
+      return;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        if (z.data()[i] < 0.0) z.data()[i] = 0.0;
+      }
+      return;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = std::tanh(z.data()[i]);
+      return;
+  }
+}
+
+void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad) {
+  if (h.rows() != grad.rows() || h.cols() != grad.cols()) {
+    throw std::invalid_argument("apply_activation_grad: shape mismatch");
+  }
+  switch (act) {
+    case Activation::Identity:
+      return;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        if (h.data()[i] <= 0.0) grad.data()[i] = 0.0;
+      }
+      return;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        const double hv = h.data()[i];
+        grad.data()[i] *= (1.0 - hv * hv);
+      }
+      return;
+  }
+}
+
+Mlp::Mlp(std::vector<int> dims, Activation hidden_act, Rng& rng)
+    : dims_(std::move(dims)), act_(hidden_act) {
+  if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least in and out dims");
+  for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+    const int fan_in = dims_[l];
+    const double scale = 1.0 / std::sqrt(static_cast<double>(fan_in));
+    weights_.push_back(Matrix::randn(dims_[l], dims_[l + 1], rng, scale));
+    biases_.push_back(Matrix(1, dims_[l + 1]));
+    w_grads_.push_back(Matrix(dims_[l], dims_[l + 1]));
+    b_grads_.push_back(Matrix(1, dims_[l + 1]));
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  if (x.cols() != in_dim()) throw std::invalid_argument("Mlp::forward: input dim mismatch");
+  inputs_.clear();
+  hiddens_.clear();
+  Matrix h = x;
+  const int L = num_layers();
+  for (int l = 0; l < L; ++l) {
+    inputs_.push_back(h);
+    h = linear_forward(h, weights_[static_cast<std::size_t>(l)],
+                       biases_[static_cast<std::size_t>(l)]);
+    if (l + 1 < L) {
+      apply_activation(act_, h);
+      hiddens_.push_back(h);
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::forward_inference(const Matrix& x) const {
+  if (x.cols() != in_dim()) throw std::invalid_argument("Mlp::forward_inference: dim mismatch");
+  Matrix h = x;
+  const int L = num_layers();
+  for (int l = 0; l < L; ++l) {
+    h = linear_forward(h, weights_[static_cast<std::size_t>(l)],
+                       biases_[static_cast<std::size_t>(l)]);
+    if (l + 1 < L) apply_activation(act_, h);
+  }
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& grad_out) {
+  if (inputs_.empty()) throw std::logic_error("Mlp::backward: no cached forward");
+  Matrix grad = grad_out;
+  for (int l = num_layers() - 1; l >= 0; --l) {
+    const auto ul = static_cast<std::size_t>(l);
+    if (l < num_layers() - 1) {
+      apply_activation_grad(act_, hiddens_[ul], grad);
+    }
+    w_grads_[ul].add_inplace(matmul_tn(inputs_[ul], grad));
+    b_grads_[ul].add_inplace(column_sum(grad));
+    grad = matmul_nt(grad, weights_[ul]);
+  }
+  return grad;
+}
+
+void Mlp::zero_grad() {
+  for (auto& g : w_grads_) g.set_zero();
+  for (auto& g : b_grads_) g.set_zero();
+}
+
+std::vector<Matrix*> Mlp::params() {
+  std::vector<Matrix*> ps;
+  for (auto& w : weights_) ps.push_back(&w);
+  for (auto& b : biases_) ps.push_back(&b);
+  return ps;
+}
+
+std::vector<Matrix*> Mlp::grads() {
+  std::vector<Matrix*> gs;
+  for (auto& g : w_grads_) gs.push_back(&g);
+  for (auto& g : b_grads_) gs.push_back(&g);
+  return gs;
+}
+
+const Matrix& Mlp::hidden(int l) const {
+  if (l < 0 || l >= static_cast<int>(hiddens_.size())) {
+    throw std::out_of_range("Mlp::hidden: bad layer index");
+  }
+  return hiddens_[static_cast<std::size_t>(l)];
+}
+
+std::unique_ptr<Trunk> Mlp::clone() const { return std::make_unique<Mlp>(*this); }
+
+void Mlp::save(BinaryWriter& w) const {
+  w.write_string("mlp");
+  w.write_u32(static_cast<std::uint32_t>(dims_.size()));
+  for (int d : dims_) w.write_u32(static_cast<std::uint32_t>(d));
+  w.write_u32(static_cast<std::uint32_t>(act_));
+  for (const auto& m : weights_) w.write_f64_vector(m.to_vector());
+  for (const auto& b : biases_) w.write_f64_vector(b.to_vector());
+}
+
+Mlp Mlp::load(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "mlp") throw std::runtime_error("Mlp::load: bad tag '" + tag + "'");
+  const auto n = r.read_u32();
+  std::vector<int> dims(n);
+  for (auto& d : dims) d = static_cast<int>(r.read_u32());
+  const auto act = static_cast<Activation>(r.read_u32());
+  Rng dummy(1);
+  Mlp mlp(dims, act, dummy);
+  for (auto& m : mlp.weights_) {
+    const auto v = r.read_f64_vector();
+    if (v.size() != m.size()) throw std::runtime_error("Mlp::load: weight size mismatch");
+    std::copy(v.begin(), v.end(), m.data());
+  }
+  for (auto& b : mlp.biases_) {
+    const auto v = r.read_f64_vector();
+    if (v.size() != b.size()) throw std::runtime_error("Mlp::load: bias size mismatch");
+    std::copy(v.begin(), v.end(), b.data());
+  }
+  return mlp;
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  if (dims_ != other.dims_) throw std::invalid_argument("soft_update_from: shape mismatch");
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    weights_[l].scale_inplace(1.0 - tau);
+    weights_[l].axpy_inplace(tau, other.weights_[l]);
+    biases_[l].scale_inplace(1.0 - tau);
+    biases_[l].axpy_inplace(tau, other.biases_[l]);
+  }
+}
+
+}  // namespace adsec

@@ -1,0 +1,97 @@
+// Multi-layer perceptron with hand-rolled backprop, plus the `Trunk`
+// interface that lets a Gaussian policy head sit on either a plain MLP or a
+// progressive-network column stack (nn/pnn.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "nn/matrix.hpp"
+
+namespace adsec {
+
+enum class Activation { Identity, ReLU, Tanh };
+
+// Apply activation / its derivative (as a function of the *pre*-activation z
+// and post-activation h).
+void apply_activation(Activation act, Matrix& z);
+void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad);
+
+// Feature-extractor interface used by policy/critic heads.
+class Trunk {
+ public:
+  virtual ~Trunk() = default;
+
+  // Training-mode forward: caches intermediates for a following backward().
+  virtual Matrix forward(const Matrix& x) = 0;
+  // Inference-only forward: no caching, usable on a const object.
+  virtual Matrix forward_inference(const Matrix& x) const = 0;
+  // Backprop: accumulates parameter grads, returns grad w.r.t. the input.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  virtual void zero_grad() = 0;
+  virtual std::vector<Matrix*> params() = 0;
+  virtual std::vector<Matrix*> grads() = 0;
+
+  virtual int in_dim() const = 0;
+  virtual int out_dim() const = 0;
+  virtual std::unique_ptr<Trunk> clone() const = 0;
+  virtual void save(BinaryWriter& w) const = 0;
+};
+
+class Mlp : public Trunk {
+ public:
+  Mlp() = default;
+
+  // `dims` = {in, hidden..., out}; hidden layers use `hidden_act`, the output
+  // layer is linear.
+  Mlp(std::vector<int> dims, Activation hidden_act, Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix forward_inference(const Matrix& x) const override;
+  Matrix backward(const Matrix& grad_out) override;
+
+  void zero_grad() override;
+  std::vector<Matrix*> params() override;
+  std::vector<Matrix*> grads() override;
+
+  int in_dim() const override { return dims_.empty() ? 0 : dims_.front(); }
+  int out_dim() const override { return dims_.empty() ? 0 : dims_.back(); }
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  Activation hidden_activation() const { return act_; }
+
+  // Post-activation output of hidden layer `l` (0-based) from the most
+  // recent training-mode forward. Consumed by PNN lateral connections.
+  const Matrix& hidden(int l) const;
+
+  // Weights of layer l (in x out) — read access for PNN initialization.
+  const Matrix& weight(int l) const { return weights_[static_cast<std::size_t>(l)]; }
+  const Matrix& bias(int l) const { return biases_[static_cast<std::size_t>(l)]; }
+
+  std::unique_ptr<Trunk> clone() const override;
+
+  void save(BinaryWriter& w) const override;
+  static Mlp load(BinaryReader& r);
+
+  // Polyak blend toward another MLP of identical shape (target networks):
+  // param := (1 - tau) * param + tau * other.param.
+  void soft_update_from(const Mlp& other, double tau);
+
+ private:
+  std::vector<int> dims_;
+  Activation act_{Activation::ReLU};
+  std::vector<Matrix> weights_;  // layer l: dims[l] x dims[l+1]
+  std::vector<Matrix> biases_;   // 1 x dims[l+1]
+  std::vector<Matrix> w_grads_;
+  std::vector<Matrix> b_grads_;
+
+  // Forward cache: inputs_[l] is the input to layer l; hiddens_[l] the
+  // post-activation output of hidden layer l.
+  std::vector<Matrix> inputs_;
+  std::vector<Matrix> hiddens_;
+};
+
+}  // namespace adsec

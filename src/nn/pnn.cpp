@@ -1,0 +1,167 @@
+#include "nn/pnn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsec {
+
+PnnTrunk::PnnTrunk(const Mlp& base, bool init_from_base, Rng& rng) : base_(base) {
+  const auto& dims = base.dims();
+  const int L = base.num_layers();
+  for (int l = 0; l < L; ++l) {
+    const int out = dims[static_cast<std::size_t>(l) + 1];
+    const int own_in = dims[static_cast<std::size_t>(l)];
+    const int lateral_in = l == 0 ? 0 : dims[static_cast<std::size_t>(l)];
+    const int in = own_in + lateral_in;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(in));
+    Matrix w = Matrix::randn(in, out, rng, scale);
+    Matrix b(1, out);
+    if (init_from_base) {
+      // Own-input slice copies the base layer; lateral slice starts at zero
+      // so the fresh column reproduces the base policy exactly.
+      const Matrix& bw = base.weight(l);
+      for (int i = 0; i < own_in; ++i) {
+        for (int j = 0; j < out; ++j) w(i, j) = bw(i, j);
+      }
+      for (int i = own_in; i < in; ++i) {
+        for (int j = 0; j < out; ++j) w(i, j) = 0.0;
+      }
+      b = base.bias(l);
+    }
+    weights_.push_back(std::move(w));
+    biases_.push_back(std::move(b));
+    w_grads_.emplace_back(in, out);
+    b_grads_.emplace_back(1, out);
+  }
+}
+
+Matrix PnnTrunk::run(const Matrix& x, bool train, std::vector<Matrix>* col_inputs,
+                     std::vector<Matrix>* col_hiddens) const {
+  // Column 1 (frozen): recompute its hidden activations layer by layer.
+  const int L = static_cast<int>(weights_.size());
+  std::vector<Matrix> base_hiddens;
+  {
+    Matrix h = x;
+    for (int l = 0; l < L; ++l) {
+      h = linear_forward(h, base_.weight(l), base_.bias(l));
+      if (l + 1 < L) {
+        apply_activation(base_.hidden_activation(), h);
+        base_hiddens.push_back(h);
+      }
+    }
+  }
+
+  // Column 2 with lateral inputs.
+  Matrix h2 = x;
+  for (int l = 0; l < L; ++l) {
+    const Matrix in =
+        l == 0 ? h2 : hconcat(h2, base_hiddens[static_cast<std::size_t>(l - 1)]);
+    if (train) col_inputs->push_back(in);
+    h2 = linear_forward(in, weights_[static_cast<std::size_t>(l)],
+                        biases_[static_cast<std::size_t>(l)]);
+    if (l + 1 < L) {
+      apply_activation(base_.hidden_activation(), h2);
+      if (train) col_hiddens->push_back(h2);
+    }
+  }
+  return h2;
+}
+
+Matrix PnnTrunk::forward(const Matrix& x) {
+  inputs_.clear();
+  hiddens_.clear();
+  return run(x, true, &inputs_, &hiddens_);
+}
+
+Matrix PnnTrunk::forward_inference(const Matrix& x) const {
+  return run(x, false, nullptr, nullptr);
+}
+
+Matrix PnnTrunk::backward(const Matrix& grad_out) {
+  if (inputs_.empty()) throw std::logic_error("PnnTrunk::backward: no cached forward");
+  const int L = static_cast<int>(weights_.size());
+  Matrix grad = grad_out;
+  for (int l = L - 1; l >= 0; --l) {
+    const auto ul = static_cast<std::size_t>(l);
+    if (l < L - 1) {
+      apply_activation_grad(base_.hidden_activation(), hiddens_[ul], grad);
+    }
+    w_grads_[ul].add_inplace(matmul_tn(inputs_[ul], grad));
+    b_grads_[ul].add_inplace(column_sum(grad));
+    const Matrix gin = matmul_nt(grad, weights_[ul]);
+    if (l == 0) {
+      grad = gin;  // gradient w.r.t. the observation
+    } else {
+      // Keep only the own-column slice; the lateral slice feeds the frozen
+      // column and is dropped.
+      const int own = hiddens_[static_cast<std::size_t>(l - 1)].cols();
+      Matrix g2(gin.rows(), own);
+      for (int i = 0; i < gin.rows(); ++i) {
+        for (int j = 0; j < own; ++j) g2(i, j) = gin(i, j);
+      }
+      grad = std::move(g2);
+    }
+  }
+  return grad;
+}
+
+void PnnTrunk::zero_grad() {
+  for (auto& g : w_grads_) g.set_zero();
+  for (auto& g : b_grads_) g.set_zero();
+}
+
+std::vector<Matrix*> PnnTrunk::params() {
+  std::vector<Matrix*> ps;
+  for (auto& w : weights_) ps.push_back(&w);
+  for (auto& b : biases_) ps.push_back(&b);
+  return ps;
+}
+
+std::vector<Matrix*> PnnTrunk::grads() {
+  std::vector<Matrix*> gs;
+  for (auto& g : w_grads_) gs.push_back(&g);
+  for (auto& g : b_grads_) gs.push_back(&g);
+  return gs;
+}
+
+std::unique_ptr<Trunk> PnnTrunk::clone() const { return std::make_unique<PnnTrunk>(*this); }
+
+void PnnTrunk::save(BinaryWriter& w) const {
+  w.write_string("pnn");
+  base_.save(w);
+  w.write_u32(static_cast<std::uint32_t>(weights_.size()));
+  for (const auto& m : weights_) {
+    w.write_u32(static_cast<std::uint32_t>(m.rows()));
+    w.write_u32(static_cast<std::uint32_t>(m.cols()));
+    w.write_f64_vector(m.to_vector());
+  }
+  for (const auto& b : biases_) w.write_f64_vector(b.to_vector());
+}
+
+PnnTrunk PnnTrunk::load(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "pnn") throw std::runtime_error("PnnTrunk::load: bad tag '" + tag + "'");
+  PnnTrunk t;
+  t.base_ = Mlp::load(r);
+  const auto n = r.read_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto rows = static_cast<int>(r.read_u32());
+    const auto cols = static_cast<int>(r.read_u32());
+    Matrix m(rows, cols);
+    const auto v = r.read_f64_vector();
+    if (v.size() != m.size()) throw std::runtime_error("PnnTrunk::load: size mismatch");
+    std::copy(v.begin(), v.end(), m.data());
+    t.weights_.push_back(std::move(m));
+    t.w_grads_.emplace_back(rows, cols);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto v = r.read_f64_vector();
+    Matrix b(1, static_cast<int>(v.size()));
+    std::copy(v.begin(), v.end(), b.data());
+    t.biases_.push_back(std::move(b));
+    t.b_grads_.emplace_back(1, static_cast<int>(v.size()));
+  }
+  return t;
+}
+
+}  // namespace adsec

@@ -1,0 +1,98 @@
+#include "planner/behavior.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+BehaviorPlanner::BehaviorPlanner(const BehaviorConfig& config) : config_(config) {}
+
+void BehaviorPlanner::reset(int initial_lane) {
+  target_lane_ = initial_lane;
+  initialized_ = true;
+}
+
+bool BehaviorPlanner::lane_occupied(const World& world, int lane, double ego_s) const {
+  for (const auto& npc : world.npcs()) {
+    if (npc.lane() != lane) continue;
+    const double rel = npc.frenet().s - ego_s;
+    if (rel > -config_.rear_window && rel < config_.lead_window) return true;
+  }
+  return false;
+}
+
+double BehaviorPlanner::headway_in_lane(const World& world, int lane, double ego_s,
+                                        int* blocker) const {
+  double best = std::numeric_limits<double>::infinity();
+  int best_idx = -1;
+  for (std::size_t i = 0; i < world.npcs().size(); ++i) {
+    const auto& npc = world.npcs()[i];
+    if (npc.lane() != lane) continue;
+    const double rel = npc.frenet().s - ego_s;
+    if (rel > 0.0 && rel < best) {
+      best = rel;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  if (blocker != nullptr) *blocker = best_idx;
+  return best;
+}
+
+PlanStep BehaviorPlanner::plan(const World& world) {
+  const Frenet ego = world.ego_frenet();
+  const Road& road = world.road();
+  if (!initialized_) reset(road.lane_at_offset(ego.d));
+
+  const double target_d_now = road.lane_center_offset(target_lane_);
+  const bool mid_change = std::abs(ego.d - target_d_now) > config_.lane_change_done;
+
+  // Only re-decide between manoeuvres; commit while a change is under way.
+  if (!mid_change) {
+    const double headway = headway_in_lane(world, target_lane_, ego.s);
+    if (headway < config_.follow_distance) {
+      // Overtake: pick the adjacent lane with the most room. Aggressive mode
+      // permits overtaking on either side.
+      int best_lane = target_lane_;
+      double best_headway = headway;
+      for (int cand : {target_lane_ - 1, target_lane_ + 1}) {
+        if (cand < 0 || cand >= road.num_lanes()) continue;
+        if (lane_occupied(world, cand, ego.s)) continue;
+        const double h = headway_in_lane(world, cand, ego.s);
+        if (h > best_headway) {
+          best_headway = h;
+          best_lane = cand;
+        }
+      }
+      target_lane_ = best_lane;
+    }
+  }
+
+  PlanStep step;
+  step.target_lane = target_lane_;
+  step.target_d = road.lane_center_offset(target_lane_);
+  step.changing_lane = std::abs(ego.d - step.target_d) > config_.lane_change_done;
+  step.waypoint = lookahead_waypoint(road, ego.s, target_lane_, config_.lookahead);
+  step.waypoint_dir = waypoint_direction(world.ego().state().position, step.waypoint);
+
+  // Speed: reference, capped by a safe-following law toward the blocker in
+  // the *target* lane — and, while mid-change, also toward the blocker in
+  // the lane the ego currently occupies.
+  step.desired_speed = config_.ref_speed;
+  auto cap_for_lane = [&](int lane) {
+    int blocker = -1;
+    const double headway = headway_in_lane(world, lane, ego.s, &blocker);
+    if (blocker < 0 || headway >= config_.follow_distance) return;
+    const double vb =
+        world.npcs()[static_cast<std::size_t>(blocker)].vehicle().state().speed;
+    const double safe = vb + (headway - config_.min_gap) / config_.time_gap;
+    step.desired_speed = clamp(std::min(step.desired_speed, safe), 0.0,
+                               config_.ref_speed);
+  };
+  cap_for_lane(target_lane_);
+  if (step.changing_lane) cap_for_lane(road.lane_at_offset(ego.d));
+  return step;
+}
+
+}  // namespace adsec

@@ -1,0 +1,68 @@
+// Behaviour layer of the modular pipeline: lane-change / overtake decisions.
+//
+// Tuned to the paper's "aggressive mode" (Sec. III-B): typical freeway
+// reference speed, short following distance for decisive overtaking, and
+// permission to overtake in all lanes. The same planner doubles as the
+// *privileged* planner that shapes the end-to-end agent's reward and defines
+// the reference trajectory for the deviation metric.
+#pragma once
+
+#include "planner/route.hpp"
+#include "sim/world.hpp"
+
+namespace adsec {
+
+struct BehaviorConfig {
+  double ref_speed = 16.0;        // m/s
+  double follow_distance = 28.0;  // trigger overtake when a slower NPC is
+                                  // within this headway (aggressive = short)
+  double lead_window = 32.0;      // lane considered occupied if an NPC is
+                                  // within [ -rear_window, +lead_window ] m
+  double rear_window = 8.0;
+  double lookahead = 9.0;         // waypoint lookahead for steering, m
+  double lane_change_done = 0.6;  // |d - target_d| below which a lane change
+                                  // counts as completed (hysteresis), m
+
+  // Safe-following law when boxed in behind a blocker with no free lane:
+  // desired speed = blocker speed + (headway - min_gap) / time_gap.
+  double min_gap = 7.0;   // m, roughly 1.5 car lengths
+  double time_gap = 0.9;  // s
+};
+
+// Per-step output of the behaviour layer.
+struct PlanStep {
+  int target_lane{0};
+  double target_d{0.0};     // lane-center lateral offset of the target lane
+  double desired_speed{0.0};
+  Waypoint waypoint;        // lookahead waypoint on the target lane
+  Vec2 waypoint_dir;        // unit vector ego -> waypoint
+  bool changing_lane{false};
+};
+
+class BehaviorPlanner {
+ public:
+  explicit BehaviorPlanner(const BehaviorConfig& config = {});
+
+  // Compute this step's plan. Stateful: keeps the committed target lane
+  // until the lane change completes (prevents decision oscillation).
+  PlanStep plan(const World& world);
+
+  void reset(int initial_lane);
+  int target_lane() const { return target_lane_; }
+  const BehaviorConfig& config() const { return config_; }
+
+ private:
+  // True if `lane` has an NPC within the occupancy window around ego_s.
+  bool lane_occupied(const World& world, int lane, double ego_s) const;
+
+  // Headway to the nearest NPC ahead in `lane`, or +inf if clear. If
+  // `blocker` is non-null it receives that NPC's index (-1 if clear).
+  double headway_in_lane(const World& world, int lane, double ego_s,
+                         int* blocker = nullptr) const;
+
+  BehaviorConfig config_;
+  int target_lane_{1};
+  bool initialized_{false};
+};
+
+}  // namespace adsec

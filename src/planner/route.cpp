@@ -1,0 +1,34 @@
+#include "planner/route.hpp"
+
+namespace adsec {
+
+std::vector<Waypoint> lane_waypoints(const Road& road, double s0, int lane,
+                                     int count, double spacing) {
+  std::vector<Waypoint> wps;
+  wps.reserve(static_cast<std::size_t>(count));
+  const double d = road.lane_center_offset(lane);
+  for (int i = 1; i <= count; ++i) {
+    const double s = s0 + i * spacing;
+    Waypoint wp;
+    wp.s = s;
+    wp.position = road.world_at(s, d);
+    wp.heading = road.heading_at(s);
+    wps.push_back(wp);
+  }
+  return wps;
+}
+
+Waypoint lookahead_waypoint(const Road& road, double s0, int lane, double lookahead) {
+  const double s = s0 + lookahead;
+  Waypoint wp;
+  wp.s = s;
+  wp.position = road.world_at(s, road.lane_center_offset(lane));
+  wp.heading = road.heading_at(s);
+  return wp;
+}
+
+Vec2 waypoint_direction(const Vec2& from, const Waypoint& wp) {
+  return (wp.position - from).normalized();
+}
+
+}  // namespace adsec

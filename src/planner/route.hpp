@@ -1,0 +1,33 @@
+// Waypoint route generation — the "green arrows" of paper Fig. 1(a).
+//
+// Given a road and a target lane, emits equally spaced waypoints along the
+// lane center ahead of an arclength position. Both the modular pipeline's
+// local controller and the end-to-end agent's privileged reward consume
+// these waypoints.
+#pragma once
+
+#include <vector>
+
+#include "common/vec2.hpp"
+#include "sim/road.hpp"
+
+namespace adsec {
+
+struct Waypoint {
+  Vec2 position;
+  double heading{0.0};  // lane direction at the waypoint
+  double s{0.0};
+};
+
+// `count` waypoints starting `spacing` metres ahead of s0 in lane `lane`.
+std::vector<Waypoint> lane_waypoints(const Road& road, double s0, int lane,
+                                     int count, double spacing);
+
+// Single lookahead waypoint at distance `lookahead` ahead of s0.
+Waypoint lookahead_waypoint(const Road& road, double s0, int lane, double lookahead);
+
+// Unit direction from `from` toward the waypoint (the vector whose dot
+// product with the ego velocity forms the driving reward).
+Vec2 waypoint_direction(const Vec2& from, const Waypoint& wp);
+
+}  // namespace adsec

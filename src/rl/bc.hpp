@@ -1,0 +1,33 @@
+// Behaviour cloning warm start.
+//
+// The paper trains its end-to-end agent with a reward shaped by a privileged
+// planner ("learning by cheating" style, Sec. III-C). On a single CPU core
+// we get the same effect more directly: clone the modular pipeline's
+// (observation, action) pairs into the SAC actor first, then let SAC
+// fine-tune under its shaped reward. The cloning objective is
+// maximum-entropy regression: MSE(sampled action, expert action) plus a
+// small entropy bonus that keeps exploration alive for the SAC phase.
+#pragma once
+
+#include "nn/gaussian_policy.hpp"
+
+namespace adsec {
+
+struct BcConfig {
+  int epochs = 40;
+  int batch_size = 64;
+  double lr = 1e-3;
+  double entropy_weight = 1e-3;  // weight on E[log pi] in the loss
+  std::uint64_t seed = 11;
+};
+
+struct BcResult {
+  std::vector<double> epoch_losses;  // mean squared action error per epoch
+};
+
+// Train `policy` toward the dataset (rows of `obs` paired with rows of
+// `acts`, actions in (-1, 1)).
+BcResult bc_train(GaussianPolicy& policy, const Matrix& obs, const Matrix& acts,
+                  const BcConfig& config);
+
+}  // namespace adsec

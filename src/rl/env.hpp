@@ -1,0 +1,37 @@
+// RL environment interface.
+//
+// Both training MDPs in the paper implement this: the *driving* MDP
+// (agents/driving_env — observations from the ego's own semantic camera,
+// actions = [steer variation, thrust variation]) and the *adversarial* MDP
+// (attack/attack_env — observations from the attacker's extra camera or
+// IMU, action = the steering perturbation delta).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adsec {
+
+struct EnvStep {
+  std::vector<double> obs;
+  double reward{0.0};
+  bool done{false};
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Start a new episode; the seed drives all per-episode randomness.
+  virtual std::vector<double> reset(std::uint64_t seed) = 0;
+
+  // Apply an action (each element in [-1, 1]) and advance one step.
+  // Must not be called on a finished episode.
+  virtual EnvStep step(std::span<const double> action) = 0;
+
+  virtual int obs_dim() const = 0;
+  virtual int act_dim() const = 0;
+};
+
+}  // namespace adsec

@@ -1,0 +1,65 @@
+#include "rl/replay.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adsec {
+
+ReplayBuffer::ReplayBuffer(int capacity, int obs_dim, int act_dim)
+    : capacity_(capacity), obs_dim_(obs_dim), act_dim_(act_dim) {
+  if (capacity < 1 || obs_dim < 1 || act_dim < 1) {
+    throw std::invalid_argument("ReplayBuffer: bad dimensions");
+  }
+  obs_.resize(static_cast<std::size_t>(capacity) * obs_dim);
+  act_.resize(static_cast<std::size_t>(capacity) * act_dim);
+  rew_.resize(static_cast<std::size_t>(capacity));
+  next_obs_.resize(static_cast<std::size_t>(capacity) * obs_dim);
+  done_.resize(static_cast<std::size_t>(capacity));
+}
+
+void ReplayBuffer::add(std::span<const double> obs, std::span<const double> act,
+                       double rew, std::span<const double> next_obs, bool done) {
+  if (static_cast<int>(obs.size()) != obs_dim_ ||
+      static_cast<int>(next_obs.size()) != obs_dim_ ||
+      static_cast<int>(act.size()) != act_dim_) {
+    throw std::invalid_argument("ReplayBuffer::add: dimension mismatch");
+  }
+  const auto o = static_cast<std::size_t>(head_) * obs_dim_;
+  const auto a = static_cast<std::size_t>(head_) * act_dim_;
+  std::memcpy(obs_.data() + o, obs.data(), sizeof(double) * obs.size());
+  std::memcpy(act_.data() + a, act.data(), sizeof(double) * act.size());
+  std::memcpy(next_obs_.data() + o, next_obs.data(), sizeof(double) * next_obs.size());
+  rew_[static_cast<std::size_t>(head_)] = rew;
+  done_[static_cast<std::size_t>(head_)] = done ? 1.0 : 0.0;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+Batch ReplayBuffer::sample(int batch_size, Rng& rng) const {
+  if (size_ == 0) throw std::logic_error("ReplayBuffer::sample: buffer empty");
+  Batch b;
+  b.obs = Matrix(batch_size, obs_dim_);
+  b.act = Matrix(batch_size, act_dim_);
+  b.rew = Matrix(batch_size, 1);
+  b.next_obs = Matrix(batch_size, obs_dim_);
+  b.done = Matrix(batch_size, 1);
+  for (int i = 0; i < batch_size; ++i) {
+    const auto k = static_cast<std::size_t>(rng.uniform_int(static_cast<std::uint32_t>(size_)));
+    std::memcpy(b.obs.data() + static_cast<std::size_t>(i) * obs_dim_,
+                obs_.data() + k * obs_dim_, sizeof(double) * obs_dim_);
+    std::memcpy(b.act.data() + static_cast<std::size_t>(i) * act_dim_,
+                act_.data() + k * act_dim_, sizeof(double) * act_dim_);
+    std::memcpy(b.next_obs.data() + static_cast<std::size_t>(i) * obs_dim_,
+                next_obs_.data() + k * obs_dim_, sizeof(double) * obs_dim_);
+    b.rew(i, 0) = rew_[k];
+    b.done(i, 0) = done_[k];
+  }
+  return b;
+}
+
+void ReplayBuffer::clear() {
+  size_ = 0;
+  head_ = 0;
+}
+
+}  // namespace adsec

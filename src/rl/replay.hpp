@@ -1,0 +1,46 @@
+// Uniform-sampling replay buffer for off-policy RL (SAC).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace adsec {
+
+struct Batch {
+  Matrix obs;       // B x obs_dim
+  Matrix act;       // B x act_dim
+  Matrix rew;       // B x 1
+  Matrix next_obs;  // B x obs_dim
+  Matrix done;      // B x 1 (1.0 = terminal)
+};
+
+class ReplayBuffer {
+ public:
+  ReplayBuffer(int capacity, int obs_dim, int act_dim);
+
+  void add(std::span<const double> obs, std::span<const double> act, double rew,
+           std::span<const double> next_obs, bool done);
+
+  Batch sample(int batch_size, Rng& rng) const;
+
+  int size() const { return size_; }
+  int capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  int capacity_;
+  int obs_dim_;
+  int act_dim_;
+  int size_{0};
+  int head_{0};
+  std::vector<double> obs_;
+  std::vector<double> act_;
+  std::vector<double> rew_;
+  std::vector<double> next_obs_;
+  std::vector<double> done_;
+};
+
+}  // namespace adsec

@@ -1,0 +1,155 @@
+#include "rl/sac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adsec {
+
+Sac::Sac(int obs_dim, int act_dim, const SacConfig& config, Rng& rng)
+    : config_(config),
+      actor_(GaussianPolicy::make_mlp(obs_dim, config.actor_hidden, act_dim, rng)) {
+  init(obs_dim, act_dim, rng);
+}
+
+Sac::Sac(GaussianPolicy actor, const SacConfig& config, Rng& rng)
+    : config_(config), actor_(std::move(actor)) {
+  init(actor_.obs_dim(), actor_.act_dim(), rng);
+}
+
+void Sac::init(int obs_dim, int act_dim, Rng& rng) {
+  std::vector<int> qdims;
+  qdims.push_back(obs_dim + act_dim);
+  qdims.insert(qdims.end(), config_.critic_hidden.begin(), config_.critic_hidden.end());
+  qdims.push_back(1);
+  q1_ = Mlp(qdims, Activation::ReLU, rng);
+  q2_ = Mlp(qdims, Activation::ReLU, rng);
+  q1_target_ = q1_;
+  q2_target_ = q2_;
+
+  AdamConfig a;
+  a.lr = config_.actor_lr;
+  actor_opt_ = std::make_unique<Adam>(actor_.params(), actor_.grads(), a);
+  AdamConfig c;
+  c.lr = config_.critic_lr;
+  q1_opt_ = std::make_unique<Adam>(q1_.params(), q1_.grads(), c);
+  q2_opt_ = std::make_unique<Adam>(q2_.params(), q2_.grads(), c);
+
+  log_alpha_ = std::log(std::max(1e-8, config_.init_alpha));
+  target_entropy_ = config_.target_entropy != 0.0 ? config_.target_entropy
+                                                  : -static_cast<double>(act_dim);
+}
+
+std::vector<double> Sac::act(std::span<const double> obs, Rng& rng,
+                             bool deterministic) const {
+  Matrix o(1, static_cast<int>(obs.size()));
+  std::copy(obs.begin(), obs.end(), o.data());
+  if (deterministic) {
+    return actor_.mean_action(o).to_vector();
+  }
+  return actor_.sample_inference(o, rng).action.to_vector();
+}
+
+Matrix Sac::critic_input(const Matrix& obs, const Matrix& act) {
+  return hconcat(obs, act);
+}
+
+void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
+  if (buffer.size() < config_.batch_size) return;
+  const Batch b = buffer.sample(config_.batch_size, rng);
+  const int B = config_.batch_size;
+  const double alpha = std::exp(log_alpha_);
+
+  // ---- Critic targets: y = r + gamma * (1-d) * (min Q_target(s',a') - alpha*logp').
+  const PolicySample next = actor_.sample_inference(b.next_obs, rng);
+  const Matrix qin_next = critic_input(b.next_obs, next.action);
+  const Matrix q1n = q1_target_.forward_inference(qin_next);
+  const Matrix q2n = q2_target_.forward_inference(qin_next);
+  Matrix y(B, 1);
+  for (int i = 0; i < B; ++i) {
+    const double qmin = std::min(q1n(i, 0), q2n(i, 0));
+    y(i, 0) = b.rew(i, 0) +
+              config_.gamma * (1.0 - b.done(i, 0)) * (qmin - alpha * next.log_prob(i, 0));
+  }
+
+  // ---- Critic update: MSE toward y.
+  const Matrix qin = critic_input(b.obs, b.act);
+  double closs = 0.0;
+  for (Mlp* q : {&q1_, &q2_}) {
+    const Matrix qv = q->forward(qin);
+    Matrix grad(B, 1);
+    for (int i = 0; i < B; ++i) {
+      const double err = qv(i, 0) - y(i, 0);
+      closs += err * err / (2.0 * B);
+      grad(i, 0) = 2.0 * err / B;
+    }
+    q->backward(grad);
+  }
+  last_critic_loss_ = closs;
+  q1_opt_->step();
+  q2_opt_->step();
+
+  if (updates_ < config_.actor_delay_updates) {
+    q1_target_.soft_update_from(q1_, config_.tau);
+    q2_target_.soft_update_from(q2_, config_.tau);
+    ++updates_;
+    return;
+  }
+
+  // ---- Actor update: minimize E[alpha * logp - min Q(s, a~)].
+  const PolicySample cur = actor_.sample(b.obs, rng);
+  const Matrix qin_pi = critic_input(b.obs, cur.action);
+  const Matrix q1v = q1_.forward(qin_pi);
+  const Matrix q2v = q2_.forward(qin_pi);
+
+  // Per-row, the gradient flows through whichever critic attains the min.
+  Matrix g1(B, 1), g2(B, 1);
+  double aloss = 0.0;
+  for (int i = 0; i < B; ++i) {
+    const bool first = q1v(i, 0) <= q2v(i, 0);
+    // d(-Q)/dQ_k = -1/B on the selected critic.
+    g1(i, 0) = first ? -1.0 / B : 0.0;
+    g2(i, 0) = first ? 0.0 : -1.0 / B;
+    aloss += (alpha * cur.log_prob(i, 0) - std::min(q1v(i, 0), q2v(i, 0))) / B;
+  }
+  last_actor_loss_ = aloss;
+
+  // Input gradients of the critics give dL/da (last act_dim columns); the
+  // critic parameter grads accumulated here are discarded below.
+  const Matrix gin1 = q1_.backward(g1);
+  const Matrix gin2 = q2_.backward(g2);
+  q1_.zero_grad();
+  q2_.zero_grad();
+
+  const int act_dim = actor_.act_dim();
+  const int obs_dim = b.obs.cols();
+  Matrix dL_da(B, act_dim);
+  for (int i = 0; i < B; ++i) {
+    for (int j = 0; j < act_dim; ++j) {
+      dL_da(i, j) = gin1(i, obs_dim + j) + gin2(i, obs_dim + j);
+    }
+  }
+  Matrix dL_dlogp(B, 1);
+  for (int i = 0; i < B; ++i) dL_dlogp(i, 0) = alpha / B;
+
+  actor_.backward(dL_da, dL_dlogp);
+  actor_opt_->step();
+
+  // ---- Temperature update: minimize -log_alpha * E[logp + target_entropy].
+  if (config_.auto_alpha) {
+    double mean_lp = 0.0;
+    for (int i = 0; i < B; ++i) mean_lp += cur.log_prob(i, 0) / B;
+    const double grad_log_alpha = -(mean_lp + target_entropy_);
+    log_alpha_ -= config_.alpha_lr * grad_log_alpha;
+    // Upper clamp keeps a BC-warm-started policy (whose tight action
+    // distribution has large log-densities) from inflating alpha until the
+    // entropy bonus drowns the task reward.
+    log_alpha_ = std::clamp(log_alpha_, std::log(1e-4), std::log(0.3));
+  }
+
+  // ---- Target sync.
+  q1_target_.soft_update_from(q1_, config_.tau);
+  q2_target_.soft_update_from(q2_, config_.tau);
+  ++updates_;
+}
+
+}  // namespace adsec

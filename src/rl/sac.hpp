@@ -1,0 +1,82 @@
+// Soft Actor-Critic (Haarnoja et al., 2018) — the DRL algorithm the paper
+// uses for BOTH sides: the end-to-end driving policy pi_v (Sec. III-C) and
+// the adversarial policies pi_adv (Sec. IV-E).
+//
+// Twin Q critics with Polyak-averaged targets, a tanh-Gaussian actor, and
+// automatic entropy-temperature tuning toward a target entropy of -|A|.
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.hpp"
+#include "nn/gaussian_policy.hpp"
+#include "rl/replay.hpp"
+
+namespace adsec {
+
+struct SacConfig {
+  std::vector<int> actor_hidden{64, 64};
+  std::vector<int> critic_hidden{64, 64};
+  double gamma = 0.99;
+  double tau = 0.01;  // Polyak rate for target critics
+  double actor_lr = 1e-3;
+  double critic_lr = 1e-3;
+  double alpha_lr = 1e-3;
+  double init_alpha = 0.1;
+  bool auto_alpha = true;
+  double target_entropy = 0.0;  // 0 => use -act_dim
+  int batch_size = 64;
+
+  // Skip actor/temperature updates for the first N update() calls so that
+  // fresh critics stabilize before they steer a (possibly pre-trained)
+  // actor — important when fine-tuning from a behaviour-cloned policy.
+  int actor_delay_updates = 0;
+};
+
+class Sac {
+ public:
+  // Fresh actor and critics.
+  Sac(int obs_dim, int act_dim, const SacConfig& config, Rng& rng);
+
+  // Continue training from an existing actor (adversarial fine-tuning /
+  // PNN column training). Critics are fresh.
+  Sac(GaussianPolicy actor, const SacConfig& config, Rng& rng);
+
+  // Sample an action for environment interaction (stochastic), or the
+  // deterministic mean action for evaluation.
+  std::vector<double> act(std::span<const double> obs, Rng& rng,
+                          bool deterministic = false) const;
+
+  // One gradient update (critics, actor, temperature, target sync) from a
+  // uniformly sampled minibatch. No-op if the buffer is smaller than the
+  // batch size.
+  void update(const ReplayBuffer& buffer, Rng& rng);
+
+  GaussianPolicy& actor() { return actor_; }
+  const GaussianPolicy& actor() const { return actor_; }
+  double alpha() const { return std::exp(log_alpha_); }
+  long updates_done() const { return updates_; }
+
+  // Diagnostics from the most recent update.
+  double last_critic_loss() const { return last_critic_loss_; }
+  double last_actor_loss() const { return last_actor_loss_; }
+
+ private:
+  void init(int obs_dim, int act_dim, Rng& rng);
+
+  // Q value(s) for (obs, act) through a critic, training-mode (cached).
+  static Matrix critic_input(const Matrix& obs, const Matrix& act);
+
+  SacConfig config_;
+  GaussianPolicy actor_;
+  Mlp q1_, q2_, q1_target_, q2_target_;
+  std::unique_ptr<Adam> actor_opt_;
+  std::unique_ptr<Adam> q1_opt_, q2_opt_;
+  double log_alpha_{0.0};
+  double target_entropy_{-1.0};
+  long updates_{0};
+  double last_critic_loss_{0.0};
+  double last_actor_loss_{0.0};
+};
+
+}  // namespace adsec

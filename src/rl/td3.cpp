@@ -1,0 +1,129 @@
+#include "rl/td3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+Td3::Td3(int obs_dim, int act_dim, const Td3Config& config, Rng& rng)
+    : config_(config), act_dim_(act_dim) {
+  std::vector<int> adims;
+  adims.push_back(obs_dim);
+  adims.insert(adims.end(), config.actor_hidden.begin(), config.actor_hidden.end());
+  adims.push_back(act_dim);
+  actor_ = Mlp(adims, Activation::ReLU, rng);
+  actor_target_ = actor_;
+
+  std::vector<int> qdims;
+  qdims.push_back(obs_dim + act_dim);
+  qdims.insert(qdims.end(), config.critic_hidden.begin(), config.critic_hidden.end());
+  qdims.push_back(1);
+  q1_ = Mlp(qdims, Activation::ReLU, rng);
+  q2_ = Mlp(qdims, Activation::ReLU, rng);
+  q1_target_ = q1_;
+  q2_target_ = q2_;
+
+  AdamConfig a;
+  a.lr = config.actor_lr;
+  actor_opt_ = std::make_unique<Adam>(actor_.params(), actor_.grads(), a);
+  AdamConfig c;
+  c.lr = config.critic_lr;
+  q1_opt_ = std::make_unique<Adam>(q1_.params(), q1_.grads(), c);
+  q2_opt_ = std::make_unique<Adam>(q2_.params(), q2_.grads(), c);
+}
+
+void Td3::warm_start_actor(const Mlp& net) {
+  actor_.soft_update_from(net, 1.0);
+  actor_target_.soft_update_from(net, 1.0);
+}
+
+Matrix Td3::actor_forward_inference(const Matrix& obs) const {
+  Matrix a = actor_.forward_inference(obs);
+  apply_activation(Activation::Tanh, a);
+  return a;
+}
+
+std::vector<double> Td3::act(std::span<const double> obs, Rng& rng,
+                             bool deterministic) const {
+  Matrix o(1, static_cast<int>(obs.size()));
+  std::copy(obs.begin(), obs.end(), o.data());
+  Matrix a = actor_forward_inference(o);
+  std::vector<double> out(a.data(), a.data() + a.cols());
+  if (!deterministic) {
+    for (auto& v : out) v = clamp(v + rng.normal(0.0, config_.explore_noise), -1.0, 1.0);
+  }
+  return out;
+}
+
+void Td3::update(const ReplayBuffer& buffer, Rng& rng) {
+  if (buffer.size() < config_.batch_size) return;
+  const Batch b = buffer.sample(config_.batch_size, rng);
+  const int B = config_.batch_size;
+
+  // ---- Targets with policy smoothing.
+  Matrix next_a = actor_target_.forward_inference(b.next_obs);
+  apply_activation(Activation::Tanh, next_a);
+  for (std::size_t i = 0; i < next_a.size(); ++i) {
+    const double noise = clamp(rng.normal(0.0, config_.target_noise),
+                               -config_.target_clip, config_.target_clip);
+    next_a.data()[i] = clamp(next_a.data()[i] + noise, -1.0, 1.0);
+  }
+  const Matrix qin_next = hconcat(b.next_obs, next_a);
+  const Matrix q1n = q1_target_.forward_inference(qin_next);
+  const Matrix q2n = q2_target_.forward_inference(qin_next);
+  Matrix y(B, 1);
+  for (int i = 0; i < B; ++i) {
+    y(i, 0) = b.rew(i, 0) + config_.gamma * (1.0 - b.done(i, 0)) *
+                                std::min(q1n(i, 0), q2n(i, 0));
+  }
+
+  // ---- Critic regression.
+  const Matrix qin = hconcat(b.obs, b.act);
+  double closs = 0.0;
+  for (Mlp* q : {&q1_, &q2_}) {
+    const Matrix qv = q->forward(qin);
+    Matrix grad(B, 1);
+    for (int i = 0; i < B; ++i) {
+      const double err = qv(i, 0) - y(i, 0);
+      closs += err * err / (2.0 * B);
+      grad(i, 0) = 2.0 * err / B;
+    }
+    q->backward(grad);
+  }
+  last_critic_loss_ = closs;
+  q1_opt_->step();
+  q2_opt_->step();
+  ++updates_;
+
+  // ---- Delayed deterministic policy gradient + target sync.
+  if (updates_ % config_.policy_delay != 0) return;
+
+  const Matrix pre = actor_.forward(b.obs);  // cached for backward
+  Matrix a = pre;
+  apply_activation(Activation::Tanh, a);
+  const Matrix qin_pi = hconcat(b.obs, a);
+  q1_.forward(qin_pi);
+  Matrix gq(B, 1);
+  gq.fill(-1.0 / B);  // maximize Q1
+  const Matrix gin = q1_.backward(gq);
+  q1_.zero_grad();
+
+  const int obs_dim = b.obs.cols();
+  Matrix da(B, act_dim_);
+  for (int i = 0; i < B; ++i) {
+    for (int j = 0; j < act_dim_; ++j) {
+      const double av = a(i, j);
+      da(i, j) = gin(i, obs_dim + j) * (1.0 - av * av);  // through tanh
+    }
+  }
+  actor_.backward(da);
+  actor_opt_->step();
+
+  actor_target_.soft_update_from(actor_, config_.tau);
+  q1_target_.soft_update_from(q1_, config_.tau);
+  q2_target_.soft_update_from(q2_, config_.tau);
+}
+
+}  // namespace adsec

@@ -1,0 +1,68 @@
+// Twin Delayed DDPG (Fujimoto et al., 2018) — a second off-policy actor-
+// critic, used as an algorithm ablation against SAC (the paper fixes SAC;
+// reproducing its results with a different learner probes whether the
+// attack/defense findings are algorithm-specific).
+//
+// Deterministic tanh actor + twin critics with target policy smoothing and
+// delayed actor updates. Exploration adds Gaussian noise to the actor
+// output during rollouts.
+#pragma once
+
+#include <memory>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "rl/replay.hpp"
+
+namespace adsec {
+
+struct Td3Config {
+  std::vector<int> actor_hidden{64, 64};
+  std::vector<int> critic_hidden{64, 64};
+  double gamma = 0.99;
+  double tau = 0.01;
+  double actor_lr = 1e-3;
+  double critic_lr = 1e-3;
+  double explore_noise = 0.1;   // stdev of rollout action noise
+  double target_noise = 0.2;    // target policy smoothing stdev
+  double target_clip = 0.5;     // smoothing noise clip
+  int policy_delay = 2;         // critic updates per actor update
+  int batch_size = 64;
+};
+
+class Td3 {
+ public:
+  Td3(int obs_dim, int act_dim, const Td3Config& config, Rng& rng);
+
+  // Action for environment interaction; `deterministic` drops the
+  // exploration noise. Outputs are tanh-bounded to (-1, 1).
+  std::vector<double> act(std::span<const double> obs, Rng& rng,
+                          bool deterministic = false) const;
+
+  // One gradient update; actor and targets update every `policy_delay`
+  // calls. No-op while the buffer is smaller than the batch.
+  void update(const ReplayBuffer& buffer, Rng& rng);
+
+  long updates_done() const { return updates_; }
+  double last_critic_loss() const { return last_critic_loss_; }
+
+  // Deterministic policy network (tanh applied on top of the trunk output).
+  const Mlp& actor() const { return actor_; }
+
+  // Overwrite actor and its target with a pre-trained network of identical
+  // shape (behaviour-cloning warm start).
+  void warm_start_actor(const Mlp& net);
+
+ private:
+  Matrix actor_forward_inference(const Matrix& obs) const;  // tanh-squashed
+
+  Td3Config config_;
+  Mlp actor_, actor_target_;
+  Mlp q1_, q2_, q1_target_, q2_target_;
+  std::unique_ptr<Adam> actor_opt_, q1_opt_, q2_opt_;
+  int act_dim_{0};
+  long updates_{0};
+  double last_critic_loss_{0.0};
+};
+
+}  // namespace adsec

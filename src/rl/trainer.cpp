@@ -1,0 +1,103 @@
+#include "rl/trainer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace adsec {
+
+double evaluate_policy(const Sac& sac, Env& env, int episodes, std::uint64_t seed_base,
+                       Rng& rng) {
+  double total = 0.0;
+  for (int k = 0; k < episodes; ++k) {
+    std::vector<double> obs = env.reset(seed_base + static_cast<std::uint64_t>(k));
+    bool done = false;
+    double ret = 0.0;
+    while (!done) {
+      const auto act = sac.act(obs, rng, /*deterministic=*/true);
+      EnvStep s = env.step(act);
+      ret += s.reward;
+      done = s.done;
+      obs = std::move(s.obs);
+    }
+    total += ret;
+  }
+  return total / episodes;
+}
+
+TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
+                      const EvalCallback& on_eval) {
+  TrainResult result;
+  Rng rng(config.seed);
+  ReplayBuffer buffer(config.replay_capacity, env.obs_dim(), env.act_dim());
+
+  std::uint64_t episode = 0;
+  std::vector<double> obs = env.reset(config.seed + episode);
+  double ep_return = 0.0;
+
+  double best_eval = -1e300;
+  int evals_since_improvement = 0;
+
+  for (int step = 1; step <= config.total_steps; ++step) {
+    std::vector<double> action(static_cast<std::size_t>(env.act_dim()));
+    if (step <= config.start_steps) {
+      for (auto& a : action) a = rng.uniform(-1.0, 1.0);
+    } else {
+      action = sac.act(obs, rng, /*deterministic=*/false);
+    }
+
+    EnvStep s = env.step(action);
+    buffer.add(obs, action, s.reward, s.obs, s.done);
+    ep_return += s.reward;
+    obs = std::move(s.obs);
+
+    if (s.done) {
+      result.episode_returns.push_back(ep_return);
+      ep_return = 0.0;
+      ++episode;
+      obs = env.reset(config.seed + episode);
+    }
+
+    if (step > config.update_after && step % config.update_every == 0) {
+      for (int u = 0; u < config.updates_per_burst; ++u) sac.update(buffer, rng);
+    }
+
+    if (config.eval_every > 0 && step % config.eval_every == 0) {
+      const double eval_ret =
+          evaluate_policy(sac, env, config.eval_episodes, config.eval_seed_base, rng);
+      result.eval_returns.push_back(eval_ret);
+      log_info("train_sac: step %d eval return %.2f (alpha %.3f)", step, eval_ret,
+               sac.alpha());
+      if (on_eval) on_eval(step, eval_ret);
+
+      if (eval_ret > result.best_eval_return) {
+        result.best_eval_return = eval_ret;
+        result.best_actor = sac.actor();  // deep copy snapshot
+      }
+      if (eval_ret > best_eval + config.plateau_eps) {
+        best_eval = eval_ret;
+        evals_since_improvement = 0;
+      } else {
+        ++evals_since_improvement;
+        if (evals_since_improvement >= config.plateau_patience) {
+          log_info("train_sac: reward plateau after %d steps; stopping early", step);
+          result.steps_done = step;
+          result.stopped_on_plateau = true;
+          // Leave the in-progress episode unfinished; callers only use the
+          // trained actor.
+          return result;
+        }
+      }
+      // Evaluation rolled fresh episodes through the shared env; restart the
+      // training episode so transitions stay consistent.
+      ++episode;
+      obs = env.reset(config.seed + episode);
+      ep_return = 0.0;
+    }
+
+    result.steps_done = step;
+  }
+  return result;
+}
+
+}  // namespace adsec

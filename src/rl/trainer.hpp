@@ -1,0 +1,56 @@
+// Generic SAC training loop with periodic deterministic evaluation and the
+// paper's stop rule: "training stops either when the maximum number of
+// training steps is reached or when the average reward stabilizes during
+// periodic evaluations" (Sec. IV-E).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "rl/env.hpp"
+#include "rl/sac.hpp"
+
+namespace adsec {
+
+struct TrainConfig {
+  int total_steps = 30000;
+  int start_steps = 1000;       // uniform-random warmup actions
+  int update_after = 500;       // begin gradient updates after this many steps
+  int update_every = 1;         // env steps between update bursts
+  int updates_per_burst = 1;
+  int replay_capacity = 60000;
+
+  int eval_every = 3000;        // env steps between evaluations; 0 disables
+  int eval_episodes = 3;
+  double plateau_eps = 2.0;     // "stabilized" if best eval improves < eps
+  int plateau_patience = 4;     // ...for this many consecutive evaluations
+  std::uint64_t seed = 1;
+
+  // Episode seeds: training episodes use seed + episode index; evaluation
+  // uses eval_seed_base + k to hold the eval scenarios fixed across runs.
+  std::uint64_t eval_seed_base = 900000;
+};
+
+struct TrainResult {
+  std::vector<double> episode_returns;
+  std::vector<double> eval_returns;  // mean return at each evaluation
+  int steps_done{0};
+  bool stopped_on_plateau{false};
+
+  // Snapshot of the actor at its best evaluation (set when eval_every > 0).
+  // SAC's final iterate can be noisier than its best — deploy this one.
+  std::optional<GaussianPolicy> best_actor;
+  double best_eval_return{-1e300};
+};
+
+// Mean deterministic-policy return over `episodes` fresh episodes.
+double evaluate_policy(const Sac& sac, Env& env, int episodes, std::uint64_t seed_base,
+                       Rng& rng);
+
+// Optional per-evaluation callback (step, mean eval return).
+using EvalCallback = std::function<void(int, double)>;
+
+TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
+                      const EvalCallback& on_eval = {});
+
+}  // namespace adsec

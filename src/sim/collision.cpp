@@ -1,0 +1,83 @@
+#include "sim/collision.hpp"
+
+#include <cmath>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+const char* to_string(CollisionType t) {
+  switch (t) {
+    case CollisionType::None: return "none";
+    case CollisionType::Side: return "side";
+    case CollisionType::RearEnd: return "rear-end";
+    case CollisionType::Frontal: return "frontal";
+    case CollisionType::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+// Project corners onto axis; return [min, max].
+void project_onto(const Vec2 corners[4], const Vec2& axis, double& lo, double& hi) {
+  lo = hi = corners[0].dot(axis);
+  for (int i = 1; i < 4; ++i) {
+    const double p = corners[i].dot(axis);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+}
+
+bool separated_on(const Vec2 a[4], const Vec2 b[4], const Vec2& axis) {
+  double alo, ahi, blo, bhi;
+  project_onto(a, axis, alo, ahi);
+  project_onto(b, axis, blo, bhi);
+  return ahi < blo || bhi < alo;
+}
+}  // namespace
+
+bool obb_overlap(const Vec2 a[4], const Vec2 b[4]) {
+  // Candidate separating axes: the two edge normals of each box.
+  const Vec2 axes[4] = {
+      (a[1] - a[0]).perp(), (a[3] - a[0]).perp(),
+      (b[1] - b[0]).perp(), (b[3] - b[0]).perp(),
+  };
+  for (const Vec2& axis : axes) {
+    if (separated_on(a, b, axis)) return false;
+  }
+  return true;
+}
+
+bool vehicles_overlap(const Vehicle& a, const Vehicle& b) {
+  Vec2 ca[4], cb[4];
+  a.corners(ca);
+  b.corners(cb);
+  return obb_overlap(ca, cb);
+}
+
+CollisionType classify_vehicle_collision(const Vehicle& ego, const Vehicle& npc) {
+  // Ego center expressed in the NPC's frame.
+  const Vec2 rel = ego.state().position - npc.state().position;
+  const Vec2 npc_fwd = npc.heading_vector();
+  const double lon = rel.dot(npc_fwd);
+  const double lat = rel.dot(npc_fwd.perp());
+
+  const double norm_lon = std::abs(lon) / (0.5 * npc.params().length);
+  const double norm_lat = std::abs(lat) / (0.5 * npc.params().width);
+
+  const double rel_heading =
+      std::abs(angle_diff(ego.state().heading, npc.state().heading));
+
+  if (norm_lat > norm_lon && rel_heading < deg2rad(75.0)) {
+    return CollisionType::Side;
+  }
+  // Contact along the NPC's longitudinal axis: behind => ego rear-ended the
+  // NPC; ahead => the NPC ran into the ego (counted as frontal for the ego).
+  return lon < 0.0 ? CollisionType::RearEnd : CollisionType::Frontal;
+}
+
+bool hits_barrier(double lateral_offset, double ego_half_width, double road_half_width) {
+  return std::abs(lateral_offset) + ego_half_width >= road_half_width;
+}
+
+}  // namespace adsec

@@ -1,0 +1,43 @@
+// Oriented-bounding-box collision detection and contact classification.
+//
+// The adversarial reward (paper Sec. IV-D) pays +a for a *side* collision
+// and -a for any other collision (rear-end, frontal, barrier), so the
+// classifier below is part of the attack's objective, not just bookkeeping.
+#pragma once
+
+#include "common/vec2.hpp"
+#include "sim/vehicle.hpp"
+
+namespace adsec {
+
+enum class CollisionType {
+  None,
+  Side,     // ego contacts the NPC laterally (the attacker's goal)
+  RearEnd,  // ego runs into the NPC's rear
+  Frontal,  // ego is struck on its front by the NPC's rear approaching? (ego front vs npc front)
+  Barrier,  // ego leaves the drivable area
+};
+
+const char* to_string(CollisionType t);
+
+// Separating-axis test for two oriented boxes given by their 4 corners.
+bool obb_overlap(const Vec2 a[4], const Vec2 b[4]);
+
+// True if the two vehicles' bounding boxes overlap.
+bool vehicles_overlap(const Vehicle& a, const Vehicle& b);
+
+// Classify the contact between ego and npc, assuming they overlap.
+//
+// The contact face is decided in the NPC's frame: if the ego center sits
+// beside the NPC (normalized lateral offset exceeds normalized longitudinal
+// offset) the hit is a side collision; in front/behind it is frontal or
+// rear-end. A side impact additionally requires roughly parallel headings
+// (within 75 degrees) — a perpendicular T-bone does not occur on a freeway
+// and would otherwise be misclassified by the face test alone.
+CollisionType classify_vehicle_collision(const Vehicle& ego, const Vehicle& npc);
+
+// Barrier check: does the ego's footprint cross the road edge?
+// `lateral_offset` is the ego center's Frenet d; `road_half_width` from Road.
+bool hits_barrier(double lateral_offset, double ego_half_width, double road_half_width);
+
+}  // namespace adsec

@@ -1,0 +1,54 @@
+#include "sim/npc.hpp"
+
+#include <algorithm>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+Npc::Npc(const VehicleParams& vehicle_params, const NpcParams& npc_params,
+         std::shared_ptr<const Road> road, int lane, double start_s)
+    : npc_params_(npc_params), road_(std::move(road)), lane_(lane) {
+  VehicleState init;
+  const double d = road_->lane_center_offset(lane);
+  init.position = road_->world_at(start_s, d);
+  init.heading = road_->heading_at(start_s);
+  init.speed = npc_params.ref_speed;
+  vehicle_ = Vehicle(vehicle_params, init);
+  frenet_ = road_->project(init.position);
+}
+
+void Npc::step(double dt, double leader_gap, double leader_speed) {
+  frenet_ = road_->project(vehicle_.state().position);
+  const double target_d = road_->lane_center_offset(lane_);
+  const double offset_err = target_d - frenet_.d;
+
+  // Lane keeping via a clamped approach angle: aim the heading slightly
+  // toward the lane center (proportional to the offset, capped), then steer
+  // on the heading error. The cap keeps large displacements from saturating
+  // the steering into a limit cycle.
+  const double approach = clamp(npc_params_.offset_gain * offset_err,
+                                -npc_params_.max_approach_angle,
+                                npc_params_.max_approach_angle);
+  const double desired_heading =
+      wrap_angle(road_->heading_at(frenet_.s) + approach);
+  const double heading_err = angle_diff(desired_heading, vehicle_.state().heading);
+
+  // IDM-style safe-follow cap on the desired speed when reactive.
+  double desired_speed = npc_params_.ref_speed;
+  if (npc_params_.reactive) {
+    const double headway_budget =
+        leader_speed + (leader_gap - npc_params_.idm_min_gap) / npc_params_.idm_time_gap;
+    desired_speed = clamp(std::min(desired_speed, headway_budget), 0.0,
+                          npc_params_.ref_speed);
+  }
+
+  Action a;
+  a.steer_variation = clamp(npc_params_.heading_gain * heading_err, -1.0, 1.0);
+  a.thrust_variation = clamp(
+      npc_params_.speed_gain * (desired_speed - vehicle_.state().speed), -1.0, 1.0);
+  vehicle_.step(a, dt);
+  frenet_ = road_->project(vehicle_.state().position);
+}
+
+}  // namespace adsec

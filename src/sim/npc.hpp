@@ -1,0 +1,58 @@
+// Background (NPC) traffic: vehicles that keep their lane at a constant
+// reference speed, like the 6 m/s NPC stream in the paper's scenario.
+//
+// NPCs carry a small embedded lane-keeping controller rather than using the
+// full modular pipeline: they are scenario furniture, not agents under test.
+#pragma once
+
+#include <memory>
+
+#include "sim/road.hpp"
+#include "sim/vehicle.hpp"
+
+namespace adsec {
+
+struct NpcParams {
+  double ref_speed = 6.0;          // m/s (paper Sec. III-A)
+  double offset_gain = 0.4;        // rad of approach angle per metre of offset
+  double max_approach_angle = 0.3; // rad, caps the return-to-lane angle
+  double heading_gain = 2.5;       // steering variation per rad of heading error
+  double speed_gain = 0.8;         // thrust variation per m/s of speed error
+
+  // Optional IDM-style reaction to a leader in the same lane (the ego or
+  // another NPC): the NPC brakes toward the leader's speed when the gap
+  // falls below the desired headway. Off by default — the paper's NPC
+  // stream drives obliviously at its reference speed, which is also what
+  // makes side collisions attributable purely to the attack.
+  bool reactive = false;
+  double idm_min_gap = 6.0;    // m
+  double idm_time_gap = 1.2;   // s
+};
+
+class Npc {
+ public:
+  Npc(const VehicleParams& vehicle_params, const NpcParams& npc_params,
+      std::shared_ptr<const Road> road, int lane, double start_s);
+
+  // Advance one step: run the lane keeper and integrate the vehicle.
+  // `leader_gap`/`leader_speed` describe the nearest same-lane vehicle ahead
+  // (infinity/0 when clear); only consulted when `reactive` is set.
+  void step(double dt, double leader_gap = 1e30, double leader_speed = 0.0);
+
+  const Vehicle& vehicle() const { return vehicle_; }
+  Vehicle& vehicle() { return vehicle_; }
+  int lane() const { return lane_; }
+  const NpcParams& params() const { return npc_params_; }
+
+  // Current Frenet coordinates (cached each step).
+  const Frenet& frenet() const { return frenet_; }
+
+ private:
+  Vehicle vehicle_;
+  NpcParams npc_params_;
+  std::shared_ptr<const Road> road_;  // shared with the World
+  int lane_;
+  Frenet frenet_{};
+};
+
+}  // namespace adsec

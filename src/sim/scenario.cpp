@@ -1,0 +1,95 @@
+#include "sim/scenario.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace adsec {
+
+VehicleParams default_vehicle_params() {
+  return VehicleParams{};  // defaults documented in vehicle.hpp
+}
+
+World make_scenario(const ScenarioConfig& config, Rng& rng) {
+  if (config.npc_lanes.empty()) {
+    throw std::invalid_argument("make_scenario: npc_lanes must not be empty");
+  }
+  auto build_road = [&]() {
+    switch (config.road_profile) {
+      case RoadProfile::SCurve:
+        return Road::s_curve(config.road_length, config.num_lanes, config.lane_width);
+      case RoadProfile::Straight:
+        return Road({{config.road_length, 0.0}}, config.num_lanes, config.lane_width);
+      case RoadProfile::Freeway:
+        break;
+    }
+    return Road::freeway(config.road_length, config.num_lanes, config.lane_width);
+  };
+  auto road = std::make_shared<const Road>(build_road());
+  const VehicleParams vp = config.vehicle;
+
+  std::vector<Npc> npcs;
+  npcs.reserve(static_cast<std::size_t>(config.num_npcs));
+  double s = config.ego_start_s + config.first_npc_gap;
+  for (int i = 0; i < config.num_npcs; ++i) {
+    const int lane = config.npc_lanes[static_cast<std::size_t>(i) % config.npc_lanes.size()];
+    if (lane < 0 || lane >= config.num_lanes) {
+      throw std::invalid_argument("make_scenario: npc lane out of range");
+    }
+    NpcParams np;
+    np.ref_speed =
+        config.npc_ref_speed + rng.uniform(-config.speed_jitter, config.speed_jitter);
+    np.reactive = config.reactive_npcs;
+    const double spawn_s = s + rng.uniform(-config.spawn_jitter, config.spawn_jitter);
+    npcs.emplace_back(vp, np, road, lane, spawn_s);
+    s += config.npc_spacing;
+  }
+
+  VehicleState ego_init;
+  ego_init.position = road->world_at(config.ego_start_s,
+                                     road->lane_center_offset(config.ego_start_lane));
+  ego_init.heading = road->heading_at(config.ego_start_s);
+  ego_init.speed = config.ego_start_speed;
+
+  return World(std::move(road), vp, ego_init, std::move(npcs), config.world);
+}
+
+ScenarioConfig scenario_preset(const std::string& name) {
+  ScenarioConfig cfg;  // "paper"
+  if (name == "paper") return cfg;
+  if (name == "dense") {
+    cfg.num_npcs = 8;
+    cfg.npc_spacing = 18.0;
+    cfg.first_npc_gap = 24.0;
+    return cfg;
+  }
+  if (name == "sparse") {
+    cfg.num_npcs = 3;
+    cfg.npc_spacing = 45.0;
+    cfg.first_npc_gap = 40.0;
+    return cfg;
+  }
+  if (name == "two-lane") {
+    cfg.num_lanes = 2;
+    cfg.ego_start_lane = 0;
+    cfg.npc_lanes = {0, 1, 0, 1, 0, 1};
+    return cfg;
+  }
+  if (name == "s-curve") {
+    cfg.road_profile = RoadProfile::SCurve;
+    return cfg;
+  }
+  if (name == "fast-npc") {
+    cfg.npc_ref_speed = 9.0;
+    // Slower closing speed: stretch spacing so six overtakes still fit in
+    // 180 steps.
+    cfg.npc_spacing = 18.0;
+    return cfg;
+  }
+  throw std::invalid_argument("scenario_preset: unknown preset '" + name + "'");
+}
+
+std::vector<std::string> scenario_preset_names() {
+  return {"paper", "dense", "sparse", "two-lane", "s-curve", "fast-npc"};
+}
+
+}  // namespace adsec

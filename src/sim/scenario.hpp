@@ -1,0 +1,73 @@
+// Scenario builder for the paper's traffic setup (Sec. III-A): a freeway
+// without intersections where the ego travels at a 16 m/s reference speed
+// and must pass six NPC vehicles moving at 6 m/s within 180 steps of 0.1 s.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/world.hpp"
+
+namespace adsec {
+
+// Road geometry selector for scenario variants.
+enum class RoadProfile { Freeway, SCurve, Straight };
+
+struct ScenarioConfig {
+  int num_lanes = 3;
+  double lane_width = 3.5;
+  double road_length = 600.0;
+  RoadProfile road_profile = RoadProfile::Freeway;
+
+  int num_npcs = 6;
+  double npc_ref_speed = 6.0;    // m/s
+  double ego_ref_speed = 16.0;   // m/s (consumed by the agents, kept here
+                                 // so scenario and agents stay consistent)
+  double ego_start_speed = 10.0; // m/s, ramps up to the reference
+  int ego_start_lane = 1;        // middle lane
+  double ego_start_s = 10.0;
+
+  double first_npc_gap = 30.0;   // m ahead of the ego (relative arclength)
+  double npc_spacing = 25.0;     // m between consecutive NPCs
+
+  // Lane pattern for consecutive NPCs (wraps around). The default makes the
+  // ego weave across all three lanes, exercising lane changes both ways.
+  std::vector<int> npc_lanes = {1, 2, 1, 0, 1, 2};
+
+  // Per-episode randomization: spawn jitter (m) and NPC speed jitter (m/s).
+  double spawn_jitter = 2.0;
+  double speed_jitter = 0.3;
+
+  // IDM-style NPC reaction to a same-lane leader (off = the paper's
+  // oblivious 6 m/s stream; see NpcParams::reactive).
+  bool reactive_npcs = false;
+
+  // Vehicle parameters shared by ego and NPCs (a mid-size sedan by
+  // default); ablations vary e.g. the Eq. 1 retain rate alpha here.
+  VehicleParams vehicle{};
+
+  WorldConfig world;  // dt = 0.1 s, max_steps = 180
+};
+
+VehicleParams default_vehicle_params();
+
+// Build a fresh episode world. `rng` drives the spawn jitter; pass a
+// deterministic seed for reproducible episodes.
+World make_scenario(const ScenarioConfig& config, Rng& rng);
+
+// Named scenario variants for generalization studies. Every preset keeps
+// the paper's 180-step / 0.1 s episode structure:
+//   "paper"    the Sec. III-A setup (default-constructed ScenarioConfig)
+//   "dense"    eight NPCs at tighter spacing
+//   "sparse"   three NPCs far apart
+//   "two-lane" two lanes only (no middle escape lane)
+//   "s-curve"  alternating sweepers instead of the gentle freeway curve
+//   "fast-npc" NPC stream at 9 m/s (smaller closing speed)
+// Throws std::invalid_argument for unknown names.
+ScenarioConfig scenario_preset(const std::string& name);
+
+// Names accepted by scenario_preset, in presentation order.
+std::vector<std::string> scenario_preset_names();
+
+}  // namespace adsec

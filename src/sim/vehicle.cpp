@@ -1,0 +1,100 @@
+#include "sim/vehicle.hpp"
+
+#include <cmath>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+
+Vehicle::Vehicle(const VehicleParams& params, const VehicleState& initial)
+    : params_(params), state_(initial) {}
+
+void Vehicle::reset(const VehicleState& initial) {
+  state_ = initial;
+  actuation_ = {};
+  vy_ = 0.0;
+  yaw_rate_ = 0.0;
+}
+
+Vec2 Vehicle::velocity() const {
+  // Body-frame (vx, vy) rotated into the world; vy is 0 in kinematic mode.
+  return Vec2{state_.speed, vy_}.rotated(state_.heading);
+}
+
+Vec2 Vehicle::heading_vector() const { return unit_from_heading(state_.heading); }
+
+void Vehicle::step(const Action& action, double dt) {
+  const double eps = params_.mech_limit;
+  const double nu = clamp(action.steer_variation, -eps, eps);
+  const double gamma = clamp(action.thrust_variation, -eps, eps);
+
+  // Eq. 1: exponential blend of the commanded variation into the actuation.
+  actuation_.steer = clamp((1.0 - params_.alpha) * nu + params_.alpha * actuation_.steer,
+                           -1.0, 1.0);
+  actuation_.thrust = clamp((1.0 - params_.eta) * gamma + params_.eta * actuation_.thrust,
+                            -1.0, 1.0);
+
+  // Longitudinal dynamics. Negative thrust brakes; the vehicle never reverses.
+  double accel = actuation_.thrust >= 0.0 ? actuation_.thrust * params_.max_accel
+                                          : actuation_.thrust * params_.max_brake;
+  accel -= params_.drag * state_.speed;
+  state_.speed = std::max(0.0, state_.speed + accel * dt);
+
+  // Lateral dynamics.
+  const double steer_rad = actuation_.steer * params_.max_steer_rad;
+  if (params_.model == VehicleModel::Dynamic &&
+      state_.speed > params_.dynamic_min_speed) {
+    step_dynamic_lateral(steer_rad, dt);
+  } else {
+    step_kinematic_lateral(steer_rad, dt);
+  }
+}
+
+void Vehicle::step_kinematic_lateral(double steer_rad, double dt) {
+  // No-slip bicycle with a tyre-grip cap on yaw rate.
+  double yaw_rate = state_.speed * std::tan(steer_rad) / params_.wheelbase;
+  if (state_.speed > 0.1) {
+    const double max_yaw = params_.max_lateral_accel / state_.speed;
+    yaw_rate = clamp(yaw_rate, -max_yaw, max_yaw);
+  }
+  yaw_rate_ = yaw_rate;
+  vy_ = 0.0;
+  state_.heading = wrap_angle(state_.heading + yaw_rate * dt);
+  state_.position += unit_from_heading(state_.heading) * (state_.speed * dt);
+}
+
+void Vehicle::step_dynamic_lateral(double steer_rad, double dt) {
+  // Linear single-track model: slip angles at each axle generate lateral
+  // tyre forces that drive lateral velocity and yaw rate. Sub-stepped for
+  // stability (the model is stiff at the 0.1 s control period).
+  const double lf = params_.cg_to_front;
+  const double lr = params_.wheelbase - params_.cg_to_front;
+  const double vx = std::max(state_.speed, params_.dynamic_min_speed);
+  const int substeps = 5;
+  const double h = dt / substeps;
+  for (int k = 0; k < substeps; ++k) {
+    const double slip_f = steer_rad - (vy_ + lf * yaw_rate_) / vx;
+    const double slip_r = -(vy_ - lr * yaw_rate_) / vx;
+    // Lateral forces, capped at the grip limit per axle.
+    const double fy_max = 0.5 * params_.mass * params_.max_lateral_accel;
+    const double fyf = clamp(params_.cornering_front * slip_f, -fy_max, fy_max);
+    const double fyr = clamp(params_.cornering_rear * slip_r, -fy_max, fy_max);
+    const double vy_dot = (fyf + fyr) / params_.mass - vx * yaw_rate_;
+    const double r_dot = (lf * fyf - lr * fyr) / params_.yaw_inertia;
+    vy_ += vy_dot * h;
+    yaw_rate_ += r_dot * h;
+    state_.heading = wrap_angle(state_.heading + yaw_rate_ * h);
+    state_.position += Vec2{vx, vy_}.rotated(state_.heading) * h;
+  }
+}
+
+void Vehicle::corners(Vec2 out[4]) const {
+  const Vec2 fwd = unit_from_heading(state_.heading) * (0.5 * params_.length);
+  const Vec2 left = unit_from_heading(state_.heading).perp() * (0.5 * params_.width);
+  out[0] = state_.position + fwd + left;   // front-left
+  out[1] = state_.position - fwd + left;   // rear-left
+  out[2] = state_.position - fwd - left;   // rear-right
+  out[3] = state_.position + fwd - left;   // front-right
+}
+
+}  // namespace adsec

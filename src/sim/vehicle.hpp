@@ -1,0 +1,105 @@
+// Vehicle model: kinematic bicycle with the paper's actuation law (Eq. 1).
+//
+// Agents (and attackers) do not command absolute actuation. They command a
+// *variation* (nu for steering, gamma for thrust) in [-eps, eps]; the applied
+// actuation is the exponential blend
+//     a_t = (1 - alpha) * nu_t + alpha * a_{t-1}        (paper Eq. 1)
+// which models actuator inertia and the per-step mechanical change limit.
+// The action-space attack perturbs nu: nu' = nu + delta, |delta| <= budget.
+#pragma once
+
+#include "common/vec2.hpp"
+
+namespace adsec {
+
+// Lateral-dynamics fidelity. Kinematic: no-slip bicycle with a grip cap on
+// yaw rate (fast, the default; matches the regime the paper's attacks
+// exploit). Dynamic: linear-tyre single-track model with lateral-velocity
+// and yaw-rate states — captures understeer and slip transients at speed.
+enum class VehicleModel { Kinematic, Dynamic };
+
+struct VehicleParams {
+  double wheelbase = 2.9;          // m
+  double length = 4.7;             // bounding box, m
+  double width = 2.0;              // bounding box, m
+  double max_steer_rad = 1.2217;   // 70 degrees (paper Sec. III-C)
+  double max_accel = 4.0;          // m/s^2 at full throttle
+  double max_brake = 8.0;          // m/s^2 at full brake
+  double drag = 0.05;              // linear speed damping, 1/s
+  double max_lateral_accel = 8.0;  // tyre grip limit, m/s^2
+  double alpha = 0.8;              // steering retain rate (Eq. 1)
+  double eta = 0.8;                // thrust retain rate (Eq. 1)
+  double mech_limit = 1.0;         // eps: variation clip (Eq. 1)
+
+  VehicleModel model = VehicleModel::Kinematic;
+  // Dynamic-model parameters (mid-size sedan).
+  double mass = 1500.0;            // kg
+  double yaw_inertia = 2250.0;     // kg m^2
+  double cg_to_front = 1.2;        // m (lf); lr = wheelbase - lf
+  double cornering_front = 8e4;    // N/rad per axle (Cf)
+  double cornering_rear = 8e4;     // N/rad per axle (Cr)
+  double dynamic_min_speed = 1.0;  // below this, fall back to kinematic
+};
+
+// Commanded actuation *variations* per Eq. 1. Values are clipped to the
+// mechanical limit eps when applied.
+struct Action {
+  double steer_variation{0.0};   // nu in [-eps, eps]
+  double thrust_variation{0.0};  // gamma in [-eps, eps]; negative = brake
+};
+
+// Normalized applied actuation; steer/thrust in [-1, 1].
+struct Actuation {
+  double steer{0.0};
+  double thrust{0.0};
+};
+
+struct VehicleState {
+  Vec2 position;        // center of the bounding box, world frame
+  double heading{0.0};  // radians
+  double speed{0.0};    // m/s, always >= 0 (no reverse on a freeway)
+};
+
+class Vehicle {
+ public:
+  Vehicle() = default;
+  Vehicle(const VehicleParams& params, const VehicleState& initial);
+
+  // Advance one simulation step of `dt` seconds under the given variations.
+  // Applies Eq. 1 smoothing, the mechanical clip, and the grip limit.
+  void step(const Action& action, double dt);
+
+  const VehicleState& state() const { return state_; }
+  const VehicleParams& params() const { return params_; }
+  const Actuation& actuation() const { return actuation_; }
+
+  Vec2 velocity() const;           // world-frame velocity vector
+  Vec2 heading_vector() const;     // unit vector along heading
+
+  // Corners of the oriented bounding box (counter-clockwise).
+  void corners(Vec2 out[4]) const;
+
+  // Reset kinematic state and actuation memory (a_{t-1} := 0).
+  void reset(const VehicleState& initial);
+
+  // Force applied actuation (used by tests and scripted scenarios).
+  void set_actuation(const Actuation& a) { actuation_ = a; }
+
+  // Dynamic-model internal states (0 under the kinematic model).
+  double lateral_velocity() const { return vy_; }
+  double yaw_rate() const { return yaw_rate_; }
+
+ private:
+  void step_kinematic_lateral(double steer_rad, double dt);
+  void step_dynamic_lateral(double steer_rad, double dt);
+
+  VehicleParams params_{};
+  VehicleState state_{};
+  Actuation actuation_{};  // a_{t-1} in Eq. 1
+
+  // Dynamic-model states: body-frame lateral velocity and yaw rate.
+  double vy_{0.0};
+  double yaw_rate_{0.0};
+};
+
+}  // namespace adsec

@@ -1,0 +1,117 @@
+#include "sim/world.hpp"
+
+#include <limits>
+
+namespace adsec {
+
+World::World(std::shared_ptr<const Road> road, const VehicleParams& ego_params,
+             const VehicleState& ego_init, std::vector<Npc> npcs,
+             const WorldConfig& config)
+    : road_(std::move(road)),
+      ego_(ego_params, ego_init),
+      npcs_(std::move(npcs)),
+      config_(config) {
+  ego_frenet_ = road_->project(ego_.state().position);
+  history_.reserve(static_cast<std::size_t>(config_.max_steps));
+}
+
+bool World::step(const Action& ego_action, double attack_delta) {
+  if (done()) return false;
+
+  ego_.step(ego_action, config_.dt);
+  for (auto& npc : npcs_) {
+    double gap = 1e30, leader_speed = 0.0;
+    if (npc.params().reactive) {
+      // Nearest same-lane vehicle ahead: other NPCs or the ego.
+      for (const auto& other : npcs_) {
+        if (&other == &npc || other.lane() != npc.lane()) continue;
+        const double rel = other.frenet().s - npc.frenet().s;
+        if (rel > 0.0 && rel < gap) {
+          gap = rel;
+          leader_speed = other.vehicle().state().speed;
+        }
+      }
+      if (road_->lane_at_offset(ego_frenet_.d) == npc.lane()) {
+        const double rel = ego_frenet_.s - npc.frenet().s;
+        if (rel > 0.0 && rel < gap) {
+          gap = rel;
+          leader_speed = ego_.state().speed;
+        }
+      }
+    }
+    npc.step(config_.dt, gap, leader_speed);
+  }
+  ++step_count_;
+  ego_frenet_ = road_->project(ego_.state().position);
+
+  StepRecord rec;
+  rec.ego_state = ego_.state();
+  rec.ego_actuation = ego_.actuation();
+  rec.ego_frenet = ego_frenet_;
+  rec.applied_steer_variation = ego_action.steer_variation;
+  rec.attack_delta = attack_delta;
+  history_.push_back(rec);
+
+  detect_collisions();
+  return !done();
+}
+
+void World::detect_collisions() {
+  if (collision_) return;
+  if (hits_barrier(ego_frenet_.d, 0.5 * ego_.params().width, road_->half_width())) {
+    collision_ = CollisionEvent{CollisionType::Barrier, -1, step_count_};
+    return;
+  }
+  for (std::size_t i = 0; i < npcs_.size(); ++i) {
+    if (vehicles_overlap(ego_, npcs_[i].vehicle())) {
+      collision_ = CollisionEvent{classify_vehicle_collision(ego_, npcs_[i].vehicle()),
+                                  static_cast<int>(i), step_count_};
+      return;
+    }
+  }
+}
+
+bool World::done() const {
+  if (collision_) return true;
+  if (step_count_ >= config_.max_steps) return true;
+  // Episode also ends when the ego reaches the end of the mapped road.
+  return ego_frenet_.s >= road_->length() - 1.0;
+}
+
+int World::passed_npcs() const {
+  int passed = 0;
+  for (const auto& npc : npcs_) {
+    if (ego_frenet_.s > npc.frenet().s + ego_.params().length) ++passed;
+  }
+  return passed;
+}
+
+int World::closest_npc_index() const {
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < npcs_.size(); ++i) {
+    const double d2 = (npcs_[i].vehicle().state().position - ego_.state().position).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int World::target_npc_index() const {
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < npcs_.size(); ++i) {
+    // Skip NPCs the ego has already fully passed.
+    if (ego_frenet_.s > npcs_[i].frenet().s + ego_.params().length) continue;
+    const double d2 = (npcs_[i].vehicle().state().position - ego_.state().position).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace adsec

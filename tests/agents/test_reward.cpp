@@ -1,0 +1,103 @@
+#include "agents/reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World nominal_world(int npcs = 0) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = npcs;
+  Rng rng(1);
+  return make_scenario(cfg, rng);
+}
+
+PlanStep plan_for(World& w) {
+  BehaviorPlanner p;
+  p.reset(1);
+  return p.plan(w);
+}
+
+TEST(DrivingReward, PositiveWhenDrivingAlongWaypoints) {
+  World w = nominal_world();
+  const PlanStep plan = plan_for(w);
+  w.step({0.0, 0.5});
+  const double r = driving_reward(w, plan);
+  // ~10 m/s along the waypoint direction, dt = 0.1 -> about +1.
+  EXPECT_GT(r, 0.5);
+  EXPECT_LT(r, 2.5);
+}
+
+TEST(DrivingReward, ZeroSpeedEarnsNothing) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  cfg.ego_start_speed = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  const PlanStep plan = plan_for(w);
+  w.step({0.0, 0.0});
+  EXPECT_NEAR(driving_reward(w, plan), 0.0, 0.05);
+}
+
+TEST(DrivingReward, CollisionPenaltyApplied) {
+  World w = nominal_world(6);
+  BehaviorPlanner p;
+  p.reset(1);
+  PlanStep plan;
+  // Drive straight into NPC 0.
+  while (!w.done()) {
+    plan = p.plan(w);
+    w.step({0.0, 1.0});
+  }
+  ASSERT_TRUE(w.collided());
+  const double r = driving_reward(w, plan);
+  EXPECT_LT(r, -20.0);
+}
+
+TEST(DrivingReward, OverspeedPenalized) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  cfg.ego_start_speed = 25.0;  // well above the 16 m/s reference
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  const PlanStep plan = plan_for(w);
+  w.step({0.0, 0.0});
+  DrivingRewardConfig with, without;
+  without.overspeed_weight = 0.0;
+  EXPECT_LT(driving_reward(w, plan, with), driving_reward(w, plan, without));
+}
+
+TEST(DrivingReward, EdgeProximityPenalized) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  cfg.ego_start_lane = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  BehaviorPlanner p;
+  p.reset(0);
+  // Drift toward the right barrier.
+  PlanStep plan;
+  for (int i = 0; i < 8; ++i) {
+    plan = p.plan(w);
+    w.step({-0.6, 0.0});
+  }
+  DrivingRewardConfig with, without;
+  without.edge_weight = 0.0;
+  if (std::abs(w.ego_frenet().d) > w.road().half_width() - with.edge_margin) {
+    EXPECT_LT(driving_reward(w, plan, with), driving_reward(w, plan, without));
+  }
+}
+
+TEST(DrivingReward, DrivingAgainstWaypointsIsNegative) {
+  World w = nominal_world();
+  PlanStep plan = plan_for(w);
+  // Reverse the waypoint direction to emulate driving against the plan.
+  plan.waypoint_dir = -plan.waypoint_dir;
+  w.step({0.0, 0.5});
+  EXPECT_LT(driving_reward(w, plan), 0.0);
+}
+
+}  // namespace
+}  // namespace adsec

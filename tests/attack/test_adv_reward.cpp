@@ -1,0 +1,125 @@
+#include "attack/adv_reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angle.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World nominal_world(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(seed);
+  return make_scenario(cfg, rng);
+}
+
+TEST(AdvReward, OmegaNearOneWhenApproachingFromBehind) {
+  // Ego directly behind NPC 0, both heading +x: e2n is parallel to the NPC
+  // velocity, omega ~ 1 -> NOT a critical moment.
+  World w = nominal_world();
+  const double om = omega(w, 0);
+  EXPECT_GT(om, 0.95);
+  EXPECT_FALSE(critical_moment(w, 0, AdvRewardConfig{}.beta));
+}
+
+TEST(AdvReward, CriticalWhenBeside) {
+  // Drive the ego forward until it is alongside NPC 0's s-position in a
+  // different lane; then |omega| is small.
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  cfg.ego_start_lane = 2;  // NPC 0 is in lane 1
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  while (!w.done() && w.ego_frenet().s < w.npcs()[0].frenet().s) {
+    w.step({0.0, 0.8});
+  }
+  EXPECT_LT(std::abs(omega(w, 0)), 0.5);
+  EXPECT_TRUE(critical_moment(w, 0, AdvRewardConfig{}.beta));
+}
+
+TEST(AdvReward, InvalidNpcIndexIsNonCritical) {
+  World w = nominal_world();
+  EXPECT_FALSE(critical_moment(w, -1, AdvRewardConfig{}.beta));
+  EXPECT_FALSE(critical_moment(w, 99, AdvRewardConfig{}.beta));
+  EXPECT_DOUBLE_EQ(collision_potential(w, -1), 0.0);
+}
+
+TEST(AdvReward, CollisionPotentialMaxWhenHeadingAtTarget) {
+  World w = nominal_world();
+  // Ego heading straight at NPC 0 (directly ahead): potential ~ 1.
+  EXPECT_GT(collision_potential(w, 0), 0.9);
+}
+
+TEST(AdvReward, ManeuverPenaltyOutsideCriticalMoments) {
+  World w = nominal_world();
+  AdvRewardConfig cfg;
+  w.step({0.0, 0.5});
+  // Non-critical (behind the NPC): reward = -pm_weight * |delta|.
+  const double r_quiet = adv_reward_step(w, 0, 0.0, cfg);
+  const double r_noisy = adv_reward_step(w, 0, 0.8, cfg);
+  EXPECT_NEAR(r_quiet, 0.0, 1e-9);
+  EXPECT_NEAR(r_noisy, -cfg.pm_weight * 0.8, 1e-9);
+}
+
+TEST(AdvReward, SideCollisionPaysPositive) {
+  // Construct a side collision: ego beside NPC 0 then hard steer into it.
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  cfg.ego_start_lane = 2;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  while (!w.done() &&
+         w.ego_frenet().s < w.npcs()[0].frenet().s - 2.0) {
+    w.step({0.0, 0.8});
+  }
+  const int target = w.target_npc_index();
+  while (!w.done()) w.step({-1.0, 0.0});
+  ASSERT_TRUE(w.collided());
+  AdvRewardConfig rc;
+  if (w.collision()->type == CollisionType::Side) {
+    EXPECT_GT(adv_reward_step(w, target, -1.0, rc), rc.collision_reward * 0.5);
+  }
+}
+
+TEST(AdvReward, NonSideCollisionPaysNegative) {
+  World w = nominal_world();
+  // Rear-end NPC 0 by driving straight.
+  while (!w.done()) w.step({0.0, 1.0});
+  ASSERT_TRUE(w.collided());
+  ASSERT_NE(w.collision()->type, CollisionType::Side);
+  AdvRewardConfig cfg;
+  EXPECT_LT(adv_reward_step(w, 0, 0.0, cfg), -cfg.collision_reward * 0.5);
+}
+
+TEST(AdvReward, TimeoutPenalizedAtEpisodeEnd) {
+  ScenarioConfig scfg;
+  scfg.world.max_steps = 5;
+  scfg.ego_start_speed = 0.0;
+  Rng rng(1);
+  World w = make_scenario(scfg, rng);
+  while (w.step({0.0, 0.0})) {
+  }
+  ASSERT_TRUE(w.done());
+  ASSERT_FALSE(w.collided());
+  AdvRewardConfig cfg;
+  EXPECT_LE(adv_reward_step(w, 0, 0.0, cfg), -cfg.timeout_penalty + 1.0);
+}
+
+TEST(AdvReward, TeacherTermPenalizesDisagreement) {
+  AdvRewardConfig cfg;
+  EXPECT_DOUBLE_EQ(teacher_term(0.5, 0.5, cfg), 0.0);
+  EXPECT_NEAR(teacher_term(0.5, -0.5, cfg), -cfg.teacher_weight, 1e-12);
+  EXPECT_LT(teacher_term(1.0, 0.0, cfg), teacher_term(0.5, 0.0, cfg));
+}
+
+TEST(AdvReward, BetaDefaultsToCosPiOverSix) {
+  AdvRewardConfig cfg;
+  EXPECT_NEAR(cfg.beta, std::cos(kPi / 6.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace adsec

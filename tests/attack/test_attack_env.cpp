@@ -1,0 +1,138 @@
+#include "attack/attack_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/modular_agent.hpp"
+
+namespace adsec {
+namespace {
+
+std::shared_ptr<DrivingAgent> victim() { return std::make_shared<ModularAgent>(); }
+
+GaussianPolicy policy_for(int obs_dim, int act_dim = 1, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(obs_dim, {8}, act_dim, rng);
+}
+
+TEST(AttackEnv, ValidatesVictim) {
+  EXPECT_THROW(AttackEnv({}, nullptr), std::invalid_argument);
+}
+
+TEST(AttackEnv, CameraObservationDims) {
+  AttackEnvConfig cfg;
+  cfg.sensor = AttackSensorType::Camera;
+  AttackEnv env(cfg, victim());
+  EXPECT_EQ(env.obs_dim(), StackedCameraObserver(cfg.camera, cfg.frame_stack).dim());
+  EXPECT_EQ(env.act_dim(), 1);
+  const auto obs = env.reset(1);
+  EXPECT_EQ(static_cast<int>(obs.size()), env.obs_dim());
+}
+
+TEST(AttackEnv, ImuObservationDims) {
+  AttackEnvConfig cfg;
+  cfg.sensor = AttackSensorType::Imu;
+  AttackEnv env(cfg, victim());
+  EXPECT_EQ(env.obs_dim(), ImuSensor(cfg.imu).dim());
+  const auto obs = env.reset(1);
+  EXPECT_EQ(static_cast<int>(obs.size()), env.obs_dim());
+}
+
+TEST(AttackEnv, RequiresResetBeforeStep) {
+  AttackEnv env({}, victim());
+  const double a[1] = {0.0};
+  EXPECT_THROW(env.step(a), std::logic_error);
+  EXPECT_THROW(env.world(), std::logic_error);
+}
+
+TEST(AttackEnv, ZeroActionLetsVictimDriveNominally) {
+  AttackEnvConfig cfg;
+  AttackEnv env(cfg, victim());
+  env.reset(5);
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 200) {
+    const double a[1] = {0.0};
+    done = env.step(a).done;
+    ++steps;
+  }
+  // The modular victim drives the full episode collision-free.
+  EXPECT_FALSE(env.world().collided());
+}
+
+TEST(AttackEnv, FullPerturbationDisruptsVictim) {
+  AttackEnvConfig cfg;
+  cfg.budget = 1.0;
+  AttackEnv env(cfg, victim());
+  env.reset(5);
+  bool done = false;
+  double total_reward = 0.0;
+  int steps = 0;
+  while (!done && steps < 200) {
+    const double a[1] = {1.0};  // constant hard-left injection
+    const EnvStep s = env.step(a);
+    total_reward += s.reward;
+    done = s.done;
+    ++steps;
+  }
+  // Constant full-budget injection ends the episode early somehow (usually
+  // a barrier strike, which the adversarial reward counts as failure).
+  EXPECT_LT(steps, 180);
+  EXPECT_TRUE(env.world().collided());
+}
+
+TEST(AttackEnv, BudgetScalesInjectedDelta) {
+  AttackEnvConfig cfg;
+  cfg.budget = 0.25;
+  AttackEnv env(cfg, victim());
+  env.reset(6);
+  const double a[1] = {1.0};
+  env.step(a);
+  EXPECT_NEAR(env.world().history().back().attack_delta, 0.25, 1e-12);
+}
+
+TEST(AttackEnv, TeacherValidation) {
+  AttackEnvConfig cfg;
+  cfg.sensor = AttackSensorType::Imu;
+  AttackEnv env(cfg, victim());
+  EXPECT_THROW(env.set_teacher(policy_for(3)), std::invalid_argument);
+  const int cam_dim = StackedCameraObserver(cfg.camera, cfg.frame_stack).dim();
+  EXPECT_NO_THROW(env.set_teacher(policy_for(cam_dim)));
+}
+
+TEST(AttackEnv, TeacherTermShiftsReward) {
+  // Same seed, same actions: the run with a teacher must differ in reward
+  // by the (non-positive) p_se term whenever student and teacher disagree.
+  AttackEnvConfig cfg;
+  cfg.sensor = AttackSensorType::Imu;
+  AttackEnv plain(cfg, victim());
+  AttackEnv taught(cfg, victim());
+  const int cam_dim = StackedCameraObserver(cfg.camera, cfg.frame_stack).dim();
+  taught.set_teacher(policy_for(cam_dim, 1, 77));
+  plain.reset(8);
+  taught.reset(8);
+  double sum_plain = 0.0, sum_taught = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double a[1] = {0.5};
+    sum_plain += plain.step(a).reward;
+    sum_taught += taught.step(a).reward;
+  }
+  EXPECT_LE(sum_taught, sum_plain + 1e-9);
+  EXPECT_NE(sum_taught, sum_plain);
+}
+
+TEST(AttackEnv, SameSeedSameRollout) {
+  AttackEnv env({}, victim());
+  auto run = [&](std::uint64_t seed) {
+    env.reset(seed);
+    double total = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      const double a[1] = {0.3};
+      total += env.step(a).reward;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(11), run(11));
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "agents/modular_agent.hpp"
+#include "attack/attacker.hpp"
+#include "attack/scripted_attacker.hpp"
+#include "core/experiment.hpp"
+
+namespace adsec {
+namespace {
+
+GaussianPolicy random_attack_policy(int obs_dim, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(obs_dim, {16}, 1, rng);
+}
+
+TEST(ScriptedAttacker, SilentOutsideCriticalMoments) {
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  ScriptedAttacker att(1.0);
+  att.reset(w);
+  // At spawn the ego is directly behind NPC 0: non-critical, no injection.
+  EXPECT_DOUBLE_EQ(att.decide(w), 0.0);
+}
+
+TEST(ScriptedAttacker, FullBudgetDuringCriticalMoment) {
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  cfg.ego_start_lane = 2;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  while (!w.done() && w.ego_frenet().s < w.npcs()[0].frenet().s) {
+    w.step({0.0, 0.8});
+  }
+  ScriptedAttacker att(0.7);
+  att.reset(w);
+  // Beside NPC 0 (which is to the ego's right): steer right = negative.
+  EXPECT_DOUBLE_EQ(att.decide(w), -0.7);
+}
+
+TEST(ScriptedAttacker, CausesSideCollisionsAtFullBudget) {
+  // The oracle attack validates that the environment is attackable — the
+  // precondition for everything in the paper's Sec. V.
+  ModularAgent victim;
+  ScriptedAttacker att(1.0);
+  ExperimentConfig cfg;
+  int side = 0;
+  for (int k = 0; k < 5; ++k) {
+    const EpisodeMetrics m = run_episode(victim, &att, cfg, 700 + k);
+    side += m.side_collision ? 1 : 0;
+  }
+  EXPECT_GE(side, 4);
+}
+
+TEST(ScriptedAttacker, HarmlessAtTinyBudget) {
+  ModularAgent victim;
+  ScriptedAttacker att(0.05);
+  ExperimentConfig cfg;
+  for (int k = 0; k < 3; ++k) {
+    const EpisodeMetrics m = run_episode(victim, &att, cfg, 700 + k);
+    EXPECT_FALSE(m.side_collision);
+  }
+}
+
+TEST(FullActuationOracle, ThrustChannelOnlyDuringCriticalMoments) {
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  FullActuationOracle att(1.0, 1.0);
+  att.reset(w);
+  // Behind the NPC: non-critical, both channels silent.
+  EXPECT_DOUBLE_EQ(att.decide(w), 0.0);
+  EXPECT_DOUBLE_EQ(att.decide_thrust(w), 0.0);
+}
+
+TEST(FullActuationOracle, AtLeastAsEffectiveAsSteeringOnly) {
+  ModularAgent victim;
+  ExperimentConfig cfg;
+  const double budget = 0.85;  // near the steering-only success threshold
+  ScriptedAttacker steer_only(budget);
+  FullActuationOracle full(budget, 1.0);
+  int steer_successes = 0, full_successes = 0;
+  for (int k = 0; k < 6; ++k) {
+    steer_successes +=
+        run_episode(victim, &steer_only, cfg, 760 + k).side_collision ? 1 : 0;
+    full_successes +=
+        run_episode(victim, &full, cfg, 760 + k).side_collision ? 1 : 0;
+  }
+  EXPECT_GE(full_successes, steer_successes);
+}
+
+TEST(AttackerInterface, DefaultThrustChannelIsSilent) {
+  ScriptedAttacker att(1.0);
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  EXPECT_DOUBLE_EQ(att.decide_thrust(w), 0.0);
+}
+
+TEST(LearnedCameraAttacker, ValidatesDims) {
+  EXPECT_THROW(LearnedCameraAttacker(random_attack_policy(10), 1.0, {}, 3),
+               std::invalid_argument);
+  const int dim = StackedCameraObserver({}, 3).dim();
+  Rng rng(2);
+  EXPECT_THROW(
+      LearnedCameraAttacker(GaussianPolicy::make_mlp(dim, {8}, 2, rng), 1.0, {}, 3),
+      std::invalid_argument);
+  EXPECT_NO_THROW(LearnedCameraAttacker(random_attack_policy(dim), 1.0, {}, 3));
+}
+
+TEST(LearnedCameraAttacker, RespectsBudget) {
+  const int dim = StackedCameraObserver({}, 3).dim();
+  LearnedCameraAttacker att(random_attack_policy(dim), 0.3, {}, 3);
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  att.reset(w);
+  for (int i = 0; i < 10; ++i) {
+    const double d = att.decide(w);
+    EXPECT_LE(std::abs(d), 0.3 + 1e-12);
+    w.step({0.0, 0.5}, d);
+  }
+}
+
+TEST(LearnedCameraAttacker, BudgetAdjustable) {
+  const int dim = StackedCameraObserver({}, 3).dim();
+  LearnedCameraAttacker att(random_attack_policy(dim), 1.0, {}, 3);
+  EXPECT_DOUBLE_EQ(att.budget(), 1.0);
+  att.set_budget(0.25);
+  EXPECT_DOUBLE_EQ(att.budget(), 0.25);
+}
+
+TEST(LearnedImuAttacker, ValidatesDims) {
+  EXPECT_THROW(LearnedImuAttacker(random_attack_policy(10), 1.0, {}),
+               std::invalid_argument);
+  ImuConfig icfg;
+  EXPECT_NO_THROW(
+      LearnedImuAttacker(random_attack_policy(ImuSensor(icfg).dim()), 1.0, icfg));
+}
+
+TEST(LearnedImuAttacker, RespectsBudgetAndUpdatesPostStep) {
+  ImuConfig icfg;
+  LearnedImuAttacker att(random_attack_policy(ImuSensor(icfg).dim()), 0.5, icfg);
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  att.reset(w);
+  const double d0 = att.decide(w);
+  EXPECT_LE(std::abs(d0), 0.5 + 1e-12);
+  // Motion changes the IMU window, which must change the decision.
+  for (int i = 0; i < 20; ++i) {
+    w.step({0.4, 0.8});
+    att.post_step(w);
+  }
+  const double d1 = att.decide(w);
+  EXPECT_NE(d0, d1);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,87 @@
+#include "attack/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/e2e_agent.hpp"
+#include "core/experiment.hpp"
+
+namespace adsec {
+namespace {
+
+int cam_dim() { return StackedCameraObserver({}, 3).dim(); }
+
+GaussianPolicy driving_policy(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(cam_dim(), {8, 8}, 2, rng);
+}
+
+TEST(StateSpace, GradientMatchesFiniteDifferences) {
+  GaussianPolicy pi = driving_policy();
+  Rng rng(3);
+  std::vector<double> obs(static_cast<std::size_t>(cam_dim()));
+  for (auto& v : obs) v = rng.uniform(-1.0, 1.0);
+
+  const auto grad = steering_obs_gradient(pi, obs);
+  ASSERT_EQ(grad.size(), obs.size());
+
+  // Probe a few coordinates: pre-tanh steering head output vs obs.
+  auto head0 = [&](const std::vector<double>& o) {
+    return pi.trunk().forward_inference(Matrix::from_vector(o))(0, 0);
+  };
+  const double eps = 1e-6;
+  for (std::size_t idx = 0; idx < obs.size(); idx += obs.size() / 7) {
+    auto op = obs, om = obs;
+    op[idx] += eps;
+    om[idx] -= eps;
+    EXPECT_NEAR(grad[idx], (head0(op) - head0(om)) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(StateSpace, FgsmMovesSteeringInChosenDirection) {
+  GaussianPolicy pi = driving_policy();
+  Rng rng(5);
+  std::vector<double> obs(static_cast<std::size_t>(cam_dim()));
+  for (auto& v : obs) v = rng.uniform(-1.0, 1.0);
+
+  const double before = pi.mean_action(Matrix::from_vector(obs))(0, 0);
+  const auto grad = steering_obs_gradient(pi, obs);
+  const auto up = fgsm_perturb(obs, grad, 0.1, +1.0);
+  const auto down = fgsm_perturb(obs, grad, 0.1, -1.0);
+  EXPECT_GT(pi.mean_action(Matrix::from_vector(up))(0, 0), before);
+  EXPECT_LT(pi.mean_action(Matrix::from_vector(down))(0, 0), before);
+}
+
+TEST(StateSpace, FgsmValidatesSizes) {
+  EXPECT_THROW(fgsm_perturb({1.0, 2.0}, {1.0}, 0.1, 1.0), std::invalid_argument);
+  GaussianPolicy pi = driving_policy();
+  EXPECT_THROW(steering_obs_gradient(pi, {1.0}), std::invalid_argument);
+}
+
+TEST(StateSpace, ZeroEpsBehavesLikeCleanAgent) {
+  GaussianPolicy pi = driving_policy();
+  FgsmAttackedE2EAgent attacked(pi, 0.0);
+  E2EAgent clean(pi, {}, 3);
+  ExperimentConfig cfg;
+  const EpisodeMetrics a = run_episode(attacked, nullptr, cfg, 7);
+  const EpisodeMetrics b = run_episode(clean, nullptr, cfg, 7);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_DOUBLE_EQ(a.nominal_reward, b.nominal_reward);
+  EXPECT_DOUBLE_EQ(attacked.total_injected(), 0.0);
+}
+
+TEST(StateSpace, PerturbationOnlyDuringCriticalMoments) {
+  GaussianPolicy pi = driving_policy();
+  FgsmAttackedE2EAgent agent(pi, 0.2);
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  agent.reset(w);
+  // At spawn (directly behind NPC 0) the moment is non-critical: no budget
+  // is spent.
+  agent.decide(w);
+  EXPECT_DOUBLE_EQ(agent.total_injected(), 0.0);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,51 @@
+#include "common/angle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+TEST(Angle, DegRadRoundTrip) {
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad2deg(kPi / 2.0), 90.0, 1e-12);
+  for (double d : {-350.0, -90.0, 0.0, 45.0, 720.0}) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angle, WrapKeepsRangeHalfOpen) {
+  for (double a : {-10.0, -kPi, -0.5, 0.0, 0.5, kPi, 10.0, 100.0}) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+  }
+}
+
+TEST(Angle, WrapIdentityInsideRange) {
+  for (double a : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(wrap_angle(a), a, 1e-12);
+  }
+}
+
+TEST(Angle, WrapFullTurns) {
+  EXPECT_NEAR(wrap_angle(2.0 * kPi + 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(wrap_angle(-2.0 * kPi - 0.3), -0.3, 1e-12);
+  EXPECT_NEAR(wrap_angle(6.0 * kPi + 1.0), 1.0, 1e-9);
+}
+
+TEST(Angle, DiffTakesShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-0.1, 0.1), -0.2, 1e-12);
+  // Crossing the wrap boundary.
+  EXPECT_NEAR(angle_diff(kPi - 0.1, -kPi + 0.1), -0.2, 1e-9);
+}
+
+TEST(Angle, ClampBehaviour) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(clamp(7, 1, 3), 3);
+}
+
+}  // namespace
+}  // namespace adsec

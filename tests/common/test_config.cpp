@@ -1,0 +1,70 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace adsec {
+namespace {
+
+// These tests mutate the process-wide singleton; restore defaults after.
+class ConfigTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    runtime_config() = RuntimeConfig{};
+  }
+};
+
+TEST_F(ConfigTest, ScaledStepsAppliesMultiplier) {
+  runtime_config().train_scale = 0.5;
+  EXPECT_EQ(scaled_steps(1000), 500);
+  runtime_config().train_scale = 2.0;
+  EXPECT_EQ(scaled_steps(1000), 2000);
+}
+
+TEST_F(ConfigTest, ScaledStepsHonoursFloor) {
+  runtime_config().train_scale = 0.001;
+  EXPECT_EQ(scaled_steps(1000, 50), 50);
+}
+
+TEST_F(ConfigTest, EvalEpisodesOverride) {
+  EXPECT_EQ(eval_episodes(30), 30);
+  runtime_config().episodes_override = 5;
+  EXPECT_EQ(eval_episodes(30), 5);
+}
+
+TEST_F(ConfigTest, FromEnvParsesValues) {
+  ::setenv("ADSEC_ZOO_DIR", "/tmp/some-zoo", 1);
+  ::setenv("ADSEC_TRAIN_SCALE", "0.25", 1);
+  ::setenv("ADSEC_EPISODES", "12", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.zoo_dir, "/tmp/some-zoo");
+  EXPECT_DOUBLE_EQ(cfg.train_scale, 0.25);
+  ASSERT_TRUE(cfg.episodes_override.has_value());
+  EXPECT_EQ(*cfg.episodes_override, 12);
+  ::unsetenv("ADSEC_ZOO_DIR");
+  ::unsetenv("ADSEC_TRAIN_SCALE");
+  ::unsetenv("ADSEC_EPISODES");
+}
+
+TEST_F(ConfigTest, FromEnvIgnoresGarbage) {
+  ::setenv("ADSEC_TRAIN_SCALE", "not-a-number", 1);
+  ::setenv("ADSEC_EPISODES", "xyz", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_DOUBLE_EQ(cfg.train_scale, 1.0);
+  EXPECT_FALSE(cfg.episodes_override.has_value());
+  ::unsetenv("ADSEC_TRAIN_SCALE");
+  ::unsetenv("ADSEC_EPISODES");
+}
+
+TEST_F(ConfigTest, NegativeScaleClampedToZeroThenFloor) {
+  ::setenv("ADSEC_TRAIN_SCALE", "-3", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_DOUBLE_EQ(cfg.train_scale, 0.0);
+  ::unsetenv("ADSEC_TRAIN_SCALE");
+  runtime_config().train_scale = 0.0;
+  EXPECT_EQ(scaled_steps(1000, 7), 7);
+}
+
+}  // namespace
+}  // namespace adsec

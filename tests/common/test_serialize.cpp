@@ -1,0 +1,79 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adsec {
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.write_u32(42);
+  w.write_i64(-123456789012345LL);
+  w.write_f64(3.14159);
+  w.write_string("hello world");
+  w.write_f64_vector({1.0, -2.5, 1e-300});
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_u32(), 42u);
+  EXPECT_EQ(r.read_i64(), -123456789012345LL);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_EQ(r.read_string(), "hello world");
+  const auto v = r.read_f64_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], -2.5);
+  EXPECT_DOUBLE_EQ(v[2], 1e-300);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, EmptyStringAndVector) {
+  BinaryWriter w;
+  w.write_string("");
+  w.write_f64_vector({});
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.read_f64_vector().empty());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  BinaryWriter w;
+  w.write_f64(1.0);
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  BinaryReader r(bytes);
+  EXPECT_THROW(r.read_f64(), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  BinaryWriter w;
+  w.write_u32(100);  // claims a 100-byte string with no payload
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/adsec_ser_test.bin";
+  BinaryWriter w;
+  w.write_string("file-payload");
+  w.write_f64(2.718);
+  w.save(path);
+
+  BinaryReader r = BinaryReader::load(path);
+  EXPECT_EQ(r.read_string(), "file-payload");
+  EXPECT_DOUBLE_EQ(r.read_f64(), 2.718);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW(BinaryReader::load("/no/such/file.bin"), std::runtime_error);
+}
+
+TEST(Serialize, SaveBadPathThrows) {
+  BinaryWriter w;
+  w.write_u32(1);
+  EXPECT_THROW(w.save("/nonexistent-dir-xyz/f.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,87 @@
+#include "common/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).y, 1.0);
+  EXPECT_DOUBLE_EQ((a - b).x, -2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+  EXPECT_DOUBLE_EQ((-a).x, -1.0);
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is to the left of a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);  // a is to the right of b
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, NormalizeZeroIsZeroNotNaN) {
+  const Vec2 z{0.0, 0.0};
+  const Vec2 u = z.normalized();
+  EXPECT_DOUBLE_EQ(u.x, 0.0);
+  EXPECT_DOUBLE_EQ(u.y, 0.0);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, -3.0};
+  for (double ang : {0.1, 0.7, 2.5, -1.3}) {
+    EXPECT_NEAR(v.rotated(ang).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, PerpIsCounterClockwiseNormal) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.perp().x, 0.0);
+  EXPECT_DOUBLE_EQ(v.perp().y, 1.0);
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+}
+
+TEST(Vec2, HeadingRoundTrip) {
+  for (double h : {0.0, 0.5, -2.0, 3.0}) {
+    EXPECT_NEAR(unit_from_heading(h).heading(), h, 1e-12);
+  }
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_DOUBLE_EQ(v.x, 3.0);
+  v -= {1, 1};
+  EXPECT_DOUBLE_EQ(v.y, 3.0);
+  v *= 2.0;
+  EXPECT_DOUBLE_EQ(v.x, 4.0);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/angle.hpp"
+#include "control/lateral.hpp"
+#include "control/longitudinal.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+TEST(InvertBlend, RecoversDesiredActuationWithinLimit) {
+  // Eq. 1 forward with the returned nu must land on `desired` when the
+  // mechanical limit allows it.
+  const double alpha = 0.8;
+  for (double current : {-0.5, 0.0, 0.4}) {
+    for (double desired : {-0.55, -0.4, 0.0, 0.3, 0.55}) {
+      const double nu = invert_actuation_blend(desired, current, alpha);
+      const double applied = (1.0 - alpha) * nu + alpha * current;
+      if (std::abs((desired - alpha * current) / (1.0 - alpha)) <= 1.0) {
+        EXPECT_NEAR(applied, desired, 1e-12);
+      } else {
+        EXPECT_LE(std::abs(nu), 1.0);  // clipped at the mechanical limit
+      }
+    }
+  }
+}
+
+TEST(InvertBlend, ClipsAtMechanicalLimit) {
+  EXPECT_DOUBLE_EQ(invert_actuation_blend(1.0, -1.0, 0.8), 1.0);
+  EXPECT_DOUBLE_EQ(invert_actuation_blend(-1.0, 1.0, 0.8), -1.0);
+}
+
+TEST(Longitudinal, AcceleratesTowardTarget) {
+  Vehicle v(VehicleParams{}, VehicleState{{0, 0}, 0.0, 5.0});
+  LongitudinalController ctrl;
+  for (int i = 0; i < 150; ++i) {
+    const double gamma = ctrl.update(v, 16.0, 0.1);
+    v.step({0.0, gamma}, 0.1);
+  }
+  EXPECT_NEAR(v.state().speed, 16.0, 1.0);
+}
+
+TEST(Longitudinal, BrakesTowardTarget) {
+  Vehicle v(VehicleParams{}, VehicleState{{0, 0}, 0.0, 16.0});
+  LongitudinalController ctrl;
+  for (int i = 0; i < 150; ++i) {
+    const double gamma = ctrl.update(v, 6.0, 0.1);
+    v.step({0.0, gamma}, 0.1);
+  }
+  EXPECT_NEAR(v.state().speed, 6.0, 1.0);
+}
+
+TEST(Lateral, TracksLaneCenterOnStraightRoad) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  BehaviorPlanner planner;
+  planner.reset(1);
+  LateralController lat;
+  LongitudinalController lon;
+  for (int i = 0; i < 120 && !w.done(); ++i) {
+    const PlanStep plan = planner.plan(w);
+    Action a;
+    a.steer_variation = lat.update(w.ego(), plan, w.ego_frenet(), 0.1);
+    a.thrust_variation = lon.update(w.ego(), plan.desired_speed, 0.1);
+    w.step(a);
+  }
+  EXPECT_NEAR(w.ego_frenet().d, 0.0, 0.2);
+}
+
+TEST(Lateral, ExecutesLaneChange) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  BehaviorPlanner planner;
+  planner.reset(2);  // target the left lane from the start
+  LateralController lat;
+  LongitudinalController lon;
+  for (int i = 0; i < 60 && !w.done(); ++i) {
+    const PlanStep plan = planner.plan(w);
+    Action a;
+    a.steer_variation = lat.update(w.ego(), plan, w.ego_frenet(), 0.1);
+    a.thrust_variation = lon.update(w.ego(), plan.desired_speed, 0.1);
+    w.step(a);
+  }
+  EXPECT_NEAR(w.ego_frenet().d, w.road().lane_center_offset(2), 0.4);
+}
+
+TEST(Lateral, CorrectsInjectedDisturbance) {
+  // The resilience mechanism of the modular pipeline: after an attack-style
+  // steering offset, the PID pulls the ego back to the lane center.
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  BehaviorPlanner planner;
+  planner.reset(1);
+  LateralController lat;
+  LongitudinalController lon;
+  auto run = [&](int steps, double delta) {
+    for (int i = 0; i < steps && !w.done(); ++i) {
+      const PlanStep plan = planner.plan(w);
+      Action a;
+      a.steer_variation = clamp(
+          lat.update(w.ego(), plan, w.ego_frenet(), 0.1) + delta, -1.0, 1.0);
+      a.thrust_variation = lon.update(w.ego(), plan.desired_speed, 0.1);
+      w.step(a, delta);
+    }
+  };
+  run(30, 0.0);
+  run(8, 0.4);  // disturbance burst
+  const double displaced = std::abs(w.ego_frenet().d);
+  EXPECT_GT(displaced, 0.1);
+  run(50, 0.0);  // recovery
+  EXPECT_LT(std::abs(w.ego_frenet().d), 0.3);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,77 @@
+#include "control/pid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+TEST(Pid, ValidatesLimits) {
+  PidGains g;
+  g.out_min = 1.0;
+  g.out_max = -1.0;
+  EXPECT_THROW(Pid{g}, std::invalid_argument);
+}
+
+TEST(Pid, RejectsNonPositiveDt) {
+  Pid pid(PidGains{1.0, 0.0, 0.0});
+  EXPECT_THROW(pid.update(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(pid.update(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Pid, ProportionalOnly) {
+  Pid pid(PidGains{2.0, 0.0, 0.0, -10.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(0.3, 0.1), 0.6);
+  EXPECT_DOUBLE_EQ(pid.update(-0.5, 0.1), -1.0);
+}
+
+TEST(Pid, OutputClamped) {
+  Pid pid(PidGains{10.0, 0.0, 0.0, -1.0, 1.0});
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-5.0, 0.1), -1.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  Pid pid(PidGains{0.0, 1.0, 0.0, -10.0, 10.0, 100.0});
+  EXPECT_NEAR(pid.update(1.0, 0.1), 0.1, 1e-12);
+  EXPECT_NEAR(pid.update(1.0, 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(pid.update(1.0, 0.1), 0.3, 1e-12);
+}
+
+TEST(Pid, AntiWindupLimitsIntegralTerm) {
+  PidGains g{0.0, 1.0, 0.0, -10.0, 10.0};
+  g.integral_limit = 0.5;
+  Pid pid(g);
+  double out = 0.0;
+  for (int i = 0; i < 1000; ++i) out = pid.update(1.0, 0.1);
+  EXPECT_NEAR(out, 0.5, 1e-9);
+}
+
+TEST(Pid, DerivativeRespondsToErrorChange) {
+  Pid pid(PidGains{0.0, 0.0, 1.0, -100.0, 100.0});
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.1), 0.0);  // first sample: no derivative
+  EXPECT_NEAR(pid.update(2.0, 0.1), 10.0, 1e-9);
+  EXPECT_NEAR(pid.update(1.5, 0.1), -5.0, 1e-9);
+}
+
+TEST(Pid, ResetClearsState) {
+  Pid pid(PidGains{0.0, 1.0, 1.0, -100.0, 100.0, 100.0});
+  pid.update(1.0, 0.1);
+  pid.update(2.0, 0.1);
+  pid.reset();
+  // After reset: no integral, no derivative memory.
+  EXPECT_NEAR(pid.update(1.0, 0.1), 0.1, 1e-12);
+}
+
+TEST(Pid, ClosedLoopConvergesOnFirstOrderPlant) {
+  // Plant: x' = u; controller drives x to 1.0.
+  Pid pid(PidGains{2.0, 0.4, 0.0, -5.0, 5.0, 2.0});
+  double x = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double u = pid.update(1.0 - x, 0.05);
+    x += u * 0.05;
+  }
+  EXPECT_NEAR(x, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/modular_agent.hpp"
+#include "attack/scripted_attacker.hpp"
+
+namespace adsec {
+namespace {
+
+TEST(Experiment, NominalEpisodeMetrics) {
+  ModularAgent agent;
+  ExperimentConfig cfg;
+  const EpisodeMetrics m = run_episode(agent, nullptr, cfg, 1);
+  EXPECT_EQ(m.steps, 180);
+  EXPECT_FALSE(m.collision.has_value());
+  EXPECT_FALSE(m.side_collision);
+  EXPECT_GT(m.nominal_reward, 150.0);
+  EXPECT_LT(m.adv_reward, 0.0);  // paper: nominal driving => negative R_adv
+  EXPECT_DOUBLE_EQ(m.attack_effort, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_injected, 0.0);
+  EXPECT_DOUBLE_EQ(m.time_to_collision, -1.0);
+  EXPECT_DOUBLE_EQ(m.deviation_rmse, -1.0);  // only set with reference runs
+}
+
+TEST(Experiment, TrajectoryOutputPopulated) {
+  ModularAgent agent;
+  ExperimentConfig cfg;
+  Trajectory t;
+  run_episode(agent, nullptr, cfg, 2, &t);
+  EXPECT_EQ(t.s.size(), 180u);
+}
+
+TEST(Experiment, FullBudgetOracleSucceeds) {
+  ModularAgent agent;
+  ScriptedAttacker att(1.0);
+  ExperimentConfig cfg;
+  const EpisodeMetrics m = run_episode(agent, &att, cfg, 3);
+  EXPECT_TRUE(m.side_collision);
+  EXPECT_GT(m.adv_reward, 0.0);  // success => positive cumulative R_adv
+  EXPECT_GT(m.attack_effort, 0.5);
+  EXPECT_GT(m.time_to_collision, 0.0);
+  EXPECT_LT(m.steps, 180);
+}
+
+TEST(Experiment, ReferenceEvaluationFillsDeviation) {
+  ModularAgent agent;
+  ScriptedAttacker att(1.0);
+  ExperimentConfig cfg;
+  const EpisodeMetrics m = evaluate_with_reference(agent, &att, cfg, 4);
+  EXPECT_GE(m.deviation_rmse, 0.0);
+}
+
+TEST(Experiment, ReferenceEvaluationNominalDeviationIsZero) {
+  // Attacked run with a zero-budget attacker == reference run.
+  ModularAgent agent;
+  ScriptedAttacker att(0.0);
+  ExperimentConfig cfg;
+  const EpisodeMetrics m = evaluate_with_reference(agent, &att, cfg, 5);
+  EXPECT_NEAR(m.deviation_rmse, 0.0, 1e-9);
+}
+
+TEST(Experiment, BatchRunsRequestedEpisodes) {
+  ModularAgent agent;
+  ExperimentConfig cfg;
+  const auto ms = run_batch(agent, nullptr, cfg, 4, 100);
+  EXPECT_EQ(ms.size(), 4u);
+}
+
+TEST(Experiment, SuccessRateAggregation) {
+  std::vector<EpisodeMetrics> ms(4);
+  ms[0].side_collision = true;
+  ms[2].side_collision = true;
+  EXPECT_DOUBLE_EQ(success_rate(ms), 0.5);
+  EXPECT_DOUBLE_EQ(success_rate({}), 0.0);
+}
+
+TEST(Experiment, CollectExtractsField) {
+  std::vector<EpisodeMetrics> ms(3);
+  ms[0].nominal_reward = 1.0;
+  ms[1].nominal_reward = 2.0;
+  ms[2].nominal_reward = 3.0;
+  const auto v = collect(ms, [](const EpisodeMetrics& m) { return m.nominal_reward; });
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(Experiment, HigherBudgetRaisesAdversarialReward) {
+  // The Fig. 4(b) monotonicity at the episode level, via the oracle.
+  ModularAgent agent;
+  ExperimentConfig cfg;
+  ScriptedAttacker weak(0.2), strong(1.0);
+  double weak_sum = 0.0, strong_sum = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    weak_sum += run_episode(agent, &weak, cfg, 900 + k).adv_reward;
+    strong_sum += run_episode(agent, &strong, cfg, 900 + k).adv_reward;
+  }
+  EXPECT_GT(strong_sum, weak_sum);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,133 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World rolled_world(int steps, double delta = 0.0) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  for (int i = 0; i < steps && !w.done(); ++i) w.step({0.0, 0.5}, delta);
+  return w;
+}
+
+TEST(Metrics, ExtractTrajectoryMatchesHistory) {
+  World w = rolled_world(25);
+  const Trajectory t = extract_trajectory(w);
+  ASSERT_EQ(t.s.size(), 25u);
+  EXPECT_GT(t.s.back(), t.s.front());
+}
+
+TEST(Metrics, AttackEffortZeroWithoutInjection) {
+  World w = rolled_world(20, 0.0);
+  EXPECT_DOUBLE_EQ(attack_effort(w), 0.0);
+}
+
+TEST(Metrics, AttackEffortIsMeanOverActiveSteps) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  // 10 silent steps then 10 steps at delta 0.5.
+  for (int i = 0; i < 10; ++i) w.step({0, 0.5}, 0.0);
+  for (int i = 0; i < 10; ++i) w.step({0, 0.5}, 0.5);
+  EXPECT_NEAR(attack_effort(w), 0.5, 1e-12);
+}
+
+TEST(Metrics, AttackEffortIgnoresSubThreshold) {
+  World w = rolled_world(20, 1e-5);
+  EXPECT_DOUBLE_EQ(attack_effort(w), 0.0);
+}
+
+TEST(Metrics, TimeToCollisionRequiresBoth) {
+  // No collision -> -1.
+  EXPECT_DOUBLE_EQ(time_to_collision(rolled_world(10, 0.5)), -1.0);
+  // Collision without injection -> -1.
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  while (w.step({0.0, 1.0})) {
+  }
+  ASSERT_TRUE(w.collided());
+  EXPECT_DOUBLE_EQ(time_to_collision(w), -1.0);
+}
+
+TEST(Metrics, TimeToCollisionFromFirstInjection) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  // 20 clean steps, then full-left injection until the barrier.
+  for (int i = 0; i < 20; ++i) w.step({0.0, 0.5}, 0.0);
+  while (w.step({1.0, 0.5}, 1.0)) {
+  }
+  ASSERT_TRUE(w.collided());
+  const double ttc = time_to_collision(w);
+  EXPECT_GT(ttc, 0.0);
+  EXPECT_NEAR(ttc, (w.collision()->step - 21) * 0.1, 1e-9);
+}
+
+TEST(Metrics, DeviationRmseZeroAgainstSelf) {
+  World w = rolled_world(40);
+  const Trajectory t = extract_trajectory(w);
+  EXPECT_NEAR(deviation_rmse(t, t, 3.5), 0.0, 1e-12);
+}
+
+TEST(Metrics, DeviationRmseDetectsLateralOffset) {
+  Trajectory ref, off;
+  for (int i = 0; i < 50; ++i) {
+    ref.s.push_back(i * 2.0);
+    ref.d.push_back(0.0);
+    off.s.push_back(i * 2.0);
+    off.d.push_back(1.75);  // half a lane off everywhere
+  }
+  EXPECT_NEAR(deviation_rmse(off, ref, 3.5), 0.5, 1e-12);
+}
+
+TEST(Metrics, DeviationRmseInterpolatesBetweenSamples) {
+  Trajectory ref;
+  ref.s = {0.0, 10.0};
+  ref.d = {0.0, 1.0};
+  Trajectory att;
+  att.s = {5.0};
+  att.d = {0.5};  // exactly on the interpolated reference
+  EXPECT_NEAR(deviation_rmse(att, ref, 1.0), 0.0, 1e-12);
+}
+
+TEST(Metrics, DeviationRmseValidations) {
+  Trajectory t;
+  t.s = {1.0};
+  t.d = {0.0};
+  EXPECT_DOUBLE_EQ(deviation_rmse({}, t, 3.5), 0.0);
+  EXPECT_THROW(deviation_rmse(t, t, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, SuccessWindowsAggregate) {
+  const std::vector<double> efforts = {0.05, 0.15, 0.25, 0.45, 0.65, 0.85, 1.2};
+  const std::vector<bool> success = {false, false, true, true, true, true, true};
+  const EffortWindowStats s = success_by_effort_window(efforts, success, 0.2, 0.8);
+  ASSERT_EQ(s.window_lo.size(), 5u);  // 0.0 0.2 0.4 0.6 0.8+
+  EXPECT_EQ(s.episodes[0], 2);        // 0.05, 0.15
+  EXPECT_DOUBLE_EQ(s.success_rate[0], 0.0);
+  EXPECT_EQ(s.episodes[1], 1);  // 0.25
+  EXPECT_DOUBLE_EQ(s.success_rate[1], 1.0);
+  EXPECT_EQ(s.episodes[4], 2);  // 0.85 and 1.2 both in the open bucket
+  EXPECT_DOUBLE_EQ(s.success_rate[4], 1.0);
+}
+
+TEST(Metrics, SuccessWindowsValidateSizes) {
+  EXPECT_THROW(success_by_effort_window({0.1}, {}, 0.2, 0.8), std::invalid_argument);
+}
+
+TEST(Metrics, SuccessWindowsEmptyBucketsRateZero) {
+  const EffortWindowStats s = success_by_effort_window({}, {}, 0.2, 0.8);
+  for (double r : s.success_rate) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,98 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "agents/modular_agent.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World stepped_world(int steps) {
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  ModularAgent agent;
+  agent.reset(w);
+  for (int i = 0; i < steps && !w.done(); ++i) w.step(agent.decide(w));
+  return w;
+}
+
+TEST(Trace, CaptureReflectsWorldState) {
+  World w = stepped_world(10);
+  const TraceRow row = EpisodeTrace::capture(w, 0.3, true, 2);
+  EXPECT_DOUBLE_EQ(row.t, w.time());
+  EXPECT_DOUBLE_EQ(row.s, w.ego_frenet().s);
+  EXPECT_DOUBLE_EQ(row.speed, w.ego().state().speed);
+  EXPECT_DOUBLE_EQ(row.delta, 0.3);
+  EXPECT_TRUE(row.critical);
+  EXPECT_EQ(row.target_npc, 2);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  EpisodeTrace trace;
+  World w = stepped_world(5);
+  trace.add(EpisodeTrace::capture(w, 0.0, false, -1));
+  trace.add(EpisodeTrace::capture(w, 0.1, true, 0));
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("t,s,d,speed"), std::string::npos);
+  // Header + 2 rows = 3 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Trace, WriteCsvRoundTrip) {
+  EpisodeTrace trace;
+  World w = stepped_world(3);
+  trace.add(EpisodeTrace::capture(w, 0.0, false, -1));
+  const std::string path = ::testing::TempDir() + "/adsec_trace.csv";
+  trace.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,s,d,speed,heading,steer,thrust,delta,critical,target_npc");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WriteCsvBadPathThrows) {
+  EpisodeTrace trace;
+  EXPECT_THROW(trace.write_csv("/no-such-dir-xyz/t.csv"), std::runtime_error);
+}
+
+TEST(Trace, ClearEmpties) {
+  EpisodeTrace trace;
+  World w = stepped_world(1);
+  trace.add(EpisodeTrace::capture(w, 0.0, false, -1));
+  EXPECT_FALSE(trace.empty());
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(AsciiRender, ContainsEgoAndBarriers) {
+  World w = stepped_world(10);
+  const std::string img = render_ascii(w);
+  EXPECT_NE(img.find('>'), std::string::npos);
+  EXPECT_NE(img.find('='), std::string::npos);
+  // 3 lanes + 2 barrier rows = 5 lines.
+  EXPECT_EQ(std::count(img.begin(), img.end(), '\n'), 5);
+}
+
+TEST(AsciiRender, ShowsNearbyNpc) {
+  // NPC 0 spawns ~30 m ahead: inside the default 45 m forward window.
+  World w = stepped_world(0);
+  const std::string img = render_ascii(w);
+  EXPECT_NE(img.find('0'), std::string::npos);
+}
+
+TEST(AsciiRender, RespectsWidth) {
+  World w = stepped_world(0);
+  const std::string img = render_ascii(w, 10.0, 30.0, 41);
+  std::size_t pos = img.find('\n');
+  EXPECT_EQ(pos, 41u);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,104 @@
+#include "core/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/config.hpp"
+#include "nn/io.hpp"
+
+namespace adsec {
+namespace {
+
+// Zoo tests train at the minimum scale: every policy trains for only a few
+// hundred steps — enough to exercise the full pipeline end-to-end, not to
+// converge. Quality is asserted by the (slow, optional) bench harness.
+class ZooTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/adsec_zoo_test";
+    std::filesystem::remove_all(dir_);
+    saved_scale_ = runtime_config().train_scale;
+    runtime_config().train_scale = 0.0;  // floor everything to min steps
+  }
+  void TearDown() override {
+    runtime_config().train_scale = saved_scale_;
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+  double saved_scale_{1.0};
+};
+
+TEST_F(ZooTest, DrivingPolicyTrainsAndCaches) {
+  PolicyZoo zoo(dir_);
+  GaussianPolicy p1 = zoo.driving_policy();
+  EXPECT_EQ(p1.act_dim(), 2);
+  EXPECT_TRUE(file_exists(dir_ + "/pi_ori.bin"));
+
+  // Second call loads the cached bytes and yields identical behaviour.
+  PolicyZoo zoo2(dir_);
+  GaussianPolicy p2 = zoo2.driving_policy();
+  Rng rng(1);
+  Matrix obs = Matrix::randn(1, p1.obs_dim(), rng, 1.0);
+  EXPECT_DOUBLE_EQ(p1.mean_action(obs)(0, 0), p2.mean_action(obs)(0, 0));
+}
+
+TEST_F(ZooTest, CameraAttackerTrainsAgainstE2eVictim) {
+  PolicyZoo zoo(dir_);
+  GaussianPolicy att = zoo.camera_attacker_vs_e2e();
+  EXPECT_EQ(att.act_dim(), 1);
+  EXPECT_TRUE(file_exists(dir_ + "/attacker_cam_e2e.bin"));
+}
+
+TEST_F(ZooTest, ImuAttackerUsesTeacher) {
+  PolicyZoo zoo(dir_);
+  GaussianPolicy att = zoo.imu_attacker();
+  EXPECT_EQ(att.obs_dim(), ImuSensor(zoo.imu()).dim());
+  // Teacher must have been trained along the way.
+  EXPECT_TRUE(file_exists(dir_ + "/attacker_cam_e2e.bin"));
+  EXPECT_TRUE(file_exists(dir_ + "/attacker_imu.bin"));
+}
+
+TEST_F(ZooTest, FinetunedVariantsAreDistinctFiles) {
+  PolicyZoo zoo(dir_);
+  zoo.finetuned(1.0 / 11.0);
+  zoo.finetuned(0.5);
+  EXPECT_TRUE(file_exists(dir_ + "/finetune_r11.bin"));
+  EXPECT_TRUE(file_exists(dir_ + "/finetune_r2.bin"));
+}
+
+TEST_F(ZooTest, PnnColumnLoadsAsPnnTrunk) {
+  PolicyZoo zoo(dir_);
+  GaussianPolicy col = zoo.pnn_column();
+  EXPECT_NE(dynamic_cast<const PnnTrunk*>(&col.trunk()), nullptr);
+}
+
+TEST_F(ZooTest, FactoriesProduceWorkingAgents) {
+  PolicyZoo zoo(dir_);
+  auto modular = zoo.make_modular_agent();
+  auto e2e = zoo.make_e2e_agent();
+  auto cam_att = zoo.make_camera_attacker(0.5);
+  auto imu_att = zoo.make_imu_attacker(0.5);
+  auto pnn = zoo.make_pnn_agent(0.2);
+
+  ExperimentConfig cfg = zoo.experiment();
+  EXPECT_NO_THROW(run_episode(*modular, cam_att.get(), cfg, 1));
+  EXPECT_NO_THROW(run_episode(*e2e, imu_att.get(), cfg, 1));
+  pnn->set_attack_budget_estimate(1.0);
+  EXPECT_NO_THROW(run_episode(*pnn, nullptr, cfg, 1));
+}
+
+TEST_F(ZooTest, Td3AttackerTrainsCachesAndRuns) {
+  PolicyZoo zoo(dir_);
+  const Mlp actor = zoo.td3_attacker();
+  EXPECT_EQ(actor.out_dim(), 1);
+  EXPECT_TRUE(file_exists(dir_ + "/attacker_cam_td3.bin"));
+  auto att = zoo.make_td3_attacker(0.8);
+  EXPECT_DOUBLE_EQ(att->budget(), 0.8);
+  auto e2e = zoo.make_e2e_agent();
+  ExperimentConfig cfg = zoo.experiment();
+  EXPECT_NO_THROW(run_episode(*e2e, att.get(), cfg, 2));
+}
+
+}  // namespace
+}  // namespace adsec

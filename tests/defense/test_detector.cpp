@@ -1,0 +1,245 @@
+#include "defense/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angle.hpp"
+#include "defense/simplex_agent.hpp"
+#include "nn/pnn.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+DetectorConfig noiseless() {
+  DetectorConfig cfg;
+  cfg.readback_noise = 0.0;
+  return cfg;
+}
+
+TEST(Detector, ValidatesConfig) {
+  DetectorConfig bad;
+  bad.ewma = 1.0;
+  EXPECT_THROW(AttackDetector{bad}, std::invalid_argument);
+  DetectorConfig bad2;
+  bad2.min_steps = 0;
+  EXPECT_THROW(AttackDetector{bad2}, std::invalid_argument);
+}
+
+TEST(Detector, RecoversInjectedDeltaExactlyWithoutNoise) {
+  AttackDetector det(noiseless());
+  const double alpha = 0.8;
+  // Plant: a = (1-alpha)(nu + delta) + alpha * a_prev.
+  const double nu = 0.3, delta = 0.4, a_prev = 0.1;
+  const double applied = (1.0 - alpha) * (nu + delta) + alpha * a_prev;
+  const double delta_hat = det.update(nu, applied, a_prev, alpha);
+  EXPECT_NEAR(delta_hat, delta, 1e-12);
+}
+
+TEST(Detector, SilentUnderNominalDriving) {
+  AttackDetector det;
+  Rng rng(1);
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double nu = rng.uniform(-0.5, 0.5);
+    const double applied = (1.0 - alpha) * nu + alpha * a_prev;
+    det.update(nu, applied, a_prev, alpha);
+    a_prev = applied;
+  }
+  EXPECT_FALSE(det.attack_detected());
+  EXPECT_LT(det.budget_estimate(), det.config().threshold);
+}
+
+TEST(Detector, AlarmsOnSustainedInjection) {
+  AttackDetector det;
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  int alarm_step = -1;
+  for (int i = 0; i < 40; ++i) {
+    const double nu = 0.1;
+    const double delta = 0.5;
+    const double applied = (1.0 - alpha) * (nu + delta) + alpha * a_prev;
+    det.update(nu, applied, a_prev, alpha);
+    a_prev = applied;
+    if (det.attack_detected()) {
+      alarm_step = i;
+      break;
+    }
+  }
+  EXPECT_GE(alarm_step, det.config().min_steps - 1);
+  EXPECT_LE(alarm_step, 20);  // detects within ~2 s of simulated time
+}
+
+TEST(Detector, BudgetEstimateTracksInjectedMagnitude) {
+  const double alpha = 0.8;
+  auto estimate_for = [&](double delta) {
+    AttackDetector det(noiseless());
+    double a_prev = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      const double applied = (1.0 - alpha) * delta + alpha * a_prev;
+      det.update(0.0, applied, a_prev, alpha);
+      a_prev = applied;
+    }
+    return det.budget_estimate();
+  };
+  EXPECT_NEAR(estimate_for(0.3), 0.3, 0.02);
+  EXPECT_NEAR(estimate_for(0.8), 0.8, 0.02);
+  EXPECT_LT(estimate_for(0.1), estimate_for(0.5));
+}
+
+TEST(Detector, ResetClearsAlarm) {
+  AttackDetector det(noiseless());
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double applied = (1.0 - alpha) * 0.9 + alpha * a_prev;
+    det.update(0.0, applied, a_prev, alpha);
+    a_prev = applied;
+  }
+  ASSERT_TRUE(det.attack_detected());
+  det.reset();
+  EXPECT_FALSE(det.attack_detected());
+  EXPECT_DOUBLE_EQ(det.budget_estimate(), 0.0);
+}
+
+TEST(Detector, RejectsDegenerateAlpha) {
+  AttackDetector det;
+  EXPECT_THROW(det.update(0.0, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+// --- CusumDetector ---
+
+TEST(Cusum, ValidatesConfig) {
+  CusumDetector::Config bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW(CusumDetector{bad}, std::invalid_argument);
+}
+
+TEST(Cusum, SilentUnderNominalDriving) {
+  CusumDetector det;
+  Rng rng(1);
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double nu = rng.uniform(-0.5, 0.5);
+    const double applied = (1.0 - alpha) * nu + alpha * a_prev;
+    det.update(nu, applied, a_prev, alpha);
+    a_prev = applied;
+  }
+  EXPECT_FALSE(det.attack_detected());
+}
+
+TEST(Cusum, AccumulatesSmallSustainedInjection) {
+  // A sustained injection just above drift must eventually alarm — the
+  // regime where CUSUM beats a thresholded envelope.
+  CusumDetector::Config cfg;
+  cfg.readback_noise = 0.0;
+  cfg.drift = 0.05;
+  CusumDetector det(cfg);
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  bool alarmed = false;
+  for (int i = 0; i < 100 && !alarmed; ++i) {
+    const double applied = (1.0 - alpha) * 0.1 + alpha * a_prev;  // delta 0.1
+    det.update(0.0, applied, a_prev, alpha);
+    a_prev = applied;
+    alarmed = det.attack_detected();
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(Cusum, ResetClearsState) {
+  CusumDetector::Config cfg;
+  cfg.readback_noise = 0.0;
+  CusumDetector det(cfg);
+  const double alpha = 0.8;
+  double a_prev = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const double applied = (1.0 - alpha) * 0.9 + alpha * a_prev;
+    det.update(0.0, applied, a_prev, alpha);
+    a_prev = applied;
+  }
+  ASSERT_TRUE(det.attack_detected());
+  det.reset();
+  EXPECT_FALSE(det.attack_detected());
+  EXPECT_DOUBLE_EQ(det.statistic(), 0.0);
+}
+
+TEST(Cusum, RejectsDegenerateAlpha) {
+  CusumDetector det;
+  EXPECT_THROW(det.update(0.0, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+// --- DetectorSwitchedAgent ---
+
+int cam_dim() { return StackedCameraObserver({}, 3).dim(); }
+
+GaussianPolicy base_policy(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(cam_dim(), {8, 8}, 2, rng);
+}
+
+TEST(DetectorSwitchedAgent, StartsOnOriginalColumn) {
+  GaussianPolicy base = base_policy();
+  Rng rng(2);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy column(std::make_unique<PnnTrunk>(*mlp, false, rng), 2);
+  DetectorSwitchedAgent agent(base, std::move(column), 0.2);
+
+  ScenarioConfig cfg;
+  Rng wrng(1);
+  World w = make_scenario(cfg, wrng);
+  agent.reset(w);
+  agent.decide(w);
+  EXPECT_FALSE(agent.using_adversarial_column());
+}
+
+TEST(DetectorSwitchedAgent, SwitchesUnderSustainedAttack) {
+  GaussianPolicy base = base_policy();
+  Rng rng(2);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy column(std::make_unique<PnnTrunk>(*mlp, true, rng), 2);
+  DetectorConfig det;
+  det.readback_noise = 0.0;
+  DetectorSwitchedAgent agent(base, std::move(column), 0.2, det);
+
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng wrng(1);
+  World w = make_scenario(cfg, wrng);
+  agent.reset(w);
+  // Inject a constant 0.6 perturbation into the agent's steering path.
+  bool switched = false;
+  for (int i = 0; i < 40 && !w.done(); ++i) {
+    Action a = agent.decide(w);
+    a.steer_variation = clamp(a.steer_variation + 0.6, -1.0, 1.0);
+    w.step(a, 0.6);
+    if (agent.using_adversarial_column()) {
+      switched = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(switched);
+  EXPECT_TRUE(agent.detector().attack_detected());
+}
+
+TEST(DetectorSwitchedAgent, StaysOnOriginalWithoutAttack) {
+  GaussianPolicy base = base_policy();
+  Rng rng(2);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy column(std::make_unique<PnnTrunk>(*mlp, true, rng), 2);
+  DetectorSwitchedAgent agent(base, std::move(column), 0.2);
+
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng wrng(1);
+  World w = make_scenario(cfg, wrng);
+  agent.reset(w);
+  for (int i = 0; i < 60 && !w.done(); ++i) {
+    w.step(agent.decide(w));
+  }
+  EXPECT_FALSE(agent.using_adversarial_column());
+}
+
+}  // namespace
+}  // namespace adsec

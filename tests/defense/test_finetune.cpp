@@ -1,0 +1,82 @@
+#include "defense/finetune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/camera.hpp"
+
+namespace adsec {
+namespace {
+
+GaussianPolicy camera_policy(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(StackedCameraObserver({}, 3).dim(), {8}, 1, rng);
+}
+
+TEST(AdversarialDrivingEnv, SamplesBudgetsPerEpisode) {
+  AdversarialDrivingEnv env(ScenarioConfig{}, camera_policy(), /*rho=*/0.0,
+                            {0.4, 0.8});
+  std::set<double> seen;
+  for (int ep = 0; ep < 20; ++ep) {
+    env.reset(100 + static_cast<std::uint64_t>(ep));
+    seen.insert(env.current_budget());
+  }
+  // With rho = 0 only the two nonzero budgets appear.
+  EXPECT_EQ(seen.count(0.0), 0u);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(AdversarialDrivingEnv, RhoOneIsAlwaysNominal) {
+  AdversarialDrivingEnv env(ScenarioConfig{}, camera_policy(), /*rho=*/1.0,
+                            {0.4, 0.8});
+  for (int ep = 0; ep < 10; ++ep) {
+    env.reset(200 + static_cast<std::uint64_t>(ep));
+    EXPECT_DOUBLE_EQ(env.current_budget(), 0.0);
+  }
+}
+
+TEST(AdversarialDrivingEnv, RhoHalfMixesCases) {
+  AdversarialDrivingEnv env(ScenarioConfig{}, camera_policy(), /*rho=*/0.5,
+                            {0.4});
+  int nominal = 0, attacked = 0;
+  for (int ep = 0; ep < 40; ++ep) {
+    env.reset(300 + static_cast<std::uint64_t>(ep));
+    (env.current_budget() == 0.0 ? nominal : attacked)++;
+  }
+  EXPECT_GT(nominal, 8);
+  EXPECT_GT(attacked, 8);
+}
+
+TEST(AdversarialDrivingEnv, AttackedEpisodeInjectsPerturbations) {
+  AdversarialDrivingEnv env(ScenarioConfig{}, camera_policy(), /*rho=*/0.0, {1.0});
+  env.reset(7);
+  double injected = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double a[2] = {0.0, 0.5};
+    if (env.step(a).done) break;
+    injected += std::abs(env.world().history().back().attack_delta);
+  }
+  EXPECT_GT(injected, 0.0);
+}
+
+TEST(AdversarialDrivingEnv, NominalEpisodeInjectsNothing) {
+  AdversarialDrivingEnv env(ScenarioConfig{}, camera_policy(), /*rho=*/1.0, {1.0});
+  env.reset(7);
+  for (int i = 0; i < 20; ++i) {
+    const double a[2] = {0.0, 0.5};
+    if (env.step(a).done) break;
+    EXPECT_DOUBLE_EQ(env.world().history().back().attack_delta, 0.0);
+  }
+}
+
+TEST(FinetuneSpec, DefaultsMatchPaperVariants) {
+  const FinetuneSpec r11 = default_finetune_spec(1.0 / 11.0);
+  EXPECT_NEAR(r11.nominal_ratio, 1.0 / 11.0, 1e-12);
+  EXPECT_EQ(r11.budgets.size(), 10u);  // 0.1 .. 1.0 granularity 0.1
+  EXPECT_DOUBLE_EQ(r11.budgets.front(), 0.1);
+  EXPECT_DOUBLE_EQ(r11.budgets.back(), 1.0);
+  const FinetuneSpec r2 = default_finetune_spec(0.5);
+  EXPECT_DOUBLE_EQ(r2.nominal_ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace adsec

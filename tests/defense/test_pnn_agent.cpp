@@ -1,0 +1,102 @@
+#include "defense/pnn_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/pnn.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+int cam_dim() { return StackedCameraObserver({}, 3).dim(); }
+
+GaussianPolicy driving_policy(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return GaussianPolicy::make_mlp(cam_dim(), {8, 8}, 2, rng);
+}
+
+GaussianPolicy pnn_policy_from(const GaussianPolicy& base, std::uint64_t seed = 2) {
+  Rng rng(seed);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy column(std::make_unique<PnnTrunk>(*mlp, false, rng), 2);
+  return column;
+}
+
+TEST(PnnSwitchedAgent, SwitchesOnSigmaThreshold) {
+  GaussianPolicy base = driving_policy();
+  PnnSwitchedAgent agent(base, pnn_policy_from(base), /*sigma=*/0.3);
+  agent.set_attack_budget_estimate(0.2);
+  EXPECT_FALSE(agent.using_adversarial_column());
+  agent.set_attack_budget_estimate(0.3);
+  EXPECT_FALSE(agent.using_adversarial_column());  // <= sigma stays original
+  agent.set_attack_budget_estimate(0.31);
+  EXPECT_TRUE(agent.using_adversarial_column());
+}
+
+TEST(PnnSwitchedAgent, ColumnsProduceDifferentActions) {
+  GaussianPolicy base = driving_policy();
+  PnnSwitchedAgent agent(base, pnn_policy_from(base), 0.2);
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+
+  agent.set_attack_budget_estimate(0.0);
+  agent.reset(w);
+  const Action a_orig = agent.decide(w);
+
+  agent.set_attack_budget_estimate(1.0);
+  agent.reset(w);
+  const Action a_pnn = agent.decide(w);
+
+  EXPECT_NE(a_orig.steer_variation, a_pnn.steer_variation);
+}
+
+TEST(PnnSwitchedAgent, WarmStartedColumnMatchesOriginal) {
+  // With init_from_base the fresh column replicates pi_ori, so both switcher
+  // branches agree before any adversarial training.
+  GaussianPolicy base = driving_policy();
+  Rng rng(5);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy column(std::make_unique<PnnTrunk>(*mlp, true, rng), 2);
+  PnnSwitchedAgent agent(base, std::move(column), 0.2);
+  ScenarioConfig cfg;
+  Rng wrng(1);
+  World w = make_scenario(cfg, wrng);
+
+  agent.set_attack_budget_estimate(0.0);
+  agent.reset(w);
+  const Action a_orig = agent.decide(w);
+  agent.set_attack_budget_estimate(1.0);
+  agent.reset(w);
+  const Action a_pnn = agent.decide(w);
+  EXPECT_NEAR(a_orig.steer_variation, a_pnn.steer_variation, 1e-9);
+  EXPECT_NEAR(a_orig.thrust_variation, a_pnn.thrust_variation, 1e-9);
+}
+
+TEST(PnnSwitchedAgent, NameEncodesSigma) {
+  GaussianPolicy base = driving_policy();
+  PnnSwitchedAgent agent(base, pnn_policy_from(base), 0.4);
+  EXPECT_EQ(agent.name(), "pnn-sigma=0.4");
+}
+
+TEST(PnnTrainSpec, CoversNonzeroBudgetsOnly) {
+  const PnnTrainSpec spec = default_pnn_spec();
+  for (double b : spec.budgets) EXPECT_GT(b, 0.0);
+  EXPECT_EQ(spec.budgets.size(), 10u);
+}
+
+TEST(TrainPnnColumn, RejectsNonMlpTrunk) {
+  GaussianPolicy base = driving_policy();
+  Rng rng(9);
+  const auto* mlp = dynamic_cast<const Mlp*>(&base.trunk());
+  GaussianPolicy pnn_based(std::make_unique<PnnTrunk>(*mlp, true, rng), 2);
+  PnnTrainSpec spec;
+  spec.train.total_steps = 1;
+  EXPECT_THROW(
+      train_pnn_column(pnn_based, GaussianPolicy::make_mlp(cam_dim(), {4}, 1, rng),
+                       ScenarioConfig{}, spec),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsec

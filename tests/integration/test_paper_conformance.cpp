@@ -1,0 +1,91 @@
+// Conformance tests tying the library's default parameters to the numbers
+// the paper states explicitly — so a refactor that silently changes the
+// experimental setup fails loudly here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/train_attack.hpp"
+#include "common/angle.hpp"
+#include "core/zoo.hpp"
+#include "defense/finetune.hpp"
+
+namespace adsec {
+namespace {
+
+TEST(PaperConformance, ScenarioSecIIIA) {
+  const ScenarioConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.ego_ref_speed, 16.0);   // "high reference speed (16m/s)"
+  EXPECT_DOUBLE_EQ(cfg.npc_ref_speed, 6.0);    // "slower reference speed (6m/s)"
+  EXPECT_EQ(cfg.num_npcs, 6);                  // "six NPC vehicles"
+  EXPECT_EQ(cfg.world.max_steps, 180);         // "limited steps (180 steps)"
+  EXPECT_DOUBLE_EQ(cfg.world.dt, 0.1);         // "each step lasting 0.1 seconds"
+}
+
+TEST(PaperConformance, ActuationSecIIIC) {
+  const VehicleParams vp;
+  // "The maximum steering angle is 70 degrees."
+  EXPECT_NEAR(rad2deg(vp.max_steer_rad), 70.0, 0.01);
+  // "the mechanical limits of the actuation" eps = 1 (Sec. IV-C).
+  EXPECT_DOUBLE_EQ(vp.mech_limit, 1.0);
+  // Eq. 1 retain rates exist and are proper blend factors.
+  EXPECT_GT(vp.alpha, 0.0);
+  EXPECT_LT(vp.alpha, 1.0);
+  EXPECT_GT(vp.eta, 0.0);
+  EXPECT_LT(vp.eta, 1.0);
+}
+
+TEST(PaperConformance, AdversarialRewardSecIVD) {
+  const AdvRewardConfig cfg;
+  // "beta is a pre-defined threshold that is set to be cos(pi/6)".
+  EXPECT_NEAR(cfg.beta, std::cos(kPi / 6.0), 1e-12);
+  // C(lambda) is symmetric: +a for side, -a otherwise.
+  EXPECT_GT(cfg.collision_reward, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.timeout_penalty, cfg.collision_reward);
+}
+
+TEST(PaperConformance, AttackBudgetGranularitySecVIA) {
+  // "attack budgets ranging from 0 to 1 with a granularity of 0.1".
+  const FinetuneSpec spec = default_finetune_spec(1.0 / 11.0);
+  ASSERT_EQ(spec.budgets.size(), 10u);
+  for (std::size_t i = 0; i < spec.budgets.size(); ++i) {
+    EXPECT_NEAR(spec.budgets[i], 0.1 * static_cast<double>(i + 1), 1e-12);
+  }
+  // rho variants: 1/11 (every case equal) and 1/2 (half nominal).
+  EXPECT_NEAR(default_finetune_spec(1.0 / 11.0).nominal_ratio, 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(default_finetune_spec(0.5).nominal_ratio, 0.5, 1e-12);
+}
+
+TEST(PaperConformance, ImuWindowSecIVC) {
+  // "a trace of the IMU readings ... over 3.2 seconds" — 32 ticks at 0.1 s.
+  const ImuConfig cfg;
+  EXPECT_EQ(cfg.window_steps, 32);
+  // Two channels (x advance, z yaw); y is omitted per the paper.
+  EXPECT_EQ(ImuSensor(cfg).dim(), 64);
+}
+
+TEST(PaperConformance, CameraFrameStackSecIIIC) {
+  // "stacked by three frames per step".
+  PolicyZoo zoo(::testing::TempDir() + "/conformance_zoo");
+  StackedCameraObserver obs(zoo.camera(), 3);
+  EXPECT_EQ(obs.dim() % 3, 0);
+  // 84 grid cells per frame mirrors the 84-pixel image height.
+  EXPECT_EQ(zoo.camera().rows * zoo.camera().cols, 84);
+}
+
+TEST(PaperConformance, AttackerActsOnSteeringOnly) {
+  // Sec. IV-A: "the vehicle's thrust unit remains unaffected".
+  const AttackEnvConfig cfg;
+  auto victim = std::make_shared<ModularAgent>();
+  AttackEnv env(cfg, victim);
+  EXPECT_EQ(env.act_dim(), 1);  // a single steering perturbation channel
+}
+
+TEST(PaperConformance, DefaultAttackSpecUsesFullBudget) {
+  const AttackTrainSpec spec = default_attack_spec(AttackSensorType::Camera, 1.0);
+  EXPECT_DOUBLE_EQ(spec.env.budget, 1.0);  // trained at eps = 1 as in Sec. V-A
+  EXPECT_EQ(spec.env.frame_stack, 3);
+}
+
+}  // namespace
+}  // namespace adsec

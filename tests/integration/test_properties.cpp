@@ -1,0 +1,136 @@
+// Property-based tests: invariants that must hold for ANY action sequence,
+// checked over randomized rollouts (failure-injection style).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agents/modular_agent.hpp"
+#include "common/angle.hpp"
+#include "attack/scripted_attacker.hpp"
+#include "core/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+// Random bounded action sequences parameterized by seed.
+class RandomRolloutProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRolloutProperty, WorldStateStaysPhysical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  ScenarioConfig cfg;
+  Rng world_rng(seed);
+  World w = make_scenario(cfg, world_rng);
+  Rng action_rng(seed + 1000);
+
+  while (!w.done()) {
+    const Action a{action_rng.uniform(-1.0, 1.0), action_rng.uniform(-1.0, 1.0)};
+    const double delta = action_rng.uniform(-1.0, 1.0);
+    Action attacked = a;
+    attacked.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+    w.step(attacked, delta);
+
+    // Physicality invariants.
+    EXPECT_TRUE(std::isfinite(w.ego().state().position.x));
+    EXPECT_TRUE(std::isfinite(w.ego().state().position.y));
+    EXPECT_TRUE(std::isfinite(w.ego().state().heading));
+    EXPECT_GE(w.ego().state().speed, 0.0);
+    EXPECT_LE(std::abs(w.ego().actuation().steer), 1.0);
+    EXPECT_LE(std::abs(w.ego().actuation().thrust), 1.0);
+    // Episode accounting.
+    EXPECT_LE(w.step_count(), cfg.world.max_steps);
+    EXPECT_EQ(static_cast<int>(w.history().size()), w.step_count());
+  }
+  // Terminal state is consistent: either a collision, road end, or timeout.
+  if (!w.collided()) {
+    EXPECT_TRUE(w.step_count() >= cfg.world.max_steps ||
+                w.ego_frenet().s >= w.road().length() - 1.0);
+  } else {
+    // A barrier verdict implies the ego is actually at the road edge.
+    if (w.collision()->type == CollisionType::Barrier) {
+      EXPECT_GE(std::abs(w.ego_frenet().d) + 0.5 * w.ego().params().width,
+                w.road().half_width() - 1e-6);
+    }
+  }
+}
+
+TEST_P(RandomRolloutProperty, NpcsNeverLeaveTheirLane) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  ScenarioConfig cfg;
+  Rng world_rng(seed);
+  World w = make_scenario(cfg, world_rng);
+  while (!w.done()) {
+    w.step({0.0, 0.2});
+    for (const auto& npc : w.npcs()) {
+      EXPECT_NEAR(npc.frenet().d, w.road().lane_center_offset(npc.lane()), 1.0);
+      EXPECT_GE(npc.vehicle().state().speed, 0.0);
+      EXPECT_LE(npc.vehicle().state().speed, cfg.npc_ref_speed + 1.5);
+    }
+  }
+}
+
+TEST_P(RandomRolloutProperty, EpisodesAreDeterministicGivenSeed) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  ModularAgent agent;
+  ScriptedAttacker attacker(0.8);
+  ExperimentConfig cfg;
+  const EpisodeMetrics a = run_episode(agent, &attacker, cfg, seed);
+  const EpisodeMetrics b = run_episode(agent, &attacker, cfg, seed);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_DOUBLE_EQ(a.nominal_reward, b.nominal_reward);
+  EXPECT_DOUBLE_EQ(a.adv_reward, b.adv_reward);
+  EXPECT_DOUBLE_EQ(a.attack_effort, b.attack_effort);
+  EXPECT_EQ(a.side_collision, b.side_collision);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRolloutProperty,
+                         ::testing::Range(1, 11));  // 10 random universes
+
+// Budget-monotonicity property for the oracle on both agent architectures:
+// a strictly larger budget never turns a successful configuration into a
+// clean one when aggregated over a seed batch.
+class BudgetMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetMonotonicity, OracleSuccessCountNonDecreasingInBudget) {
+  const std::uint64_t base = 3000 + 100 * static_cast<std::uint64_t>(GetParam());
+  ModularAgent agent;
+  ExperimentConfig cfg;
+  int prev = 0;
+  for (double budget : {0.4, 0.8, 1.0, 1.2}) {
+    ScriptedAttacker att(budget);
+    int successes = 0;
+    for (int k = 0; k < 4; ++k) {
+      successes += run_episode(agent, &att, cfg, base + static_cast<std::uint64_t>(k))
+                           .side_collision
+                       ? 1
+                       : 0;
+    }
+    EXPECT_GE(successes + 1, prev);  // allow one-episode noise
+    prev = std::max(prev, successes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBatches, BudgetMonotonicity, ::testing::Range(0, 3));
+
+// The dynamic vehicle model must survive adversarial episodes too.
+TEST(DynamicModelProperty, AttackedEpisodeStaysFinite) {
+  ScenarioConfig cfg;
+  cfg.vehicle.model = VehicleModel::Dynamic;
+  Rng rng(5);
+  World w = make_scenario(cfg, rng);
+  ModularAgent agent;
+  agent.reset(w);
+  ScriptedAttacker att(1.0);
+  att.reset(w);
+  while (!w.done()) {
+    Action a = agent.decide(w);
+    const double delta = att.decide(w);
+    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+    w.step(a, delta);
+    EXPECT_TRUE(std::isfinite(w.ego().state().position.x));
+    EXPECT_TRUE(std::isfinite(w.ego().lateral_velocity()));
+  }
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,90 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adsec {
+namespace {
+
+TEST(Adam, ValidatesPairing) {
+  Matrix p(2, 2), g(2, 2);
+  EXPECT_THROW(Adam({&p}, {}, {}), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(p) = sum p^2, grad = 2p. Adam should drive p to ~0.
+  Matrix p(1, 4);
+  p.fill(5.0);
+  Matrix g(1, 4);
+  AdamConfig cfg;
+  cfg.lr = 0.1;
+  Adam opt({&p}, {&g}, cfg);
+  for (int it = 0; it < 500; ++it) {
+    for (std::size_t i = 0; i < p.size(); ++i) g.data()[i] = 2.0 * p.data()[i];
+    opt.step();
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(p.data()[i], 0.0, 1e-2);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Matrix p(1, 2), g(1, 2);
+  g.fill(1.0);
+  Adam opt({&p}, {&g}, {});
+  opt.step();
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.0);
+}
+
+TEST(Adam, FirstStepMovesByApproximatelyLr) {
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  Matrix p(1, 1), g(1, 1);
+  g(0, 0) = 0.7;
+  AdamConfig cfg;
+  cfg.lr = 0.01;
+  Adam opt({&p}, {&g}, cfg);
+  opt.step();
+  EXPECT_NEAR(p(0, 0), -0.01, 1e-4);
+}
+
+TEST(Adam, GradClipLimitsGlobalNorm) {
+  Matrix p1(1, 1), g1(1, 1), p2(1, 1), g2(1, 1);
+  g1(0, 0) = 300.0;
+  g2(0, 0) = 400.0;  // global norm 500
+  AdamConfig cfg;
+  cfg.lr = 1.0;
+  cfg.grad_clip = 5.0;
+  Adam opt({&p1, &p2}, {&g1, &g2}, cfg);
+  opt.step();
+  // Direction preserved, both parameters moved by ~lr (sign step).
+  EXPECT_LT(p1(0, 0), 0.0);
+  EXPECT_LT(p2(0, 0), 0.0);
+  // Ratio of the clipped grads preserved 3:4 — check via second moments is
+  // overkill; assert the clip didn't zero either parameter.
+  EXPECT_NE(p1(0, 0), 0.0);
+}
+
+TEST(Adam, DisabledClipLeavesGradients) {
+  Matrix p(1, 1), g(1, 1);
+  g(0, 0) = 1000.0;
+  AdamConfig cfg;
+  cfg.grad_clip = 0.0;
+  Adam opt({&p}, {&g}, cfg);
+  opt.step();  // no throw, parameter moved
+  EXPECT_LT(p(0, 0), 0.0);
+}
+
+TEST(Adam, SetLrTakesEffect) {
+  Matrix p(1, 1), g(1, 1);
+  AdamConfig cfg;
+  cfg.lr = 0.5;
+  Adam opt({&p}, {&g}, cfg);
+  opt.set_lr(0.001);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.001);
+  g(0, 0) = 1.0;
+  opt.step();
+  EXPECT_NEAR(p(0, 0), -0.001, 1e-5);
+}
+
+}  // namespace
+}  // namespace adsec

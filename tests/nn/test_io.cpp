@@ -1,0 +1,79 @@
+#include "nn/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adsec {
+namespace {
+
+TEST(NnIo, GaussianPolicyMlpRoundTrip) {
+  Rng rng(3);
+  GaussianPolicy pi = GaussianPolicy::make_mlp(5, {8, 8}, 2, rng);
+  BinaryWriter w;
+  pi.save(w);
+  BinaryReader r(w.bytes());
+  GaussianPolicy loaded = load_gaussian_policy(r);
+  EXPECT_EQ(loaded.obs_dim(), 5);
+  EXPECT_EQ(loaded.act_dim(), 2);
+  Matrix obs = Matrix::randn(3, 5, rng, 1.0);
+  const Matrix a = pi.mean_action(obs);
+  const Matrix b = loaded.mean_action(obs);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) EXPECT_DOUBLE_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(NnIo, GaussianPolicyPnnRoundTrip) {
+  Rng rng(5);
+  Mlp base({4, 6, 2}, Activation::ReLU, rng);
+  GaussianPolicy pi(std::make_unique<PnnTrunk>(base, true, rng), 1);
+  BinaryWriter w;
+  pi.save(w);
+  BinaryReader r(w.bytes());
+  GaussianPolicy loaded = load_gaussian_policy(r);
+  Matrix obs = Matrix::randn(2, 4, rng, 1.0);
+  EXPECT_DOUBLE_EQ(pi.mean_action(obs)(0, 0), loaded.mean_action(obs)(0, 0));
+}
+
+TEST(NnIo, PolicyFileRoundTrip) {
+  Rng rng(7);
+  GaussianPolicy pi = GaussianPolicy::make_mlp(3, {4}, 1, rng);
+  const std::string path = ::testing::TempDir() + "/adsec_policy.bin";
+  save_policy_file(pi, path);
+  EXPECT_TRUE(file_exists(path));
+  GaussianPolicy loaded = load_policy_file(path);
+  Matrix obs = Matrix::randn(1, 3, rng, 1.0);
+  EXPECT_DOUBLE_EQ(pi.mean_action(obs)(0, 0), loaded.mean_action(obs)(0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(NnIo, MlpFileRoundTrip) {
+  Rng rng(9);
+  Mlp mlp({2, 3, 1}, Activation::Tanh, rng);
+  const std::string path = ::testing::TempDir() + "/adsec_mlp.bin";
+  save_mlp_file(mlp, path);
+  Mlp loaded = load_mlp_file(path);
+  Matrix x = Matrix::randn(1, 2, rng, 1.0);
+  EXPECT_DOUBLE_EQ(mlp.forward_inference(x)(0, 0), loaded.forward_inference(x)(0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(NnIo, BadTagThrows) {
+  BinaryWriter w;
+  w.write_string("not-a-policy");
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(load_gaussian_policy(r), std::runtime_error);
+
+  BinaryWriter w2;
+  w2.write_string("weird-trunk");
+  BinaryReader r2(w2.bytes());
+  EXPECT_THROW(load_trunk(r2), std::runtime_error);
+}
+
+TEST(NnIo, FileExists) {
+  EXPECT_FALSE(file_exists("/no/such/path/at/all.bin"));
+}
+
+}  // namespace
+}  // namespace adsec

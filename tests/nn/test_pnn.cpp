@@ -1,0 +1,154 @@
+#include "nn/pnn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+Mlp base_net(Rng& rng) { return Mlp({4, 8, 6, 2}, Activation::ReLU, rng); }
+
+TEST(Pnn, WarmStartReproducesBaseExactly) {
+  Rng rng(3);
+  Mlp base = base_net(rng);
+  PnnTrunk pnn(base, /*init_from_base=*/true, rng);
+  Matrix x = Matrix::randn(5, 4, rng, 1.0);
+  const Matrix yb = base.forward_inference(x);
+  const Matrix yp = pnn.forward_inference(x);
+  for (int i = 0; i < yb.rows(); ++i) {
+    for (int j = 0; j < yb.cols(); ++j) EXPECT_NEAR(yp(i, j), yb(i, j), 1e-12);
+  }
+}
+
+TEST(Pnn, RandomInitDiffersFromBase) {
+  Rng rng(3);
+  Mlp base = base_net(rng);
+  PnnTrunk pnn(base, /*init_from_base=*/false, rng);
+  Matrix x = Matrix::randn(3, 4, rng, 1.0);
+  const Matrix yb = base.forward_inference(x);
+  const Matrix yp = pnn.forward_inference(x);
+  bool differs = false;
+  for (int i = 0; i < yb.rows(); ++i) {
+    for (int j = 0; j < yb.cols(); ++j) differs |= std::abs(yp(i, j) - yb(i, j)) > 1e-9;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Pnn, TrainingNeverTouchesBaseColumn) {
+  Rng rng(5);
+  Mlp base = base_net(rng);
+  const Mlp base_copy = base;
+  PnnTrunk pnn(base, true, rng);
+
+  // A few "training" steps on the column parameters.
+  Matrix x = Matrix::randn(4, 4, rng, 1.0);
+  Matrix g = Matrix::randn(4, 2, rng, 1.0);
+  for (int it = 0; it < 3; ++it) {
+    pnn.zero_grad();
+    pnn.forward(x);
+    pnn.backward(g);
+    auto params = pnn.params();
+    auto grads = pnn.grads();
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      params[k]->axpy_inplace(-0.01, *grads[k]);
+    }
+  }
+
+  // The frozen column still computes exactly what the original base did.
+  Matrix probe = Matrix::randn(2, 4, rng, 1.0);
+  const Matrix y0 = base_copy.forward_inference(probe);
+  const Matrix y1 = pnn.base().forward_inference(probe);
+  for (int i = 0; i < y0.rows(); ++i) {
+    for (int j = 0; j < y0.cols(); ++j) EXPECT_DOUBLE_EQ(y1(i, j), y0(i, j));
+  }
+  // ...and training moved the column output away from the base output.
+  const Matrix yp = pnn.forward_inference(probe);
+  bool moved = false;
+  for (int i = 0; i < y0.rows(); ++i) {
+    for (int j = 0; j < y0.cols(); ++j) moved |= std::abs(yp(i, j) - y0(i, j)) > 1e-9;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Pnn, GradientMatchesFiniteDifferences) {
+  Rng rng(7);
+  Mlp base({3, 5, 2}, Activation::Tanh, rng);
+  PnnTrunk pnn(base, false, rng);
+  Matrix x = Matrix::randn(3, 3, rng, 0.8);
+  Matrix c = Matrix::randn(3, 2, rng, 1.0);
+
+  auto loss = [&]() {
+    const Matrix y = pnn.forward_inference(x);
+    double L = 0.0;
+    for (int i = 0; i < y.rows(); ++i) {
+      for (int j = 0; j < y.cols(); ++j) L += c(i, j) * y(i, j);
+    }
+    return L;
+  };
+
+  pnn.zero_grad();
+  pnn.forward(x);
+  pnn.backward(c);
+  auto params = pnn.params();
+  auto grads = pnn.grads();
+  const double eps = 1e-6;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Matrix& p = *params[k];
+    for (std::size_t idx = 0; idx < p.size(); idx += std::max<std::size_t>(1, p.size() / 4)) {
+      const double orig = p.data()[idx];
+      p.data()[idx] = orig + eps;
+      const double lp = loss();
+      p.data()[idx] = orig - eps;
+      const double lm = loss();
+      p.data()[idx] = orig;
+      EXPECT_NEAR(grads[k]->data()[idx], (lp - lm) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(Pnn, LateralConnectionsCarryBaseSignal) {
+  // Zero the column's own-input slices; output must still vary with x via
+  // the lateral connections from the frozen base.
+  Rng rng(9);
+  Mlp base({2, 4, 4, 1}, Activation::ReLU, rng);
+  PnnTrunk pnn(base, false, rng);
+  auto params = pnn.params();
+  // params = weights then biases; zero layer-0 weight entirely so column 2's
+  // own path sees nothing of x directly.
+  params[0]->set_zero();
+  Matrix x1(1, 2), x2(1, 2);
+  x1(0, 0) = 1.0;
+  x2(0, 0) = -1.0;
+  const double y1 = pnn.forward_inference(x1)(0, 0);
+  const double y2 = pnn.forward_inference(x2)(0, 0);
+  EXPECT_NE(y1, y2);
+}
+
+TEST(Pnn, SaveLoadRoundTrip) {
+  Rng rng(11);
+  Mlp base({3, 6, 2}, Activation::ReLU, rng);
+  PnnTrunk pnn(base, true, rng);
+  BinaryWriter w;
+  pnn.save(w);
+  BinaryReader r(w.bytes());
+  PnnTrunk loaded = PnnTrunk::load(r);
+  Matrix x = Matrix::randn(4, 3, rng, 1.0);
+  const Matrix a = pnn.forward_inference(x);
+  const Matrix b = loaded.forward_inference(x);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) EXPECT_DOUBLE_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(Pnn, CloneIsIndependent) {
+  Rng rng(13);
+  Mlp base({2, 4, 2}, Activation::ReLU, rng);
+  PnnTrunk pnn(base, true, rng);
+  auto clone = pnn.clone();
+  Matrix x = Matrix::randn(1, 2, rng, 1.0);
+  const double before = clone->forward_inference(x)(0, 0);
+  for (auto* p : pnn.params()) p->fill(0.1);
+  EXPECT_DOUBLE_EQ(clone->forward_inference(x)(0, 0), before);
+}
+
+}  // namespace
+}  // namespace adsec

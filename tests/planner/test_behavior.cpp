@@ -1,0 +1,130 @@
+#include "planner/behavior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World world_with_seed(std::uint64_t seed, ScenarioConfig cfg = {}) {
+  Rng rng(seed);
+  return make_scenario(cfg, rng);
+}
+
+TEST(Behavior, KeepsLaneWhenClear) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  World w = world_with_seed(1, cfg);
+  BehaviorPlanner p;
+  p.reset(1);
+  const PlanStep step = p.plan(w);
+  EXPECT_EQ(step.target_lane, 1);
+  EXPECT_FALSE(step.changing_lane);
+  EXPECT_DOUBLE_EQ(step.desired_speed, p.config().ref_speed);
+}
+
+TEST(Behavior, InitiatesOvertakeWhenBlocked) {
+  // Default scenario: NPC 0 sits 30 m ahead in the ego's lane (lane 1),
+  // inside the 28 m follow distance after a couple of steps.
+  World w = world_with_seed(1);
+  BehaviorPlanner p;
+  p.reset(1);
+  // Step the world forward a little so the gap closes below follow_distance.
+  for (int i = 0; i < 15; ++i) {
+    p.plan(w);
+    w.step({0.0, 0.5});
+  }
+  const PlanStep step = p.plan(w);
+  EXPECT_NE(step.target_lane, 1);  // committed to an overtake
+}
+
+TEST(Behavior, PrefersFreeLane) {
+  ScenarioConfig cfg;
+  cfg.npc_lanes = {1, 2};  // blocker ahead in lane 1, another in lane 2
+  cfg.num_npcs = 2;
+  cfg.first_npc_gap = 20.0;
+  cfg.npc_spacing = 10.0;
+  cfg.spawn_jitter = 0.0;
+  World w = world_with_seed(3, cfg);
+  BehaviorPlanner p;
+  p.reset(1);
+  const PlanStep step = p.plan(w);
+  // Lane 2 is occupied 30 m ahead (inside the 32 m occupancy window), so
+  // the planner must go right (lane 0).
+  EXPECT_EQ(step.target_lane, 0);
+}
+
+TEST(Behavior, CommitsToLaneChangeUntilDone) {
+  World w = world_with_seed(1);
+  BehaviorPlanner p;
+  p.reset(1);
+  for (int i = 0; i < 15; ++i) {
+    p.plan(w);
+    w.step({0.0, 0.5});
+  }
+  const int committed = p.plan(w).target_lane;
+  ASSERT_NE(committed, 1);
+  // While the ego is still far from the target lane the decision must hold.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.plan(w).target_lane, committed);
+  }
+}
+
+TEST(Behavior, SlowsWhenBoxedIn) {
+  ScenarioConfig cfg;
+  cfg.npc_lanes = {1, 0, 2};  // all three lanes blocked ahead
+  cfg.num_npcs = 3;
+  cfg.first_npc_gap = 12.0;
+  cfg.npc_spacing = 2.0;
+  cfg.spawn_jitter = 0.0;
+  World w = world_with_seed(5, cfg);
+  BehaviorPlanner p;
+  p.reset(1);
+  const PlanStep step = p.plan(w);
+  EXPECT_LT(step.desired_speed, p.config().ref_speed);
+}
+
+TEST(Behavior, SafeFollowSpeedScalesWithGap) {
+  BehaviorConfig bc;
+  // Construct two worlds with a single blocker at different gaps.
+  auto make = [&](double gap) {
+    ScenarioConfig cfg;
+    cfg.npc_lanes = {1, 0, 2};
+    cfg.num_npcs = 3;
+    cfg.first_npc_gap = gap;
+    cfg.npc_spacing = 1.0;
+    cfg.spawn_jitter = 0.0;
+    Rng rng(1);
+    return make_scenario(cfg, rng);
+  };
+  World near = make(10.0);
+  World far = make(24.0);
+  BehaviorPlanner p1(bc), p2(bc);
+  p1.reset(1);
+  p2.reset(1);
+  EXPECT_LT(p1.plan(near).desired_speed, p2.plan(far).desired_speed);
+}
+
+TEST(Behavior, PlanExposesWaypointGeometry) {
+  World w = world_with_seed(1);
+  BehaviorPlanner p;
+  p.reset(1);
+  const PlanStep step = p.plan(w);
+  EXPECT_NEAR(step.waypoint_dir.norm(), 1.0, 1e-9);
+  EXPECT_GT(step.waypoint.s, w.ego_frenet().s);
+  EXPECT_DOUBLE_EQ(step.target_d, w.road().lane_center_offset(step.target_lane));
+}
+
+TEST(Behavior, AutoInitializesFromEgoLane) {
+  ScenarioConfig cfg;
+  cfg.ego_start_lane = 2;
+  cfg.num_npcs = 0;
+  World w = world_with_seed(1, cfg);
+  BehaviorPlanner p;  // no reset()
+  const PlanStep step = p.plan(w);
+  EXPECT_EQ(step.target_lane, 2);
+}
+
+}  // namespace
+}  // namespace adsec

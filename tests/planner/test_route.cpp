@@ -1,0 +1,50 @@
+#include "planner/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+TEST(Route, WaypointsFollowLaneCenter) {
+  const Road road({{500.0, 0.0}}, 3, 3.5);
+  const auto wps = lane_waypoints(road, 50.0, 2, 5, 4.0);
+  ASSERT_EQ(wps.size(), 5u);
+  for (std::size_t i = 0; i < wps.size(); ++i) {
+    EXPECT_NEAR(wps[i].s, 50.0 + 4.0 * (static_cast<double>(i) + 1), 1e-9);
+    EXPECT_NEAR(wps[i].position.y, 3.5, 1e-9);  // lane 2 center
+    EXPECT_NEAR(wps[i].heading, 0.0, 1e-9);
+  }
+}
+
+TEST(Route, WaypointsEquallySpaced) {
+  const Road road = Road::freeway();
+  const auto wps = lane_waypoints(road, 100.0, 1, 8, 3.0);
+  for (std::size_t i = 1; i < wps.size(); ++i) {
+    EXPECT_NEAR(distance(wps[i].position, wps[i - 1].position), 3.0, 0.05);
+  }
+}
+
+TEST(Route, LookaheadWaypointAheadOfEgo) {
+  const Road road = Road::freeway();
+  const Waypoint wp = lookahead_waypoint(road, 200.0, 0, 9.0);
+  EXPECT_NEAR(wp.s, 209.0, 1e-9);
+}
+
+TEST(Route, WaypointDirectionIsUnit) {
+  const Road road({{500.0, 0.0}}, 3, 3.5);
+  const Waypoint wp = lookahead_waypoint(road, 20.0, 1, 9.0);
+  const Vec2 dir = waypoint_direction({10.0, 0.0}, wp);
+  EXPECT_NEAR(dir.norm(), 1.0, 1e-12);
+  EXPECT_GT(dir.x, 0.9);  // mostly forward on a straight road
+}
+
+TEST(Route, DirectionPointsTowardAdjacentLaneDuringChange) {
+  const Road road({{500.0, 0.0}}, 3, 3.5);
+  // Ego on lane 1 center, waypoint on lane 2 -> direction has +y component.
+  const Waypoint wp = lookahead_waypoint(road, 20.0, 2, 9.0);
+  const Vec2 dir = waypoint_direction(road.world_at(20.0, 0.0), wp);
+  EXPECT_GT(dir.y, 0.1);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,83 @@
+#include "rl/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adsec {
+namespace {
+
+TEST(Bc, ValidatesInputs) {
+  Rng rng(1);
+  GaussianPolicy pi = GaussianPolicy::make_mlp(2, {8}, 1, rng);
+  EXPECT_THROW(bc_train(pi, Matrix(3, 2), Matrix(2, 1), {}), std::invalid_argument);
+  EXPECT_THROW(bc_train(pi, Matrix(0, 2), Matrix(0, 1), {}), std::invalid_argument);
+  EXPECT_THROW(bc_train(pi, Matrix(3, 2), Matrix(3, 2), {}), std::invalid_argument);
+}
+
+TEST(Bc, ClonesLinearExpert) {
+  // Expert: a = 0.8 * x0 - 0.4 * x1 (clipped into (-1,1) by construction).
+  Rng rng(2);
+  const int n = 512;
+  Matrix obs(n, 2), act(n, 1);
+  for (int i = 0; i < n; ++i) {
+    obs(i, 0) = rng.uniform(-1.0, 1.0);
+    obs(i, 1) = rng.uniform(-1.0, 1.0);
+    act(i, 0) = 0.8 * obs(i, 0) - 0.4 * obs(i, 1);
+  }
+  GaussianPolicy pi = GaussianPolicy::make_mlp(2, {32, 32}, 1, rng);
+  BcConfig cfg;
+  cfg.epochs = 60;
+  const BcResult res = bc_train(pi, obs, act, cfg);
+
+  // Loss decreased substantially over training.
+  EXPECT_LT(res.epoch_losses.back(), res.epoch_losses.front() * 0.5);
+
+  // Deterministic policy reproduces the expert on fresh points.
+  double mse = 0.0;
+  for (int k = 0; k < 50; ++k) {
+    Matrix x(1, 2);
+    x(0, 0) = rng.uniform(-1.0, 1.0);
+    x(0, 1) = rng.uniform(-1.0, 1.0);
+    const double target = 0.8 * x(0, 0) - 0.4 * x(0, 1);
+    const double pred = pi.mean_action(x)(0, 0);
+    mse += (pred - target) * (pred - target) / 50.0;
+  }
+  EXPECT_LT(mse, 0.02);
+}
+
+TEST(Bc, ReturnsPerEpochLosses) {
+  Rng rng(3);
+  GaussianPolicy pi = GaussianPolicy::make_mlp(1, {8}, 1, rng);
+  Matrix obs(16, 1), act(16, 1);
+  for (int i = 0; i < 16; ++i) {
+    obs(i, 0) = i / 16.0;
+    act(i, 0) = 0.5;
+  }
+  BcConfig cfg;
+  cfg.epochs = 7;
+  const BcResult res = bc_train(pi, obs, act, cfg);
+  EXPECT_EQ(res.epoch_losses.size(), 7u);
+}
+
+TEST(Bc, DeterministicGivenSeed) {
+  Rng rng(4);
+  Matrix obs(32, 1), act(32, 1);
+  for (int i = 0; i < 32; ++i) {
+    obs(i, 0) = i / 32.0 - 0.5;
+    act(i, 0) = obs(i, 0);
+  }
+  Rng r1(7), r2(7);
+  GaussianPolicy p1 = GaussianPolicy::make_mlp(1, {8}, 1, r1);
+  GaussianPolicy p2 = GaussianPolicy::make_mlp(1, {8}, 1, r2);
+  BcConfig cfg;
+  cfg.epochs = 5;
+  bc_train(p1, obs, act, cfg);
+  bc_train(p2, obs, act, cfg);
+  Matrix probe(1, 1);
+  probe(0, 0) = 0.123;
+  EXPECT_DOUBLE_EQ(p1.mean_action(probe)(0, 0), p2.mean_action(probe)(0, 0));
+}
+
+}  // namespace
+}  // namespace adsec

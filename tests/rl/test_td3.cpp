@@ -1,0 +1,147 @@
+#include "rl/td3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rl/env.hpp"
+
+namespace adsec {
+namespace {
+
+// Same tracking task as the SAC test: reward = -(a - x)^2.
+class TrackEnv : public Env {
+ public:
+  std::vector<double> reset(std::uint64_t seed) override {
+    rng_ = Rng(seed);
+    x_ = rng_.uniform(-1.0, 1.0);
+    t_ = 0;
+    return {x_};
+  }
+  EnvStep step(std::span<const double> action) override {
+    EnvStep s;
+    s.reward = -(action[0] - x_) * (action[0] - x_);
+    x_ = clamp(x_ + rng_.uniform(-0.2, 0.2), -1.0, 1.0);
+    s.done = ++t_ >= 10;
+    s.obs = {x_};
+    return s;
+  }
+  int obs_dim() const override { return 1; }
+  int act_dim() const override { return 1; }
+
+ private:
+  Rng rng_{0};
+  double x_{0.0};
+  int t_{0};
+
+  static double clamp(double v, double lo, double hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  }
+};
+
+double eval_td3(const Td3& td3, TrackEnv& env, int episodes, Rng& rng) {
+  double total = 0.0;
+  for (int k = 0; k < episodes; ++k) {
+    auto obs = env.reset(900 + static_cast<std::uint64_t>(k));
+    bool done = false;
+    while (!done) {
+      const auto a = td3.act(obs, rng, /*deterministic=*/true);
+      EnvStep s = env.step(a);
+      total += s.reward;
+      done = s.done;
+      obs = std::move(s.obs);
+    }
+  }
+  return total / episodes;
+}
+
+TEST(Td3, LearnsToTrackTarget) {
+  TrackEnv env;
+  Td3Config cfg;
+  cfg.actor_hidden = {32, 32};
+  cfg.critic_hidden = {32, 32};
+  cfg.batch_size = 32;
+  Rng rng(1);
+  Td3 td3(1, 1, cfg, rng);
+  ReplayBuffer buf(5000, 1, 1);
+
+  Rng loop_rng(2);
+  auto obs = env.reset(0);
+  for (int step = 0; step < 4000; ++step) {
+    std::vector<double> a;
+    if (step < 300) {
+      a = {loop_rng.uniform(-1.0, 1.0)};
+    } else {
+      a = td3.act(obs, loop_rng);
+    }
+    EnvStep s = env.step(a);
+    buf.add(obs, a, s.reward, s.obs, s.done);
+    obs = s.done ? env.reset(static_cast<std::uint64_t>(step)) : std::move(s.obs);
+    if (step > 300) td3.update(buf, loop_rng);
+  }
+  Rng eval_rng(3);
+  EXPECT_GT(eval_td3(td3, env, 20, eval_rng), -1.0);
+}
+
+TEST(Td3, ActionsAreBounded) {
+  Td3Config cfg;
+  Rng rng(4);
+  Td3 td3(3, 2, cfg, rng);
+  Rng act_rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> obs = {act_rng.uniform(-5, 5), act_rng.uniform(-5, 5),
+                                     act_rng.uniform(-5, 5)};
+    for (double a : td3.act(obs, act_rng)) {
+      EXPECT_GE(a, -1.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(Td3, DeterministicActHasNoNoise) {
+  Td3Config cfg;
+  Rng rng(6);
+  Td3 td3(2, 1, cfg, rng);
+  const std::vector<double> obs = {0.3, -0.7};
+  Rng r1(1), r2(2);
+  EXPECT_DOUBLE_EQ(td3.act(obs, r1, true)[0], td3.act(obs, r2, true)[0]);
+}
+
+TEST(Td3, UpdateNoOpUntilBatch) {
+  Td3Config cfg;
+  cfg.batch_size = 16;
+  Rng rng(7);
+  Td3 td3(1, 1, cfg, rng);
+  ReplayBuffer buf(100, 1, 1);
+  const double o[1] = {0.0}, a[1] = {0.0};
+  for (int i = 0; i < 10; ++i) buf.add(o, a, 0.0, o, false);
+  td3.update(buf, rng);
+  EXPECT_EQ(td3.updates_done(), 0);
+}
+
+TEST(Td3, PolicyDelaySkipsActorUpdates) {
+  Td3Config cfg;
+  cfg.batch_size = 8;
+  cfg.policy_delay = 3;
+  Rng rng(8);
+  Td3 td3(1, 1, cfg, rng);
+  ReplayBuffer buf(100, 1, 1);
+  Rng data(9);
+  for (int i = 0; i < 30; ++i) {
+    const double o[1] = {data.uniform()}, a[1] = {data.uniform(-1, 1)};
+    buf.add(o, a, data.uniform(), o, false);
+  }
+  const std::vector<double> probe = {0.5};
+  Rng pr(1);
+  const double before = td3.act(probe, pr, true)[0];
+  // Two updates: below the delay, actor unchanged.
+  td3.update(buf, rng);
+  td3.update(buf, rng);
+  Rng pr2(1);
+  EXPECT_DOUBLE_EQ(td3.act(probe, pr2, true)[0], before);
+  // Third update crosses the delay boundary.
+  td3.update(buf, rng);
+  Rng pr3(1);
+  EXPECT_NE(td3.act(probe, pr3, true)[0], before);
+}
+
+}  // namespace
+}  // namespace adsec

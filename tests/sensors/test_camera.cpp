@@ -1,0 +1,183 @@
+#include "sensors/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World nominal_world(std::uint64_t seed = 1, int npcs = 6) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = npcs;
+  Rng rng(seed);
+  return make_scenario(cfg, rng);
+}
+
+TEST(Camera, FrameDimIncludesEgoState) {
+  CameraConfig cfg;
+  CameraSensor cam(cfg);
+  EXPECT_EQ(cam.frame_dim(), 12 * 7 + 5);
+  cfg.append_ego_state = false;
+  EXPECT_EQ(CameraSensor(cfg).frame_dim(), 84);
+}
+
+TEST(Camera, ValidatesGrid) {
+  CameraConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(CameraSensor{cfg}, std::invalid_argument);
+}
+
+TEST(Camera, DetectsNpcAhead) {
+  World w = nominal_world();
+  CameraSensor cam;
+  const auto frame = cam.observe(w);
+  // NPC 0 spawns ~30 m ahead in the ego's lane: some cell must read +1.
+  bool occupied = false;
+  for (int i = 0; i < 84; ++i) occupied |= frame[static_cast<std::size_t>(i)] == 1.0;
+  EXPECT_TRUE(occupied);
+}
+
+TEST(Camera, EmptyRoadHasNoVehicleCells) {
+  World w = nominal_world(1, 0);
+  CameraSensor cam;
+  const auto frame = cam.observe(w);
+  for (int i = 0; i < 84; ++i) EXPECT_NE(frame[static_cast<std::size_t>(i)], 1.0);
+}
+
+TEST(Camera, MarksOffRoadCells) {
+  World w = nominal_world(1, 0);
+  CameraSensor cam;
+  const auto frame = cam.observe(w);
+  // Grid is 24.5 m wide vs a 10.5 m road: the outer columns are off-road.
+  int offroad = 0;
+  for (int i = 0; i < 84; ++i) offroad += frame[static_cast<std::size_t>(i)] == -1.0;
+  EXPECT_GT(offroad, 20);
+}
+
+TEST(Camera, EgoStateScalarsPopulated) {
+  World w = nominal_world();
+  CameraSensor cam;
+  const auto frame = cam.observe(w);
+  const std::size_t base = 84;
+  EXPECT_NEAR(frame[base + 0], 0.0, 0.05);  // mid-lane => tiny offset
+  EXPECT_NEAR(frame[base + 2], w.ego().state().speed / 20.0, 1e-9);
+}
+
+TEST(Camera, NpcPositionReflectedInCorrectColumn) {
+  // NPC in the left lane must occupy a left-of-center column.
+  ScenarioConfig cfg;
+  cfg.num_npcs = 1;
+  cfg.npc_lanes = {2};
+  cfg.first_npc_gap = 12.0;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  CameraSensor cam;
+  const auto frame = cam.observe(w);
+  bool left_occupied = false, right_occupied = false;
+  for (int r = 0; r < 12; ++r) {
+    for (int c = 0; c < 7; ++c) {
+      if (frame[static_cast<std::size_t>(r * 7 + c)] == 1.0) {
+        if (c >= 4) left_occupied = true;  // +y (left) columns have higher c
+        if (c <= 2) right_occupied = true;
+      }
+    }
+  }
+  EXPECT_TRUE(left_occupied);
+  EXPECT_FALSE(right_occupied);
+}
+
+TEST(Camera, CellNoiseFaultPerturbsGridOnly) {
+  World w = nominal_world();
+  CameraConfig clean_cfg;
+  CameraConfig noisy_cfg;
+  noisy_cfg.cell_noise = 0.2;
+  CameraSensor clean(clean_cfg), noisy(noisy_cfg);
+  const auto a = clean.observe(w);
+  const auto b = noisy.observe(w);
+  bool grid_changed = false;
+  for (int i = 0; i < 84; ++i) {
+    grid_changed |= a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)];
+  }
+  EXPECT_TRUE(grid_changed);
+  // Ego-state scalars come from other sensors and are not faulted.
+  for (std::size_t i = 84; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Camera, FullDropoutBlanksTheGrid) {
+  World w = nominal_world();
+  CameraConfig cfg;
+  cfg.cell_dropout = 1.0;
+  CameraSensor cam(cfg);
+  const auto frame = cam.observe(w);
+  for (int i = 0; i < 84; ++i) EXPECT_DOUBLE_EQ(frame[static_cast<std::size_t>(i)], 0.0);
+}
+
+TEST(Camera, DropoutValidated) {
+  CameraConfig cfg;
+  cfg.cell_dropout = 1.5;
+  EXPECT_THROW(CameraSensor{cfg}, std::invalid_argument);
+}
+
+TEST(Camera, FaultsAreDeterministicPerSeed) {
+  World w = nominal_world();
+  CameraConfig cfg;
+  cfg.cell_noise = 0.3;
+  CameraSensor a(cfg, 123), b(cfg, 123);
+  const auto fa = a.observe(w);
+  const auto fb = b.observe(w);
+  for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_DOUBLE_EQ(fa[i], fb[i]);
+}
+
+TEST(FrameStack, ValidatesArgs) {
+  EXPECT_THROW(FrameStack(0, 4), std::invalid_argument);
+  EXPECT_THROW(FrameStack(3, 0), std::invalid_argument);
+  FrameStack fs(3, 4);
+  EXPECT_THROW(fs.push({1.0}), std::invalid_argument);
+  EXPECT_THROW(fs.reset({1.0}), std::invalid_argument);
+}
+
+TEST(FrameStack, ResetFillsAllSlots) {
+  FrameStack fs(3, 2);
+  fs.reset({1.0, 2.0});
+  const auto obs = fs.observation();
+  ASSERT_EQ(obs.size(), 6u);
+  for (std::size_t i = 0; i < 6; i += 2) {
+    EXPECT_DOUBLE_EQ(obs[i], 1.0);
+    EXPECT_DOUBLE_EQ(obs[i + 1], 2.0);
+  }
+}
+
+TEST(FrameStack, OrdersOldestFirst) {
+  FrameStack fs(3, 1);
+  fs.reset({0.0});
+  fs.push({1.0});
+  fs.push({2.0});
+  const auto obs = fs.observation();
+  EXPECT_DOUBLE_EQ(obs[0], 0.0);
+  EXPECT_DOUBLE_EQ(obs[1], 1.0);
+  EXPECT_DOUBLE_EQ(obs[2], 2.0);
+  fs.push({3.0});
+  const auto obs2 = fs.observation();
+  EXPECT_DOUBLE_EQ(obs2[0], 1.0);
+  EXPECT_DOUBLE_EQ(obs2[2], 3.0);
+}
+
+TEST(StackedCameraObserver, DimAndMotionVisibility) {
+  World w = nominal_world();
+  StackedCameraObserver obs({}, 3);
+  EXPECT_EQ(obs.dim(), 3 * 89);
+  obs.reset(w);
+  const auto o1 = obs.observe(w);
+  w.step({0.0, 1.0});
+  w.step({0.0, 1.0});
+  const auto o2 = obs.observe(w);
+  // After motion the stacked observation must change.
+  bool changed = false;
+  for (std::size_t i = 0; i < o1.size(); ++i) changed |= o1[i] != o2[i];
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,143 @@
+#include "sensors/imu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace adsec {
+namespace {
+
+World nominal_world(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.num_npcs = 0;
+  Rng rng(seed);
+  return make_scenario(cfg, rng);
+}
+
+TEST(Imu, DimIsTwiceWindow) {
+  ImuConfig cfg;
+  cfg.window_steps = 32;
+  EXPECT_EQ(ImuSensor(cfg).dim(), 64);
+  cfg.window_steps = 0;
+  EXPECT_THROW(ImuSensor{cfg}, std::invalid_argument);
+}
+
+TEST(Imu, ZeroAfterReset) {
+  World w = nominal_world();
+  ImuSensor imu;
+  imu.reset(w);
+  for (double v : imu.observation()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Imu, SensesAcceleration) {
+  World w = nominal_world();
+  ImuConfig cfg;
+  cfg.accel_noise = 0.0;
+  cfg.gyro_noise = 0.0;
+  ImuSensor imu(cfg);
+  imu.reset(w);
+  for (int i = 0; i < 10; ++i) {
+    w.step({0.0, 1.0});  // full throttle
+    imu.update(w);
+  }
+  const auto obs = imu.observation();
+  // Latest accel samples (end of first half) must be positive.
+  double recent = obs[static_cast<std::size_t>(cfg.window_steps - 1)];
+  EXPECT_GT(recent, 0.0);
+}
+
+TEST(Imu, SensesYawRateSign) {
+  World w = nominal_world();
+  ImuConfig cfg;
+  cfg.accel_noise = 0.0;
+  cfg.gyro_noise = 0.0;
+  ImuSensor imu(cfg);
+  imu.reset(w);
+  for (int i = 0; i < 10; ++i) {
+    w.step({1.0, 0.0});  // steer left
+    imu.update(w);
+  }
+  const auto obs = imu.observation();
+  const double recent_gyro = obs[static_cast<std::size_t>(2 * cfg.window_steps - 1)];
+  EXPECT_GT(recent_gyro, 0.0);
+
+  World w2 = nominal_world();
+  imu.reset(w2);
+  for (int i = 0; i < 10; ++i) {
+    w2.step({-1.0, 0.0});  // steer right
+    imu.update(w2);
+  }
+  const double recent2 =
+      imu.observation()[static_cast<std::size_t>(2 * cfg.window_steps - 1)];
+  EXPECT_LT(recent2, 0.0);
+}
+
+TEST(Imu, WindowSlidesOldestFirst) {
+  World w = nominal_world();
+  ImuConfig cfg;
+  cfg.window_steps = 4;
+  cfg.accel_noise = 0.0;
+  cfg.gyro_noise = 0.0;
+  ImuSensor imu(cfg);
+  imu.reset(w);
+  // Two throttle steps then two hard-brake steps. Eq. 1's actuator lag means
+  // acceleration builds over the throttle steps and is pulled down by the
+  // brake commands afterwards: the newest sample must read lower than the
+  // last throttle-phase sample.
+  for (int i = 0; i < 2; ++i) {
+    w.step({0.0, 1.0});
+    imu.update(w);
+  }
+  for (int i = 0; i < 2; ++i) {
+    w.step({0.0, -1.0});
+    imu.update(w);
+  }
+  const auto obs = imu.observation();
+  EXPECT_LT(obs[3], obs[1]);
+}
+
+TEST(Imu, NoiseIsDeterministicPerSeed) {
+  World w1 = nominal_world();
+  World w2 = nominal_world();
+  ImuSensor a({}, 99), b({}, 99);
+  a.reset(w1);
+  b.reset(w2);
+  for (int i = 0; i < 5; ++i) {
+    w1.step({0.2, 0.4});
+    w2.step({0.2, 0.4});
+    a.update(w1);
+    b.update(w2);
+  }
+  const auto oa = a.observation(), ob = b.observation();
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_DOUBLE_EQ(oa[i], ob[i]);
+}
+
+TEST(Imu, CannotSeeNpcs) {
+  // The IMU trace depends only on ego motion: identical ego inputs with and
+  // without NPCs produce identical (noise-free) traces while the ego is far
+  // from traffic. This is the observability gap that motivates the paper's
+  // learning-from-teacher scheme.
+  ScenarioConfig with_npcs;
+  ScenarioConfig without;
+  without.num_npcs = 0;
+  Rng r1(1), r2(1);
+  World w1 = make_scenario(with_npcs, r1);
+  World w2 = make_scenario(without, r2);
+  ImuConfig cfg;
+  cfg.accel_noise = 0.0;
+  cfg.gyro_noise = 0.0;
+  ImuSensor a(cfg), b(cfg);
+  a.reset(w1);
+  b.reset(w2);
+  for (int i = 0; i < 10; ++i) {
+    w1.step({0.1, 0.3});
+    w2.step({0.1, 0.3});
+    a.update(w1);
+    b.update(w2);
+  }
+  const auto oa = a.observation(), ob = b.observation();
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_NEAR(oa[i], ob[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace adsec

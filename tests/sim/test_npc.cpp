@@ -1,0 +1,92 @@
+#include "sim/npc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace adsec {
+namespace {
+
+std::shared_ptr<const Road> straight_road() {
+  return std::make_shared<const Road>(Road({{500.0, 0.0}}, 3, 3.5));
+}
+
+TEST(Npc, SpawnsOnLaneCenterAtRefSpeed) {
+  auto road = straight_road();
+  NpcParams np;
+  np.ref_speed = 6.0;
+  Npc npc(VehicleParams{}, np, road, 2, 50.0);
+  EXPECT_NEAR(npc.frenet().s, 50.0, 0.1);
+  EXPECT_NEAR(npc.frenet().d, 3.5, 1e-6);
+  EXPECT_DOUBLE_EQ(npc.vehicle().state().speed, 6.0);
+  EXPECT_EQ(npc.lane(), 2);
+}
+
+TEST(Npc, HoldsLaneAndSpeedOverTime) {
+  auto road = straight_road();
+  NpcParams np;
+  np.ref_speed = 6.0;
+  Npc npc(VehicleParams{}, np, road, 1, 20.0);
+  for (int i = 0; i < 300; ++i) npc.step(0.1);
+  EXPECT_NEAR(npc.frenet().d, 0.0, 0.1);
+  EXPECT_NEAR(npc.vehicle().state().speed, 6.0, 0.3);
+  EXPECT_GT(npc.frenet().s, 20.0 + 6.0 * 30.0 * 0.8);  // advanced ~180 m
+}
+
+TEST(Npc, RecoversFromLateralDisplacement) {
+  auto road = straight_road();
+  Npc npc(VehicleParams{}, NpcParams{}, road, 1, 20.0);
+  // Kick it 1.5 m off the lane center.
+  VehicleState s = npc.vehicle().state();
+  s.position.y += 1.5;
+  npc.vehicle().reset(s);
+  for (int i = 0; i < 200; ++i) npc.step(0.1);
+  EXPECT_NEAR(npc.frenet().d, 0.0, 0.2);
+}
+
+TEST(Npc, FollowsCurvedRoad) {
+  auto road = std::make_shared<const Road>(Road::freeway(600.0, 3, 3.5));
+  Npc npc(VehicleParams{}, NpcParams{}, road, 0, 150.0);
+  for (int i = 0; i < 400; ++i) npc.step(0.1);
+  // Still on its lane center deep into the curve.
+  EXPECT_NEAR(npc.frenet().d, road->lane_center_offset(0), 0.3);
+}
+
+TEST(Npc, ReactiveNpcBrakesBehindLeader) {
+  auto road = straight_road();
+  NpcParams np;
+  np.reactive = true;
+  Npc npc(VehicleParams{}, np, road, 1, 20.0);
+  // Leader 8 m ahead moving at 2 m/s: the follower must slow well below its
+  // 6 m/s reference.
+  for (int i = 0; i < 80; ++i) npc.step(0.1, 8.0, 2.0);
+  EXPECT_LT(npc.vehicle().state().speed, 4.5);
+}
+
+TEST(Npc, NonReactiveNpcIgnoresLeader) {
+  auto road = straight_road();
+  Npc npc(VehicleParams{}, NpcParams{}, road, 1, 20.0);
+  for (int i = 0; i < 80; ++i) npc.step(0.1, 8.0, 2.0);
+  EXPECT_NEAR(npc.vehicle().state().speed, 6.0, 0.3);
+}
+
+TEST(Npc, ReactiveNpcKeepsRefSpeedWhenClear) {
+  auto road = straight_road();
+  NpcParams np;
+  np.reactive = true;
+  Npc npc(VehicleParams{}, np, road, 1, 20.0);
+  for (int i = 0; i < 80; ++i) npc.step(0.1);  // default: no leader
+  EXPECT_NEAR(npc.vehicle().state().speed, 6.0, 0.3);
+}
+
+TEST(Npc, SlowerRefSpeedRespected) {
+  auto road = straight_road();
+  NpcParams np;
+  np.ref_speed = 3.0;
+  Npc npc(VehicleParams{}, np, road, 1, 20.0);
+  for (int i = 0; i < 100; ++i) npc.step(0.1);
+  EXPECT_NEAR(npc.vehicle().state().speed, 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,141 @@
+#include "sim/road.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+namespace {
+
+Road straight_road() { return Road({{500.0, 0.0}}, 3, 3.5); }
+
+TEST(Road, ValidatesConstruction) {
+  EXPECT_THROW(Road({}, 3, 3.5), std::invalid_argument);
+  EXPECT_THROW(Road({{100.0, 0.0}}, 0, 3.5), std::invalid_argument);
+  EXPECT_THROW(Road({{100.0, 0.0}}, 3, 0.0), std::invalid_argument);
+  EXPECT_THROW(Road({{-5.0, 0.0}}, 3, 3.5), std::invalid_argument);
+}
+
+TEST(Road, StraightPoseAdvancesAlongX) {
+  const Road r = straight_road();
+  const RoadPose p = r.pose_at(123.0);
+  EXPECT_NEAR(p.position.x, 123.0, 1e-9);
+  EXPECT_NEAR(p.position.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.heading, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.curvature, 0.0);
+}
+
+TEST(Road, PoseClampsOutOfRange) {
+  const Road r = straight_road();
+  EXPECT_NEAR(r.pose_at(-10.0).position.x, 0.0, 1e-9);
+  EXPECT_NEAR(r.pose_at(1e9).position.x, 500.0, 1e-9);
+}
+
+TEST(Road, LaneOffsetsSymmetricAroundCenter) {
+  const Road r = straight_road();
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(0), -3.5);
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(1), 0.0);
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(2), 3.5);
+  EXPECT_THROW(r.lane_center_offset(3), std::out_of_range);
+  EXPECT_THROW(r.lane_center_offset(-1), std::out_of_range);
+}
+
+TEST(Road, LaneAtOffsetInverse) {
+  const Road r = straight_road();
+  for (int lane = 0; lane < r.num_lanes(); ++lane) {
+    EXPECT_EQ(r.lane_at_offset(r.lane_center_offset(lane)), lane);
+    // Anywhere within the lane maps back to it.
+    EXPECT_EQ(r.lane_at_offset(r.lane_center_offset(lane) + 1.7), lane);
+    EXPECT_EQ(r.lane_at_offset(r.lane_center_offset(lane) - 1.7), lane);
+  }
+  // Outside the road clamps to edge lanes.
+  EXPECT_EQ(r.lane_at_offset(-100.0), 0);
+  EXPECT_EQ(r.lane_at_offset(100.0), 2);
+}
+
+TEST(Road, HalfWidth) {
+  EXPECT_DOUBLE_EQ(straight_road().half_width(), 5.25);
+}
+
+TEST(Road, WorldAtRoundTripsThroughProject) {
+  const Road r = Road::freeway();
+  for (double s : {5.0, 100.0, 250.0, 400.0, 550.0}) {
+    for (double d : {-3.5, -1.0, 0.0, 2.0, 3.5}) {
+      const Vec2 p = r.world_at(s, d);
+      const Frenet f = r.project(p);
+      EXPECT_NEAR(f.s, s, 0.05) << "s=" << s << " d=" << d;
+      EXPECT_NEAR(f.d, d, 0.01) << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST(Road, CurvedSegmentTurnsHeading) {
+  // Quarter circle of radius 100 to the left.
+  const double radius = 100.0;
+  Road r({{radius * kPi / 2.0, 1.0 / radius}}, 1, 3.5);
+  const RoadPose end = r.pose_at(r.length());
+  EXPECT_NEAR(end.heading, kPi / 2.0, 1e-6);
+  EXPECT_NEAR(end.position.x, radius, 1e-6);
+  EXPECT_NEAR(end.position.y, radius, 1e-6);
+}
+
+TEST(Road, RightCurveTurnsNegative) {
+  const double radius = 50.0;
+  Road r({{radius * kPi / 2.0, -1.0 / radius}}, 1, 3.5);
+  EXPECT_NEAR(r.pose_at(r.length()).heading, -kPi / 2.0, 1e-6);
+}
+
+TEST(Road, SegmentsJoinContinuously) {
+  Road r({{100.0, 0.0}, {100.0, 0.01}, {100.0, 0.0}}, 2, 3.0);
+  // Position must be continuous across joints.
+  for (double joint : {100.0, 200.0}) {
+    const Vec2 before = r.pose_at(joint - 1e-6).position;
+    const Vec2 after = r.pose_at(joint + 1e-6).position;
+    EXPECT_NEAR(distance(before, after), 0.0, 1e-4);
+  }
+}
+
+TEST(Road, SCurveAlternatesCurvature) {
+  const Road r = Road::s_curve(600.0, 3, 3.5, 400.0);
+  EXPECT_NEAR(r.length(), 600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.pose_at(50.0).curvature, 0.0);            // entry straight
+  EXPECT_GT(r.pose_at(200.0).curvature, 0.0);                  // left sweeper
+  EXPECT_LT(r.pose_at(350.0).curvature, 0.0);                  // right sweeper
+  EXPECT_GT(r.pose_at(500.0).curvature, 0.0);                  // left again
+}
+
+TEST(Road, SCurveProjectionStillAccurate) {
+  const Road r = Road::s_curve();
+  for (double s : {100.0, 250.0, 400.0, 550.0}) {
+    for (double d : {-3.5, 0.0, 3.5}) {
+      const Frenet f = r.project(r.world_at(s, d));
+      EXPECT_NEAR(f.s, s, 0.1);
+      EXPECT_NEAR(f.d, d, 0.02);
+    }
+  }
+}
+
+TEST(Road, FreewayFactoryMatchesRequestedLength) {
+  const Road r = Road::freeway(600.0, 3, 3.5);
+  EXPECT_NEAR(r.length(), 600.0, 1e-9);
+  EXPECT_EQ(r.num_lanes(), 3);
+}
+
+class RoadProjectionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RoadProjectionSweep, ProjectionIsAccurateOnFreeway) {
+  const auto [s, d] = GetParam();
+  const Road r = Road::freeway();
+  const Frenet f = r.project(r.world_at(s, d));
+  EXPECT_NEAR(f.s, s, 0.05);
+  EXPECT_NEAR(f.d, d, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoadProjectionSweep,
+    ::testing::Combine(::testing::Values(10.0, 150.0, 300.0, 450.0, 590.0),
+                       ::testing::Values(-5.0, -1.75, 0.0, 1.75, 5.0)));
+
+}  // namespace
+}  // namespace adsec

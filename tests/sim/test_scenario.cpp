@@ -1,0 +1,134 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+TEST(Scenario, DefaultMatchesPaperSetup) {
+  ScenarioConfig cfg;
+  EXPECT_EQ(cfg.num_npcs, 6);
+  EXPECT_DOUBLE_EQ(cfg.npc_ref_speed, 6.0);
+  EXPECT_DOUBLE_EQ(cfg.ego_ref_speed, 16.0);
+  EXPECT_EQ(cfg.world.max_steps, 180);
+  EXPECT_DOUBLE_EQ(cfg.world.dt, 0.1);
+
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  EXPECT_EQ(static_cast<int>(w.npcs().size()), 6);
+  EXPECT_EQ(w.road().num_lanes(), 3);
+}
+
+TEST(Scenario, NpcsSpacedAhead) {
+  ScenarioConfig cfg;
+  cfg.spawn_jitter = 0.0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  double prev = w.ego_frenet().s;
+  for (const auto& npc : w.npcs()) {
+    EXPECT_GT(npc.frenet().s, prev);
+    prev = npc.frenet().s;
+  }
+  EXPECT_NEAR(w.npcs()[0].frenet().s - w.ego_frenet().s, cfg.first_npc_gap, 1.0);
+}
+
+TEST(Scenario, LanePatternApplied) {
+  ScenarioConfig cfg;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(w.npcs()[static_cast<std::size_t>(i)].lane(),
+              cfg.npc_lanes[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Scenario, JitterMakesSeedsDiffer) {
+  ScenarioConfig cfg;
+  Rng r1(1), r2(2);
+  World a = make_scenario(cfg, r1);
+  World b = make_scenario(cfg, r2);
+  EXPECT_NE(a.npcs()[0].frenet().s, b.npcs()[0].frenet().s);
+}
+
+TEST(Scenario, SameSeedIsIdentical) {
+  ScenarioConfig cfg;
+  Rng r1(9), r2(9);
+  World a = make_scenario(cfg, r1);
+  World b = make_scenario(cfg, r2);
+  for (std::size_t i = 0; i < a.npcs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.npcs()[i].frenet().s, b.npcs()[i].frenet().s);
+    EXPECT_DOUBLE_EQ(a.npcs()[i].vehicle().state().speed,
+                     b.npcs()[i].vehicle().state().speed);
+  }
+}
+
+TEST(Scenario, PresetsBuildValidWorlds) {
+  for (const std::string& name : scenario_preset_names()) {
+    const ScenarioConfig cfg = scenario_preset(name);
+    Rng rng(1);
+    World w = make_scenario(cfg, rng);
+    EXPECT_EQ(static_cast<int>(w.npcs().size()), cfg.num_npcs) << name;
+    EXPECT_EQ(w.road().num_lanes(), cfg.num_lanes) << name;
+    EXPECT_FALSE(w.done()) << name;
+  }
+}
+
+TEST(Scenario, PresetSpecifics) {
+  EXPECT_EQ(scenario_preset("dense").num_npcs, 8);
+  EXPECT_EQ(scenario_preset("sparse").num_npcs, 3);
+  EXPECT_EQ(scenario_preset("two-lane").num_lanes, 2);
+  EXPECT_EQ(scenario_preset("s-curve").road_profile, RoadProfile::SCurve);
+  EXPECT_DOUBLE_EQ(scenario_preset("fast-npc").npc_ref_speed, 9.0);
+  // "paper" is exactly the default-constructed config.
+  EXPECT_EQ(scenario_preset("paper").num_npcs, ScenarioConfig{}.num_npcs);
+}
+
+TEST(Scenario, UnknownPresetThrows) {
+  EXPECT_THROW(scenario_preset("warp-speed"), std::invalid_argument);
+}
+
+TEST(Scenario, StraightProfileHasZeroCurvature) {
+  ScenarioConfig cfg;
+  cfg.road_profile = RoadProfile::Straight;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  for (double s : {50.0, 250.0, 500.0}) {
+    EXPECT_DOUBLE_EQ(w.road().pose_at(s).curvature, 0.0);
+  }
+}
+
+TEST(Scenario, ValidationErrors) {
+  Rng rng(1);
+  ScenarioConfig bad;
+  bad.npc_lanes = {};
+  EXPECT_THROW(make_scenario(bad, rng), std::invalid_argument);
+  ScenarioConfig bad2;
+  bad2.npc_lanes = {7};
+  EXPECT_THROW(make_scenario(bad2, rng), std::invalid_argument);
+}
+
+TEST(Scenario, VehicleParamsArePlumbedThrough) {
+  ScenarioConfig cfg;
+  cfg.vehicle.alpha = 0.95;  // very sluggish steering actuator
+  cfg.num_npcs = 0;
+  Rng r1(1), r2(1);
+  World sluggish = make_scenario(cfg, r1);
+  World nominal = make_scenario(ScenarioConfig{}, r2);
+  EXPECT_DOUBLE_EQ(sluggish.ego().params().alpha, 0.95);
+  // Same steering command produces less applied actuation on the sluggish
+  // vehicle after one step: a_1 = (1 - alpha) * nu.
+  sluggish.step({1.0, 0.0});
+  nominal.step({1.0, 0.0});
+  EXPECT_LT(sluggish.ego().actuation().steer, nominal.ego().actuation().steer);
+}
+
+TEST(Scenario, EgoStartsInConfiguredLane) {
+  ScenarioConfig cfg;
+  cfg.ego_start_lane = 0;
+  Rng rng(1);
+  World w = make_scenario(cfg, rng);
+  EXPECT_NEAR(w.ego_frenet().d, w.road().lane_center_offset(0), 0.05);
+}
+
+}  // namespace
+}  // namespace adsec

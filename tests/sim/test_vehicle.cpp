@@ -1,0 +1,141 @@
+#include "sim/vehicle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angle.hpp"
+
+namespace adsec {
+namespace {
+
+Vehicle make_vehicle(double speed = 10.0) {
+  VehicleState s;
+  s.speed = speed;
+  return Vehicle(VehicleParams{}, s);
+}
+
+TEST(Vehicle, Eq1BlendsActuation) {
+  Vehicle v = make_vehicle();
+  const double alpha = v.params().alpha;
+  v.step({1.0, 0.0}, 0.1);
+  EXPECT_NEAR(v.actuation().steer, (1.0 - alpha) * 1.0, 1e-12);
+  v.step({1.0, 0.0}, 0.1);
+  EXPECT_NEAR(v.actuation().steer,
+              (1.0 - alpha) + alpha * (1.0 - alpha), 1e-12);
+}
+
+TEST(Vehicle, VariationClippedToMechanicalLimit) {
+  Vehicle v = make_vehicle();
+  v.step({5.0, 0.0}, 0.1);  // clipped to eps = 1
+  EXPECT_NEAR(v.actuation().steer, (1.0 - v.params().alpha) * 1.0, 1e-12);
+}
+
+TEST(Vehicle, SustainedCommandConvergesToUnit) {
+  Vehicle v = make_vehicle(0.0);
+  for (int i = 0; i < 200; ++i) v.step({1.0, 0.0}, 0.1);
+  EXPECT_NEAR(v.actuation().steer, 1.0, 1e-6);
+}
+
+TEST(Vehicle, ThrottleAccelerates) {
+  Vehicle v = make_vehicle(0.0);
+  for (int i = 0; i < 50; ++i) v.step({0.0, 1.0}, 0.1);
+  EXPECT_GT(v.state().speed, 5.0);
+}
+
+TEST(Vehicle, BrakeDecelerates) {
+  Vehicle v = make_vehicle(15.0);
+  for (int i = 0; i < 30; ++i) v.step({0.0, -1.0}, 0.1);
+  EXPECT_LT(v.state().speed, 5.0);
+}
+
+TEST(Vehicle, NeverReverses) {
+  Vehicle v = make_vehicle(1.0);
+  for (int i = 0; i < 100; ++i) v.step({0.0, -1.0}, 0.1);
+  EXPECT_GE(v.state().speed, 0.0);
+  EXPECT_NEAR(v.state().speed, 0.0, 1e-9);
+}
+
+TEST(Vehicle, DragLimitsTopSpeed) {
+  Vehicle v = make_vehicle(0.0);
+  for (int i = 0; i < 3000; ++i) v.step({0.0, 1.0}, 0.1);
+  // Terminal speed = max_accel / drag = 4 / 0.05 = 80.
+  EXPECT_NEAR(v.state().speed, v.params().max_accel / v.params().drag, 1.0);
+}
+
+TEST(Vehicle, SteeringTurnsLeftForPositive) {
+  Vehicle v = make_vehicle(10.0);
+  for (int i = 0; i < 10; ++i) v.step({0.5, 0.0}, 0.1);
+  EXPECT_GT(v.state().heading, 0.0);
+  EXPECT_GT(v.state().position.y, 0.0);
+}
+
+TEST(Vehicle, SteeringTurnsRightForNegative) {
+  Vehicle v = make_vehicle(10.0);
+  for (int i = 0; i < 10; ++i) v.step({-0.5, 0.0}, 0.1);
+  EXPECT_LT(v.state().heading, 0.0);
+  EXPECT_LT(v.state().position.y, 0.0);
+}
+
+TEST(Vehicle, YawRateCappedByGripLimit) {
+  Vehicle v = make_vehicle(20.0);
+  // Saturate steering fully.
+  for (int i = 0; i < 100; ++i) v.step({1.0, 0.0}, 0.1);
+  // One more step: heading change limited to a_lat_max / v * dt.
+  const double h0 = v.state().heading;
+  v.step({1.0, 0.0}, 0.1);
+  const double dh = std::abs(angle_diff(v.state().heading, h0));
+  const double cap = v.params().max_lateral_accel / v.state().speed * 0.1;
+  EXPECT_LE(dh, cap + 1e-9);
+}
+
+TEST(Vehicle, StationaryVehicleDoesNotYaw) {
+  Vehicle v = make_vehicle(0.0);
+  for (int i = 0; i < 20; ++i) v.step({1.0, 0.0}, 0.1);
+  EXPECT_NEAR(v.state().heading, 0.0, 1e-9);
+  EXPECT_NEAR(v.state().position.norm(), 0.0, 1e-9);
+}
+
+TEST(Vehicle, VelocityMatchesHeadingAndSpeed) {
+  VehicleState s;
+  s.speed = 8.0;
+  s.heading = kPi / 4.0;
+  Vehicle v(VehicleParams{}, s);
+  const Vec2 vel = v.velocity();
+  EXPECT_NEAR(vel.norm(), 8.0, 1e-12);
+  EXPECT_NEAR(vel.heading(), kPi / 4.0, 1e-12);
+}
+
+TEST(Vehicle, CornersFormCorrectBox) {
+  Vehicle v = make_vehicle(0.0);
+  Vec2 c[4];
+  v.corners(c);
+  // Box dimensions.
+  EXPECT_NEAR(distance(c[0], c[1]), v.params().length, 1e-9);
+  EXPECT_NEAR(distance(c[1], c[2]), v.params().width, 1e-9);
+  EXPECT_NEAR(distance(c[2], c[3]), v.params().length, 1e-9);
+  EXPECT_NEAR(distance(c[3], c[0]), v.params().width, 1e-9);
+}
+
+TEST(Vehicle, CornersRotateWithHeading) {
+  VehicleState s;
+  s.heading = kPi / 2.0;  // facing +y
+  Vehicle v(VehicleParams{}, s);
+  Vec2 c[4];
+  v.corners(c);
+  // Front corners must have larger y than rear corners.
+  EXPECT_GT(c[0].y, c[1].y);
+  EXPECT_GT(c[3].y, c[2].y);
+}
+
+TEST(Vehicle, ResetClearsActuationMemory) {
+  Vehicle v = make_vehicle(10.0);
+  for (int i = 0; i < 5; ++i) v.step({1.0, 1.0}, 0.1);
+  EXPECT_GT(v.actuation().steer, 0.0);
+  VehicleState s;
+  v.reset(s);
+  EXPECT_DOUBLE_EQ(v.actuation().steer, 0.0);
+  EXPECT_DOUBLE_EQ(v.actuation().thrust, 0.0);
+  EXPECT_DOUBLE_EQ(v.state().speed, 0.0);
+}
+
+}  // namespace
+}  // namespace adsec

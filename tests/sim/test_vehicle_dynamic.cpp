@@ -1,0 +1,101 @@
+// Tests for the linear single-track (dynamic) vehicle model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angle.hpp"
+#include "sim/vehicle.hpp"
+
+namespace adsec {
+namespace {
+
+Vehicle dynamic_vehicle(double speed) {
+  VehicleParams p;
+  p.model = VehicleModel::Dynamic;
+  VehicleState s;
+  s.speed = speed;
+  return Vehicle(p, s);
+}
+
+Vehicle kinematic_vehicle(double speed) {
+  VehicleState s;
+  s.speed = speed;
+  return Vehicle(VehicleParams{}, s);
+}
+
+TEST(DynamicVehicle, StraightLineMatchesKinematic) {
+  Vehicle dyn = dynamic_vehicle(12.0);
+  Vehicle kin = kinematic_vehicle(12.0);
+  for (int i = 0; i < 50; ++i) {
+    dyn.step({0.0, 0.0}, 0.1);
+    kin.step({0.0, 0.0}, 0.1);
+  }
+  EXPECT_NEAR(dyn.state().position.x, kin.state().position.x, 0.01);
+  EXPECT_NEAR(dyn.state().position.y, kin.state().position.y, 0.01);
+  EXPECT_NEAR(dyn.lateral_velocity(), 0.0, 1e-9);
+}
+
+TEST(DynamicVehicle, TurnsInCommandedDirection) {
+  Vehicle dyn = dynamic_vehicle(12.0);
+  for (int i = 0; i < 20; ++i) dyn.step({0.3, 0.0}, 0.1);
+  EXPECT_GT(dyn.state().heading, 0.05);
+  EXPECT_GT(dyn.state().position.y, 0.0);
+  EXPECT_GT(dyn.yaw_rate(), 0.0);
+}
+
+TEST(DynamicVehicle, DevelopsLateralSlip) {
+  // A sustained turn at speed produces nonzero body-frame lateral velocity
+  // — the state the kinematic model cannot represent.
+  Vehicle dyn = dynamic_vehicle(15.0);
+  for (int i = 0; i < 30; ++i) dyn.step({0.4, 0.0}, 0.1);
+  EXPECT_GT(std::abs(dyn.lateral_velocity()), 0.01);
+}
+
+TEST(DynamicVehicle, SteadyStateYawRateReasonable) {
+  // For small steering angles the steady-state yaw rate of the linear model
+  // approaches the kinematic value vx * delta / (L + K*vx^2); just require
+  // the same order of magnitude as the kinematic prediction.
+  Vehicle dyn = dynamic_vehicle(10.0);
+  const double steer_norm = 0.1;
+  for (int i = 0; i < 200; ++i) dyn.step({steer_norm, 0.0}, 0.1);
+  const double steer_rad = dyn.actuation().steer * dyn.params().max_steer_rad;
+  const double kin_yaw = 10.0 * std::tan(steer_rad) / dyn.params().wheelbase;
+  EXPECT_GT(dyn.yaw_rate(), 0.2 * kin_yaw);
+  EXPECT_LT(dyn.yaw_rate(), 1.5 * kin_yaw);
+}
+
+TEST(DynamicVehicle, LowSpeedFallsBackToKinematic) {
+  Vehicle dyn = dynamic_vehicle(0.5);  // below dynamic_min_speed
+  for (int i = 0; i < 20; ++i) dyn.step({1.0, 0.0}, 0.1);
+  EXPECT_DOUBLE_EQ(dyn.lateral_velocity(), 0.0);
+}
+
+TEST(DynamicVehicle, StableAtHighSpeedFullLock) {
+  // Worst case for a stiff linear tyre model: full steering at speed. The
+  // grip cap must keep the integration bounded.
+  Vehicle dyn = dynamic_vehicle(25.0);
+  for (int i = 0; i < 100; ++i) dyn.step({1.0, 1.0}, 0.1);
+  EXPECT_TRUE(std::isfinite(dyn.state().position.x));
+  EXPECT_TRUE(std::isfinite(dyn.state().heading));
+  EXPECT_LT(std::abs(dyn.yaw_rate()), 10.0);
+}
+
+TEST(DynamicVehicle, ResetClearsSlipStates) {
+  Vehicle dyn = dynamic_vehicle(15.0);
+  for (int i = 0; i < 20; ++i) dyn.step({0.5, 0.0}, 0.1);
+  ASSERT_NE(dyn.lateral_velocity(), 0.0);
+  dyn.reset(VehicleState{});
+  EXPECT_DOUBLE_EQ(dyn.lateral_velocity(), 0.0);
+  EXPECT_DOUBLE_EQ(dyn.yaw_rate(), 0.0);
+}
+
+TEST(DynamicVehicle, VelocityIncludesLateralComponent) {
+  Vehicle dyn = dynamic_vehicle(15.0);
+  for (int i = 0; i < 30; ++i) dyn.step({0.4, 0.0}, 0.1);
+  const Vec2 v = dyn.velocity();
+  // Speed magnitude ~ sqrt(vx^2 + vy^2) >= vx.
+  EXPECT_GE(v.norm(), dyn.state().speed - 1e-9);
+}
+
+}  // namespace
+}  // namespace adsec

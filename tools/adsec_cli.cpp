@@ -1,0 +1,185 @@
+// Command-line experiment driver: run any (agent, attacker, scenario)
+// combination without writing code.
+//
+//   adsec_cli [--agent modular|e2e|finetune:<rho>|pnn:<sigma>|pnn-detector:<sigma>]
+//             [--attacker none|oracle|noise|full|camera|imu|td3]
+//             [--budget <eps>] [--episodes <n>] [--scenario <preset>]
+//             [--seed <base>] [--with-reference] [--csv <path>] [--list]
+//
+// Learned agents/attackers come from the policy zoo (training on first use).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "attack/scripted_attacker.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/zoo.hpp"
+#include "defense/simplex_agent.hpp"
+
+using namespace adsec;
+
+namespace {
+
+struct Options {
+  std::string agent = "modular";
+  std::string attacker = "none";
+  double budget = 1.0;
+  int episodes = 10;
+  std::string scenario = "paper";
+  std::uint64_t seed = 700000;
+  bool with_reference = false;
+  std::string csv;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [--agent A] [--attacker T] [--budget E] [--episodes N]\n"
+      "          [--scenario P] [--seed S] [--with-reference] [--csv PATH]\n"
+      "          [--list]\n"
+      "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
+      "attackers: none | oracle | noise | full | camera | imu | td3\n"
+      "scenarios: paper dense sparse two-lane s-curve fast-npc\n",
+      argv0);
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--agent") opt.agent = value();
+    else if (arg == "--attacker") opt.attacker = value();
+    else if (arg == "--budget") opt.budget = std::atof(value().c_str());
+    else if (arg == "--episodes") opt.episodes = std::atoi(value().c_str());
+    else if (arg == "--scenario") opt.scenario = value();
+    else if (arg == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--with-reference") opt.with_reference = true;
+    else if (arg == "--csv") opt.csv = value();
+    else if (arg == "--list") {
+      std::printf("scenario presets:");
+      for (const auto& n : scenario_preset_names()) std::printf(" %s", n.c_str());
+      std::printf("\n");
+      std::exit(0);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.episodes < 1) usage(argv[0], 2);
+  return opt;
+}
+
+// Split "name:param" into name and optional numeric parameter.
+bool split_param(const std::string& spec, const std::string& prefix, double& param) {
+  if (spec.rfind(prefix + ":", 0) != 0) return false;
+  param = std::atof(spec.substr(prefix.size() + 1).c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  set_log_level(LogLevel::Warn);
+
+  PolicyZoo zoo;
+  ExperimentConfig cfg = zoo.experiment();
+  try {
+    cfg.scenario = scenario_preset(opt.scenario);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  // --- agent ---
+  std::unique_ptr<DrivingAgent> agent;
+  PnnSwitchedAgent* switcher = nullptr;
+  double param = 0.0;
+  if (opt.agent == "modular") {
+    agent = zoo.make_modular_agent();
+  } else if (opt.agent == "e2e") {
+    agent = zoo.make_e2e_agent();
+  } else if (split_param(opt.agent, "finetune", param)) {
+    agent = zoo.make_finetuned_agent(param);
+  } else if (split_param(opt.agent, "pnn", param)) {
+    auto pnn = zoo.make_pnn_agent(param);
+    pnn->set_attack_budget_estimate(opt.attacker == "none" ? 0.0 : opt.budget);
+    switcher = pnn.get();
+    (void)switcher;
+    agent = std::move(pnn);
+  } else if (split_param(opt.agent, "pnn-detector", param)) {
+    agent = std::make_unique<DetectorSwitchedAgent>(
+        zoo.driving_policy(), zoo.pnn_column(), param, DetectorConfig{},
+        zoo.camera(), 3);
+  } else {
+    std::fprintf(stderr, "unknown agent '%s'\n", opt.agent.c_str());
+    return 2;
+  }
+
+  // --- attacker ---
+  std::unique_ptr<Attacker> attacker;
+  if (opt.attacker == "none") {
+    // leave null
+  } else if (opt.attacker == "oracle") {
+    attacker = std::make_unique<ScriptedAttacker>(opt.budget, cfg.adv_reward);
+  } else if (opt.attacker == "noise") {
+    attacker = std::make_unique<NoiseAttacker>(opt.budget);
+  } else if (opt.attacker == "full") {
+    attacker = std::make_unique<FullActuationOracle>(opt.budget, 1.0, cfg.adv_reward);
+  } else if (opt.attacker == "camera") {
+    attacker = zoo.make_camera_attacker(opt.budget, opt.agent == "modular");
+  } else if (opt.attacker == "imu") {
+    attacker = zoo.make_imu_attacker(opt.budget);
+  } else if (opt.attacker == "td3") {
+    attacker = zoo.make_td3_attacker(opt.budget);
+  } else {
+    std::fprintf(stderr, "unknown attacker '%s'\n", opt.attacker.c_str());
+    return 2;
+  }
+
+  // --- run ---
+  const auto ms = run_batch(*agent, attacker.get(), cfg, opt.episodes, opt.seed,
+                            opt.with_reference);
+
+  RunningStats reward, adv, passed, effort, dev;
+  int side = 0, collisions = 0;
+  for (const auto& m : ms) {
+    reward.add(m.nominal_reward);
+    adv.add(m.adv_reward);
+    passed.add(m.passed_npcs);
+    effort.add(m.attack_effort);
+    if (m.deviation_rmse >= 0.0) dev.add(m.deviation_rmse);
+    side += m.side_collision ? 1 : 0;
+    collisions += m.collision ? 1 : 0;
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"agent", opt.agent});
+  t.add_row({"attacker", opt.attacker + " @ " + fmt(opt.budget, 2)});
+  t.add_row({"scenario", opt.scenario});
+  t.add_row({"episodes", std::to_string(opt.episodes)});
+  t.add_row({"mean nominal reward", fmt(reward.mean(), 1) + " ± " + fmt(reward.stdev(), 1)});
+  t.add_row({"mean adversarial reward", fmt(adv.mean(), 2)});
+  t.add_row({"mean passed NPCs", fmt(passed.mean(), 2)});
+  t.add_row({"collisions (any)", std::to_string(collisions)});
+  t.add_row({"side collisions", std::to_string(side)});
+  t.add_row({"attack success rate", fmt_pct(success_rate(ms))});
+  t.add_row({"mean attack effort", fmt(effort.mean(), 3)});
+  if (dev.count() > 0) t.add_row({"mean deviation RMSE", fmt(dev.mean(), 3)});
+  t.print();
+  if (!opt.csv.empty()) {
+    t.write_csv(opt.csv);
+    std::printf("wrote %s\n", opt.csv.c_str());
+  }
+  return 0;
+}
