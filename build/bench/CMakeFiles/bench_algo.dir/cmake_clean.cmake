@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo.dir/bench_algo.cpp.o"
+  "CMakeFiles/bench_algo.dir/bench_algo.cpp.o.d"
+  "bench_algo"
+  "bench_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

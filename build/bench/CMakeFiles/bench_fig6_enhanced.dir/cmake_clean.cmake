@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_enhanced.dir/bench_fig6_enhanced.cpp.o"
+  "CMakeFiles/bench_fig6_enhanced.dir/bench_fig6_enhanced.cpp.o.d"
+  "bench_fig6_enhanced"
+  "bench_fig6_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

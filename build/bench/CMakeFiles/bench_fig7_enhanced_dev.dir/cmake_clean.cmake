@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_enhanced_dev.dir/bench_fig7_enhanced_dev.cpp.o"
+  "CMakeFiles/bench_fig7_enhanced_dev.dir/bench_fig7_enhanced_dev.cpp.o.d"
+  "bench_fig7_enhanced_dev"
+  "bench_fig7_enhanced_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_enhanced_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_enhanced_dev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nominal_agents.dir/bench_nominal_agents.cpp.o"
+  "CMakeFiles/bench_nominal_agents.dir/bench_nominal_agents.cpp.o.d"
+  "bench_nominal_agents"
+  "bench_nominal_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nominal_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensor_faults.dir/bench_sensor_faults.cpp.o"
+  "CMakeFiles/bench_sensor_faults.dir/bench_sensor_faults.cpp.o.d"
+  "bench_sensor_faults"
+  "bench_sensor_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensor_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

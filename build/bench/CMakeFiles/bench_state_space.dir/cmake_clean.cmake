@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_space.dir/bench_state_space.cpp.o"
+  "CMakeFiles/bench_state_space.dir/bench_state_space.cpp.o.d"
+  "bench_state_space"
+  "bench_state_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stealth.dir/bench_stealth.cpp.o"
+  "CMakeFiles/bench_stealth.dir/bench_stealth.cpp.o.d"
+  "bench_stealth"
+  "bench_stealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_teacher.dir/bench_teacher.cpp.o"
+  "CMakeFiles/bench_teacher.dir/bench_teacher.cpp.o.d"
+  "bench_teacher"
+  "bench_teacher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_teacher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_attack_demo.dir/camera_attack_demo.cpp.o"
+  "CMakeFiles/camera_attack_demo.dir/camera_attack_demo.cpp.o.d"
+  "camera_attack_demo"
+  "camera_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imu_stealth_attack.dir/imu_stealth_attack.cpp.o"
+  "CMakeFiles/imu_stealth_attack.dir/imu_stealth_attack.cpp.o.d"
+  "imu_stealth_attack"
+  "imu_stealth_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imu_stealth_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

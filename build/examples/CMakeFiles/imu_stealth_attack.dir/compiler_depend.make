@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for imu_stealth_attack.
+# This may be replaced when dependencies are built.

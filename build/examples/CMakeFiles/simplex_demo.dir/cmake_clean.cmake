@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_demo.dir/simplex_demo.cpp.o"
+  "CMakeFiles/simplex_demo.dir/simplex_demo.cpp.o.d"
+  "simplex_demo"
+  "simplex_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

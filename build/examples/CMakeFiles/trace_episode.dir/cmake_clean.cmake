@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_episode.dir/trace_episode.cpp.o"
+  "CMakeFiles/trace_episode.dir/trace_episode.cpp.o.d"
+  "trace_episode"
+  "trace_episode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_episode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/driving_env.cpp" "src/CMakeFiles/adsec_agents.dir/agents/driving_env.cpp.o" "gcc" "src/CMakeFiles/adsec_agents.dir/agents/driving_env.cpp.o.d"
+  "/root/repo/src/agents/e2e_agent.cpp" "src/CMakeFiles/adsec_agents.dir/agents/e2e_agent.cpp.o" "gcc" "src/CMakeFiles/adsec_agents.dir/agents/e2e_agent.cpp.o.d"
+  "/root/repo/src/agents/modular_agent.cpp" "src/CMakeFiles/adsec_agents.dir/agents/modular_agent.cpp.o" "gcc" "src/CMakeFiles/adsec_agents.dir/agents/modular_agent.cpp.o.d"
+  "/root/repo/src/agents/reward.cpp" "src/CMakeFiles/adsec_agents.dir/agents/reward.cpp.o" "gcc" "src/CMakeFiles/adsec_agents.dir/agents/reward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

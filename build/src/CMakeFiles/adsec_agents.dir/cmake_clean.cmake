@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_agents.dir/agents/driving_env.cpp.o"
+  "CMakeFiles/adsec_agents.dir/agents/driving_env.cpp.o.d"
+  "CMakeFiles/adsec_agents.dir/agents/e2e_agent.cpp.o"
+  "CMakeFiles/adsec_agents.dir/agents/e2e_agent.cpp.o.d"
+  "CMakeFiles/adsec_agents.dir/agents/modular_agent.cpp.o"
+  "CMakeFiles/adsec_agents.dir/agents/modular_agent.cpp.o.d"
+  "CMakeFiles/adsec_agents.dir/agents/reward.cpp.o"
+  "CMakeFiles/adsec_agents.dir/agents/reward.cpp.o.d"
+  "libadsec_agents.a"
+  "libadsec_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

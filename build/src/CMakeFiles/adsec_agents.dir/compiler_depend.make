@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adsec_agents.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adv_reward.cpp" "src/CMakeFiles/adsec_attack.dir/attack/adv_reward.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/adv_reward.cpp.o.d"
+  "/root/repo/src/attack/attack_env.cpp" "src/CMakeFiles/adsec_attack.dir/attack/attack_env.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/attack_env.cpp.o.d"
+  "/root/repo/src/attack/attacker.cpp" "src/CMakeFiles/adsec_attack.dir/attack/attacker.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/attacker.cpp.o.d"
+  "/root/repo/src/attack/scripted_attacker.cpp" "src/CMakeFiles/adsec_attack.dir/attack/scripted_attacker.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/scripted_attacker.cpp.o.d"
+  "/root/repo/src/attack/state_space.cpp" "src/CMakeFiles/adsec_attack.dir/attack/state_space.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/state_space.cpp.o.d"
+  "/root/repo/src/attack/train_attack.cpp" "src/CMakeFiles/adsec_attack.dir/attack/train_attack.cpp.o" "gcc" "src/CMakeFiles/adsec_attack.dir/attack/train_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

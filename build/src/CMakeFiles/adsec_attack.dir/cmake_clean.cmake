@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_attack.dir/attack/adv_reward.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/adv_reward.cpp.o.d"
+  "CMakeFiles/adsec_attack.dir/attack/attack_env.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/attack_env.cpp.o.d"
+  "CMakeFiles/adsec_attack.dir/attack/attacker.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/attacker.cpp.o.d"
+  "CMakeFiles/adsec_attack.dir/attack/scripted_attacker.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/scripted_attacker.cpp.o.d"
+  "CMakeFiles/adsec_attack.dir/attack/state_space.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/state_space.cpp.o.d"
+  "CMakeFiles/adsec_attack.dir/attack/train_attack.cpp.o"
+  "CMakeFiles/adsec_attack.dir/attack/train_attack.cpp.o.d"
+  "libadsec_attack.a"
+  "libadsec_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

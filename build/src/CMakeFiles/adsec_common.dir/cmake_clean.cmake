@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_common.dir/common/config.cpp.o"
+  "CMakeFiles/adsec_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/adsec_common.dir/common/logging.cpp.o"
+  "CMakeFiles/adsec_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/adsec_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/adsec_common.dir/common/serialize.cpp.o.d"
+  "CMakeFiles/adsec_common.dir/common/stats.cpp.o"
+  "CMakeFiles/adsec_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/adsec_common.dir/common/table.cpp.o"
+  "CMakeFiles/adsec_common.dir/common/table.cpp.o.d"
+  "libadsec_common.a"
+  "libadsec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

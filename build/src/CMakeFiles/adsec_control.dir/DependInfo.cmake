@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/lateral.cpp" "src/CMakeFiles/adsec_control.dir/control/lateral.cpp.o" "gcc" "src/CMakeFiles/adsec_control.dir/control/lateral.cpp.o.d"
+  "/root/repo/src/control/longitudinal.cpp" "src/CMakeFiles/adsec_control.dir/control/longitudinal.cpp.o" "gcc" "src/CMakeFiles/adsec_control.dir/control/longitudinal.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/CMakeFiles/adsec_control.dir/control/pid.cpp.o" "gcc" "src/CMakeFiles/adsec_control.dir/control/pid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_control.dir/control/lateral.cpp.o"
+  "CMakeFiles/adsec_control.dir/control/lateral.cpp.o.d"
+  "CMakeFiles/adsec_control.dir/control/longitudinal.cpp.o"
+  "CMakeFiles/adsec_control.dir/control/longitudinal.cpp.o.d"
+  "CMakeFiles/adsec_control.dir/control/pid.cpp.o"
+  "CMakeFiles/adsec_control.dir/control/pid.cpp.o.d"
+  "libadsec_control.a"
+  "libadsec_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

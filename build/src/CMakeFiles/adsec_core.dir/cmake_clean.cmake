@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/adsec_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/adsec_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/adsec_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/adsec_core.dir/core/trace.cpp.o"
+  "CMakeFiles/adsec_core.dir/core/trace.cpp.o.d"
+  "CMakeFiles/adsec_core.dir/core/zoo.cpp.o"
+  "CMakeFiles/adsec_core.dir/core/zoo.cpp.o.d"
+  "libadsec_core.a"
+  "libadsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/detector.cpp" "src/CMakeFiles/adsec_defense.dir/defense/detector.cpp.o" "gcc" "src/CMakeFiles/adsec_defense.dir/defense/detector.cpp.o.d"
+  "/root/repo/src/defense/finetune.cpp" "src/CMakeFiles/adsec_defense.dir/defense/finetune.cpp.o" "gcc" "src/CMakeFiles/adsec_defense.dir/defense/finetune.cpp.o.d"
+  "/root/repo/src/defense/pnn_agent.cpp" "src/CMakeFiles/adsec_defense.dir/defense/pnn_agent.cpp.o" "gcc" "src/CMakeFiles/adsec_defense.dir/defense/pnn_agent.cpp.o.d"
+  "/root/repo/src/defense/simplex_agent.cpp" "src/CMakeFiles/adsec_defense.dir/defense/simplex_agent.cpp.o" "gcc" "src/CMakeFiles/adsec_defense.dir/defense/simplex_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

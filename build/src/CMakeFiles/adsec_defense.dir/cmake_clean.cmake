@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_defense.dir/defense/detector.cpp.o"
+  "CMakeFiles/adsec_defense.dir/defense/detector.cpp.o.d"
+  "CMakeFiles/adsec_defense.dir/defense/finetune.cpp.o"
+  "CMakeFiles/adsec_defense.dir/defense/finetune.cpp.o.d"
+  "CMakeFiles/adsec_defense.dir/defense/pnn_agent.cpp.o"
+  "CMakeFiles/adsec_defense.dir/defense/pnn_agent.cpp.o.d"
+  "CMakeFiles/adsec_defense.dir/defense/simplex_agent.cpp.o"
+  "CMakeFiles/adsec_defense.dir/defense/simplex_agent.cpp.o.d"
+  "libadsec_defense.a"
+  "libadsec_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

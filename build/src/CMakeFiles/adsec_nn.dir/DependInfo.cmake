@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/adsec_nn.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/gaussian_policy.cpp" "src/CMakeFiles/adsec_nn.dir/nn/gaussian_policy.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/gaussian_policy.cpp.o.d"
+  "/root/repo/src/nn/io.cpp" "src/CMakeFiles/adsec_nn.dir/nn/io.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/io.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/adsec_nn.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/adsec_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/pnn.cpp" "src/CMakeFiles/adsec_nn.dir/nn/pnn.cpp.o" "gcc" "src/CMakeFiles/adsec_nn.dir/nn/pnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_nn.dir/nn/adam.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/adam.cpp.o.d"
+  "CMakeFiles/adsec_nn.dir/nn/gaussian_policy.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/gaussian_policy.cpp.o.d"
+  "CMakeFiles/adsec_nn.dir/nn/io.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/io.cpp.o.d"
+  "CMakeFiles/adsec_nn.dir/nn/matrix.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/adsec_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/adsec_nn.dir/nn/pnn.cpp.o"
+  "CMakeFiles/adsec_nn.dir/nn/pnn.cpp.o.d"
+  "libadsec_nn.a"
+  "libadsec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

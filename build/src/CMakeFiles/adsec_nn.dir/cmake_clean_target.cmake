@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadsec_nn.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_planner.dir/planner/behavior.cpp.o"
+  "CMakeFiles/adsec_planner.dir/planner/behavior.cpp.o.d"
+  "CMakeFiles/adsec_planner.dir/planner/route.cpp.o"
+  "CMakeFiles/adsec_planner.dir/planner/route.cpp.o.d"
+  "libadsec_planner.a"
+  "libadsec_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

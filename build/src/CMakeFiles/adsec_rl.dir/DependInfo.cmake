@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/bc.cpp" "src/CMakeFiles/adsec_rl.dir/rl/bc.cpp.o" "gcc" "src/CMakeFiles/adsec_rl.dir/rl/bc.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "src/CMakeFiles/adsec_rl.dir/rl/replay.cpp.o" "gcc" "src/CMakeFiles/adsec_rl.dir/rl/replay.cpp.o.d"
+  "/root/repo/src/rl/sac.cpp" "src/CMakeFiles/adsec_rl.dir/rl/sac.cpp.o" "gcc" "src/CMakeFiles/adsec_rl.dir/rl/sac.cpp.o.d"
+  "/root/repo/src/rl/td3.cpp" "src/CMakeFiles/adsec_rl.dir/rl/td3.cpp.o" "gcc" "src/CMakeFiles/adsec_rl.dir/rl/td3.cpp.o.d"
+  "/root/repo/src/rl/trainer.cpp" "src/CMakeFiles/adsec_rl.dir/rl/trainer.cpp.o" "gcc" "src/CMakeFiles/adsec_rl.dir/rl/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

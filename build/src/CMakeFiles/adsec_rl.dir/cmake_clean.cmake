@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_rl.dir/rl/bc.cpp.o"
+  "CMakeFiles/adsec_rl.dir/rl/bc.cpp.o.d"
+  "CMakeFiles/adsec_rl.dir/rl/replay.cpp.o"
+  "CMakeFiles/adsec_rl.dir/rl/replay.cpp.o.d"
+  "CMakeFiles/adsec_rl.dir/rl/sac.cpp.o"
+  "CMakeFiles/adsec_rl.dir/rl/sac.cpp.o.d"
+  "CMakeFiles/adsec_rl.dir/rl/td3.cpp.o"
+  "CMakeFiles/adsec_rl.dir/rl/td3.cpp.o.d"
+  "CMakeFiles/adsec_rl.dir/rl/trainer.cpp.o"
+  "CMakeFiles/adsec_rl.dir/rl/trainer.cpp.o.d"
+  "libadsec_rl.a"
+  "libadsec_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

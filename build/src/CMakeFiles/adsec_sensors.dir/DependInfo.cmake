@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/camera.cpp" "src/CMakeFiles/adsec_sensors.dir/sensors/camera.cpp.o" "gcc" "src/CMakeFiles/adsec_sensors.dir/sensors/camera.cpp.o.d"
+  "/root/repo/src/sensors/imu.cpp" "src/CMakeFiles/adsec_sensors.dir/sensors/imu.cpp.o" "gcc" "src/CMakeFiles/adsec_sensors.dir/sensors/imu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_sensors.dir/sensors/camera.cpp.o"
+  "CMakeFiles/adsec_sensors.dir/sensors/camera.cpp.o.d"
+  "CMakeFiles/adsec_sensors.dir/sensors/imu.cpp.o"
+  "CMakeFiles/adsec_sensors.dir/sensors/imu.cpp.o.d"
+  "libadsec_sensors.a"
+  "libadsec_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collision.cpp" "src/CMakeFiles/adsec_sim.dir/sim/collision.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/collision.cpp.o.d"
+  "/root/repo/src/sim/npc.cpp" "src/CMakeFiles/adsec_sim.dir/sim/npc.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/npc.cpp.o.d"
+  "/root/repo/src/sim/road.cpp" "src/CMakeFiles/adsec_sim.dir/sim/road.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/road.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/adsec_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/vehicle.cpp" "src/CMakeFiles/adsec_sim.dir/sim/vehicle.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/vehicle.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/adsec_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/adsec_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

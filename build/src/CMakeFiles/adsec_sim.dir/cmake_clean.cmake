@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_sim.dir/sim/collision.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/collision.cpp.o.d"
+  "CMakeFiles/adsec_sim.dir/sim/npc.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/npc.cpp.o.d"
+  "CMakeFiles/adsec_sim.dir/sim/road.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/road.cpp.o.d"
+  "CMakeFiles/adsec_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/adsec_sim.dir/sim/vehicle.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/vehicle.cpp.o.d"
+  "CMakeFiles/adsec_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/adsec_sim.dir/sim/world.cpp.o.d"
+  "libadsec_sim.a"
+  "libadsec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agents.dir/agents/test_driving_env.cpp.o"
+  "CMakeFiles/test_agents.dir/agents/test_driving_env.cpp.o.d"
+  "CMakeFiles/test_agents.dir/agents/test_e2e_agent.cpp.o"
+  "CMakeFiles/test_agents.dir/agents/test_e2e_agent.cpp.o.d"
+  "CMakeFiles/test_agents.dir/agents/test_modular_agent.cpp.o"
+  "CMakeFiles/test_agents.dir/agents/test_modular_agent.cpp.o.d"
+  "CMakeFiles/test_agents.dir/agents/test_reward.cpp.o"
+  "CMakeFiles/test_agents.dir/agents/test_reward.cpp.o.d"
+  "test_agents"
+  "test_agents.pdb"
+  "test_agents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/test_adv_reward.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_adv_reward.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_attack_env.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_attack_env.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_attackers.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_attackers.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_state_space.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_state_space.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_angle.cpp" "tests/CMakeFiles/test_common.dir/common/test_angle.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_angle.cpp.o.d"
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_serialize.cpp" "tests/CMakeFiles/test_common.dir/common/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_serialize.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_vec2.cpp" "tests/CMakeFiles/test_common.dir/common/test_vec2.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense.dir/defense/test_detector.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_detector.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_finetune.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_finetune.cpp.o.d"
+  "CMakeFiles/test_defense.dir/defense/test_pnn_agent.cpp.o"
+  "CMakeFiles/test_defense.dir/defense/test_pnn_agent.cpp.o.d"
+  "test_defense"
+  "test_defense.pdb"
+  "test_defense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_control.dir/control/test_controllers.cpp.o"
+  "CMakeFiles/test_planner_control.dir/control/test_controllers.cpp.o.d"
+  "CMakeFiles/test_planner_control.dir/control/test_pid.cpp.o"
+  "CMakeFiles/test_planner_control.dir/control/test_pid.cpp.o.d"
+  "CMakeFiles/test_planner_control.dir/planner/test_behavior.cpp.o"
+  "CMakeFiles/test_planner_control.dir/planner/test_behavior.cpp.o.d"
+  "CMakeFiles/test_planner_control.dir/planner/test_route.cpp.o"
+  "CMakeFiles/test_planner_control.dir/planner/test_route.cpp.o.d"
+  "test_planner_control"
+  "test_planner_control.pdb"
+  "test_planner_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/rl/test_bc.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_bc.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_replay.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_replay.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_sac.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_sac.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_td3.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_td3.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_trainer.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_trainer.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sensors/test_camera.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_camera.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_camera.cpp.o.d"
+  "/root/repo/tests/sensors/test_imu.cpp" "tests/CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o" "gcc" "tests/CMakeFiles/test_sensors.dir/sensors/test_imu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

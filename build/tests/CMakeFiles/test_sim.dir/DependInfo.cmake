@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_collision.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_collision.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_collision.cpp.o.d"
+  "/root/repo/tests/sim/test_npc.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_npc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_npc.cpp.o.d"
+  "/root/repo/tests/sim/test_road.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_road.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_road.cpp.o.d"
+  "/root/repo/tests/sim/test_scenario.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "/root/repo/tests/sim/test_vehicle.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_vehicle.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_vehicle.cpp.o.d"
+  "/root/repo/tests/sim/test_vehicle_dynamic.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_vehicle_dynamic.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_vehicle_dynamic.cpp.o.d"
+  "/root/repo/tests/sim/test_world.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_collision.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_collision.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_npc.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_npc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_road.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_road.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_vehicle.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_vehicle.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_vehicle_dynamic.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_vehicle_dynamic.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_world.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_world.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

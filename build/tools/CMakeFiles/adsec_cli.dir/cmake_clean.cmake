@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adsec_cli.dir/adsec_cli.cpp.o"
+  "CMakeFiles/adsec_cli.dir/adsec_cli.cpp.o.d"
+  "adsec_cli"
+  "adsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
