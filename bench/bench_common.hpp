@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/zoo.hpp"
+#include "runtime/parallel_eval.hpp"
 
 namespace adsec::bench {
 
@@ -22,6 +23,18 @@ inline PolicyZoo& zoo() {
 
 // Evaluation episode seeds are disjoint from training seeds.
 inline constexpr std::uint64_t kEvalSeedBase = 700000;
+
+// Worker count for parallel episode batches: ADSEC_JOBS overrides, default
+// hardware_concurrency. Parallel batches are bit-identical to serial ones
+// (see runtime/parallel_eval.hpp), so this only changes wall-clock time.
+inline int bench_jobs() {
+  const char* env = std::getenv("ADSEC_JOBS");
+  if (env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return hardware_jobs();
+}
 
 // Optional CSV mirror of each printed table.
 inline void maybe_write_csv(const Table& table, const std::string& name) {

@@ -23,23 +23,37 @@ struct SweepResult {
   std::vector<double> ttc;  // successful episodes only
 };
 
-SweepResult sweep_agent(const std::string& label, DrivingAgent& agent,
+SweepResult sweep_agent(const std::string& label, const AgentFactory& make_agent,
                         bool attacker_vs_modular, int rounds) {
   ExperimentConfig cfg = zoo().experiment();
   SweepResult out;
+
+  // Train/load the attack policy once, serially, before any workers fork;
+  // each worker's attacker is then built from a copy.
+  const GaussianPolicy attack_policy = attacker_vs_modular
+                                           ? zoo().camera_attacker_vs_modular()
+                                           : zoo().camera_attacker_vs_e2e();
 
   Table t({"budget", "episodes", "mean effort", "route RMSE", "ref-traj RMSE",
            "side collisions", "mean ttc (s)"});
   for (int bi = 0; bi <= 12; ++bi) {
     const double budget = bi * 0.1;
-    auto attacker = zoo().make_camera_attacker(budget, attacker_vs_modular);
+    AttackerFactory make_attacker;
+    if (budget > 0.0) {
+      make_attacker = [&attack_policy, budget] {
+        return std::make_unique<LearnedCameraAttacker>(
+            attack_policy, budget, zoo().camera(), zoo().frame_stack());
+      };
+    }
+    // Seeds match the serial sweep: episode r of budget bi uses
+    // kEvalSeedBase + 1000*bi + r, and the batch comes back in r order.
+    const auto ms = run_batch_parallel(
+        make_agent, make_attacker, cfg, rounds,
+        kEvalSeedBase + 1000 * static_cast<std::uint64_t>(bi),
+        /*with_reference=*/true, bench_jobs());
     RunningStats eff, route_dev, ref_dev, ttc;
     int side = 0;
-    for (int r = 0; r < rounds; ++r) {
-      const std::uint64_t seed = kEvalSeedBase + 1000 * static_cast<std::uint64_t>(bi) +
-                                 static_cast<std::uint64_t>(r);
-      const EpisodeMetrics m = evaluate_with_reference(
-          agent, budget > 0.0 ? attacker.get() : nullptr, cfg, seed);
+    for (const EpisodeMetrics& m : ms) {
       out.efforts.push_back(m.attack_effort);
       out.successes.push_back(m.side_collision);
       out.deviations.push_back(m.plan_deviation_rmse);
@@ -100,11 +114,15 @@ int main() {
                "Fig. 5(a)/(b) and Sec. V-B timing");
   const int rounds = eval_episodes(10);
 
-  auto modular = zoo().make_modular_agent();
-  const SweepResult mod = sweep_agent("modular", *modular, /*vs_modular=*/true, rounds);
+  const AgentFactory modular = [] { return zoo().make_modular_agent(); };
+  const SweepResult mod = sweep_agent("modular", modular, /*vs_modular=*/true, rounds);
 
-  auto e2e = zoo().make_e2e_agent();
-  const SweepResult e = sweep_agent("e2e", *e2e, /*vs_modular=*/false, rounds);
+  // Resolve pi_ori serially; workers then instantiate agents from copies.
+  const GaussianPolicy pi_ori = zoo().driving_policy();
+  const AgentFactory e2e = [&pi_ori] {
+    return std::make_unique<E2EAgent>(pi_ori, zoo().camera(), zoo().frame_stack());
+  };
+  const SweepResult e = sweep_agent("e2e", e2e, /*vs_modular=*/false, rounds);
 
   // Headline comparison: tracking error at low effort.
   RunningStats mod_low, e2e_low;

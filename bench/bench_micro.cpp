@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "agents/modular_agent.hpp"
+#include "core/experiment.hpp"
 #include "nn/gaussian_policy.hpp"
 #include "rl/sac.hpp"
+#include "runtime/parallel_eval.hpp"
 #include "sensors/camera.hpp"
 #include "sensors/imu.hpp"
 #include "sim/scenario.hpp"
@@ -93,6 +95,36 @@ void BM_ModularDecide(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModularDecide);
+
+// Episode throughput of the parallel rollout runtime vs the serial batch
+// loop, on the same 64-episode modular-agent workload. Arg is the worker
+// count (0 = the serial run_batch baseline); items/sec == episodes/sec, so
+// the per-thread-count speedup reads directly off the report.
+void BM_EpisodeBatch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  constexpr int kEpisodes = 64;
+  const ExperimentConfig cfg;
+  const AgentFactory make_agent = [] { return std::make_unique<ModularAgent>(); };
+  for (auto _ : state) {
+    if (jobs == 0) {
+      ModularAgent agent;
+      benchmark::DoNotOptimize(run_batch(agent, nullptr, cfg, kEpisodes, 1));
+    } else {
+      benchmark::DoNotOptimize(run_batch_parallel(make_agent, AttackerFactory{}, cfg,
+                                                  kEpisodes, 1,
+                                                  /*with_reference=*/false, jobs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kEpisodes);
+}
+BENCHMARK(BM_EpisodeBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SacUpdate(benchmark::State& state) {
   const int obs_dim = static_cast<int>(state.range(0));

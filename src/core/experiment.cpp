@@ -70,6 +70,13 @@ EpisodeMetrics evaluate_with_reference(DrivingAgent& agent, Attacker* attacker,
   return m;
 }
 
+EpisodeMetrics evaluate_episode(DrivingAgent& agent, Attacker* attacker,
+                                const ExperimentConfig& config, std::uint64_t seed,
+                                bool with_reference) {
+  return with_reference ? evaluate_with_reference(agent, attacker, config, seed)
+                        : run_episode(agent, attacker, config, seed);
+}
+
 std::vector<EpisodeMetrics> run_batch(DrivingAgent& agent, Attacker* attacker,
                                       const ExperimentConfig& config, int episodes,
                                       std::uint64_t seed_base, bool with_reference) {
@@ -77,9 +84,7 @@ std::vector<EpisodeMetrics> run_batch(DrivingAgent& agent, Attacker* attacker,
   out.reserve(static_cast<std::size_t>(episodes));
   for (int k = 0; k < episodes; ++k) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
-    out.push_back(with_reference
-                      ? evaluate_with_reference(agent, attacker, config, seed)
-                      : run_episode(agent, attacker, config, seed));
+    out.push_back(evaluate_episode(agent, attacker, config, seed, with_reference));
   }
   return out;
 }

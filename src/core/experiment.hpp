@@ -37,11 +37,41 @@ EpisodeMetrics evaluate_with_reference(DrivingAgent& agent, Attacker* attacker,
                                        const ExperimentConfig& config,
                                        std::uint64_t seed);
 
+// Single-episode dispatch shared by the serial and parallel batch runners:
+// run_episode or evaluate_with_reference depending on `with_reference`.
+// Keeping both runners on this one code path is what makes the parallel
+// batch bit-identical to the serial one.
+EpisodeMetrics evaluate_episode(DrivingAgent& agent, Attacker* attacker,
+                                const ExperimentConfig& config, std::uint64_t seed,
+                                bool with_reference);
+
 // Batch evaluation over `episodes` seeds (seed_base + k).
 std::vector<EpisodeMetrics> run_batch(DrivingAgent& agent, Attacker* attacker,
                                       const ExperimentConfig& config, int episodes,
                                       std::uint64_t seed_base,
                                       bool with_reference = false);
+
+// Factories for the parallel batch runner (src/runtime). Agents and
+// attackers are stateful and non-clonable, so each pool worker constructs
+// its own pair. Factories are invoked concurrently from worker threads and
+// must therefore only read shared state (e.g. copy a trained policy —
+// train or load it *before* entering the parallel region). An empty
+// AttackerFactory (or one returning null) means nominal driving.
+using AgentFactory = std::function<std::unique_ptr<DrivingAgent>()>;
+using AttackerFactory = std::function<std::unique_ptr<Attacker>()>;
+
+// Parallel run_batch. Episode k keeps its serial seed (seed_base + k) and
+// its slot k in the result vector, and every episode starts from a freshly
+// reset agent/attacker, so the returned metrics are bit-identical to
+// run_batch output in the same order, for any thread count. jobs <= 0
+// selects hardware_concurrency. Defined in runtime/parallel_eval.cpp; see
+// that header for the options overload (progress callbacks).
+std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
+                                               const AttackerFactory& make_attacker,
+                                               const ExperimentConfig& config,
+                                               int episodes, std::uint64_t seed_base,
+                                               bool with_reference = false,
+                                               int jobs = 0);
 
 // Summary helpers over a batch.
 double success_rate(const std::vector<EpisodeMetrics>& ms);

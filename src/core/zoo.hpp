@@ -28,6 +28,7 @@ class PolicyZoo {
   const ExperimentConfig& experiment() const { return experiment_; }
   const CameraConfig& camera() const { return camera_; }
   const ImuConfig& imu() const { return imu_; }
+  int frame_stack() const { return frame_stack_; }
 
   // ---- Learned policies (train-on-miss, cached). ----
   GaussianPolicy driving_policy();              // pi_ori (BC warm start + SAC)

@@ -1,27 +1,74 @@
 #include "rl/trainer.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace adsec {
 
+namespace {
+
+// One deterministic episode on the given env. Shared by the serial and
+// parallel evaluators so both run exactly the same code per episode.
+double rollout_deterministic(const Sac& sac, Env& env, std::uint64_t seed) {
+  Rng rng(seed);  // deterministic actions never consume this
+  std::vector<double> obs = env.reset(seed);
+  bool done = false;
+  double ret = 0.0;
+  while (!done) {
+    const auto act = sac.act(obs, rng, /*deterministic=*/true);
+    EnvStep s = env.step(act);
+    ret += s.reward;
+    done = s.done;
+    obs = std::move(s.obs);
+  }
+  return ret;
+}
+
+}  // namespace
+
 double evaluate_policy(const Sac& sac, Env& env, int episodes, std::uint64_t seed_base,
                        Rng& rng) {
+  (void)rng;  // deterministic evaluation never samples
   double total = 0.0;
   for (int k = 0; k < episodes; ++k) {
-    std::vector<double> obs = env.reset(seed_base + static_cast<std::uint64_t>(k));
-    bool done = false;
-    double ret = 0.0;
-    while (!done) {
-      const auto act = sac.act(obs, rng, /*deterministic=*/true);
-      EnvStep s = env.step(act);
-      ret += s.reward;
-      done = s.done;
-      obs = std::move(s.obs);
-    }
-    total += ret;
+    total += rollout_deterministic(sac, env, seed_base + static_cast<std::uint64_t>(k));
   }
+  return total / episodes;
+}
+
+double evaluate_policy_parallel(const Sac& sac, const EnvFactory& make_env,
+                                int episodes, std::uint64_t seed_base, int jobs) {
+  if (episodes <= 0) return 0.0;
+  const int n = jobs > 0 ? jobs : hardware_jobs();
+  if (n <= 1 || episodes == 1) {
+    auto env = make_env();
+    Rng unused(0);
+    return evaluate_policy(sac, *env, episodes, seed_base, unused);
+  }
+
+  WorkStealingPool pool(std::min(n, episodes));
+  // Per-worker envs, slot w touched only by worker w (see parallel_eval).
+  std::vector<std::unique_ptr<Env>> envs(static_cast<std::size_t>(pool.size()));
+  std::vector<double> returns(static_cast<std::size_t>(episodes), 0.0);
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>(episodes));
+  for (int k = 0; k < episodes; ++k) {
+    pending.push_back(pool.submit([&, k] {
+      const int w = WorkStealingPool::current_worker_index();
+      auto& env = envs[static_cast<std::size_t>(w)];
+      if (!env) env = make_env();
+      returns[static_cast<std::size_t>(k)] =
+          rollout_deterministic(sac, *env, seed_base + static_cast<std::uint64_t>(k));
+    }));
+  }
+  for (auto& f : pending) f.get();
+
+  // Sum in episode order: same floating-point result as the serial loop.
+  double total = 0.0;
+  for (const double r : returns) total += r;
   return total / episodes;
 }
 
@@ -64,7 +111,12 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
 
     if (config.eval_every > 0 && step % config.eval_every == 0) {
       const double eval_ret =
-          evaluate_policy(sac, env, config.eval_episodes, config.eval_seed_base, rng);
+          (config.eval_env_factory && config.eval_jobs != 1)
+              ? evaluate_policy_parallel(sac, config.eval_env_factory,
+                                         config.eval_episodes, config.eval_seed_base,
+                                         config.eval_jobs)
+              : evaluate_policy(sac, env, config.eval_episodes, config.eval_seed_base,
+                                rng);
       result.eval_returns.push_back(eval_ret);
       log_info("train_sac: step %d eval return %.2f (alpha %.3f)", step, eval_ret,
                sac.alpha());

@@ -1,0 +1,85 @@
+#include "runtime/aggregate.hpp"
+
+namespace adsec {
+
+void EpisodeAggregator::add(const EpisodeMetrics& m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++episodes_;
+  if (m.collision.has_value()) ++collisions_;
+  if (m.side_collision) ++side_collisions_;
+  nominal_reward_.add(m.nominal_reward);
+  adv_reward_.add(m.adv_reward);
+  passed_npcs_.add(m.passed_npcs);
+  attack_effort_.add(m.attack_effort);
+  plan_deviation_rmse_.add(m.plan_deviation_rmse);
+  if (m.deviation_rmse >= 0.0) deviation_rmse_.add(m.deviation_rmse);
+  if (m.time_to_collision >= 0.0) time_to_collision_.add(m.time_to_collision);
+}
+
+int EpisodeAggregator::episodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return episodes_;
+}
+
+int EpisodeAggregator::collisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return collisions_;
+}
+
+int EpisodeAggregator::side_collisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return side_collisions_;
+}
+
+double EpisodeAggregator::success_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (episodes_ == 0) return 0.0;
+  return static_cast<double>(side_collisions_) / static_cast<double>(episodes_);
+}
+
+RunningStats EpisodeAggregator::nominal_reward() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nominal_reward_;
+}
+
+RunningStats EpisodeAggregator::adv_reward() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return adv_reward_;
+}
+
+RunningStats EpisodeAggregator::passed_npcs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return passed_npcs_;
+}
+
+RunningStats EpisodeAggregator::attack_effort() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return attack_effort_;
+}
+
+RunningStats EpisodeAggregator::plan_deviation_rmse() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_deviation_rmse_;
+}
+
+RunningStats EpisodeAggregator::deviation_rmse() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deviation_rmse_;
+}
+
+RunningStats EpisodeAggregator::time_to_collision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return time_to_collision_;
+}
+
+ProgressMeter::ProgressMeter(int total, std::string label, int stride)
+    : total_(total), label_(std::move(label)), stride_(stride) {}
+
+void ProgressMeter::tick() {
+  const int n = done_.fetch_add(1) + 1;
+  if (stride_ > 0 && (n % stride_ == 0 || n == total_)) {
+    std::fprintf(stderr, "%s: %d/%d\n", label_.c_str(), n, total_);
+  }
+}
+
+}  // namespace adsec

@@ -1,0 +1,77 @@
+// Thread-safe aggregation for the parallel rollout runtime: a metrics
+// accumulator that any number of workers can feed concurrently, and a
+// progress meter for long sweeps.
+//
+// Note on determinism: RunningStats (Welford) results depend on insertion
+// order, so when bit-reproducible summaries matter, aggregate the *ordered*
+// result vector of run_batch_parallel after it returns (the CLI does this).
+// Concurrent add() is for live dashboards and progress reporting, where a
+// last-digit wobble is irrelevant.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/metrics.hpp"
+
+namespace adsec {
+
+// Streaming summary over EpisodeMetrics; every accessor returns a locked
+// snapshot, so readers and writers can interleave freely.
+class EpisodeAggregator {
+ public:
+  void add(const EpisodeMetrics& m);
+
+  int episodes() const;
+  int collisions() const;       // any collision type
+  int side_collisions() const;  // the attacker's success criterion
+  double success_rate() const;  // side collisions / episodes
+
+  RunningStats nominal_reward() const;
+  RunningStats adv_reward() const;
+  RunningStats passed_npcs() const;
+  RunningStats attack_effort() const;
+  RunningStats plan_deviation_rmse() const;
+  // Only episodes where the metric was produced (deviation_rmse needs a
+  // reference rollout; time_to_collision needs a successful attack).
+  RunningStats deviation_rmse() const;
+  RunningStats time_to_collision() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int episodes_{0};
+  int collisions_{0};
+  int side_collisions_{0};
+  RunningStats nominal_reward_;
+  RunningStats adv_reward_;
+  RunningStats passed_npcs_;
+  RunningStats attack_effort_;
+  RunningStats plan_deviation_rmse_;
+  RunningStats deviation_rmse_;
+  RunningStats time_to_collision_;
+};
+
+// Monotonic completion counter with an optional stderr ticker, safe to call
+// from any worker (plugs straight into ParallelEvalOptions::on_progress).
+class ProgressMeter {
+ public:
+  // Prints "label: done/total" every `stride` completions (and at the end)
+  // when stride > 0; stride == 0 counts silently.
+  explicit ProgressMeter(int total, std::string label = "progress",
+                         int stride = 0);
+
+  void tick();
+  int done() const { return done_.load(); }
+  int total() const { return total_; }
+
+ private:
+  std::atomic<int> done_{0};
+  int total_;
+  std::string label_;
+  int stride_;
+};
+
+}  // namespace adsec

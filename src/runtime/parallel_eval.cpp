@@ -1,0 +1,100 @@
+#include "runtime/parallel_eval.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace adsec {
+
+namespace {
+
+struct WorkerContext {
+  std::unique_ptr<DrivingAgent> agent;
+  std::unique_ptr<Attacker> attacker;  // null => nominal driving
+};
+
+WorkerContext make_context(const AgentFactory& make_agent,
+                           const AttackerFactory& make_attacker) {
+  WorkerContext ctx;
+  ctx.agent = make_agent();
+  if (make_attacker) ctx.attacker = make_attacker();
+  return ctx;
+}
+
+}  // namespace
+
+std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
+                                               const AttackerFactory& make_attacker,
+                                               const ExperimentConfig& config,
+                                               int episodes, std::uint64_t seed_base,
+                                               const ParallelEvalOptions& options) {
+  if (episodes <= 0) return {};
+  std::vector<EpisodeMetrics> out(static_cast<std::size_t>(episodes));
+  const int jobs = options.jobs > 0 ? options.jobs : hardware_jobs();
+
+  if (jobs <= 1 || episodes == 1) {
+    // Serial fast path: one context on the calling thread, no pool.
+    WorkerContext ctx = make_context(make_agent, make_attacker);
+    for (int k = 0; k < episodes; ++k) {
+      out[static_cast<std::size_t>(k)] =
+          evaluate_episode(*ctx.agent, ctx.attacker.get(), config,
+                           seed_base + static_cast<std::uint64_t>(k),
+                           options.with_reference);
+      if (options.on_progress) options.on_progress(k + 1, episodes);
+    }
+    return out;
+  }
+
+  WorkStealingPool pool(std::min(jobs, episodes));
+  // One lazily built context per worker. Slot w is only ever touched by
+  // worker thread w, so no lock is needed.
+  std::vector<std::unique_ptr<WorkerContext>> contexts(
+      static_cast<std::size_t>(pool.size()));
+  std::atomic<int> done{0};
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>(episodes));
+  for (int k = 0; k < episodes; ++k) {
+    pending.push_back(pool.submit([&, k] {
+      const int w = WorkStealingPool::current_worker_index();
+      auto& ctx = contexts[static_cast<std::size_t>(w)];
+      if (!ctx) {
+        ctx = std::make_unique<WorkerContext>(
+            make_context(make_agent, make_attacker));
+      }
+      out[static_cast<std::size_t>(k)] =
+          evaluate_episode(*ctx->agent, ctx->attacker.get(), config,
+                           seed_base + static_cast<std::uint64_t>(k),
+                           options.with_reference);
+      if (options.on_progress) {
+        options.on_progress(done.fetch_add(1) + 1, episodes);
+      }
+    }));
+  }
+
+  // Wait for everything; surface the lowest-episode-index failure (the one
+  // the serial loop would have hit first).
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
+                                               const AttackerFactory& make_attacker,
+                                               const ExperimentConfig& config,
+                                               int episodes, std::uint64_t seed_base,
+                                               bool with_reference, int jobs) {
+  ParallelEvalOptions options;
+  options.jobs = jobs;
+  options.with_reference = with_reference;
+  return run_batch_parallel(make_agent, make_attacker, config, episodes, seed_base,
+                            options);
+}
+
+}  // namespace adsec

@@ -1,0 +1,92 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adsec {
+
+namespace {
+
+// Identity of the current thread inside its owning pool. A plain
+// thread_local pair — nested pools are not supported (the inner pool's
+// workers are fresh threads, so they simply see their own identity).
+thread_local const WorkStealingPool* tl_pool = nullptr;
+thread_local int tl_worker_index = -1;
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int threads)
+    : size_(threads > 0 ? threads : hardware_jobs()) {
+  queues_.resize(static_cast<std::size_t>(size_));
+  workers_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int WorkStealingPool::current_worker_index() { return tl_worker_index; }
+
+void WorkStealingPool::push(int worker, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) throw std::runtime_error("WorkStealingPool: submit after shutdown");
+    std::size_t home;
+    if (worker >= 0 && worker < size()) {
+      home = static_cast<std::size_t>(worker);
+    } else if (tl_pool == this) {
+      home = static_cast<std::size_t>(tl_worker_index);
+    } else {
+      home = next_++ % queues_.size();
+    }
+    queues_[home].push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+bool WorkStealingPool::try_take(int self, std::function<void()>& out) {
+  auto& own = queues_[static_cast<std::size_t>(self)];
+  if (!own.empty()) {  // own work: newest first
+    out = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  const int n = size();
+  for (int i = 1; i < n; ++i) {  // steal: oldest first from the next victim
+    auto& victim = queues_[static_cast<std::size_t>((self + i) % n)];
+    if (!victim.empty()) {
+      out = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::worker_loop(int index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::function<void()> task;
+    if (try_take(index, task)) {
+      lock.unlock();
+      task();  // packaged_task captures exceptions into the future
+      task = nullptr;
+      lock.lock();
+      continue;
+    }
+    if (done_) return;  // all deques drained and shutdown requested
+    cv_.wait(lock);
+  }
+}
+
+}  // namespace adsec

@@ -16,7 +16,10 @@ namespace {
 class ZooTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/adsec_zoo_test";
+    // Per-test directory: ctest -j runs each TEST_F as its own process, so a
+    // shared cache dir would be remove_all'd by one test mid-save in another.
+    dir_ = ::testing::TempDir() + "/adsec_zoo_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     saved_scale_ = runtime_config().train_scale;
     runtime_config().train_scale = 0.0;  // floor everything to min steps

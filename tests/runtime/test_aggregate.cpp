@@ -1,0 +1,83 @@
+#include "runtime/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace adsec {
+namespace {
+
+EpisodeMetrics sample_metrics(int i) {
+  EpisodeMetrics m;
+  m.steps = 100 + i;
+  m.nominal_reward = 10.0 * i;
+  m.adv_reward = -1.0 * i;
+  m.passed_npcs = i % 3;
+  m.attack_effort = 0.1;
+  m.side_collision = (i % 4 == 0);
+  if (m.side_collision) {
+    m.collision = CollisionEvent{CollisionType::Side, 0, 100};
+    m.time_to_collision = 1.0;
+  }
+  m.deviation_rmse = (i % 2 == 0) ? 0.5 : -1.0;  // -1 => not measured
+  return m;
+}
+
+TEST(EpisodeAggregator, CountsAndFilters) {
+  EpisodeAggregator agg;
+  for (int i = 0; i < 8; ++i) agg.add(sample_metrics(i));
+  EXPECT_EQ(agg.episodes(), 8);
+  EXPECT_EQ(agg.side_collisions(), 2);  // i = 0, 4
+  EXPECT_EQ(agg.collisions(), 2);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.25);
+  EXPECT_EQ(agg.deviation_rmse().count(), 4);      // even i only
+  EXPECT_EQ(agg.time_to_collision().count(), 2);   // successful episodes only
+  EXPECT_DOUBLE_EQ(agg.nominal_reward().mean(), 35.0);
+  EXPECT_DOUBLE_EQ(agg.attack_effort().mean(), 0.1);
+}
+
+TEST(EpisodeAggregator, EmptyIsZero) {
+  EpisodeAggregator agg;
+  EXPECT_EQ(agg.episodes(), 0);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 0.0);
+  EXPECT_EQ(agg.nominal_reward().count(), 0);
+}
+
+TEST(EpisodeAggregator, ConcurrentAddsLoseNothing) {
+  EpisodeAggregator agg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&agg] {
+      EpisodeMetrics m;
+      m.nominal_reward = 2.0;  // identical values: mean is order-independent
+      m.side_collision = true;
+      for (int i = 0; i < kPerThread; ++i) agg.add(m);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(agg.episodes(), kThreads * kPerThread);
+  EXPECT_EQ(agg.side_collisions(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(agg.success_rate(), 1.0);
+  EXPECT_EQ(agg.nominal_reward().count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(agg.nominal_reward().mean(), 2.0);
+  EXPECT_NEAR(agg.nominal_reward().stdev(), 0.0, 1e-12);
+}
+
+TEST(ProgressMeter, TicksFromManyThreads) {
+  ProgressMeter meter(400, "test", /*stride=*/0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < 100; ++i) meter.tick();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.done(), 400);
+  EXPECT_EQ(meter.total(), 400);
+}
+
+}  // namespace
+}  // namespace adsec

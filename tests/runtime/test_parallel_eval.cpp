@@ -1,0 +1,146 @@
+// The determinism contract of the parallel rollout runtime: for a fixed
+// seed base, run_batch_parallel returns EpisodeMetrics element-wise
+// BIT-IDENTICAL to the serial run_batch, for any jobs count — for both
+// agent architectures, with and without an attacker, with and without
+// reference rollouts. EXPECT_EQ on doubles below is deliberate: the
+// contract is exact equality, not tolerance.
+#include "runtime/parallel_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "agents/e2e_agent.hpp"
+#include "agents/modular_agent.hpp"
+#include "attack/scripted_attacker.hpp"
+#include "sensors/camera.hpp"
+
+namespace adsec {
+namespace {
+
+void expect_identical(const EpisodeMetrics& a, const EpisodeMetrics& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.passed_npcs, b.passed_npcs);
+  EXPECT_EQ(a.collision.has_value(), b.collision.has_value());
+  if (a.collision.has_value() && b.collision.has_value()) {
+    EXPECT_EQ(a.collision->type, b.collision->type);
+    EXPECT_EQ(a.collision->step, b.collision->step);
+  }
+  EXPECT_EQ(a.side_collision, b.side_collision);
+  EXPECT_EQ(a.nominal_reward, b.nominal_reward);
+  EXPECT_EQ(a.adv_reward, b.adv_reward);
+  EXPECT_EQ(a.attack_effort, b.attack_effort);
+  EXPECT_EQ(a.total_injected, b.total_injected);
+  EXPECT_EQ(a.time_to_collision, b.time_to_collision);
+  EXPECT_EQ(a.deviation_rmse, b.deviation_rmse);
+  EXPECT_EQ(a.plan_deviation_rmse, b.plan_deviation_rmse);
+}
+
+void expect_parity(const AgentFactory& make_agent, const AttackerFactory& make_attacker,
+                   bool with_reference, int episodes, std::uint64_t seed_base) {
+  ExperimentConfig cfg;
+  auto agent = make_agent();
+  std::unique_ptr<Attacker> attacker;
+  if (make_attacker) attacker = make_attacker();
+  const auto serial =
+      run_batch(*agent, attacker.get(), cfg, episodes, seed_base, with_reference);
+
+  for (const int jobs : {1, 2, 3, 4, 7}) {
+    const auto parallel = run_batch_parallel(make_agent, make_attacker, cfg, episodes,
+                                             seed_base, with_reference, jobs);
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " episode=" + std::to_string(k));
+      expect_identical(parallel[k], serial[k]);
+    }
+  }
+}
+
+AgentFactory modular_factory() {
+  return [] { return std::make_unique<ModularAgent>(); };
+}
+
+// An untrained (random-weight) policy exercises exactly the same decide()
+// path as a zoo-trained one without minutes of SAC — the parity contract
+// does not care how good the driving is.
+AgentFactory e2e_factory() {
+  return [] {
+    Rng rng(42);
+    const int obs_dim = StackedCameraObserver({}, 3).dim();
+    GaussianPolicy policy = GaussianPolicy::make_mlp(obs_dim, {32, 32}, 2, rng);
+    return std::make_unique<E2EAgent>(policy, CameraConfig{}, 3);
+  };
+}
+
+TEST(ParallelEval, ParityModularNominal) {
+  expect_parity(modular_factory(), {}, /*with_reference=*/false, 10, 500);
+}
+
+TEST(ParallelEval, ParityModularAttacked) {
+  AttackerFactory attacker = [] { return std::make_unique<ScriptedAttacker>(0.8); };
+  expect_parity(modular_factory(), attacker, /*with_reference=*/false, 10, 500);
+}
+
+TEST(ParallelEval, ParityModularAttackedWithReference) {
+  AttackerFactory attacker = [] { return std::make_unique<ScriptedAttacker>(1.0); };
+  expect_parity(modular_factory(), attacker, /*with_reference=*/true, 8, 700000);
+}
+
+TEST(ParallelEval, ParityE2ENominal) {
+  expect_parity(e2e_factory(), {}, /*with_reference=*/false, 8, 500);
+}
+
+TEST(ParallelEval, ParityE2EAttacked) {
+  AttackerFactory attacker = [] { return std::make_unique<ScriptedAttacker>(0.8); };
+  expect_parity(e2e_factory(), attacker, /*with_reference=*/false, 8, 500);
+}
+
+TEST(ParallelEval, ParityNoiseAttackerReseedsPerEpisode) {
+  // The stochastic baseline attacker reseeds in reset(), so even it must
+  // hold the bit-identity contract across worker-private instances.
+  AttackerFactory attacker = [] { return std::make_unique<NoiseAttacker>(0.6); };
+  expect_parity(modular_factory(), attacker, /*with_reference=*/false, 10, 123);
+}
+
+TEST(ParallelEval, EmptyAndSingleBatches) {
+  ExperimentConfig cfg;
+  EXPECT_TRUE(run_batch_parallel(modular_factory(), {}, cfg, 0, 1).empty());
+  const auto one = run_batch_parallel(modular_factory(), {}, cfg, 1, 9, false, 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].steps, 180);
+}
+
+TEST(ParallelEval, MoreJobsThanEpisodes) {
+  expect_parity(modular_factory(), {}, /*with_reference=*/false, 3, 77);
+}
+
+TEST(ParallelEval, ProgressCallbackCountsEveryEpisode) {
+  ExperimentConfig cfg;
+  std::atomic<int> ticks{0};
+  std::atomic<int> last_total{0};  // callback contract: thread-safe state only
+  ParallelEvalOptions opt;
+  opt.jobs = 4;
+  opt.on_progress = [&](int, int total) {
+    ++ticks;
+    last_total = total;
+  };
+  run_batch_parallel(modular_factory(), {}, cfg, 12, 300, opt);
+  EXPECT_EQ(ticks.load(), 12);
+  EXPECT_EQ(last_total.load(), 12);
+}
+
+TEST(ParallelEval, FirstEpisodeExceptionPropagates) {
+  ExperimentConfig cfg;
+  AgentFactory throwing = [] {
+    throw std::runtime_error("factory exploded");
+    return std::unique_ptr<DrivingAgent>();
+  };
+  EXPECT_THROW(run_batch_parallel(throwing, {}, cfg, 4, 1, false, 2),
+               std::runtime_error);
+  EXPECT_THROW(run_batch_parallel(throwing, {}, cfg, 4, 1, false, 1),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,111 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+namespace adsec {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  WorkStealingPool pool(4);
+  std::vector<std::future<int>> fs;
+  for (int i = 0; i < 100; ++i) {
+    fs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SizeAndDefaults) {
+  WorkStealingPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  WorkStealingPool hw;  // <= 0 threads => hardware_jobs()
+  EXPECT_EQ(hw.size(), hardware_jobs());
+  EXPECT_GE(hardware_jobs(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  WorkStealingPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("episode failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+  WorkStealingPool pool(4);
+  EXPECT_EQ(WorkStealingPool::current_worker_index(), -1);  // external thread
+  std::vector<std::future<int>> fs;
+  for (int i = 0; i < 64; ++i) {
+    fs.push_back(pool.submit([] { return WorkStealingPool::current_worker_index(); }));
+  }
+  for (auto& f : fs) {
+    const int w = f.get();
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+}
+
+TEST(ThreadPool, StealsFromLoadedWorker) {
+  // Deterministic imbalance: occupy one worker with a blocker that cannot
+  // finish until every short task has run, then pin all short tasks to that
+  // worker's deque. The blocked worker can't touch them, so they complete
+  // only if the other worker steals them — no timing assumptions needed.
+  WorkStealingPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<int> started;
+
+  auto blocker = pool.submit([&started, gate] {
+    started.set_value(WorkStealingPool::current_worker_index());
+    gate.wait();
+  });
+  const int busy = started.get_future().get();  // worker now pinned in gate.wait()
+
+  constexpr int kShort = 16;
+  std::atomic<int> stolen{0};
+  std::vector<std::future<void>> shorts;
+  for (int i = 0; i < kShort; ++i) {
+    shorts.push_back(pool.submit_to(busy, [&stolen, busy] {
+      if (WorkStealingPool::current_worker_index() != busy) ++stolen;
+    }));
+  }
+
+  // All short tasks must finish while the busy worker is still blocked.
+  for (auto& f : shorts) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "short tasks did not complete: stealing is broken";
+  }
+  EXPECT_EQ(stolen.load(), kShort);  // every one ran on the other worker
+  release.set_value();
+  blocker.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    WorkStealingPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+    // No explicit wait: ~WorkStealingPool must run everything first.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  WorkStealingPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    return inner.get() * 2;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -4,9 +4,12 @@
 //   adsec_cli [--agent modular|e2e|finetune:<rho>|pnn:<sigma>|pnn-detector:<sigma>]
 //             [--attacker none|oracle|noise|full|camera|imu|td3]
 //             [--budget <eps>] [--episodes <n>] [--scenario <preset>]
-//             [--seed <base>] [--with-reference] [--csv <path>] [--list]
+//             [--seed <base>] [--jobs <n>] [--with-reference] [--csv <path>]
+//             [--list]
 //
 // Learned agents/attackers come from the policy zoo (training on first use).
+// Episodes run on the parallel rollout runtime (--jobs worker threads,
+// default hardware_concurrency); results are bit-identical to --jobs 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,8 @@
 #include "common/table.hpp"
 #include "core/zoo.hpp"
 #include "defense/simplex_agent.hpp"
+#include "runtime/aggregate.hpp"
+#include "runtime/parallel_eval.hpp"
 
 using namespace adsec;
 
@@ -31,6 +36,7 @@ struct Options {
   int episodes = 10;
   std::string scenario = "paper";
   std::uint64_t seed = 700000;
+  int jobs = 0;  // 0 => hardware_concurrency
   bool with_reference = false;
   std::string csv;
 };
@@ -38,8 +44,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::printf(
       "usage: %s [--agent A] [--attacker T] [--budget E] [--episodes N]\n"
-      "          [--scenario P] [--seed S] [--with-reference] [--csv PATH]\n"
-      "          [--list]\n"
+      "          [--scenario P] [--seed S] [--jobs N] [--with-reference]\n"
+      "          [--csv PATH] [--list]\n"
       "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
       "attackers: none | oracle | noise | full | camera | imu | td3\n"
       "scenarios: paper dense sparse two-lane s-curve fast-npc\n",
@@ -61,6 +67,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--episodes") opt.episodes = std::atoi(value().c_str());
     else if (arg == "--scenario") opt.scenario = value();
     else if (arg == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--jobs") opt.jobs = std::atoi(value().c_str());
     else if (arg == "--with-reference") opt.with_reference = true;
     else if (arg == "--csv") opt.csv = value();
     else if (arg == "--list") {
@@ -102,77 +109,97 @@ int main(int argc, char** argv) {
   }
 
   // --- agent ---
-  std::unique_ptr<DrivingAgent> agent;
-  PnnSwitchedAgent* switcher = nullptr;
+  // Factories rather than instances: the parallel runtime builds one
+  // agent/attacker pair per worker. A warm-up call below resolves any
+  // zoo training serially; concurrent factory calls then only load the
+  // disk-cached policies.
+  AgentFactory agent_factory;
   double param = 0.0;
   if (opt.agent == "modular") {
-    agent = zoo.make_modular_agent();
+    agent_factory = [&zoo] { return zoo.make_modular_agent(); };
   } else if (opt.agent == "e2e") {
-    agent = zoo.make_e2e_agent();
+    agent_factory = [&zoo] { return zoo.make_e2e_agent(); };
   } else if (split_param(opt.agent, "finetune", param)) {
-    agent = zoo.make_finetuned_agent(param);
+    agent_factory = [&zoo, param] { return zoo.make_finetuned_agent(param); };
   } else if (split_param(opt.agent, "pnn", param)) {
-    auto pnn = zoo.make_pnn_agent(param);
-    pnn->set_attack_budget_estimate(opt.attacker == "none" ? 0.0 : opt.budget);
-    switcher = pnn.get();
-    (void)switcher;
-    agent = std::move(pnn);
+    const double estimate = opt.attacker == "none" ? 0.0 : opt.budget;
+    agent_factory = [&zoo, param, estimate] {
+      auto pnn = zoo.make_pnn_agent(param);
+      pnn->set_attack_budget_estimate(estimate);
+      return pnn;
+    };
   } else if (split_param(opt.agent, "pnn-detector", param)) {
-    agent = std::make_unique<DetectorSwitchedAgent>(
-        zoo.driving_policy(), zoo.pnn_column(), param, DetectorConfig{},
-        zoo.camera(), 3);
+    agent_factory = [&zoo, param] {
+      return std::make_unique<DetectorSwitchedAgent>(
+          zoo.driving_policy(), zoo.pnn_column(), param, DetectorConfig{},
+          zoo.camera(), zoo.frame_stack());
+    };
   } else {
     std::fprintf(stderr, "unknown agent '%s'\n", opt.agent.c_str());
     return 2;
   }
 
   // --- attacker ---
-  std::unique_ptr<Attacker> attacker;
+  AttackerFactory attacker_factory;
   if (opt.attacker == "none") {
-    // leave null
+    // leave empty
   } else if (opt.attacker == "oracle") {
-    attacker = std::make_unique<ScriptedAttacker>(opt.budget, cfg.adv_reward);
+    attacker_factory = [&opt, &cfg] {
+      return std::make_unique<ScriptedAttacker>(opt.budget, cfg.adv_reward);
+    };
   } else if (opt.attacker == "noise") {
-    attacker = std::make_unique<NoiseAttacker>(opt.budget);
+    attacker_factory = [&opt] { return std::make_unique<NoiseAttacker>(opt.budget); };
   } else if (opt.attacker == "full") {
-    attacker = std::make_unique<FullActuationOracle>(opt.budget, 1.0, cfg.adv_reward);
+    attacker_factory = [&opt, &cfg] {
+      return std::make_unique<FullActuationOracle>(opt.budget, 1.0, cfg.adv_reward);
+    };
   } else if (opt.attacker == "camera") {
-    attacker = zoo.make_camera_attacker(opt.budget, opt.agent == "modular");
+    attacker_factory = [&zoo, &opt] {
+      return zoo.make_camera_attacker(opt.budget, opt.agent == "modular");
+    };
   } else if (opt.attacker == "imu") {
-    attacker = zoo.make_imu_attacker(opt.budget);
+    attacker_factory = [&zoo, &opt] { return zoo.make_imu_attacker(opt.budget); };
   } else if (opt.attacker == "td3") {
-    attacker = zoo.make_td3_attacker(opt.budget);
+    attacker_factory = [&zoo, &opt] { return zoo.make_td3_attacker(opt.budget); };
   } else {
     std::fprintf(stderr, "unknown attacker '%s'\n", opt.attacker.c_str());
     return 2;
   }
 
-  // --- run ---
-  const auto ms = run_batch(*agent, attacker.get(), cfg, opt.episodes, opt.seed,
-                            opt.with_reference);
+  // Warm the zoo cache serially (trains on first use) before workers fork.
+  { auto warm = agent_factory(); }
+  if (attacker_factory) { auto warm = attacker_factory(); }
 
-  RunningStats reward, adv, passed, effort, dev;
-  int side = 0, collisions = 0;
-  for (const auto& m : ms) {
-    reward.add(m.nominal_reward);
-    adv.add(m.adv_reward);
-    passed.add(m.passed_npcs);
-    effort.add(m.attack_effort);
-    if (m.deviation_rmse >= 0.0) dev.add(m.deviation_rmse);
-    side += m.side_collision ? 1 : 0;
-    collisions += m.collision ? 1 : 0;
-  }
+  // --- run ---
+  ParallelEvalOptions run_opts;
+  run_opts.jobs = opt.jobs;
+  run_opts.with_reference = opt.with_reference;
+  ProgressMeter progress(opt.episodes, "episodes",
+                         opt.episodes >= 20 ? std::max(1, opt.episodes / 10) : 0);
+  run_opts.on_progress = [&progress](int, int) { progress.tick(); };
+  const auto ms = run_batch_parallel(agent_factory, attacker_factory, cfg,
+                                     opt.episodes, opt.seed, run_opts);
+
+  // Aggregate the ordered batch (deterministic regardless of --jobs).
+  EpisodeAggregator agg;
+  for (const auto& m : ms) agg.add(m);
+  const RunningStats reward = agg.nominal_reward();
+  const RunningStats adv = agg.adv_reward();
+  const RunningStats passed = agg.passed_npcs();
+  const RunningStats effort = agg.attack_effort();
+  const RunningStats dev = agg.deviation_rmse();
 
   Table t({"metric", "value"});
   t.add_row({"agent", opt.agent});
   t.add_row({"attacker", opt.attacker + " @ " + fmt(opt.budget, 2)});
   t.add_row({"scenario", opt.scenario});
   t.add_row({"episodes", std::to_string(opt.episodes)});
+  t.add_row({"jobs", std::to_string(opt.jobs > 0 ? opt.jobs : hardware_jobs())});
   t.add_row({"mean nominal reward", fmt(reward.mean(), 1) + " ± " + fmt(reward.stdev(), 1)});
   t.add_row({"mean adversarial reward", fmt(adv.mean(), 2)});
   t.add_row({"mean passed NPCs", fmt(passed.mean(), 2)});
-  t.add_row({"collisions (any)", std::to_string(collisions)});
-  t.add_row({"side collisions", std::to_string(side)});
+  t.add_row({"collisions (any)", std::to_string(agg.collisions())});
+  t.add_row({"side collisions", std::to_string(agg.side_collisions())});
   t.add_row({"attack success rate", fmt_pct(success_rate(ms))});
   t.add_row({"mean attack effort", fmt(effort.mean(), 3)});
   if (dev.count() > 0) t.add_row({"mean deviation RMSE", fmt(dev.mean(), 3)});
