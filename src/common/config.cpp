@@ -33,6 +33,13 @@ RuntimeConfig RuntimeConfig::from_env() {
       log_warn("ADSEC_EPISODES='%s' is not a number; ignored", v->c_str());
     }
   }
+  if (auto v = get_env("ADSEC_CKPT_EVERY")) {
+    try {
+      cfg.checkpoint_every = std::max(0, std::stoi(*v));
+    } catch (...) {
+      log_warn("ADSEC_CKPT_EVERY='%s' is not a number; ignored", v->c_str());
+    }
+  }
   if (auto v = get_env("ADSEC_LOG")) {
     if (*v == "debug") set_log_level(LogLevel::Debug);
     else if (*v == "info") set_log_level(LogLevel::Info);

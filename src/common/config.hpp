@@ -7,6 +7,9 @@
 //   ADSEC_ZOO_DIR      where trained policies are cached (default "zoo")
 //   ADSEC_TRAIN_SCALE  multiplier on training steps (default 1.0)
 //   ADSEC_EPISODES     override for per-configuration evaluation episodes
+//   ADSEC_CKPT_EVERY   training checkpoint interval in env steps; a killed
+//                      zoo training run resumes from <zoo>/<name>.ckpt on
+//                      the next start (default 0 = disabled)
 //   ADSEC_LOG          debug|info|warn|error|off
 #pragma once
 
@@ -19,6 +22,7 @@ struct RuntimeConfig {
   std::string zoo_dir = "zoo";
   double train_scale = 1.0;
   std::optional<int> episodes_override;
+  int checkpoint_every = 0;  // 0 disables zoo training checkpoints
 
   // Read environment variables on top of the defaults.
   static RuntimeConfig from_env();

@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+
+namespace adsec {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Io: return "io";
+    case ErrorCode::Corrupt: return "corrupt";
+    case ErrorCode::Config: return "config";
+    case ErrorCode::Diverged: return "diverged";
+    case ErrorCode::Usage: return "usage";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorCode code, const std::string& message)
+    : std::runtime_error(std::string("[") + error_code_name(code) + "] " + message),
+      code_(code) {}
+
+}  // namespace adsec

@@ -1,0 +1,36 @@
+// Structured error type for every recoverable failure in the library.
+//
+// The resilience layer's contract is that an injected fault, a torn write,
+// or a diverged optimizer surfaces as an adsec::Error carrying a machine-
+// checkable code — never a crash, a bare std::runtime_error the caller can't
+// classify, or a silently wrong result. Callers branch on code() to decide
+// between retry, fallback (e.g. the zoo retraining over a corrupt cache
+// entry), and giving up.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adsec {
+
+enum class ErrorCode {
+  Io,        // file open/write/read failed (possibly injected)
+  Corrupt,   // bytes present but fail magic/version/CRC/shape validation
+  Config,    // inconsistent or out-of-range configuration
+  Diverged,  // training produced NaN/Inf beyond the recovery budget
+  Usage,     // bad command-line arguments
+  Internal,  // invariant violation (includes injected worker faults)
+};
+
+const char* error_code_name(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message);
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace adsec

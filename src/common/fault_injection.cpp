@@ -1,0 +1,45 @@
+#include "common/fault_injection.hpp"
+
+namespace adsec {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& point, FaultKind kind, int fire_at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plans_.find(point) == plans_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  plans_[point] = Plan{kind, fire_at};
+  hits_[point] = 0;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FaultKind> FaultInjector::fire(const std::string& point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto plan = plans_.find(point);
+  if (plan == plans_.end()) return std::nullopt;
+  const int hit = ++hits_[point];
+  if (hit != plan->second.fire_at) return std::nullopt;
+  const FaultKind kind = plan->second.kind;
+  plans_.erase(plan);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  return kind;
+}
+
+int FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace adsec

@@ -1,0 +1,65 @@
+// Deterministic fault injection for resilience tests.
+//
+// Production code threads named fault points through its failure-prone
+// paths (checkpoint I/O, runtime workers, the training loop); tests arm a
+// point to fire a specific fault on its N-th hit and then assert that the
+// system either recovers or surfaces a structured adsec::Error. Nothing is
+// ever armed outside tests, and the disarmed fast path is a single relaxed
+// atomic load, so instrumented code pays ~nothing in production.
+//
+// Points are hit concurrently by pool workers, so all bookkeeping is
+// mutex-guarded; the armed() fast path stays lock-free.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace adsec {
+
+enum class FaultKind {
+  FailWrite,      // file write throws before any byte reaches disk
+  TruncateWrite,  // half the bytes are written, then the "process dies"
+  FlipByte,       // one payload byte is flipped; the write "succeeds"
+  Throw,          // the instrumented code path throws adsec::Error
+};
+
+class FaultInjector {
+ public:
+  // Process-wide instance shared by production code and tests.
+  static FaultInjector& instance();
+
+  // Arm `point` to fire `kind` on its `fire_at`-th hit (1-based). Re-arming
+  // a point replaces the previous plan and resets its hit counter.
+  void arm(const std::string& point, FaultKind kind, int fire_at = 1);
+
+  // Disarm everything and zero all hit counters (test teardown).
+  void reset();
+
+  // Record one hit of `point`; returns the armed kind if this hit fires.
+  // A plan fires exactly once, then disarms itself.
+  std::optional<FaultKind> fire(const std::string& point);
+
+  // Hits recorded while `point` was armed (the disarmed fast path skips
+  // counting so production code stays free).
+  int hits(const std::string& point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Plan {
+    FaultKind kind;
+    int fire_at;
+  };
+
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Plan> plans_;
+  std::unordered_map<std::string, int> hits_;
+};
+
+inline FaultInjector& fault_injector() { return FaultInjector::instance(); }
+
+}  // namespace adsec

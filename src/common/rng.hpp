@@ -11,6 +11,15 @@
 
 namespace adsec {
 
+// Complete PCG32 + Box-Muller-cache state, exposed so checkpoints can
+// freeze and resume an RNG stream at its exact position (rl/checkpoint.hpp).
+struct RngState {
+  std::uint64_t state{0};
+  std::uint64_t inc{0};
+  bool has_cached{false};
+  double cached{0.0};
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
@@ -65,6 +74,15 @@ class Rng {
 
   // Derive an independent child generator (for per-component streams).
   Rng split() { return Rng(next_u32() | (std::uint64_t(next_u32()) << 32), next_u32()); }
+
+  // Snapshot / restore the full stream position (bit-exact resume).
+  RngState get_state() const { return {state_, inc_, has_cached_, cached_}; }
+  void set_state(const RngState& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_cached_ = s.has_cached;
+    cached_ = s.cached;
+  }
 
  private:
   std::uint64_t state_{0};

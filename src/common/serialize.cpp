@@ -1,19 +1,81 @@
 #include "common/serialize.hpp"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace adsec {
 
 namespace {
+
 template <typename T>
 void append_raw(std::vector<std::uint8_t>& buf, T v) {
   std::uint8_t tmp[sizeof(T)];
   std::memcpy(tmp, &v, sizeof(T));
   buf.insert(buf.end(), tmp, tmp + sizeof(T));
 }
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// "ADSC" little-endian; followed by format version, payload size, CRC32.
+constexpr std::uint32_t kContainerMagic = 0x43534441u;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+// All checked/atomic file writes funnel through here so the fault injector
+// can fail, tear, or silently corrupt exactly the N-th write of a run.
+void write_file_with_faults(const std::string& path,
+                            const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> out = bytes;
+  std::size_t limit = out.size();
+  if (const auto fault = fault_injector().fire("serialize.save")) {
+    switch (*fault) {
+      case FaultKind::FailWrite:
+        throw Error(ErrorCode::Io, "injected write failure for " + path);
+      case FaultKind::TruncateWrite:
+        limit = out.size() / 2;
+        break;
+      case FaultKind::FlipByte:
+        if (!out.empty()) out[out.size() / 2] ^= 0x40u;
+        break;
+      case FaultKind::Throw:
+        throw Error(ErrorCode::Internal, "injected fault at serialize.save");
+    }
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw Error(ErrorCode::Io, "cannot open " + path + " for writing");
+  f.write(reinterpret_cast<const char*>(out.data()),
+          static_cast<std::streamsize>(limit));
+  f.flush();
+  if (!f) throw Error(ErrorCode::Io, "write failed for " + path);
+  if (limit != out.size()) {
+    // Injected torn write: the bytes above made it out, then the process
+    // "died" before finishing. Model the death as an I/O error.
+    throw Error(ErrorCode::Io, "injected torn write for " + path);
+  }
+}
+
 }  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
 
 void BinaryWriter::write_u32(std::uint32_t v) { append_raw(buf_, v); }
 void BinaryWriter::write_i64(std::int64_t v) { append_raw(buf_, v); }
@@ -37,6 +99,29 @@ void BinaryWriter::save(const std::string& path) const {
   if (!out) throw std::runtime_error("BinaryWriter::save: write failed for " + path);
 }
 
+void BinaryWriter::save_checked(const std::string& path,
+                                std::uint32_t format_version) const {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(kHeaderSize + buf_.size());
+  append_raw(framed, kContainerMagic);
+  append_raw(framed, format_version);
+  append_raw(framed, static_cast<std::uint64_t>(buf_.size()));
+  append_raw(framed, crc32(buf_.data(), buf_.size()));
+  framed.insert(framed.end(), buf_.begin(), buf_.end());
+
+  // Write-to-temp + rename: the file at `path` is only ever replaced by a
+  // complete, flushed image, so a crash at any point leaves either the old
+  // file or the new one — never a torn hybrid.
+  const std::string tmp = path + ".tmp";
+  write_file_with_faults(tmp, framed);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw Error(ErrorCode::Io, "rename " + tmp + " -> " + path + " failed");
+  }
+}
+
 BinaryReader::BinaryReader(std::vector<std::uint8_t> bytes) : buf_(std::move(bytes)) {}
 
 BinaryReader BinaryReader::load(const std::string& path) {
@@ -48,6 +133,51 @@ BinaryReader BinaryReader::load(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
   if (!in) throw std::runtime_error("BinaryReader::load: read failed for " + path);
   return BinaryReader(std::move(bytes));
+}
+
+BinaryReader BinaryReader::load_checked(const std::string& path,
+                                        std::uint32_t max_supported_version,
+                                        std::uint32_t* format_version) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error(ErrorCode::Io, "cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  if (size < kHeaderSize) {
+    throw Error(ErrorCode::Corrupt, path + ": too short to be an adsec container (" +
+                                        std::to_string(size) + " bytes)");
+  }
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw Error(ErrorCode::Io, "read failed for " + path);
+
+  std::uint32_t magic = 0, version = 0, crc_stored = 0;
+  std::uint64_t payload_size = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  std::memcpy(&version, bytes.data() + 4, 4);
+  std::memcpy(&payload_size, bytes.data() + 8, 8);
+  std::memcpy(&crc_stored, bytes.data() + 16, 4);
+  if (magic != kContainerMagic) {
+    throw Error(ErrorCode::Corrupt, path + ": bad magic (not an adsec container)");
+  }
+  if (version == 0 || version > max_supported_version) {
+    throw Error(ErrorCode::Corrupt,
+                path + ": unsupported format version " + std::to_string(version) +
+                    " (max supported " + std::to_string(max_supported_version) + ")");
+  }
+  if (payload_size != size - kHeaderSize) {
+    throw Error(ErrorCode::Corrupt,
+                path + ": truncated (header claims " + std::to_string(payload_size) +
+                    " payload bytes, file has " + std::to_string(size - kHeaderSize) +
+                    ")");
+  }
+  const std::uint32_t crc_actual =
+      crc32(bytes.data() + kHeaderSize, static_cast<std::size_t>(payload_size));
+  if (crc_actual != crc_stored) {
+    throw Error(ErrorCode::Corrupt, path + ": CRC mismatch (corrupt payload)");
+  }
+  if (format_version != nullptr) *format_version = version;
+  return BinaryReader(std::vector<std::uint8_t>(bytes.begin() + kHeaderSize,
+                                                bytes.end()));
 }
 
 void BinaryReader::need(std::size_t n) const {
@@ -90,6 +220,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<double> BinaryReader::read_f64_vector() {
   const auto n = read_u32();
+  need(static_cast<std::size_t>(n) * 8);  // validate before allocating
   std::vector<double> v(n);
   for (auto& x : v) x = read_f64();
   return v;

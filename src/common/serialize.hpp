@@ -1,8 +1,18 @@
-// Minimal binary serialization for trained policies (the policy zoo).
+// Minimal binary serialization for trained policies and checkpoints.
 //
-// Format: little-endian, a 4-byte magic + version, then tagged primitives.
-// This is deliberately simple — the only consumers are this library's own
-// save/load paths, which round-trip through the same code.
+// Two layers:
+//  - BinaryWriter/BinaryReader: little-endian tagged primitives. The only
+//    consumers are this library's own save/load paths, which round-trip
+//    through the same code.
+//  - The checked container (save_checked / load_checked): a magic/version/
+//    size/CRC32 header around the payload, written to a temp file and
+//    renamed into place. A crash, torn write, or flipped bit anywhere in
+//    the file is detected at load time as adsec::Error{Corrupt}, and a
+//    failed write never clobbers the previous good file. All durable
+//    artifacts (zoo policies, trainer checkpoints) go through this layer.
+//
+// File writes thread the "serialize.save" fault-injection point so tests
+// can fail, truncate, or corrupt the N-th write (common/fault_injection.hpp).
 #pragma once
 
 #include <cstdint>
@@ -10,6 +20,9 @@
 #include <vector>
 
 namespace adsec {
+
+// CRC-32 (IEEE 802.3, reflected) over `n` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 
 class BinaryWriter {
  public:
@@ -22,6 +35,12 @@ class BinaryWriter {
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   void save(const std::string& path) const;  // throws on I/O failure
 
+  // Crash-safe save: header (magic, format_version, payload size, CRC32)
+  // + payload written to `path + ".tmp"`, flushed, then renamed over
+  // `path`. Throws adsec::Error{Io} on failure, leaving any previous file
+  // at `path` untouched.
+  void save_checked(const std::string& path, std::uint32_t format_version) const;
+
  private:
   std::vector<std::uint8_t> buf_;
 };
@@ -30,6 +49,15 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::vector<std::uint8_t> bytes);
   static BinaryReader load(const std::string& path);  // throws on I/O failure
+
+  // Counterpart of BinaryWriter::save_checked: validates magic, version,
+  // size, and CRC before exposing the payload. Throws adsec::Error{Io} if
+  // the file can't be read, adsec::Error{Corrupt} if it fails validation
+  // or its version exceeds `max_supported_version`. On success
+  // *format_version (if non-null) receives the stored version.
+  static BinaryReader load_checked(const std::string& path,
+                                   std::uint32_t max_supported_version,
+                                   std::uint32_t* format_version = nullptr);
 
   std::uint32_t read_u32();
   std::int64_t read_i64();

@@ -7,6 +7,7 @@
 #include "common/angle.hpp"
 #include "attack/train_attack.hpp"
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "defense/finetune.hpp"
 #include "nn/io.hpp"
@@ -51,16 +52,40 @@ std::string PolicyZoo::path(const std::string& name) const {
   return dir_ + "/" + name + ".bin";
 }
 
+std::string PolicyZoo::ckpt_path(const std::string& name) const {
+  return dir_ + "/" + name + ".ckpt";
+}
+
+void PolicyZoo::arm_checkpoint(TrainConfig& cfg, const std::string& name) const {
+  const int every = runtime_config().checkpoint_every;
+  if (every <= 0) return;
+  cfg.checkpoint_every = every;
+  cfg.checkpoint_path = ckpt_path(name);
+  cfg.resume_from = cfg.checkpoint_path;
+}
+
 GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
                                           GaussianPolicy (PolicyZoo::*train)()) {
   const std::string file = path(name);
   if (file_exists(file)) {
     log_debug("zoo: loading %s", file.c_str());
-    return load_policy_file(file);
+    try {
+      return load_policy_file(file);
+    } catch (const Error& e) {
+      // A truncated or bit-rotted cache entry must not poison every
+      // consumer; the training that produced it is deterministic, so
+      // retraining recreates the identical policy.
+      log_warn("zoo: cached policy %s is unusable (%s); retraining", file.c_str(),
+               e.what());
+      std::filesystem::remove(file);
+    }
   }
   log_info("zoo: training %s (cache miss at %s)", name.c_str(), file.c_str());
   GaussianPolicy policy = (this->*train)();
   save_policy_file(policy, file);
+  // The finished policy supersedes any mid-training checkpoint.
+  std::error_code ec;
+  std::filesystem::remove(ckpt_path(name), ec);
   log_info("zoo: saved %s", file.c_str());
   return policy;
 }
@@ -94,7 +119,15 @@ GaussianPolicy PolicyZoo::pnn_column() {
 
 Mlp PolicyZoo::td3_attacker() {
   const std::string file = path("attacker_cam_td3");
-  if (file_exists(file)) return load_mlp_file(file);
+  if (file_exists(file)) {
+    try {
+      return load_mlp_file(file);
+    } catch (const Error& e) {
+      log_warn("zoo: cached policy %s is unusable (%s); retraining", file.c_str(),
+               e.what());
+      std::filesystem::remove(file);
+    }
+  }
   log_info("zoo: training attacker_cam_td3 (cache miss at %s)", file.c_str());
   auto victim = std::make_shared<E2EAgent>(driving_policy(), camera_, frame_stack_);
   Td3AttackSpec spec = default_td3_attack_spec(1.0);
@@ -180,6 +213,7 @@ GaussianPolicy PolicyZoo::train_driving_policy() {
   train_cfg.plateau_eps = 3.0;
   train_cfg.plateau_patience = 5;
   train_cfg.seed = 7;
+  arm_checkpoint(train_cfg, "pi_ori");
 
   Rng sac_rng(train_cfg.seed);
   Sac sac(policy, sac_cfg, sac_rng);
@@ -210,6 +244,7 @@ GaussianPolicy PolicyZoo::train_camera_attacker_vs_e2e() {
   spec.env.scenario = experiment_.scenario;
   spec.env.camera = camera_;
   spec.env.reward = experiment_.adv_reward;
+  arm_checkpoint(spec.train, "attacker_cam_e2e");
   return train_attacker(spec, std::move(victim));
 }
 
@@ -220,6 +255,7 @@ GaussianPolicy PolicyZoo::train_camera_attacker_vs_modular() {
   spec.env.camera = camera_;
   spec.env.reward = experiment_.adv_reward;
   spec.train.seed = 43;
+  arm_checkpoint(spec.train, "attacker_cam_modular");
   return train_attacker(spec, std::move(victim));
 }
 
@@ -232,6 +268,7 @@ GaussianPolicy PolicyZoo::train_imu_attacker() {
   spec.env.imu = imu_;
   spec.env.reward = experiment_.adv_reward;
   spec.train.seed = 44;
+  arm_checkpoint(spec.train, "attacker_imu");
   return train_attacker(spec, std::move(victim), &teacher);
 }
 
@@ -251,6 +288,7 @@ GaussianPolicy PolicyZoo::train_imu_attacker_no_pse() {
   spec.env.imu = imu_;
   spec.env.reward = experiment_.adv_reward;
   spec.train.seed = 45;
+  arm_checkpoint(spec.train, "attacker_imu_nopse");
   return train_attacker(spec, std::move(victim), /*teacher=*/nullptr);
 }
 
@@ -263,25 +301,31 @@ GaussianPolicy PolicyZoo::train_imu_attacker_pure_sac() {
   spec.bc_episodes = 0;  // the paper's unguided process
   spec.train.start_steps = scaled_steps(800, 40);
   spec.train.seed = 46;
+  arm_checkpoint(spec.train, "attacker_imu_puresac");
   return train_attacker(spec, std::move(victim), /*teacher=*/nullptr);
 }
 
 GaussianPolicy PolicyZoo::train_finetuned_r11() {
+  FinetuneSpec spec = default_finetune_spec(1.0 / 11.0);
+  arm_checkpoint(spec.train, "finetune_r11");
   return adversarial_finetune(driving_policy(), camera_attacker_vs_e2e(),
-                              experiment_.scenario, default_finetune_spec(1.0 / 11.0));
+                              experiment_.scenario, spec);
 }
 
 GaussianPolicy PolicyZoo::train_finetuned_r2() {
   FinetuneSpec spec = default_finetune_spec(0.5);
   spec.train.seed = 78;
+  arm_checkpoint(spec.train, "finetune_r2");
   return adversarial_finetune(driving_policy(), camera_attacker_vs_e2e(),
                               experiment_.scenario, spec);
 }
 
 GaussianPolicy PolicyZoo::train_pnn_column() {
+  PnnTrainSpec spec = default_pnn_spec();
+  arm_checkpoint(spec.train, "pnn_column");
   // Qualified call selects the free trainer in defense/pnn_agent.hpp.
   return adsec::train_pnn_column(driving_policy(), camera_attacker_vs_e2e(),
-                                 experiment_.scenario, default_pnn_spec());
+                                 experiment_.scenario, spec);
 }
 
 // ---------------------------------------------------------------- factories

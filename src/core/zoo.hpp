@@ -61,8 +61,15 @@ class PolicyZoo {
 
  private:
   std::string path(const std::string& name) const;
+  std::string ckpt_path(const std::string& name) const;
   GaussianPolicy cached_or_train(const std::string& name,
                                  GaussianPolicy (PolicyZoo::*train)());
+
+  // When ADSEC_CKPT_EVERY > 0, point `cfg` at <zoo>/<name>.ckpt for both
+  // periodic saves and resume, so a killed training run continues from its
+  // last checkpoint on the next start. cached_or_train removes the
+  // checkpoint once the finished policy is cached.
+  void arm_checkpoint(TrainConfig& cfg, const std::string& name) const;
 
   GaussianPolicy train_driving_policy();
   GaussianPolicy train_camera_attacker_vs_e2e();

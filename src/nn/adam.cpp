@@ -1,7 +1,10 @@
 #include "nn/adam.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace adsec {
 
@@ -51,6 +54,41 @@ void Adam::step() {
     }
     g.set_zero();
   }
+}
+
+void Adam::save(BinaryWriter& w) const {
+  w.write_string("adam");
+  w.write_i64(t_);
+  w.write_f64(config_.lr);
+  w.write_u32(static_cast<std::uint32_t>(m_.size()));
+  for (const auto& m : m_) w.write_f64_vector(m.to_vector());
+  for (const auto& v : v_) w.write_f64_vector(v.to_vector());
+}
+
+void Adam::restore(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "adam") throw Error(ErrorCode::Corrupt, "Adam::restore: bad tag '" + tag + "'");
+  const auto t = r.read_i64();
+  const double lr = r.read_f64();
+  const auto n = r.read_u32();
+  if (n != m_.size()) {
+    throw Error(ErrorCode::Corrupt, "Adam::restore: expected " +
+                                        std::to_string(m_.size()) +
+                                        " moment tensors, file has " + std::to_string(n));
+  }
+  auto read_into = [&r](std::vector<Matrix>& dst) {
+    for (auto& m : dst) {
+      const auto v = r.read_f64_vector();
+      if (v.size() != m.size()) {
+        throw Error(ErrorCode::Corrupt, "Adam::restore: moment shape mismatch");
+      }
+      std::copy(v.begin(), v.end(), m.data());
+    }
+  };
+  read_into(m_);
+  read_into(v_);
+  t_ = t;
+  config_.lr = lr;
 }
 
 }  // namespace adsec

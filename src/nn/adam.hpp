@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "nn/matrix.hpp"
 
 namespace adsec {
@@ -27,6 +28,13 @@ class Adam {
 
   void set_lr(double lr) { config_.lr = lr; }
   double lr() const { return config_.lr; }
+
+  // Checkpoint the optimizer trajectory: step count, current lr (which the
+  // divergence guard may have backed off), and both moment estimates.
+  // restore() requires the moment shapes to match this optimizer's params
+  // and throws adsec::Error{Corrupt} otherwise.
+  void save(BinaryWriter& w) const;
+  void restore(BinaryReader& r);
 
  private:
   std::vector<Matrix*> params_;

@@ -3,7 +3,27 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "common/error.hpp"
+
 namespace adsec {
+
+namespace {
+
+// The tagged-primitive decoders throw plain std::runtime_error on underrun
+// or bad tags; at the file boundary re-brand those as structured Corrupt
+// errors so callers (zoo, CLI) can classify the failure.
+template <typename F>
+auto decode_file(const std::string& path, F&& decode) {
+  try {
+    return decode();
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw Error(ErrorCode::Corrupt, path + ": " + e.what());
+  }
+}
+
+}  // namespace
 
 namespace {
 // Peek the tag by copying the reader state: BinaryReader has no rewind, so
@@ -43,23 +63,23 @@ GaussianPolicy load_gaussian_policy(BinaryReader& r) {
 void save_policy_file(const GaussianPolicy& policy, const std::string& path) {
   BinaryWriter w;
   policy.save(w);
-  w.save(path);
+  w.save_checked(path, kPolicyFormatVersion);
 }
 
 GaussianPolicy load_policy_file(const std::string& path) {
-  BinaryReader r = BinaryReader::load(path);
-  return load_gaussian_policy(r);
+  BinaryReader r = BinaryReader::load_checked(path, kPolicyFormatVersion);
+  return decode_file(path, [&] { return load_gaussian_policy(r); });
 }
 
 void save_mlp_file(const Mlp& mlp, const std::string& path) {
   BinaryWriter w;
   mlp.save(w);
-  w.save(path);
+  w.save_checked(path, kPolicyFormatVersion);
 }
 
 Mlp load_mlp_file(const std::string& path) {
-  BinaryReader r = BinaryReader::load(path);
-  return Mlp::load(r);
+  BinaryReader r = BinaryReader::load_checked(path, kPolicyFormatVersion);
+  return decode_file(path, [&] { return Mlp::load(r); });
 }
 
 bool file_exists(const std::string& path) {

@@ -1,5 +1,11 @@
 // Save/load entry points with trunk-type dispatch ("mlp" vs "pnn") and
 // convenience file-level helpers used by the policy zoo.
+//
+// File-level helpers write the CRC-checked atomic container from
+// common/serialize.hpp, so a truncated, torn, or bit-rotted policy file is
+// rejected at load time as adsec::Error{Corrupt} instead of yielding
+// undefined network weights; the zoo treats that as a cache miss and
+// retrains.
 #pragma once
 
 #include <memory>
@@ -10,12 +16,17 @@
 
 namespace adsec {
 
+// Container format version for policy/mlp files (bump on layout changes).
+inline constexpr std::uint32_t kPolicyFormatVersion = 1;
+
 // Reads a trunk saved by Mlp::save or PnnTrunk::save.
 std::unique_ptr<Trunk> load_trunk(BinaryReader& r);
 
 // Counterpart of GaussianPolicy::save.
 GaussianPolicy load_gaussian_policy(BinaryReader& r);
 
+// Atomic, CRC-framed file I/O. Loads throw adsec::Error{Io} when the file
+// can't be read and adsec::Error{Corrupt} when validation fails.
 void save_policy_file(const GaussianPolicy& policy, const std::string& path);
 GaussianPolicy load_policy_file(const std::string& path);
 

@@ -1,0 +1,181 @@
+#include "rl/checkpoint.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/io.hpp"
+
+namespace adsec {
+
+namespace {
+
+// The determinism-relevant TrainConfig fields. Any difference between the
+// run that wrote a checkpoint and the run resuming it would make the
+// "resumed" trajectory diverge from the uninterrupted one, so all of these
+// are echoed into the checkpoint and verified on load. total_steps is
+// deliberately NOT checked — extending a finished run's budget is a
+// legitimate reason to resume.
+struct ConfigEcho {
+  std::int64_t start_steps, update_after, update_every, updates_per_burst;
+  std::int64_t replay_capacity, eval_every, eval_episodes, plateau_patience;
+  std::uint64_t seed, eval_seed_base;
+  double plateau_eps;
+};
+
+ConfigEcho make_echo(const TrainConfig& c) {
+  return {c.start_steps,   c.update_after, c.update_every,  c.updates_per_burst,
+          c.replay_capacity, c.eval_every, c.eval_episodes, c.plateau_patience,
+          c.seed,           c.eval_seed_base, c.plateau_eps};
+}
+
+void write_echo(BinaryWriter& w, const ConfigEcho& e) {
+  w.write_i64(e.start_steps);
+  w.write_i64(e.update_after);
+  w.write_i64(e.update_every);
+  w.write_i64(e.updates_per_burst);
+  w.write_i64(e.replay_capacity);
+  w.write_i64(e.eval_every);
+  w.write_i64(e.eval_episodes);
+  w.write_i64(e.plateau_patience);
+  w.write_i64(static_cast<std::int64_t>(e.seed));
+  w.write_i64(static_cast<std::int64_t>(e.eval_seed_base));
+  w.write_f64(e.plateau_eps);
+}
+
+void check_echo(BinaryReader& r, const TrainConfig& config) {
+  const ConfigEcho want = make_echo(config);
+  ConfigEcho got;
+  got.start_steps = r.read_i64();
+  got.update_after = r.read_i64();
+  got.update_every = r.read_i64();
+  got.updates_per_burst = r.read_i64();
+  got.replay_capacity = r.read_i64();
+  got.eval_every = r.read_i64();
+  got.eval_episodes = r.read_i64();
+  got.plateau_patience = r.read_i64();
+  got.seed = static_cast<std::uint64_t>(r.read_i64());
+  got.eval_seed_base = static_cast<std::uint64_t>(r.read_i64());
+  got.plateau_eps = r.read_f64();
+
+  auto mismatch = [](const char* field, auto want_v, auto got_v) {
+    throw Error(ErrorCode::Config,
+                std::string("checkpoint was written with a different TrainConfig: ") +
+                    field + " is " + std::to_string(got_v) + " in the checkpoint but " +
+                    std::to_string(want_v) +
+                    " now; resume with the original config or delete the checkpoint");
+  };
+  if (got.start_steps != want.start_steps) mismatch("start_steps", want.start_steps, got.start_steps);
+  if (got.update_after != want.update_after) mismatch("update_after", want.update_after, got.update_after);
+  if (got.update_every != want.update_every) mismatch("update_every", want.update_every, got.update_every);
+  if (got.updates_per_burst != want.updates_per_burst) mismatch("updates_per_burst", want.updates_per_burst, got.updates_per_burst);
+  if (got.replay_capacity != want.replay_capacity) mismatch("replay_capacity", want.replay_capacity, got.replay_capacity);
+  if (got.eval_every != want.eval_every) mismatch("eval_every", want.eval_every, got.eval_every);
+  if (got.eval_episodes != want.eval_episodes) mismatch("eval_episodes", want.eval_episodes, got.eval_episodes);
+  if (got.plateau_patience != want.plateau_patience) mismatch("plateau_patience", want.plateau_patience, got.plateau_patience);
+  if (got.seed != want.seed) mismatch("seed", want.seed, got.seed);
+  if (got.eval_seed_base != want.eval_seed_base) mismatch("eval_seed_base", want.eval_seed_base, got.eval_seed_base);
+  if (got.plateau_eps != want.plateau_eps && !(std::isnan(got.plateau_eps) && std::isnan(want.plateau_eps))) {
+    mismatch("plateau_eps", want.plateau_eps, got.plateau_eps);
+  }
+}
+
+void write_rng_state(BinaryWriter& w, const RngState& s) {
+  w.write_i64(static_cast<std::int64_t>(s.state));
+  w.write_i64(static_cast<std::int64_t>(s.inc));
+  w.write_u32(s.has_cached ? 1u : 0u);
+  w.write_f64(s.cached);
+}
+
+RngState read_rng_state(BinaryReader& r) {
+  RngState s;
+  s.state = static_cast<std::uint64_t>(r.read_i64());
+  s.inc = static_cast<std::uint64_t>(r.read_i64());
+  s.has_cached = r.read_u32() != 0;
+  s.cached = r.read_f64();
+  return s;
+}
+
+void write_result(BinaryWriter& w, const TrainResult& res) {
+  w.write_f64_vector(res.episode_returns);
+  w.write_f64_vector(res.eval_returns);
+  w.write_i64(res.steps_done);
+  w.write_u32(res.stopped_on_plateau ? 1u : 0u);
+  w.write_i64(res.recoveries);
+  w.write_f64(res.best_eval_return);
+  w.write_u32(res.best_actor.has_value() ? 1u : 0u);
+  if (res.best_actor) res.best_actor->save(w);
+}
+
+TrainResult read_result(BinaryReader& r) {
+  TrainResult res;
+  res.episode_returns = r.read_f64_vector();
+  res.eval_returns = r.read_f64_vector();
+  res.steps_done = static_cast<int>(r.read_i64());
+  res.stopped_on_plateau = r.read_u32() != 0;
+  res.recoveries = static_cast<int>(r.read_i64());
+  res.best_eval_return = r.read_f64();
+  if (r.read_u32() != 0) res.best_actor = load_gaussian_policy(r);
+  return res;
+}
+
+}  // namespace
+
+void write_checkpoint(BinaryWriter& w, const Sac& sac, const ReplayBuffer& buffer,
+                      const TrainConfig& config, const TrainLoopState& st) {
+  w.write_string("train_checkpoint");
+  write_echo(w, make_echo(config));
+  w.write_i64(st.step);
+  w.write_i64(static_cast<std::int64_t>(st.episode));
+  w.write_f64(st.ep_return);
+  w.write_u32(static_cast<std::uint32_t>(st.ep_actions.size()));
+  for (const auto& a : st.ep_actions) w.write_f64_vector(a);
+  w.write_f64(st.plateau_best);
+  w.write_i64(st.evals_since_improvement);
+  w.write_i64(st.recoveries);
+  write_rng_state(w, st.rng);
+  write_result(w, st.result);
+  sac.save(w);
+  buffer.save(w);
+}
+
+void read_checkpoint(BinaryReader& r, Sac& sac, ReplayBuffer& buffer,
+                     const TrainConfig& config, TrainLoopState& st) {
+  const std::string tag = r.read_string();
+  if (tag != "train_checkpoint") {
+    throw Error(ErrorCode::Corrupt, "read_checkpoint: bad tag '" + tag + "'");
+  }
+  check_echo(r, config);
+  TrainLoopState loaded;
+  loaded.step = static_cast<int>(r.read_i64());
+  loaded.episode = static_cast<std::uint64_t>(r.read_i64());
+  loaded.ep_return = r.read_f64();
+  const auto n_actions = r.read_u32();
+  loaded.ep_actions.reserve(n_actions);
+  for (std::uint32_t k = 0; k < n_actions; ++k) {
+    loaded.ep_actions.push_back(r.read_f64_vector());
+  }
+  loaded.plateau_best = r.read_f64();
+  loaded.evals_since_improvement = static_cast<int>(r.read_i64());
+  loaded.recoveries = static_cast<int>(r.read_i64());
+  loaded.rng = read_rng_state(r);
+  loaded.result = read_result(r);
+  sac.restore(r);
+  buffer.restore(r);
+  st = std::move(loaded);
+}
+
+void save_checkpoint_file(const std::string& path, const Sac& sac,
+                          const ReplayBuffer& buffer, const TrainConfig& config,
+                          const TrainLoopState& st) {
+  BinaryWriter w;
+  write_checkpoint(w, sac, buffer, config, st);
+  w.save_checked(path, kCheckpointFormatVersion);
+}
+
+void load_checkpoint_file(const std::string& path, Sac& sac, ReplayBuffer& buffer,
+                          const TrainConfig& config, TrainLoopState& st) {
+  BinaryReader r = BinaryReader::load_checked(path, kCheckpointFormatVersion);
+  read_checkpoint(r, sac, buffer, config, st);
+}
+
+}  // namespace adsec

@@ -1,0 +1,56 @@
+// Crash-safe training checkpoints.
+//
+// A checkpoint freezes EVERYTHING train_sac needs to continue bit-for-bit:
+// the Sac networks and optimizer moments, the replay buffer, the training
+// RNG stream position, the loop counters, the eval/plateau history, and the
+// action log of the in-flight episode. Environments are stateful and
+// non-serializable, so the env is NOT stored — instead resume re-seeds the
+// episode and replays the logged actions, which reconstructs the exact env
+// state because episodes are deterministic given (seed, actions).
+//
+// Files use the CRC-checked atomic container (common/serialize.hpp): a
+// write either publishes a complete, validated image or leaves the previous
+// checkpoint untouched. The serialized TrainConfig echo is verified on
+// load, so resuming under a different training configuration fails loudly
+// with adsec::Error{Config} instead of silently diverging from the
+// uninterrupted run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rl/trainer.hpp"
+
+namespace adsec {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+// Loop-position state alongside the Sac/replay snapshot.
+struct TrainLoopState {
+  int step{0};              // last completed training step
+  std::uint64_t episode{0};  // current episode index (seeds env resets)
+  double ep_return{0.0};     // return accumulated in the unfinished episode
+  std::vector<std::vector<double>> ep_actions;  // its actions, for env replay
+  double plateau_best{-1e300};
+  int evals_since_improvement{0};
+  int recoveries{0};  // divergence-guard rollbacks performed so far
+  RngState rng;
+  TrainResult result;  // history so far (episode/eval returns, best actor)
+};
+
+// Payload-level (de)serialization. read_checkpoint throws
+// adsec::Error{Config} when the stored config echo disagrees with `config`
+// and adsec::Error{Corrupt} on structural mismatches.
+void write_checkpoint(BinaryWriter& w, const Sac& sac, const ReplayBuffer& buffer,
+                      const TrainConfig& config, const TrainLoopState& st);
+void read_checkpoint(BinaryReader& r, Sac& sac, ReplayBuffer& buffer,
+                     const TrainConfig& config, TrainLoopState& st);
+
+// File-level wrappers over the checked atomic container.
+void save_checkpoint_file(const std::string& path, const Sac& sac,
+                          const ReplayBuffer& buffer, const TrainConfig& config,
+                          const TrainLoopState& st);
+void load_checkpoint_file(const std::string& path, Sac& sac, ReplayBuffer& buffer,
+                          const TrainConfig& config, TrainLoopState& st);
+
+}  // namespace adsec

@@ -1,7 +1,10 @@
 #include "rl/replay.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace adsec {
 
@@ -60,6 +63,65 @@ Batch ReplayBuffer::sample(int batch_size, Rng& rng) const {
 void ReplayBuffer::clear() {
   size_ = 0;
   head_ = 0;
+}
+
+void ReplayBuffer::save(BinaryWriter& w) const {
+  w.write_string("replay");
+  w.write_u32(static_cast<std::uint32_t>(capacity_));
+  w.write_u32(static_cast<std::uint32_t>(obs_dim_));
+  w.write_u32(static_cast<std::uint32_t>(act_dim_));
+  w.write_u32(static_cast<std::uint32_t>(size_));
+  w.write_u32(static_cast<std::uint32_t>(head_));
+  // While size_ < capacity_ the ring has never wrapped (head_ == size_), so
+  // rows [0, size_) are exactly the occupied region; once full, all rows are
+  // live. Either way `size_` rows capture the complete state.
+  auto write_rows = [&](const std::vector<double>& v, int row_dim) {
+    std::vector<double> rows(v.begin(),
+                             v.begin() + static_cast<std::size_t>(size_) * row_dim);
+    w.write_f64_vector(rows);
+  };
+  write_rows(obs_, obs_dim_);
+  write_rows(act_, act_dim_);
+  write_rows(rew_, 1);
+  write_rows(next_obs_, obs_dim_);
+  write_rows(done_, 1);
+}
+
+void ReplayBuffer::restore(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "replay") {
+    throw Error(ErrorCode::Corrupt, "ReplayBuffer::restore: bad tag '" + tag + "'");
+  }
+  const auto capacity = static_cast<int>(r.read_u32());
+  const auto obs_dim = static_cast<int>(r.read_u32());
+  const auto act_dim = static_cast<int>(r.read_u32());
+  const auto size = static_cast<int>(r.read_u32());
+  const auto head = static_cast<int>(r.read_u32());
+  if (capacity != capacity_ || obs_dim != obs_dim_ || act_dim != act_dim_) {
+    throw Error(ErrorCode::Corrupt,
+                "ReplayBuffer::restore: checkpoint buffer shape (" +
+                    std::to_string(capacity) + ", " + std::to_string(obs_dim) + ", " +
+                    std::to_string(act_dim) + ") does not match (" +
+                    std::to_string(capacity_) + ", " + std::to_string(obs_dim_) + ", " +
+                    std::to_string(act_dim_) + ")");
+  }
+  if (size < 0 || size > capacity || head < 0 || head >= std::max(1, capacity)) {
+    throw Error(ErrorCode::Corrupt, "ReplayBuffer::restore: bad ring position");
+  }
+  auto read_rows = [&](std::vector<double>& dst, int row_dim) {
+    const auto rows = r.read_f64_vector();
+    if (rows.size() != static_cast<std::size_t>(size) * row_dim) {
+      throw Error(ErrorCode::Corrupt, "ReplayBuffer::restore: row count mismatch");
+    }
+    std::copy(rows.begin(), rows.end(), dst.begin());
+  };
+  read_rows(obs_, obs_dim_);
+  read_rows(act_, act_dim_);
+  read_rows(rew_, 1);
+  read_rows(next_obs_, obs_dim_);
+  read_rows(done_, 1);
+  size_ = size;
+  head_ = head;
 }
 
 }  // namespace adsec

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "nn/matrix.hpp"
 
 namespace adsec {
@@ -29,6 +30,14 @@ class ReplayBuffer {
   int size() const { return size_; }
   int capacity() const { return capacity_; }
   void clear();
+
+  // Checkpoint the buffer contents and ring position. While the buffer is
+  // not yet full only the occupied prefix is written, so early checkpoints
+  // stay small. restore() requires matching capacity/dims (it refills a
+  // buffer constructed from the same TrainConfig) and throws
+  // adsec::Error{Corrupt} otherwise.
+  void save(BinaryWriter& w) const;
+  void restore(BinaryReader& r);
 
  private:
   int capacity_;

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
+#include "nn/io.hpp"
+
 namespace adsec {
+
+namespace {
+
+// Copy parameter data from `src` into `dst` without replacing the matrices
+// themselves — the Adam optimizers hold raw pointers into `dst`, so the
+// storage must stay put across a restore.
+void copy_params(std::vector<Matrix*> dst, std::vector<Matrix*> src,
+                 const char* what) {
+  if (dst.size() != src.size()) {
+    throw Error(ErrorCode::Corrupt,
+                std::string("Sac::restore: ") + what + " parameter count mismatch");
+  }
+  for (std::size_t k = 0; k < dst.size(); ++k) {
+    if (dst[k]->rows() != src[k]->rows() || dst[k]->cols() != src[k]->cols()) {
+      throw Error(ErrorCode::Corrupt,
+                  std::string("Sac::restore: ") + what + " parameter shape mismatch");
+    }
+    std::copy(src[k]->data(), src[k]->data() + src[k]->size(), dst[k]->data());
+  }
+}
+
+bool params_finite(std::vector<Matrix*> params) {
+  for (const Matrix* m : params) {
+    for (std::size_t i = 0; i < m->size(); ++i) {
+      if (!std::isfinite(m->data()[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Sac::Sac(int obs_dim, int act_dim, const SacConfig& config, Rng& rng)
     : config_(config),
@@ -150,6 +184,59 @@ void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
   q1_target_.soft_update_from(q1_, config_.tau);
   q2_target_.soft_update_from(q2_, config_.tau);
   ++updates_;
+}
+
+void Sac::save(BinaryWriter& w) const {
+  w.write_string("sac");
+  actor_.save(w);
+  q1_.save(w);
+  q2_.save(w);
+  q1_target_.save(w);
+  q2_target_.save(w);
+  actor_opt_->save(w);
+  q1_opt_->save(w);
+  q2_opt_->save(w);
+  w.write_f64(log_alpha_);
+  w.write_i64(updates_);
+  w.write_f64(last_critic_loss_);
+  w.write_f64(last_actor_loss_);
+}
+
+void Sac::restore(BinaryReader& r) {
+  const std::string tag = r.read_string();
+  if (tag != "sac") throw Error(ErrorCode::Corrupt, "Sac::restore: bad tag '" + tag + "'");
+  GaussianPolicy actor = load_gaussian_policy(r);
+  Mlp q1 = Mlp::load(r);
+  Mlp q2 = Mlp::load(r);
+  Mlp q1t = Mlp::load(r);
+  Mlp q2t = Mlp::load(r);
+  copy_params(actor_.params(), actor.params(), "actor");
+  copy_params(q1_.params(), q1.params(), "q1");
+  copy_params(q2_.params(), q2.params(), "q2");
+  copy_params(q1_target_.params(), q1t.params(), "q1_target");
+  copy_params(q2_target_.params(), q2t.params(), "q2_target");
+  actor_opt_->restore(r);
+  q1_opt_->restore(r);
+  q2_opt_->restore(r);
+  log_alpha_ = r.read_f64();
+  updates_ = r.read_i64();
+  last_critic_loss_ = r.read_f64();
+  last_actor_loss_ = r.read_f64();
+}
+
+void Sac::scale_lr(double s) {
+  actor_opt_->set_lr(actor_opt_->lr() * s);
+  q1_opt_->set_lr(q1_opt_->lr() * s);
+  q2_opt_->set_lr(q2_opt_->lr() * s);
+}
+
+bool Sac::state_finite() {
+  if (!std::isfinite(last_critic_loss_) || !std::isfinite(last_actor_loss_) ||
+      !std::isfinite(log_alpha_)) {
+    return false;
+  }
+  return params_finite(actor_.params()) && params_finite(q1_.params()) &&
+         params_finite(q2_.params());
 }
 
 }  // namespace adsec

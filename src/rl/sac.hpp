@@ -61,6 +61,24 @@ class Sac {
   double last_critic_loss() const { return last_critic_loss_; }
   double last_actor_loss() const { return last_actor_loss_; }
 
+  // Checkpoint the complete trainer-visible state: actor and critic weights
+  // (including Polyak targets), all three Adam optimizers' moments and step
+  // counts, the entropy temperature, and the update counter. restore()
+  // copies weights INTO the existing networks of a Sac built from the same
+  // config — the optimizers keep their parameter pointers — and throws
+  // adsec::Error{Corrupt} on any architecture mismatch.
+  void save(BinaryWriter& w) const;
+  void restore(BinaryReader& r);
+
+  // Multiply the actor and critic learning rates by `s` (divergence-guard
+  // backoff). The scaled rates persist through save()/restore().
+  void scale_lr(double s);
+
+  // False if any actor/critic parameter or last loss is NaN/Inf — the
+  // divergence guard's health probe. (Non-const: parameter access goes
+  // through Trunk::params().)
+  bool state_finite();
+
  private:
   void init(int obs_dim, int act_dim, Rng& rng);
 

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "rl/env.hpp"
 #include "rl/sac.hpp"
@@ -44,6 +45,31 @@ struct TrainConfig {
   // hardware_concurrency.
   EnvFactory eval_env_factory;
   int eval_jobs = 1;
+
+  // ---- Resilience (rl/checkpoint.hpp) ----
+  // Every checkpoint_every steps the full trainer state is snapshotted in
+  // memory (the divergence guard's rollback target) and, when
+  // checkpoint_path is set, written to disk through the CRC-checked atomic
+  // container. A run resumed from such a checkpoint is bit-identical to the
+  // uninterrupted run. 0 disables both.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  // When set, train_sac loads this checkpoint before training. A missing or
+  // corrupt file logs a warning and starts fresh (the crash may have been
+  // mid-write); a checkpoint from a different TrainConfig throws
+  // adsec::Error{Config}.
+  std::string resume_from;
+
+  // Divergence guard: when a gradient update produces NaN/Inf anywhere in
+  // the losses or network parameters, roll back to the last good snapshot,
+  // multiply the learning rates by lr_backoff, and retry — up to
+  // max_recoveries times, after which adsec::Error{Diverged} is thrown.
+  int max_recoveries = 3;
+  double lr_backoff = 0.5;
+
+  // Rejects inconsistent settings with adsec::Error{Config} (called by
+  // train_sac; public so callers can validate up front).
+  void validate() const;
 };
 
 struct TrainResult {
@@ -51,6 +77,7 @@ struct TrainResult {
   std::vector<double> eval_returns;  // mean return at each evaluation
   int steps_done{0};
   bool stopped_on_plateau{false};
+  int recoveries{0};  // divergence rollbacks performed during the run
 
   // Snapshot of the actor at its best evaluation (set when eval_every > 0).
   // SAC's final iterate can be noisier than its best — deploy this one.

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <exception>
 
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+
 namespace adsec {
 
 namespace {
@@ -55,6 +58,11 @@ std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
   pending.reserve(static_cast<std::size_t>(episodes));
   for (int k = 0; k < episodes; ++k) {
     pending.push_back(pool.submit([&, k] {
+      if (fault_injector().fire("runtime.worker")) {
+        throw Error(ErrorCode::Internal,
+                    "injected fault in rollout worker (episode " +
+                        std::to_string(k) + ")");
+      }
       const int w = WorkStealingPool::current_worker_index();
       auto& ctx = contexts[static_cast<std::size_t>(w)];
       if (!ctx) {

@@ -1,0 +1,57 @@
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adsec {
+namespace {
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void TearDown() override { fault_injector().reset(); }
+};
+
+TEST_F(FaultInjection, DisarmedFiresNothing) {
+  EXPECT_FALSE(fault_injector().fire("any.point").has_value());
+  EXPECT_EQ(fault_injector().hits("any.point"), 0);
+}
+
+TEST_F(FaultInjection, FiresExactlyOnceThenDisarms) {
+  fault_injector().arm("p", FaultKind::FailWrite);
+  const auto first = fault_injector().fire("p");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, FaultKind::FailWrite);
+  EXPECT_FALSE(fault_injector().fire("p").has_value());
+}
+
+TEST_F(FaultInjection, FireAtNthHit) {
+  fault_injector().arm("p", FaultKind::Throw, /*fire_at=*/3);
+  EXPECT_FALSE(fault_injector().fire("p").has_value());
+  EXPECT_FALSE(fault_injector().fire("p").has_value());
+  EXPECT_TRUE(fault_injector().fire("p").has_value());
+  EXPECT_EQ(fault_injector().hits("p"), 3);
+}
+
+TEST_F(FaultInjection, PointsAreIndependent) {
+  fault_injector().arm("a", FaultKind::FlipByte);
+  EXPECT_FALSE(fault_injector().fire("b").has_value());
+  EXPECT_TRUE(fault_injector().fire("a").has_value());
+}
+
+TEST_F(FaultInjection, RearmReplacesPlan) {
+  fault_injector().arm("p", FaultKind::FailWrite, /*fire_at=*/5);
+  fault_injector().arm("p", FaultKind::TruncateWrite, /*fire_at=*/1);
+  const auto fired = fault_injector().fire("p");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, FaultKind::TruncateWrite);
+}
+
+TEST_F(FaultInjection, ResetDisarmsEverything) {
+  fault_injector().arm("a", FaultKind::FailWrite);
+  fault_injector().arm("b", FaultKind::Throw);
+  fault_injector().reset();
+  EXPECT_FALSE(fault_injector().fire("a").has_value());
+  EXPECT_FALSE(fault_injector().fire("b").has_value());
+}
+
+}  // namespace
+}  // namespace adsec

@@ -84,6 +84,33 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
 }
 
+TEST(Rng, StateRoundTripResumesStreamExactly) {
+  Rng rng(41);
+  for (int i = 0; i < 7; ++i) rng.normal();  // leaves a Box-Muller cache
+  const RngState snap = rng.get_state();
+
+  std::vector<double> expect;
+  for (int i = 0; i < 32; ++i) expect.push_back(rng.normal());
+
+  Rng other(999);  // arbitrary position, fully overwritten by set_state
+  other.set_state(snap);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(other.normal(), expect[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+TEST(Rng, StateCapturesBoxMullerCache) {
+  // After an odd number of normal() calls the second Box-Muller value is
+  // cached; a snapshot that dropped it would shift the resumed stream.
+  Rng a(43);
+  a.normal();
+  Rng b(43);
+  b.normal();
+  b.set_state(a.get_state());
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
 TEST(Rng, SplitStreamsAreIndependentlySeeded) {
   Rng parent(31);
   Rng c1 = parent.split();

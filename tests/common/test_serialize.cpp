@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace adsec {
 namespace {
@@ -73,6 +78,151 @@ TEST(Serialize, SaveBadPathThrows) {
   BinaryWriter w;
   w.write_u32(1);
   EXPECT_THROW(w.save("/nonexistent-dir-xyz/f.bin"), std::runtime_error);
+}
+
+TEST(Serialize, Crc32KnownValue) {
+  // IEEE 802.3 CRC of "123456789" is the classic check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+// ---- Checked atomic container ----
+
+class CheckedContainer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/adsec_checked_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/payload.bin";
+  }
+  void TearDown() override {
+    fault_injector().reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static BinaryWriter sample_writer() {
+    BinaryWriter w;
+    w.write_string("checked-payload");
+    w.write_f64(2.718);
+    return w;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(CheckedContainer, RoundTripValidatesAndReportsVersion) {
+  sample_writer().save_checked(path_, /*format_version=*/3);
+  std::uint32_t version = 0;
+  BinaryReader r = BinaryReader::load_checked(path_, /*max_supported_version=*/3,
+                                              &version);
+  EXPECT_EQ(version, 3u);
+  EXPECT_EQ(r.read_string(), "checked-payload");
+  EXPECT_DOUBLE_EQ(r.read_f64(), 2.718);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));  // tmp renamed away
+}
+
+TEST_F(CheckedContainer, MissingFileIsIoError) {
+  try {
+    BinaryReader::load_checked(dir_ + "/absent.bin", 1);
+    FAIL() << "expected Error{Io}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io);
+  }
+}
+
+TEST_F(CheckedContainer, GarbageFileIsCorrupt) {
+  std::ofstream(path_, std::ios::binary) << "this is not a checked container";
+  try {
+    BinaryReader::load_checked(path_, 1);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+}
+
+TEST_F(CheckedContainer, TruncationAnywhereIsDetected) {
+  sample_writer().save_checked(path_, 1);
+  std::ifstream in(path_, std::ios::binary);
+  const std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  in.close();
+  // Every proper prefix — header cut short, payload cut short — must fail
+  // validation rather than decode garbage.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{11},
+                           full.size() / 2, full.size() - 1}) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(BinaryReader::load_checked(path_, 1), Error) << "keep=" << keep;
+  }
+}
+
+TEST_F(CheckedContainer, EveryFlippedBitIsDetected) {
+  sample_writer().save_checked(path_, 1);
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    std::vector<char> bad = full;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    out.close();
+    EXPECT_THROW(BinaryReader::load_checked(path_, 1), Error) << "byte " << i;
+  }
+}
+
+TEST_F(CheckedContainer, FutureVersionIsRejected) {
+  sample_writer().save_checked(path_, /*format_version=*/7);
+  try {
+    BinaryReader::load_checked(path_, /*max_supported_version=*/6);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+}
+
+TEST_F(CheckedContainer, InjectedFailWriteLeavesPreviousFileIntact) {
+  sample_writer().save_checked(path_, 1);
+  BinaryWriter other;
+  other.write_string("new-payload");
+  fault_injector().arm("serialize.save", FaultKind::FailWrite);
+  try {
+    other.save_checked(path_, 1);
+    FAIL() << "expected Error{Io}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io);
+  }
+  // The old file still loads — a failed write never clobbers it.
+  BinaryReader r = BinaryReader::load_checked(path_, 1);
+  EXPECT_EQ(r.read_string(), "checked-payload");
+}
+
+TEST_F(CheckedContainer, InjectedTornWriteLeavesPreviousFileIntact) {
+  sample_writer().save_checked(path_, 1);
+  BinaryWriter other;
+  other.write_string("new-payload");
+  fault_injector().arm("serialize.save", FaultKind::TruncateWrite);
+  EXPECT_THROW(other.save_checked(path_, 1), Error);
+  BinaryReader r = BinaryReader::load_checked(path_, 1);
+  EXPECT_EQ(r.read_string(), "checked-payload");
+}
+
+TEST_F(CheckedContainer, InjectedBitRotIsCaughtAtLoad) {
+  // FlipByte corrupts the image but lets the write "succeed" — the torn
+  // file is published. The CRC catches it at load time.
+  fault_injector().arm("serialize.save", FaultKind::FlipByte);
+  sample_writer().save_checked(path_, 1);
+  try {
+    BinaryReader::load_checked(path_, 1);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
 }
 
 }  // namespace

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "nn/io.hpp"
 
 namespace adsec {
@@ -89,6 +92,81 @@ TEST_F(ZooTest, FactoriesProduceWorkingAgents) {
   EXPECT_NO_THROW(run_episode(*e2e, imu_att.get(), cfg, 1));
   pnn->set_attack_budget_estimate(1.0);
   EXPECT_NO_THROW(run_episode(*pnn, nullptr, cfg, 1));
+}
+
+TEST_F(ZooTest, CorruptCacheEntryTriggersRetraining) {
+  // First train + cache normally.
+  PolicyZoo zoo(dir_);
+  GaussianPolicy good = zoo.driving_policy();
+  const std::string file = dir_ + "/pi_ori.bin";
+  ASSERT_TRUE(file_exists(file));
+
+  // Truncate the cached file to half: the CRC-checked loader must reject it
+  // and the zoo must retrain instead of crashing every consumer.
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  PolicyZoo zoo2(dir_);
+  GaussianPolicy retrained = zoo2.driving_policy();
+
+  // Training is deterministic, so the retrained policy matches the original
+  // and the cache file is whole again.
+  Rng rng(1);
+  Matrix obs = Matrix::randn(1, good.obs_dim(), rng, 1.0);
+  EXPECT_DOUBLE_EQ(good.mean_action(obs)(0, 0), retrained.mean_action(obs)(0, 0));
+  EXPECT_NO_THROW(load_policy_file(file));
+}
+
+TEST_F(ZooTest, GarbageCacheEntryTriggersRetraining) {
+  PolicyZoo zoo(dir_);
+  const std::string file = dir_ + "/pi_ori.bin";
+  std::filesystem::create_directories(dir_);
+  std::ofstream(file, std::ios::binary) << "zoo cache full of garbage bytes here";
+  ASSERT_TRUE(file_exists(file));
+  GaussianPolicy p = zoo.driving_policy();  // must retrain, not throw
+  EXPECT_EQ(p.act_dim(), 2);
+  EXPECT_NO_THROW(load_policy_file(file));
+}
+
+TEST_F(ZooTest, KilledTrainingResumesFromCheckpoint) {
+  // End-to-end crash-safety through the zoo: enable checkpointing, kill
+  // training mid-run with an injected abort, then rerun — the second run
+  // resumes from <zoo>/<name>.ckpt and produces the identical cached policy
+  // bit-for-bit (training is deterministic).
+  const int saved_every = runtime_config().checkpoint_every;
+  runtime_config().checkpoint_every = 40;
+
+  fault_injector().arm("trainer.abort", FaultKind::Throw, /*fire_at=*/150);
+  {
+    PolicyZoo zoo(dir_);
+    EXPECT_THROW(zoo.driving_policy(), Error);
+  }
+  fault_injector().reset();
+  EXPECT_TRUE(file_exists(dir_ + "/pi_ori.ckpt"));
+  EXPECT_FALSE(file_exists(dir_ + "/pi_ori.bin"));
+
+  PolicyZoo zoo_resume(dir_);
+  GaussianPolicy resumed = zoo_resume.driving_policy();
+  EXPECT_TRUE(file_exists(dir_ + "/pi_ori.bin"));
+  // The finished policy supersedes the checkpoint, which is cleaned up.
+  EXPECT_FALSE(file_exists(dir_ + "/pi_ori.ckpt"));
+
+  // Reference: the same training uninterrupted in a sibling zoo dir.
+  const std::string ref_dir = dir_ + "_ref";
+  std::filesystem::remove_all(ref_dir);
+  PolicyZoo zoo_ref(ref_dir);
+  GaussianPolicy ref = zoo_ref.driving_policy();
+  Rng rng(1);
+  Matrix obs = Matrix::randn(1, ref.obs_dim(), rng, 1.0);
+  EXPECT_DOUBLE_EQ(resumed.mean_action(obs)(0, 0), ref.mean_action(obs)(0, 0));
+  std::filesystem::remove_all(ref_dir);
+
+  runtime_config().checkpoint_every = saved_every;
 }
 
 TEST_F(ZooTest, Td3AttackerTrainsCachesAndRuns) {

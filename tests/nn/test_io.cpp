@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
 
 namespace adsec {
 namespace {
@@ -73,6 +76,67 @@ TEST(NnIo, BadTagThrows) {
 
 TEST(NnIo, FileExists) {
   EXPECT_FALSE(file_exists("/no/such/path/at/all.bin"));
+}
+
+TEST(NnIo, LoadPolicyFileRejectsTruncation) {
+  Rng rng(11);
+  GaussianPolicy pi = GaussianPolicy::make_mlp(3, {4}, 1, rng);
+  const std::string path = ::testing::TempDir() + "/adsec_truncated_policy.bin";
+  save_policy_file(pi, path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+
+  try {
+    load_policy_file(path);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NnIo, LoadPolicyFileRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/adsec_garbage_policy.bin";
+  std::ofstream(path, std::ios::binary)
+      << "definitely not a serialized policy, but long enough to have a header";
+  try {
+    load_policy_file(path);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NnIo, LoadMlpFileRejectsMissing) {
+  try {
+    load_mlp_file("/no/such/dir/mlp.bin");
+    FAIL() << "expected Error{Io}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io);
+  }
+}
+
+TEST(NnIo, LoadPolicyFileRejectsWrongPayloadKind) {
+  // A valid checked container whose payload is an MLP, not a policy: the
+  // container layer passes, the decode layer must flag Corrupt.
+  Rng rng(13);
+  Mlp mlp({2, 3, 1}, Activation::Tanh, rng);
+  const std::string path = ::testing::TempDir() + "/adsec_kind_mismatch.bin";
+  save_mlp_file(mlp, path);
+  try {
+    load_policy_file(path);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,499 @@
+#include "rl/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+
+namespace adsec {
+namespace {
+
+// Deterministic env whose observation depends on the whole action history
+// within the episode — if resume rebuilt the env wrong (missed or reordered
+// a replayed action), every subsequent transition and reward would differ,
+// so the bit-parity assertions below actually exercise the replay path.
+class HistoryEnv : public Env {
+ public:
+  std::vector<double> reset(std::uint64_t seed) override {
+    t_ = 0;
+    acc_ = 0.01 * static_cast<double>(seed % 97);
+    return {acc_, 0.0};
+  }
+  EnvStep step(std::span<const double> a) override {
+    acc_ = 0.9 * acc_ + 0.1 * a[0];
+    ++t_;
+    EnvStep s;
+    s.reward = -(a[0] - 0.5) * (a[0] - 0.5) - 0.1 * acc_ * acc_;
+    s.done = t_ >= 7;
+    s.obs = {acc_, static_cast<double>(t_) / 7.0};
+    return s;
+  }
+  int obs_dim() const override { return 2; }
+  int act_dim() const override { return 1; }
+
+ private:
+  int t_{0};
+  double acc_{0.0};
+};
+
+TrainConfig small_config() {
+  TrainConfig tc;
+  tc.total_steps = 160;
+  tc.start_steps = 25;
+  tc.update_after = 20;
+  tc.eval_every = 60;
+  tc.eval_episodes = 2;
+  tc.plateau_eps = 1e9;
+  tc.plateau_patience = 99;
+  tc.seed = 11;
+  return tc;
+}
+
+SacConfig small_sac() {
+  SacConfig cfg;
+  cfg.batch_size = 8;
+  return cfg;
+}
+
+Sac make_sac(std::uint64_t seed = 21) {
+  Rng rng(seed);
+  return Sac(2, 1, small_sac(), rng);
+}
+
+std::vector<std::uint8_t> sac_bytes(const Sac& sac) {
+  BinaryWriter w;
+  sac.save(w);
+  return w.bytes();
+}
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/adsec_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/train.ckpt";
+  }
+  void TearDown() override {
+    fault_injector().reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+// ---- Component round-trips ----
+
+TEST_F(Checkpoint, ReplayBufferRoundTripsPartialAndWrapped) {
+  Rng rng(5);
+  for (const int adds : {3, 11}) {  // partial fill, then wrapped ring
+    ReplayBuffer src(8, 2, 1);
+    for (int i = 0; i < adds; ++i) {
+      const double x = 0.1 * i;
+      src.add(std::vector<double>{x, -x}, std::vector<double>{x}, x,
+              std::vector<double>{x + 1, x - 1}, i % 5 == 0);
+    }
+    BinaryWriter w;
+    src.save(w);
+    ReplayBuffer dst(8, 2, 1);
+    BinaryReader r(w.bytes());
+    dst.restore(r);
+    EXPECT_EQ(dst.size(), src.size());
+    // Identical contents + ring position => identical samples forever.
+    Rng ra(7), rb(7);
+    for (int k = 0; k < 4; ++k) {
+      const Batch a = src.sample(4, ra);
+      const Batch b = dst.sample(4, rb);
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(a.obs(i, 0), b.obs(i, 0)) << "adds=" << adds;
+        EXPECT_DOUBLE_EQ(a.rew(i, 0), b.rew(i, 0));
+        EXPECT_DOUBLE_EQ(a.done(i, 0), b.done(i, 0));
+      }
+    }
+  }
+}
+
+TEST_F(Checkpoint, ReplayBufferRestoreRejectsShapeMismatch) {
+  ReplayBuffer src(8, 2, 1);
+  src.add(std::vector<double>{1, 2}, std::vector<double>{3}, 0.5,
+          std::vector<double>{4, 5}, false);
+  BinaryWriter w;
+  src.save(w);
+  ReplayBuffer wrong_cap(16, 2, 1);
+  BinaryReader r(w.bytes());
+  try {
+    wrong_cap.restore(r);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+}
+
+TEST_F(Checkpoint, SacRoundTripContinuesBitIdentically) {
+  // Train a donor for a while, snapshot it, train both the donor and a
+  // restored clone further with identical RNG streams: every subsequent
+  // action and update must match bit-for-bit (weights AND Adam moments AND
+  // entropy temperature all restored).
+  Sac donor = make_sac();
+  ReplayBuffer buf(256, 2, 1);
+  HistoryEnv env;
+  Rng rng(31);
+  auto obs = env.reset(1);
+  for (int i = 0; i < 120; ++i) {
+    const auto a = donor.act(obs, rng);
+    auto s = env.step(a);
+    buf.add(obs, a, s.reward, s.obs, s.done);
+    obs = s.done ? env.reset(static_cast<std::uint64_t>(i)) : s.obs;
+    if (i > 30) donor.update(buf, rng);
+  }
+
+  Sac clone = make_sac(/*seed=*/99);  // different init, fully overwritten
+  BinaryReader r(sac_bytes(donor));
+  clone.restore(r);
+  EXPECT_EQ(sac_bytes(clone), sac_bytes(donor));
+
+  Rng ra(77), rb(77);
+  for (int i = 0; i < 20; ++i) {
+    donor.update(buf, ra);
+    clone.update(buf, rb);
+  }
+  EXPECT_EQ(sac_bytes(clone), sac_bytes(donor));
+}
+
+TEST_F(Checkpoint, SacRestoreRejectsArchitectureMismatch) {
+  Sac donor = make_sac();
+  Rng rng(1);
+  Sac other(3, 2, small_sac(), rng);  // different obs/act dims
+  BinaryReader r(sac_bytes(donor));
+  try {
+    other.restore(r);
+    FAIL() << "expected Error{Corrupt}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+  }
+}
+
+// ---- Full-trainer parity ----
+
+TEST_F(Checkpoint, InterruptedAndResumedRunIsBitIdentical) {
+  // Reference: one uninterrupted run (checkpointing on, like the real
+  // deployment, since writing checkpoints must not perturb training).
+  TrainConfig tc = small_config();
+  tc.checkpoint_every = 50;
+  tc.checkpoint_path = dir_ + "/ref.ckpt";
+  Sac ref_sac = make_sac();
+  HistoryEnv ref_env;
+  const TrainResult ref = train_sac(ref_sac, ref_env, tc);
+
+  // Interrupted run: same config, killed mid-flight by an injected abort at
+  // an arbitrary step that is NOT a checkpoint boundary.
+  TrainConfig tc2 = small_config();
+  tc2.checkpoint_every = 50;
+  tc2.checkpoint_path = path_;
+  Sac sac2 = make_sac();
+  {
+    HistoryEnv env;
+    fault_injector().arm("trainer.abort", FaultKind::Throw, /*fire_at=*/123);
+    try {
+      train_sac(sac2, env, tc2);
+      FAIL() << "expected injected abort";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Internal);
+    }
+    fault_injector().reset();
+  }
+
+  // "Process restart": fresh Sac, fresh env, resume from the checkpoint.
+  Sac resumed_sac = make_sac(/*seed=*/1234);  // arbitrary init, overwritten
+  HistoryEnv fresh_env;
+  tc2.resume_from = tc2.checkpoint_path;
+  const TrainResult res = train_sac(resumed_sac, fresh_env, tc2);
+
+  // Final weights, optimizer state, and entropy temperature: bit-identical.
+  EXPECT_EQ(sac_bytes(resumed_sac), sac_bytes(ref_sac));
+  // Eval history across the interruption: bit-identical.
+  ASSERT_EQ(res.eval_returns.size(), ref.eval_returns.size());
+  for (std::size_t i = 0; i < ref.eval_returns.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res.eval_returns[i], ref.eval_returns[i]) << "eval " << i;
+  }
+  // Episode returns too (the checkpoint carries the partial-episode return).
+  ASSERT_EQ(res.episode_returns.size(), ref.episode_returns.size());
+  for (std::size_t i = 0; i < ref.episode_returns.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res.episode_returns[i], ref.episode_returns[i]) << "ep " << i;
+  }
+  EXPECT_EQ(res.steps_done, ref.steps_done);
+  EXPECT_DOUBLE_EQ(res.best_eval_return, ref.best_eval_return);
+}
+
+TEST_F(Checkpoint, ResumeFromMissingFileStartsFresh) {
+  TrainConfig tc = small_config();
+  tc.total_steps = 60;
+  tc.eval_every = 0;
+  Sac a = make_sac();
+  HistoryEnv env_a;
+  const TrainResult ra = train_sac(a, env_a, tc);
+
+  TrainConfig tc2 = tc;
+  tc2.resume_from = dir_ + "/never-written.ckpt";
+  Sac b = make_sac();
+  HistoryEnv env_b;
+  const TrainResult rb = train_sac(b, env_b, tc2);
+  EXPECT_EQ(ra.steps_done, rb.steps_done);
+  EXPECT_EQ(sac_bytes(a), sac_bytes(b));
+}
+
+TEST_F(Checkpoint, ResumeFromCorruptFileStartsFresh) {
+  std::ofstream(path_, std::ios::binary) << "half a checkpoint, then death";
+  TrainConfig tc = small_config();
+  tc.total_steps = 60;
+  tc.eval_every = 0;
+  tc.resume_from = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  const TrainResult res = train_sac(sac, env, tc);  // warns, must not throw
+  EXPECT_EQ(res.steps_done, 60);
+}
+
+TEST_F(Checkpoint, ResumeUnderDifferentConfigFailsLoudly) {
+  TrainConfig tc = small_config();
+  tc.total_steps = 80;
+  tc.checkpoint_every = 40;
+  tc.checkpoint_path = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  train_sac(sac, env, tc);
+  ASSERT_TRUE(std::filesystem::exists(path_));
+
+  TrainConfig other = tc;
+  other.seed = 12345;  // would silently change the resumed trajectory
+  other.resume_from = path_;
+  Sac sac2 = make_sac();
+  HistoryEnv env2;
+  try {
+    train_sac(sac2, env2, other);
+    FAIL() << "expected Error{Config}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Config);
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+  }
+  // Extending the step budget alone is legitimate and must NOT be rejected.
+  TrainConfig extended = tc;
+  extended.total_steps = 120;
+  extended.resume_from = path_;
+  Sac sac3 = make_sac();
+  HistoryEnv env3;
+  const TrainResult res = train_sac(sac3, env3, extended);
+  EXPECT_EQ(res.steps_done, 120);
+}
+
+// ---- Divergence guard ----
+
+TEST_F(Checkpoint, NanRollsBackAndRunCompletes) {
+  TrainConfig tc = small_config();
+  tc.eval_every = 0;
+  tc.checkpoint_every = 30;  // memory snapshots only (no path)
+  Sac sac = make_sac();
+  HistoryEnv env;
+  // Poison the actor right after the update burst at step 40 (snapshot
+  // exists at update_after=20 and at 30).
+  fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/15);
+  const TrainResult res = train_sac(sac, env, tc);
+  EXPECT_EQ(res.recoveries, 1);
+  EXPECT_EQ(res.steps_done, tc.total_steps);
+  EXPECT_TRUE(sac.state_finite());
+}
+
+TEST_F(Checkpoint, RecoveredRunKeepsRecoveryCountInCheckpoint) {
+  TrainConfig tc = small_config();
+  tc.eval_every = 0;
+  tc.checkpoint_every = 30;
+  tc.checkpoint_path = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/15);
+  const TrainResult res = train_sac(sac, env, tc);
+  ASSERT_EQ(res.recoveries, 1);
+
+  // A later resume must remember the recovery count (retry budget is
+  // cumulative across restarts, not reset by them).
+  TrainConfig ext = tc;
+  ext.total_steps = tc.total_steps + 30;
+  ext.resume_from = path_;
+  Sac sac2 = make_sac(/*seed=*/5);
+  HistoryEnv env2;
+  const TrainResult res2 = train_sac(sac2, env2, ext);
+  EXPECT_EQ(res2.recoveries, 1);
+}
+
+TEST_F(Checkpoint, ExhaustedRetryBudgetThrowsDiverged) {
+  TrainConfig tc = small_config();
+  tc.eval_every = 0;
+  tc.checkpoint_every = 30;
+  tc.max_recoveries = 0;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/15);
+  try {
+    train_sac(sac, env, tc);
+    FAIL() << "expected Error{Diverged}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Diverged);
+  }
+}
+
+TEST_F(Checkpoint, NanWithoutSnapshotThrowsDiverged) {
+  TrainConfig tc = small_config();
+  tc.eval_every = 0;
+  tc.checkpoint_every = 0;  // no snapshots => nothing to roll back to
+  Sac sac = make_sac();
+  HistoryEnv env;
+  fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/5);
+  try {
+    train_sac(sac, env, tc);
+    FAIL() << "expected Error{Diverged}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Diverged);
+    EXPECT_NE(std::string(e.what()).find("no checkpoint"), std::string::npos);
+  }
+}
+
+// ---- Kill-at-every-write-point sweep ----
+
+TEST_F(Checkpoint, CheckpointSurvivesDeathAtEveryWritePoint) {
+  // Build a real mid-training checkpoint image once.
+  TrainConfig tc = small_config();
+  tc.total_steps = 60;
+  tc.eval_every = 0;
+  tc.checkpoint_every = 30;
+  tc.checkpoint_path = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  train_sac(sac, env, tc);
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  ReplayBuffer buffer(tc.replay_capacity, 2, 1);
+  TrainLoopState st;
+  Sac loaded = make_sac(/*seed=*/3);
+  load_checkpoint_file(path_, loaded, buffer, tc, st);
+  const int good_step = st.step;
+
+  // Kill the next save at every failure mode; the published checkpoint must
+  // stay loadable and unchanged after each death.
+  for (const FaultKind kind : {FaultKind::FailWrite, FaultKind::TruncateWrite}) {
+    fault_injector().arm("serialize.save", kind);
+    st.step = good_step + 1;
+    try {
+      save_checkpoint_file(path_, loaded, buffer, tc, st);
+      FAIL() << "expected Error{Io} for kind " << static_cast<int>(kind);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+    ReplayBuffer b2(tc.replay_capacity, 2, 1);
+    TrainLoopState st2;
+    Sac l2 = make_sac(/*seed=*/4);
+    load_checkpoint_file(path_, l2, b2, tc, st2);
+    EXPECT_EQ(st2.step, good_step) << "old checkpoint must survive the torn write";
+  }
+
+  // Silent bit rot in a "successful" write is caught at load, and the
+  // trainer's resume path then falls back to a fresh start.
+  fault_injector().arm("serialize.save", FaultKind::FlipByte);
+  st.step = good_step + 2;
+  save_checkpoint_file(path_, loaded, buffer, tc, st);
+  {
+    ReplayBuffer b3(tc.replay_capacity, 2, 1);
+    TrainLoopState st3;
+    Sac l3 = make_sac(/*seed=*/6);
+    EXPECT_THROW(load_checkpoint_file(path_, l3, b3, tc, st3), Error);
+  }
+  TrainConfig resume_cfg = tc;
+  resume_cfg.resume_from = path_;
+  Sac fresh = make_sac(/*seed=*/8);
+  HistoryEnv env2;
+  const TrainResult res = train_sac(fresh, env2, resume_cfg);  // fresh start
+  EXPECT_EQ(res.steps_done, tc.total_steps);
+}
+
+TEST_F(Checkpoint, FailedPeriodicWriteDoesNotAbortTraining) {
+  TrainConfig tc = small_config();
+  tc.total_steps = 100;
+  tc.eval_every = 0;
+  tc.checkpoint_every = 30;
+  tc.checkpoint_path = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  // Second periodic write (step 60) dies; training must keep going and the
+  // step-90 write must land.
+  fault_injector().arm("serialize.save", FaultKind::FailWrite, /*fire_at=*/2);
+  const TrainResult res = train_sac(sac, env, tc);
+  EXPECT_EQ(res.steps_done, 100);
+  ReplayBuffer buffer(tc.replay_capacity, 2, 1);
+  TrainLoopState st;
+  Sac loaded = make_sac(/*seed=*/9);
+  load_checkpoint_file(path_, loaded, buffer, tc, st);
+  EXPECT_EQ(st.step, 90);
+}
+
+// ---- Config validation ----
+
+TEST_F(Checkpoint, ValidateRejectsInconsistentConfigs) {
+  const auto expect_config_error = [](TrainConfig tc, const char* needle) {
+    try {
+      tc.validate();
+      FAIL() << "expected Error{Config} mentioning '" << needle << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Config);
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  TrainConfig tc;
+
+  tc = TrainConfig{};
+  tc.total_steps = 0;
+  expect_config_error(tc, "total_steps");
+
+  tc = TrainConfig{};
+  tc.update_every = 0;
+  expect_config_error(tc, "update_every");
+
+  tc = TrainConfig{};
+  tc.update_after = tc.replay_capacity + 1;
+  expect_config_error(tc, "replay_capacity");
+
+  tc = TrainConfig{};
+  tc.eval_every = 100;
+  tc.eval_episodes = 0;
+  expect_config_error(tc, "eval_episodes");
+
+  tc = TrainConfig{};
+  tc.eval_every = 100;
+  tc.plateau_patience = 0;
+  expect_config_error(tc, "plateau_patience");
+
+  tc = TrainConfig{};
+  tc.checkpoint_path = "/tmp/x.ckpt";  // interval left at 0
+  expect_config_error(tc, "checkpoint_every");
+
+  tc = TrainConfig{};
+  tc.max_recoveries = -1;
+  expect_config_error(tc, "max_recoveries");
+
+  tc = TrainConfig{};
+  tc.lr_backoff = 0.0;
+  expect_config_error(tc, "lr_backoff");
+  tc.lr_backoff = 1.5;
+  expect_config_error(tc, "lr_backoff");
+
+  // The defaults and sensible variants pass.
+  TrainConfig{}.validate();
+  tc = TrainConfig{};
+  tc.eval_every = 0;  // eval disabled: plateau fields may be anything
+  tc.plateau_patience = 0;
+  tc.validate();
+}
+
+}  // namespace
+}  // namespace adsec

@@ -11,6 +11,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "agents/e2e_agent.hpp"
 #include "agents/modular_agent.hpp"
 #include "attack/scripted_attacker.hpp"
@@ -140,6 +142,31 @@ TEST(ParallelEval, FirstEpisodeExceptionPropagates) {
                std::runtime_error);
   EXPECT_THROW(run_batch_parallel(throwing, {}, cfg, 4, 1, false, 1),
                std::runtime_error);
+}
+
+TEST(ParallelEval, InjectedWorkerFaultSurfacesAsStructuredError) {
+  // A worker dying mid-batch must surface as adsec::Error after all other
+  // workers drained — not hang, not crash — and the pool must be reusable
+  // for a clean batch immediately afterwards.
+  ExperimentConfig cfg;
+  fault_injector().arm("runtime.worker", FaultKind::Throw, /*fire_at=*/3);
+  try {
+    run_batch_parallel(modular_factory(), {}, cfg, 8, 500, false, 4);
+    FAIL() << "expected Error{Internal}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Internal);
+  }
+  fault_injector().reset();
+
+  const auto serial = [&] {
+    ModularAgent agent;
+    return run_batch(agent, nullptr, cfg, 4, 500, false);
+  }();
+  const auto clean = run_batch_parallel(modular_factory(), {}, cfg, 4, 500, false, 4);
+  ASSERT_EQ(clean.size(), serial.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    expect_identical(clean[k], serial[k]);
+  }
 }
 
 }  // namespace

@@ -4,12 +4,17 @@
 //   adsec_cli [--agent modular|e2e|finetune:<rho>|pnn:<sigma>|pnn-detector:<sigma>]
 //             [--attacker none|oracle|noise|full|camera|imu|td3]
 //             [--budget <eps>] [--episodes <n>] [--scenario <preset>]
-//             [--seed <base>] [--jobs <n>] [--with-reference] [--csv <path>]
-//             [--list]
+//             [--seed <base>] [--jobs <n>] [--checkpoint-every <n>]
+//             [--with-reference] [--csv <path>] [--list]
 //
 // Learned agents/attackers come from the policy zoo (training on first use).
+// --checkpoint-every N makes that training crash-safe: progress is saved to
+// <zoo>/<name>.ckpt every N steps and a rerun resumes from it bit-exactly.
 // Episodes run on the parallel rollout runtime (--jobs worker threads,
 // default hardware_concurrency); results are bit-identical to --jobs 1.
+// Malformed flags (unknown names, non-numeric or out-of-range values) exit
+// with status 2 and usage on stderr.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +22,7 @@
 #include <string>
 
 #include "attack/scripted_attacker.hpp"
+#include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -37,15 +43,17 @@ struct Options {
   std::string scenario = "paper";
   std::uint64_t seed = 700000;
   int jobs = 0;  // 0 => hardware_concurrency
+  int checkpoint_every = -1;  // -1 => leave ADSEC_CKPT_EVERY as-is
   bool with_reference = false;
   std::string csv;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
-  std::printf(
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
       "usage: %s [--agent A] [--attacker T] [--budget E] [--episodes N]\n"
-      "          [--scenario P] [--seed S] [--jobs N] [--with-reference]\n"
-      "          [--csv PATH] [--list]\n"
+      "          [--scenario P] [--seed S] [--jobs N] [--checkpoint-every N]\n"
+      "          [--with-reference] [--csv PATH] [--list]\n"
       "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
       "attackers: none | oracle | noise | full | camera | imu | td3\n"
       "scenarios: paper dense sparse two-lane s-curve fast-npc\n",
@@ -53,22 +61,79 @@ struct Options {
   std::exit(code);
 }
 
+// Strict numeric parsing: the whole string must be consumed and the result
+// in range, otherwise the caller reports the flag and exits 2. atoi/atof
+// would silently read "10x" as 10 and "abc" as 0.
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size() || std::isnan(v)) return false;
+    out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& s, int min_value, int& out) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(s, &used);
+    if (used != s.size() || v < min_value || v > 1000000000L) return false;
+    out = static_cast<int>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    if (used != s.size() || s[0] == '-') return false;
+    out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0], 2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        usage(argv[0], 2);
+      }
       return argv[++i];
+    };
+    auto bad_value = [&](const std::string& v) {
+      std::fprintf(stderr, "invalid value '%s' for %s\n", v.c_str(), arg.c_str());
+      usage(argv[0], 2);
     };
     if (arg == "--agent") opt.agent = value();
     else if (arg == "--attacker") opt.attacker = value();
-    else if (arg == "--budget") opt.budget = std::atof(value().c_str());
-    else if (arg == "--episodes") opt.episodes = std::atoi(value().c_str());
-    else if (arg == "--scenario") opt.scenario = value();
-    else if (arg == "--seed") opt.seed = std::strtoull(value().c_str(), nullptr, 10);
-    else if (arg == "--jobs") opt.jobs = std::atoi(value().c_str());
-    else if (arg == "--with-reference") opt.with_reference = true;
+    else if (arg == "--budget") {
+      const std::string v = value();
+      if (!parse_double(v, opt.budget) || opt.budget < 0.0) bad_value(v);
+    } else if (arg == "--episodes") {
+      const std::string v = value();
+      if (!parse_int(v, 1, opt.episodes)) bad_value(v);
+    } else if (arg == "--scenario") opt.scenario = value();
+    else if (arg == "--seed") {
+      const std::string v = value();
+      if (!parse_u64(v, opt.seed)) bad_value(v);
+    } else if (arg == "--jobs") {
+      const std::string v = value();
+      if (!parse_int(v, 0, opt.jobs)) bad_value(v);
+    } else if (arg == "--checkpoint-every") {
+      const std::string v = value();
+      if (!parse_int(v, 0, opt.checkpoint_every)) bad_value(v);
+    } else if (arg == "--with-reference") opt.with_reference = true;
     else if (arg == "--csv") opt.csv = value();
     else if (arg == "--list") {
       std::printf("scenario presets:");
@@ -82,14 +147,16 @@ Options parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
-  if (opt.episodes < 1) usage(argv[0], 2);
   return opt;
 }
 
 // Split "name:param" into name and optional numeric parameter.
 bool split_param(const std::string& spec, const std::string& prefix, double& param) {
   if (spec.rfind(prefix + ":", 0) != 0) return false;
-  param = std::atof(spec.substr(prefix.size() + 1).c_str());
+  if (!parse_double(spec.substr(prefix.size() + 1), param)) {
+    std::fprintf(stderr, "invalid numeric parameter in '%s'\n", spec.c_str());
+    std::exit(2);
+  }
   return true;
 }
 
@@ -98,6 +165,9 @@ bool split_param(const std::string& spec, const std::string& prefix, double& par
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   set_log_level(LogLevel::Warn);
+  if (opt.checkpoint_every >= 0) {
+    runtime_config().checkpoint_every = opt.checkpoint_every;
+  }
 
   PolicyZoo zoo;
   ExperimentConfig cfg = zoo.experiment();
