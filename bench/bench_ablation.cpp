@@ -189,6 +189,7 @@ void attack_surface_ablation(int episodes) {
 }  // namespace
 
 int main() {
+  bench_init("ablation");
   set_log_level(LogLevel::Warn);
   print_header("Design-choice ablations (oracle attacker)", "DESIGN.md ablation index");
   const int episodes = eval_episodes(10);

@@ -11,6 +11,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("algo");
   set_log_level(LogLevel::Info);
   print_header("Attack algorithm ablation: SAC vs TD3 (extension)",
                "Sec. III-C algorithm choice");

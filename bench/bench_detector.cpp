@@ -16,6 +16,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("detector");
   set_log_level(LogLevel::Info);
   print_header("Detector-driven Simplex switcher (extension)",
                "Sec. VI-B switcher discussion / conclusion");

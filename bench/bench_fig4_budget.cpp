@@ -64,6 +64,7 @@ void sweep(const std::string& label, bool imu, int episodes) {
 }  // namespace
 
 int main() {
+  bench_init("fig4_budget");
   set_log_level(LogLevel::Info);
   print_header("Attack effect vs attack budget (camera vs IMU)",
                "Fig. 4(a)/(b), Sec. V-A");

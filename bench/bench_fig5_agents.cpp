@@ -109,6 +109,7 @@ SweepResult sweep_agent(const std::string& label, const AgentFactory& make_agent
 }  // namespace
 
 int main() {
+  bench_init("fig5_agents");
   set_log_level(LogLevel::Warn);
   print_header("Resilience of modular vs end-to-end agents",
                "Fig. 5(a)/(b) and Sec. V-B timing");

@@ -39,6 +39,7 @@ void sweep(const std::string& label, DrivingAgent& agent,
 }  // namespace
 
 int main() {
+  bench_init("fig6_enhanced");
   set_log_level(LogLevel::Info);
   print_header("Nominal driving reward of original vs enhanced agents under attack",
                "Fig. 6, Sec. VI");

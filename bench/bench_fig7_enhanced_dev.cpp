@@ -60,6 +60,7 @@ void sweep(const std::string& label, DrivingAgent& agent,
 }  // namespace
 
 int main() {
+  bench_init("fig7_enhanced_dev");
   set_log_level(LogLevel::Info);
   print_header("Deviation vs effort for the enhanced driving agents",
                "Fig. 7(a)-(d), Sec. VI");

@@ -75,6 +75,7 @@ EffortWindowStats sweep(const AgentForBudget& agent_for_budget,
 }  // namespace
 
 int main() {
+  bench_init("fig8_windows");
   set_log_level(LogLevel::Info);
   print_header("Attack success rate per attack-effort window",
                "Fig. 8, Sec. VI-C");

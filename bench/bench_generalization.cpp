@@ -14,6 +14,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("generalization");
   set_log_level(LogLevel::Info);
   print_header("Generalization across scenario variants (extension)",
                "Sec. II-A generalizability discussion");

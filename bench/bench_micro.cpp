@@ -1,9 +1,16 @@
 // Micro-benchmarks (google-benchmark): throughput of the building blocks —
 // simulator stepping, Frenet projection, sensor rendering, policy inference,
-// and SAC gradient updates. Not a paper figure; used to size training runs.
+// SAC gradient updates, and the telemetry hot paths. Not a paper figure;
+// used to size training runs and to enforce the telemetry overhead budget
+// (disabled-path instrumentation must stay ≤ 5 ns/op — see the
+// telemetry_overhead table this binary writes into BENCH_micro.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+
 #include "agents/modular_agent.hpp"
+#include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "nn/gaussian_policy.hpp"
 #include "rl/sac.hpp"
@@ -11,6 +18,7 @@
 #include "sensors/camera.hpp"
 #include "sensors/imu.hpp"
 #include "sim/scenario.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
 namespace {
@@ -146,7 +154,107 @@ void BM_SacUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_SacUpdate)->Arg(64)->Arg(267);
 
+// ---- telemetry hot paths -------------------------------------------------
+// The enabled/disabled pairs bound what instrumenting a call site costs. The
+// disabled variants are the budget that matters: instrumentation stays
+// compiled in everywhere, so its off-state cost is paid by every
+// un-instrumented run.
+
+void BM_TelemetryCounterEnabled(benchmark::State& state) {
+  telemetry::set_metrics_enabled(true);
+  telemetry::Counter c = telemetry::counter("bench.counter");
+  for (auto _ : state) c.inc();
+  telemetry::set_metrics_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterEnabled);
+
+void BM_TelemetryCounterDisabled(benchmark::State& state) {
+  telemetry::set_metrics_enabled(false);
+  telemetry::Counter c = telemetry::counter("bench.counter");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterDisabled);
+
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  telemetry::set_tracing_enabled(true);
+  for (auto _ : state) {
+    ADSEC_SPAN("bench.span");
+  }
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  telemetry::set_tracing_enabled(false);
+  for (auto _ : state) {
+    ADSEC_SPAN("bench.span");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+// Manual ns/op measurement for the BENCH_micro.json artifact: a tight loop
+// long enough to amortize the clock reads, reported per operation. Simpler
+// and more portable than scraping google-benchmark's own reporter.
+double measure_ns_per_op(const std::function<void()>& op) {
+  constexpr int kWarmup = 1 << 16;
+  constexpr int kIters = 1 << 22;  // ~4M ops per timed block
+  for (int i = 0; i < kWarmup; ++i) op();
+  double best = 1e300;  // best-of-3 filters scheduler noise
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::uint64_t t0 = telemetry::monotonic_ns();
+    for (int i = 0; i < kIters; ++i) op();
+    const std::uint64_t t1 = telemetry::monotonic_ns();
+    best = std::min(best, static_cast<double>(t1 - t0) / kIters);
+  }
+  return best;
+}
+
+void write_overhead_table() {
+  telemetry::Counter c = telemetry::counter("bench.overhead_counter");
+  telemetry::Histogram h = telemetry::histogram(
+      "bench.overhead_hist", {1, 2, 4, 8, 16, 32, 64});
+
+  Table t({"op", "state", "ns_per_op"});
+  auto row = [&t](const char* op, const char* on, double ns) {
+    t.add_row({op, on, fmt(ns, 2)});
+    std::printf("telemetry overhead: %-16s %-8s %6.2f ns/op\n", op, on, ns);
+  };
+
+  telemetry::set_metrics_enabled(false);
+  telemetry::set_tracing_enabled(false);
+  row("counter.inc", "disabled", measure_ns_per_op([&] { c.inc(); }));
+  row("histogram.observe", "disabled", measure_ns_per_op([&] { h.observe(7.0); }));
+  row("span", "disabled", measure_ns_per_op([] { ADSEC_SPAN("bench.overhead"); }));
+
+  telemetry::set_metrics_enabled(true);
+  row("counter.inc", "enabled", measure_ns_per_op([&] { c.inc(); }));
+  row("histogram.observe", "enabled", measure_ns_per_op([&] { h.observe(7.0); }));
+  telemetry::set_metrics_enabled(false);
+
+  telemetry::set_tracing_enabled(true);
+  row("span", "enabled", measure_ns_per_op([] { ADSEC_SPAN("bench.overhead"); }));
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+
+  bench::maybe_write_csv(t, "telemetry_overhead");
+}
+
 }  // namespace
 }  // namespace adsec
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): same google-benchmark run, plus
+// the telemetry-overhead table and the BENCH_micro.json summary.
+int main(int argc, char** argv) {
+  adsec::bench::bench_init("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  adsec::write_overhead_table();
+  return 0;
+}

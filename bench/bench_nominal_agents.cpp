@@ -36,6 +36,7 @@ void report(const std::string& name, DrivingAgent& agent, int episodes) {
 }  // namespace
 
 int main() {
+  bench_init("nominal_agents");
   set_log_level(LogLevel::Info);
   print_header("Nominal driving performance of both agents",
                "Sec. III-B (modular: all passed, no collision) / "

@@ -12,6 +12,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("sensor_faults");
   set_log_level(LogLevel::Info);
   print_header("Camera fault injection: e2e agent dependability (extension)",
                "dependability sweep (not in paper)");

@@ -16,6 +16,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("state_space");
   set_log_level(LogLevel::Info);
   print_header("State-space (FGSM) vs action-space attack (extension)",
                "Sec. II-B attack taxonomy");

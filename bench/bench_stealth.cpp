@@ -67,6 +67,7 @@ StealthResult run_monitored(DrivingAgent& agent, Attacker& attacker,
 }  // namespace
 
 int main() {
+  bench_init("stealth");
   set_log_level(LogLevel::Warn);
   print_header("Stealth vs effectiveness of the attackers (extension)",
                "Sec. IV design goal: 'lurk until a safety-critical moment'");

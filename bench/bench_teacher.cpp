@@ -16,6 +16,7 @@ using namespace adsec;
 using namespace adsec::bench;
 
 int main() {
+  bench_init("teacher");
   set_log_level(LogLevel::Info);
   print_header("Learning-from-teacher ablation for the IMU attacker",
                "Sec. IV-E");

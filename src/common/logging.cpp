@@ -1,23 +1,45 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+
+#include "telemetry/clock.hpp"
 
 namespace adsec {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
 
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+// Parallel-runtime safety: each record is formatted into one stack buffer —
+// monotonic timestamp + thread id prefix, message, newline — and emitted
+// with a single fwrite, so concurrent workers never interleave mid-line.
+// Messages longer than the buffer are truncated rather than split.
 void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] ", tag);
-  std::vfprintf(stderr, fmt, args);
-  std::fprintf(stderr, "\n");
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buf[2048];
+  const double secs =
+      static_cast<double>(telemetry::monotonic_ns()) * 1e-9;
+  int n = std::snprintf(buf, sizeof buf, "[%12.6f] [t%02d] [%s] ", secs,
+                        telemetry::current_tid(), tag);
+  if (n < 0) return;
+  std::size_t len = std::min(static_cast<std::size_t>(n), sizeof buf - 2);
+  const int m = std::vsnprintf(buf + len, sizeof buf - 1 - len, fmt, args);
+  if (m > 0) {
+    len = std::min(len + static_cast<std::size_t>(m), sizeof buf - 2);
+  }
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, len, stderr);
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 #define ADSEC_LOG_IMPL(name, level, tag)        \
   void name(const char* fmt, ...) {             \

@@ -1,5 +1,9 @@
 // Tiny leveled logger. Benches set the level to Info to narrate training
 // progress; tests default to Warn to keep ctest output readable.
+//
+// Safe under the parallel runtime: each record is one write (lines never
+// interleave across threads) and is prefixed with the shared monotonic
+// timestamp and thread id, e.g. "[   12.041233] [t03] [info] ...".
 #pragma once
 
 #include <string>

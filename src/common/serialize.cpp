@@ -9,10 +9,24 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
 
 namespace {
+
+// Durable-artifact I/O accounting for every checked container write/read.
+struct SerializeMetrics {
+  telemetry::Counter writes = telemetry::counter("serialize.writes");
+  telemetry::Counter reads = telemetry::counter("serialize.reads");
+  telemetry::Counter bytes_written = telemetry::counter("serialize.bytes_written");
+  telemetry::Counter bytes_read = telemetry::counter("serialize.bytes_read");
+};
+
+SerializeMetrics& serialize_metrics() {
+  static SerializeMetrics m;
+  return m;
+}
 
 template <typename T>
 void append_raw(std::vector<std::uint8_t>& buf, T v) {
@@ -101,6 +115,7 @@ void BinaryWriter::save(const std::string& path) const {
 
 void BinaryWriter::save_checked(const std::string& path,
                                 std::uint32_t format_version) const {
+  ADSEC_SPAN("serialize.save_checked");
   std::vector<std::uint8_t> framed;
   framed.reserve(kHeaderSize + buf_.size());
   append_raw(framed, kContainerMagic);
@@ -120,6 +135,8 @@ void BinaryWriter::save_checked(const std::string& path,
     std::filesystem::remove(tmp, ec);
     throw Error(ErrorCode::Io, "rename " + tmp + " -> " + path + " failed");
   }
+  serialize_metrics().writes.inc();
+  serialize_metrics().bytes_written.inc(framed.size());
 }
 
 BinaryReader::BinaryReader(std::vector<std::uint8_t> bytes) : buf_(std::move(bytes)) {}
@@ -138,6 +155,7 @@ BinaryReader BinaryReader::load(const std::string& path) {
 BinaryReader BinaryReader::load_checked(const std::string& path,
                                         std::uint32_t max_supported_version,
                                         std::uint32_t* format_version) {
+  ADSEC_SPAN("serialize.load_checked");
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw Error(ErrorCode::Io, "cannot open " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -176,6 +194,8 @@ BinaryReader BinaryReader::load_checked(const std::string& path,
     throw Error(ErrorCode::Corrupt, path + ": CRC mismatch (corrupt payload)");
   }
   if (format_version != nullptr) *format_version = version;
+  serialize_metrics().reads.inc();
+  serialize_metrics().bytes_read.inc(size);
   return BinaryReader(std::vector<std::uint8_t>(bytes.begin() + kHeaderSize,
                                                 bytes.end()));
 }

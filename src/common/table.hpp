@@ -29,6 +29,11 @@ class Table {
 
   int rows() const { return static_cast<int>(rows_.size()); }
 
+  // Raw cell access, for serializers layered on top (e.g. the bench
+  // harness's BENCH_<name>.json writer).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

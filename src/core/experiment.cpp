@@ -2,12 +2,29 @@
 
 #include "agents/reward.hpp"
 #include "common/angle.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
+
+namespace {
+
+struct ExperimentMetrics {
+  telemetry::Counter episodes = telemetry::counter("experiment.episodes");
+  telemetry::Histogram episode_steps = telemetry::histogram(
+      "experiment.episode_steps", {50, 100, 200, 400, 600, 800, 1000, 1500, 2000});
+};
+
+ExperimentMetrics& experiment_metrics() {
+  static ExperimentMetrics m;
+  return m;
+}
+
+}  // namespace
 
 EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
                            const ExperimentConfig& config, std::uint64_t seed,
                            Trajectory* traj_out) {
+  ADSEC_SPAN("experiment.episode");
   Rng rng(seed);
   World world = make_scenario(config.scenario, rng);
   agent.reset(world);
@@ -54,6 +71,8 @@ EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
   for (const auto& rec : world.history()) m.total_injected += std::abs(rec.attack_delta);
   m.time_to_collision = time_to_collision(world);
   if (traj_out != nullptr) *traj_out = extract_trajectory(world);
+  experiment_metrics().episodes.inc();
+  experiment_metrics().episode_steps.observe(static_cast<double>(m.steps));
   return m;
 }
 

@@ -13,10 +13,23 @@
 #include "nn/io.hpp"
 #include "rl/bc.hpp"
 #include "rl/trainer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
 
 namespace {
+
+// Cache effectiveness of the policy zoo across one process.
+struct ZooMetrics {
+  telemetry::Counter cache_hit = telemetry::counter("zoo.cache_hit");
+  telemetry::Counter cache_miss = telemetry::counter("zoo.cache_miss");
+  telemetry::Counter retrain = telemetry::counter("zoo.retrain");
+};
+
+ZooMetrics& zoo_metrics() {
+  static ZooMetrics m;
+  return m;
+}
 
 // Deterministic return of a policy driving the given env.
 double eval_policy_return(const GaussianPolicy& policy, Env& env, int episodes,
@@ -70,7 +83,10 @@ GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
   if (file_exists(file)) {
     log_debug("zoo: loading %s", file.c_str());
     try {
-      return load_policy_file(file);
+      GaussianPolicy policy = load_policy_file(file);
+      zoo_metrics().cache_hit.inc();
+      telemetry::emit_event("zoo.cache_hit", {{"name", name}});
+      return policy;
     } catch (const Error& e) {
       // A truncated or bit-rotted cache entry must not poison every
       // consumer; the training that produced it is deterministic, so
@@ -78,15 +94,25 @@ GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
       log_warn("zoo: cached policy %s is unusable (%s); retraining", file.c_str(),
                e.what());
       std::filesystem::remove(file);
+      zoo_metrics().retrain.inc();
     }
   }
   log_info("zoo: training %s (cache miss at %s)", name.c_str(), file.c_str());
-  GaussianPolicy policy = (this->*train)();
+  zoo_metrics().cache_miss.inc();
+  const std::uint64_t t0 = telemetry::monotonic_ns();
+  GaussianPolicy policy = [&] {
+    ADSEC_SPAN("zoo.train");
+    return (this->*train)();
+  }();
   save_policy_file(policy, file);
   // The finished policy supersedes any mid-training checkpoint.
   std::error_code ec;
   std::filesystem::remove(ckpt_path(name), ec);
   log_info("zoo: saved %s", file.c_str());
+  telemetry::emit_event(
+      "zoo.train",
+      {{"name", name},
+       {"duration_s", static_cast<double>(telemetry::monotonic_ns() - t0) / 1e9}});
   return policy;
 }
 

@@ -4,10 +4,17 @@
 
 #include "common/error.hpp"
 #include "nn/io.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
 
 namespace {
+
+telemetry::Histogram& checkpoint_save_ms() {
+  static telemetry::Histogram h = telemetry::histogram(
+      "checkpoint.save_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 250, 500, 1000});
+  return h;
+}
 
 // The determinism-relevant TrainConfig fields. Any difference between the
 // run that wrote a checkpoint and the run resuming it would make the
@@ -98,6 +105,15 @@ RngState read_rng_state(BinaryReader& r) {
 void write_result(BinaryWriter& w, const TrainResult& res) {
   w.write_f64_vector(res.episode_returns);
   w.write_f64_vector(res.eval_returns);
+  w.write_u32(static_cast<std::uint32_t>(res.update_history.size()));
+  for (const UpdateStats& u : res.update_history) {
+    w.write_i64(u.step);
+    w.write_f64(u.critic_loss);
+    w.write_f64(u.actor_loss);
+    w.write_f64(u.alpha);
+    w.write_f64(u.critic_grad_norm);
+    w.write_f64(u.actor_grad_norm);
+  }
   w.write_i64(res.steps_done);
   w.write_u32(res.stopped_on_plateau ? 1u : 0u);
   w.write_i64(res.recoveries);
@@ -110,6 +126,18 @@ TrainResult read_result(BinaryReader& r) {
   TrainResult res;
   res.episode_returns = r.read_f64_vector();
   res.eval_returns = r.read_f64_vector();
+  const std::uint32_t n_updates = r.read_u32();
+  res.update_history.reserve(n_updates);
+  for (std::uint32_t k = 0; k < n_updates; ++k) {
+    UpdateStats u;
+    u.step = static_cast<int>(r.read_i64());
+    u.critic_loss = r.read_f64();
+    u.actor_loss = r.read_f64();
+    u.alpha = r.read_f64();
+    u.critic_grad_norm = r.read_f64();
+    u.actor_grad_norm = r.read_f64();
+    res.update_history.push_back(u);
+  }
   res.steps_done = static_cast<int>(r.read_i64());
   res.stopped_on_plateau = r.read_u32() != 0;
   res.recoveries = static_cast<int>(r.read_i64());
@@ -167,15 +195,31 @@ void read_checkpoint(BinaryReader& r, Sac& sac, ReplayBuffer& buffer,
 void save_checkpoint_file(const std::string& path, const Sac& sac,
                           const ReplayBuffer& buffer, const TrainConfig& config,
                           const TrainLoopState& st) {
+  ADSEC_SPAN("checkpoint.save");
+  const std::uint64_t t0 = telemetry::monotonic_ns();
   BinaryWriter w;
   write_checkpoint(w, sac, buffer, config, st);
   w.save_checked(path, kCheckpointFormatVersion);
+  const double ms =
+      static_cast<double>(telemetry::monotonic_ns() - t0) / 1e6;
+  checkpoint_save_ms().observe(ms);
+  telemetry::emit_event("checkpoint.save",
+                        {{"path", path},
+                         {"bytes", static_cast<std::uint64_t>(w.bytes().size())},
+                         {"step", st.step},
+                         {"latency_ms", ms}});
 }
 
 void load_checkpoint_file(const std::string& path, Sac& sac, ReplayBuffer& buffer,
                           const TrainConfig& config, TrainLoopState& st) {
+  ADSEC_SPAN("checkpoint.load");
+  const std::uint64_t t0 = telemetry::monotonic_ns();
   BinaryReader r = BinaryReader::load_checked(path, kCheckpointFormatVersion);
   read_checkpoint(r, sac, buffer, config, st);
+  const double ms =
+      static_cast<double>(telemetry::monotonic_ns() - t0) / 1e6;
+  telemetry::emit_event("checkpoint.load",
+                        {{"path", path}, {"step", st.step}, {"latency_ms", ms}});
 }
 
 }  // namespace adsec

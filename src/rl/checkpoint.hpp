@@ -23,7 +23,10 @@
 
 namespace adsec {
 
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+// v2: TrainResult carries update_history (per-burst SAC diagnostics) and
+// Sac serializes its last grad norms. v1 files fail CRC-era version checks
+// loudly and train_sac falls back to a fresh start.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 // Loop-position state alongside the Sac/replay snapshot.
 struct TrainLoopState {

@@ -28,6 +28,18 @@ void copy_params(std::vector<Matrix*> dst, std::vector<Matrix*> src,
   }
 }
 
+// Global L2 norm over one or more gradient lists (telemetry diagnostic,
+// taken right before the optimizer consumes the gradients).
+double grad_l2_norm(std::initializer_list<std::vector<Matrix*>> grad_lists) {
+  double sq = 0.0;
+  for (const auto& grads : grad_lists) {
+    for (const Matrix* g : grads) {
+      for (std::size_t i = 0; i < g->size(); ++i) sq += g->data()[i] * g->data()[i];
+    }
+  }
+  return std::sqrt(sq);
+}
+
 bool params_finite(std::vector<Matrix*> params) {
   for (const Matrix* m : params) {
     for (std::size_t i = 0; i < m->size(); ++i) {
@@ -119,6 +131,7 @@ void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
     q->backward(grad);
   }
   last_critic_loss_ = closs;
+  last_critic_grad_norm_ = grad_l2_norm({q1_.grads(), q2_.grads()});
   q1_opt_->step();
   q2_opt_->step();
 
@@ -166,6 +179,7 @@ void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
   for (int i = 0; i < B; ++i) dL_dlogp(i, 0) = alpha / B;
 
   actor_.backward(dL_da, dL_dlogp);
+  last_actor_grad_norm_ = grad_l2_norm({actor_.grads()});
   actor_opt_->step();
 
   // ---- Temperature update: minimize -log_alpha * E[logp + target_entropy].
@@ -200,6 +214,8 @@ void Sac::save(BinaryWriter& w) const {
   w.write_i64(updates_);
   w.write_f64(last_critic_loss_);
   w.write_f64(last_actor_loss_);
+  w.write_f64(last_critic_grad_norm_);
+  w.write_f64(last_actor_grad_norm_);
 }
 
 void Sac::restore(BinaryReader& r) {
@@ -222,6 +238,8 @@ void Sac::restore(BinaryReader& r) {
   updates_ = r.read_i64();
   last_critic_loss_ = r.read_f64();
   last_actor_loss_ = r.read_f64();
+  last_critic_grad_norm_ = r.read_f64();
+  last_actor_grad_norm_ = r.read_f64();
 }
 
 void Sac::scale_lr(double s) {

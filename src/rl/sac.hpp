@@ -57,9 +57,13 @@ class Sac {
   double alpha() const { return std::exp(log_alpha_); }
   long updates_done() const { return updates_; }
 
-  // Diagnostics from the most recent update.
+  // Diagnostics from the most recent update. Grad norms are the global L2
+  // norm over all parameter gradients right before the optimizer step (the
+  // actor norm stays at its previous value while actor updates are delayed).
   double last_critic_loss() const { return last_critic_loss_; }
   double last_actor_loss() const { return last_actor_loss_; }
+  double last_critic_grad_norm() const { return last_critic_grad_norm_; }
+  double last_actor_grad_norm() const { return last_actor_grad_norm_; }
 
   // Checkpoint the complete trainer-visible state: actor and critic weights
   // (including Polyak targets), all three Adam optimizers' moments and step
@@ -95,6 +99,8 @@ class Sac {
   long updates_{0};
   double last_critic_loss_{0.0};
   double last_actor_loss_{0.0};
+  double last_critic_grad_norm_{0.0};
+  double last_actor_grad_norm_{0.0};
 };
 
 }  // namespace adsec

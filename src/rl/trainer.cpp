@@ -10,8 +10,28 @@
 #include "nn/io.hpp"
 #include "rl/checkpoint.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
+
+namespace {
+
+// Trainer-side instruments; registered once, no-ops while telemetry is off.
+struct TrainerMetrics {
+  telemetry::Counter env_steps = telemetry::counter("trainer.env_steps");
+  telemetry::Counter updates = telemetry::counter("trainer.updates");
+  telemetry::Counter episodes = telemetry::counter("trainer.episodes");
+  telemetry::Counter evals = telemetry::counter("trainer.evals");
+  telemetry::Counter recoveries = telemetry::counter("trainer.recoveries");
+  telemetry::Gauge replay_occupancy = telemetry::gauge("trainer.replay_occupancy");
+};
+
+TrainerMetrics& trainer_metrics() {
+  static TrainerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 namespace {
 
@@ -183,6 +203,10 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
       log_info("train_sac: resumed from %s at step %d (episode %llu)",
                config.resume_from.c_str(), st.step,
                static_cast<unsigned long long>(st.episode));
+      telemetry::emit_event("trainer.resume",
+                            {{"step", st.step},
+                             {"episode", st.episode},
+                             {"path", config.resume_from}});
     }
   }
 
@@ -198,6 +222,7 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
   std::vector<std::uint8_t> good_snapshot;
   int backoffs_since_snapshot = 0;
   auto take_snapshot = [&](int step) {
+    ADSEC_SPAN("trainer.snapshot");
     st.step = step;
     st.rng = rng.get_state();
     BinaryWriter w;
@@ -244,6 +269,12 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
     ++backoffs_since_snapshot;
     const double scale = std::pow(config.lr_backoff, backoffs_since_snapshot);
     sac.scale_lr(scale);
+    trainer_metrics().recoveries.inc();
+    telemetry::emit_event("trainer.recovery",
+                          {{"step", step},
+                           {"rolled_back_to", st.step},
+                           {"recovery", st.recoveries},
+                           {"lr_scale", scale}});
     log_warn(
         "train_sac: non-finite training state at step %d; rolled back to step %d "
         "(recovery %d/%d, lr x%.3g)",
@@ -269,9 +300,15 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
     st.ep_return += s.reward;
     st.ep_actions.push_back(action);
     obs = std::move(s.obs);
+    trainer_metrics().env_steps.inc();
 
     if (s.done) {
       st.result.episode_returns.push_back(st.ep_return);
+      trainer_metrics().episodes.inc();
+      telemetry::emit_event("trainer.episode",
+                            {{"episode", st.episode},
+                             {"steps", static_cast<int>(st.ep_actions.size())},
+                             {"ep_return", st.ep_return}});
       st.ep_return = 0.0;
       st.ep_actions.clear();
       ++st.episode;
@@ -279,7 +316,24 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
     }
 
     if (step > config.update_after && step % config.update_every == 0) {
-      for (int u = 0; u < config.updates_per_burst; ++u) sac.update(buffer, rng);
+      {
+        ADSEC_SPAN("trainer.update_burst");
+        for (int u = 0; u < config.updates_per_burst; ++u) sac.update(buffer, rng);
+      }
+      st.result.update_history.push_back(
+          {step, sac.last_critic_loss(), sac.last_actor_loss(), sac.alpha(),
+           sac.last_critic_grad_norm(), sac.last_actor_grad_norm()});
+      trainer_metrics().updates.inc(
+          static_cast<std::uint64_t>(config.updates_per_burst));
+      trainer_metrics().replay_occupancy.set(static_cast<double>(buffer.size()));
+      telemetry::emit_event("trainer.update",
+                            {{"step", step},
+                             {"critic_loss", sac.last_critic_loss()},
+                             {"actor_loss", sac.last_actor_loss()},
+                             {"alpha", sac.alpha()},
+                             {"critic_grad_norm", sac.last_critic_grad_norm()},
+                             {"actor_grad_norm", sac.last_actor_grad_norm()},
+                             {"replay_size", buffer.size()}});
       if (fault_injector().fire("trainer.nan")) {
         auto params = sac.actor().params();
         if (!params.empty() && params[0]->size() > 0) {
@@ -293,14 +347,23 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
     }
 
     if (config.eval_every > 0 && step % config.eval_every == 0) {
-      const double eval_ret =
-          (config.eval_env_factory && config.eval_jobs != 1)
-              ? evaluate_policy_parallel(sac, config.eval_env_factory,
-                                         config.eval_episodes, config.eval_seed_base,
-                                         config.eval_jobs)
-              : evaluate_policy(sac, env, config.eval_episodes, config.eval_seed_base,
-                                rng);
+      double eval_ret;
+      {
+        ADSEC_SPAN("trainer.eval");
+        eval_ret =
+            (config.eval_env_factory && config.eval_jobs != 1)
+                ? evaluate_policy_parallel(sac, config.eval_env_factory,
+                                           config.eval_episodes,
+                                           config.eval_seed_base, config.eval_jobs)
+                : evaluate_policy(sac, env, config.eval_episodes,
+                                  config.eval_seed_base, rng);
+      }
       st.result.eval_returns.push_back(eval_ret);
+      trainer_metrics().evals.inc();
+      telemetry::emit_event("trainer.eval", {{"step", step},
+                                             {"eval_return", eval_ret},
+                                             {"alpha", sac.alpha()},
+                                             {"episodes", config.eval_episodes}});
       log_info("train_sac: step %d eval return %.2f (alpha %.3f)", step, eval_ret,
                sac.alpha());
       if (on_eval) on_eval(step, eval_ret);

@@ -72,9 +72,22 @@ struct TrainConfig {
   void validate() const;
 };
 
+// Diagnostics of the last SAC update of one update burst; collected into
+// TrainResult::update_history so telemetry streams and tests can assert on
+// loss/alpha trajectories instead of re-deriving them.
+struct UpdateStats {
+  int step{0};  // env step the burst ran at
+  double critic_loss{0.0};
+  double actor_loss{0.0};
+  double alpha{0.0};
+  double critic_grad_norm{0.0};
+  double actor_grad_norm{0.0};
+};
+
 struct TrainResult {
   std::vector<double> episode_returns;
   std::vector<double> eval_returns;  // mean return at each evaluation
+  std::vector<UpdateStats> update_history;  // one entry per update burst
   int steps_done{0};
   bool stopped_on_plateau{false};
   int recoveries{0};  // divergence rollbacks performed during the run

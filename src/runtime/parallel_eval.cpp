@@ -5,10 +5,16 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace adsec {
 
 namespace {
+
+telemetry::Counter& episodes_counter() {
+  static telemetry::Counter c = telemetry::counter("runtime.episodes");
+  return c;
+}
 
 struct WorkerContext {
   std::unique_ptr<DrivingAgent> agent;
@@ -38,12 +44,15 @@ std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
     // Serial fast path: one context on the calling thread, no pool.
     WorkerContext ctx = make_context(make_agent, make_attacker);
     for (int k = 0; k < episodes; ++k) {
+      ADSEC_SPAN("runtime.episode");
       out[static_cast<std::size_t>(k)] =
           evaluate_episode(*ctx.agent, ctx.attacker.get(), config,
                            seed_base + static_cast<std::uint64_t>(k),
                            options.with_reference);
+      episodes_counter().inc();
       if (options.on_progress) options.on_progress(k + 1, episodes);
     }
+    telemetry::emit_event("runtime.batch", {{"episodes", episodes}, {"jobs", 1}});
     return out;
   }
 
@@ -69,10 +78,12 @@ std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
         ctx = std::make_unique<WorkerContext>(
             make_context(make_agent, make_attacker));
       }
+      ADSEC_SPAN("runtime.episode");
       out[static_cast<std::size_t>(k)] =
           evaluate_episode(*ctx->agent, ctx->attacker.get(), config,
                            seed_base + static_cast<std::uint64_t>(k),
                            options.with_reference);
+      episodes_counter().inc();
       if (options.on_progress) {
         options.on_progress(done.fetch_add(1) + 1, episodes);
       }
@@ -90,6 +101,8 @@ std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+  telemetry::emit_event("runtime.batch",
+                        {{"episodes", episodes}, {"jobs", pool.size()}});
   return out;
 }
 

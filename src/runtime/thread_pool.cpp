@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace adsec {
 
 namespace {
@@ -13,11 +15,27 @@ namespace {
 thread_local const WorkStealingPool* tl_pool = nullptr;
 thread_local int tl_worker_index = -1;
 
+// Pool-wide scheduling metrics, aggregated across all pools in the process
+// (pools are scope-local; the registry outlives them all).
+struct PoolMetrics {
+  telemetry::Counter tasks_run = telemetry::counter("runtime.tasks_run");
+  telemetry::Counter tasks_stolen = telemetry::counter("runtime.tasks_stolen");
+  telemetry::Counter idle_ns = telemetry::counter("runtime.idle_ns");
+  telemetry::Histogram queue_depth = telemetry::histogram(
+      "runtime.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
 }  // namespace
 
 WorkStealingPool::WorkStealingPool(int threads)
     : size_(threads > 0 ? threads : hardware_jobs()) {
   queues_.resize(static_cast<std::size_t>(size_));
+  stats_.resize(static_cast<std::size_t>(size_));
   workers_.reserve(static_cast<std::size_t>(size_));
   for (int i = 0; i < size_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -31,6 +49,27 @@ WorkStealingPool::~WorkStealingPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+
+  // Workers have joined; stats_ is quiescent. Fold this pool's lifetime
+  // totals into the process-wide counters and stream the per-worker
+  // breakdown so imbalance (one worker doing all the stealing) is visible
+  // in the run's event log.
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const WorkerStats& s = stats_[i];
+    pool_metrics().tasks_run.inc(s.tasks_run);
+    pool_metrics().tasks_stolen.inc(s.tasks_stolen);
+    pool_metrics().idle_ns.inc(s.idle_ns);
+    telemetry::emit_event("runtime.worker_stats",
+                          {{"worker", static_cast<std::uint64_t>(i)},
+                           {"tasks_run", s.tasks_run},
+                           {"tasks_stolen", s.tasks_stolen},
+                           {"idle_ns", s.idle_ns}});
+  }
+}
+
+std::vector<WorkerStats> WorkStealingPool::worker_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 int WorkStealingPool::current_worker_index() { return tl_worker_index; }
@@ -48,6 +87,8 @@ void WorkStealingPool::push(int worker, std::function<void()> task) {
       home = next_++ % queues_.size();
     }
     queues_[home].push_back(std::move(task));
+    pool_metrics().queue_depth.observe(
+        static_cast<double>(queues_[home].size()));
   }
   cv_.notify_all();
 }
@@ -65,6 +106,7 @@ bool WorkStealingPool::try_take(int self, std::function<void()>& out) {
     if (!victim.empty()) {
       out = std::move(victim.front());
       victim.pop_front();
+      stats_[static_cast<std::size_t>(self)].tasks_stolen++;
       return true;
     }
   }
@@ -74,6 +116,7 @@ bool WorkStealingPool::try_take(int self, std::function<void()>& out) {
 void WorkStealingPool::worker_loop(int index) {
   tl_pool = this;
   tl_worker_index = index;
+  WorkerStats& my = stats_[static_cast<std::size_t>(index)];
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     std::function<void()> task;
@@ -82,10 +125,13 @@ void WorkStealingPool::worker_loop(int index) {
       task();  // packaged_task captures exceptions into the future
       task = nullptr;
       lock.lock();
+      my.tasks_run++;
       continue;
     }
     if (done_) return;  // all deques drained and shutdown requested
+    const std::uint64_t idle_from = telemetry::monotonic_ns();
     cv_.wait(lock);
+    my.idle_ns += telemetry::monotonic_ns() - idle_from;
   }
 }
 

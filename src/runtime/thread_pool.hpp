@@ -15,6 +15,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,6 +32,15 @@ inline int hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
+
+// Per-worker scheduling counters, maintained under the pool mutex. `stolen`
+// counts tasks this worker took from another worker's deque; `idle_ns` is
+// time spent blocked on the condition variable with nothing to run.
+struct WorkerStats {
+  std::uint64_t tasks_run{0};
+  std::uint64_t tasks_stolen{0};
+  std::uint64_t idle_ns{0};
+};
 
 class WorkStealingPool {
  public:
@@ -49,6 +59,11 @@ class WorkStealingPool {
   // called from a thread that is not a pool worker. Per-worker contexts in
   // the episode scheduler key off this.
   static int current_worker_index();
+
+  // Snapshot of per-worker scheduling counters (one entry per worker).
+  // Consistent: taken under the pool mutex, so counts from completed tasks
+  // are always fully visible.
+  std::vector<WorkerStats> worker_stats() const;
 
   // Enqueue a task. From an external thread the task lands on the workers'
   // deques round-robin; from inside the pool it lands on the calling
@@ -85,8 +100,9 @@ class WorkStealingPool {
 
   int size_{0};
   std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<WorkerStats> stats_;  // per-worker, guarded by mutex_
   std::vector<std::thread> workers_;
-  std::mutex mutex_;  // guards queues_, next_, done_
+  mutable std::mutex mutex_;  // guards queues_, stats_, next_, done_
   std::condition_variable cv_;
   std::size_t next_{0};  // round-robin cursor for external submits
   bool done_{false};

@@ -1,0 +1,24 @@
+#include "telemetry/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace adsec::telemetry {
+
+std::uint64_t monotonic_ns() {
+  // Function-local static: the epoch is pinned, thread-safely, by whichever
+  // call happens first.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+int current_tid() {
+  static std::atomic<int> next{0};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,22 @@
+// Shared time base and thread identity for all telemetry streams.
+//
+// Every metric sample, span, log line, and JSONL event is stamped with the
+// same monotonic clock (nanoseconds since the first telemetry call in the
+// process) and the same dense thread id, so the streams can be correlated
+// offline without clock arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace adsec::telemetry {
+
+// Nanoseconds on the steady clock since the process's telemetry epoch (the
+// first call in the process). Monotonic, thread-safe, never goes backwards.
+std::uint64_t monotonic_ns();
+
+// Dense per-thread id: the main/first thread observed is 0, each new thread
+// gets the next integer. Stable for the lifetime of the thread; ids are
+// never reused within a process.
+int current_tid();
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,119 @@
+#include "telemetry/events.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "telemetry/clock.hpp"
+
+namespace adsec::telemetry {
+
+namespace detail {
+std::atomic<bool> g_events_open{false};
+}
+
+namespace {
+
+std::mutex g_sink_mutex;       // guards g_sink and serializes writes
+std::FILE* g_sink = nullptr;   // owned; non-null iff g_events_open
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void EventField::append_to(std::string& out) const {
+  out += '"';
+  out += key_;
+  out += "\":";
+  char buf[32];
+  switch (kind_) {
+    case Kind::F64:
+      if (std::isfinite(f_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", f_);
+        out += buf;
+      } else {
+        out += "null";  // NaN/Inf are not JSON
+      }
+      break;
+    case Kind::I64:
+      out += std::to_string(i_);
+      break;
+    case Kind::U64:
+      out += std::to_string(u_);
+      break;
+    case Kind::Bool:
+      out += b_ ? "true" : "false";
+      break;
+    case Kind::Str:
+      out += json_quote(s_);
+      break;
+  }
+}
+
+bool open_event_log(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink != nullptr) {
+    std::fclose(g_sink);
+    g_sink = nullptr;
+  }
+  g_sink = std::fopen(path.c_str(), "w");
+  detail::g_events_open.store(g_sink != nullptr, std::memory_order_relaxed);
+  return g_sink != nullptr;
+}
+
+void close_event_log() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  detail::g_events_open.store(false, std::memory_order_relaxed);
+  if (g_sink != nullptr) {
+    std::fclose(g_sink);
+    g_sink = nullptr;
+  }
+}
+
+void emit_event(const char* kind, std::initializer_list<EventField> fields) {
+  if (!event_log_open()) return;
+  // Format the whole record before taking the lock, so the critical
+  // section is exactly one buffered write.
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts_ns\":";
+  line += std::to_string(monotonic_ns());
+  line += ",\"tid\":";
+  line += std::to_string(current_tid());
+  line += ",\"kind\":";
+  line += json_quote(kind);
+  for (const EventField& f : fields) {
+    line += ',';
+    f.append_to(line);
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink == nullptr) return;  // closed between the check and the lock
+  std::fwrite(line.data(), 1, line.size(), g_sink);
+  std::fflush(g_sink);
+}
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,83 @@
+// Structured JSONL run-event sink.
+//
+// One JSON object per line, written with a single fwrite under one lock so
+// records never interleave, each stamped with the shared monotonic clock
+// and thread id:
+//
+//   {"ts_ns":182736450,"tid":0,"kind":"trainer.eval","step":3000,
+//    "eval_return":-12.4,"alpha":0.1}
+//
+// Emit sites pass a kind plus a short field list:
+//
+//   telemetry::emit_event("trainer.eval", {{"step", step},
+//                                          {"eval_return", ret}});
+//
+// When no sink is open (the default) emit_event returns after one relaxed
+// load; building the initializer list is a few stack stores. Non-finite
+// doubles serialize as null so every line stays strict JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace adsec::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_events_open;
+}
+
+inline bool event_log_open() {
+  return detail::g_events_open.load(std::memory_order_relaxed);
+}
+
+// JSON-escape `s` and wrap it in double quotes.
+std::string json_quote(const std::string& s);
+
+class EventField {
+ public:
+  EventField(const char* key, double v) : key_(key), kind_(Kind::F64), f_(v) {}
+  EventField(const char* key, int v)
+      : key_(key), kind_(Kind::I64), i_(v) {}
+  EventField(const char* key, long v)
+      : key_(key), kind_(Kind::I64), i_(v) {}
+  EventField(const char* key, long long v)
+      : key_(key), kind_(Kind::I64), i_(v) {}
+  EventField(const char* key, unsigned int v)
+      : key_(key), kind_(Kind::U64), u_(v) {}
+  EventField(const char* key, unsigned long v)
+      : key_(key), kind_(Kind::U64), u_(v) {}
+  EventField(const char* key, unsigned long long v)
+      : key_(key), kind_(Kind::U64), u_(v) {}
+  EventField(const char* key, bool v) : key_(key), kind_(Kind::Bool), b_(v) {}
+  EventField(const char* key, const char* v)
+      : key_(key), kind_(Kind::Str), s_(v) {}
+  EventField(const char* key, const std::string& v)
+      : key_(key), kind_(Kind::Str), s_(v) {}
+
+  // Append `"key":value` to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  enum class Kind { F64, I64, U64, Bool, Str };
+  const char* key_;
+  Kind kind_;
+  double f_{0.0};
+  std::int64_t i_{0};
+  std::uint64_t u_{0};
+  bool b_{false};
+  std::string s_;
+};
+
+// Open/replace the sink. Returns false (sink closed) if the file cannot be
+// opened for writing.
+bool open_event_log(const std::string& path);
+
+// Flush and close. Safe to call when no sink is open.
+void close_event_log();
+
+// Write one event line. No-op (one relaxed load) when the sink is closed.
+void emit_event(const char* kind, std::initializer_list<EventField> fields);
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,275 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "telemetry/clock.hpp"
+
+namespace adsec::telemetry {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+
+struct HistogramDef {
+  std::string name;
+  std::vector<double> bounds;
+  std::uint32_t index;        // slot for count/sum
+  std::size_t cell_offset;    // first bucket cell in each shard's arena
+};
+}  // namespace detail
+
+namespace {
+
+using detail::HistogramDef;
+using detail::kNoInstrument;
+
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxGauges = 128;
+constexpr std::size_t kMaxHistograms = 64;
+constexpr std::size_t kMaxHistCells = 4096;
+
+// Per-thread storage. Only the owning thread writes (relaxed stores /
+// fetch_add); snapshot threads read concurrently with relaxed loads, which
+// is exactly the single-writer pattern TSan accepts without fences.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistCells> hist_cells{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_counts{};
+  std::array<std::atomic<double>, kMaxHistograms> hist_sums{};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::vector<std::unique_ptr<HistogramDef>> histograms;
+  std::size_t hist_cells_used{0};
+  // shared_ptr keeps a shard alive (and countable) after its thread exits.
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during static dtors
+  return *r;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+// Bucket index for `v`: first bound >= v, else the overflow bucket.
+std::size_t bucket_of(const std::vector<double>& bounds, double v) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+void json_append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    if (r.counter_names[i] == name) return Counter(static_cast<std::uint32_t>(i));
+  }
+  if (r.counter_names.size() >= kMaxCounters) return Counter(kNoInstrument);
+  r.counter_names.push_back(name);
+  return Counter(static_cast<std::uint32_t>(r.counter_names.size() - 1));
+}
+
+Gauge gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < r.gauge_names.size(); ++i) {
+    if (r.gauge_names[i] == name) return Gauge(static_cast<std::uint32_t>(i));
+  }
+  if (r.gauge_names.size() >= kMaxGauges) return Gauge(kNoInstrument);
+  r.gauge_names.push_back(name);
+  return Gauge(static_cast<std::uint32_t>(r.gauge_names.size() - 1));
+}
+
+Histogram histogram(const std::string& name, const std::vector<double>& bounds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& def : r.histograms) {
+    if (def->name == name) return Histogram(def.get());
+  }
+  const std::size_t cells = bounds.size() + 1;
+  if (r.histograms.size() >= kMaxHistograms ||
+      r.hist_cells_used + cells > kMaxHistCells || bounds.empty() ||
+      !std::is_sorted(bounds.begin(), bounds.end())) {
+    return Histogram(nullptr);
+  }
+  auto def = std::make_unique<HistogramDef>();
+  def->name = name;
+  def->bounds = bounds;
+  def->index = static_cast<std::uint32_t>(r.histograms.size());
+  def->cell_offset = r.hist_cells_used;
+  r.hist_cells_used += cells;
+  r.histograms.push_back(std::move(def));
+  return Histogram(r.histograms.back().get());
+}
+
+void Counter::inc(std::uint64_t n) const {
+  if (!metrics_enabled() || idx_ == detail::kNoInstrument) return;
+  local_shard().counters[idx_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) const {
+  if (!metrics_enabled() || idx_ == detail::kNoInstrument) return;
+  registry().gauges[idx_].store(v, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) const {
+  if (!metrics_enabled() || def_ == nullptr) return;
+  Shard& s = local_shard();
+  const std::size_t b = bucket_of(def_->bounds, v);
+  s.hist_cells[def_->cell_offset + b].fetch_add(1, std::memory_order_relaxed);
+  s.hist_counts[def_->index].fetch_add(1, std::memory_order_relaxed);
+  // Single-writer shard: plain read-modify-write on the relaxed atomic.
+  const double old = s.hist_sums[def_->index].load(std::memory_order_relaxed);
+  s.hist_sums[def_->index].store(old + v, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds.back();
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counter_names.size());
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& s : r.shards) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(r.counter_names[i], total);
+  }
+  snap.gauges.reserve(r.gauge_names.size());
+  for (std::size_t i = 0; i < r.gauge_names.size(); ++i) {
+    snap.gauges.emplace_back(r.gauge_names[i],
+                             r.gauges[i].load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& def : r.histograms) {
+    HistogramSnapshot h;
+    h.name = def->name;
+    h.bounds = def->bounds;
+    h.counts.assign(def->bounds.size() + 1, 0);
+    for (const auto& s : r.shards) {
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] += s->hist_cells[def->cell_offset + b].load(std::memory_order_relaxed);
+      }
+      h.count += s->hist_counts[def->index].load(std::memory_order_relaxed);
+      h.sum += s->hist_sums[def->index].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + counters[i].first + "\": " + std::to_string(counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + gauges[i].first + "\": ";
+    json_append_number(out, gauges[i].second);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": ";
+    json_append_number(out, h.sum);
+    out += ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      json_append_number(out, h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "], \"p50\": ";
+    json_append_number(out, h.quantile(0.5));
+    out += ", \"p90\": ";
+    json_append_number(out, h.quantile(0.9));
+    out += ", \"p99\": ";
+    json_append_number(out, h.quantile(0.99));
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path) {
+  const std::string doc = metrics_snapshot().to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void reset_metrics_values() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& g : r.gauges) g.store(0.0, std::memory_order_relaxed);
+  for (const auto& s : r.shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_cells) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_counts) c.store(0, std::memory_order_relaxed);
+    for (auto& c : s->hist_sums) c.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace adsec::telemetry

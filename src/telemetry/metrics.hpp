@@ -1,0 +1,124 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms with quantile readout.
+//
+// Hot-path design: every instrument first checks one process-global
+// atomic<bool> with a relaxed load — when telemetry is disabled (the
+// default) that load-and-branch is the entire cost of an inc()/observe().
+// When enabled, counters and histograms write to a per-thread shard
+// (single-writer relaxed atomics, no contention), and snapshot() merges the
+// shards under the registry lock. Gauges are last-write-wins and live in
+// one global slot per gauge.
+//
+// Handles (Counter/Gauge/Histogram) are trivially copyable indices into
+// the registry; register once (cheap, lock-taking) and keep the handle,
+// typically as a function-local static:
+//
+//   static const auto c = telemetry::counter("runtime.tasks_run");
+//   c.inc();
+//
+// Registering the same name twice returns the same instrument. Capacity is
+// fixed (see kMax* below); registrations past capacity return a no-op
+// handle rather than failing the caller.
+//
+// Histograms are designed for non-negative samples (latencies, sizes,
+// depths): bucket i counts samples <= bounds[i], the last bucket counts
+// overflow, and quantile() interpolates linearly inside the winning bucket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adsec::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+inline constexpr std::uint32_t kNoInstrument = 0xFFFFFFFFu;
+struct HistogramDef;
+}  // namespace detail
+
+// Master switch. Off by default; instruments are registered either way so
+// enabling mid-run starts counting immediately.
+void set_metrics_enabled(bool on);
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const;
+
+ private:
+  friend Counter counter(const std::string&);
+  explicit Counter(std::uint32_t idx) : idx_(idx) {}
+  std::uint32_t idx_{detail::kNoInstrument};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const;
+
+ private:
+  friend Gauge gauge(const std::string&);
+  explicit Gauge(std::uint32_t idx) : idx_(idx) {}
+  std::uint32_t idx_{detail::kNoInstrument};
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+
+ private:
+  friend Histogram histogram(const std::string&, const std::vector<double>&);
+  explicit Histogram(const detail::HistogramDef* def) : def_(def) {}
+  const detail::HistogramDef* def_{nullptr};
+};
+
+// Register-or-look-up by name. Histogram `bounds` must be strictly
+// increasing upper bucket bounds; a histogram re-registered under the same
+// name keeps its original bounds.
+Counter counter(const std::string& name);
+Gauge gauge(const std::string& name);
+Histogram histogram(const std::string& name, const std::vector<double>& bounds);
+
+// ---- Snapshot / export ----
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t count{0};
+  double sum{0.0};
+
+  // q in [0, 1]; linear interpolation inside the winning bucket (bucket 0
+  // spans [0, bounds[0]]). Returns 0 for an empty histogram; overflow-bucket
+  // quantiles clamp to the last bound.
+  double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Stable JSON document: counters/gauges as objects keyed by name,
+  // histograms with bounds, per-bucket counts, sum, and p50/p90/p99.
+  std::string to_json() const;
+};
+
+// Merge every thread's shard into one consistent view. Concurrent with
+// ongoing increments (they land in the next snapshot).
+MetricsSnapshot metrics_snapshot();
+
+// Write metrics_snapshot().to_json() to `path`. Returns false on I/O error.
+bool write_metrics_json(const std::string& path);
+
+// Zero all counter/histogram shards and gauges, keeping registrations and
+// outstanding handles valid. For tests and benchmarks.
+void reset_metrics_values();
+
+}  // namespace adsec::telemetry

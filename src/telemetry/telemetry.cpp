@@ -1,0 +1,34 @@
+#include "telemetry/telemetry.hpp"
+
+#include <mutex>
+
+namespace adsec::telemetry {
+
+namespace {
+std::mutex g_mutex;
+TelemetryOptions g_options;
+}  // namespace
+
+bool configure(const TelemetryOptions& opts) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_options = opts;
+  bool ok = true;
+  if (!opts.events_jsonl.empty()) ok = open_event_log(opts.events_jsonl) && ok;
+  if (!opts.chrome_trace.empty()) set_tracing_enabled(true);
+  // Metrics power the snapshot file but also feed the JSONL stream's
+  // counters, so any configured output turns them on.
+  if (opts.any()) set_metrics_enabled(true);
+  return ok;
+}
+
+void finalize() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_options.metrics_out.empty()) write_metrics_json(g_options.metrics_out);
+  if (!g_options.chrome_trace.empty()) write_chrome_trace(g_options.chrome_trace);
+  close_event_log();
+  set_tracing_enabled(false);
+  set_metrics_enabled(false);
+  g_options = TelemetryOptions{};
+}
+
+}  // namespace adsec::telemetry

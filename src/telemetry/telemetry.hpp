@@ -1,0 +1,44 @@
+// Umbrella header and run-scoped lifecycle for the telemetry subsystem.
+//
+//   telemetry::TelemetryOptions opts;
+//   opts.events_jsonl = "run.jsonl";   // streamed as the run executes
+//   opts.chrome_trace = "trace.json";  // written at finalize()
+//   opts.metrics_out = "metrics.json"; // written at finalize()
+//   telemetry::configure(opts);
+//   ... run ...
+//   telemetry::finalize();
+//
+// configure() flips on exactly the collectors that have an output
+// configured, so an uninstrumented run keeps the disabled-path cost (one
+// relaxed load per instrument). finalize() writes the deferred outputs,
+// closes the event sink, and disables collection again.
+#pragma once
+
+#include <string>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace adsec::telemetry {
+
+struct TelemetryOptions {
+  std::string metrics_out;   // metrics snapshot JSON, written at finalize()
+  std::string chrome_trace;  // Chrome trace-event JSON, written at finalize()
+  std::string events_jsonl;  // structured run events, streamed while open
+
+  bool any() const {
+    return !metrics_out.empty() || !chrome_trace.empty() || !events_jsonl.empty();
+  }
+};
+
+// Enable collectors per the options. Returns false if an output file could
+// not be opened (collection still proceeds for the others).
+bool configure(const TelemetryOptions& opts);
+
+// Write metrics/trace outputs configured earlier, close the event sink,
+// and disable collection. Idempotent.
+void finalize();
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+
+namespace adsec::telemetry {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+// One ring per thread, guarded by its own mutex. The owner thread appends;
+// the exporter walks all rings under the same per-ring mutex. Span
+// granularity in this codebase is microseconds-to-seconds, so an
+// uncontended lock per span exit is noise.
+struct Ring {
+  std::mutex mutex;
+  int tid;
+  std::vector<TraceEvent> events;  // circular once full
+  std::size_t next{0};             // write cursor
+  bool wrapped{false};
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+Ring& local_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    r->tid = current_tid();
+    r->events.reserve(1024);
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t SpanGuard::now_ns() { return monotonic_ns(); }
+
+void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.events.size() < kTraceRingCapacity && !ring.wrapped) {
+    ring.events.push_back({name, begin_ns, end_ns});
+    if (ring.events.size() == kTraceRingCapacity) {
+      ring.wrapped = true;  // from now on overwrite in place
+      ring.next = 0;
+    }
+  } else {
+    ring.events[ring.next] = {name, begin_ns, end_ns};
+    ring.next = (ring.next + 1) % kTraceRingCapacity;
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    n += ring->events.size();
+  }
+  return n;
+}
+
+std::string chrome_trace_json() {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    for (const TraceEvent& e : ring->events) {
+      const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
+      const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+      std::snprintf(buf, sizeof buf,
+                    "%s\n{\"name\": \"%s\", \"cat\": \"adsec\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+                    first ? "" : ",", e.name, ts_us, dur_us, ring->tid);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string doc = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void clear_trace() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+}  // namespace adsec::telemetry

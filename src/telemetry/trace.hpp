@@ -1,0 +1,80 @@
+// Profiling spans recorded into per-thread ring buffers, exportable as
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+//
+//   void Trainer::update() {
+//     ADSEC_SPAN("trainer.update");
+//     ...
+//   }
+//
+// The span name must be a string literal (or otherwise outlive the
+// process) — only the pointer is stored. When tracing is disabled (the
+// default) a span costs one relaxed load and a branch; when enabled, span
+// exit takes the owning thread's ring mutex (uncontended except during
+// export) and appends one 24-byte event. Each ring holds the most recent
+// kTraceRingCapacity spans of its thread; older events are overwritten, so
+// a trace is a sliding window, not an unbounded log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace adsec::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}
+
+inline constexpr std::size_t kTraceRingCapacity = 1 << 14;
+
+void set_tracing_enabled(bool on);
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// Append one completed span to the calling thread's ring.
+void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+
+// RAII scope: stamps begin at construction (if tracing is on) and records
+// at destruction. Spans that straddle a disable are still recorded.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      begin_ = now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) record_span(name_, begin_, now_ns());
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  static std::uint64_t now_ns();
+  const char* name_{nullptr};
+  std::uint64_t begin_{0};
+};
+
+#define ADSEC_SPAN_CONCAT2(a, b) a##b
+#define ADSEC_SPAN_CONCAT(a, b) ADSEC_SPAN_CONCAT2(a, b)
+// Profile the enclosing scope under `name` (a string literal).
+#define ADSEC_SPAN(name) \
+  ::adsec::telemetry::SpanGuard ADSEC_SPAN_CONCAT(adsec_span_, __LINE__)(name)
+
+// Total events currently buffered across all threads' rings.
+std::size_t trace_event_count();
+
+// Serialize all buffered spans as a Chrome trace-event JSON document
+// ({"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid"}, ...]}),
+// timestamps in microseconds on the shared telemetry clock.
+std::string chrome_trace_json();
+
+// Write chrome_trace_json() to `path`. Returns false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+// Drop all buffered spans (registrations and rings stay). For tests.
+void clear_trace();
+
+}  // namespace adsec::telemetry

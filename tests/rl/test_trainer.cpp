@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace adsec {
 namespace {
 
@@ -52,6 +54,24 @@ TEST(Trainer, RunsRequestedSteps) {
   EXPECT_FALSE(res.best_actor.has_value());  // eval disabled
   // 5-step episodes -> at least 40 episodes recorded.
   EXPECT_GE(static_cast<int>(res.episode_returns.size()), 35);
+  // One UpdateStats per update burst: steps 51..200 with update_every=1.
+  ASSERT_EQ(static_cast<int>(res.update_history.size()), 150);
+  int prev_step = 0;
+  for (const UpdateStats& u : res.update_history) {
+    EXPECT_GT(u.step, prev_step);  // strictly increasing burst steps
+    prev_step = u.step;
+    EXPECT_TRUE(std::isfinite(u.critic_loss));
+    EXPECT_TRUE(std::isfinite(u.actor_loss));
+    EXPECT_GT(u.alpha, 0.0);
+    EXPECT_TRUE(std::isfinite(u.critic_grad_norm));
+    EXPECT_GE(u.critic_grad_norm, 0.0);
+    EXPECT_TRUE(std::isfinite(u.actor_grad_norm));
+    EXPECT_GE(u.actor_grad_norm, 0.0);
+  }
+  // The critic actually received gradient somewhere in the run.
+  bool any_grad = false;
+  for (const UpdateStats& u : res.update_history) any_grad |= u.critic_grad_norm > 0.0;
+  EXPECT_TRUE(any_grad);
 }
 
 TEST(Trainer, EvalRecordsAndSnapshots) {

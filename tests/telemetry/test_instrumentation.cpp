@@ -1,0 +1,160 @@
+// End-to-end telemetry smoke test: run a real (tiny) SAC training loop with
+// all three collectors on and assert the expected event kinds, metrics, and
+// trace spans come out — the same wiring adsec_cli exercises via
+// --metrics-out/--chrome-trace/--log-json.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "rl/trainer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adsec {
+namespace {
+
+// Fixed-optimum environment (same shape as the trainer unit tests): reward
+// peaks at action 0.6 independent of state, episodes last 5 steps.
+class ConstTargetEnv : public Env {
+ public:
+  std::vector<double> reset(std::uint64_t seed) override {
+    (void)seed;
+    t_ = 0;
+    return {0.0};
+  }
+  EnvStep step(std::span<const double> a) override {
+    EnvStep s;
+    s.reward = -(a[0] - 0.6) * (a[0] - 0.6);
+    s.done = ++t_ >= 5;
+    s.obs = {0.0};
+    return s;
+  }
+  int obs_dim() const override { return 1; }
+  int act_dim() const override { return 1; }
+
+ private:
+  int t_{0};
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TelemetryInstrumentation, InstrumentedTrainingRunEmitsExpectedStreams) {
+  const std::string dir = ::testing::TempDir();
+  telemetry::TelemetryOptions opts;
+  opts.events_jsonl = dir + "adsec_instr_run.jsonl";
+  opts.chrome_trace = dir + "adsec_instr_trace.json";
+  opts.metrics_out = dir + "adsec_instr_metrics.json";
+  telemetry::reset_metrics_values();
+  telemetry::clear_trace();
+  ASSERT_TRUE(telemetry::configure(opts));
+
+  ConstTargetEnv env;
+  SacConfig cfg;
+  cfg.batch_size = 16;
+  Rng rng(1);
+  Sac sac(1, 1, cfg, rng);
+  TrainConfig tc;
+  tc.total_steps = 300;
+  tc.start_steps = 50;
+  tc.update_after = 50;
+  tc.eval_every = 100;
+  tc.eval_episodes = 2;
+  tc.plateau_eps = 1e9;
+  tc.plateau_patience = 99;
+  tc.checkpoint_every = 100;
+  tc.checkpoint_path = dir + "adsec_instr.ckpt";
+  const TrainResult res = train_sac(sac, env, tc);
+  telemetry::finalize();
+
+  // ---- JSONL event stream ----
+  const std::string jsonl = slurp(opts.events_jsonl);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_TRUE(testjson::valid_jsonl(jsonl));
+  std::set<std::string> kinds;
+  {
+    std::istringstream in(jsonl);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto k = line.find("\"kind\":\"");
+      ASSERT_NE(k, std::string::npos) << line;
+      const auto start = k + 8;
+      kinds.insert(line.substr(start, line.find('"', start) - start));
+      EXPECT_NE(line.find("\"ts_ns\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"tid\":"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(kinds.count("trainer.update")) << jsonl.substr(0, 400);
+  EXPECT_TRUE(kinds.count("trainer.episode"));
+  EXPECT_TRUE(kinds.count("trainer.eval"));
+  EXPECT_TRUE(kinds.count("checkpoint.save"));
+
+  // ---- Chrome trace ----
+  const std::string trace = slurp(opts.chrome_trace);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(testjson::valid_json(trace));
+  EXPECT_NE(trace.find("trainer.update_burst"), std::string::npos);
+  EXPECT_NE(trace.find("trainer.eval"), std::string::npos);
+  EXPECT_NE(trace.find("checkpoint.save"), std::string::npos);
+
+  // ---- Metrics snapshot ----
+  const std::string metrics = slurp(opts.metrics_out);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_TRUE(testjson::valid_json(metrics));
+  EXPECT_NE(metrics.find("\"trainer.env_steps\": 300"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("\"trainer.updates\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"checkpoint.save_ms\""), std::string::npos);
+
+  // ---- Satellite: SAC diagnostics threaded into TrainResult ----
+  ASSERT_FALSE(res.update_history.empty());
+  for (const UpdateStats& u : res.update_history) {
+    EXPECT_GT(u.step, 0);
+    EXPECT_TRUE(std::isfinite(u.critic_loss));
+    EXPECT_TRUE(std::isfinite(u.actor_loss));
+    EXPECT_GT(u.alpha, 0.0);
+    EXPECT_GE(u.critic_grad_norm, 0.0);
+    EXPECT_TRUE(std::isfinite(u.critic_grad_norm));
+    EXPECT_GE(u.actor_grad_norm, 0.0);
+  }
+
+  std::remove(opts.events_jsonl.c_str());
+  std::remove(opts.chrome_trace.c_str());
+  std::remove(opts.metrics_out.c_str());
+  std::remove(tc.checkpoint_path.c_str());
+}
+
+TEST(TelemetryInstrumentation, DisabledRunWritesNothing) {
+  // No configure(): the same training loop must not open files or buffer
+  // events — the disabled path is the product default.
+  telemetry::clear_trace();
+  const std::size_t traced_before = telemetry::trace_event_count();
+
+  ConstTargetEnv env;
+  SacConfig cfg;
+  cfg.batch_size = 16;
+  Rng rng(2);
+  Sac sac(1, 1, cfg, rng);
+  TrainConfig tc;
+  tc.total_steps = 120;
+  tc.start_steps = 40;
+  tc.update_after = 40;
+  tc.eval_every = 0;
+  train_sac(sac, env, tc);
+
+  EXPECT_EQ(telemetry::trace_event_count(), traced_before);
+  EXPECT_FALSE(telemetry::event_log_open());
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,113 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "json_check.hpp"
+#include "telemetry/clock.hpp"
+
+namespace adsec::telemetry {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_trace();
+    set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(TraceTest, SpanGuardRecordsOneEvent) {
+  const std::size_t before = trace_event_count();
+  {
+    ADSEC_SPAN("test.trace.span");
+  }
+  EXPECT_EQ(trace_event_count(), before + 1);
+}
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  set_tracing_enabled(false);
+  {
+    ADSEC_SPAN("test.trace.off");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, RecordSpanKeepsTimestamps) {
+  const std::uint64_t t0 = monotonic_ns();
+  record_span("test.trace.manual", t0, t0 + 1500);
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("test.trace.manual"), std::string::npos);
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  {
+    ADSEC_SPAN("test.trace.outer");
+    ADSEC_SPAN("test.trace.inner");
+  }
+  std::thread other([] {
+    ADSEC_SPAN("test.trace.worker");
+  });
+  other.join();
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.trace.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.inner"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.worker"), std::string::npos);
+  // Chrome trace-event required keys.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapsInsteadOfGrowing) {
+  for (std::size_t i = 0; i < kTraceRingCapacity + 100; ++i) {
+    ADSEC_SPAN("test.trace.wrap");
+  }
+  // This thread's ring holds at most kTraceRingCapacity events; the export
+  // must both bound memory and remain valid JSON after wrap-around.
+  EXPECT_LE(trace_event_count(), kTraceRingCapacity + 16);  // + other threads
+  EXPECT_TRUE(testjson::valid_json(chrome_trace_json()));
+}
+
+TEST_F(TraceTest, ClearTraceEmptiesBuffers) {
+  {
+    ADSEC_SPAN("test.trace.cleared");
+  }
+  ASSERT_GT(trace_event_count(), 0u);
+  clear_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  EXPECT_EQ(json.find("test.trace.cleared"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceCreatesParseableFile) {
+  {
+    ADSEC_SPAN("test.trace.file");
+  }
+  const std::string path = ::testing::TempDir() + "adsec_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(testjson::valid_json(content)) << content;
+  EXPECT_NE(content.find("test.trace.file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adsec::telemetry

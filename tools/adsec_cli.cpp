@@ -6,12 +6,21 @@
 //             [--budget <eps>] [--episodes <n>] [--scenario <preset>]
 //             [--seed <base>] [--jobs <n>] [--checkpoint-every <n>]
 //             [--with-reference] [--csv <path>] [--list]
+//             [--metrics-out <path>] [--chrome-trace <path>] [--log-json <path>]
 //
 // Learned agents/attackers come from the policy zoo (training on first use).
 // --checkpoint-every N makes that training crash-safe: progress is saved to
 // <zoo>/<name>.ckpt every N steps and a rerun resumes from it bit-exactly.
 // Episodes run on the parallel rollout runtime (--jobs worker threads,
 // default hardware_concurrency); results are bit-identical to --jobs 1.
+//
+// Telemetry (src/telemetry): --metrics-out dumps the final metrics registry
+// snapshot as JSON, --chrome-trace writes profiling spans in Chrome
+// trace-event format (open in Perfetto / chrome://tracing), --log-json
+// streams structured run events as JSON Lines while the run executes. All
+// three are independent; omitting them keeps telemetry disabled (~1 branch
+// per instrumentation site).
+//
 // Malformed flags (unknown names, non-numeric or out-of-range values) exit
 // with status 2 and usage on stderr.
 #include <cmath>
@@ -30,6 +39,7 @@
 #include "defense/simplex_agent.hpp"
 #include "runtime/aggregate.hpp"
 #include "runtime/parallel_eval.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace adsec;
 
@@ -46,6 +56,7 @@ struct Options {
   int checkpoint_every = -1;  // -1 => leave ADSEC_CKPT_EVERY as-is
   bool with_reference = false;
   std::string csv;
+  telemetry::TelemetryOptions telemetry;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -54,9 +65,14 @@ struct Options {
       "usage: %s [--agent A] [--attacker T] [--budget E] [--episodes N]\n"
       "          [--scenario P] [--seed S] [--jobs N] [--checkpoint-every N]\n"
       "          [--with-reference] [--csv PATH] [--list]\n"
+      "          [--metrics-out PATH] [--chrome-trace PATH] [--log-json PATH]\n"
       "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
       "attackers: none | oracle | noise | full | camera | imu | td3\n"
-      "scenarios: paper dense sparse two-lane s-curve fast-npc\n",
+      "scenarios: paper dense sparse two-lane s-curve fast-npc\n"
+      "telemetry: --metrics-out  final counters/gauges/histograms (JSON)\n"
+      "           --chrome-trace profiling spans (Chrome trace-event JSON;\n"
+      "                          open at https://ui.perfetto.dev)\n"
+      "           --log-json     structured run events (JSON Lines)\n",
       argv0);
   std::exit(code);
 }
@@ -135,6 +151,9 @@ Options parse(int argc, char** argv) {
       if (!parse_int(v, 0, opt.checkpoint_every)) bad_value(v);
     } else if (arg == "--with-reference") opt.with_reference = true;
     else if (arg == "--csv") opt.csv = value();
+    else if (arg == "--metrics-out") opt.telemetry.metrics_out = value();
+    else if (arg == "--chrome-trace") opt.telemetry.chrome_trace = value();
+    else if (arg == "--log-json") opt.telemetry.events_jsonl = value();
     else if (arg == "--list") {
       std::printf("scenario presets:");
       for (const auto& n : scenario_preset_names()) std::printf(" %s", n.c_str());
@@ -168,6 +187,17 @@ int main(int argc, char** argv) {
   if (opt.checkpoint_every >= 0) {
     runtime_config().checkpoint_every = opt.checkpoint_every;
   }
+  if (opt.telemetry.any() && !telemetry::configure(opt.telemetry)) {
+    std::fprintf(stderr, "cannot open --log-json file '%s' for writing\n",
+                 opt.telemetry.events_jsonl.c_str());
+    return 2;
+  }
+  telemetry::emit_event("cli.run",
+                        {{"agent", opt.agent},
+                         {"attacker", opt.attacker},
+                         {"scenario", opt.scenario},
+                         {"episodes", opt.episodes},
+                         {"jobs", opt.jobs > 0 ? opt.jobs : hardware_jobs()}});
 
   PolicyZoo zoo;
   ExperimentConfig cfg = zoo.experiment();
@@ -277,6 +307,15 @@ int main(int argc, char** argv) {
   if (!opt.csv.empty()) {
     t.write_csv(opt.csv);
     std::printf("wrote %s\n", opt.csv.c_str());
+  }
+  if (opt.telemetry.any()) {
+    telemetry::finalize();
+    if (!opt.telemetry.metrics_out.empty())
+      std::printf("wrote %s\n", opt.telemetry.metrics_out.c_str());
+    if (!opt.telemetry.chrome_trace.empty())
+      std::printf("wrote %s\n", opt.telemetry.chrome_trace.c_str());
+    if (!opt.telemetry.events_jsonl.empty())
+      std::printf("wrote %s\n", opt.telemetry.events_jsonl.c_str());
   }
   return 0;
 }
