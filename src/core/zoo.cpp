@@ -19,7 +19,10 @@ namespace adsec {
 
 namespace {
 
-// Cache effectiveness of the policy zoo across one process.
+// Cache effectiveness of the policy zoo across one process. The three
+// outcomes are disjoint — hit (loaded from cache), miss (no cache file),
+// retrain (cache file present but unusable) — so hit + miss + retrain
+// equals total lookups.
 struct ZooMetrics {
   telemetry::Counter cache_hit = telemetry::counter("zoo.cache_hit");
   telemetry::Counter cache_miss = telemetry::counter("zoo.cache_miss");
@@ -80,6 +83,7 @@ void PolicyZoo::arm_checkpoint(TrainConfig& cfg, const std::string& name) const 
 GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
                                           GaussianPolicy (PolicyZoo::*train)()) {
   const std::string file = path(name);
+  bool retraining = false;
   if (file_exists(file)) {
     log_debug("zoo: loading %s", file.c_str());
     try {
@@ -95,10 +99,11 @@ GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
                e.what());
       std::filesystem::remove(file);
       zoo_metrics().retrain.inc();
+      retraining = true;
     }
   }
   log_info("zoo: training %s (cache miss at %s)", name.c_str(), file.c_str());
-  zoo_metrics().cache_miss.inc();
+  if (!retraining) zoo_metrics().cache_miss.inc();
   const std::uint64_t t0 = telemetry::monotonic_ns();
   GaussianPolicy policy = [&] {
     ADSEC_SPAN("zoo.train");

@@ -214,7 +214,19 @@ void load_checkpoint_file(const std::string& path, Sac& sac, ReplayBuffer& buffe
                           const TrainConfig& config, TrainLoopState& st) {
   ADSEC_SPAN("checkpoint.load");
   const std::uint64_t t0 = telemetry::monotonic_ns();
-  BinaryReader r = BinaryReader::load_checked(path, kCheckpointFormatVersion);
+  std::uint32_t version = 0;
+  BinaryReader r =
+      BinaryReader::load_checked(path, kCheckpointFormatVersion, &version);
+  if (version != kCheckpointFormatVersion) {
+    // Old layouts must not reach the current readers: they would misparse
+    // (read garbage or throw a raw truncation error) instead of failing
+    // with a diagnosable reason.
+    throw Error(ErrorCode::Corrupt,
+                path + ": checkpoint format version " + std::to_string(version) +
+                    " predates the current layout (v" +
+                    std::to_string(kCheckpointFormatVersion) +
+                    "); delete the file and retrain");
+  }
   read_checkpoint(r, sac, buffer, config, st);
   const double ms =
       static_cast<double>(telemetry::monotonic_ns() - t0) / 1e6;

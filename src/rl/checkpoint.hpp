@@ -24,8 +24,11 @@
 namespace adsec {
 
 // v2: TrainResult carries update_history (per-burst SAC diagnostics) and
-// Sac serializes its last grad norms. v1 files fail CRC-era version checks
-// loudly and train_sac falls back to a fresh start.
+// Sac serializes its last grad norms. The container header records the
+// version and both load paths check it before parsing anything:
+// load_checkpoint_file rejects a v1 file with Error{Corrupt}, and
+// train_sac treats it as a resume miss (logs a warning and starts fresh).
+// Old payloads are never run through the current readers.
 inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 // Loop-position state alongside the Sac/replay snapshot.

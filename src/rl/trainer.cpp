@@ -183,9 +183,11 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
   bool resumed = false;
   if (!config.resume_from.empty() && file_exists(config.resume_from)) {
     bool container_ok = true;
+    std::uint32_t stored_version = 0;
     BinaryReader reader({});
     try {
-      reader = BinaryReader::load_checked(config.resume_from, kCheckpointFormatVersion);
+      reader = BinaryReader::load_checked(config.resume_from, kCheckpointFormatVersion,
+                                          &stored_version);
     } catch (const Error& e) {
       // An unreadable or torn checkpoint means the previous run died
       // mid-write before the atomic rename, or the file rotted on disk.
@@ -193,6 +195,17 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
       // start fresh rather than die.
       log_warn("train_sac: cannot resume from %s (%s); starting fresh",
                config.resume_from.c_str(), e.what());
+      container_ok = false;
+    }
+    if (container_ok && stored_version != kCheckpointFormatVersion) {
+      // Older containers frame a different payload layout; running them
+      // through today's readers would misparse, not fail cleanly. A
+      // pre-upgrade checkpoint is a resume miss, same as a corrupt file.
+      log_warn(
+          "train_sac: checkpoint %s has old format version %u (current %u); "
+          "starting fresh",
+          config.resume_from.c_str(), static_cast<unsigned>(stored_version),
+          static_cast<unsigned>(kCheckpointFormatVersion));
       container_ok = false;
     }
     if (container_ok) {

@@ -120,9 +120,16 @@ Histogram histogram(const std::string& name, const std::vector<double>& bounds) 
     if (def->name == name) return Histogram(def.get());
   }
   const std::size_t cells = bounds.size() + 1;
+  // Strictly increasing: equal adjacent bounds would create zero-width
+  // buckets that skew bucket assignment and quantile interpolation. The
+  // !(a < b) form also rejects NaN bounds.
+  const bool strictly_increasing =
+      std::adjacent_find(bounds.begin(), bounds.end(),
+                         [](double a, double b) { return !(a < b); }) ==
+      bounds.end();
   if (r.histograms.size() >= kMaxHistograms ||
       r.hist_cells_used + cells > kMaxHistCells || bounds.empty() ||
-      !std::is_sorted(bounds.begin(), bounds.end())) {
+      !strictly_increasing) {
     return Histogram(nullptr);
   }
   auto def = std::make_unique<HistogramDef>();

@@ -21,14 +21,20 @@ bool configure(const TelemetryOptions& opts) {
   return ok;
 }
 
-void finalize() {
+FinalizeResult finalize() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (!g_options.metrics_out.empty()) write_metrics_json(g_options.metrics_out);
-  if (!g_options.chrome_trace.empty()) write_chrome_trace(g_options.chrome_trace);
+  FinalizeResult res;
+  if (!g_options.metrics_out.empty()) {
+    res.metrics_written = write_metrics_json(g_options.metrics_out);
+  }
+  if (!g_options.chrome_trace.empty()) {
+    res.trace_written = write_chrome_trace(g_options.chrome_trace);
+  }
   close_event_log();
   set_tracing_enabled(false);
   set_metrics_enabled(false);
   g_options = TelemetryOptions{};
+  return res;
 }
 
 }  // namespace adsec::telemetry

@@ -37,8 +37,17 @@ struct TelemetryOptions {
 // not be opened (collection still proceeds for the others).
 bool configure(const TelemetryOptions& opts);
 
+// Which deferred outputs finalize() actually got onto disk. A flag is true
+// only when the corresponding file was configured AND written successfully,
+// so callers can report I/O failures instead of claiming success.
+struct FinalizeResult {
+  bool metrics_written{false};
+  bool trace_written{false};
+};
+
 // Write metrics/trace outputs configured earlier, close the event sink,
-// and disable collection. Idempotent.
-void finalize();
+// and disable collection. Idempotent; a repeat call reports nothing
+// written.
+FinalizeResult finalize();
 
 }  // namespace adsec::telemetry

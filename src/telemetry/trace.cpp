@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"  // json_quote
 
 namespace adsec::telemetry {
 
@@ -93,7 +94,9 @@ std::size_t trace_event_count() {
 std::string chrome_trace_json() {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
-  char buf[256];
+  // Fixed-size buffer for the numeric tail only; the name goes through
+  // json_quote so any characters (and any length) survive as valid JSON.
+  char buf[128];
   TraceRegistry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   for (const auto& ring : reg.rings) {
@@ -101,10 +104,13 @@ std::string chrome_trace_json() {
     for (const TraceEvent& e : ring->events) {
       const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
       const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+      out += first ? "\n" : ",\n";
+      out += "{\"name\": ";
+      out += json_quote(e.name);
       std::snprintf(buf, sizeof buf,
-                    "%s\n{\"name\": \"%s\", \"cat\": \"adsec\", \"ph\": \"X\", "
+                    ", \"cat\": \"adsec\", \"ph\": \"X\", "
                     "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
-                    first ? "" : ",", e.name, ts_us, dur_us, ring->tid);
+                    ts_us, dur_us, ring->tid);
       out += buf;
       first = false;
     }

@@ -417,6 +417,43 @@ TEST_F(Checkpoint, CheckpointSurvivesDeathAtEveryWritePoint) {
   EXPECT_EQ(res.steps_done, tc.total_steps);
 }
 
+TEST_F(Checkpoint, ResumeTreatsOldFormatVersionAsMiss) {
+  // A well-formed v1 container: valid magic/CRC, but a payload laid out by
+  // an older release. The resume path must not hand it to the v2 readers —
+  // it starts fresh, exactly like a corrupt or absent checkpoint.
+  BinaryWriter w;
+  w.write_string("train_checkpoint");  // plausible v1 prefix, v2 layout absent
+  w.write_i64(123);
+  w.save_checked(path_, /*format_version=*/1);
+
+  TrainConfig tc = small_config();
+  tc.eval_every = 0;
+  tc.resume_from = path_;
+  Sac sac = make_sac();
+  HistoryEnv env;
+  const TrainResult res = train_sac(sac, env, tc);  // fresh start, no throw
+  EXPECT_EQ(res.steps_done, tc.total_steps);
+}
+
+TEST_F(Checkpoint, LoadRejectsOldFormatVersionLoudly) {
+  BinaryWriter w;
+  w.write_string("train_checkpoint");
+  w.save_checked(path_, /*format_version=*/1);
+
+  TrainConfig tc = small_config();
+  ReplayBuffer buffer(tc.replay_capacity, 2, 1);
+  TrainLoopState st;
+  Sac loaded = make_sac();
+  try {
+    load_checkpoint_file(path_, loaded, buffer, tc, st);
+    FAIL() << "expected Error{Corrupt} for a v1 checkpoint";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+    EXPECT_NE(std::string(e.what()).find("format version"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(Checkpoint, FailedPeriodicWriteDoesNotAbortTraining) {
   TrainConfig tc = small_config();
   tc.total_steps = 100;

@@ -75,7 +75,9 @@ TEST(TelemetryInstrumentation, InstrumentedTrainingRunEmitsExpectedStreams) {
   tc.checkpoint_every = 100;
   tc.checkpoint_path = dir + "adsec_instr.ckpt";
   const TrainResult res = train_sac(sac, env, tc);
-  telemetry::finalize();
+  const telemetry::FinalizeResult fin = telemetry::finalize();
+  EXPECT_TRUE(fin.metrics_written);
+  EXPECT_TRUE(fin.trace_written);
 
   // ---- JSONL event stream ----
   const std::string jsonl = slurp(opts.events_jsonl);
@@ -154,6 +156,15 @@ TEST(TelemetryInstrumentation, DisabledRunWritesNothing) {
 
   EXPECT_EQ(telemetry::trace_event_count(), traced_before);
   EXPECT_FALSE(telemetry::event_log_open());
+}
+
+TEST(TelemetryInstrumentation, FinalizeReportsUnwritableOutputs) {
+  telemetry::TelemetryOptions opts;
+  opts.metrics_out = ::testing::TempDir() + "adsec_no_such_dir/metrics.json";
+  ASSERT_TRUE(telemetry::configure(opts));  // deferred output: opens nothing yet
+  const telemetry::FinalizeResult fin = telemetry::finalize();
+  EXPECT_FALSE(fin.metrics_written);  // directory does not exist
+  EXPECT_FALSE(fin.trace_written);    // never configured
 }
 
 }  // namespace

@@ -163,6 +163,18 @@ TEST_F(MetricsTest, CountsMergeAcrossPoolThreads) {
   EXPECT_EQ(hs->count, static_cast<std::uint64_t>(kTasks) * kIncsPerTask);
 }
 
+TEST_F(MetricsTest, HistogramRejectsNonStrictlyIncreasingBounds) {
+  // Equal adjacent bounds would create a zero-width bucket; the registry
+  // must hand back a no-op instrument instead of a skewed histogram.
+  Histogram dup = histogram("test.metrics.dup_bounds", {1.0, 1.0, 2.0});
+  dup.observe(1.5);  // must be a safe no-op
+  Histogram desc = histogram("test.metrics.desc_bounds", {2.0, 1.0});
+  desc.observe(0.5);
+  const MetricsSnapshot snap = metrics_snapshot();
+  EXPECT_EQ(find_hist(snap, "test.metrics.dup_bounds"), nullptr);
+  EXPECT_EQ(find_hist(snap, "test.metrics.desc_bounds"), nullptr);
+}
+
 TEST_F(MetricsTest, ResetZeroesValuesButKeepsHandles) {
   Counter c = counter("test.metrics.reset");
   c.inc(9);

@@ -69,6 +69,24 @@ TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"dur\""), std::string::npos);
 }
 
+TEST_F(TraceTest, ChromeTraceEscapesHostileAndLongNames) {
+  // Span names are normally string literals, but nothing enforces their
+  // content: quotes, backslashes, and names past any formatting buffer
+  // must still export as valid JSON. Static storage: rings keep the
+  // pointer until clear_trace() in TearDown.
+  static const std::string hostile = "test.trace.\"quoted\\path\"";
+  static const std::string long_name =
+      "test.trace.long." + std::string(300, 'x');
+  const std::uint64_t t0 = monotonic_ns();
+  record_span(hostile.c_str(), t0, t0 + 100);
+  record_span(long_name.c_str(), t0, t0 + 100);
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\\path\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find(std::string(300, 'x')), std::string::npos) << json;
+}
+
 TEST_F(TraceTest, RingWrapsInsteadOfGrowing) {
   for (std::size_t i = 0; i < kTraceRingCapacity + 100; ++i) {
     ADSEC_SPAN("test.trace.wrap");

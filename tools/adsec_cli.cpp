@@ -309,13 +309,24 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", opt.csv.c_str());
   }
   if (opt.telemetry.any()) {
-    telemetry::finalize();
-    if (!opt.telemetry.metrics_out.empty())
-      std::printf("wrote %s\n", opt.telemetry.metrics_out.c_str());
-    if (!opt.telemetry.chrome_trace.empty())
-      std::printf("wrote %s\n", opt.telemetry.chrome_trace.c_str());
+    const telemetry::FinalizeResult fin = telemetry::finalize();
+    bool write_failed = false;
+    const auto report = [&write_failed](const std::string& path, bool written) {
+      if (path.empty()) return;
+      if (written) {
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        write_failed = true;
+      }
+    };
+    report(opt.telemetry.metrics_out, fin.metrics_written);
+    report(opt.telemetry.chrome_trace, fin.trace_written);
+    // The JSONL sink streamed while the run executed; configure() already
+    // failed hard if it could not be opened.
     if (!opt.telemetry.events_jsonl.empty())
       std::printf("wrote %s\n", opt.telemetry.events_jsonl.c_str());
+    if (write_failed) return 2;
   }
   return 0;
 }
