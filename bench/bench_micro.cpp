@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "agents/modular_agent.hpp"
@@ -134,6 +135,69 @@ BENCHMARK(BM_EpisodeBatch)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// ---- NN compute kernels --------------------------------------------------
+// Blocked GEMM vs the reference:: triple loops, the shapes the training
+// loops actually hit. The old-vs-new ratio table in BENCH_micro.json comes
+// from write_gemm_kernels_table below; these google-benchmark entries give
+// the same numbers in the standard reporter.
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Matrix a = Matrix::randn(n, n, rng, 1.0);
+  const Matrix b = Matrix::randn(n, n, rng, 1.0);
+  Matrix c;
+  for (auto _ : state) {
+    matmul_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256);
+
+void BM_GemmReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Matrix a = Matrix::randn(n, n, rng, 1.0);
+  const Matrix b = Matrix::randn(n, n, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(256);
+
+void BM_Gemv(benchmark::State& state) {
+  // The rollout-stepping shape: one observation row through a 256-wide layer.
+  Rng rng(6);
+  const Matrix x = Matrix::randn(1, 256, rng, 1.0);
+  const Matrix w = Matrix::randn(256, 256, rng, 0.1);
+  const Matrix b = Matrix::randn(1, 256, rng, 0.1);
+  Matrix y;
+  for (auto _ : state) {
+    linear_forward_into(y, x, w, b, Activation::ReLU);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gemv);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  // The acceptance shape: batch 256 through 64 -> 256 -> 256 -> 1.
+  Rng rng(7);
+  Mlp net({64, 256, 256, 1}, Activation::ReLU, rng);
+  const Matrix x = Matrix::randn(256, 64, rng, 1.0);
+  Matrix g(256, 1);
+  g.fill(1.0 / 256.0);
+  for (auto _ : state) {
+    net.forward(x);
+    net.backward(g);
+    net.zero_grad();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForwardBackward)->Unit(benchmark::kMillisecond);
+
 void BM_SacUpdate(benchmark::State& state) {
   const int obs_dim = static_cast<int>(state.range(0));
   SacConfig cfg;
@@ -214,6 +278,176 @@ double measure_ns_per_op(const std::function<void()>& op) {
   return best;
 }
 
+// Like measure_ns_per_op but for expensive ops: caller picks the iteration
+// count (the 4M-iteration default would take hours on a 256^3 GEMM).
+double measure_ns_scaled(const std::function<void()>& op, int iters) {
+  const int warmup = std::max(1, iters / 4);
+  for (int i = 0; i < warmup; ++i) op();
+  double best = 1e300;  // best-of-3 filters scheduler noise
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::uint64_t t0 = telemetry::monotonic_ns();
+    for (int i = 0; i < iters; ++i) op();
+    const std::uint64_t t1 = telemetry::monotonic_ns();
+    best = std::min(best, static_cast<double>(t1 - t0) / iters);
+  }
+  return best;
+}
+
+// The pre-PR compute path, reconstructed from the reference:: kernels: an
+// allocating forward (linear_forward + activation per layer) and an
+// allocating backward (matmul_tn / column_sum / matmul_nt with add_inplace).
+// This is the baseline the "speedup" column — and the >= 2x acceptance bar
+// on the MLP row — is measured against.
+struct RefMlp {
+  std::vector<Matrix> w, b, wg, bg;
+  Activation act{Activation::ReLU};
+  std::vector<Matrix> inputs;  // cached activations, like the old Mlp
+
+  RefMlp(const std::vector<int>& dims, Rng& rng) {
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+      const double scale = 1.0 / std::sqrt(static_cast<double>(dims[l]));
+      w.push_back(Matrix::randn(dims[l], dims[l + 1], rng, scale));
+      b.push_back(Matrix(1, dims[l + 1]));
+      wg.push_back(Matrix(dims[l], dims[l + 1]));
+      bg.push_back(Matrix(1, dims[l + 1]));
+    }
+  }
+
+  Matrix forward(const Matrix& x) {
+    inputs.clear();
+    inputs.push_back(x);
+    Matrix h = x;
+    for (std::size_t l = 0; l < w.size(); ++l) {
+      h = reference::linear_forward(h, w[l], b[l]);
+      if (l + 1 < w.size()) apply_activation(act, h);
+      if (l + 1 < w.size()) inputs.push_back(h);
+    }
+    return h;
+  }
+
+  void backward(const Matrix& grad_out) {
+    Matrix cur = grad_out;
+    for (std::size_t i = w.size(); i-- > 0;) {
+      if (i + 1 < w.size()) apply_activation_grad(act, inputs[i + 1], cur);
+      wg[i].add_inplace(reference::matmul_tn(inputs[i], cur));
+      bg[i].add_inplace(reference::column_sum(cur));
+      cur = reference::matmul_nt(cur, w[i]);
+    }
+  }
+
+  void zero_grad() {
+    for (auto& m : wg) m.set_zero();
+    for (auto& m : bg) m.set_zero();
+  }
+};
+
+// Old-vs-new kernel table for BENCH_micro.json: blocked/fused path against
+// the pre-PR reference kernels at the shapes that matter.
+void write_gemm_kernels_table() {
+  Rng rng(21);
+  Table t({"op", "new_ns", "ref_ns", "speedup"});
+  auto row = [&t](const char* op, double new_ns, double ref_ns) {
+    t.add_row({op, fmt(new_ns, 0), fmt(ref_ns, 0), fmt(ref_ns / new_ns, 2)});
+    std::printf("kernels: %-18s new %10.0f ns  ref %10.0f ns  speedup %5.2fx\n", op,
+                new_ns, ref_ns, ref_ns / new_ns);
+  };
+
+  for (const int n : {64, 256}) {
+    const Matrix a = Matrix::randn(n, n, rng, 1.0);
+    const Matrix b = Matrix::randn(n, n, rng, 1.0);
+    Matrix c;
+    const int iters = n == 64 ? 256 : 16;
+    const double new_ns = measure_ns_scaled([&] { matmul_into(c, a, b); }, iters);
+    const double ref_ns =
+        measure_ns_scaled([&] { benchmark::DoNotOptimize(reference::matmul(a, b)); },
+                          iters);
+    row(n == 64 ? "gemm_64" : "gemm_256", new_ns, ref_ns);
+  }
+
+  {
+    const Matrix x = Matrix::randn(1, 256, rng, 1.0);
+    const Matrix w = Matrix::randn(256, 256, rng, 0.1);
+    const Matrix bias = Matrix::randn(1, 256, rng, 0.1);
+    Matrix y;
+    const double new_ns = measure_ns_scaled(
+        [&] { linear_forward_into(y, x, w, bias, Activation::ReLU); }, 2048);
+    const double ref_ns = measure_ns_scaled(
+        [&] {
+          Matrix h = reference::linear_forward(x, w, bias);
+          apply_activation(Activation::ReLU, h);
+          benchmark::DoNotOptimize(h.data());
+        },
+        2048);
+    row("gemv_1x256", new_ns, ref_ns);
+  }
+
+  {
+    const std::vector<int> dims = {64, 256, 256, 1};
+    Rng r1(22), r2(22);
+    Mlp net(dims, Activation::ReLU, r1);
+    RefMlp ref(dims, r2);
+    const Matrix x = Matrix::randn(256, 64, rng, 1.0);
+    Matrix g(256, 1);
+    g.fill(1.0 / 256.0);
+    const double new_ns = measure_ns_scaled(
+        [&] {
+          net.forward(x);
+          net.backward(g);
+          net.zero_grad();
+        },
+        8);
+    const double ref_ns = measure_ns_scaled(
+        [&] {
+          ref.forward(x);
+          ref.backward(g);
+          ref.zero_grad();
+        },
+        8);
+    row("mlp_fb_256x64-256-256-1", new_ns, ref_ns);
+  }
+
+  bench::maybe_write_csv(t, "gemm_kernels");
+}
+
+// Kernel telemetry for one representative gradient step: gemm/gemv call and
+// FLOP tallies plus the workspace pool footprint, mirrored into
+// BENCH_micro.json so perf regressions show up as count changes too.
+void write_nn_counter_table() {
+  telemetry::reset_metrics_values();
+  telemetry::set_metrics_enabled(true);
+
+  Rng rng(23);
+  SacConfig cfg;
+  cfg.batch_size = 64;
+  Sac sac(64, 2, cfg, rng);
+  ReplayBuffer buf(1024, 64, 2);
+  std::vector<double> obs(64);
+  for (int i = 0; i < 128; ++i) {
+    for (auto& v : obs) v = rng.uniform(-1.0, 1.0);
+    const double act[2] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    buf.add(obs, act, rng.uniform(), obs, false);
+  }
+  sac.update(buf, rng);  // warm (pool growth happens here)
+  telemetry::reset_metrics_values();
+  sac.update(buf, rng);  // measured update
+
+  const telemetry::MetricsSnapshot snap = telemetry::metrics_snapshot();
+  telemetry::set_metrics_enabled(false);
+
+  Table t({"counter", "value"});
+  for (const char* name : {"nn.gemm.calls", "nn.gemm.flops", "nn.gemv.calls",
+                           "nn.workspace.bytes", "nn.workspace.buffers"}) {
+    std::uint64_t value = 0;
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) value = v;
+    }
+    t.add_row({name, std::to_string(value)});
+    std::printf("sac update counters: %-22s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  }
+  bench::maybe_write_csv(t, "nn_kernel_counters");
+}
+
 void write_overhead_table() {
   telemetry::Counter c = telemetry::counter("bench.overhead_counter");
   telemetry::Histogram h = telemetry::histogram(
@@ -255,6 +489,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  adsec::write_gemm_kernels_table();
+  adsec::write_nn_counter_table();
   adsec::write_overhead_table();
   return 0;
 }

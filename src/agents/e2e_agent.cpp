@@ -20,11 +20,11 @@ E2EAgent::E2EAgent(GaussianPolicy policy, const CameraConfig& camera_config,
 void E2EAgent::reset(const World& world) { observer_.reset(world); }
 
 Action E2EAgent::decide(const World& world) {
-  const std::vector<double> obs = observer_.observe(world);
-  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
+  row_into(obs_mat_, observer_.observe(world));
+  policy_.mean_action_into(obs_mat_, act_mat_);
   Action act;
-  act.steer_variation = a(0, 0);
-  act.thrust_variation = a(0, 1);
+  act.steer_variation = act_mat_(0, 0);
+  act.thrust_variation = act_mat_(0, 1);
   return act;
 }
 

@@ -28,6 +28,7 @@ class E2EAgent : public DrivingAgent {
   GaussianPolicy policy_;
   StackedCameraObserver observer_;
   std::string name_;
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 }  // namespace adsec

@@ -60,9 +60,9 @@ EnvStep AttackEnv::step(std::span<const double> action) {
   // Teacher's delta from its own camera view of the same moment.
   double teacher_delta = 0.0;
   if (teacher_) {
-    const auto tobs = teacher_observer_->observe(*world_);
-    const Matrix ta = teacher_->mean_action(Matrix::from_vector(tobs));
-    teacher_delta = config_.budget * clamp(ta(0, 0), -1.0, 1.0);
+    row_into(teacher_obs_, teacher_observer_->observe(*world_));
+    teacher_->mean_action_into(teacher_obs_, teacher_act_);
+    teacher_delta = config_.budget * clamp(teacher_act_(0, 0), -1.0, 1.0);
   }
 
   // Victim decides; the perturbation is added to its steering variation

@@ -64,6 +64,7 @@ class AttackEnv : public Env {
   // Teacher (camera pipeline + policy) for the p_se term.
   std::optional<GaussianPolicy> teacher_;
   std::optional<StackedCameraObserver> teacher_observer_;
+  Matrix teacher_obs_, teacher_act_;  // per-step staging, reused
 };
 
 }  // namespace adsec

@@ -21,9 +21,9 @@ LearnedCameraAttacker::LearnedCameraAttacker(GaussianPolicy policy, double budge
 void LearnedCameraAttacker::reset(const World& world) { observer_.reset(world); }
 
 double LearnedCameraAttacker::decide(const World& world) {
-  const auto obs = observer_.observe(world);
-  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
-  return budget_ * clamp(a(0, 0), -1.0, 1.0);
+  row_into(obs_mat_, observer_.observe(world));
+  policy_.mean_action_into(obs_mat_, act_mat_);
+  return budget_ * clamp(act_mat_(0, 0), -1.0, 1.0);
 }
 
 DeterministicCameraAttacker::DeterministicCameraAttacker(Mlp policy, double budget,
@@ -38,9 +38,9 @@ DeterministicCameraAttacker::DeterministicCameraAttacker(Mlp policy, double budg
 void DeterministicCameraAttacker::reset(const World& world) { observer_.reset(world); }
 
 double DeterministicCameraAttacker::decide(const World& world) {
-  const auto obs = observer_.observe(world);
-  const Matrix u = policy_.forward_inference(Matrix::from_vector(obs));
-  return budget_ * std::tanh(u(0, 0));
+  row_into(obs_mat_, observer_.observe(world));
+  policy_.forward_inference_into(obs_mat_, act_mat_);
+  return budget_ * std::tanh(act_mat_(0, 0));
 }
 
 LearnedImuAttacker::LearnedImuAttacker(GaussianPolicy policy, double budget,
@@ -58,9 +58,9 @@ void LearnedImuAttacker::reset(const World& world) { imu_.reset(world); }
 
 double LearnedImuAttacker::decide(const World& world) {
   (void)world;  // the IMU attacker sees only its inertial window
-  const auto obs = imu_.observation();
-  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
-  return budget_ * clamp(a(0, 0), -1.0, 1.0);
+  row_into(obs_mat_, imu_.observation());
+  policy_.mean_action_into(obs_mat_, act_mat_);
+  return budget_ * clamp(act_mat_(0, 0), -1.0, 1.0);
 }
 
 void LearnedImuAttacker::post_step(const World& world) { imu_.update(world); }

@@ -59,6 +59,7 @@ class LearnedCameraAttacker : public Attacker {
   GaussianPolicy policy_;
   StackedCameraObserver observer_;
   double budget_;
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 // Camera attacker with a deterministic (TD3-style) policy network: tanh of
@@ -78,6 +79,7 @@ class DeterministicCameraAttacker : public Attacker {
   Mlp policy_;
   StackedCameraObserver observer_;
   double budget_;
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 class LearnedImuAttacker : public Attacker {
@@ -95,6 +97,7 @@ class LearnedImuAttacker : public Attacker {
   GaussianPolicy policy_;
   ImuSensor imu_;
   double budget_;
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 }  // namespace adsec

@@ -75,10 +75,11 @@ Action FgsmAttackedE2EAgent::decide(const World& world) {
     total_injected_ += eps_ * static_cast<double>(obs.size());
   }
 
-  const Matrix a = policy_.mean_action(Matrix::from_vector(obs));
+  row_into(obs_mat_, obs);
+  policy_.mean_action_into(obs_mat_, act_mat_);
   Action act;
-  act.steer_variation = a(0, 0);
-  act.thrust_variation = a(0, 1);
+  act.steer_variation = act_mat_(0, 0);
+  act.thrust_variation = act_mat_(0, 1);
   return act;
 }
 

@@ -57,6 +57,7 @@ class FgsmAttackedE2EAgent : public DrivingAgent {
   double eps_;
   AdvRewardConfig reward_;
   double total_injected_{0.0};
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 }  // namespace adsec

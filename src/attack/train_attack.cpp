@@ -137,17 +137,19 @@ void bc_regress_mlp(Mlp& net, const Matrix& obs, const Matrix& labels, int epoch
   Adam opt(net.params(), net.grads(), cfg);
   const int n = obs.rows();
   const int batch = 64;
+  Matrix bo, bl, grad;  // hoisted batch buffers, resized in place
   for (int e = 0; e < epochs; ++e) {
     for (int start = 0; start < n; start += batch) {
       const int bsz = std::min(batch, n - start);
-      Matrix bo(bsz, obs.cols()), bl(bsz, 1);
+      bo.resize(bsz, obs.cols());
+      bl.resize(bsz, 1);
       for (int i = 0; i < bsz; ++i) {
         const int k = static_cast<int>(rng.uniform_int(static_cast<std::uint32_t>(n)));
         for (int j = 0; j < obs.cols(); ++j) bo(i, j) = obs(k, j);
         bl(i, 0) = std::atanh(clamp(labels(k, 0), -0.99, 0.99));
       }
-      const Matrix u = net.forward(bo);
-      Matrix grad(bsz, 1);
+      const Matrix& u = net.forward(bo);
+      grad.resize(bsz, 1);
       for (int i = 0; i < bsz; ++i) grad(i, 0) = 2.0 * (u(i, 0) - bl(i, 0)) / bsz;
       net.backward(grad);
       opt.step();

@@ -38,12 +38,15 @@ ZooMetrics& zoo_metrics() {
 double eval_policy_return(const GaussianPolicy& policy, Env& env, int episodes,
                           std::uint64_t seed_base) {
   double total = 0.0;
+  Matrix obs_mat, act_mat;
+  std::vector<double> act;
   for (int k = 0; k < episodes; ++k) {
     auto obs = env.reset(seed_base + static_cast<std::uint64_t>(k));
     bool done = false;
     while (!done) {
-      const Matrix a = policy.mean_action(Matrix::from_vector(obs));
-      std::vector<double> act(a.data(), a.data() + a.cols());
+      row_into(obs_mat, obs);
+      policy.mean_action_into(obs_mat, act_mat);
+      act.assign(act_mat.data(), act_mat.data() + act_mat.cols());
       EnvStep s = env.step(act);
       total += s.reward;
       done = s.done;

@@ -35,6 +35,7 @@ class PnnSwitchedAgent : public DrivingAgent {
   StackedCameraObserver observer_;
   double sigma_;
   double budget_estimate_{0.0};
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 struct PnnTrainSpec {

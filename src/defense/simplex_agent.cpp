@@ -40,13 +40,13 @@ Action DetectorSwitchedAgent::decide(const World& world) {
   }
   prev_applied_ = applied;
 
-  const auto obs = observer_.observe(world);
+  row_into(obs_mat_, observer_.observe(world));
   const GaussianPolicy& active = using_adversarial_column() ? pnn_column_ : original_;
-  const Matrix a = active.mean_action(Matrix::from_vector(obs));
+  active.mean_action_into(obs_mat_, act_mat_);
 
   Action act;
-  act.steer_variation = a(0, 0);
-  act.thrust_variation = a(0, 1);
+  act.steer_variation = act_mat_(0, 0);
+  act.thrust_variation = act_mat_(0, 1);
   last_commanded_nu_ = act.steer_variation;
   has_prev_cycle_ = true;
   return act;

@@ -46,6 +46,8 @@ class DetectorSwitchedAgent : public DrivingAgent {
   double last_commanded_nu_{0.0};
   double prev_applied_{0.0};
   bool has_prev_cycle_{false};
+
+  Matrix obs_mat_, act_mat_;  // decide() staging, reused every control cycle
 };
 
 }  // namespace adsec

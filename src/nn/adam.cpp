@@ -28,7 +28,9 @@ void Adam::step() {
   if (config_.grad_clip > 0.0) {
     double norm2 = 0.0;
     for (const auto* g : grads_) {
-      for (std::size_t i = 0; i < g->size(); ++i) norm2 += g->data()[i] * g->data()[i];
+      const double* __restrict gd = g->data();
+      const std::size_t n = g->size();
+      for (std::size_t i = 0; i < n; ++i) norm2 += gd[i] * gd[i];
     }
     const double norm = std::sqrt(norm2);
     if (norm > config_.grad_clip) {
@@ -37,22 +39,27 @@ void Adam::step() {
     }
   }
 
+  // Hoisted pointers and constants; the expressions themselves are kept
+  // verbatim so parameter trajectories are unchanged.
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const double b1 = config_.beta1, b2 = config_.beta2;
+  const double lr = config_.lr, eps = config_.eps;
   for (std::size_t k = 0; k < params_.size(); ++k) {
-    Matrix& p = *params_[k];
-    Matrix& g = *grads_[k];
-    Matrix& m = m_[k];
-    Matrix& v = v_[k];
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      const double gi = g.data()[i];
-      m.data()[i] = config_.beta1 * m.data()[i] + (1.0 - config_.beta1) * gi;
-      v.data()[i] = config_.beta2 * v.data()[i] + (1.0 - config_.beta2) * gi * gi;
-      const double mhat = m.data()[i] / bc1;
-      const double vhat = v.data()[i] / bc2;
-      p.data()[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    double* __restrict p = params_[k]->data();
+    double* __restrict g = grads_[k]->data();
+    double* __restrict m = m_[k].data();
+    double* __restrict v = v_[k].data();
+    const std::size_t n = params_[k]->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double gi = g[i];
+      m[i] = b1 * m[i] + (1.0 - b1) * gi;
+      v[i] = b2 * v[i] + (1.0 - b2) * gi * gi;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
-    g.set_zero();
+    grads_[k]->set_zero();
   }
 }
 

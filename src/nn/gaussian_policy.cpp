@@ -26,7 +26,7 @@ GaussianPolicy& GaussianPolicy::operator=(const GaussianPolicy& other) {
   if (this != &other) {
     trunk_ = other.trunk_->clone();
     act_dim_ = other.act_dim_;
-    cache_ = {};
+    cache_.valid = false;
   }
   return *this;
 }
@@ -40,70 +40,59 @@ GaussianPolicy GaussianPolicy::make_mlp(int obs_dim, const std::vector<int>& hid
   return GaussianPolicy(std::make_unique<Mlp>(dims, Activation::ReLU, rng), act_dim);
 }
 
-void GaussianPolicy::split_head(const Matrix& head, int act_dim, Matrix& mu,
-                                Matrix& log_std) {
+void GaussianPolicy::sample_into(const Matrix& head, int act_dim, Rng& rng,
+                                 PolicySample& out, SampleCache* cache) {
   const int n = head.rows();
-  mu = Matrix(n, act_dim);
-  log_std = Matrix(n, act_dim);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < act_dim; ++j) {
-      mu(i, j) = head(i, j);
-      log_std(i, j) = clamp(head(i, act_dim + j), kLogStdMin, kLogStdMax);
-    }
+  out.action.resize(n, act_dim);
+  out.log_prob.resize(n, 1);
+  if (cache != nullptr) {
+    cache->a.resize(n, act_dim);
+    cache->sigma.resize(n, act_dim);
+    cache->xi.resize(n, act_dim);
   }
-}
-
-PolicySample GaussianPolicy::sample_from_head(const Matrix& head, int act_dim, Rng& rng,
-                                              SampleCache* cache) {
-  Matrix mu, ls;
-  split_head(head, act_dim, mu, ls);
-  const int n = head.rows();
-
-  Matrix sigma(n, act_dim), xi(n, act_dim), a(n, act_dim);
-  PolicySample out;
-  out.log_prob = Matrix(n, 1);
+  // Row-major element order fixed: the rng.normal() draw sequence is part of
+  // run determinism (checkpoint resume replays it).
   for (int i = 0; i < n; ++i) {
     double logp = 0.0;
     for (int j = 0; j < act_dim; ++j) {
-      const double s = std::exp(ls(i, j));
+      const double ls = clamp(head(i, act_dim + j), kLogStdMin, kLogStdMax);
+      const double s = std::exp(ls);
       const double x = rng.normal();
-      const double u = mu(i, j) + s * x;
+      const double u = head(i, j) + s * x;
       const double av = std::tanh(u);
-      sigma(i, j) = s;
-      xi(i, j) = x;
-      a(i, j) = av;
-      logp += -0.5 * x * x - ls(i, j) - kHalfLog2Pi - std::log(1.0 - av * av + kTanhEps);
+      out.action(i, j) = av;
+      if (cache != nullptr) {
+        cache->a(i, j) = av;
+        cache->sigma(i, j) = s;
+        cache->xi(i, j) = x;
+      }
+      logp += -0.5 * x * x - ls - kHalfLog2Pi - std::log(1.0 - av * av + kTanhEps);
     }
     out.log_prob(i, 0) = logp;
   }
-  out.action = a;
-  if (cache != nullptr) {
-    cache->a = std::move(a);
-    cache->sigma = std::move(sigma);
-    cache->xi = std::move(xi);
-    cache->valid = true;
+  if (cache != nullptr) cache->valid = true;
+}
+
+const PolicySample& GaussianPolicy::sample(const Matrix& obs, Rng& rng) {
+  const Matrix& head = trunk_->forward(obs);
+  sample_into(head, act_dim_, rng, sample_, &cache_);
+  return sample_;
+}
+
+void GaussianPolicy::sample_inference_into(const Matrix& obs, Rng& rng,
+                                           PolicySample& out) const {
+  auto head = inference_workspace().acquire(obs.rows(), 2 * act_dim_);
+  trunk_->forward_inference_into(obs, *head);
+  sample_into(*head, act_dim_, rng, out, nullptr);
+}
+
+void GaussianPolicy::mean_action_into(const Matrix& obs, Matrix& out) const {
+  auto head = inference_workspace().acquire(obs.rows(), 2 * act_dim_);
+  trunk_->forward_inference_into(obs, *head);
+  out.resize(obs.rows(), act_dim_);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < act_dim_; ++j) out(i, j) = std::tanh((*head)(i, j));
   }
-  return out;
-}
-
-PolicySample GaussianPolicy::sample(const Matrix& obs, Rng& rng) {
-  const Matrix head = trunk_->forward(obs);
-  return sample_from_head(head, act_dim_, rng, &cache_);
-}
-
-PolicySample GaussianPolicy::sample_inference(const Matrix& obs, Rng& rng) const {
-  const Matrix head = trunk_->forward_inference(obs);
-  return sample_from_head(head, act_dim_, rng, nullptr);
-}
-
-Matrix GaussianPolicy::mean_action(const Matrix& obs) const {
-  const Matrix head = trunk_->forward_inference(obs);
-  Matrix mu, ls;
-  split_head(head, act_dim_, mu, ls);
-  for (int i = 0; i < mu.rows(); ++i) {
-    for (int j = 0; j < mu.cols(); ++j) mu(i, j) = std::tanh(mu(i, j));
-  }
-  return mu;
 }
 
 void GaussianPolicy::backward(const Matrix& dL_da, const Matrix& dL_dlogp) {
@@ -115,7 +104,7 @@ void GaussianPolicy::backward(const Matrix& dL_da, const Matrix& dL_dlogp) {
   }
 
   // Head gradient layout: [d mu | d log_std].
-  Matrix dhead(n, 2 * act_dim_);
+  dhead_.resize(n, 2 * act_dim_);
   for (int i = 0; i < n; ++i) {
     const double glp = dL_dlogp(i, 0);
     for (int j = 0; j < act_dim_; ++j) {
@@ -128,11 +117,11 @@ void GaussianPolicy::backward(const Matrix& dL_da, const Matrix& dL_dlogp) {
       // d(-log(1-a^2+eps))/du = +2a(1-a^2)/(1-a^2+eps).
       const double dlogp_dmu = 2.0 * a * one_m_a2 / (one_m_a2 + kTanhEps);
       const double dlogp_dls = -1.0 + 2.0 * a * one_m_a2 * sx / (one_m_a2 + kTanhEps);
-      dhead(i, j) = dL_da(i, j) * da_dmu + glp * dlogp_dmu;
-      dhead(i, act_dim_ + j) = dL_da(i, j) * da_dls + glp * dlogp_dls;
+      dhead_(i, j) = dL_da(i, j) * da_dmu + glp * dlogp_dmu;
+      dhead_(i, act_dim_ + j) = dL_da(i, j) * da_dls + glp * dlogp_dls;
     }
   }
-  trunk_->backward(dhead);
+  trunk_->backward(dhead_);
   cache_.valid = false;
 }
 

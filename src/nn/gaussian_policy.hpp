@@ -6,6 +6,12 @@
 // respect to the sampled action and to log-prob and chains them through the
 // sampling noise into the trunk — exactly what SAC's actor loss
 // E[alpha * log pi - Q] needs.
+//
+// The hot entry points are destination-passing: sample() returns a
+// reference to a member sample (valid until the next sample()), and the
+// *_into inference variants write caller buffers using only thread-local
+// workspace scratch, so rollout stepping and gradient bursts run
+// allocation-free at steady state.
 #pragma once
 
 #include <memory>
@@ -31,14 +37,26 @@ class GaussianPolicy {
   static GaussianPolicy make_mlp(int obs_dim, const std::vector<int>& hidden,
                                  int act_dim, Rng& rng);
 
-  // Training-mode sample; caches intermediates for backward().
-  PolicySample sample(const Matrix& obs, Rng& rng);
+  // Training-mode sample; caches intermediates for backward(). The returned
+  // sample is a member buffer, valid until the next sample() on this policy.
+  const PolicySample& sample(const Matrix& obs, Rng& rng);
 
-  // Stochastic sample without caching (usable on const objects).
-  PolicySample sample_inference(const Matrix& obs, Rng& rng) const;
+  // Stochastic sample without caching (usable on const objects); writes the
+  // caller's buffers.
+  void sample_inference_into(const Matrix& obs, Rng& rng, PolicySample& out) const;
+  PolicySample sample_inference(const Matrix& obs, Rng& rng) const {
+    PolicySample out;
+    sample_inference_into(obs, rng, out);
+    return out;
+  }
 
   // Deterministic action tanh(mu) — used at evaluation time.
-  Matrix mean_action(const Matrix& obs) const;
+  void mean_action_into(const Matrix& obs, Matrix& out) const;
+  Matrix mean_action(const Matrix& obs) const {
+    Matrix out;
+    mean_action_into(obs, out);
+    return out;
+  }
 
   // Chain loss gradients through the last sample() into the trunk.
   // dL_da: batch x act_dim; dL_dlogp: batch x 1.
@@ -64,14 +82,16 @@ class GaussianPolicy {
     bool valid{false};
   };
 
-  // Split trunk output into mu and clamped log_std.
-  static void split_head(const Matrix& head, int act_dim, Matrix& mu, Matrix& log_std);
-  static PolicySample sample_from_head(const Matrix& head, int act_dim, Rng& rng,
-                                       SampleCache* cache);
+  // Sample from a [mu | log_std] head into `out` (buffers resized in
+  // place); fills `cache` for a later backward() when non-null.
+  static void sample_into(const Matrix& head, int act_dim, Rng& rng, PolicySample& out,
+                          SampleCache* cache);
 
   std::unique_ptr<Trunk> trunk_;
   int act_dim_{0};
   SampleCache cache_;
+  PolicySample sample_;  // returned by sample()
+  Matrix dhead_;         // backward scratch
 };
 
 inline constexpr double kLogStdMin = -5.0;

@@ -1,6 +1,22 @@
 // Dense row-major matrix of doubles — the only tensor type the NN stack
-// needs. Sized for this library's workloads (batch x few-hundred features):
-// a cache-friendly ikj matmul is plenty on one core.
+// needs — plus the compute kernels every training loop bottoms out in.
+//
+// Two kernel tiers:
+//   * The destination-passing `*_into` kernels are the hot path: register
+//     and cache-blocked GEMM with packed panels, a GEMV fast path for the
+//     1 x N inference shapes that dominate rollout stepping, and fused
+//     bias+activation epilogues. They never allocate when the destination
+//     already has the right capacity.
+//   * `reference::` holds the plain triple-loop kernels. They are the
+//     ground truth for the parity test suite and the old-vs-new
+//     micro-benchmarks, not for production call sites.
+// The allocating wrappers (matmul, linear_forward, ...) forward to the
+// blocked kernels, so legacy call sites get the fast path too.
+//
+// Summation order is ascending-k everywhere (microkernel, GEMV path, and
+// reference), so for k <= kKernelKc the blocked kernels are bit-identical
+// to the reference ones in builds without FP contraction; see DESIGN.md
+// "Compute kernels".
 #pragma once
 
 #include <cstddef>
@@ -35,6 +51,15 @@ class Matrix {
     return {data_.data() + idx(r, 0), static_cast<std::size_t>(cols_)};
   }
 
+  // Reshape in place, reusing the existing heap block whenever the new
+  // element count fits its capacity. Element values are unspecified after a
+  // shape change (grown storage is zero-filled by vector::resize, but the
+  // old elements do not keep their (r, c) positions).
+  void resize(int rows, int cols);
+
+  // Become a copy of `src` (resize + memcpy; no allocation at steady state).
+  void copy_from(const Matrix& src);
+
   void fill(double v);
   void set_zero() { fill(0.0); }
 
@@ -56,6 +81,52 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// m = 1 x n row copy of v, reusing m's storage — the allocation-free
+// counterpart of Matrix::from_vector for per-step observation staging.
+void row_into(Matrix& m, std::span<const double> v);
+
+// Hidden-layer nonlinearities. Lives here (not mlp.hpp) so the kernels can
+// fuse the activation epilogue into the GEMM store.
+enum class Activation { Identity, ReLU, Tanh };
+
+// Apply activation / its derivative (as a function of the *pre*-activation z
+// and post-activation h).
+void apply_activation(Activation act, Matrix& z);
+void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad);
+
+// K-panel size of the blocked kernels: for inner dimensions up to this the
+// whole reduction happens in one packed pass (single summation chain).
+inline constexpr int kKernelKc = 1024;
+
+// ---- Destination-passing kernels (the hot path) ----------------------------
+//
+// Each writes `c` in place, resizing it unless `accumulate` is set (then `c`
+// must already have the result shape and the product is added to it). `c`
+// must not alias `a` or `b`. Shapes must agree; std::invalid_argument
+// otherwise.
+
+// C = A * B (+ C).
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate = false);
+
+// C = A^T * B (+ C).
+void matmul_tn_into(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate = false);
+
+// C = A * B^T (+ C).
+void matmul_nt_into(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate = false);
+
+// Y = act(X * W + 1 * b): GEMM with the bias broadcast and activation fused
+// into the store epilogue (Y is touched once). b is 1 x out.
+void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w, const Matrix& b,
+                         Activation act = Activation::Identity);
+
+// s (1 x cols) = or += column-sum of m (bias gradients).
+void column_sum_into(Matrix& s, const Matrix& m, bool accumulate = false);
+
+// c = [a | b] via row-wise memcpy (same row count).
+void hconcat_into(Matrix& c, const Matrix& a, const Matrix& b);
+
+// ---- Allocating wrappers (legacy call sites, cold paths) -------------------
+
 // C = A * B. Shapes must agree; throws std::invalid_argument otherwise.
 Matrix matmul(const Matrix& a, const Matrix& b);
 
@@ -73,5 +144,17 @@ Matrix column_sum(const Matrix& m);
 
 // Horizontal concat [a | b] (same row count).
 Matrix hconcat(const Matrix& a, const Matrix& b);
+
+// ---- Reference kernels -----------------------------------------------------
+//
+// Plain triple-loop implementations kept as the oracle for the GEMM parity
+// suite and the old-vs-new benchmarks. Same shape checks as the fast path.
+namespace reference {
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+Matrix linear_forward(const Matrix& x, const Matrix& w, const Matrix& b);
+Matrix column_sum(const Matrix& m);
+}  // namespace reference
 
 }  // namespace adsec

@@ -1,0 +1,84 @@
+// Reference kernels, in their own translation unit on purpose: this file
+// builds with the project's default flags (the same ones the pre-PR kernels
+// shipped with), while matrix.cpp gets the vectorizer. That keeps the
+// old-vs-new benchmark baseline honest and the parity oracle independent of
+// the blocked kernels' compilation mode.
+#include "nn/matrix.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace adsec {
+namespace reference {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  Matrix c(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    double* crow = c.data() + static_cast<std::size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      const double* brow = b.data() + static_cast<std::size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: dim mismatch");
+  Matrix c(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    const double* brow = b.data() + static_cast<std::size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      double* crow = c.data() + static_cast<std::size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: dim mismatch");
+  Matrix c(a.rows(), b.rows());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<std::size_t>(i) * k;
+    double* crow = c.data() + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const double* brow = b.data() + static_cast<std::size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix linear_forward(const Matrix& x, const Matrix& w, const Matrix& b) {
+  if (b.rows() != 1 || b.cols() != w.cols()) {
+    throw std::invalid_argument("linear_forward: bias shape mismatch");
+  }
+  Matrix y = reference::matmul(x, w);
+  for (int i = 0; i < y.rows(); ++i) {
+    double* row = y.data() + static_cast<std::size_t>(i) * y.cols();
+    for (int j = 0; j < y.cols(); ++j) row[j] += b(0, j);
+  }
+  return y;
+}
+
+Matrix column_sum(const Matrix& m) {
+  Matrix s(1, m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) s(0, j) += m(i, j);
+  }
+  return s;
+}
+
+}  // namespace reference
+}  // namespace adsec

@@ -5,42 +5,6 @@
 
 namespace adsec {
 
-void apply_activation(Activation act, Matrix& z) {
-  switch (act) {
-    case Activation::Identity:
-      return;
-    case Activation::ReLU:
-      for (std::size_t i = 0; i < z.size(); ++i) {
-        if (z.data()[i] < 0.0) z.data()[i] = 0.0;
-      }
-      return;
-    case Activation::Tanh:
-      for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = std::tanh(z.data()[i]);
-      return;
-  }
-}
-
-void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad) {
-  if (h.rows() != grad.rows() || h.cols() != grad.cols()) {
-    throw std::invalid_argument("apply_activation_grad: shape mismatch");
-  }
-  switch (act) {
-    case Activation::Identity:
-      return;
-    case Activation::ReLU:
-      for (std::size_t i = 0; i < h.size(); ++i) {
-        if (h.data()[i] <= 0.0) grad.data()[i] = 0.0;
-      }
-      return;
-    case Activation::Tanh:
-      for (std::size_t i = 0; i < h.size(); ++i) {
-        const double hv = h.data()[i];
-        grad.data()[i] *= (1.0 - hv * hv);
-      }
-      return;
-  }
-}
-
 Mlp::Mlp(std::vector<int> dims, Activation hidden_act, Rng& rng)
     : dims_(std::move(dims)), act_(hidden_act) {
   if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least in and out dims");
@@ -54,49 +18,68 @@ Mlp::Mlp(std::vector<int> dims, Activation hidden_act, Rng& rng)
   }
 }
 
-Matrix Mlp::forward(const Matrix& x) {
+const Matrix& Mlp::forward(const Matrix& x) {
   if (x.cols() != in_dim()) throw std::invalid_argument("Mlp::forward: input dim mismatch");
-  inputs_.clear();
-  hiddens_.clear();
-  Matrix h = x;
   const int L = num_layers();
+  if (L == 0) {
+    out_.copy_from(x);
+    return out_;
+  }
+  in0_.copy_from(x);
+  hiddens_.resize(static_cast<std::size_t>(L - 1));
+  const Matrix* h = &in0_;
   for (int l = 0; l < L; ++l) {
-    inputs_.push_back(h);
-    h = linear_forward(h, weights_[static_cast<std::size_t>(l)],
-                       biases_[static_cast<std::size_t>(l)]);
-    if (l + 1 < L) {
-      apply_activation(act_, h);
-      hiddens_.push_back(h);
+    const auto ul = static_cast<std::size_t>(l);
+    const bool last = l + 1 == L;
+    Matrix& dst = last ? out_ : hiddens_[ul];
+    linear_forward_into(dst, *h, weights_[ul], biases_[ul],
+                        last ? Activation::Identity : act_);
+    h = &dst;
+  }
+  cached_ = true;
+  return out_;
+}
+
+void Mlp::forward_inference_into(const Matrix& x, Matrix& out) const {
+  if (x.cols() != in_dim()) throw std::invalid_argument("Mlp::forward_inference: dim mismatch");
+  const int L = num_layers();
+  if (L == 0) {
+    out.copy_from(x);
+    return;
+  }
+  Workspace& ws = inference_workspace();
+  const Matrix* h = &x;
+  Workspace::Lease held;
+  for (int l = 0; l < L; ++l) {
+    const auto ul = static_cast<std::size_t>(l);
+    if (l + 1 == L) {
+      linear_forward_into(out, *h, weights_[ul], biases_[ul]);
+    } else {
+      auto cur = ws.acquire(x.rows(), dims_[ul + 1]);
+      linear_forward_into(*cur, *h, weights_[ul], biases_[ul], act_);
+      h = &*cur;
+      held = std::move(cur);  // drop the previous layer's scratch, keep this one
     }
   }
-  return h;
 }
 
-Matrix Mlp::forward_inference(const Matrix& x) const {
-  if (x.cols() != in_dim()) throw std::invalid_argument("Mlp::forward_inference: dim mismatch");
-  Matrix h = x;
-  const int L = num_layers();
-  for (int l = 0; l < L; ++l) {
-    h = linear_forward(h, weights_[static_cast<std::size_t>(l)],
-                       biases_[static_cast<std::size_t>(l)]);
-    if (l + 1 < L) apply_activation(act_, h);
-  }
-  return h;
-}
-
-Matrix Mlp::backward(const Matrix& grad_out) {
-  if (inputs_.empty()) throw std::logic_error("Mlp::backward: no cached forward");
-  Matrix grad = grad_out;
+const Matrix& Mlp::backward(const Matrix& grad_out) {
+  if (!cached_) throw std::logic_error("Mlp::backward: no cached forward");
+  Matrix* cur = &gbuf_a_;
+  Matrix* next = &gbuf_b_;
+  cur->copy_from(grad_out);
   for (int l = num_layers() - 1; l >= 0; --l) {
     const auto ul = static_cast<std::size_t>(l);
     if (l < num_layers() - 1) {
-      apply_activation_grad(act_, hiddens_[ul], grad);
+      apply_activation_grad(act_, hiddens_[ul], *cur);
     }
-    w_grads_[ul].add_inplace(matmul_tn(inputs_[ul], grad));
-    b_grads_[ul].add_inplace(column_sum(grad));
-    grad = matmul_nt(grad, weights_[ul]);
+    const Matrix& input = l == 0 ? in0_ : hiddens_[ul - 1];
+    matmul_tn_into(w_grads_[ul], input, *cur, /*accumulate=*/true);
+    column_sum_into(b_grads_[ul], *cur, /*accumulate=*/true);
+    matmul_nt_into(*next, *cur, weights_[ul]);
+    std::swap(cur, next);
   }
-  return grad;
+  return *cur;
 }
 
 void Mlp::zero_grad() {
@@ -160,11 +143,19 @@ Mlp Mlp::load(BinaryReader& r) {
 
 void Mlp::soft_update_from(const Mlp& other, double tau) {
   if (dims_ != other.dims_) throw std::invalid_argument("soft_update_from: shape mismatch");
+  // Fused blend: p = (1 - tau) * p + tau * o in one pass. Same operation
+  // sequence as the old scale+axpy pair, so results (including the tau = 1
+  // exact-copy case used by warm starts) are bit-identical.
+  const double keep = 1.0 - tau;
+  auto blend = [keep, tau](Matrix& dst, const Matrix& src) {
+    double* __restrict p = dst.data();
+    const double* __restrict o = src.data();
+    const std::size_t n = dst.size();
+    for (std::size_t i = 0; i < n; ++i) p[i] = keep * p[i] + tau * o[i];
+  };
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    weights_[l].scale_inplace(1.0 - tau);
-    weights_[l].axpy_inplace(tau, other.weights_[l]);
-    biases_[l].scale_inplace(1.0 - tau);
-    biases_[l].axpy_inplace(tau, other.biases_[l]);
+    blend(weights_[l], other.weights_[l]);
+    blend(biases_[l], other.biases_[l]);
   }
 }
 

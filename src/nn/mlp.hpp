@@ -1,6 +1,12 @@
 // Multi-layer perceptron with hand-rolled backprop, plus the `Trunk`
 // interface that lets a Gaussian policy head sit on either a plain MLP or a
 // progressive-network column stack (nn/pnn.hpp).
+//
+// Forward/backward are destination-passing: they return const references to
+// internal buffers that are resized in place, so a steady-state training
+// loop (fixed batch shape) performs zero heap allocations here. The
+// returned references are invalidated by the next forward/backward call on
+// the same network.
 #pragma once
 
 #include <memory>
@@ -9,15 +15,9 @@
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "nn/matrix.hpp"
+#include "nn/workspace.hpp"
 
 namespace adsec {
-
-enum class Activation { Identity, ReLU, Tanh };
-
-// Apply activation / its derivative (as a function of the *pre*-activation z
-// and post-activation h).
-void apply_activation(Activation act, Matrix& z);
-void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad);
 
 // Feature-extractor interface used by policy/critic heads.
 class Trunk {
@@ -25,11 +25,24 @@ class Trunk {
   virtual ~Trunk() = default;
 
   // Training-mode forward: caches intermediates for a following backward().
-  virtual Matrix forward(const Matrix& x) = 0;
-  // Inference-only forward: no caching, usable on a const object.
-  virtual Matrix forward_inference(const Matrix& x) const = 0;
-  // Backprop: accumulates parameter grads, returns grad w.r.t. the input.
-  virtual Matrix backward(const Matrix& grad_out) = 0;
+  // The returned buffer lives until the next forward()/backward().
+  virtual const Matrix& forward(const Matrix& x) = 0;
+
+  // Inference-only forward into a caller buffer: no caching, no allocation
+  // at steady state (scratch comes from the thread-local workspace), usable
+  // on a const object from parallel-eval workers.
+  virtual void forward_inference_into(const Matrix& x, Matrix& out) const = 0;
+
+  // Allocating convenience wrapper over forward_inference_into.
+  Matrix forward_inference(const Matrix& x) const {
+    Matrix out;
+    forward_inference_into(x, out);
+    return out;
+  }
+
+  // Backprop: accumulates parameter grads, returns grad w.r.t. the input
+  // (valid until the next forward()/backward()).
+  virtual const Matrix& backward(const Matrix& grad_out) = 0;
 
   virtual void zero_grad() = 0;
   virtual std::vector<Matrix*> params() = 0;
@@ -49,9 +62,9 @@ class Mlp : public Trunk {
   // layer is linear.
   Mlp(std::vector<int> dims, Activation hidden_act, Rng& rng);
 
-  Matrix forward(const Matrix& x) override;
-  Matrix forward_inference(const Matrix& x) const override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  void forward_inference_into(const Matrix& x, Matrix& out) const override;
+  const Matrix& backward(const Matrix& grad_out) override;
 
   void zero_grad() override;
   std::vector<Matrix*> params() override;
@@ -88,10 +101,16 @@ class Mlp : public Trunk {
   std::vector<Matrix> w_grads_;
   std::vector<Matrix> b_grads_;
 
-  // Forward cache: inputs_[l] is the input to layer l; hiddens_[l] the
-  // post-activation output of hidden layer l.
-  std::vector<Matrix> inputs_;
-  std::vector<Matrix> hiddens_;
+  // Forward cache, resized in place each training forward. The input to
+  // layer l is in0_ for l == 0 and hiddens_[l-1] otherwise.
+  Matrix in0_;
+  std::vector<Matrix> hiddens_;  // post-activation hidden outputs
+  Matrix out_;                   // final linear output
+  bool cached_{false};
+
+  // Backward scratch: gradient ping-pong buffers + returned input grad.
+  Matrix gbuf_a_;
+  Matrix gbuf_b_;
 };
 
 }  // namespace adsec

@@ -1,6 +1,7 @@
 #include "nn/pnn.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace adsec {
@@ -35,74 +36,110 @@ PnnTrunk::PnnTrunk(const Mlp& base, bool init_from_base, Rng& rng) : base_(base)
   }
 }
 
-Matrix PnnTrunk::run(const Matrix& x, bool train, std::vector<Matrix>* col_inputs,
-                     std::vector<Matrix>* col_hiddens) const {
-  // Column 1 (frozen): recompute its hidden activations layer by layer.
+const Matrix& PnnTrunk::forward(const Matrix& x) {
   const int L = static_cast<int>(weights_.size());
-  std::vector<Matrix> base_hiddens;
+  if (L == 0) {
+    out_.copy_from(x);
+    return out_;
+  }
+
+  // Column 1 (frozen): recompute its hidden activations layer by layer. Its
+  // head output feeds nothing, so the last layer is skipped.
+  base_hiddens_.resize(static_cast<std::size_t>(L - 1));
   {
-    Matrix h = x;
-    for (int l = 0; l < L; ++l) {
-      h = linear_forward(h, base_.weight(l), base_.bias(l));
-      if (l + 1 < L) {
-        apply_activation(base_.hidden_activation(), h);
-        base_hiddens.push_back(h);
-      }
+    const Matrix* h = &x;
+    for (int l = 0; l + 1 < L; ++l) {
+      const auto ul = static_cast<std::size_t>(l);
+      linear_forward_into(base_hiddens_[ul], *h, base_.weight(l), base_.bias(l),
+                          base_.hidden_activation());
+      h = &base_hiddens_[ul];
     }
   }
 
   // Column 2 with lateral inputs.
-  Matrix h2 = x;
+  inputs_.resize(static_cast<std::size_t>(L));
+  hiddens_.resize(static_cast<std::size_t>(L - 1));
+  inputs_[0].copy_from(x);
+  const Matrix* h2 = nullptr;
   for (int l = 0; l < L; ++l) {
-    const Matrix in =
-        l == 0 ? h2 : hconcat(h2, base_hiddens[static_cast<std::size_t>(l - 1)]);
-    if (train) col_inputs->push_back(in);
-    h2 = linear_forward(in, weights_[static_cast<std::size_t>(l)],
-                        biases_[static_cast<std::size_t>(l)]);
-    if (l + 1 < L) {
-      apply_activation(base_.hidden_activation(), h2);
-      if (train) col_hiddens->push_back(h2);
+    const auto ul = static_cast<std::size_t>(l);
+    if (l > 0) hconcat_into(inputs_[ul], *h2, base_hiddens_[ul - 1]);
+    const bool last = l + 1 == L;
+    Matrix& dst = last ? out_ : hiddens_[ul];
+    linear_forward_into(dst, inputs_[ul], weights_[ul], biases_[ul],
+                        last ? Activation::Identity : base_.hidden_activation());
+    h2 = &dst;
+  }
+  cached_ = true;
+  return out_;
+}
+
+void PnnTrunk::forward_inference_into(const Matrix& x, Matrix& out) const {
+  const int L = static_cast<int>(weights_.size());
+  if (L == 0) {
+    out.copy_from(x);
+    return;
+  }
+  Workspace& ws = inference_workspace();
+  Workspace::Lease h1_held, h2_held;
+  const Matrix* h1 = &x;  // column-1 activation feeding its layer l
+  const Matrix* h2 = &x;  // column-2 activation feeding its layer l
+  for (int l = 0; l < L; ++l) {
+    const auto ul = static_cast<std::size_t>(l);
+    const bool last = l + 1 == L;
+    const Matrix* in2 = h2;
+    Workspace::Lease cat;  // released at end of iteration
+    if (l > 0) {
+      cat = ws.acquire(x.rows(), h2->cols() + h1->cols());
+      hconcat_into(*cat, *h2, *h1);
+      in2 = &*cat;
+    }
+    if (last) {
+      linear_forward_into(out, *in2, weights_[ul], biases_[ul]);
+    } else {
+      auto h2n = ws.acquire(x.rows(), weights_[ul].cols());
+      linear_forward_into(*h2n, *in2, weights_[ul], biases_[ul],
+                          base_.hidden_activation());
+      auto h1n = ws.acquire(x.rows(), base_.weight(l).cols());
+      linear_forward_into(*h1n, *h1, base_.weight(l), base_.bias(l),
+                          base_.hidden_activation());
+      h2 = &*h2n;
+      h1 = &*h1n;
+      h2_held = std::move(h2n);  // drop the previous layer's scratch
+      h1_held = std::move(h1n);
     }
   }
-  return h2;
 }
 
-Matrix PnnTrunk::forward(const Matrix& x) {
-  inputs_.clear();
-  hiddens_.clear();
-  return run(x, true, &inputs_, &hiddens_);
-}
-
-Matrix PnnTrunk::forward_inference(const Matrix& x) const {
-  return run(x, false, nullptr, nullptr);
-}
-
-Matrix PnnTrunk::backward(const Matrix& grad_out) {
-  if (inputs_.empty()) throw std::logic_error("PnnTrunk::backward: no cached forward");
+const Matrix& PnnTrunk::backward(const Matrix& grad_out) {
+  if (!cached_) throw std::logic_error("PnnTrunk::backward: no cached forward");
   const int L = static_cast<int>(weights_.size());
-  Matrix grad = grad_out;
+  Matrix* cur = &gbuf_a_;
+  Matrix* next = &gbuf_b_;
+  cur->copy_from(grad_out);
   for (int l = L - 1; l >= 0; --l) {
     const auto ul = static_cast<std::size_t>(l);
     if (l < L - 1) {
-      apply_activation_grad(base_.hidden_activation(), hiddens_[ul], grad);
+      apply_activation_grad(base_.hidden_activation(), hiddens_[ul], *cur);
     }
-    w_grads_[ul].add_inplace(matmul_tn(inputs_[ul], grad));
-    b_grads_[ul].add_inplace(column_sum(grad));
-    const Matrix gin = matmul_nt(grad, weights_[ul]);
+    matmul_tn_into(w_grads_[ul], inputs_[ul], *cur, /*accumulate=*/true);
+    column_sum_into(b_grads_[ul], *cur, /*accumulate=*/true);
+    matmul_nt_into(*next, *cur, weights_[ul]);
     if (l == 0) {
-      grad = gin;  // gradient w.r.t. the observation
+      std::swap(cur, next);  // gradient w.r.t. the observation
     } else {
       // Keep only the own-column slice; the lateral slice feeds the frozen
       // column and is dropped.
       const int own = hiddens_[static_cast<std::size_t>(l - 1)].cols();
-      Matrix g2(gin.rows(), own);
-      for (int i = 0; i < gin.rows(); ++i) {
-        for (int j = 0; j < own; ++j) g2(i, j) = gin(i, j);
+      cur->resize(next->rows(), own);
+      for (int i = 0; i < next->rows(); ++i) {
+        std::memcpy(cur->data() + static_cast<std::size_t>(i) * own,
+                    next->data() + static_cast<std::size_t>(i) * next->cols(),
+                    static_cast<std::size_t>(own) * sizeof(double));
       }
-      grad = std::move(g2);
     }
   }
-  return grad;
+  return *cur;
 }
 
 void PnnTrunk::zero_grad() {

@@ -24,9 +24,9 @@ class PnnTrunk : public Trunk {
   // base policy (a warm start that the adversarial fine-tuning then adapts).
   PnnTrunk(const Mlp& base, bool init_from_base, Rng& rng);
 
-  Matrix forward(const Matrix& x) override;
-  Matrix forward_inference(const Matrix& x) const override;
-  Matrix backward(const Matrix& grad_out) override;
+  const Matrix& forward(const Matrix& x) override;
+  void forward_inference_into(const Matrix& x, Matrix& out) const override;
+  const Matrix& backward(const Matrix& grad_out) override;
 
   void zero_grad() override;
   std::vector<Matrix*> params() override;  // column-2 parameters only
@@ -42,10 +42,6 @@ class PnnTrunk : public Trunk {
   static PnnTrunk load(BinaryReader& r);
 
  private:
-  // Forward through both columns; fills the caches when `train` is true.
-  Matrix run(const Matrix& x, bool train, std::vector<Matrix>* col_inputs,
-             std::vector<Matrix>* col_hiddens) const;
-
   Mlp base_;  // frozen column 1
 
   // Column 2: layer 0 is in_dim x h0; layer l >= 1 is (h_{l-1} + h1_{l-1}) x h_l
@@ -56,9 +52,18 @@ class PnnTrunk : public Trunk {
   std::vector<Matrix> w_grads_;
   std::vector<Matrix> b_grads_;
 
-  // Training caches.
-  std::vector<Matrix> inputs_;   // concatenated input to each column-2 layer
-  std::vector<Matrix> hiddens_;  // column-2 post-activation hiddens
+  // Training caches, resized in place each forward (zero allocations once
+  // the batch shape is warm). The frozen column's head output is never
+  // needed, so only its hiddens are recomputed.
+  std::vector<Matrix> base_hiddens_;  // column-1 post-activation hiddens
+  std::vector<Matrix> inputs_;        // concatenated input to each column-2 layer
+  std::vector<Matrix> hiddens_;       // column-2 post-activation hiddens
+  Matrix out_;
+  bool cached_{false};
+
+  // Backward scratch: gradient ping-pong buffers.
+  Matrix gbuf_a_;
+  Matrix gbuf_b_;
 };
 
 }  // namespace adsec

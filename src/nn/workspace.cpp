@@ -1,0 +1,56 @@
+#include "nn/workspace.hpp"
+
+#include <cassert>
+
+#include "telemetry/metrics.hpp"
+
+namespace adsec {
+
+Workspace::Lease& Workspace::Lease::operator=(Lease&& o) noexcept {
+  if (this != &o) {
+    release();
+    e_ = o.e_;
+    o.e_ = nullptr;
+  }
+  return *this;
+}
+
+void Workspace::Lease::release() {
+  if (e_ == nullptr) return;
+  assert(e_->in_use && "Workspace::Lease: double release");
+  e_->in_use = false;
+  e_ = nullptr;
+}
+
+Workspace::Lease Workspace::acquire(int rows, int cols) {
+  for (auto& e : pool_) {
+    if (!e->in_use && e->m.rows() == rows && e->m.cols() == cols) {
+      e->in_use = true;
+      return Lease(e.get());
+    }
+  }
+  // Pool miss: grow by one entry. Steady-state passes over a warmed pool
+  // never reach this branch; the byte counter makes regressions visible.
+  static const auto ws_bytes = telemetry::counter("nn.workspace.bytes");
+  static const auto ws_buffers = telemetry::counter("nn.workspace.buffers");
+  auto e = std::make_unique<Entry>();
+  e->m.resize(rows, cols);
+  e->in_use = true;
+  ws_bytes.inc(static_cast<std::uint64_t>(e->m.size()) * sizeof(double));
+  ws_buffers.inc();
+  pool_.push_back(std::move(e));
+  return Lease(pool_.back().get());
+}
+
+std::size_t Workspace::pooled_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : pool_) total += e->m.size() * sizeof(double);
+  return total;
+}
+
+Workspace& inference_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace adsec

@@ -1,0 +1,79 @@
+// Shape-keyed pool of preallocated scratch matrices.
+//
+// Networks own a Workspace (or use the thread-local inference one) and
+// acquire() RAII leases for their temporaries. Buffers are recycled by exact
+// shape, so after the first pass through a given set of shapes the pool is
+// warm and acquire() performs zero heap allocations — which is what lets a
+// steady-state SAC update run allocation-free through the whole matmul path.
+//
+// Thread-safety contract: a Workspace is single-threaded (no locks). For
+// code that runs on parallel-eval workers, inference_workspace() hands each
+// thread its own pool, so concurrent forward_inference calls never share
+// scratch. Debug builds assert that a pooled buffer is never handed out
+// twice concurrently and never released twice.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace adsec {
+
+class Workspace {
+  struct Entry {
+    Matrix m;
+    bool in_use{false};
+  };
+
+ public:
+  // Movable handle on a pooled matrix; returns the buffer on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : e_(o.e_) { o.e_ = nullptr; }
+    Lease& operator=(Lease&& o) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Matrix& operator*() const { return e_->m; }
+    Matrix* operator->() const { return &e_->m; }
+    explicit operator bool() const { return e_ != nullptr; }
+
+    void release();
+
+   private:
+    friend class Workspace;
+    explicit Lease(Entry* e) : e_(e) {}
+    Entry* e_{nullptr};
+  };
+
+  Workspace() = default;
+  // Scratch is not state: copies start empty and assignment keeps the
+  // destination's own pool (entries may be leased out — never drop them).
+  Workspace(const Workspace&) noexcept {}
+  Workspace& operator=(const Workspace&) noexcept { return *this; }
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  // Lease a rows x cols buffer (contents unspecified). Reuses a free pooled
+  // entry of that exact shape; otherwise allocates one (first pass only).
+  Lease acquire(int rows, int cols);
+
+  // Total doubles held across pooled entries (leased or free).
+  std::size_t pooled_bytes() const;
+  std::size_t pooled_buffers() const { return pool_.size(); }
+
+ private:
+  // unique_ptr pins each Entry so leases survive pool growth and Workspace
+  // moves.
+  std::vector<std::unique_ptr<Entry>> pool_;
+};
+
+// Per-thread pool for forward_inference scratch: parallel-eval workers stay
+// allocation-free after warmup without ever sharing buffers.
+Workspace& inference_workspace();
+
+}  // namespace adsec

@@ -1,6 +1,7 @@
 #include "rl/bc.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -26,6 +27,9 @@ BcResult bc_train(GaussianPolicy& policy, const Matrix& obs, const Matrix& acts,
   std::iota(order.begin(), order.end(), 0);
 
   BcResult result;
+  // Batch buffers hoisted out of the loops: the trailing short batch and the
+  // following full batch just resize these in place (capacity is kept).
+  Matrix bo, ba, dL_da, dL_dlogp;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     // Fisher-Yates shuffle with our deterministic rng.
     for (int i = n - 1; i > 0; --i) {
@@ -37,15 +41,20 @@ BcResult bc_train(GaussianPolicy& policy, const Matrix& obs, const Matrix& acts,
     int batches = 0;
     for (int start = 0; start < n; start += config.batch_size) {
       const int bsz = std::min(config.batch_size, n - start);
-      Matrix bo(bsz, obs.cols()), ba(bsz, acts.cols());
+      bo.resize(bsz, obs.cols());
+      ba.resize(bsz, acts.cols());
       for (int i = 0; i < bsz; ++i) {
         const int k = order[static_cast<std::size_t>(start + i)];
-        for (int j = 0; j < obs.cols(); ++j) bo(i, j) = obs(k, j);
-        for (int j = 0; j < acts.cols(); ++j) ba(i, j) = acts(k, j);
+        std::memcpy(bo.data() + static_cast<std::size_t>(i) * obs.cols(),
+                    obs.data() + static_cast<std::size_t>(k) * obs.cols(),
+                    sizeof(double) * static_cast<std::size_t>(obs.cols()));
+        std::memcpy(ba.data() + static_cast<std::size_t>(i) * acts.cols(),
+                    acts.data() + static_cast<std::size_t>(k) * acts.cols(),
+                    sizeof(double) * static_cast<std::size_t>(acts.cols()));
       }
 
-      const PolicySample s = policy.sample(bo, rng);
-      Matrix dL_da(bsz, acts.cols());
+      const PolicySample& s = policy.sample(bo, rng);
+      dL_da.resize(bsz, acts.cols());
       double loss = 0.0;
       for (int i = 0; i < bsz; ++i) {
         for (int j = 0; j < acts.cols(); ++j) {
@@ -54,7 +63,7 @@ BcResult bc_train(GaussianPolicy& policy, const Matrix& obs, const Matrix& acts,
           dL_da(i, j) = 2.0 * err / bsz;
         }
       }
-      Matrix dL_dlogp(bsz, 1);
+      dL_dlogp.resize(bsz, 1);
       for (int i = 0; i < bsz; ++i) dL_dlogp(i, 0) = config.entropy_weight / bsz;
 
       policy.backward(dL_da, dL_dlogp);

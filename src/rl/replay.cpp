@@ -38,14 +38,13 @@ void ReplayBuffer::add(std::span<const double> obs, std::span<const double> act,
   if (size_ < capacity_) ++size_;
 }
 
-Batch ReplayBuffer::sample(int batch_size, Rng& rng) const {
+void ReplayBuffer::sample_into(int batch_size, Rng& rng, Batch& b) const {
   if (size_ == 0) throw std::logic_error("ReplayBuffer::sample: buffer empty");
-  Batch b;
-  b.obs = Matrix(batch_size, obs_dim_);
-  b.act = Matrix(batch_size, act_dim_);
-  b.rew = Matrix(batch_size, 1);
-  b.next_obs = Matrix(batch_size, obs_dim_);
-  b.done = Matrix(batch_size, 1);
+  b.obs.resize(batch_size, obs_dim_);
+  b.act.resize(batch_size, act_dim_);
+  b.rew.resize(batch_size, 1);
+  b.next_obs.resize(batch_size, obs_dim_);
+  b.done.resize(batch_size, 1);
   for (int i = 0; i < batch_size; ++i) {
     const auto k = static_cast<std::size_t>(rng.uniform_int(static_cast<std::uint32_t>(size_)));
     std::memcpy(b.obs.data() + static_cast<std::size_t>(i) * obs_dim_,
@@ -57,6 +56,11 @@ Batch ReplayBuffer::sample(int batch_size, Rng& rng) const {
     b.rew(i, 0) = rew_[k];
     b.done(i, 0) = done_[k];
   }
+}
+
+Batch ReplayBuffer::sample(int batch_size, Rng& rng) const {
+  Batch b;
+  sample_into(batch_size, rng, b);
   return b;
 }
 

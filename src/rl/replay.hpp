@@ -25,6 +25,12 @@ class ReplayBuffer {
   void add(std::span<const double> obs, std::span<const double> act, double rew,
            std::span<const double> next_obs, bool done);
 
+  // Assemble a uniform minibatch into `out` with row-wise memcpy, resizing
+  // its matrices in place — a caller that reuses one Batch across a gradient
+  // burst triggers no heap allocations after the first call.
+  void sample_into(int batch_size, Rng& rng, Batch& out) const;
+
+  // Allocating convenience wrapper over sample_into.
   Batch sample(int batch_size, Rng& rng) const;
 
   int size() const { return size_; }

@@ -28,14 +28,14 @@ void copy_params(std::vector<Matrix*> dst, std::vector<Matrix*> src,
   }
 }
 
-// Global L2 norm over one or more gradient lists (telemetry diagnostic,
-// taken right before the optimizer consumes the gradients).
-double grad_l2_norm(std::initializer_list<std::vector<Matrix*>> grad_lists) {
+// Global L2 norm over a gradient list (telemetry diagnostic, taken right
+// before the optimizer consumes the gradients).
+double grad_l2_norm(const std::vector<Matrix*>& grads) {
   double sq = 0.0;
-  for (const auto& grads : grad_lists) {
-    for (const Matrix* g : grads) {
-      for (std::size_t i = 0; i < g->size(); ++i) sq += g->data()[i] * g->data()[i];
-    }
+  for (const Matrix* g : grads) {
+    const double* __restrict d = g->data();
+    const std::size_t n = g->size();
+    for (std::size_t i = 0; i < n; ++i) sq += d[i] * d[i];
   }
   return std::sqrt(sq);
 }
@@ -83,6 +83,11 @@ void Sac::init(int obs_dim, int act_dim, Rng& rng) {
   log_alpha_ = std::log(std::max(1e-8, config_.init_alpha));
   target_entropy_ = config_.target_entropy != 0.0 ? config_.target_entropy
                                                   : -static_cast<double>(act_dim);
+
+  critic_grads_ = q1_.grads();
+  const auto g2 = q2_.grads();
+  critic_grads_.insert(critic_grads_.end(), g2.begin(), g2.end());
+  actor_grads_ = actor_.grads();
 }
 
 std::vector<double> Sac::act(std::span<const double> obs, Rng& rng,
@@ -95,43 +100,41 @@ std::vector<double> Sac::act(std::span<const double> obs, Rng& rng,
   return actor_.sample_inference(o, rng).action.to_vector();
 }
 
-Matrix Sac::critic_input(const Matrix& obs, const Matrix& act) {
-  return hconcat(obs, act);
-}
-
 void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
   if (buffer.size() < config_.batch_size) return;
-  const Batch b = buffer.sample(config_.batch_size, rng);
+  Scratch& s = scratch_;
+  buffer.sample_into(config_.batch_size, rng, s.batch);
   const int B = config_.batch_size;
   const double alpha = std::exp(log_alpha_);
 
   // ---- Critic targets: y = r + gamma * (1-d) * (min Q_target(s',a') - alpha*logp').
-  const PolicySample next = actor_.sample_inference(b.next_obs, rng);
-  const Matrix qin_next = critic_input(b.next_obs, next.action);
-  const Matrix q1n = q1_target_.forward_inference(qin_next);
-  const Matrix q2n = q2_target_.forward_inference(qin_next);
-  Matrix y(B, 1);
+  actor_.sample_inference_into(s.batch.next_obs, rng, s.next);
+  hconcat_into(s.qin_next, s.batch.next_obs, s.next.action);
+  q1_target_.forward_inference_into(s.qin_next, s.q1n);
+  q2_target_.forward_inference_into(s.qin_next, s.q2n);
+  s.y.resize(B, 1);
   for (int i = 0; i < B; ++i) {
-    const double qmin = std::min(q1n(i, 0), q2n(i, 0));
-    y(i, 0) = b.rew(i, 0) +
-              config_.gamma * (1.0 - b.done(i, 0)) * (qmin - alpha * next.log_prob(i, 0));
+    const double qmin = std::min(s.q1n(i, 0), s.q2n(i, 0));
+    s.y(i, 0) = s.batch.rew(i, 0) +
+                config_.gamma * (1.0 - s.batch.done(i, 0)) *
+                    (qmin - alpha * s.next.log_prob(i, 0));
   }
 
   // ---- Critic update: MSE toward y.
-  const Matrix qin = critic_input(b.obs, b.act);
+  hconcat_into(s.qin, s.batch.obs, s.batch.act);
   double closs = 0.0;
   for (Mlp* q : {&q1_, &q2_}) {
-    const Matrix qv = q->forward(qin);
-    Matrix grad(B, 1);
+    const Matrix& qv = q->forward(s.qin);
+    s.grad.resize(B, 1);
     for (int i = 0; i < B; ++i) {
-      const double err = qv(i, 0) - y(i, 0);
+      const double err = qv(i, 0) - s.y(i, 0);
       closs += err * err / (2.0 * B);
-      grad(i, 0) = 2.0 * err / B;
+      s.grad(i, 0) = 2.0 * err / B;
     }
-    q->backward(grad);
+    q->backward(s.grad);
   }
   last_critic_loss_ = closs;
-  last_critic_grad_norm_ = grad_l2_norm({q1_.grads(), q2_.grads()});
+  last_critic_grad_norm_ = grad_l2_norm(critic_grads_);
   q1_opt_->step();
   q2_opt_->step();
 
@@ -143,43 +146,45 @@ void Sac::update(const ReplayBuffer& buffer, Rng& rng) {
   }
 
   // ---- Actor update: minimize E[alpha * logp - min Q(s, a~)].
-  const PolicySample cur = actor_.sample(b.obs, rng);
-  const Matrix qin_pi = critic_input(b.obs, cur.action);
-  const Matrix q1v = q1_.forward(qin_pi);
-  const Matrix q2v = q2_.forward(qin_pi);
+  const PolicySample& cur = actor_.sample(s.batch.obs, rng);
+  hconcat_into(s.qin_pi, s.batch.obs, cur.action);
+  const Matrix& q1v = q1_.forward(s.qin_pi);
+  const Matrix& q2v = q2_.forward(s.qin_pi);
 
   // Per-row, the gradient flows through whichever critic attains the min.
-  Matrix g1(B, 1), g2(B, 1);
+  s.g1.resize(B, 1);
+  s.g2.resize(B, 1);
   double aloss = 0.0;
   for (int i = 0; i < B; ++i) {
     const bool first = q1v(i, 0) <= q2v(i, 0);
     // d(-Q)/dQ_k = -1/B on the selected critic.
-    g1(i, 0) = first ? -1.0 / B : 0.0;
-    g2(i, 0) = first ? 0.0 : -1.0 / B;
+    s.g1(i, 0) = first ? -1.0 / B : 0.0;
+    s.g2(i, 0) = first ? 0.0 : -1.0 / B;
     aloss += (alpha * cur.log_prob(i, 0) - std::min(q1v(i, 0), q2v(i, 0))) / B;
   }
   last_actor_loss_ = aloss;
 
   // Input gradients of the critics give dL/da (last act_dim columns); the
-  // critic parameter grads accumulated here are discarded below.
-  const Matrix gin1 = q1_.backward(g1);
-  const Matrix gin2 = q2_.backward(g2);
+  // critic parameter grads accumulated here are discarded below. The
+  // returned references stay valid: each points into its own network.
+  const Matrix& gin1 = q1_.backward(s.g1);
+  const Matrix& gin2 = q2_.backward(s.g2);
   q1_.zero_grad();
   q2_.zero_grad();
 
   const int act_dim = actor_.act_dim();
-  const int obs_dim = b.obs.cols();
-  Matrix dL_da(B, act_dim);
+  const int obs_dim = s.batch.obs.cols();
+  s.dL_da.resize(B, act_dim);
   for (int i = 0; i < B; ++i) {
     for (int j = 0; j < act_dim; ++j) {
-      dL_da(i, j) = gin1(i, obs_dim + j) + gin2(i, obs_dim + j);
+      s.dL_da(i, j) = gin1(i, obs_dim + j) + gin2(i, obs_dim + j);
     }
   }
-  Matrix dL_dlogp(B, 1);
-  for (int i = 0; i < B; ++i) dL_dlogp(i, 0) = alpha / B;
+  s.dL_dlogp.resize(B, 1);
+  for (int i = 0; i < B; ++i) s.dL_dlogp(i, 0) = alpha / B;
 
-  actor_.backward(dL_da, dL_dlogp);
-  last_actor_grad_norm_ = grad_l2_norm({actor_.grads()});
+  actor_.backward(s.dL_da, s.dL_dlogp);
+  last_actor_grad_norm_ = grad_l2_norm(actor_grads_);
   actor_opt_->step();
 
   // ---- Temperature update: minimize -log_alpha * E[logp + target_entropy].

@@ -86,9 +86,6 @@ class Sac {
  private:
   void init(int obs_dim, int act_dim, Rng& rng);
 
-  // Q value(s) for (obs, act) through a critic, training-mode (cached).
-  static Matrix critic_input(const Matrix& obs, const Matrix& act);
-
   SacConfig config_;
   GaussianPolicy actor_;
   Mlp q1_, q2_, q1_target_, q2_target_;
@@ -101,6 +98,23 @@ class Sac {
   double last_actor_loss_{0.0};
   double last_critic_grad_norm_{0.0};
   double last_actor_grad_norm_{0.0};
+
+  // update() scratch, resized in place: once the batch shape is warm a
+  // steady-state update performs zero heap allocations in the matmul path.
+  struct Scratch {
+    Batch batch;
+    PolicySample next;
+    Matrix qin_next, q1n, q2n, y;
+    Matrix qin, grad;
+    Matrix qin_pi, g1, g2;
+    Matrix dL_da, dL_dlogp;
+  };
+  Scratch scratch_;
+
+  // Gradient pointer lists cached at init() (the networks never move after
+  // that), so per-update grad-norm diagnostics allocate nothing.
+  std::vector<Matrix*> critic_grads_;
+  std::vector<Matrix*> actor_grads_;
 };
 
 }  // namespace adsec

@@ -59,38 +59,39 @@ std::vector<double> Td3::act(std::span<const double> obs, Rng& rng,
 
 void Td3::update(const ReplayBuffer& buffer, Rng& rng) {
   if (buffer.size() < config_.batch_size) return;
-  const Batch b = buffer.sample(config_.batch_size, rng);
+  Scratch& s = scratch_;
+  buffer.sample_into(config_.batch_size, rng, s.batch);
   const int B = config_.batch_size;
 
   // ---- Targets with policy smoothing.
-  Matrix next_a = actor_target_.forward_inference(b.next_obs);
-  apply_activation(Activation::Tanh, next_a);
-  for (std::size_t i = 0; i < next_a.size(); ++i) {
+  actor_target_.forward_inference_into(s.batch.next_obs, s.next_a);
+  apply_activation(Activation::Tanh, s.next_a);
+  for (std::size_t i = 0; i < s.next_a.size(); ++i) {
     const double noise = clamp(rng.normal(0.0, config_.target_noise),
                                -config_.target_clip, config_.target_clip);
-    next_a.data()[i] = clamp(next_a.data()[i] + noise, -1.0, 1.0);
+    s.next_a.data()[i] = clamp(s.next_a.data()[i] + noise, -1.0, 1.0);
   }
-  const Matrix qin_next = hconcat(b.next_obs, next_a);
-  const Matrix q1n = q1_target_.forward_inference(qin_next);
-  const Matrix q2n = q2_target_.forward_inference(qin_next);
-  Matrix y(B, 1);
+  hconcat_into(s.qin_next, s.batch.next_obs, s.next_a);
+  q1_target_.forward_inference_into(s.qin_next, s.q1n);
+  q2_target_.forward_inference_into(s.qin_next, s.q2n);
+  s.y.resize(B, 1);
   for (int i = 0; i < B; ++i) {
-    y(i, 0) = b.rew(i, 0) + config_.gamma * (1.0 - b.done(i, 0)) *
-                                std::min(q1n(i, 0), q2n(i, 0));
+    s.y(i, 0) = s.batch.rew(i, 0) + config_.gamma * (1.0 - s.batch.done(i, 0)) *
+                                        std::min(s.q1n(i, 0), s.q2n(i, 0));
   }
 
   // ---- Critic regression.
-  const Matrix qin = hconcat(b.obs, b.act);
+  hconcat_into(s.qin, s.batch.obs, s.batch.act);
   double closs = 0.0;
   for (Mlp* q : {&q1_, &q2_}) {
-    const Matrix qv = q->forward(qin);
-    Matrix grad(B, 1);
+    const Matrix& qv = q->forward(s.qin);
+    s.grad.resize(B, 1);
     for (int i = 0; i < B; ++i) {
-      const double err = qv(i, 0) - y(i, 0);
+      const double err = qv(i, 0) - s.y(i, 0);
       closs += err * err / (2.0 * B);
-      grad(i, 0) = 2.0 * err / B;
+      s.grad(i, 0) = 2.0 * err / B;
     }
-    q->backward(grad);
+    q->backward(s.grad);
   }
   last_critic_loss_ = closs;
   q1_opt_->step();
@@ -100,25 +101,24 @@ void Td3::update(const ReplayBuffer& buffer, Rng& rng) {
   // ---- Delayed deterministic policy gradient + target sync.
   if (updates_ % config_.policy_delay != 0) return;
 
-  const Matrix pre = actor_.forward(b.obs);  // cached for backward
-  Matrix a = pre;
-  apply_activation(Activation::Tanh, a);
-  const Matrix qin_pi = hconcat(b.obs, a);
-  q1_.forward(qin_pi);
-  Matrix gq(B, 1);
-  gq.fill(-1.0 / B);  // maximize Q1
-  const Matrix gin = q1_.backward(gq);
+  s.a.copy_from(actor_.forward(s.batch.obs));  // cached for backward
+  apply_activation(Activation::Tanh, s.a);
+  hconcat_into(s.qin_pi, s.batch.obs, s.a);
+  q1_.forward(s.qin_pi);
+  s.gq.resize(B, 1);
+  s.gq.fill(-1.0 / B);  // maximize Q1
+  const Matrix& gin = q1_.backward(s.gq);
   q1_.zero_grad();
 
-  const int obs_dim = b.obs.cols();
-  Matrix da(B, act_dim_);
+  const int obs_dim = s.batch.obs.cols();
+  s.da.resize(B, act_dim_);
   for (int i = 0; i < B; ++i) {
     for (int j = 0; j < act_dim_; ++j) {
-      const double av = a(i, j);
-      da(i, j) = gin(i, obs_dim + j) * (1.0 - av * av);  // through tanh
+      const double av = s.a(i, j);
+      s.da(i, j) = gin(i, obs_dim + j) * (1.0 - av * av);  // through tanh
     }
   }
-  actor_.backward(da);
+  actor_.backward(s.da);
   actor_opt_->step();
 
   actor_target_.soft_update_from(actor_, config_.tau);

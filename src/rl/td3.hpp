@@ -63,6 +63,16 @@ class Td3 {
   int act_dim_{0};
   long updates_{0};
   double last_critic_loss_{0.0};
+
+  // update() scratch, resized in place so a steady-state gradient burst
+  // performs zero heap allocations in the matmul path.
+  struct Scratch {
+    Batch batch;
+    Matrix next_a, qin_next, q1n, q2n, y;
+    Matrix qin, grad;
+    Matrix a, qin_pi, gq, da;
+  };
+  Scratch scratch_;
 };
 
 }  // namespace adsec

@@ -1,0 +1,273 @@
+// Parity suite for the blocked GEMM kernels against the reference::
+// triple-loop oracles, across the shape zoo the training loops produce:
+// 1 x N inference rows (GEMV path), odd/prime dims that exercise the
+// zero-padded tile edges, empty reductions, tall/wide panels crossing the
+// kMc row-block boundary, and all three transpose variants — plus the
+// accumulate and fused-epilogue forms and bit-exact run-to-run determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace adsec {
+namespace {
+
+Matrix make_random(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal(0.0, 1.0);
+  return m;
+}
+
+// In builds without FP contraction (the default target) the blocked kernels
+// keep the reference summation order, so equality is exact. ADSEC_NATIVE
+// turns on FMA, which contracts a*b+c differently per path — fall back to a
+// tight relative tolerance there.
+void expect_same(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+#ifndef __FMA__
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.data()[i], want.data()[i]) << "flat index " << i;
+  }
+#else
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i],
+                1e-12 * (1.0 + std::abs(want.data()[i])))
+        << "flat index " << i;
+  }
+#endif
+}
+
+// Tolerance form for cases where the association legitimately differs
+// (the GEMV paths seed their running sum with the destination value, the
+// blocked path adds the finished product once).
+void expect_close(const Matrix& got, const Matrix& want, double rel = 1e-12) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], rel * (1.0 + std::abs(want.data()[i])))
+        << "flat index " << i;
+  }
+}
+
+// (m, n, k) result/inner shapes. Chosen to hit: single element, GEMV row
+// (m = 1), sub-tile m, prime everything, exact 4x8 tiles, ragged edges in
+// both dimensions, k = 0 empty reduction, and m > 128 (two kMc row blocks).
+const std::vector<std::tuple<int, int, int>> kShapes = {
+    {1, 1, 1},  {1, 8, 64},  {1, 257, 19}, {2, 5, 3},   {3, 3, 0},
+    {4, 8, 16}, {5, 9, 17},  {7, 3, 2},    {8, 8, 8},   {13, 29, 31},
+    {31, 7, 1}, {64, 64, 64}, {130, 40, 33}, {1, 1, 100},
+};
+
+TEST(GemmParity, MatmulMatchesReference) {
+  Rng rng(1234);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix a = make_random(m, k, rng);
+    const Matrix b = make_random(k, n, rng);
+    Matrix c;
+    matmul_into(c, a, b);
+    expect_same(c, reference::matmul(a, b));
+  }
+}
+
+TEST(GemmParity, MatmulTnMatchesReference) {
+  Rng rng(1235);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix a = make_random(k, m, rng);  // result is a^T * b: m x n
+    const Matrix b = make_random(k, n, rng);
+    Matrix c;
+    matmul_tn_into(c, a, b);
+    expect_same(c, reference::matmul_tn(a, b));
+  }
+}
+
+TEST(GemmParity, MatmulNtMatchesReference) {
+  Rng rng(1236);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix a = make_random(m, k, rng);
+    const Matrix b = make_random(n, k, rng);  // result is a * b^T: m x n
+    Matrix c;
+    matmul_nt_into(c, a, b);
+    expect_same(c, reference::matmul_nt(a, b));
+  }
+}
+
+TEST(GemmParity, AccumulateAddsProductOnce) {
+  Rng rng(77);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix a = make_random(m, k, rng);
+    const Matrix b = make_random(k, n, rng);
+    const Matrix c0 = make_random(m, n, rng);
+
+    Matrix c = c0;
+    matmul_into(c, a, b, /*accumulate=*/true);
+
+    Matrix want = reference::matmul(a, b);
+    for (std::size_t i = 0; i < want.size(); ++i) want.data()[i] += c0.data()[i];
+    expect_close(c, want);
+  }
+}
+
+TEST(GemmParity, AccumulateTransposeVariants) {
+  Rng rng(78);
+  const int m = 13, n = 21, k = 9;
+  const Matrix at = make_random(k, m, rng);
+  const Matrix b = make_random(k, n, rng);
+  const Matrix bt = make_random(n, k, rng);
+  const Matrix a = make_random(m, k, rng);
+  const Matrix c0 = make_random(m, n, rng);
+
+  Matrix c = c0;
+  matmul_tn_into(c, at, b, true);
+  Matrix want = reference::matmul_tn(at, b);
+  for (std::size_t i = 0; i < want.size(); ++i) want.data()[i] += c0.data()[i];
+  expect_close(c, want);
+
+  c = c0;
+  matmul_nt_into(c, a, bt, true);
+  want = reference::matmul_nt(a, bt);
+  for (std::size_t i = 0; i < want.size(); ++i) want.data()[i] += c0.data()[i];
+  expect_close(c, want);
+}
+
+TEST(GemmParity, LinearForwardFusedEpilogueMatchesUnfused) {
+  Rng rng(42);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix x = make_random(m, k, rng);
+    const Matrix w = make_random(k, n, rng);
+    const Matrix b = make_random(1, n, rng);
+    for (Activation act : {Activation::Identity, Activation::ReLU, Activation::Tanh}) {
+      Matrix y;
+      linear_forward_into(y, x, w, b, act);
+      Matrix want = reference::linear_forward(x, w, b);
+      apply_activation(act, want);
+      expect_same(y, want);
+    }
+  }
+}
+
+TEST(GemmParity, ColumnSumMatchesReference) {
+  Rng rng(43);
+  for (int rows : {1, 2, 7, 64, 130}) {
+    for (int cols : {1, 3, 8, 33}) {
+      const Matrix m = make_random(rows, cols, rng);
+      Matrix s;
+      column_sum_into(s, m);
+      expect_same(s, reference::column_sum(m));
+
+      const Matrix s0 = make_random(1, cols, rng);
+      Matrix sa = s0;
+      column_sum_into(sa, m, /*accumulate=*/true);
+      // Accumulate seeds the running sum with s0, keeping ascending-row
+      // order: s0 + row0 + row1 + ...
+      Matrix want = s0;
+      for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) want(0, j) += m(i, j);
+      }
+      expect_same(sa, want);
+    }
+  }
+}
+
+TEST(GemmParity, EmptyOperandsProduceEmptyOrZeroResults) {
+  const Matrix a0k(0, 5);
+  const Matrix bk0(5, 0);
+  Matrix c;
+  matmul_into(c, a0k, Matrix(5, 3));
+  EXPECT_EQ(c.rows(), 0);
+  EXPECT_EQ(c.cols(), 3);
+  matmul_into(c, Matrix(3, 5), bk0);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 0);
+
+  // k = 0: an empty reduction is all zeros, not garbage.
+  matmul_into(c, Matrix(4, 0), Matrix(0, 6));
+  ASSERT_EQ(c.rows(), 4);
+  ASSERT_EQ(c.cols(), 6);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0);
+}
+
+TEST(GemmParity, ShapeErrorsThrow) {
+  Matrix c;
+  EXPECT_THROW(matmul_into(c, Matrix(2, 3), Matrix(4, 2)), std::invalid_argument);
+  EXPECT_THROW(matmul_tn_into(c, Matrix(2, 3), Matrix(4, 2)), std::invalid_argument);
+  EXPECT_THROW(matmul_nt_into(c, Matrix(2, 3), Matrix(4, 2)), std::invalid_argument);
+  Matrix y;
+  EXPECT_THROW(linear_forward_into(y, Matrix(2, 3), Matrix(3, 4), Matrix(1, 5)),
+               std::invalid_argument);
+  // Accumulate requires the destination to already hold the result shape.
+  Matrix wrong(1, 1);
+  EXPECT_THROW(matmul_into(wrong, Matrix(2, 3), Matrix(3, 4), true),
+               std::invalid_argument);
+}
+
+TEST(GemmParity, DestinationResizedInPlace) {
+  Rng rng(7);
+  const Matrix a = make_random(6, 4, rng);
+  const Matrix b = make_random(4, 9, rng);
+  Matrix c(100, 100);  // capacity above the result size: no realloc needed
+  const double* before = c.data();
+  matmul_into(c, a, b);
+  EXPECT_EQ(c.rows(), 6);
+  EXPECT_EQ(c.cols(), 9);
+  EXPECT_EQ(c.data(), before);
+  expect_same(c, reference::matmul(a, b));
+}
+
+TEST(GemmDeterminism, RepeatedRunsAreBitIdentical) {
+  Rng rng(555);
+  const Matrix a = make_random(37, 53, rng);
+  const Matrix b = make_random(53, 29, rng);
+  const Matrix bias = make_random(1, 29, rng);
+
+  Matrix c1, c2;
+  matmul_into(c1, a, b);
+  matmul_into(c2, a, b);
+  ASSERT_EQ(c1.size(), c2.size());
+  EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(double)), 0);
+
+  Matrix y1, y2;
+  linear_forward_into(y1, a, b, bias, Activation::Tanh);
+  linear_forward_into(y2, a, b, bias, Activation::Tanh);
+  EXPECT_EQ(std::memcmp(y1.data(), y2.data(), y1.size() * sizeof(double)), 0);
+}
+
+TEST(GemmDeterminism, AllocatingWrappersMatchIntoVariants) {
+  Rng rng(556);
+  const Matrix a = make_random(11, 17, rng);
+  const Matrix b = make_random(17, 5, rng);
+  Matrix c;
+  matmul_into(c, a, b);
+  expect_same(matmul(a, b), c);
+
+  const Matrix bt = make_random(5, 17, rng);
+  matmul_nt_into(c, a, bt);
+  expect_same(matmul_nt(a, bt), c);
+
+  const Matrix at = make_random(17, 11, rng);
+  matmul_tn_into(c, at, b);
+  expect_same(matmul_tn(at, b), c);
+}
+
+TEST(GemmKernelConfig, LargeKCrossesChunkBoundary) {
+  // k > kKernelKc exercises the multi-chunk path (first/last flags). The
+  // chunked sum associates differently from the reference single chain, so
+  // compare with a tolerance scaled to the reduction length.
+  Rng rng(999);
+  const int k = kKernelKc + 37;
+  const Matrix a = make_random(5, k, rng);
+  const Matrix b = make_random(k, 6, rng);
+  Matrix c;
+  matmul_into(c, a, b);
+  const Matrix want = reference::matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], want.data()[i], 1e-10 * (1.0 + std::abs(want.data()[i])));
+  }
+}
+
+}  // namespace
+}  // namespace adsec

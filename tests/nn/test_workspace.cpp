@@ -1,0 +1,130 @@
+// Workspace pool semantics plus the concurrency contract: thread-local
+// inference pools mean concurrent forward_inference on a shared const
+// network is race-free (the TSan CI job runs this suite).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "nn/gaussian_policy.hpp"
+#include "nn/mlp.hpp"
+#include "nn/workspace.hpp"
+
+namespace adsec {
+namespace {
+
+TEST(Workspace, ReusesExactShapeBuffers) {
+  Workspace ws;
+  double* first;
+  {
+    auto lease = ws.acquire(4, 8);
+    first = lease->data();
+    EXPECT_EQ(lease->rows(), 4);
+    EXPECT_EQ(lease->cols(), 8);
+  }
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  {
+    auto lease = ws.acquire(4, 8);  // exact-shape hit: same storage, no growth
+    EXPECT_EQ(lease->data(), first);
+  }
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+  EXPECT_EQ(ws.pooled_bytes(), 4u * 8u * sizeof(double));
+}
+
+TEST(Workspace, ConcurrentLeasesOfSameShapeGetDistinctBuffers) {
+  Workspace ws;
+  auto a = ws.acquire(3, 3);
+  auto b = ws.acquire(3, 3);
+  EXPECT_NE(a->data(), b->data());
+  EXPECT_EQ(ws.pooled_buffers(), 2u);
+}
+
+TEST(Workspace, DifferentShapesGetDifferentEntries) {
+  Workspace ws;
+  { auto a = ws.acquire(2, 2); }
+  { auto b = ws.acquire(2, 3); }
+  EXPECT_EQ(ws.pooled_buffers(), 2u);
+}
+
+TEST(Workspace, LeaseMoveTransfersOwnership) {
+  Workspace ws;
+  auto a = ws.acquire(5, 5);
+  double* p = a->data();
+  Workspace::Lease b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b->data(), p);
+  b.release();
+  EXPECT_FALSE(static_cast<bool>(b));
+  // After release the entry is free again: next acquire reuses it.
+  auto c = ws.acquire(5, 5);
+  EXPECT_EQ(c->data(), p);
+}
+
+TEST(Workspace, CopyingOwnerDoesNotShareScratch) {
+  Workspace ws;
+  { auto a = ws.acquire(2, 2); }
+  Workspace copy(ws);
+  EXPECT_EQ(copy.pooled_buffers(), 0u);  // copies start with an empty pool
+  copy = ws;
+  EXPECT_EQ(copy.pooled_buffers(), 0u);  // assignment keeps the own (empty) pool
+  EXPECT_EQ(ws.pooled_buffers(), 1u);
+}
+
+TEST(Workspace, SteadyStateAcquireDoesNotGrowPool) {
+  Workspace ws;
+  for (int warm = 0; warm < 2; ++warm) {
+    auto a = ws.acquire(8, 16);
+    auto b = ws.acquire(8, 16);
+    auto c = ws.acquire(1, 16);
+  }
+  const std::size_t buffers = ws.pooled_buffers();
+  const std::size_t bytes = ws.pooled_bytes();
+  for (int i = 0; i < 100; ++i) {
+    auto a = ws.acquire(8, 16);
+    auto b = ws.acquire(8, 16);
+    auto c = ws.acquire(1, 16);
+  }
+  EXPECT_EQ(ws.pooled_buffers(), buffers);
+  EXPECT_EQ(ws.pooled_bytes(), bytes);
+}
+
+// Many threads run forward_inference on the SAME const networks at once.
+// Each thread's scratch comes from its own thread-local pool, so TSan must
+// see no races; results must match the single-threaded answer exactly.
+TEST(WorkspaceConcurrency, ParallelForwardInferenceIsRaceFreeAndDeterministic) {
+  Rng rng(99);
+  const Mlp net({6, 32, 32, 2}, Activation::ReLU, rng);
+  const GaussianPolicy policy = GaussianPolicy::make_mlp(6, {16, 16}, 2, rng);
+
+  Matrix obs(1, 6);
+  for (int j = 0; j < 6; ++j) obs(0, j) = 0.1 * (j + 1);
+  const Matrix want_net = net.forward_inference(obs);
+  const Matrix want_act = policy.mean_action(obs);
+
+  constexpr int kThreads = 4;
+  constexpr int kReps = 50;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Matrix out, act;
+      for (int r = 0; r < kReps; ++r) {
+        net.forward_inference_into(obs, out);
+        policy.mean_action_into(obs, act);
+        for (int j = 0; j < out.cols(); ++j) {
+          if (out(0, j) != want_net(0, j)) ++mismatches[static_cast<std::size_t>(t)];
+        }
+        for (int j = 0; j < act.cols(); ++j) {
+          if (act(0, j) != want_act(0, j)) ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+}
+
+}  // namespace
+}  // namespace adsec

@@ -1,0 +1,150 @@
+// Steady-state allocation audit: after a warm-up update, Sac::update (and
+// the other hot loops) must perform ZERO heap allocations in the matmul /
+// workspace path. Global operator new is replaced with a counting shim —
+// this test lives in its own binary so the shim cannot perturb other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "nn/workspace.hpp"
+#include "rl/replay.hpp"
+#include "rl/sac.hpp"
+#include "rl/td3.hpp"
+
+namespace {
+
+std::atomic<long> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace adsec {
+namespace {
+
+// Count heap allocations across `fn`.
+template <typename Fn>
+long count_allocs(Fn&& fn) {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  fn();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+void fill_buffer(ReplayBuffer& buffer, int obs_dim, int act_dim, int n, Rng& rng) {
+  std::vector<double> obs(static_cast<std::size_t>(obs_dim));
+  std::vector<double> next(static_cast<std::size_t>(obs_dim));
+  std::vector<double> act(static_cast<std::size_t>(act_dim));
+  for (int i = 0; i < n; ++i) {
+    for (auto& v : obs) v = rng.normal(0.0, 1.0);
+    for (auto& v : next) v = rng.normal(0.0, 1.0);
+    for (auto& v : act) v = rng.normal(0.0, 0.5);
+    buffer.add(obs, act, rng.normal(0.0, 1.0), next, i % 50 == 49);
+  }
+}
+
+TEST(SteadyStateAllocations, SacUpdateIsAllocationFreeAfterWarmup) {
+  const int obs_dim = 12, act_dim = 2;
+  Rng rng(7);
+  SacConfig cfg;
+  cfg.batch_size = 32;
+  cfg.actor_hidden = {32, 32};
+  cfg.critic_hidden = {32, 32};
+  Sac sac(obs_dim, act_dim, cfg, rng);
+
+  ReplayBuffer buffer(4096, obs_dim, act_dim);
+  fill_buffer(buffer, obs_dim, act_dim, 256, rng);
+
+  // Warm-up passes populate every scratch matrix, workspace lease, and the
+  // thread-local GEMM pack buffers.
+  for (int i = 0; i < 3; ++i) sac.update(buffer, rng);
+
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 5; ++i) sac.update(buffer, rng);
+  });
+  EXPECT_EQ(allocs, 0) << "Sac::update allocated on the steady-state path";
+}
+
+TEST(SteadyStateAllocations, Td3UpdateIsAllocationFreeAfterWarmup) {
+  const int obs_dim = 12, act_dim = 2;
+  Rng rng(8);
+  Td3Config cfg;
+  cfg.batch_size = 32;
+  cfg.actor_hidden = {32, 32};
+  cfg.critic_hidden = {32, 32};
+  Td3 td3(obs_dim, act_dim, cfg, rng);
+
+  ReplayBuffer buffer(4096, obs_dim, act_dim);
+  fill_buffer(buffer, obs_dim, act_dim, 256, rng);
+
+  // Warm both the critic-only and the delayed-actor paths.
+  for (int i = 0; i < 4; ++i) td3.update(buffer, rng);
+
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 6; ++i) td3.update(buffer, rng);
+  });
+  EXPECT_EQ(allocs, 0) << "Td3::update allocated on the steady-state path";
+}
+
+TEST(SteadyStateAllocations, ReplaySampleIntoReusesBatchStorage) {
+  const int obs_dim = 8, act_dim = 2;
+  Rng rng(9);
+  ReplayBuffer buffer(1024, obs_dim, act_dim);
+  fill_buffer(buffer, obs_dim, act_dim, 128, rng);
+
+  Batch batch;
+  buffer.sample_into(64, rng, batch);  // warm: matrices sized here
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 10; ++i) buffer.sample_into(64, rng, batch);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+TEST(SteadyStateAllocations, ForwardInferenceIntoIsAllocationFreeAfterWarmup) {
+  Rng rng(10);
+  const Mlp net({16, 64, 64, 4}, Activation::ReLU, rng);
+  Matrix obs(1, 16);
+  for (int j = 0; j < 16; ++j) obs(0, j) = 0.05 * j;
+  Matrix out;
+  net.forward_inference_into(obs, out);  // warm thread-local workspace
+
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) net.forward_inference_into(obs, out);
+  });
+  EXPECT_EQ(allocs, 0);
+}
+
+// The workspace telemetry byte counter corroborates the allocator shim: the
+// pool stops growing once warm.
+TEST(SteadyStateAllocations, WorkspacePoolStopsGrowingOnceWarm) {
+  Workspace& ws = inference_workspace();
+  Rng rng(11);
+  const Mlp net({8, 32, 2}, Activation::Tanh, rng);
+  Matrix obs(1, 8), out;
+  net.forward_inference_into(obs, out);
+  const std::size_t bytes = ws.pooled_bytes();
+  const std::size_t buffers = ws.pooled_buffers();
+  for (int i = 0; i < 50; ++i) net.forward_inference_into(obs, out);
+  EXPECT_EQ(ws.pooled_bytes(), bytes);
+  EXPECT_EQ(ws.pooled_buffers(), buffers);
+}
+
+}  // namespace
+}  // namespace adsec
