@@ -13,7 +13,6 @@
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <optional>
 
 #include "agents/reward.hpp"

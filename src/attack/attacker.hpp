@@ -4,7 +4,6 @@
 // already scaled to the attack budget:  nu' = nu + delta.
 #pragma once
 
-#include <memory>
 #include <string>
 
 #include "nn/gaussian_policy.hpp"

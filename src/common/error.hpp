@@ -22,12 +22,15 @@ enum class ErrorCode {
   Internal,  // invariant violation (includes injected worker faults)
 };
 
-const char* error_code_name(ErrorCode code);
+[[nodiscard]] const char* error_code_name(ErrorCode code);
 
-class Error : public std::runtime_error {
+// [[nodiscard]] on the type: any future factory returning an Error by value
+// (instead of throwing it) gets discard-checking for free at every call
+// site, without each declaration needing its own annotation.
+class [[nodiscard]] Error : public std::runtime_error {
  public:
   Error(ErrorCode code, const std::string& message);
-  ErrorCode code() const { return code_; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
 
  private:
   ErrorCode code_;

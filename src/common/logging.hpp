@@ -6,7 +6,6 @@
 // timestamp and thread id, e.g. "[   12.041233] [t03] [info] ...".
 #pragma once
 
-#include <string>
 
 namespace adsec {
 

@@ -22,7 +22,7 @@
 namespace adsec {
 
 // CRC-32 (IEEE 802.3, reflected) over `n` bytes.
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 
 class BinaryWriter {
  public:
@@ -32,7 +32,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_f64_vector(const std::vector<double>& v);
 
-  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   void save(const std::string& path) const;  // throws on I/O failure
 
   // Crash-safe save: header (magic, format_version, payload size, CRC32)
@@ -48,24 +48,28 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(std::vector<std::uint8_t> bytes);
-  static BinaryReader load(const std::string& path);  // throws on I/O failure
+  // Throws on I/O failure. [[nodiscard]]: a dropped reader means the caller
+  // paid for the read and then validated nothing.
+  [[nodiscard]] static BinaryReader load(const std::string& path);
 
   // Counterpart of BinaryWriter::save_checked: validates magic, version,
   // size, and CRC before exposing the payload. Throws adsec::Error{Io} if
   // the file can't be read, adsec::Error{Corrupt} if it fails validation
   // or its version exceeds `max_supported_version`. On success
   // *format_version (if non-null) receives the stored version.
-  static BinaryReader load_checked(const std::string& path,
-                                   std::uint32_t max_supported_version,
-                                   std::uint32_t* format_version = nullptr);
+  [[nodiscard]] static BinaryReader load_checked(
+      const std::string& path, std::uint32_t max_supported_version,
+      std::uint32_t* format_version = nullptr);
 
-  std::uint32_t read_u32();
-  std::int64_t read_i64();
-  double read_f64();
-  std::string read_string();
-  std::vector<double> read_f64_vector();
+  // [[nodiscard]] on every read: a discarded read is a silent cursor
+  // advance, which desynchronizes every field after it.
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<double> read_f64_vector();
 
-  bool at_end() const { return pos_ == buf_.size(); }
+  [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
 
  private:
   void need(std::size_t n) const;  // throws std::runtime_error on underrun

@@ -5,7 +5,6 @@
 
 #include <span>
 #include <string>
-#include <vector>
 
 namespace adsec {
 

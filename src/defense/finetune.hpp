@@ -8,7 +8,6 @@
 // compares.
 #pragma once
 
-#include <memory>
 
 #include "agents/driving_env.hpp"
 #include "attack/attacker.hpp"

@@ -27,7 +27,7 @@ struct BcResult {
 
 // Train `policy` toward the dataset (rows of `obs` paired with rows of
 // `acts`, actions in (-1, 1)).
-BcResult bc_train(GaussianPolicy& policy, const Matrix& obs, const Matrix& acts,
-                  const BcConfig& config);
+[[nodiscard]] BcResult bc_train(GaussianPolicy& policy, const Matrix& obs,
+                                const Matrix& acts, const BcConfig& config);
 
 }  // namespace adsec

@@ -111,7 +111,9 @@ double evaluate_policy_parallel(const Sac& sac, const EnvFactory& make_env,
 // Optional per-evaluation callback (step, mean eval return).
 using EvalCallback = std::function<void(int, double)>;
 
-TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
-                      const EvalCallback& on_eval = {});
+// The result carries the divergence-recovery count and best-actor snapshot;
+// discarding it would hide a degraded run, hence [[nodiscard]].
+[[nodiscard]] TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
+                                    const EvalCallback& on_eval = {});
 
 }  // namespace adsec

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <atomic>
-#include <cstdio>
 #include <mutex>
 #include <string>
 

@@ -54,7 +54,8 @@ struct Registry {
 };
 
 Registry& registry() {
-  static Registry* r = new Registry();  // leaked: usable during static dtors
+  // Leaked on purpose: usable during static dtors. adsec-lint: allow(alloc-hygiene)
+  static Registry* r = new Registry();
   return *r;
 }
 

@@ -48,6 +48,6 @@ struct FinalizeResult {
 // Write metrics/trace outputs configured earlier, close the event sink,
 // and disable collection. Idempotent; a repeat call reports nothing
 // written.
-FinalizeResult finalize();
+[[nodiscard]] FinalizeResult finalize();
 
 }  // namespace adsec::telemetry

@@ -40,6 +40,7 @@ struct TraceRegistry {
 };
 
 TraceRegistry& registry() {
+  // Leaked on purpose: usable during static dtors. adsec-lint: allow(alloc-hygiene)
   static TraceRegistry* r = new TraceRegistry();
   return *r;
 }

@@ -66,5 +66,78 @@ TEST_F(ConfigTest, NegativeScaleClampedToZeroThenFloor) {
   EXPECT_EQ(scaled_steps(1000, 7), 7);
 }
 
+TEST_F(ConfigTest, EmptyEnvValueIsTreatedAsUnset) {
+  ::setenv("ADSEC_ZOO_DIR", "", 1);
+  ::setenv("ADSEC_TRAIN_SCALE", "", 1);
+  ::setenv("ADSEC_EPISODES", "", 1);
+  ::setenv("ADSEC_CKPT_EVERY", "", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.zoo_dir, "zoo");
+  EXPECT_DOUBLE_EQ(cfg.train_scale, 1.0);
+  EXPECT_FALSE(cfg.episodes_override.has_value());
+  EXPECT_EQ(cfg.checkpoint_every, 0);
+  ::unsetenv("ADSEC_ZOO_DIR");
+  ::unsetenv("ADSEC_TRAIN_SCALE");
+  ::unsetenv("ADSEC_EPISODES");
+  ::unsetenv("ADSEC_CKPT_EVERY");
+}
+
+TEST_F(ConfigTest, OverflowingNumericValuesAreIgnoredNotCrashes) {
+  // std::stoi / std::stod throw out_of_range here; from_env must swallow
+  // that and keep the defaults, same as for non-numeric garbage.
+  ::setenv("ADSEC_EPISODES", "99999999999999999999", 1);
+  ::setenv("ADSEC_CKPT_EVERY", "99999999999999999999", 1);
+  ::setenv("ADSEC_TRAIN_SCALE", "1e999999", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_FALSE(cfg.episodes_override.has_value());
+  EXPECT_EQ(cfg.checkpoint_every, 0);
+  EXPECT_DOUBLE_EQ(cfg.train_scale, 1.0);
+  ::unsetenv("ADSEC_EPISODES");
+  ::unsetenv("ADSEC_CKPT_EVERY");
+  ::unsetenv("ADSEC_TRAIN_SCALE");
+}
+
+TEST_F(ConfigTest, OverlongZooDirIsPreservedVerbatim) {
+  const std::string longdir = "/tmp/" + std::string(4096, 'z');
+  ::setenv("ADSEC_ZOO_DIR", longdir.c_str(), 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.zoo_dir, longdir);
+  ::unsetenv("ADSEC_ZOO_DIR");
+}
+
+TEST_F(ConfigTest, NonPositiveEpisodesClampToOne) {
+  ::setenv("ADSEC_EPISODES", "0", 1);
+  RuntimeConfig cfg = RuntimeConfig::from_env();
+  ASSERT_TRUE(cfg.episodes_override.has_value());
+  EXPECT_EQ(*cfg.episodes_override, 1);
+  ::setenv("ADSEC_EPISODES", "-4", 1);
+  cfg = RuntimeConfig::from_env();
+  ASSERT_TRUE(cfg.episodes_override.has_value());
+  EXPECT_EQ(*cfg.episodes_override, 1);
+  ::unsetenv("ADSEC_EPISODES");
+}
+
+TEST_F(ConfigTest, NegativeCheckpointIntervalClampsToDisabled) {
+  ::setenv("ADSEC_CKPT_EVERY", "-50", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.checkpoint_every, 0);
+  ::unsetenv("ADSEC_CKPT_EVERY");
+}
+
+TEST_F(ConfigTest, NumericPrefixParsesLikeStoi) {
+  // Documented quirk: std::stoi/std::stod accept a numeric prefix, so
+  // "12abc" reads as 12 rather than being rejected outright.
+  ::setenv("ADSEC_EPISODES", "12abc", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  ASSERT_TRUE(cfg.episodes_override.has_value());
+  EXPECT_EQ(*cfg.episodes_override, 12);
+  ::unsetenv("ADSEC_EPISODES");
+}
+
+TEST_F(ConfigTest, ScaledStepsTruncatesTowardZero) {
+  runtime_config().train_scale = 0.5;
+  EXPECT_EQ(scaled_steps(999), 499);
+}
+
 }  // namespace
 }  // namespace adsec

@@ -1,0 +1,68 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <string>
+
+namespace adsec {
+namespace {
+
+const ErrorCode kAllCodes[] = {ErrorCode::Io,       ErrorCode::Corrupt,
+                               ErrorCode::Config,   ErrorCode::Diverged,
+                               ErrorCode::Usage,    ErrorCode::Internal};
+
+TEST(ErrorCodeName, EveryCodeHasADistinctNonEmptyName) {
+  std::set<std::string> names;
+  for (ErrorCode c : kAllCodes) {
+    const std::string name = error_code_name(c);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllCodes));
+}
+
+TEST(ErrorCodeName, OutOfRangeCodeFallsBackToUnknown) {
+  EXPECT_STREQ(error_code_name(static_cast<ErrorCode>(999)), "unknown");
+}
+
+TEST(ErrorType, WhatEmbedsTheCodeNameAndMessage) {
+  const Error e(ErrorCode::Corrupt, "crc mismatch at record 7");
+  EXPECT_STREQ(e.what(), "[corrupt] crc mismatch at record 7");
+  EXPECT_EQ(e.code(), ErrorCode::Corrupt);
+}
+
+TEST(ErrorType, EmptyMessageStillCarriesTheCodeTag) {
+  const Error e(ErrorCode::Usage, "");
+  EXPECT_STREQ(e.what(), "[usage] ");
+  EXPECT_EQ(e.code(), ErrorCode::Usage);
+}
+
+TEST(ErrorType, CodeSurvivesThrowAndCatchByBaseClass) {
+  // Callers that branch on code() catch adsec::Error; generic callers can
+  // still catch std::runtime_error and see the tagged message.
+  try {
+    throw Error(ErrorCode::Diverged, "loss is NaN");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("[diverged]"), std::string::npos);
+  }
+  try {
+    throw Error(ErrorCode::Io, "short read");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io);
+  }
+}
+
+TEST(ErrorType, RoundTripThroughEveryCode) {
+  for (ErrorCode c : kAllCodes) {
+    const Error e(c, "msg");
+    EXPECT_EQ(e.code(), c);
+    const std::string expected =
+        std::string("[") + error_code_name(c) + "] msg";
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+}
+
+}  // namespace
+}  // namespace adsec

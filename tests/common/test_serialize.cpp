@@ -47,7 +47,7 @@ TEST(Serialize, TruncatedInputThrows) {
   auto bytes = w.bytes();
   bytes.pop_back();
   BinaryReader r(bytes);
-  EXPECT_THROW(r.read_f64(), std::runtime_error);
+  EXPECT_THROW((void)r.read_f64(), std::runtime_error);
 }
 
 TEST(Serialize, TruncatedStringThrows) {
@@ -126,7 +126,7 @@ TEST_F(CheckedContainer, RoundTripValidatesAndReportsVersion) {
 
 TEST_F(CheckedContainer, MissingFileIsIoError) {
   try {
-    BinaryReader::load_checked(dir_ + "/absent.bin", 1);
+    (void)BinaryReader::load_checked(dir_ + "/absent.bin", 1);
     FAIL() << "expected Error{Io}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Io);
@@ -136,7 +136,7 @@ TEST_F(CheckedContainer, MissingFileIsIoError) {
 TEST_F(CheckedContainer, GarbageFileIsCorrupt) {
   std::ofstream(path_, std::ios::binary) << "this is not a checked container";
   try {
-    BinaryReader::load_checked(path_, 1);
+    (void)BinaryReader::load_checked(path_, 1);
     FAIL() << "expected Error{Corrupt}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Corrupt);
@@ -179,7 +179,7 @@ TEST_F(CheckedContainer, EveryFlippedBitIsDetected) {
 TEST_F(CheckedContainer, FutureVersionIsRejected) {
   sample_writer().save_checked(path_, /*format_version=*/7);
   try {
-    BinaryReader::load_checked(path_, /*max_supported_version=*/6);
+    (void)BinaryReader::load_checked(path_, /*max_supported_version=*/6);
     FAIL() << "expected Error{Corrupt}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Corrupt);
@@ -218,7 +218,7 @@ TEST_F(CheckedContainer, InjectedBitRotIsCaughtAtLoad) {
   fault_injector().arm("serialize.save", FaultKind::FlipByte);
   sample_writer().save_checked(path_, 1);
   try {
-    BinaryReader::load_checked(path_, 1);
+    (void)BinaryReader::load_checked(path_, 1);
     FAIL() << "expected Error{Corrupt}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Corrupt);

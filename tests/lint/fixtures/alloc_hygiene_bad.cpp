@@ -1,0 +1,11 @@
+// Fixture: naked allocations. Expected findings: new, malloc, free,
+// delete, new -> 5 x alloc-hygiene.
+#include <cstdlib>
+
+int* make() {
+  int* p = new int[4];
+  void* q = std::malloc(8);
+  std::free(q);
+  delete[] p;
+  return new int(7);
+}

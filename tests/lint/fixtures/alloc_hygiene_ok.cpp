@@ -1,0 +1,16 @@
+// Fixture: operator-new declarations, deleted functions, and allocation
+// words inside strings are not naked allocations. Expected findings: none.
+#include <cstddef>
+#include <vector>
+
+void* operator new(std::size_t n);  // declaration of the allocator itself
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+const char* advice() { return "delete the checkpoint and retrain"; }
+
+std::vector<int> grow() { return std::vector<int>(4, 0); }

@@ -1,0 +1,7 @@
+// Fixture: <iostream> in a header drags the ios static initializer into
+// every includer. Expected findings: 1 x include-iostream-in-header.
+#pragma once
+
+#include <iostream>
+
+namespace fixture {}

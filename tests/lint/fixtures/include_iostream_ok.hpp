@@ -1,0 +1,10 @@
+// Fixture: value headers are fine; <iostream> in a .cpp is also fine
+// (exercised by the io_hygiene fixtures). Expected findings: none.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+inline std::string greeting() { return "hello"; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: library code printing directly instead of via common/logging.
+// Expected findings: cout, endl, printf, cerr -> 4 x io-hygiene.
+#include <cstdio>
+#include <iostream>
+
+void report(double mean) {
+  std::cout << "mean=" << mean << std::endl;
+  std::printf("mean=%f\n", mean);
+  std::cerr << "done\n";
+}

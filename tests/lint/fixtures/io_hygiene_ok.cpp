@@ -1,0 +1,5 @@
+// Fixture: no direct stdio; stream names inside string literals are inert.
+// Expected findings: none.
+#include <string>
+
+std::string describe() { return "std::cout << is reserved for tools/"; }

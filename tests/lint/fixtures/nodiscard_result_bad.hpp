@@ -1,0 +1,16 @@
+// Fixture: header functions returning Error/*Result types without
+// [[nodiscard]]. Expected findings: check_config, parse -> 2 x
+// nodiscard-result.
+#pragma once
+
+namespace fixture {
+
+class Error {};
+struct ParseResult {
+  int value;
+};
+
+Error check_config(int v);
+ParseResult parse(const char* text);
+
+}  // namespace fixture

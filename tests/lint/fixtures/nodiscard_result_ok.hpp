@@ -1,0 +1,21 @@
+// Fixture: annotated declarations are clean, and Result-typed locals
+// inside inline function bodies are constructions, not declarations.
+// Expected findings: none.
+#pragma once
+
+namespace fixture {
+
+class Error {};
+struct ParseResult {
+  int value;
+};
+
+[[nodiscard]] Error check_config(int v);
+[[nodiscard]] ParseResult parse(const char* text);
+
+inline int use() {
+  ParseResult local(parse("x"));  // ctor call at body scope, not a decl
+  return local.value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: every flagged line below is a nondeterminism source. Expected
+// findings: random_device, steady_clock, srand, time -> 4 x nondeterminism.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long entropy() {
+  std::random_device rd;
+  const auto now = std::chrono::steady_clock::now();
+  std::srand(42);
+  return static_cast<long>(rd()) + std::time(nullptr) +
+         now.time_since_epoch().count();
+}

@@ -1,0 +1,15 @@
+// Fixture: members *named* like clocks, and banned names inside strings or
+// comments, must not trip the token-aware rules. Expected findings: none.
+#include <string>
+
+struct World {
+  double time() const { return t; }  // member declaration named time()
+  double t{0.0};
+};
+
+double sample(const World& w) {
+  // calling a member named time() is not the C time() function
+  return w.time();
+}
+
+const char* doc() { return "never call time(), rand(), or steady_clock"; }

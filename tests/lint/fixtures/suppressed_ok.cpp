@@ -1,0 +1,11 @@
+// Fixture: deliberate violations silenced with allow() comments — one
+// same-line, one standalone-previous-line, one wildcard. Expected
+// findings: none (3 suppressed).
+#include <cstdlib>
+
+int shim() {
+  void* p = std::malloc(8);  // adsec-lint: allow(alloc-hygiene)
+  // adsec-lint: allow(alloc-hygiene)
+  std::free(p);
+  return std::rand();  // adsec-lint: allow(all)
+}

@@ -1,0 +1,11 @@
+// Fixture: a TU that writes files must not use unordered containers — hash
+// iteration order would make the output bytes unstable. Expected findings:
+// 1 x unordered-container.
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+void dump(const std::unordered_map<int, double>& m, const std::string& path) {
+  std::ofstream out(path);
+  for (const auto& [k, v] : m) out << k << " " << v << "\n";
+}

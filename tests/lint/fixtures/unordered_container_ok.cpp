@@ -1,0 +1,9 @@
+// Fixture: unordered containers are fine in a TU that never produces
+// output and is not a serialize/checkpoint/table TU. Expected findings:
+// none.
+#include <unordered_map>
+
+int lookup(const std::unordered_map<int, int>& m, int k) {
+  const auto it = m.find(k);
+  return it == m.end() ? 0 : it->second;
+}

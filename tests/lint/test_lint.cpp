@@ -1,0 +1,196 @@
+// Fixture-corpus suite for adsec_lint: every shipped rule is proven in
+// both directions (the *_bad fixture trips exactly that rule, the *_ok
+// fixture stays clean), the suppression machinery is exercised through a
+// real file, and the repo tree itself must scan clean — which makes the
+// determinism contracts part of tier-1 ctest, not just the CI lint job.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../telemetry/json_check.hpp"
+#include "lint.hpp"
+
+namespace adsec::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(ADSEC_LINT_FIXTURES) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+// Lint a fixture as if it lived at tests/lint/fixtures/<name> — the same
+// repo-relative path the CLI sees when CI points it at a fixture file.
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  int* suppressed = nullptr) {
+  return lint_source("tests/lint/fixtures/" + name, read_fixture(name),
+                     suppressed);
+}
+
+void expect_only_rule(const std::vector<Finding>& findings, const char* rule,
+                      std::size_t count) {
+  EXPECT_EQ(findings.size(), count);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, rule) << f.file << ":" << f.line << " " << f.message;
+  }
+}
+
+struct FixturePair {
+  const char* rule;
+  const char* bad;
+  std::size_t bad_count;
+  const char* ok;
+};
+
+const FixturePair kPairs[] = {
+    {"nondeterminism", "nondeterminism_bad.cpp", 4, "nondeterminism_ok.cpp"},
+    {"unordered-container", "unordered_container_bad.cpp", 1,
+     "unordered_container_ok.cpp"},
+    {"io-hygiene", "io_hygiene_bad.cpp", 4, "io_hygiene_ok.cpp"},
+    {"alloc-hygiene", "alloc_hygiene_bad.cpp", 5, "alloc_hygiene_ok.cpp"},
+    {"nodiscard-result", "nodiscard_result_bad.hpp", 2,
+     "nodiscard_result_ok.hpp"},
+    {"include-iostream-in-header", "include_iostream_bad.hpp", 1,
+     "include_iostream_ok.hpp"},
+};
+
+TEST(LintFixtures, EveryRuleHasAPositiveAndNegativeFixture) {
+  std::set<std::string> covered;
+  for (const FixturePair& p : kPairs) covered.insert(p.rule);
+  for (const RuleDesc& r : rule_table()) {
+    EXPECT_TRUE(covered.count(r.name)) << "rule without fixtures: " << r.name;
+  }
+  EXPECT_EQ(covered.size(), rule_table().size());
+}
+
+TEST(LintFixtures, PositiveFixturesTripExactlyTheirRule) {
+  for (const FixturePair& p : kPairs) {
+    SCOPED_TRACE(p.bad);
+    expect_only_rule(lint_fixture(p.bad), p.rule, p.bad_count);
+  }
+}
+
+TEST(LintFixtures, NegativeFixturesAreClean) {
+  for (const FixturePair& p : kPairs) {
+    SCOPED_TRACE(p.ok);
+    EXPECT_TRUE(lint_fixture(p.ok).empty());
+  }
+}
+
+TEST(LintFixtures, SuppressionsSilenceSameLineAndPreviousLineForms) {
+  int suppressed = 0;
+  const std::vector<Finding> findings =
+      lint_fixture("suppressed_ok.cpp", &suppressed);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(suppressed, 3);
+}
+
+TEST(LintFixtures, SuppressionOfTheWrongRuleDoesNotSilence) {
+  const std::string src =
+      "int f() {\n"
+      "  return new int(1) != nullptr;  // adsec-lint: allow(io-hygiene)\n"
+      "}\n";
+  const std::vector<Finding> findings = lint_source("src/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "alloc-hygiene");
+}
+
+// Path scoping: the same source is clean or flagged purely by where it
+// lives, mirroring the allowed-module lists in DESIGN.md.
+TEST(LintRules, PathScopingFollowsTheAllowedModuleLists) {
+  const std::string clock_src =
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_FALSE(lint_source("src/sim/world.cpp", clock_src).empty());
+  EXPECT_TRUE(lint_source("src/telemetry/clock.cpp", clock_src).empty());
+  EXPECT_TRUE(lint_source("src/common/logging.cpp", clock_src).empty());
+
+  const std::string print_src =
+      "#include <cstdio>\nvoid p() { printf(\"x\"); }\n";
+  EXPECT_FALSE(lint_source("src/rl/sac.cpp", print_src).empty());
+  EXPECT_TRUE(lint_source("tools/adsec_cli.cpp", print_src).empty());
+  EXPECT_TRUE(lint_source("bench/bench_micro.cpp", print_src).empty());
+}
+
+TEST(LintRules, UnorderedContainerTriggersOnSerializePathNames) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "int n(const std::unordered_map<int,int>& m) { return (int)m.size(); }\n";
+  // Same TU: clean in a compute path, flagged in serialize/checkpoint/table
+  // TUs even without a write call in sight.
+  EXPECT_TRUE(lint_source("src/nn/matrix.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/common/serialize_util.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/rl/checkpoint_io.cpp", src).empty());
+  EXPECT_FALSE(lint_source("src/common/table_fmt.cpp", src).empty());
+}
+
+TEST(LintLexer, StringsCommentsAndRawStringsAreInert) {
+  const std::string src =
+      "const char* a = \"new delete malloc std::cout time( rand(\";\n"
+      "// new delete std::random_device\n"
+      "/* printf(\"x\") steady_clock */\n"
+      "const char* b = R\"(unordered_map std::cerr << std::endl)\";\n"
+      "int c = 1'000'000;  // digit separator is not a char literal\n";
+  EXPECT_TRUE(lint_source("src/x.cpp", src).empty());
+}
+
+TEST(LintLexer, MemberAccessAndQualifiedLookalikesAreInert) {
+  const std::string src =
+      "double t(const World& w) { return w.time(); }\n"
+      "int r(Thing* p) { return p->rand(); }\n"
+      "int s() { return mylib::time(7); }\n";
+  EXPECT_TRUE(lint_source("src/x.cpp", src).empty());
+}
+
+TEST(LintReport, JsonIsValidAndListsFindings) {
+  LintResult result;
+  result.files_scanned = 2;
+  result.suppressed = 1;
+  result.findings.push_back(
+      Finding{"src/a.cpp", 3, 7, "alloc-hygiene", "naked new with \"quotes\""});
+  const std::string json = findings_json(result);
+  EXPECT_TRUE(adsec::testjson::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"alloc-hygiene\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+}
+
+TEST(LintReport, JsonReportRoundTripsThroughDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "adsec_lint_report.json")
+          .string();
+  LintResult result;
+  result.files_scanned = 1;
+  ASSERT_TRUE(write_findings_json(path, result));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(adsec::testjson::valid_json(ss.str()));
+  std::filesystem::remove(path);
+}
+
+// The contract itself: the tree this test compiled from scans clean. A
+// regression anywhere in src/tools/bench/tests fails tier-1 ctest, not
+// just the CI lint job.
+TEST(LintTree, RepoScansClean) {
+  const LintResult result = run_lint(ADSEC_SOURCE_ROOT);
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ":" << f.col << " [" << f.rule
+                  << "] " << f.message;
+  }
+  EXPECT_GT(result.files_scanned, 150);
+}
+
+}  // namespace
+}  // namespace adsec::lint

@@ -72,8 +72,8 @@ TEST(Bc, DeterministicGivenSeed) {
   GaussianPolicy p2 = GaussianPolicy::make_mlp(1, {8}, 1, r2);
   BcConfig cfg;
   cfg.epochs = 5;
-  bc_train(p1, obs, act, cfg);
-  bc_train(p2, obs, act, cfg);
+  (void)bc_train(p1, obs, act, cfg);
+  (void)bc_train(p2, obs, act, cfg);
   Matrix probe(1, 1);
   probe(0, 0) = 0.123;
   EXPECT_DOUBLE_EQ(p1.mean_action(probe)(0, 0), p2.mean_action(probe)(0, 0));

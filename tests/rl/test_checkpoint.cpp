@@ -199,7 +199,7 @@ TEST_F(Checkpoint, InterruptedAndResumedRunIsBitIdentical) {
     HistoryEnv env;
     fault_injector().arm("trainer.abort", FaultKind::Throw, /*fire_at=*/123);
     try {
-      train_sac(sac2, env, tc2);
+      (void)train_sac(sac2, env, tc2);
       FAIL() << "expected injected abort";
     } catch (const Error& e) {
       EXPECT_EQ(e.code(), ErrorCode::Internal);
@@ -265,7 +265,7 @@ TEST_F(Checkpoint, ResumeUnderDifferentConfigFailsLoudly) {
   tc.checkpoint_path = path_;
   Sac sac = make_sac();
   HistoryEnv env;
-  train_sac(sac, env, tc);
+  (void)train_sac(sac, env, tc);
   ASSERT_TRUE(std::filesystem::exists(path_));
 
   TrainConfig other = tc;
@@ -274,7 +274,7 @@ TEST_F(Checkpoint, ResumeUnderDifferentConfigFailsLoudly) {
   Sac sac2 = make_sac();
   HistoryEnv env2;
   try {
-    train_sac(sac2, env2, other);
+    (void)train_sac(sac2, env2, other);
     FAIL() << "expected Error{Config}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Config);
@@ -338,7 +338,7 @@ TEST_F(Checkpoint, ExhaustedRetryBudgetThrowsDiverged) {
   HistoryEnv env;
   fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/15);
   try {
-    train_sac(sac, env, tc);
+    (void)train_sac(sac, env, tc);
     FAIL() << "expected Error{Diverged}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Diverged);
@@ -353,7 +353,7 @@ TEST_F(Checkpoint, NanWithoutSnapshotThrowsDiverged) {
   HistoryEnv env;
   fault_injector().arm("trainer.nan", FaultKind::Throw, /*fire_at=*/5);
   try {
-    train_sac(sac, env, tc);
+    (void)train_sac(sac, env, tc);
     FAIL() << "expected Error{Diverged}";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::Diverged);
@@ -372,7 +372,7 @@ TEST_F(Checkpoint, CheckpointSurvivesDeathAtEveryWritePoint) {
   tc.checkpoint_path = path_;
   Sac sac = make_sac();
   HistoryEnv env;
-  train_sac(sac, env, tc);
+  (void)train_sac(sac, env, tc);
   ASSERT_TRUE(std::filesystem::exists(path_));
   ReplayBuffer buffer(tc.replay_capacity, 2, 1);
   TrainLoopState st;

@@ -58,7 +58,7 @@ TEST(Sac, LearnsToTrackTarget) {
   tc.eval_every = 0;
   tc.replay_capacity = 5000;
   tc.seed = 3;
-  train_sac(sac, env, tc);
+  (void)train_sac(sac, env, tc);
 
   Rng eval_rng(5);
   const double trained = evaluate_policy(sac, env, 20, 777, eval_rng);

@@ -152,7 +152,7 @@ TEST(TelemetryInstrumentation, DisabledRunWritesNothing) {
   tc.start_steps = 40;
   tc.update_after = 40;
   tc.eval_every = 0;
-  train_sac(sac, env, tc);
+  (void)train_sac(sac, env, tc);
 
   EXPECT_EQ(telemetry::trace_event_count(), traced_before);
   EXPECT_FALSE(telemetry::event_log_open());

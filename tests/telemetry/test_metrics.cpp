@@ -119,8 +119,9 @@ TEST_F(MetricsTest, QuantilesInterpolateWithinBuckets) {
   EXPECT_DOUBLE_EQ(snap->quantile(0.0), 10.0);
   EXPECT_NEAR(snap->quantile(0.5), 15.0, 1.0);
   EXPECT_DOUBLE_EQ(snap->quantile(1.0), 20.0);
-  // Empty histogram: quantile is defined as 0.
-  Histogram empty = histogram("test.metrics.quant_empty", {1.0});
+  // Empty histogram: quantile is defined as 0. Registering is the side
+  // effect we need; the handle itself is not.
+  (void)histogram("test.metrics.quant_empty", {1.0});
   const MetricsSnapshot full2 = metrics_snapshot();
   const HistogramSnapshot* esnap = find_hist(full2, "test.metrics.quant_empty");
   ASSERT_NE(esnap, nullptr);

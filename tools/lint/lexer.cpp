@@ -1,0 +1,310 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace adsec::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Prefixes that glue onto a following quote: u8R"(..)", LR"(..)", u"..".
+bool is_string_prefix(const std::string& id) {
+  return id == "R" || id == "L" || id == "u" || id == "U" || id == "u8" ||
+         id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : s_(src) {}
+
+  LexedFile run() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_lit("");
+      } else if (c == '\'') {
+        char_lit();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' &&
+                  std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else if (ident_start(c)) {
+        identifier();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (s_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      line_had_token_.push_back(false);
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::string text, int line, int col) {
+    out_.tokens.push_back(Token{kind, std::move(text), line, col});
+    mark_token_on(line);
+  }
+
+  void mark_token_on(int line) {
+    while (static_cast<int>(line_had_token_.size()) < line + 1) {
+      line_had_token_.push_back(false);
+    }
+    line_had_token_[static_cast<std::size_t>(line)] = true;
+  }
+
+  bool line_has_token(int line) const {
+    return static_cast<std::size_t>(line) < line_had_token_.size() &&
+           line_had_token_[static_cast<std::size_t>(line)];
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    const bool standalone = !line_has_token(start_line);
+    std::string text;
+    while (pos_ < s_.size() && s_[pos_] != '\n') {
+      text.push_back(s_[pos_]);
+      advance();
+    }
+    record_suppressions(text, start_line, standalone);
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    const bool standalone = !line_has_token(start_line);
+    std::string text;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < s_.size() && !(s_[pos_] == '*' && peek(1) == '/')) {
+      text.push_back(s_[pos_]);
+      advance();
+    }
+    if (pos_ < s_.size()) {
+      advance();  // '*'
+      advance();  // '/'
+    }
+    record_suppressions(text, start_line, standalone);
+  }
+
+  // Parse every "adsec-lint: allow(a, b)" occurrence in a comment.
+  void record_suppressions(const std::string& text, int line, bool standalone) {
+    const std::string marker = "adsec-lint:";
+    std::size_t at = text.find(marker);
+    bool any = false;
+    while (at != std::string::npos) {
+      std::size_t p = text.find("allow(", at);
+      if (p == std::string::npos) break;
+      p += 6;
+      const std::size_t close = text.find(')', p);
+      if (close == std::string::npos) break;
+      std::string name;
+      for (std::size_t i = p; i <= close; ++i) {
+        const char c = i < close ? text[i] : ',';
+        if (c == ',') {
+          if (!name.empty()) {
+            out_.allow[line].insert(name);
+            any = true;
+            name.clear();
+          }
+        } else if (c != ' ' && c != '\t') {
+          name.push_back(c);
+        }
+      }
+      at = text.find(marker, close);
+    }
+    if (any && standalone) out_.allow_standalone.insert(line);
+  }
+
+  void string_lit(const std::string& prefix) {
+    const int l = line_;
+    const int c = col_ - static_cast<int>(prefix.size());
+    if (!prefix.empty() && prefix.back() == 'R') {
+      raw_string(l, c);
+      return;
+    }
+    advance();  // opening quote
+    while (pos_ < s_.size() && s_[pos_] != '"' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) advance();
+      advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '"') advance();
+    emit(TokKind::String, "<string>", l, c);
+  }
+
+  void raw_string(int l, int c) {
+    advance();  // opening quote
+    std::string delim;
+    while (pos_ < s_.size() && s_[pos_] != '(') {
+      delim.push_back(s_[pos_]);
+      advance();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < s_.size() && s_.compare(pos_, close.size(), close) != 0) {
+      advance();
+    }
+    for (std::size_t i = 0; i < close.size() && pos_ < s_.size(); ++i) {
+      advance();
+    }
+    emit(TokKind::String, "<raw-string>", l, c);
+  }
+
+  void char_lit() {
+    const int l = line_;
+    const int c = col_;
+    advance();  // opening quote
+    while (pos_ < s_.size() && s_[pos_] != '\'' && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) advance();
+      advance();
+    }
+    if (pos_ < s_.size() && s_[pos_] == '\'') advance();
+    emit(TokKind::CharLit, "<char>", l, c);
+  }
+
+  void number() {
+    const int l = line_;
+    const int c = col_;
+    std::string text;
+    while (pos_ < s_.size()) {
+      const char ch = s_[pos_];
+      if (ident_char(ch) || ch == '.' || ch == '\'') {
+        text.push_back(ch);
+        advance();
+      } else if ((ch == '+' || ch == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text.push_back(ch);
+        advance();
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::Number, std::move(text), l, c);
+  }
+
+  void identifier() {
+    const int l = line_;
+    const int c = col_;
+    std::string text;
+    while (pos_ < s_.size() && ident_char(s_[pos_])) {
+      text.push_back(s_[pos_]);
+      advance();
+    }
+    if (peek() == '"' && is_string_prefix(text)) {
+      string_lit(text);
+      return;
+    }
+    emit(TokKind::Identifier, std::move(text), l, c);
+  }
+
+  void punct() {
+    const int l = line_;
+    const int c = col_;
+    const char ch = s_[pos_];
+    if (ch == ':' && peek(1) == ':') {
+      advance();
+      advance();
+      emit(TokKind::Punct, "::", l, c);
+      return;
+    }
+    if (ch == '-' && peek(1) == '>') {
+      advance();
+      advance();
+      emit(TokKind::Punct, "->", l, c);
+      return;
+    }
+    advance();
+    emit(TokKind::Punct, std::string(1, ch), l, c);
+  }
+
+  // Whole logical line (backslash continuations included) as one token.
+  void preprocessor() {
+    const int l = line_;
+    const int c = col_;
+    std::string text;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (s_[pos_] == '\n') break;
+      // A // comment ends the directive (and may hold a suppression).
+      if (s_[pos_] == '/' && peek(1) == '/') {
+        mark_token_on(l);  // the directive counts as a token on this line
+        line_comment();
+        break;
+      }
+      text.push_back(s_[pos_]);
+      advance();
+    }
+    // "#  include <x>" -> target "<x>"; "#include \"x\"" -> target "\"x\"".
+    std::size_t p = 1;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+    if (text.compare(p, 7, "include") == 0) {
+      p += 7;
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+      std::string target;
+      if (p < text.size() && text[p] == '<') {
+        const std::size_t e = text.find('>', p);
+        if (e != std::string::npos) target = text.substr(p, e - p + 1);
+      } else if (p < text.size() && text[p] == '"') {
+        const std::size_t e = text.find('"', p + 1);
+        if (e != std::string::npos) target = text.substr(p, e - p + 1);
+      }
+      emit(TokKind::PpInclude, std::move(target), l, c);
+    } else {
+      emit(TokKind::PpOther, std::move(text), l, c);
+    }
+    at_line_start_ = true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+  int line_{1};
+  int col_{1};
+  bool at_line_start_{true};
+  std::vector<bool> line_had_token_{false, false};  // 1-based line index
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace adsec::lint

@@ -1,0 +1,53 @@
+// Comment/string-aware C++ tokenizer for adsec_lint.
+//
+// The linter's rules match *tokens*, not raw text, so a banned name inside
+// a string literal ("delete the checkpoint"), a comment, or a longer
+// identifier (time_steps) can never false-positive. The lexer also parses
+// suppression comments:
+//
+//   do_risky_thing();  // adsec-lint: allow(alloc-hygiene)
+//   // adsec-lint: allow(io-hygiene)   <- on a line of its own, applies to
+//   next_line();                          the following line
+//
+// Preprocessor directives are captured as single tokens (#include targets
+// keep their <...>/"..." spelling for the include rules); macro bodies are
+// deliberately not expanded or scanned — the repo style keeps logic out of
+// macros, and scanning definitions would double-report every use site.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace adsec::lint {
+
+enum class TokKind {
+  Identifier,  // names and keywords, undifferentiated
+  Number,      // numeric literal (digit separators consumed)
+  String,      // string literal, escapes/raw-string body swallowed
+  CharLit,     // character literal
+  Punct,       // operators/punctuation; "::" and "->" kept as one token
+  PpInclude,   // #include directive; text is the target incl. delimiters
+  PpOther,     // any other preprocessor directive (whole logical line)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+  int col;   // 1-based
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // line -> rule names allowed on that line ("all" is a wildcard).
+  std::map<int, std::set<std::string>> allow;
+  // Lines that contain nothing but a suppression comment; their allow set
+  // also covers the next line.
+  std::set<int> allow_standalone;
+};
+
+LexedFile lex(const std::string& source);
+
+}  // namespace adsec::lint

@@ -1,0 +1,154 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "telemetry/events.hpp"  // json_quote: one escaping policy repo-wide
+
+namespace adsec::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+std::string slashed(const fs::path& p) {
+  std::string s = p.generic_string();
+  return s;
+}
+
+bool in_fixture_corpus(const std::string& rel) {
+  return rel.find("tests/lint/fixtures") != std::string::npos;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    throw Error(ErrorCode::Io, "adsec_lint: cannot read " + p.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+bool suppressed_at(const LexedFile& lexed, const Finding& f) {
+  const auto match = [&](int line) {
+    const auto it = lexed.allow.find(line);
+    if (it == lexed.allow.end()) return false;
+    return it->second.count(f.rule) > 0 || it->second.count("all") > 0;
+  };
+  if (match(f.line)) return true;
+  // A comment-only suppression line also covers the line below it.
+  return lexed.allow_standalone.count(f.line - 1) > 0 && match(f.line - 1);
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& source, int* suppressed) {
+  const LexedFile lexed = lex(source);
+  std::vector<Finding> raw;
+  check_file(rel_path, lexed, raw);
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (suppressed_at(lexed, f)) {
+      if (suppressed != nullptr) ++*suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  return kept;
+}
+
+LintResult run_lint(const std::string& repo_root, const LintOptions& opts) {
+  const fs::path root(repo_root);
+  std::vector<fs::path> files;
+  for (const std::string& r : opts.roots) {
+    const fs::path base = root / r;
+    if (fs::is_regular_file(base)) {
+      // An explicitly named file is always linted — this is how CI proves
+      // each positive fixture trips the gate. Only directory walks skip
+      // the corpus.
+      files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base)) {
+      throw Error(ErrorCode::Io,
+                  "adsec_lint: no such scan root: " + base.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable_extension(entry.path()) &&
+          !in_fixture_corpus(slashed(fs::relative(entry.path(), root)))) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  LintResult result;
+  for (const fs::path& p : files) {
+    const std::string rel = slashed(fs::relative(p, root));
+    ++result.files_scanned;
+    std::vector<Finding> found =
+        lint_source(rel, read_file(p), &result.suppressed);
+    for (Finding& f : found) result.findings.push_back(std::move(f));
+  }
+  sort_findings(result.findings);
+  return result;
+}
+
+std::string findings_json(const LintResult& result) {
+  using telemetry::json_quote;
+  std::string out;
+  out += "{\"tool\":\"adsec_lint\",";
+  out += "\"files_scanned\":" + std::to_string(result.files_scanned) + ",";
+  out += "\"suppressed\":" + std::to_string(result.suppressed) + ",";
+  out += "\"rules\":[";
+  bool first = true;
+  for (const RuleDesc& r : rule_table()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json_quote(r.name) +
+           ",\"summary\":" + json_quote(r.summary) + "}";
+  }
+  out += "],\"findings\":[";
+  first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"file\":" + json_quote(f.file) +
+           ",\"line\":" + std::to_string(f.line) +
+           ",\"col\":" + std::to_string(f.col) +
+           ",\"rule\":" + json_quote(f.rule) +
+           ",\"message\":" + json_quote(f.message) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_findings_json(const std::string& path, const LintResult& result) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << findings_json(result);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace adsec::lint

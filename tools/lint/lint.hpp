@@ -1,0 +1,48 @@
+// Driver for adsec_lint: walks the tree, applies suppressions, reports.
+//
+// The scan set defaults to src/, tools/, bench/, and tests/ under the repo
+// root; tests/lint/fixtures/ is always skipped (its files are deliberate
+// violations driven directly by the fixture gtest suite). Findings are
+// sorted by (file, line, col, rule) so output and the JSON report are
+// byte-stable across runs — the linter holds itself to the determinism
+// contract it enforces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace adsec::lint {
+
+struct LintOptions {
+  // Repo-relative directories (or single files) to scan.
+  std::vector<std::string> roots{"src", "tools", "bench", "tests"};
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int files_scanned{0};
+  int suppressed{0};
+};
+
+// Lint one in-memory file. `rel_path` decides which path-scoped rules
+// apply. Suppression comments are honoured; the pre-suppression finding
+// count is added to *total (when non-null) minus what survived.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& rel_path,
+                                               const std::string& source,
+                                               int* suppressed = nullptr);
+
+// Walk `repo_root` per `opts` and lint every .cpp/.hpp found.
+// Throws adsec::Error{Io} when a root or file cannot be read.
+[[nodiscard]] LintResult run_lint(const std::string& repo_root,
+                                  const LintOptions& opts = {});
+
+// Findings report in the telemetry JSON style (json_quote escaping,
+// compact one-object-per-finding array).
+std::string findings_json(const LintResult& result);
+
+// Write findings_json to `path`; false on I/O failure.
+bool write_findings_json(const std::string& path, const LintResult& result);
+
+}  // namespace adsec::lint

@@ -1,0 +1,75 @@
+// adsec_lint CLI.
+//
+//   adsec_lint [--root DIR] [--json PATH] [--list-rules] [scan-roots...]
+//
+// Scans src/ tools/ bench/ tests/ under --root (default: cwd) unless
+// explicit scan roots are given. Prints findings as file:line:col: [rule]
+// message. Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lint.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: adsec_lint [--root DIR] [--json PATH] [--list-rules] "
+      "[scan-roots...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_out;
+  adsec::lint::LintOptions opts;
+  std::vector<std::string> explicit_roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const adsec::lint::RuleDesc& r : adsec::lint::rule_table()) {
+        std::printf("%-28s %s\n", r.name, r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "adsec_lint: unknown flag '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      explicit_roots.push_back(arg);
+    }
+  }
+  if (!explicit_roots.empty()) opts.roots = explicit_roots;
+
+  adsec::lint::LintResult result;
+  try {
+    result = adsec::lint::run_lint(root, opts);
+  } catch (const adsec::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  for (const adsec::lint::Finding& f : result.findings) {
+    std::printf("%s:%d:%d: [%s] %s\n", f.file.c_str(), f.line, f.col,
+                f.rule.c_str(), f.message.c_str());
+  }
+  std::printf("adsec_lint: %zu finding(s) in %d file(s), %d suppressed\n",
+              result.findings.size(), result.files_scanned, result.suppressed);
+  if (!json_out.empty() &&
+      !adsec::lint::write_findings_json(json_out, result)) {
+    std::fprintf(stderr, "adsec_lint: cannot write %s\n", json_out.c_str());
+    return 2;
+  }
+  return result.findings.empty() ? 0 : 1;
+}

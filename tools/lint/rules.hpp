@@ -1,0 +1,39 @@
+// Determinism-contract rules for adsec_lint.
+//
+// Each rule is a token-level check over one file plus its repo-relative
+// path (path decides which rules apply: the allowed-module lists below are
+// the single source of truth for "who may use wall clocks", "who may
+// print", and so on). Rule names are stable identifiers — they appear in
+// findings, JSON reports, and allow(...) suppression comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace adsec::lint {
+
+struct Finding {
+  std::string file;  // repo-relative, forward slashes
+  int line;
+  int col;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleDesc {
+  const char* name;
+  const char* summary;
+};
+
+// Every shipped rule, in report order.
+const std::vector<RuleDesc>& rule_table();
+
+// Run all rules over one lexed file. `path` must be repo-relative with
+// forward slashes (e.g. "src/rl/trainer.cpp"); findings are appended
+// unsuppressed — the driver applies allow(...) comments afterwards.
+void check_file(const std::string& path, const LexedFile& lexed,
+                std::vector<Finding>& out);
+
+}  // namespace adsec::lint
