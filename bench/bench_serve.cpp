@@ -1,0 +1,96 @@
+// Serving-path benchmark: sustained throughput and per-class latency tails
+// of the adsec_serve evaluation server. Drives a mixed victim x attacker
+// grid through the bounded admission queue at several worker counts and
+// reports requests/s plus the p50/p90/p95/p99 latency rows the server's own
+// telemetry accumulates — the same report `adsec_serve` prints on shutdown.
+#include "bench_common.hpp"
+
+#include <atomic>
+
+#include "serve/report.hpp"
+#include "serve/server.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace adsec;
+using namespace adsec::bench;
+using namespace adsec::serve;
+
+namespace {
+
+EvalRequest make_request(int n, const std::string& attacker) {
+  EvalRequest req;
+  req.id = "b" + std::to_string(n);
+  req.agent = "modular";
+  req.attacker = attacker;
+  req.budget = 0.8;
+  req.seed = kEvalSeedBase + static_cast<std::uint64_t>(n);
+  req.episodes = 1;
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  bench_init("serve");
+  set_log_level(LogLevel::Warn);
+  print_header("Evaluation server throughput and latency tails",
+               "serving-path extension (no paper figure)");
+
+  const std::vector<std::string> attackers = {"none", "noise", "oracle", "full"};
+  const int rounds = eval_episodes(12);
+  const int requests = rounds * static_cast<int>(attackers.size());
+
+  Table throughput({"workers", "requests", "completed", "wall s", "req/s"});
+  Table latency({"workers", "class", "count", "mean ms", "p50 ms", "p90 ms",
+                 "p95 ms", "p99 ms"});
+
+  std::vector<int> worker_counts;
+  for (const int w : {1, 2, bench_jobs()}) {
+    bool seen = false;
+    for (const int prev : worker_counts) seen = seen || prev == w;
+    if (!seen) worker_counts.push_back(w);
+  }
+
+  for (const int workers : worker_counts) {
+    telemetry::reset_metrics_values();
+    std::atomic<int> terminal{0};
+    ServerOptions opts;
+    opts.workers = workers;
+    opts.queue_depth = static_cast<std::size_t>(requests);
+    opts.zoo = &zoo();
+    const std::uint64_t start_ns = telemetry::monotonic_ns();
+    {
+      EvalServer server(opts, [&](const ResultRecord& r) {
+        if (r.status == "done" || r.status == "failed" || r.status == "rejected") {
+          terminal.fetch_add(1);
+        }
+      });
+      int n = 0;
+      for (int round = 0; round < rounds; ++round) {
+        for (const auto& attacker : attackers) {
+          server.submit(make_request(n++, attacker), {});
+        }
+      }
+      server.drain();
+    }
+    const double wall_s =
+        static_cast<double>(telemetry::monotonic_ns() - start_ns) / 1e9;
+    const LatencyReport report = build_latency_report();
+    throughput.add_row({std::to_string(workers), std::to_string(requests),
+                        std::to_string(report.completed), fmt(wall_s, 3),
+                        fmt(static_cast<double>(terminal.load()) / wall_s, 2)});
+    for (const auto& c : report.classes) {
+      latency.add_row({std::to_string(workers), c.request_class,
+                       std::to_string(c.count), fmt(c.mean_ms, 3), fmt(c.p50_ms, 3),
+                       fmt(c.p90_ms, 3), fmt(c.p95_ms, 3), fmt(c.p99_ms, 3)});
+    }
+  }
+
+  throughput.print();
+  maybe_write_csv(throughput, "serve_throughput");
+  std::printf("\n");
+  latency.print();
+  maybe_write_csv(latency, "serve_latency");
+  return 0;
+}

@@ -10,6 +10,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::Diverged: return "diverged";
     case ErrorCode::Usage: return "usage";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::Rejected: return "rejected";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class ErrorCode {
   Diverged,  // training produced NaN/Inf beyond the recovery budget
   Usage,     // bad command-line arguments
   Internal,  // invariant violation (includes injected worker faults)
+  Rejected,  // admission control refused the request (backpressure/shutdown)
 };
 
 [[nodiscard]] const char* error_code_name(ErrorCode code);

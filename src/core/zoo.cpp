@@ -85,6 +85,49 @@ void PolicyZoo::arm_checkpoint(TrainConfig& cfg, const std::string& name) const 
 
 GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
                                           GaussianPolicy (PolicyZoo::*train)()) {
+  // Single-flight: the first caller for `name` becomes the leader and does
+  // the load/train; concurrent callers for the same name wait on the
+  // leader's future instead of racing into a duplicate training run (or a
+  // torn read of a half-written cache file).
+  std::promise<GaussianPolicy> promise;
+  std::shared_future<GaussianPolicy> future;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(name);
+    if (it == inflight_.end()) {
+      leader = true;
+      future = promise.get_future().share();
+      inflight_.emplace(name, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (!leader) {
+    // Followers piggyback on the leader's result; the policy arrives
+    // without touching disk, which the counters record as a hit.
+    zoo_metrics().cache_hit.inc();
+    telemetry::emit_event("zoo.single_flight_wait", {{"name", name}});
+    return future.get();
+  }
+  try {
+    GaussianPolicy policy = load_or_train(name, train);
+    promise.set_value(policy);
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(name);
+    return policy;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(name);
+    }
+    throw;
+  }
+}
+
+GaussianPolicy PolicyZoo::load_or_train(const std::string& name,
+                                        GaussianPolicy (PolicyZoo::*train)()) {
   const std::string file = path(name);
   bool retraining = false;
   if (file_exists(file)) {
@@ -152,6 +195,10 @@ GaussianPolicy PolicyZoo::pnn_column() {
 }
 
 Mlp PolicyZoo::td3_attacker() {
+  // Same single-flight discipline as cached_or_train, specialised to the
+  // one Mlp entry: serialize lookups so concurrent callers never train the
+  // TD3 actor twice or read a half-written cache file.
+  std::lock_guard<std::mutex> guard(td3_mu_);
   const std::string file = path("attacker_cam_td3");
   if (file_exists(file)) {
     try {

@@ -8,7 +8,10 @@
 // into the specs, so the cache is reproducible.
 #pragma once
 
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "agents/e2e_agent.hpp"
@@ -62,8 +65,15 @@ class PolicyZoo {
  private:
   std::string path(const std::string& name) const;
   std::string ckpt_path(const std::string& name) const;
+
+  // Single-flight wrapper around load_or_train: concurrent lookups of the
+  // same name share one load/train; followers block on the leader's future
+  // and the zoo counters record exactly one miss. Entries are erased on
+  // completion so later lookups re-probe the (now warm) disk cache.
   GaussianPolicy cached_or_train(const std::string& name,
                                  GaussianPolicy (PolicyZoo::*train)());
+  GaussianPolicy load_or_train(const std::string& name,
+                               GaussianPolicy (PolicyZoo::*train)());
 
   // When ADSEC_CKPT_EVERY > 0, point `cfg` at <zoo>/<name>.ckpt for both
   // periodic saves and resume, so a killed training run continues from its
@@ -86,6 +96,10 @@ class PolicyZoo {
   CameraConfig camera_;
   ImuConfig imu_;
   int frame_stack_{3};
+
+  std::mutex inflight_mu_;
+  std::map<std::string, std::shared_future<GaussianPolicy>> inflight_;
+  std::mutex td3_mu_;  // serializes td3_attacker (one cache entry)
 };
 
 }  // namespace adsec

@@ -1,0 +1,80 @@
+#include "serve/admission.hpp"
+
+#include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace adsec::serve {
+
+namespace {
+
+struct QueueMetrics {
+  telemetry::Counter admitted = telemetry::counter("serve.admitted");
+  telemetry::Counter rejected = telemetry::counter("serve.rejected");
+  telemetry::Gauge depth = telemetry::gauge("serve.queue_depth");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics m;
+  return m;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(std::size_t depth) : depth_(depth) {}
+
+AdmitDecision AdmissionQueue::try_push(PendingRequest pending,
+                                       const std::function<void()>& on_admit) {
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      reason = "shutting_down";
+    } else if (items_.size() >= depth_) {
+      reason = "queue_full";
+    } else {
+      pending.enqueue_ns = telemetry::monotonic_ns();
+      items_.push_back(std::move(pending));
+      queue_metrics().depth.set(static_cast<double>(items_.size()));
+      if (on_admit) on_admit();
+    }
+  }
+  if (reason.empty()) {
+    cv_.notify_one();
+    queue_metrics().admitted.inc();
+    return AdmitDecision{true, ""};
+  }
+  queue_metrics().rejected.inc();
+  telemetry::emit_event("serve.reject", {{"reason", reason}});
+  return AdmitDecision{false, reason};
+}
+
+std::optional<PendingRequest> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  PendingRequest out = std::move(items_.front());
+  items_.pop_front();
+  queue_metrics().depth.set(static_cast<double>(items_.size()));
+  return out;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace adsec::serve

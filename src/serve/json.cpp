@@ -1,0 +1,258 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace adsec::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, std::size_t pos) {
+  throw Error(ErrorCode::Corrupt,
+              "malformed JSON at byte " + std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) bad("trailing characters after document", pos_);
+    return v;
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value() {
+    if (pos_ >= s_.size()) bad("unexpected end of input", pos_);
+    switch (s_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      bad("unknown literal", pos_);
+    }
+    pos_ += word.size();
+    JsonValue v;
+    if (word == "true" || word == "false") {
+      v.kind_ = JsonValue::Kind::Bool;
+      v.bool_ = word == "true";
+    }  // "null" keeps the default Null kind
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) bad("invalid number", start);
+    // RFC 8259: int = zero / (digit1-9 *DIGIT) — no leading zeros.
+    if (peek() == '0' && pos_ + 1 < s_.size() &&
+        std::isdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+      bad("leading zero in number", start);
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) bad("invalid fraction", start);
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) bad("invalid exponent", start);
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Number;
+    try {
+      v.number_ = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      bad("number out of range", start);
+    }
+    return v;
+  }
+
+  std::string parse_string_body() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) bad("unterminated string", pos_);
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) bad("raw control character in string", pos_ - 1);
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) bad("unterminated escape", pos_);
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) bad("truncated \\u escape", pos_);
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else bad("invalid \\u escape", pos_ - 1);
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // by the protocol; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: bad("invalid escape character", pos_ - 1);
+      }
+    }
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::String;
+    v.string_ = parse_string_body();
+    return v;
+  }
+
+  JsonValue parse_array() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      bad("expected ',' or ']' in array", pos_);
+    }
+  }
+
+  JsonValue parse_object() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') bad("expected object key", pos_);
+      std::string key = parse_string_body();
+      for (const auto& m : v.members_) {
+        if (m.first == key) bad("duplicate object key '" + key + "'", pos_);
+      }
+      skip_ws();
+      if (peek() != ':') bad("expected ':' after object key", pos_);
+      ++pos_;
+      skip_ws();
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      bad("expected ',' or '}' in object", pos_);
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw Error(ErrorCode::Corrupt, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) throw Error(ErrorCode::Corrupt, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw Error(ErrorCode::Corrupt, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) throw Error(ErrorCode::Corrupt, "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::Object) throw Error(ErrorCode::Corrupt, "JSON value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+}  // namespace adsec::serve

@@ -1,0 +1,57 @@
+// Minimal JSON document parser for the evaluation-service protocol.
+//
+// The telemetry layer *writes* JSON; the serve layer is the first consumer
+// that must *read* it (client request lines). This parser is deliberately
+// tiny: it accepts exactly RFC 8259 documents, builds a small DOM, and
+// reports every malformation as adsec::Error{Corrupt} with the byte offset,
+// so a garbled request line becomes a structured per-request error instead
+// of a crash. Object members keep their source order (and duplicate keys are
+// rejected), which keeps request echoing deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adsec::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  // Parse one complete document; trailing non-whitespace is an error.
+  // Throws adsec::Error{Corrupt} on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  // Typed accessors throw adsec::Error{Corrupt} on a kind mismatch, so a
+  // request field of the wrong type surfaces as a validation error.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  Kind kind_{Kind::Null};
+  bool bool_{false};
+  double number_{0.0};
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace adsec::serve

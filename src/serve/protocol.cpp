@@ -1,0 +1,193 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "serve/json.hpp"
+#include "telemetry/events.hpp"
+
+namespace adsec::serve {
+
+namespace {
+
+[[noreturn]] void field_error(const std::string& field, const std::string& what) {
+  throw Error(ErrorCode::Config, "request field '" + field + "' " + what);
+}
+
+std::string require_string(const JsonValue& v, const std::string& field) {
+  if (!v.is_string()) field_error(field, "must be a string");
+  return v.as_string();
+}
+
+double require_number(const JsonValue& v, const std::string& field) {
+  if (!v.is_number()) field_error(field, "must be a number");
+  return v.as_number();
+}
+
+bool require_bool(const JsonValue& v, const std::string& field) {
+  if (!v.is_bool()) field_error(field, "must be a boolean");
+  return v.as_bool();
+}
+
+std::uint64_t require_u64(const JsonValue& v, const std::string& field) {
+  const double d = require_number(v, field);
+  if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15) {
+    field_error(field, "must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+int require_int(const JsonValue& v, const std::string& field, int lo, int hi) {
+  const double d = require_number(v, field);
+  if (d != std::floor(d) || d < lo || d > hi) {
+    field_error(field, "must be an integer in [" + std::to_string(lo) + ", " +
+                           std::to_string(hi) + "]");
+  }
+  return static_cast<int>(d);
+}
+
+// Numbers in result records: shortest representation that round-trips, and
+// non-finite values as null so every line stays strict JSON (mirrors the
+// telemetry event sink's convention).
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  for (int prec = 1; prec <= 16; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    if (std::sscanf(probe, "%lf", &parsed) == 1 && parsed == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value) {
+  if (out.back() != '{') out += ',';
+  out += telemetry::json_quote(key);
+  out += ':';
+  out += telemetry::json_quote(value);
+}
+
+void append_field(std::string& out, const char* key, double value) {
+  if (out.back() != '{') out += ',';
+  out += telemetry::json_quote(key);
+  out += ':';
+  append_number(out, value);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  if (out.back() != '{') out += ',';
+  out += telemetry::json_quote(key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, const char* key, int value) {
+  if (out.back() != '{') out += ',';
+  out += telemetry::json_quote(key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string request_class(const EvalRequest& req) {
+  return req.agent + "|" + req.attacker;
+}
+
+ParsedLine parse_line(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  if (!doc.is_object()) {
+    throw Error(ErrorCode::Config, "request line must be a JSON object");
+  }
+
+  // Control lines: {"op":"report"} / {"op":"shutdown"}.
+  if (const JsonValue* op = doc.find("op")) {
+    const std::string name = require_string(*op, "op");
+    if (doc.members().size() != 1) {
+      throw Error(ErrorCode::Config, "control line must contain only 'op'");
+    }
+    ParsedLine out;
+    if (name == "report") {
+      out.kind = LineKind::Report;
+    } else if (name == "shutdown") {
+      out.kind = LineKind::Shutdown;
+    } else {
+      throw Error(ErrorCode::Config, "unknown control op '" + name + "'");
+    }
+    return out;
+  }
+
+  ParsedLine out;
+  out.kind = LineKind::Request;
+  EvalRequest& req = out.request;
+  bool have_id = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "id") {
+      req.id = require_string(value, key);
+      have_id = true;
+    } else if (key == "agent") {
+      req.agent = require_string(value, key);
+    } else if (key == "attacker") {
+      req.attacker = require_string(value, key);
+    } else if (key == "budget") {
+      req.budget = require_number(value, key);
+      if (!(req.budget >= 0.0) || req.budget > 100.0) {
+        field_error(key, "must be in [0, 100]");
+      }
+    } else if (key == "scenario") {
+      req.scenario = require_string(value, key);
+    } else if (key == "seed") {
+      req.seed = require_u64(value, key);
+    } else if (key == "episodes") {
+      req.episodes = require_int(value, key, 1, 100000);
+    } else if (key == "with_reference") {
+      req.with_reference = require_bool(value, key);
+    } else {
+      throw Error(ErrorCode::Config, "unknown request field '" + key + "'");
+    }
+  }
+  if (!have_id || req.id.empty()) {
+    throw Error(ErrorCode::Config, "request field 'id' is required and non-empty");
+  }
+  if (req.id.size() > 256) field_error("id", "must be at most 256 bytes");
+  return out;
+}
+
+std::string ResultRecord::to_jsonl() const {
+  std::string out = "{";
+  append_field(out, "id", id);
+  append_field(out, "status", status);
+  if (!request_class.empty()) append_field(out, "class", request_class);
+  if (!error_code.empty()) append_field(out, "error_code", error_code);
+  if (!error.empty()) append_field(out, "error", error);
+  if (status == "done") {
+    append_field(out, "episodes", episodes);
+    append_field(out, "mean_nominal_reward", mean_nominal_reward);
+    append_field(out, "mean_adv_reward", mean_adv_reward);
+    append_field(out, "mean_passed_npcs", mean_passed_npcs);
+    append_field(out, "mean_attack_effort", mean_attack_effort);
+    if (mean_deviation_rmse >= 0.0) {
+      append_field(out, "mean_deviation_rmse", mean_deviation_rmse);
+    }
+    append_field(out, "success_rate", success_rate);
+    append_field(out, "collisions", collisions);
+    append_field(out, "side_collisions", side_collisions);
+  }
+  if (status == "done" || status == "failed") {
+    append_field(out, "queue_ns", queue_ns);
+    append_field(out, "run_ns", run_ns);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace adsec::serve

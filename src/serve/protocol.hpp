@@ -1,0 +1,89 @@
+// Wire protocol of the evaluation service: JSONL requests in, JSONL result
+// records out.
+//
+// A request names one cell of the paper's threat matrix plus run shape:
+//
+//   {"id":"r1","agent":"e2e","attacker":"camera","budget":1.0,
+//    "scenario":"paper","seed":700000,"episodes":3,"with_reference":false}
+//
+// `agent` doubles as the defense axis (finetune:<rho>, pnn:<sigma>,
+// pnn-detector:<sigma> are the hardened victims), exactly like adsec_cli's
+// --agent flag. Parsing is strict: unknown fields, wrong types, and
+// out-of-range values raise adsec::Error{Config} so the server can answer
+// with a structured per-request error record instead of guessing.
+//
+// The server streams one record per status transition:
+//
+//   {"id":"r1","status":"queued", ...}
+//   {"id":"r1","status":"running", ...}
+//   {"id":"r1","status":"done","episodes":3,"mean_nominal_reward":..., ...}
+//
+// Terminal statuses are exactly one of done | failed | rejected; `failed`
+// and `rejected` records carry an error code from common/error plus a
+// human-readable reason. Control lines ({"op":"report"} / {"op":"shutdown"})
+// drive the daemon without a second channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adsec::serve {
+
+struct EvalRequest {
+  std::string id;                    // required, echoed on every record
+  std::string agent{"e2e"};          // modular|e2e|finetune:<rho>|pnn:<sigma>|pnn-detector:<sigma>
+  std::string attacker{"none"};      // none|oracle|noise|full|camera|imu|td3
+  double budget{1.0};                // attacker perturbation budget (epsilon)
+  std::string scenario{"paper"};     // scenario preset name
+  std::uint64_t seed{700000};        // base evaluation seed
+  int episodes{1};                   // seeds seed..seed+episodes-1
+  bool with_reference{false};        // also roll the nominal reference run
+};
+
+// Histogram/reporting key: one latency class per (agent, attacker) pair —
+// the two axes that decide how much work a request costs.
+std::string request_class(const EvalRequest& req);
+
+// Everything one line from a client can mean.
+enum class LineKind { Request, Report, Shutdown };
+
+struct ParsedLine {
+  LineKind kind{LineKind::Request};
+  EvalRequest request;  // meaningful only for LineKind::Request
+};
+
+// Parse one JSONL line. Field presence/type/range errors and unknown fields
+// throw adsec::Error{Config}; malformed JSON throws adsec::Error{Corrupt}.
+// Name validity (agent/attacker/scenario) is checked by serve/spec.hpp.
+[[nodiscard]] ParsedLine parse_line(const std::string& line);
+
+// One streamed status record. Fields beyond (id, status) are populated per
+// status: terminal `done` carries the aggregated batch metrics and timing,
+// `failed`/`rejected` carry error_code + error.
+struct ResultRecord {
+  std::string id;
+  std::string status;         // queued | running | done | failed | rejected
+  std::string request_class;  // as request_class() above
+  std::string error_code;     // common/error code name (failed/rejected only)
+  std::string error;          // human-readable reason (failed/rejected only)
+
+  // Aggregated over the request's episodes (done only).
+  int episodes{0};
+  double mean_nominal_reward{0.0};
+  double mean_adv_reward{0.0};
+  double mean_passed_npcs{0.0};
+  double mean_attack_effort{0.0};
+  double mean_deviation_rmse{-1.0};  // -1 when with_reference was false
+  double success_rate{0.0};
+  int collisions{0};
+  int side_collisions{0};
+
+  // Timing (done/failed): time spent admitted-but-queued and executing.
+  std::uint64_t queue_ns{0};
+  std::uint64_t run_ns{0};
+
+  // Serialize as one strict-JSON line (no trailing newline).
+  std::string to_jsonl() const;
+};
+
+}  // namespace adsec::serve

@@ -1,0 +1,134 @@
+#include "serve/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace adsec::serve {
+
+namespace {
+
+constexpr const char* kLatencyPrefix = "serve.latency_ms.";
+
+std::uint64_t counter_value(const telemetry::MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double gauge_value(const telemetry::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t v, bool first = false) {
+  if (!first) out += ",";
+  out += telemetry::json_quote(key);
+  out += ":";
+  out += std::to_string(v);
+}
+
+void append_ms(std::string& out, const char* key, double v) {
+  out += ",";
+  out += telemetry::json_quote(key);
+  out += ":";
+  // Fixed 3-decimal milliseconds keep the document stable and readable.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+const std::vector<double>& latency_bounds_ms() {
+  // Sub-millisecond through minutes: evaluation requests span three orders
+  // of magnitude depending on episode count and scenario length.
+  static const std::vector<double> bounds = {
+      0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 33.0, 66.0, 125.0,
+      250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 60000.0};
+  return bounds;
+}
+
+LatencyReport build_latency_report() {
+  const telemetry::MetricsSnapshot snap = telemetry::metrics_snapshot();
+  LatencyReport report;
+  report.submitted = counter_value(snap, "serve.submitted");
+  report.admitted = counter_value(snap, "serve.admitted");
+  report.rejected = counter_value(snap, "serve.rejected");
+  report.completed = counter_value(snap, "serve.completed");
+  report.failed = counter_value(snap, "serve.failed");
+  report.actor_cache_hits = counter_value(snap, "serve.actor_cache_hit");
+  report.actor_cache_misses = counter_value(snap, "serve.actor_cache_miss");
+  report.zoo_cache_hits = counter_value(snap, "zoo.cache_hit");
+  report.zoo_cache_misses = counter_value(snap, "zoo.cache_miss");
+  report.queue_depth = gauge_value(snap, "serve.queue_depth");
+
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind(kLatencyPrefix, 0) != 0) continue;
+    // A registered-but-unobserved class (left behind by a metrics reset or
+    // an earlier server in the same process) carries no signal: skip it.
+    if (h.count == 0) continue;
+    LatencyReport::ClassRow row;
+    row.request_class = h.name.substr(std::string(kLatencyPrefix).size());
+    row.count = h.count;
+    row.mean_ms = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    row.p50_ms = h.quantile(0.50);
+    row.p90_ms = h.quantile(0.90);
+    row.p95_ms = h.quantile(0.95);
+    row.p99_ms = h.quantile(0.99);
+    report.classes.push_back(std::move(row));
+  }
+  std::sort(report.classes.begin(), report.classes.end(),
+            [](const LatencyReport::ClassRow& a, const LatencyReport::ClassRow& b) {
+              return a.request_class < b.request_class;
+            });
+  return report;
+}
+
+std::string LatencyReport::to_json() const {
+  std::string out = "{";
+  append_u64(out, "submitted", submitted, /*first=*/true);
+  append_u64(out, "admitted", admitted);
+  append_u64(out, "rejected", rejected);
+  append_u64(out, "completed", completed);
+  append_u64(out, "failed", failed);
+  append_u64(out, "actor_cache_hits", actor_cache_hits);
+  append_u64(out, "actor_cache_misses", actor_cache_misses);
+  append_u64(out, "zoo_cache_hits", zoo_cache_hits);
+  append_u64(out, "zoo_cache_misses", zoo_cache_misses);
+  append_u64(out, "queue_depth", static_cast<std::uint64_t>(queue_depth));
+  out += "," + telemetry::json_quote("classes") + ":[";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassRow& c = classes[i];
+    if (i != 0) out += ",";
+    out += "{";
+    out += telemetry::json_quote("class") + ":" + telemetry::json_quote(c.request_class);
+    append_u64(out, "count", c.count);
+    append_ms(out, "mean_ms", c.mean_ms);
+    append_ms(out, "p50_ms", c.p50_ms);
+    append_ms(out, "p90_ms", c.p90_ms);
+    append_ms(out, "p95_ms", c.p95_ms);
+    append_ms(out, "p99_ms", c.p99_ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Table LatencyReport::to_table() const {
+  Table t({"class", "count", "mean ms", "p50 ms", "p90 ms", "p95 ms", "p99 ms"});
+  for (const ClassRow& c : classes) {
+    t.add_row({c.request_class, std::to_string(c.count), fmt(c.mean_ms, 3),
+               fmt(c.p50_ms, 3), fmt(c.p90_ms, 3), fmt(c.p95_ms, 3),
+               fmt(c.p99_ms, 3)});
+  }
+  return t;
+}
+
+}  // namespace adsec::serve

@@ -1,0 +1,58 @@
+// Tail-latency report for the evaluation service, generated straight from
+// the telemetry registry.
+//
+// Every terminal request observation lands in a per-request-class histogram
+// ("serve.latency_ms.<agent>|<attacker>"); this module snapshots the
+// registry, extracts those histograms plus the serve/zoo counters, and
+// renders p50/p90/p95/p99 per class — as a table for the daemon's stdout,
+// and as a stable JSON document for --report / {"op":"report"} clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace adsec::serve {
+
+// Histogram bucket bounds (milliseconds) shared by every latency class.
+const std::vector<double>& latency_bounds_ms();
+
+struct LatencyReport {
+  struct ClassRow {
+    std::string request_class;  // "<agent>|<attacker>"
+    std::uint64_t count{0};
+    double mean_ms{0.0};
+    double p50_ms{0.0};
+    double p90_ms{0.0};
+    double p95_ms{0.0};
+    double p99_ms{0.0};
+  };
+
+  std::vector<ClassRow> classes;  // sorted by request_class
+
+  // Lifetime counters at snapshot time.
+  std::uint64_t submitted{0};
+  std::uint64_t admitted{0};
+  std::uint64_t rejected{0};
+  std::uint64_t completed{0};
+  std::uint64_t failed{0};
+  std::uint64_t actor_cache_hits{0};
+  std::uint64_t actor_cache_misses{0};
+  std::uint64_t zoo_cache_hits{0};
+  std::uint64_t zoo_cache_misses{0};
+  double queue_depth{0.0};  // gauge at snapshot time
+
+  // Stable JSON document (classes sorted, fixed key order).
+  std::string to_json() const;
+
+  // Human-readable rendering for the daemon's shutdown banner.
+  Table to_table() const;
+};
+
+// Snapshot the registry and build the report. Requires metrics collection
+// to be enabled (the server enables it on construction).
+[[nodiscard]] LatencyReport build_latency_report();
+
+}  // namespace adsec::serve

@@ -1,0 +1,123 @@
+// The long-running evaluation server: admission control in front of the
+// work-stealing runtime, with per-worker actor caches and full telemetry.
+//
+// Request life cycle (every submitted line produces exactly one terminal
+// record — done, failed, or rejected — plus non-terminal status records):
+//
+//   submit_line ─ parse/validate ──invalid──▶ failed   (structured error)
+//        │
+//        ▼
+//   AdmissionQueue.try_push ──full/closed──▶ rejected  (backpressure reason)
+//        │ admitted ("queued" record)
+//        ▼
+//   dispatcher thread ── waits for a free worker slot, then hands the
+//        │               request to the WorkStealingPool
+//        ▼
+//   pool worker ("running" record) ── resolves the spec against the shared
+//        PolicyZoo (single-flight on first train/load), reuses its own
+//        cached agent/attacker for repeated (agent, attacker, budget) keys,
+//        rolls the episode batch serially (seed base + k, bit-identical to
+//        adsec_cli), and emits the terminal record with metrics + timing.
+//
+// Shutdown: drain() closes the queue (new submissions reject with
+// "shutting_down"), waits until every admitted request has answered, and
+// leaves the latency report available. The destructor drains implicitly.
+//
+// Fault injection: the "serve.worker" point fires inside the worker body so
+// tests can kill a request mid-flight and assert it still answers exactly
+// once (as a structured `failed` record), the same way the checkpoint
+// suites prove crash-safety.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/zoo.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/report.hpp"
+
+namespace adsec::serve {
+
+struct ServerOptions {
+  int workers{0};             // concurrent requests; <= 0 => hardware_jobs()
+  std::size_t queue_depth{64};  // admitted-but-not-started bound
+
+  // Share an external zoo (tests point it at a temp dir); nullptr => the
+  // server owns a PolicyZoo on the default directory.
+  PolicyZoo* zoo{nullptr};
+
+  // Test hook, called on the worker thread after the "running" record and
+  // before any work. Lets tests hold workers to force backpressure and
+  // drain-mid-flight windows deterministically.
+  std::function<void(const EvalRequest&)> on_request_start;
+};
+
+class EvalServer {
+ public:
+  // `default_sink` receives records for requests submitted without their
+  // own sink. Sinks are invoked under one lock, from worker and submitter
+  // threads — records never interleave but sinks must not call back into
+  // the server.
+  EvalServer(const ServerOptions& options, ResultCallback default_sink);
+  ~EvalServer();
+
+  EvalServer(const EvalServer&) = delete;
+  EvalServer& operator=(const EvalServer&) = delete;
+
+  // Parse + validate + admit one JSONL line. Never throws: malformed or
+  // invalid lines answer with a terminal `failed` record (id "?" when the
+  // line was too broken to carry one).
+  void submit_line(const std::string& line, ResultCallback sink = {});
+
+  // Admit an already-parsed request (same terminal guarantees).
+  void submit(EvalRequest request, ResultCallback sink = {});
+
+  // Stop admitting and wait until every admitted request has answered.
+  // Idempotent; called by the destructor.
+  void drain();
+
+  // Snapshot the telemetry registry into the tail-latency report.
+  [[nodiscard]] LatencyReport report() const { return build_latency_report(); }
+
+  int workers() const { return workers_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+  // Terminal records emitted so far (done + failed + rejected).
+  std::uint64_t answered() const;
+
+ private:
+  struct WorkerCaches;
+
+  void emit(const ResultCallback& sink, const ResultRecord& record);
+  void dispatcher_loop();
+  void execute(PendingRequest& pending);
+  ResultRecord run_request(const EvalRequest& request);
+
+  ServerOptions options_;
+  int workers_{1};
+  std::unique_ptr<PolicyZoo> owned_zoo_;  // when options.zoo == nullptr
+  PolicyZoo* zoo_{nullptr};
+  ResultCallback default_sink_;
+
+  AdmissionQueue queue_;
+  std::unique_ptr<WorkStealingPool> pool_;
+  std::unique_ptr<WorkerCaches> caches_;
+
+  mutable std::mutex mu_;            // guards in_flight_, answered_, drained_
+  std::condition_variable slots_cv_;
+  int in_flight_{0};
+  std::uint64_t answered_{0};
+  bool drained_{false};
+
+  mutable std::mutex sink_mu_;  // serializes record emission
+  std::thread dispatcher_;
+};
+
+}  // namespace adsec::serve

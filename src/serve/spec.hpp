@@ -1,0 +1,47 @@
+// Evaluation-spec resolution: the one mapping from (agent, attacker,
+// scenario, budget) names to runnable factories, shared by adsec_cli and
+// the evaluation server so a request means exactly the same experiment on
+// both paths.
+//
+// Two layers, split so admission control can reject bad names *before*
+// paying for a queue slot:
+//
+//   validate_request(req)  — name/shape checks only; throws Error{Config}
+//                            naming the offending field and the accepted
+//                            values. Never touches the zoo.
+//   resolve_spec(zoo, req) — builds the agent/attacker factories and the
+//                            scenario-patched ExperimentConfig. Factories
+//                            invoke the zoo, so the first call for a
+//                            learned policy may train (or wait on the
+//                            zoo's single-flight).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/zoo.hpp"
+#include "serve/protocol.hpp"
+
+namespace adsec::serve {
+
+// Accepted spec names, for validation messages and docs. Parameterized
+// agents are listed as their prefix ("finetune:<rho>", ...).
+const std::vector<std::string>& agent_spec_names();
+const std::vector<std::string>& attacker_spec_names();
+
+// Strict name/shape validation; throws adsec::Error{Config} on an unknown
+// agent/attacker/scenario or a malformed numeric parameter.
+void validate_request(const EvalRequest& req);
+
+struct ResolvedSpec {
+  AgentFactory agent;
+  AttackerFactory attacker;  // empty => nominal driving
+  ExperimentConfig config;   // zoo experiment config with the request scenario
+};
+
+// Validate + build. The factories capture `zoo` by reference; the zoo must
+// outlive every factory invocation (the server owns one for its lifetime).
+[[nodiscard]] ResolvedSpec resolve_spec(PolicyZoo& zoo, const EvalRequest& req);
+
+}  // namespace adsec::serve

@@ -1,0 +1,343 @@
+#include "serve/transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ADSEC_HAVE_UDS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define ADSEC_HAVE_UDS 0
+#endif
+
+namespace adsec::serve {
+
+// ------------------------------------------------------------------ file
+
+FileWatchTransport::FileWatchTransport(EvalServer& server, std::string request_path,
+                                       std::string result_path)
+    : server_(server),
+      request_path_(std::move(request_path)),
+      result_path_(std::move(result_path)) {}
+
+void FileWatchTransport::append_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(*write_mu_);
+  if (std::FILE* f = std::fopen(result_path_.c_str(), "a")) {
+    std::string out = line;
+    out += '\n';
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  } else {
+    log_error("serve: cannot append to result file %s", result_path_.c_str());
+  }
+}
+
+ResultCallback FileWatchTransport::sink() {
+  // Capture by value/shared so the sink stays valid for in-flight requests
+  // even if the transport object is gone by the time they answer.
+  auto mu = write_mu_;
+  std::string path = result_path_;
+  return [mu, path](const ResultRecord& record) {
+    std::lock_guard<std::mutex> lock(*mu);
+    if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+      std::string out = record.to_jsonl();
+      out += '\n';
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    } else {
+      log_error("serve: cannot append to result file %s", path.c_str());
+    }
+  };
+}
+
+void FileWatchTransport::write_report() {
+  append_line("{\"kind\":\"report\",\"report\":" + server_.report().to_json() + "}");
+}
+
+int FileWatchTransport::poll_once() {
+  std::ifstream in(request_path_, std::ios::binary);
+  if (!in) return 0;
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (!in) return 0;
+  std::string chunk((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (chunk.empty()) return 0;
+  offset_ += chunk.size();
+  carry_ += chunk;
+
+  int consumed = 0;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = carry_.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = carry_.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++consumed;
+
+    // Control lines act on the transport; everything else is a request.
+    // parse_line both classifies and validates; a malformed line falls
+    // through to submit_line, which answers with a structured error.
+    bool control = false;
+    LineKind kind = LineKind::Request;
+    try {
+      const ParsedLine parsed = parse_line(line);
+      kind = parsed.kind;
+      control = kind != LineKind::Request;
+    } catch (const std::exception&) {
+      control = false;
+    }
+    if (control) {
+      if (kind == LineKind::Report) {
+        write_report();
+      } else {
+        shutdown_requested_ = true;
+      }
+      continue;
+    }
+    server_.submit_line(line, sink());
+  }
+  carry_.erase(0, start);
+  return consumed;
+}
+
+void FileWatchTransport::run(const std::atomic<bool>& stop, int poll_interval_ms,
+                             const std::function<void()>& on_tick) {
+  const auto interval = std::chrono::milliseconds(
+      poll_interval_ms > 0 ? poll_interval_ms : 20);
+  while (!stop.load(std::memory_order_relaxed)) {
+    poll_once();
+    if (shutdown_requested_) break;
+    if (on_tick) on_tick();
+    std::this_thread::sleep_for(interval);
+  }
+  // Final sweep so lines appended just before the stop signal still land.
+  poll_once();
+}
+
+// ------------------------------------------------------------------- uds
+
+#if ADSEC_HAVE_UDS
+
+namespace {
+
+// Write all of `line` + '\n' to `fd`, suppressing SIGPIPE. Returns false on
+// a write error (the peer hung up); callers drop the record.
+bool write_line_fd(int fd, std::mutex& mu, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::string out = line;
+  out += '\n';
+#ifdef MSG_NOSIGNAL
+  constexpr int kFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kFlags = 0;
+#endif
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, kFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Per-connection shared state: the fd stays open until the client has hung
+// up AND every request it submitted has answered, so terminal records are
+// never written to a recycled descriptor.
+struct Connection {
+  int fd{-1};
+  std::mutex write_mu;
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding{0};
+  bool eof{false};
+};
+
+}  // namespace
+
+struct UdsTransport::Impl {
+  int listen_fd{-1};
+  std::atomic<bool> shutdown{false};
+  std::vector<std::thread> threads;
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Connection>> conns;
+
+  void handle_connection(EvalServer& server, std::shared_ptr<Connection> conn);
+};
+
+UdsTransport::UdsTransport(EvalServer& server, std::string socket_path)
+    : server_(server),
+      socket_path_(std::move(socket_path)),
+      impl_(std::make_unique<Impl>()) {
+  if (socket_path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error(ErrorCode::Config,
+                "socket path too long: " + socket_path_);
+  }
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) {
+    throw Error(ErrorCode::Io, "cannot create unix socket: " +
+                                   std::string(std::strerror(errno)));
+  }
+  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw Error(ErrorCode::Io,
+                "cannot bind/listen on " + socket_path_ + ": " + reason);
+  }
+}
+
+UdsTransport::~UdsTransport() {
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  {
+    // Unblock connection readers so their threads can exit.
+    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    for (const auto& conn : impl_->conns) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& t : impl_->threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+bool UdsTransport::shutdown_requested() const {
+  return impl_->shutdown.load(std::memory_order_relaxed);
+}
+
+void UdsTransport::Impl::handle_connection(EvalServer& server,
+                                           std::shared_ptr<Connection> conn) {
+  std::string carry;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client is done sending
+    carry.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = carry.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = carry.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      bool control = false;
+      LineKind kind = LineKind::Request;
+      try {
+        const ParsedLine parsed = parse_line(line);
+        kind = parsed.kind;
+        control = kind != LineKind::Request;
+      } catch (const std::exception&) {
+        control = false;
+      }
+      if (control) {
+        if (kind == LineKind::Report) {
+          write_line_fd(conn->fd, conn->write_mu,
+                        "{\"kind\":\"report\",\"report\":" +
+                            server.report().to_json() + "}");
+        } else {
+          shutdown.store(true, std::memory_order_relaxed);
+        }
+        continue;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->outstanding;
+      }
+      server.submit_line(line, [conn](const ResultRecord& record) {
+        write_line_fd(conn->fd, conn->write_mu, record.to_jsonl());
+        if (record.status == "done" || record.status == "failed" ||
+            record.status == "rejected") {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          --conn->outstanding;
+          conn->cv.notify_all();
+        }
+      });
+    }
+    carry.erase(0, start);
+  }
+  // Keep the fd alive until every in-flight request has answered.
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->eof = true;
+    conn->cv.wait(lock, [&] { return conn->outstanding == 0; });
+  }
+  ::close(conn->fd);
+}
+
+void UdsTransport::run(const std::atomic<bool>& stop,
+                       const std::function<void()>& on_tick) {
+  while (!stop.load(std::memory_order_relaxed) &&
+         !impl_->shutdown.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = impl_->listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (on_tick) on_tick();
+      continue;
+    }
+    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(impl_->conns_mu);
+      impl_->conns.push_back(conn);
+    }
+    impl_->threads.emplace_back(
+        [this, conn] { impl_->handle_connection(server_, conn); });
+  }
+}
+
+#else  // !ADSEC_HAVE_UDS
+
+struct UdsTransport::Impl {};
+
+UdsTransport::UdsTransport(EvalServer& server, std::string socket_path)
+    : server_(server),
+      socket_path_(std::move(socket_path)),
+      impl_(std::make_unique<Impl>()) {
+  throw Error(ErrorCode::Config,
+              "unix-domain sockets are unavailable on this platform; use the "
+              "watched-file transport");
+}
+
+UdsTransport::~UdsTransport() = default;
+
+void UdsTransport::run(const std::atomic<bool>&, const std::function<void()>&) {}
+
+bool UdsTransport::shutdown_requested() const { return false; }
+
+#endif  // ADSEC_HAVE_UDS
+
+}  // namespace adsec::serve

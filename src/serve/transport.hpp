@@ -1,0 +1,97 @@
+// Client transports for the evaluation server.
+//
+// Two interchangeable front ends feed EvalServer with JSONL lines:
+//
+//   FileWatchTransport — portable "mailbox" mode. The daemon polls a
+//     request file for appended lines and appends result records to a
+//     result file. Any tool that can append a line is a client; the CI
+//     smoke test drives the daemon this way.
+//
+//   UdsTransport — Unix-domain stream socket (POSIX only). Each connection
+//     writes request lines and reads back exactly its own requests' records
+//     (per-connection sinks); {"op":"report"} answers with the latency
+//     report on that connection.
+//
+// Both transports understand the control lines from serve/protocol.hpp:
+// {"op":"report"} emits a report record, {"op":"shutdown"} asks the daemon
+// to drain and exit. Transport loops take an external stop flag so signal
+// handlers stay async-signal-safe (they only flip the atomic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace adsec::serve {
+
+class FileWatchTransport {
+ public:
+  // Results (and report lines) are appended to `result_path`; the file is
+  // created on first write. The request file may not exist yet — polling
+  // simply finds nothing.
+  FileWatchTransport(EvalServer& server, std::string request_path,
+                     std::string result_path);
+
+  // Consume any new complete ('\n'-terminated) lines appended to the
+  // request file since the last poll; returns the number of lines consumed.
+  // Requests are submitted to the server; control lines act immediately.
+  int poll_once();
+
+  // Poll until `stop` is set or a shutdown line arrives. `on_tick` (may be
+  // empty) runs between polls — the daemon services SIGUSR1 there.
+  void run(const std::atomic<bool>& stop, int poll_interval_ms = 20,
+           const std::function<void()>& on_tick = {});
+
+  // Append one latency-report line ({"kind":"report",...}) to the results.
+  void write_report();
+
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+  // The sink bound to the result file (used by the daemon as the server's
+  // default sink). Thread-safe; one line per record, flushed.
+  ResultCallback sink();
+
+ private:
+  void append_line(const std::string& line);
+
+  EvalServer& server_;
+  std::string request_path_;
+  std::string result_path_;
+  std::uint64_t offset_{0};   // bytes of the request file consumed so far
+  std::string carry_;         // partial last line awaiting its '\n'
+  bool shutdown_requested_{false};
+  std::shared_ptr<std::mutex> write_mu_{std::make_shared<std::mutex>()};
+};
+
+// POSIX-only; on other platforms the constructor throws Error{Config}.
+class UdsTransport {
+ public:
+  // Binds and listens on `socket_path` (an existing stale socket file is
+  // replaced). Throws adsec::Error{Io} when the socket cannot be bound.
+  UdsTransport(EvalServer& server, std::string socket_path);
+  ~UdsTransport();
+
+  UdsTransport(const UdsTransport&) = delete;
+  UdsTransport& operator=(const UdsTransport&) = delete;
+
+  // Accept loop: serves connections until `stop` is set or a client sends
+  // {"op":"shutdown"}. `on_tick` runs on every accept timeout (~100 ms).
+  void run(const std::atomic<bool>& stop, const std::function<void()>& on_tick = {});
+
+  bool shutdown_requested() const;
+
+  const std::string& path() const { return socket_path_; }
+
+ private:
+  struct Impl;
+  EvalServer& server_;
+  std::string socket_path_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace adsec::serve

@@ -11,7 +11,8 @@ namespace {
 
 const ErrorCode kAllCodes[] = {ErrorCode::Io,       ErrorCode::Corrupt,
                                ErrorCode::Config,   ErrorCode::Diverged,
-                               ErrorCode::Usage,    ErrorCode::Internal};
+                               ErrorCode::Usage,    ErrorCode::Internal,
+                               ErrorCode::Rejected};
 
 TEST(ErrorCodeName, EveryCodeHasADistinctNonEmptyName) {
   std::set<std::string> names;

@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <thread>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "nn/io.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace adsec {
 namespace {
@@ -167,6 +172,91 @@ TEST_F(ZooTest, KilledTrainingResumesFromCheckpoint) {
   std::filesystem::remove_all(ref_dir);
 
   runtime_config().checkpoint_every = saved_every;
+}
+
+TEST_F(ZooTest, ConcurrentLookupsTrainOnceViaSingleFlight) {
+  // Regression for the evaluation server's concurrent-resolve path: N
+  // threads asking for the same untrained policy must produce exactly one
+  // training run (zoo.cache_miss == 1). The leader trains; followers wait
+  // on the in-flight future instead of racing into a duplicate train or a
+  // torn read of a half-written cache file.
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics_values();
+  PolicyZoo zoo(dir_);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::optional<GaussianPolicy>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      results[static_cast<std::size_t>(t)] = zoo.driving_policy();
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  // Every caller got the same deterministic policy.
+  Rng rng(1);
+  Matrix obs = Matrix::randn(1, results[0]->obs_dim(), rng, 1.0);
+  const double ref = results[0]->mean_action(obs)(0, 0);
+  for (const auto& p : results) {
+    ASSERT_TRUE(p.has_value());
+    EXPECT_DOUBLE_EQ(p->mean_action(obs)(0, 0), ref);
+  }
+  EXPECT_TRUE(file_exists(dir_ + "/pi_ori.bin"));
+
+  // Exactly one training run; hit + miss == lookups, no retrains.
+  std::uint64_t hits = 0, misses = 0, retrains = 0;
+  for (const auto& [name, value] : telemetry::metrics_snapshot().counters) {
+    if (name == "zoo.cache_hit") hits = value;
+    if (name == "zoo.cache_miss") misses = value;
+    if (name == "zoo.retrain") retrains = value;
+  }
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(retrains, 0u);
+  EXPECT_EQ(hits, static_cast<std::uint64_t>(kThreads) - 1u);
+
+  // A later lookup on a fresh zoo loads the cached file (no new training).
+  PolicyZoo zoo2(dir_);
+  GaussianPolicy cached = zoo2.driving_policy();
+  EXPECT_DOUBLE_EQ(cached.mean_action(obs)(0, 0), ref);
+}
+
+TEST_F(ZooTest, SingleFlightPropagatesTrainingFailureToFollowers) {
+  // If the leader's training throws (injected abort), every waiting
+  // follower must observe the same structured Error — and a later lookup
+  // must be able to train successfully (the in-flight entry is erased).
+  runtime_config().checkpoint_every = 0;
+  fault_injector().arm("trainer.abort", FaultKind::Throw, /*fire_at=*/50);
+  PolicyZoo zoo(dir_);
+
+  constexpr int kThreads = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        (void)zoo.driving_policy();
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  fault_injector().reset();
+  // The fault fires once, in the leader; followers shared its future and
+  // so shared its exception. Stragglers that arrived after the erase
+  // retrained successfully instead — either way nobody hangs or crashes.
+  EXPECT_GE(failures.load(), 1);
+
+  GaussianPolicy p = zoo.driving_policy();  // recovers after the fault
+  EXPECT_EQ(p.act_dim(), 2);
+  EXPECT_TRUE(file_exists(dir_ + "/pi_ori.bin"));
 }
 
 TEST_F(ZooTest, Td3AttackerTrainsCachesAndRuns) {

@@ -1,0 +1,132 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace adsec::serve {
+namespace {
+
+PendingRequest make_pending(const std::string& id) {
+  PendingRequest p;
+  p.request.id = id;
+  return p;
+}
+
+TEST(AdmissionQueue, AdmitsUpToDepthThenRejectsWithReason) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.try_push(make_pending("a")).admitted);
+  EXPECT_TRUE(q.try_push(make_pending("b")).admitted);
+  const AdmitDecision full = q.try_push(make_pending("c"));
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.reason, "queue_full");
+  EXPECT_EQ(q.size(), 2u);
+
+  // Popping frees a slot; admission resumes.
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.try_push(make_pending("c")).admitted);
+}
+
+TEST(AdmissionQueue, PopsInFifoOrderAndStampsEnqueueTime) {
+  AdmissionQueue q(8);
+  ASSERT_TRUE(q.try_push(make_pending("first")).admitted);
+  ASSERT_TRUE(q.try_push(make_pending("second")).admitted);
+  auto a = q.pop();
+  auto b = q.pop();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->request.id, "first");
+  EXPECT_EQ(b->request.id, "second");
+  EXPECT_GT(a->enqueue_ns, 0u);
+  EXPECT_LE(a->enqueue_ns, b->enqueue_ns);
+}
+
+TEST(AdmissionQueue, CloseRejectsNewButDrainsAdmitted) {
+  AdmissionQueue q(8);
+  ASSERT_TRUE(q.try_push(make_pending("in-flight")).admitted);
+  q.close();
+  EXPECT_TRUE(q.closed());
+
+  const AdmitDecision late = q.try_push(make_pending("late"));
+  EXPECT_FALSE(late.admitted);
+  EXPECT_EQ(late.reason, "shutting_down");
+
+  // What was admitted before close is still delivered exactly once, then
+  // pop reports drained with nullopt.
+  auto got = q.pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->request.id, "in-flight");
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // stays drained
+}
+
+TEST(AdmissionQueue, ZeroDepthRejectsEverything) {
+  AdmissionQueue q(0);
+  EXPECT_EQ(q.try_push(make_pending("x")).reason, "queue_full");
+}
+
+TEST(AdmissionQueue, OnAdmitRunsBeforeConsumerObservesItem) {
+  // The on_admit hook is the server's "emit queued record" window: it must
+  // run before any pop can return the item, so a consumer thread spinning
+  // on pop() must always see the flag set by on_admit.
+  AdmissionQueue q(4);
+  std::atomic<bool> announced{false};
+  std::atomic<bool> observed_unannounced{false};
+  std::thread consumer([&] {
+    auto got = q.pop();
+    if (got && !announced.load()) observed_unannounced.store(true);
+  });
+  const AdmitDecision d =
+      q.try_push(make_pending("x"), [&] { announced.store(true); });
+  EXPECT_TRUE(d.admitted);
+  consumer.join();
+  EXPECT_FALSE(observed_unannounced.load());
+  q.close();
+}
+
+TEST(AdmissionQueue, BlockingPopWakesOnPush) {
+  AdmissionQueue q(4);
+  std::string seen;
+  std::thread consumer([&] {
+    auto got = q.pop();
+    if (got) seen = got->request.id;
+  });
+  // The consumer may already be blocked in pop(); the push must wake it.
+  ASSERT_TRUE(q.try_push(make_pending("wake")).admitted);
+  consumer.join();
+  EXPECT_EQ(seen, "wake");
+}
+
+TEST(AdmissionQueue, ConcurrentProducersNeverExceedDepth) {
+  AdmissionQueue q(16);
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < 32; ++i) {
+        const AdmitDecision d =
+            q.try_push(make_pending(std::to_string(t) + ":" + std::to_string(i)));
+        if (d.admitted) {
+          admitted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(admitted.load() + rejected.load(), 128);
+  EXPECT_LE(q.size(), q.depth());
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(admitted.load()));
+
+  // Drain: every admitted item is delivered exactly once.
+  q.close();
+  int drained = 0;
+  while (q.pop().has_value()) ++drained;
+  EXPECT_EQ(drained, admitted.load());
+}
+
+}  // namespace
+}  // namespace adsec::serve

@@ -30,15 +30,15 @@
 #include <memory>
 #include <string>
 
-#include "attack/scripted_attacker.hpp"
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/zoo.hpp"
-#include "defense/simplex_agent.hpp"
 #include "runtime/aggregate.hpp"
 #include "runtime/parallel_eval.hpp"
+#include "serve/spec.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace adsec;
@@ -169,16 +169,6 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-// Split "name:param" into name and optional numeric parameter.
-bool split_param(const std::string& spec, const std::string& prefix, double& param) {
-  if (spec.rfind(prefix + ":", 0) != 0) return false;
-  if (!parse_double(spec.substr(prefix.size() + 1), param)) {
-    std::fprintf(stderr, "invalid numeric parameter in '%s'\n", spec.c_str());
-    std::exit(2);
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,72 +189,33 @@ int main(int argc, char** argv) {
                          {"episodes", opt.episodes},
                          {"jobs", opt.jobs > 0 ? opt.jobs : hardware_jobs()}});
 
+  // --- spec resolution ---
+  // The CLI and the evaluation server (src/serve) share one spec resolver,
+  // so `--agent X --attacker Y` means exactly the same experiment as a
+  // served request naming X and Y. resolve_spec returns factories rather
+  // than instances: the parallel runtime builds one agent/attacker pair per
+  // worker. A warm-up call below resolves any zoo training serially;
+  // concurrent factory calls then only load the disk-cached policies.
   PolicyZoo zoo;
-  ExperimentConfig cfg = zoo.experiment();
+  serve::EvalRequest request;
+  request.id = "cli";
+  request.agent = opt.agent;
+  request.attacker = opt.attacker;
+  request.budget = opt.budget;
+  request.scenario = opt.scenario;
+  request.seed = opt.seed;
+  request.episodes = opt.episodes;
+  request.with_reference = opt.with_reference;
+  serve::ResolvedSpec spec;
   try {
-    cfg.scenario = scenario_preset(opt.scenario);
-  } catch (const std::exception& e) {
+    spec = serve::resolve_spec(zoo, request);
+  } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-
-  // --- agent ---
-  // Factories rather than instances: the parallel runtime builds one
-  // agent/attacker pair per worker. A warm-up call below resolves any
-  // zoo training serially; concurrent factory calls then only load the
-  // disk-cached policies.
-  AgentFactory agent_factory;
-  double param = 0.0;
-  if (opt.agent == "modular") {
-    agent_factory = [&zoo] { return zoo.make_modular_agent(); };
-  } else if (opt.agent == "e2e") {
-    agent_factory = [&zoo] { return zoo.make_e2e_agent(); };
-  } else if (split_param(opt.agent, "finetune", param)) {
-    agent_factory = [&zoo, param] { return zoo.make_finetuned_agent(param); };
-  } else if (split_param(opt.agent, "pnn", param)) {
-    const double estimate = opt.attacker == "none" ? 0.0 : opt.budget;
-    agent_factory = [&zoo, param, estimate] {
-      auto pnn = zoo.make_pnn_agent(param);
-      pnn->set_attack_budget_estimate(estimate);
-      return pnn;
-    };
-  } else if (split_param(opt.agent, "pnn-detector", param)) {
-    agent_factory = [&zoo, param] {
-      return std::make_unique<DetectorSwitchedAgent>(
-          zoo.driving_policy(), zoo.pnn_column(), param, DetectorConfig{},
-          zoo.camera(), zoo.frame_stack());
-    };
-  } else {
-    std::fprintf(stderr, "unknown agent '%s'\n", opt.agent.c_str());
-    return 2;
-  }
-
-  // --- attacker ---
-  AttackerFactory attacker_factory;
-  if (opt.attacker == "none") {
-    // leave empty
-  } else if (opt.attacker == "oracle") {
-    attacker_factory = [&opt, &cfg] {
-      return std::make_unique<ScriptedAttacker>(opt.budget, cfg.adv_reward);
-    };
-  } else if (opt.attacker == "noise") {
-    attacker_factory = [&opt] { return std::make_unique<NoiseAttacker>(opt.budget); };
-  } else if (opt.attacker == "full") {
-    attacker_factory = [&opt, &cfg] {
-      return std::make_unique<FullActuationOracle>(opt.budget, 1.0, cfg.adv_reward);
-    };
-  } else if (opt.attacker == "camera") {
-    attacker_factory = [&zoo, &opt] {
-      return zoo.make_camera_attacker(opt.budget, opt.agent == "modular");
-    };
-  } else if (opt.attacker == "imu") {
-    attacker_factory = [&zoo, &opt] { return zoo.make_imu_attacker(opt.budget); };
-  } else if (opt.attacker == "td3") {
-    attacker_factory = [&zoo, &opt] { return zoo.make_td3_attacker(opt.budget); };
-  } else {
-    std::fprintf(stderr, "unknown attacker '%s'\n", opt.attacker.c_str());
-    return 2;
-  }
+  const AgentFactory& agent_factory = spec.agent;
+  const AttackerFactory& attacker_factory = spec.attacker;
+  const ExperimentConfig& cfg = spec.config;
 
   // Warm the zoo cache serially (trains on first use) before workers fork.
   { auto warm = agent_factory(); }
