@@ -1,5 +1,10 @@
 #include "common/fault_injection.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
 namespace adsec {
 
 FaultInjector& FaultInjector::instance() {
@@ -7,12 +12,13 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-void FaultInjector::arm(const std::string& point, FaultKind kind, int fire_at) {
+void FaultInjector::arm(const std::string& point, FaultKind kind, int fire_at,
+                        int repeat, int param) {
   std::lock_guard<std::mutex> lock(mu_);
   if (plans_.find(point) == plans_.end()) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  plans_[point] = Plan{kind, fire_at};
+  plans_[point] = Plan{kind, fire_at, repeat, param};
   hits_[point] = 0;
 }
 
@@ -23,23 +29,44 @@ void FaultInjector::reset() {
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
-std::optional<FaultKind> FaultInjector::fire(const std::string& point) {
+std::optional<Fault> FaultInjector::fire(const std::string& point) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
   auto plan = plans_.find(point);
   if (plan == plans_.end()) return std::nullopt;
   const int hit = ++hits_[point];
-  if (hit != plan->second.fire_at) return std::nullopt;
-  const FaultKind kind = plan->second.kind;
-  plans_.erase(plan);
-  armed_count_.fetch_sub(1, std::memory_order_relaxed);
-  return kind;
+  const Plan& p = plan->second;
+  if (hit < p.fire_at) return std::nullopt;
+  const bool bounded = p.repeat > 0;
+  if (bounded && hit >= p.fire_at + p.repeat - 1) {
+    const Fault fault{p.kind, p.param};
+    plans_.erase(plan);
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    return fault;
+  }
+  return Fault{p.kind, p.param};
 }
 
 int FaultInjector::hits(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = hits_.find(point);
   return it == hits_.end() ? 0 : it->second;
+}
+
+void maybe_inject(const std::string& point) {
+  const auto fault = fault_injector().fire(point);
+  if (!fault) return;
+  switch (fault->kind) {
+    case FaultKind::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->param));
+      return;
+    case FaultKind::FailWrite:
+      throw Error(ErrorCode::Io, "injected I/O fault at " + point);
+    case FaultKind::Throw:
+    case FaultKind::TruncateWrite:
+    case FaultKind::FlipByte:
+      throw Error(ErrorCode::Internal, "injected fault at " + point);
+  }
 }
 
 }  // namespace adsec

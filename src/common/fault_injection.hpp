@@ -1,10 +1,11 @@
 // Deterministic fault injection for resilience tests.
 //
 // Production code threads named fault points through its failure-prone
-// paths (checkpoint I/O, runtime workers, the training loop); tests arm a
-// point to fire a specific fault on its N-th hit and then assert that the
-// system either recovers or surfaces a structured adsec::Error. Nothing is
-// ever armed outside tests, and the disarmed fast path is a single relaxed
+// paths (checkpoint I/O, runtime workers, the training loop, the
+// orchestrator's store commits and job boundaries); tests arm a point to
+// fire a specific fault on its N-th hit and then assert that the system
+// either recovers or surfaces a structured adsec::Error. Nothing is ever
+// armed outside tests, and the disarmed fast path is a single relaxed
 // atomic load, so instrumented code pays ~nothing in production.
 //
 // Points are hit concurrently by pool workers, so all bookkeeping is
@@ -24,6 +25,14 @@ enum class FaultKind {
   TruncateWrite,  // half the bytes are written, then the "process dies"
   FlipByte,       // one payload byte is flipped; the write "succeeds"
   Throw,          // the instrumented code path throws adsec::Error
+  Delay,          // the instrumented code path stalls for `param` ms
+};
+
+// What an armed point fires: the kind plus its integer parameter (delay
+// milliseconds for Delay; unused by the other kinds).
+struct Fault {
+  FaultKind kind;
+  int param{0};
 };
 
 class FaultInjector {
@@ -31,16 +40,20 @@ class FaultInjector {
   // Process-wide instance shared by production code and tests.
   static FaultInjector& instance();
 
-  // Arm `point` to fire `kind` on its `fire_at`-th hit (1-based). Re-arming
-  // a point replaces the previous plan and resets its hit counter.
-  void arm(const std::string& point, FaultKind kind, int fire_at = 1);
+  // Arm `point` to fire `kind` on hits `fire_at` .. `fire_at + repeat - 1`
+  // (1-based). `repeat <= 0` keeps the plan armed until reset() — useful to
+  // exhaust bounded retries. Re-arming a point replaces the previous plan
+  // and resets its hit counter. `param` rides along in the fired Fault
+  // (delay milliseconds for FaultKind::Delay).
+  void arm(const std::string& point, FaultKind kind, int fire_at = 1,
+           int repeat = 1, int param = 0);
 
   // Disarm everything and zero all hit counters (test teardown).
   void reset();
 
-  // Record one hit of `point`; returns the armed kind if this hit fires.
-  // A plan fires exactly once, then disarms itself.
-  std::optional<FaultKind> fire(const std::string& point);
+  // Record one hit of `point`; returns the armed fault if this hit fires.
+  // A plan disarms itself once its repeat window is exhausted.
+  std::optional<Fault> fire(const std::string& point);
 
   // Hits recorded while `point` was armed (the disarmed fast path skips
   // counting so production code stays free).
@@ -52,6 +65,8 @@ class FaultInjector {
   struct Plan {
     FaultKind kind;
     int fire_at;
+    int repeat;
+    int param;
   };
 
   std::atomic<int> armed_count_{0};
@@ -61,5 +76,13 @@ class FaultInjector {
 };
 
 inline FaultInjector& fault_injector() { return FaultInjector::instance(); }
+
+// Generic injection shim for code paths without bespoke fault semantics:
+// fires `point` and applies the fault — Throw raises Error{Internal},
+// FailWrite raises Error{Io} (a transient-looking I/O failure), Delay
+// sleeps for the armed `param` milliseconds, and the write-shaping kinds
+// (TruncateWrite/FlipByte) degrade to Error{Internal} since there is no
+// byte stream to shape here. No-op when the point is disarmed.
+void maybe_inject(const std::string& point);
 
 }  // namespace adsec

@@ -56,7 +56,7 @@ void write_file_with_faults(const std::string& path,
   std::vector<std::uint8_t> out = bytes;
   std::size_t limit = out.size();
   if (const auto fault = fault_injector().fire("serialize.save")) {
-    switch (*fault) {
+    switch (fault->kind) {
       case FaultKind::FailWrite:
         throw Error(ErrorCode::Io, "injected write failure for " + path);
       case FaultKind::TruncateWrite:
@@ -67,6 +67,8 @@ void write_file_with_faults(const std::string& path,
         break;
       case FaultKind::Throw:
         throw Error(ErrorCode::Internal, "injected fault at serialize.save");
+      case FaultKind::Delay:
+        break;  // meaningless for a write; ignore
     }
   }
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
@@ -168,6 +170,31 @@ BinaryReader BinaryReader::load_checked(const std::string& path,
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
   if (!in) throw Error(ErrorCode::Io, "read failed for " + path);
 
+  // Read-side fault point: FailWrite models a transient read error (the
+  // bytes on disk are fine, this attempt failed), the write-shaping kinds
+  // corrupt the in-memory image so the CRC/size validation below rejects
+  // it exactly as it would a damaged file.
+  if (const auto fault = fault_injector().fire("serialize.load")) {
+    switch (fault->kind) {
+      case FaultKind::FailWrite:
+        throw Error(ErrorCode::Io, "injected read failure for " + path);
+      case FaultKind::TruncateWrite:
+        bytes.resize(bytes.size() / 2);
+        break;
+      case FaultKind::FlipByte:
+        bytes[bytes.size() / 2] ^= 0x40u;
+        break;
+      case FaultKind::Throw:
+        throw Error(ErrorCode::Internal, "injected fault at serialize.load");
+      case FaultKind::Delay:
+        break;  // meaningless for validation; ignore
+    }
+  }
+  if (bytes.size() < kHeaderSize) {
+    throw Error(ErrorCode::Corrupt, path + ": too short to be an adsec container (" +
+                                        std::to_string(bytes.size()) + " bytes)");
+  }
+
   std::uint32_t magic = 0, version = 0, crc_stored = 0;
   std::uint64_t payload_size = 0;
   std::memcpy(&magic, bytes.data(), 4);
@@ -182,11 +209,11 @@ BinaryReader BinaryReader::load_checked(const std::string& path,
                 path + ": unsupported format version " + std::to_string(version) +
                     " (max supported " + std::to_string(max_supported_version) + ")");
   }
-  if (payload_size != size - kHeaderSize) {
+  if (payload_size != bytes.size() - kHeaderSize) {
     throw Error(ErrorCode::Corrupt,
                 path + ": truncated (header claims " + std::to_string(payload_size) +
-                    " payload bytes, file has " + std::to_string(size - kHeaderSize) +
-                    ")");
+                    " payload bytes, file has " +
+                    std::to_string(bytes.size() - kHeaderSize) + ")");
   }
   const std::uint32_t crc_actual =
       crc32(bytes.data() + kHeaderSize, static_cast<std::size_t>(payload_size));

@@ -2,6 +2,7 @@
 
 #include "agents/reward.hpp"
 #include "common/angle.hpp"
+#include "common/fault_injection.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace adsec {
@@ -25,6 +26,9 @@ EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
                            const ExperimentConfig& config, std::uint64_t seed,
                            Trajectory* traj_out) {
   ADSEC_SPAN("experiment.episode");
+  // Chaos hook: lets the orchestrator tests make an episode transiently
+  // fail or stall without touching the simulation itself.
+  maybe_inject("experiment.episode");
   Rng rng(seed);
   World world = make_scenario(config.scenario, rng);
   agent.reset(world);

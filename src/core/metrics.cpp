@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace adsec {
 
 Trajectory extract_trajectory(const World& world) {
@@ -111,6 +113,51 @@ EffortWindowStats success_by_effort_window(const std::vector<double>& efforts,
             : 0.0;
   }
   return stats;
+}
+
+void write_episode_metrics(BinaryWriter& w, const EpisodeMetrics& m) {
+  w.write_u32(static_cast<std::uint32_t>(m.steps));
+  w.write_u32(static_cast<std::uint32_t>(m.passed_npcs));
+  w.write_u32(m.collision.has_value() ? 1u : 0u);
+  if (m.collision.has_value()) {
+    w.write_u32(static_cast<std::uint32_t>(m.collision->type));
+    w.write_i64(m.collision->npc_index);
+    w.write_i64(m.collision->step);
+  }
+  w.write_u32(m.side_collision ? 1u : 0u);
+  w.write_f64(m.nominal_reward);
+  w.write_f64(m.adv_reward);
+  w.write_f64(m.attack_effort);
+  w.write_f64(m.total_injected);
+  w.write_f64(m.time_to_collision);
+  w.write_f64(m.deviation_rmse);
+  w.write_f64(m.plan_deviation_rmse);
+}
+
+EpisodeMetrics read_episode_metrics(BinaryReader& r) {
+  EpisodeMetrics m;
+  m.steps = static_cast<int>(r.read_u32());
+  m.passed_npcs = static_cast<int>(r.read_u32());
+  if (r.read_u32() != 0u) {
+    CollisionEvent ev;
+    const std::uint32_t type = r.read_u32();
+    if (type > static_cast<std::uint32_t>(CollisionType::Barrier)) {
+      throw std::runtime_error("read_episode_metrics: bad collision type");
+    }
+    ev.type = static_cast<CollisionType>(type);
+    ev.npc_index = static_cast<int>(r.read_i64());
+    ev.step = static_cast<int>(r.read_i64());
+    m.collision = ev;
+  }
+  m.side_collision = r.read_u32() != 0u;
+  m.nominal_reward = r.read_f64();
+  m.adv_reward = r.read_f64();
+  m.attack_effort = r.read_f64();
+  m.total_injected = r.read_f64();
+  m.time_to_collision = r.read_f64();
+  m.deviation_rmse = r.read_f64();
+  m.plan_deviation_rmse = r.read_f64();
+  return m;
 }
 
 }  // namespace adsec

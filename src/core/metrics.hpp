@@ -77,4 +77,13 @@ EffortWindowStats success_by_effort_window(const std::vector<double>& efforts,
                                            const std::vector<bool>& successes,
                                            double window = 0.2, double max_lo = 0.8);
 
+class BinaryWriter;
+class BinaryReader;
+
+// Field-by-field (de)serialization of EpisodeMetrics for the orchestrator's
+// content-addressed result store. Round-trips bit-identically: doubles are
+// written raw, the optional collision as a presence flag + its fields.
+void write_episode_metrics(BinaryWriter& w, const EpisodeMetrics& m);
+[[nodiscard]] EpisodeMetrics read_episode_metrics(BinaryReader& r);
+
 }  // namespace adsec

@@ -1,7 +1,9 @@
 #include "core/zoo.hpp"
 
 #include <array>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "agents/driving_env.hpp"
 #include "common/angle.hpp"
@@ -27,6 +29,14 @@ struct ZooMetrics {
   telemetry::Counter cache_hit = telemetry::counter("zoo.cache_hit");
   telemetry::Counter cache_miss = telemetry::counter("zoo.cache_miss");
   telemetry::Counter retrain = telemetry::counter("zoo.retrain");
+  // Why a cache entry needed more than a plain load: io_transient counts
+  // bounded in-process retries after an Error{Io} (the entry may be fine;
+  // the *read* failed), corrupt counts entries whose bytes failed
+  // validation (the entry is dead on arrival). A retrain is the sum of
+  // corrupt entries and entries whose transient retries exhausted.
+  telemetry::Counter cache_io_transient =
+      telemetry::counter("zoo.cache_io_transient");
+  telemetry::Counter cache_corrupt = telemetry::counter("zoo.cache_corrupt");
 };
 
 ZooMetrics& zoo_metrics() {
@@ -132,20 +142,40 @@ GaussianPolicy PolicyZoo::load_or_train(const std::string& name,
   bool retraining = false;
   if (file_exists(file)) {
     log_debug("zoo: loading %s", file.c_str());
-    try {
-      GaussianPolicy policy = load_policy_file(file);
-      zoo_metrics().cache_hit.inc();
-      telemetry::emit_event("zoo.cache_hit", {{"name", name}});
-      return policy;
-    } catch (const Error& e) {
-      // A truncated or bit-rotted cache entry must not poison every
-      // consumer; the training that produced it is deterministic, so
-      // retraining recreates the identical policy.
-      log_warn("zoo: cached policy %s is unusable (%s); retraining", file.c_str(),
-               e.what());
-      std::filesystem::remove(file);
-      zoo_metrics().retrain.inc();
-      retraining = true;
+    // An Error{Io} loading the cache does not mean the entry is bad — the
+    // bytes on disk may be fine and only this read failed. Retry a bounded
+    // number of times with a short backoff before declaring the entry dead;
+    // a full retrain costs minutes, a retry costs milliseconds.
+    constexpr int kMaxLoadAttempts = 3;
+    for (int attempt = 1; attempt <= kMaxLoadAttempts && !retraining;
+         ++attempt) {
+      try {
+        GaussianPolicy policy = load_policy_file(file);
+        zoo_metrics().cache_hit.inc();
+        telemetry::emit_event("zoo.cache_hit", {{"name", name}});
+        return policy;
+      } catch (const Error& e) {
+        if (e.code() == ErrorCode::Io && attempt < kMaxLoadAttempts) {
+          zoo_metrics().cache_io_transient.inc();
+          log_warn("zoo: transient I/O failure loading %s (attempt %d/%d): %s",
+                   file.c_str(), attempt, kMaxLoadAttempts, e.what());
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(1 << (attempt - 1)));
+          continue;
+        }
+        // A truncated or bit-rotted cache entry (or a read that keeps
+        // failing) must not poison every consumer; the training that
+        // produced it is deterministic, so retraining recreates the
+        // identical policy.
+        if (e.code() == ErrorCode::Corrupt) {
+          zoo_metrics().cache_corrupt.inc();
+        }
+        log_warn("zoo: cached policy %s is unusable (%s); retraining",
+                 file.c_str(), e.what());
+        std::filesystem::remove(file);
+        zoo_metrics().retrain.inc();
+        retraining = true;
+      }
     }
   }
   log_info("zoo: training %s (cache miss at %s)", name.c_str(), file.c_str());

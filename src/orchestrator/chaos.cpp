@@ -1,0 +1,18 @@
+#include "orchestrator/chaos.hpp"
+
+#include "common/fault_injection.hpp"
+
+namespace adsec::orch {
+
+InjectedCrash::InjectedCrash(std::string at)
+    : message_("injected crash at " + std::move(at)) {}
+
+const char* InjectedCrash::what() const noexcept { return message_.c_str(); }
+
+void crash_point(const std::string& site) {
+  if (fault_injector().fire("orch.crash")) {
+    throw InjectedCrash(site);
+  }
+}
+
+}  // namespace adsec::orch

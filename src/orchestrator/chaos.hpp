@@ -1,0 +1,30 @@
+// Simulated process death for the orchestrator's kill-at-every-point sweep.
+//
+// crash_point(site) is threaded through every commit boundary in the
+// orchestrator (store writes, manifest commits, job start/finish). Tests
+// arm the single "orch.crash" fault point at its N-th hit; the fired point
+// throws InjectedCrash, which run_grid() lets propagate — everything the
+// process had durably committed by that moment is exactly what a real
+// SIGKILL would have left on disk. InjectedCrash is deliberately *not* an
+// adsec::Error: the retry envelope classifies Errors and must never
+// "recover" from a death.
+#pragma once
+
+#include <exception>
+#include <string>
+
+namespace adsec::orch {
+
+struct InjectedCrash : std::exception {
+  explicit InjectedCrash(std::string at);
+  [[nodiscard]] const char* what() const noexcept override;
+
+ private:
+  std::string message_;
+};
+
+// Counts one hit of the shared "orch.crash" point; throws InjectedCrash
+// when the armed plan fires. No-op (one relaxed atomic load) when disarmed.
+void crash_point(const std::string& site);
+
+}  // namespace adsec::orch

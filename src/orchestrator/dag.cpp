@@ -1,0 +1,413 @@
+#include "orchestrator/dag.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "orchestrator/chaos.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/spec.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adsec::orch {
+
+namespace {
+
+struct DagMetrics {
+  telemetry::Counter cells_cached = telemetry::counter("orch.cells_cached");
+  telemetry::Counter cells_computed = telemetry::counter("orch.cells_computed");
+  telemetry::Counter cells_failed = telemetry::counter("orch.cells_failed");
+  telemetry::Counter retries = telemetry::counter("orch.job_retries");
+  telemetry::Counter timeouts = telemetry::counter("orch.job_timeouts");
+};
+
+DagMetrics& dag_metrics() {
+  static DagMetrics m;
+  return m;
+}
+
+// Transient failures are worth retrying: the same inputs may succeed on the
+// next attempt (I/O hiccup, admission backpressure, a corrupt artifact that
+// its owner re-creates, an internal fault from the chaos harness). Config,
+// Usage, and Diverged are properties of the job itself — retrying cannot
+// change the outcome.
+bool is_transient(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Io:
+    case ErrorCode::Internal:
+    case ErrorCode::Rejected:
+    case ErrorCode::Corrupt:
+      return true;
+    case ErrorCode::Config:
+    case ErrorCode::Usage:
+    case ErrorCode::Diverged:
+      return false;
+  }
+  return false;
+}
+
+struct Job {
+  std::string name;
+  int cell_index{-1};  // >= 0 identifies an eval job
+  std::function<void()> body;
+  std::vector<std::size_t> dependents;
+  int deps_remaining{0};
+  JobState state{JobState::Pending};
+  int retries{0};
+  std::string error_class;
+  std::string message;
+  std::uint64_t deadline_ns{0};
+};
+
+class GridExecution {
+ public:
+  GridExecution(std::vector<Job> jobs, const GridOptions& options)
+      : jobs_(std::move(jobs)), options_(options) {}
+
+  void run() {
+    if (jobs_.empty()) return;
+    WorkStealingPool pool(options_.jobs);
+    std::thread watchdog;
+    if (options_.deadline_ms > 0) {
+      watchdog = std::thread([this] { watchdog_loop(); });
+    }
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i].deps_remaining == 0) submit(pool, i);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return terminal_ == jobs_.size(); });
+    }
+    if (watchdog.joinable()) watchdog.join();
+    // The pool destructor drains queued lambdas; anything still enqueued
+    // for a non-Pending job no-ops.
+  }
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] std::exception_ptr crash() const { return crash_; }
+
+ private:
+  void submit(WorkStealingPool& pool, std::size_t i) {
+    std::ignore = pool.submit([this, &pool, i] { run_job(pool, i); });
+  }
+
+  void run_job(WorkStealingPool& pool, std::size_t i) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Job& j = jobs_[i];
+      if (j.state != JobState::Pending) return;  // skipped or crash-stopped
+      j.state = JobState::Running;
+      if (options_.deadline_ms > 0) {
+        j.deadline_ns = telemetry::monotonic_ns() +
+                        static_cast<std::uint64_t>(options_.deadline_ms) *
+                            1000000ull;
+      }
+    }
+    // Deterministic jitter stream per job index: reruns back off identically.
+    Rng jitter(options_.backoff_seed ^
+               (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1)));
+    int attempt = 0;
+    while (true) {
+      try {
+        jobs_[i].body();
+        finish(pool, i, JobState::Done, "", "");
+        return;
+      } catch (const InjectedCrash&) {
+        record_crash(i, std::current_exception());
+        return;
+      } catch (const Error& e) {
+        if (is_transient(e.code()) && attempt < options_.max_retries &&
+            still_running(i)) {
+          ++attempt;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            jobs_[i].retries = attempt;
+          }
+          dag_metrics().retries.inc();
+          back_off(attempt, jitter);
+          continue;
+        }
+        finish(pool, i, JobState::Failed, error_code_name(e.code()), e.what());
+        return;
+      } catch (const std::exception& e) {
+        finish(pool, i, JobState::Failed, "internal", e.what());
+        return;
+      }
+    }
+  }
+
+  void back_off(int attempt, Rng& jitter) {
+    const int shift = std::min(attempt - 1, 16);
+    double ms = static_cast<double>(options_.backoff_base_ms) *
+                static_cast<double>(1u << shift);
+    ms = std::min(ms, static_cast<double>(options_.backoff_max_ms));
+    // Full jitter in [ms/2, ms): decorrelates retry storms while staying
+    // deterministic for a given (seed, job, attempt).
+    ms = ms * (0.5 + 0.5 * jitter.uniform());
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+  }
+
+  bool still_running(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_[i].state == JobState::Running && crash_ == nullptr;
+  }
+
+  void finish(WorkStealingPool& pool, std::size_t i, JobState state,
+              std::string error_class, std::string message) {
+    std::vector<std::size_t> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Job& j = jobs_[i];
+      if (j.state != JobState::Running) return;  // watchdog got here first
+      j.state = state;
+      j.error_class = std::move(error_class);
+      j.message = std::move(message);
+      ++terminal_;
+      if (state == JobState::Done) {
+        for (const std::size_t d : j.dependents) {
+          if (--jobs_[d].deps_remaining == 0 && crash_ == nullptr) {
+            ready.push_back(d);
+          }
+        }
+      } else {
+        skip_dependents_locked(i);
+      }
+      notify_progress_locked();
+    }
+    for (const std::size_t d : ready) submit(pool, d);
+  }
+
+  // A failed/timed-out/skipped job poisons everything downstream of it.
+  void skip_dependents_locked(std::size_t i) {
+    for (const std::size_t d : jobs_[i].dependents) {
+      Job& dep = jobs_[d];
+      --dep.deps_remaining;
+      if (dep.state == JobState::Pending) {
+        dep.state = JobState::Skipped;
+        dep.error_class = "skipped_dependency";
+        dep.message = "dependency '" + jobs_[i].name + "' did not complete";
+        ++terminal_;
+        skip_dependents_locked(d);
+      }
+    }
+  }
+
+  void record_crash(std::size_t i, std::exception_ptr eptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crash_ == nullptr) crash_ = eptr;
+    Job& j = jobs_[i];
+    if (j.state == JobState::Running) {
+      j.state = JobState::Failed;
+      j.error_class = "crash";
+      j.message = "injected crash";
+      ++terminal_;
+    }
+    // The "process" is dead: nothing not already running ever starts.
+    for (Job& p : jobs_) {
+      if (p.state == JobState::Pending) {
+        p.state = JobState::Skipped;
+        p.error_class = "crash";
+        p.message = "process crashed before this job ran";
+        ++terminal_;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  void watchdog_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (terminal_ < jobs_.size()) {
+      const std::uint64_t now = telemetry::monotonic_ns();
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        Job& j = jobs_[i];
+        if (j.state == JobState::Running && j.deadline_ns != 0 &&
+            now > j.deadline_ns) {
+          j.state = JobState::TimedOut;
+          j.error_class = "deadline";
+          j.message = "exceeded " + std::to_string(options_.deadline_ms) +
+                      " ms deadline";
+          ++terminal_;
+          dag_metrics().timeouts.inc();
+          skip_dependents_locked(i);
+          notify_progress_locked();
+        }
+      }
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(options_.watchdog_poll_ms));
+    }
+  }
+
+  void notify_progress_locked() {
+    if (options_.on_progress) {
+      options_.on_progress(static_cast<int>(terminal_),
+                           static_cast<int>(jobs_.size()));
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<Job> jobs_;
+  const GridOptions& options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t terminal_{0};
+  std::exception_ptr crash_{nullptr};
+};
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::TimedOut: return "timed_out";
+    case JobState::Skipped: return "skipped";
+  }
+  return "unknown";
+}
+
+GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
+                    const GridOptions& options) {
+  const std::vector<Cell> cells = expand_grid(grid);
+  // Upfront validation: a bad name means the whole grid is unusable —
+  // Error{Config} before any work, not a per-cell failure at minute 40.
+  for (const Cell& cell : cells) serve::validate_request(to_request(cell));
+
+  GridReport report;
+  report.cells_total = static_cast<int>(cells.size());
+
+  crash_point("grid.start");
+
+  // Phase 1: content-addressed lookup. Finished cells never become jobs.
+  std::vector<bool> cached(cells.size(), false);
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (store.lookup(cells[ci]).has_value()) {
+      cached[ci] = true;
+      ++report.cells_cached;
+      dag_metrics().cells_cached.inc();
+    }
+  }
+
+  // Phase 2: build the DAG — train-victim -> train-attacker -> evaluate.
+  // Training jobs warm the zoo (train-on-miss) so evaluation jobs find
+  // every learned policy already cached; one victim job per agent name and
+  // one attacker job per (agent, attacker) pair, shared across budgets and
+  // seeds.
+  std::vector<Job> jobs;
+  std::map<std::string, std::size_t> victim_jobs;    // agent -> job index
+  std::map<std::string, std::size_t> attacker_jobs;  // agent|attacker -> idx
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (cached[ci]) continue;
+    const Cell& cell = cells[ci];
+
+    std::size_t victim = 0;
+    const auto vit = victim_jobs.find(cell.agent);
+    if (vit == victim_jobs.end()) {
+      Job j;
+      j.name = "train:" + cell.agent;
+      j.body = [&zoo, cell] {
+        maybe_inject("orch.job");
+        crash_point("train.victim");
+        serve::EvalRequest req = to_request(cell);
+        req.attacker = "none";
+        const serve::ResolvedSpec spec = serve::resolve_spec(zoo, req);
+        const std::unique_ptr<DrivingAgent> agent = spec.agent();
+      };
+      victim = jobs.size();
+      victim_jobs.emplace(cell.agent, victim);
+      jobs.push_back(std::move(j));
+    } else {
+      victim = vit->second;
+    }
+
+    std::size_t parent = victim;
+    if (cell.attacker != "none") {
+      const std::string pair = cell.agent + "|" + cell.attacker;
+      const auto ait = attacker_jobs.find(pair);
+      if (ait == attacker_jobs.end()) {
+        Job j;
+        j.name = "train:" + pair;
+        j.body = [&zoo, cell] {
+          maybe_inject("orch.job");
+          crash_point("train.attacker");
+          const serve::ResolvedSpec spec =
+              serve::resolve_spec(zoo, to_request(cell));
+          if (spec.attacker) {
+            const std::unique_ptr<Attacker> attacker = spec.attacker();
+          }
+        };
+        j.deps_remaining = 1;
+        parent = jobs.size();
+        attacker_jobs.emplace(pair, parent);
+        jobs[victim].dependents.push_back(parent);
+        jobs.push_back(std::move(j));
+      } else {
+        parent = ait->second;
+      }
+    }
+
+    Job j;
+    j.name = "eval:" + canonical_config(cell);
+    j.cell_index = static_cast<int>(ci);
+    j.body = [&zoo, &store, cell] {
+      maybe_inject("orch.job");
+      crash_point("job.start");
+      const serve::ResolvedSpec spec =
+          serve::resolve_spec(zoo, to_request(cell));
+      const std::unique_ptr<DrivingAgent> agent = spec.agent();
+      const std::unique_ptr<Attacker> attacker =
+          spec.attacker ? spec.attacker() : nullptr;
+      CellResult result;
+      result.episodes = run_batch(*agent, attacker.get(), spec.config,
+                                  cell.episodes, cell.seed,
+                                  cell.with_reference);
+      crash_point("job.computed");
+      store.put(cell, result);
+    };
+    j.deps_remaining = 1;
+    jobs[parent].dependents.push_back(jobs.size());
+    jobs.push_back(std::move(j));
+  }
+
+  GridExecution exec(std::move(jobs), options);
+  exec.run();
+  if (exec.crash() != nullptr) std::rethrow_exception(exec.crash());
+
+  crash_point("grid.done");
+
+  // Phase 3: report, in job-creation (canonical) order.
+  for (const Job& j : exec.jobs()) {
+    if (j.state == JobState::Done) {
+      if (j.cell_index >= 0) {
+        ++report.cells_computed;
+        dag_metrics().cells_computed.inc();
+      }
+      continue;
+    }
+    if (j.cell_index >= 0) {
+      ++report.cells_failed;
+      dag_metrics().cells_failed.inc();
+    }
+    report.failures.push_back(
+        JobOutcome{j.name, j.state, j.error_class, j.message, j.retries});
+    const JobOutcome& out = report.failures.back();
+    log_warn("grid: job '%s' %s (%s, %d retries): %s", out.name.c_str(),
+             to_string(out.state), out.error_class.c_str(), out.retries,
+             out.message.c_str());
+  }
+  return report;
+}
+
+}  // namespace adsec::orch

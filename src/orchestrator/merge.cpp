@@ -1,0 +1,127 @@
+#include "orchestrator/merge.hpp"
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace adsec::orch {
+
+namespace {
+
+// Group index preserving first-appearance (canonical) order.
+template <typename K>
+std::size_t group_of(std::vector<K>& order, std::map<K, std::size_t>& index,
+                     const K& key) {
+  const auto it = index.find(key);
+  if (it != index.end()) return it->second;
+  const std::size_t g = order.size();
+  order.push_back(key);
+  index.emplace(key, g);
+  return g;
+}
+
+struct Fig5Group {
+  RunningStats effort;
+  RunningStats route_rmse;
+  RunningStats ref_rmse;
+  RunningStats ttc;
+  int episodes{0};
+  int side_collisions{0};
+};
+
+struct Fig8Group {
+  std::vector<double> efforts;
+  std::vector<bool> successes;
+};
+
+}  // namespace
+
+MergedTables::MergedTables()
+    : fig5({"agent", "scenario", "attacker", "budget", "episodes",
+            "mean effort", "route RMSE", "ref-traj RMSE", "side collisions",
+            "mean ttc (s)"}),
+      fig8({"agent", "scenario", "[0,.2)", "[.2,.4)", "[.4,.6)", "[.6,.8)",
+            ".8+"}) {}
+
+MergedTables merge_cells(
+    const std::vector<Cell>& cells,
+    const std::vector<std::optional<CellResult>>& results) {
+  using Fig5Key = std::tuple<std::string, std::string, std::string, double>;
+  using Fig8Key = std::pair<std::string, std::string>;
+
+  std::vector<Fig5Key> fig5_order;
+  std::map<Fig5Key, std::size_t> fig5_index;
+  std::vector<Fig5Group> fig5_groups;
+  std::vector<Fig8Key> fig8_order;
+  std::map<Fig8Key, std::size_t> fig8_index;
+  std::vector<Fig8Group> fig8_groups;
+
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (ci >= results.size() || !results[ci].has_value()) continue;
+    const Cell& cell = cells[ci];
+    const CellResult& res = *results[ci];
+
+    const std::size_t g5 = group_of(
+        fig5_order, fig5_index,
+        Fig5Key{cell.agent, cell.scenario, cell.attacker, cell.budget});
+    if (g5 == fig5_groups.size()) fig5_groups.emplace_back();
+    Fig5Group& f5 = fig5_groups[g5];
+
+    const std::size_t g8 =
+        group_of(fig8_order, fig8_index, Fig8Key{cell.agent, cell.scenario});
+    if (g8 == fig8_groups.size()) fig8_groups.emplace_back();
+    Fig8Group& f8 = fig8_groups[g8];
+
+    for (const EpisodeMetrics& m : res.episodes) {
+      ++f5.episodes;
+      f5.effort.add(m.attack_effort);
+      f5.route_rmse.add(m.plan_deviation_rmse);
+      if (m.deviation_rmse >= 0.0) f5.ref_rmse.add(m.deviation_rmse);
+      if (m.side_collision) {
+        ++f5.side_collisions;
+        if (m.time_to_collision >= 0.0) f5.ttc.add(m.time_to_collision);
+      }
+      f8.efforts.push_back(m.attack_effort);
+      f8.successes.push_back(m.side_collision);
+    }
+  }
+
+  MergedTables out;
+  for (std::size_t g = 0; g < fig5_order.size(); ++g) {
+    const auto& [agent, scenario, attacker, budget] = fig5_order[g];
+    const Fig5Group& f5 = fig5_groups[g];
+    out.fig5.add_row(
+        {agent, scenario, attacker, fmt(budget, 2),
+         std::to_string(f5.episodes), fmt(f5.effort.mean(), 3),
+         fmt(f5.route_rmse.mean(), 3),
+         f5.ref_rmse.count() > 0 ? fmt(f5.ref_rmse.mean(), 3) : "-",
+         std::to_string(f5.side_collisions),
+         f5.ttc.count() > 0 ? fmt(f5.ttc.mean(), 2) : "-"});
+  }
+  for (std::size_t g = 0; g < fig8_order.size(); ++g) {
+    const auto& [agent, scenario] = fig8_order[g];
+    const Fig8Group& f8 = fig8_groups[g];
+    const EffortWindowStats s =
+        success_by_effort_window(f8.efforts, f8.successes, 0.2, 0.8);
+    std::vector<std::string> row{agent, scenario};
+    for (std::size_t b = 0; b < s.window_lo.size(); ++b) {
+      row.push_back(fmt_pct(s.success_rate[b], 0) + " (" +
+                    std::to_string(s.episodes[b]) + ")");
+    }
+    out.fig8.add_row(std::move(row));
+  }
+  return out;
+}
+
+MergedTables merge_grid(ResultStore& store, const GridSpec& grid) {
+  const std::vector<Cell> cells = expand_grid(grid);
+  std::vector<std::optional<CellResult>> results;
+  results.reserve(cells.size());
+  for (const Cell& cell : cells) results.push_back(store.lookup(cell));
+  return merge_cells(cells, results);
+}
+
+}  // namespace adsec::orch

@@ -1,0 +1,39 @@
+// Deterministic merger: assembles per-cell results into the fig5/fig8
+// tables.
+//
+// Iteration is always in canonical grid order (expand_grid), never in
+// execution or commit order, and aggregation uses the same RunningStats
+// accumulation sequence regardless of which cells came from cache — so the
+// rendered tables are byte-identical across thread counts, crash/resume
+// cycles, and cell permutations. Cells with no stored result (failed or
+// skipped) are simply absent from their aggregate, which is the graceful-
+// degradation contract: a permanently failing cell costs its own rows'
+// coverage, not the grid.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/table.hpp"
+#include "orchestrator/cell.hpp"
+#include "orchestrator/store.hpp"
+
+namespace adsec::orch {
+
+struct MergedTables {
+  Table fig5;  // per (agent, scenario, budget): effort / RMSE / collisions
+  Table fig8;  // per (agent, scenario): success rate by attack-effort window
+  MergedTables();
+};
+
+// Merge from explicit (cell, result) pairs; `results[i]` may be nullopt
+// (cell missing/failed). Order of the input does not matter beyond pairing:
+// rows are produced in canonical order of `cells`.
+[[nodiscard]] MergedTables merge_cells(
+    const std::vector<Cell>& cells,
+    const std::vector<std::optional<CellResult>>& results);
+
+// Convenience: expand the grid, look every cell up in the store, merge.
+[[nodiscard]] MergedTables merge_grid(ResultStore& store, const GridSpec& grid);
+
+}  // namespace adsec::orch

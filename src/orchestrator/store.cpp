@@ -1,0 +1,190 @@
+#include "orchestrator/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/logging.hpp"
+#include "common/serialize.hpp"
+#include "orchestrator/chaos.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adsec::orch {
+
+namespace {
+
+constexpr std::uint32_t kCellFileVersion = 1;
+constexpr std::uint32_t kManifestVersion = 1;
+
+struct StoreMetrics {
+  telemetry::Counter hits = telemetry::counter("orch.store_hit");
+  telemetry::Counter misses = telemetry::counter("orch.store_miss");
+  telemetry::Counter corrupt = telemetry::counter("orch.store_corrupt");
+  telemetry::Counter commits = telemetry::counter("orch.cells_committed");
+  telemetry::Counter rebuilds = telemetry::counter("orch.manifest_rebuild");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+void write_cell_payload(BinaryWriter& w, const std::string& canonical,
+                        const CellResult& result) {
+  w.write_string(canonical);
+  w.write_u32(static_cast<std::uint32_t>(result.episodes.size()));
+  for (const EpisodeMetrics& m : result.episodes) write_episode_metrics(w, m);
+}
+
+CellResult read_cell_payload(BinaryReader& r, const std::string& expect_canonical) {
+  const std::string canonical = r.read_string();
+  if (canonical != expect_canonical) {
+    throw Error(ErrorCode::Corrupt,
+                "store entry canonical config mismatch (hash collision or "
+                "mislabeled file): " +
+                    canonical);
+  }
+  CellResult result;
+  const std::uint32_t n = r.read_u32();
+  result.episodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    result.episodes.push_back(read_episode_metrics(r));
+  }
+  return result;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_ + "/cells");
+  load_or_rebuild_manifest();
+}
+
+std::string ResultStore::cell_path(const std::string& key_hex) const {
+  return dir_ + "/cells/" + key_hex + ".cell";
+}
+
+void ResultStore::load_or_rebuild_manifest() {
+  const std::string manifest = dir_ + "/MANIFEST";
+  if (std::filesystem::exists(manifest)) {
+    try {
+      BinaryReader r = BinaryReader::load_checked(manifest, kManifestVersion);
+      const std::uint32_t n = r.read_u32();
+      std::map<std::string, std::string> index;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key = r.read_string();
+        std::string canonical = r.read_string();
+        index.emplace(std::move(key), std::move(canonical));
+      }
+      index_ = std::move(index);
+      return;
+    } catch (const std::exception& e) {
+      log_warn("store: manifest unreadable (%s); rebuilding from cells/",
+               e.what());
+      store_metrics().rebuilds.inc();
+    }
+  }
+  // Rebuild by scanning: every cell file self-validates (CRC + embedded
+  // canonical config whose key must match the filename), so a manifest
+  // lost to a crash costs a scan, never a recompute.
+  index_.clear();
+  std::vector<std::string> entries;
+  for (const auto& de : std::filesystem::directory_iterator(dir_ + "/cells")) {
+    if (de.path().extension() == ".cell") {
+      entries.push_back(de.path().string());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& path : entries) {
+    const std::string key_hex =
+        std::filesystem::path(path).stem().string();
+    try {
+      BinaryReader r = BinaryReader::load_checked(path, kCellFileVersion);
+      const std::string canonical = r.read_string();
+      index_[key_hex] = canonical;
+    } catch (const std::exception& e) {
+      log_warn("store: dropping unreadable cell %s (%s)", path.c_str(),
+               e.what());
+      store_metrics().corrupt.inc();
+      std::error_code ec;
+      // Legitimate non-atomic filesystem op: deleting a provably corrupt
+      // entry so the cell recomputes.
+      std::filesystem::remove(path, ec);  // adsec-lint: allow(orchestrator-atomic-write)
+    }
+  }
+  if (std::filesystem::exists(manifest) || !index_.empty()) {
+    commit_manifest_locked();
+  }
+}
+
+std::optional<CellResult> ResultStore::lookup(const Cell& cell) {
+  const std::string key_hex = cell_key(cell).hex();
+  const std::string canonical = canonical_config(cell);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key_hex);
+  if (it == index_.end()) {
+    store_metrics().misses.inc();
+    return std::nullopt;
+  }
+  if (it->second != canonical) {
+    log_warn("store: key %s maps to a different config (collision); treating "
+             "as a miss",
+             key_hex.c_str());
+    store_metrics().misses.inc();
+    return std::nullopt;
+  }
+  const std::string path = cell_path(key_hex);
+  try {
+    BinaryReader r = BinaryReader::load_checked(path, kCellFileVersion);
+    CellResult result = read_cell_payload(r, canonical);
+    store_metrics().hits.inc();
+    return result;
+  } catch (const std::exception& e) {
+    log_warn("store: cell %s failed validation (%s); recomputing", key_hex.c_str(),
+             e.what());
+    store_metrics().corrupt.inc();
+    index_.erase(it);
+    std::error_code ec;
+    // Deleting a provably corrupt entry so the cell recomputes.
+    std::filesystem::remove(path, ec);  // adsec-lint: allow(orchestrator-atomic-write)
+    commit_manifest_locked();
+    return std::nullopt;
+  }
+}
+
+void ResultStore::put(const Cell& cell, const CellResult& result) {
+  const std::string key_hex = cell_key(cell).hex();
+  const std::string canonical = canonical_config(cell);
+  crash_point("store.put.begin");
+  BinaryWriter w;
+  write_cell_payload(w, canonical, result);
+  w.save_checked(cell_path(key_hex), kCellFileVersion);
+  crash_point("store.put.cell_written");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_[key_hex] = canonical;
+    commit_manifest_locked();
+  }
+  crash_point("store.put.committed");
+  store_metrics().commits.inc();
+}
+
+void ResultStore::commit_manifest_locked() {
+  maybe_inject("orch.manifest");
+  crash_point("store.manifest_commit");
+  BinaryWriter w;
+  w.write_u32(static_cast<std::uint32_t>(index_.size()));
+  for (const auto& [key, canonical] : index_) {
+    w.write_string(key);
+    w.write_string(canonical);
+  }
+  w.save_checked(dir_ + "/MANIFEST", kManifestVersion);
+}
+
+std::size_t ResultStore::finished_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace adsec::orch

@@ -1,0 +1,65 @@
+// Content-addressed result store: finished grid cells, durably.
+//
+// Layout (under one store directory):
+//   cells/<key>.cell  — one checked container per finished cell: the
+//                       canonical config string (audit + collision guard)
+//                       followed by the cell's EpisodeMetrics.
+//   MANIFEST          — checked container indexing key -> canonical config
+//                       for every finished cell.
+//
+// Every write goes through BinaryWriter::save_checked (write-to-temp +
+// rename + CRC framing), so a crash at any instant leaves either the old
+// image or the new one. The manifest is advisory: if it is missing or
+// corrupt the store rebuilds it by scanning cells/, where each entry
+// self-validates via its own CRC. Corrupt cell files are removed and
+// reported as misses — recomputed, never trusted.
+//
+// Thread safety: lookup/put may be called concurrently from pool workers;
+// the index and manifest commits are mutex-guarded, cell payload writes
+// happen outside the lock (distinct keys never collide on a path).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "orchestrator/cell.hpp"
+
+namespace adsec::orch {
+
+struct CellResult {
+  std::vector<EpisodeMetrics> episodes;
+};
+
+class ResultStore {
+ public:
+  // Creates the directory tree; loads (or rebuilds) the manifest.
+  explicit ResultStore(std::string dir);
+
+  // The finished result for `cell`, or nullopt when it was never computed,
+  // its key changed, or its entry failed validation (the entry is dropped
+  // so the cell recomputes).
+  [[nodiscard]] std::optional<CellResult> lookup(const Cell& cell);
+
+  // Durably commit a finished cell: cell file first (atomic), then the
+  // manifest (atomic). Fires crash points at each boundary.
+  void put(const Cell& cell, const CellResult& result);
+
+  [[nodiscard]] std::size_t finished_cells() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  void load_or_rebuild_manifest();
+  void commit_manifest_locked();
+  [[nodiscard]] std::string cell_path(const std::string& key_hex) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> index_;  // key hex -> canonical config
+};
+
+}  // namespace adsec::orch

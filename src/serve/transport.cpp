@@ -307,7 +307,30 @@ void UdsTransport::run(const std::atomic<bool>& stop,
       continue;
     }
     const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // Classify, don't treat every accept error alike. Transient: a
+      // signal landed (EINTR), the client vanished between poll and accept
+      // (ECONNABORTED), or another thread drained the backlog first
+      // (EAGAIN/EWOULDBLOCK) — try again. Resource exhaustion
+      // (EMFILE/ENFILE/ENOBUFS/ENOMEM) may clear as connections close:
+      // log and back off one poll interval instead of spinning. Anything
+      // else (EBADF, EINVAL, ENOTSOCK...) means the listening socket
+      // itself is broken — stop accepting rather than busy-loop forever.
+      const int err = errno;
+      if (err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+          err == EWOULDBLOCK) {
+        continue;
+      }
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        log_warn("serve: accept failed transiently (%s); backing off",
+                 std::strerror(err));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      log_error("serve: accept failed fatally (%s); leaving the accept loop",
+                std::strerror(err));
+      break;
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+#include "telemetry/clock.hpp"
+
 namespace adsec {
 namespace {
 
@@ -19,7 +22,7 @@ TEST_F(FaultInjection, FiresExactlyOnceThenDisarms) {
   fault_injector().arm("p", FaultKind::FailWrite);
   const auto first = fault_injector().fire("p");
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(*first, FaultKind::FailWrite);
+  EXPECT_EQ(first->kind, FaultKind::FailWrite);
   EXPECT_FALSE(fault_injector().fire("p").has_value());
 }
 
@@ -42,7 +45,7 @@ TEST_F(FaultInjection, RearmReplacesPlan) {
   fault_injector().arm("p", FaultKind::TruncateWrite, /*fire_at=*/1);
   const auto fired = fault_injector().fire("p");
   ASSERT_TRUE(fired.has_value());
-  EXPECT_EQ(*fired, FaultKind::TruncateWrite);
+  EXPECT_EQ(fired->kind, FaultKind::TruncateWrite);
 }
 
 TEST_F(FaultInjection, ResetDisarmsEverything) {
@@ -51,6 +54,76 @@ TEST_F(FaultInjection, ResetDisarmsEverything) {
   fault_injector().reset();
   EXPECT_FALSE(fault_injector().fire("a").has_value());
   EXPECT_FALSE(fault_injector().fire("b").has_value());
+}
+
+TEST_F(FaultInjection, RepeatWindowFiresAcrossConsecutiveHits) {
+  fault_injector().arm("p", FaultKind::FailWrite, /*fire_at=*/2, /*repeat=*/3);
+  EXPECT_FALSE(fault_injector().fire("p").has_value());  // hit 1
+  EXPECT_TRUE(fault_injector().fire("p").has_value());   // hits 2..4 fire
+  EXPECT_TRUE(fault_injector().fire("p").has_value());
+  EXPECT_TRUE(fault_injector().fire("p").has_value());
+  EXPECT_FALSE(fault_injector().fire("p").has_value());  // window exhausted
+  EXPECT_EQ(fault_injector().hits("p"), 4);  // counting stops once disarmed
+}
+
+TEST_F(FaultInjection, UnboundedRepeatFiresUntilReset) {
+  fault_injector().arm("p", FaultKind::FailWrite, /*fire_at=*/1, /*repeat=*/0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fault_injector().fire("p").has_value());
+  }
+  fault_injector().reset();
+  EXPECT_FALSE(fault_injector().fire("p").has_value());
+}
+
+TEST_F(FaultInjection, ParamRidesAlongWithTheFault) {
+  fault_injector().arm("p", FaultKind::Delay, /*fire_at=*/1, /*repeat=*/1,
+                       /*param=*/25);
+  const auto fired = fault_injector().fire("p");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->kind, FaultKind::Delay);
+  EXPECT_EQ(fired->param, 25);
+}
+
+// The chaos harness's error direction: maybe_inject surfaces Throw as
+// Error{Internal} and FailWrite as Error{Io}, so the orchestrator's retry
+// classifier sees exactly the codes real failures would produce.
+TEST_F(FaultInjection, MaybeInjectThrowSurfacesInternalError) {
+  fault_injector().arm("p", FaultKind::Throw);
+  try {
+    maybe_inject("p");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Internal);
+  }
+  maybe_inject("p");  // disarmed: no-op
+}
+
+TEST_F(FaultInjection, MaybeInjectFailWriteSurfacesIoError) {
+  fault_injector().arm("p", FaultKind::FailWrite);
+  try {
+    maybe_inject("p");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Io);
+  }
+}
+
+// The delay direction: the injected stall must actually take (at least) the
+// armed number of milliseconds and then return normally.
+TEST_F(FaultInjection, MaybeInjectDelayStallsForParamMs) {
+  fault_injector().arm("p", FaultKind::Delay, /*fire_at=*/1, /*repeat=*/1,
+                       /*param=*/20);
+  const std::uint64_t before = telemetry::monotonic_ns();
+  maybe_inject("p");  // must not throw
+  const std::uint64_t elapsed = telemetry::monotonic_ns() - before;
+  EXPECT_GE(elapsed, 20ull * 1000000ull);
+  // Disarmed now: instant no-op.
+  maybe_inject("p");
+}
+
+TEST_F(FaultInjection, MaybeInjectDisarmedIsANoOp) {
+  maybe_inject("never.armed");  // must not throw or stall
+  EXPECT_EQ(fault_injector().hits("never.armed"), 0);
 }
 
 }  // namespace

@@ -259,6 +259,85 @@ TEST_F(ZooTest, SingleFlightPropagatesTrainingFailureToFollowers) {
   EXPECT_TRUE(file_exists(dir_ + "/pi_ori.bin"));
 }
 
+TEST_F(ZooTest, TransientCacheLoadFailureIsRetriedNotRetrained) {
+  // Warm the cache, then make the first read of it fail with Error{Io}.
+  // A flaky read is not a bad entry: the zoo must retry the load (counting
+  // it under zoo.cache_io_transient) and serve the cached policy without
+  // burning a retrain.
+  {
+    PolicyZoo warm(dir_);
+    (void)warm.driving_policy();
+  }
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics_values();
+  fault_injector().arm("serialize.load", FaultKind::FailWrite, /*fire_at=*/1,
+                       /*repeat=*/1);
+
+  PolicyZoo zoo(dir_);
+  GaussianPolicy p = zoo.driving_policy();
+  fault_injector().reset();
+  EXPECT_EQ(p.act_dim(), 2);
+
+  std::uint64_t transient = 0, corrupt = 0, retrains = 0, hits = 0;
+  for (const auto& [name, value] : telemetry::metrics_snapshot().counters) {
+    if (name == "zoo.cache_io_transient") transient = value;
+    if (name == "zoo.cache_corrupt") corrupt = value;
+    if (name == "zoo.retrain") retrains = value;
+    if (name == "zoo.cache_hit") hits = value;
+  }
+  EXPECT_EQ(transient, 1u);
+  EXPECT_EQ(corrupt, 0u);  // an I/O hiccup is not a corrupt entry
+  EXPECT_EQ(retrains, 0u);
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST_F(ZooTest, PersistentLoadFailureExhaustsRetriesThenRetrains) {
+  {
+    PolicyZoo warm(dir_);
+    (void)warm.driving_policy();
+  }
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics_values();
+  // Every load attempt fails: two transient retries, then the entry is
+  // declared dead and the deterministic retrain recreates it.
+  fault_injector().arm("serialize.load", FaultKind::FailWrite, /*fire_at=*/1,
+                       /*repeat=*/0);
+
+  PolicyZoo zoo(dir_);
+  GaussianPolicy p = zoo.driving_policy();
+  fault_injector().reset();
+  EXPECT_EQ(p.act_dim(), 2);
+
+  std::uint64_t transient = 0, retrains = 0;
+  for (const auto& [name, value] : telemetry::metrics_snapshot().counters) {
+    if (name == "zoo.cache_io_transient") transient = value;
+    if (name == "zoo.retrain") retrains = value;
+  }
+  EXPECT_EQ(transient, 2u);  // attempts 1 and 2 of the 3-attempt budget
+  EXPECT_EQ(retrains, 1u);
+  // The retrain re-saved the cache: a clean zoo loads it without training.
+  EXPECT_NO_THROW(load_policy_file(dir_ + "/pi_ori.bin"));
+}
+
+TEST_F(ZooTest, CorruptAndTransientFailuresCountSeparately) {
+  PolicyZoo zoo(dir_);
+  const std::string file = dir_ + "/pi_ori.bin";
+  std::filesystem::create_directories(dir_);
+  std::ofstream(file, std::ios::binary) << "definitely not a policy";
+  telemetry::set_metrics_enabled(true);
+  telemetry::reset_metrics_values();
+
+  (void)zoo.driving_policy();  // garbage entry: corrupt, not transient
+
+  std::uint64_t transient = 0, corrupt = 0;
+  for (const auto& [name, value] : telemetry::metrics_snapshot().counters) {
+    if (name == "zoo.cache_io_transient") transient = value;
+    if (name == "zoo.cache_corrupt") corrupt = value;
+  }
+  EXPECT_EQ(transient, 0u);
+  EXPECT_GE(corrupt, 1u);
+}
+
 TEST_F(ZooTest, Td3AttackerTrainsCachesAndRuns) {
   PolicyZoo zoo(dir_);
   const Mlp actor = zoo.td3_attacker();

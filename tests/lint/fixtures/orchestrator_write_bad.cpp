@@ -1,0 +1,18 @@
+// Fixture: orchestrator code persisting artifacts without the checked
+// temp-file+rename path. Expected findings: ofstream, fopen, fwrite,
+// filesystem::remove, filesystem::rename -> 5 x orchestrator-atomic-write.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+void torn_writes(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "half a manifest";
+  if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite("cell", 1, 4, f);
+    std::fclose(f);
+  }
+  std::filesystem::remove(path);
+  std::filesystem::rename(path + ".tmp", path);
+}

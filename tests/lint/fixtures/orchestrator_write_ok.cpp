@@ -1,0 +1,23 @@
+// Fixture: orchestrator code on the sanctioned persistence path — all
+// writes staged through BinaryWriter::save_checked, read-only filesystem
+// queries, and one provably-safe deletion carrying the allow-list
+// suppression. Expected findings: none.
+#include <filesystem>
+#include <string>
+
+#include "common/serialize.hpp"
+
+void atomic_commit(const std::string& dir) {
+  std::filesystem::create_directories(dir + "/cells");
+  adsec::BinaryWriter w;
+  w.write_u32(1u);
+  w.save_checked(dir + "/cells/entry.cell", 1);
+  if (std::filesystem::exists(dir + "/MANIFEST")) {
+    adsec::BinaryReader r =
+        adsec::BinaryReader::load_checked(dir + "/MANIFEST", 1);
+  }
+  std::error_code ec;
+  // Deleting an entry that already failed its CRC so it recomputes.
+  // adsec-lint: allow(orchestrator-atomic-write)
+  std::filesystem::remove(dir + "/cells/corrupt.cell", ec);
+}

@@ -61,6 +61,8 @@ const FixturePair kPairs[] = {
     {"alloc-hygiene", "alloc_hygiene_bad.cpp", 5, "alloc_hygiene_ok.cpp"},
     {"nodiscard-result", "nodiscard_result_bad.hpp", 2,
      "nodiscard_result_ok.hpp"},
+    {"orchestrator-atomic-write", "orchestrator_write_bad.cpp", 5,
+     "orchestrator_write_ok.cpp"},
     {"include-iostream-in-header", "include_iostream_bad.hpp", 1,
      "include_iostream_ok.hpp"},
 };
@@ -121,6 +123,18 @@ TEST(LintRules, PathScopingFollowsTheAllowedModuleLists) {
   EXPECT_FALSE(lint_source("src/rl/sac.cpp", print_src).empty());
   EXPECT_TRUE(lint_source("tools/adsec_cli.cpp", print_src).empty());
   EXPECT_TRUE(lint_source("bench/bench_micro.cpp", print_src).empty());
+
+  // In-place writes are legal elsewhere but flagged inside the
+  // orchestrator, whose artifacts must commit via temp-file+rename.
+  const std::string write_src =
+      "#include <fstream>\nvoid w() { std::ofstream f(\"x\"); }\n";
+  EXPECT_TRUE(lint_source("src/core/zoo_probe.cpp", write_src).empty());
+  EXPECT_FALSE(lint_source("src/orchestrator/probe.cpp", write_src).empty());
+  const std::string fs_src =
+      "#include <filesystem>\n"
+      "void m() { std::filesystem::rename(\"a\", \"b\"); }\n";
+  EXPECT_TRUE(lint_source("src/core/zoo_probe.cpp", fs_src).empty());
+  EXPECT_FALSE(lint_source("src/orchestrator/probe.cpp", fs_src).empty());
 }
 
 TEST(LintRules, UnorderedContainerTriggersOnSerializePathNames) {

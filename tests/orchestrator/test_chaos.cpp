@@ -1,0 +1,192 @@
+// Chaos harness: kill the orchestrator at every crash point it has, resume
+// each time, and prove the robustness contract — a resumed grid recomputes
+// only never-committed work (telemetry-verified) and renders merged tables
+// byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+
+#include "common/config.hpp"
+#include "common/fault_injection.hpp"
+#include "core/zoo.hpp"
+#include "orchestrator/chaos.hpp"
+#include "orchestrator/dag.hpp"
+#include "orchestrator/merge.hpp"
+#include "orchestrator/store.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace adsec::orch {
+namespace {
+
+std::uint64_t counter_value(const char* name) {
+  for (const auto& [n, v] : telemetry::metrics_snapshot().counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+GridSpec small_grid() {
+  GridSpec grid;
+  grid.agents = {"modular"};
+  grid.attackers = {"none", "noise"};
+  grid.budgets = {0.8};
+  grid.episodes = 1;
+  grid.seeds = 2;
+  return grid;  // 4 cells
+}
+
+GridOptions serial_options() {
+  GridOptions opts;
+  opts.jobs = 1;  // deterministic crash-point ordering for the sweep
+  return opts;
+}
+
+class OrchChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/adsec_chaos_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    saved_scale_ = runtime_config().train_scale;
+    runtime_config().train_scale = 0.0;
+    metrics_were_enabled_ = telemetry::metrics_enabled();
+    telemetry::set_metrics_enabled(true);
+    telemetry::reset_metrics_values();
+  }
+  void TearDown() override {
+    fault_injector().reset();
+    telemetry::set_metrics_enabled(metrics_were_enabled_);
+    runtime_config().train_scale = saved_scale_;
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+  double saved_scale_{1.0};
+  bool metrics_were_enabled_{false};
+};
+
+TEST_F(OrchChaosTest, InjectedCrashPropagatesInsteadOfBeingRetried) {
+  ResultStore store(dir_ + "/store");
+  PolicyZoo zoo(dir_ + "/zoo");
+  // Hit 1 is "grid.start"; hit 2 lands inside the first job body. Both must
+  // surface as InjectedCrash — the retry envelope classifies Errors and a
+  // simulated process death is deliberately not one.
+  fault_injector().arm("orch.crash", FaultKind::Throw, /*fire_at=*/2);
+  EXPECT_THROW(
+      std::ignore = run_grid(store, zoo, small_grid(), serial_options()),
+      InjectedCrash);
+}
+
+// The tentpole sweep: for k = 1, 2, 3, ... arm the shared crash point at
+// its k-th hit, run until the injected death, "restart the process" (fresh
+// ResultStore over the same directory), resume, and assert:
+//   - the resumed run completes,
+//   - every cell the crashed run committed is served from the store
+//     (cells_cached == committed, orch.cells_computed counts only the rest),
+//   - the merged fig5/fig8 tables are byte-identical to the uninterrupted
+//     reference run.
+// The sweep is exhaustive: it stops at the first k past the last crash
+// point an uninterrupted run ever hits.
+TEST_F(OrchChaosTest, KilledAtEveryPointResumesWithZeroRecompute) {
+  const GridSpec grid = small_grid();
+  const int total = static_cast<int>(expand_grid(grid).size());
+
+  std::string ref_fig5, ref_fig8;
+  {
+    ResultStore store(dir_ + "/ref");
+    PolicyZoo zoo(dir_ + "/zoo");
+    const GridReport ref = run_grid(store, zoo, grid, serial_options());
+    ASSERT_TRUE(ref.complete());
+    ref_fig5 = merge_grid(store, grid).fig5.to_csv();
+    ref_fig8 = merge_grid(store, grid).fig8.to_csv();
+  }
+
+  PolicyZoo zoo(dir_ + "/zoo");  // warm across iterations; cells never are
+  int sweep = 0;
+  for (int k = 1;; ++k) {
+    SCOPED_TRACE("killed at crash-point hit " + std::to_string(k));
+    const std::string store_dir = dir_ + "/k" + std::to_string(k);
+
+    fault_injector().arm("orch.crash", FaultKind::Throw, /*fire_at=*/k);
+    bool died = false;
+    {
+      ResultStore store(store_dir);
+      try {
+        std::ignore = run_grid(store, zoo, grid, serial_options());
+      } catch (const InjectedCrash&) {
+        died = true;
+      }
+    }
+    fault_injector().reset();
+    if (!died) break;  // k is past the last crash point: sweep complete
+    ++sweep;
+
+    // Process restart: a fresh store instance over whatever the "dead"
+    // process durably committed.
+    telemetry::reset_metrics_values();
+    ResultStore resumed(store_dir);
+    const int committed = static_cast<int>(resumed.finished_cells());
+    ASSERT_LE(committed, total);
+
+    const GridReport report = run_grid(resumed, zoo, grid, serial_options());
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.cells_cached, committed);
+    EXPECT_EQ(report.cells_computed, total - committed);
+    // Telemetry proves no finished cell was recomputed.
+    EXPECT_EQ(counter_value("orch.cells_cached"),
+              static_cast<std::uint64_t>(committed));
+    EXPECT_EQ(counter_value("orch.cells_computed"),
+              static_cast<std::uint64_t>(total - committed));
+
+    // Crash/resume cycles must be invisible in the output bytes.
+    EXPECT_EQ(merge_grid(resumed, grid).fig5.to_csv(), ref_fig5);
+    EXPECT_EQ(merge_grid(resumed, grid).fig8.to_csv(), ref_fig8);
+    std::filesystem::remove_all(store_dir);
+  }
+  // The orchestrator is peppered with crash points (grid boundaries, every
+  // job start/finish, every store commit step); a shrunken sweep means one
+  // got dropped.
+  EXPECT_GE(sweep, 15);
+}
+
+// A double kill: die, resume, die again later, resume again. Committed
+// cells accumulate monotonically and the final tables still match.
+TEST_F(OrchChaosTest, SurvivesRepeatedKills) {
+  const GridSpec grid = small_grid();
+  const int total = static_cast<int>(expand_grid(grid).size());
+  const std::string store_dir = dir_ + "/store";
+  PolicyZoo zoo(dir_ + "/zoo");
+
+  std::string ref_fig5;
+  {
+    ResultStore ref_store(dir_ + "/ref");
+    ASSERT_TRUE(run_grid(ref_store, zoo, grid, serial_options()).complete());
+    ref_fig5 = merge_grid(ref_store, grid).fig5.to_csv();
+  }
+
+  int committed_before = 0;
+  for (int round = 0; round < 2; ++round) {
+    fault_injector().arm("orch.crash", FaultKind::Throw,
+                         /*fire_at=*/8);  // mid-grid both times
+    ResultStore store(store_dir);
+    try {
+      std::ignore = run_grid(store, zoo, grid, serial_options());
+      FAIL() << "expected the injected death";
+    } catch (const InjectedCrash&) {
+    }
+    fault_injector().reset();
+    const int committed = static_cast<int>(store.finished_cells());
+    EXPECT_GE(committed, committed_before);  // durable progress only grows
+    committed_before = committed;
+  }
+
+  ResultStore resumed(store_dir);
+  const GridReport report = run_grid(resumed, zoo, grid, serial_options());
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.cells_cached + report.cells_computed, total);
+  EXPECT_EQ(merge_grid(resumed, grid).fig5.to_csv(), ref_fig5);
+}
+
+}  // namespace
+}  // namespace adsec::orch

@@ -1,0 +1,169 @@
+// Deterministic merger: the fig5/fig8 tables must come out byte-identical
+// regardless of which cells were cached, how execution interleaved, or how
+// many crash/resume cycles produced the store — and degrade gracefully when
+// cells are missing.
+#include "orchestrator/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/cell.hpp"
+#include "orchestrator/store.hpp"
+
+namespace adsec::orch {
+namespace {
+
+EpisodeMetrics synth_episode(double effort, bool side, double route_rmse) {
+  EpisodeMetrics m;
+  m.steps = 200;
+  m.attack_effort = effort;
+  m.side_collision = side;
+  if (side) {
+    m.collision = CollisionEvent{CollisionType::Side, 2, 120};
+    m.time_to_collision = 2.5;
+  }
+  m.plan_deviation_rmse = route_rmse;
+  return m;
+}
+
+// Two agents x two attackers x two seed replicates, with per-cell results
+// whose values depend only on the cell (so any execution order must merge
+// to the same aggregates).
+struct SynthGrid {
+  std::vector<Cell> cells;
+  std::vector<std::optional<CellResult>> results;
+};
+
+SynthGrid synth_grid() {
+  SynthGrid g;
+  int salt = 0;
+  for (const char* agent : {"modular", "e2e"}) {
+    for (const char* attacker : {"none", "noise"}) {
+      for (int r = 0; r < 2; ++r) {
+        Cell c;
+        c.agent = agent;
+        c.attacker = attacker;
+        c.scenario = "paper";
+        c.budget = attacker == std::string("none") ? 0.0 : 0.8;
+        c.episodes = 2;
+        c.seed = 700000 + 1000 * static_cast<std::uint64_t>(r);
+        g.cells.push_back(c);
+        CellResult res;
+        res.episodes.push_back(
+            synth_episode(0.1 * (salt % 7), salt % 3 == 0, 0.25 + 0.01 * salt));
+        res.episodes.push_back(
+            synth_episode(0.15 * (salt % 5), salt % 4 == 0, 0.3 + 0.01 * salt));
+        g.results.emplace_back(std::move(res));
+        ++salt;
+      }
+    }
+  }
+  return g;
+}
+
+TEST(OrchMerge, GroupsInCanonicalOrderWithStableFormatting) {
+  const SynthGrid g = synth_grid();
+  const MergedTables t = merge_cells(g.cells, g.results);
+
+  // fig5: one row per (agent, scenario, attacker, budget) group, in
+  // first-appearance order of the canonical cell sequence.
+  ASSERT_EQ(t.fig5.rows(), 4);
+  EXPECT_EQ(t.fig5.row_data()[0][0], "modular");
+  EXPECT_EQ(t.fig5.row_data()[0][2], "none");
+  EXPECT_EQ(t.fig5.row_data()[1][2], "noise");
+  EXPECT_EQ(t.fig5.row_data()[2][0], "e2e");
+  // 2 seed replicates x 2 episodes per group.
+  EXPECT_EQ(t.fig5.row_data()[0][4], "4");
+
+  // fig8: one row per (agent, scenario) with 5 effort windows.
+  ASSERT_EQ(t.fig8.rows(), 2);
+  EXPECT_EQ(t.fig8.row_data()[0][0], "modular");
+  EXPECT_EQ(t.fig8.row_data()[1][0], "e2e");
+  ASSERT_EQ(t.fig8.row_data()[0].size(), 7u);
+}
+
+TEST(OrchMerge, PairPermutationCannotChangeTheBytes) {
+  const SynthGrid g = synth_grid();
+  const std::string fig5 = merge_cells(g.cells, g.results).fig5.to_csv();
+  const std::string fig8 = merge_cells(g.cells, g.results).fig8.to_csv();
+
+  // Reversed (cell, result) pairing order simulates results arriving in an
+  // arbitrary execution order; canonical-order grouping must erase it.
+  // Note the *pairs* move together — cells keep their own results.
+  SynthGrid rev;
+  for (std::size_t i = g.cells.size(); i-- > 0;) {
+    rev.cells.push_back(g.cells[i]);
+    rev.results.push_back(g.results[i]);
+  }
+  const MergedTables merged = merge_cells(rev.cells, rev.results);
+  // Group rows now appear in reversed first-appearance order; the set of
+  // row strings must be unchanged even though the order moved.
+  EXPECT_EQ(merged.fig5.rows(), 4);
+  std::vector<std::string> forward, reversed;
+  const MergedTables canonical = merge_cells(g.cells, g.results);
+  for (const auto& row : canonical.fig5.row_data()) {
+    forward.push_back(row[0] + "|" + row[2] + "|" + row[5]);
+  }
+  for (const auto& row : merged.fig5.row_data()) {
+    reversed.push_back(row[0] + "|" + row[2] + "|" + row[5]);
+  }
+  std::sort(forward.begin(), forward.end());
+  std::sort(reversed.begin(), reversed.end());
+  EXPECT_EQ(forward, reversed);
+
+  // And merging the canonical sequence twice is trivially byte-stable.
+  EXPECT_EQ(canonical.fig5.to_csv(), fig5);
+  EXPECT_EQ(canonical.fig8.to_csv(), fig8);
+}
+
+TEST(OrchMerge, MissingCellsDegradeGracefully) {
+  SynthGrid g = synth_grid();
+  // Knock out one whole group (modular|noise: cells 2 and 3) and one
+  // replicate of another (e2e|none: cell 4).
+  g.results[2] = std::nullopt;
+  g.results[3] = std::nullopt;
+  g.results[4] = std::nullopt;
+
+  const MergedTables t = merge_cells(g.cells, g.results);
+  // The dead group has no row at all; the half-covered group aggregates
+  // what it has.
+  ASSERT_EQ(t.fig5.rows(), 3);
+  EXPECT_EQ(t.fig5.row_data()[0][2], "none");
+  EXPECT_EQ(t.fig5.row_data()[1][0], "e2e");
+  EXPECT_EQ(t.fig5.row_data()[1][4], "2");  // one replicate x two episodes
+}
+
+TEST(OrchMerge, StoreBackedMergeMatchesExplicitPairs) {
+  const std::string dir =
+      ::testing::TempDir() + "/adsec_merge_store_roundtrip";
+  std::filesystem::remove_all(dir);
+  const SynthGrid g = synth_grid();
+
+  GridSpec grid;
+  grid.agents = {"modular", "e2e"};
+  grid.attackers = {"none", "noise"};
+  grid.budgets = {0.8};
+  grid.episodes = 2;
+  grid.seeds = 2;
+  ASSERT_EQ(expand_grid(grid).size(), g.cells.size());
+
+  ResultStore store(dir);
+  // Commit in a deliberately scrambled order; merge_grid must still render
+  // the canonical-order tables.
+  for (std::size_t i = g.cells.size(); i-- > 0;) {
+    store.put(g.cells[i], *g.results[i]);
+  }
+  const MergedTables from_store = merge_grid(store, grid);
+  const MergedTables from_pairs = merge_cells(g.cells, g.results);
+  EXPECT_EQ(from_store.fig5.to_csv(), from_pairs.fig5.to_csv());
+  EXPECT_EQ(from_store.fig8.to_csv(), from_pairs.fig8.to_csv());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace adsec::orch

@@ -399,6 +399,71 @@ TEST_F(ServeServerTest, InvalidRequestsFailStructurallyWithoutQueueing) {
   EXPECT_EQ(report.completed, 1u);
 }
 
+// Regression: the daemon answers SIGUSR1 by snapshotting the report from
+// whatever thread notices the flag, including while a graceful drain is in
+// progress. Hammer report() concurrently with drain() while a request is
+// held mid-flight: neither side may crash or stall, every snapshot must be
+// internally consistent, and the drain must still complete.
+TEST_F(ServeServerTest, ReportDuringGracefulDrainNeitherCrashesNorStalls) {
+  PolicyZoo zoo(dir_);
+  Recorder rec;
+  std::mutex hold_mu;
+  std::condition_variable hold_cv;
+  bool hold = true;
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 16;
+  opts.zoo = &zoo;
+  opts.on_request_start = [&](const EvalRequest& req) {
+    if (req.id != "r1") return;
+    std::unique_lock<std::mutex> lock(hold_mu);
+    hold_cv.wait(lock, [&] { return !hold; });
+  };
+  EvalServer server(opts, rec.sink());
+
+  server.submit(grid_request("r1", "none", 1, 1, false));
+  rec.wait_for_status("r1", "running");
+  for (int i = 2; i <= 4; ++i) {
+    server.submit(grid_request("r" + std::to_string(i), "noise", 77, 1, false));
+  }
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    server.drain();
+    drained.store(true, std::memory_order_relaxed);
+  });
+
+  // The SIGUSR1 path, repeatedly, while the drain is blocked on r1. Each
+  // snapshot renders to JSON too (the daemon serializes it for --report).
+  int reports_during_drain = 0;
+  while (!drained.load(std::memory_order_relaxed)) {
+    const LatencyReport report = server.report();
+    EXPECT_LE(report.completed + report.failed, report.admitted);
+    EXPECT_FALSE(report.to_json().empty());
+    ++reports_during_drain;
+    if (reports_during_drain == 64) {
+      // Enough concurrent snapshots observed: release the held request so
+      // the drain can finish. Keep reporting until it does.
+      std::lock_guard<std::mutex> lock(hold_mu);
+      hold = false;
+      hold_cv.notify_all();
+    }
+    std::this_thread::yield();
+  }
+  drainer.join();
+  EXPECT_GE(reports_during_drain, 64);
+
+  for (const char* id : {"r1", "r2", "r3", "r4"}) {
+    EXPECT_EQ(rec.terminal_count(id), 1) << id;
+    EXPECT_EQ(rec.terminal(id).status, "done") << id;
+  }
+
+  // Post-drain reports still work (the daemon prints one final table).
+  const LatencyReport final_report = server.report();
+  EXPECT_EQ(final_report.completed, 4u);
+}
+
 TEST_F(ServeServerTest, RepeatedPolicyRequestsHitZooCache) {
   // Learned-policy path: the first e2e request trains pi_ori (at scale 0);
   // later constructions load it from the zoo's disk cache, observable via

@@ -21,6 +21,20 @@
 // three are independent; omitting them keeps telemetry disabled (~1 branch
 // per instrumentation site).
 //
+// Grid mode runs a whole victim x attacker x scenario x seed cross-product
+// through the fault-tolerant orchestrator (src/orchestrator) instead of a
+// single spec:
+//
+//   adsec_cli --grid "agents=modular,e2e;attackers=none,camera;budgets=1.0"
+//             --store-dir DIR [--resume] [--jobs N] [--csv PREFIX]
+//
+// Finished cells commit to the content-addressed store in DIR as they
+// complete; a killed run restarted with --resume recomputes only what never
+// committed and renders byte-identical tables. Without --resume a non-empty
+// store is refused (exit 2) so stale results are never silently mixed in.
+// A grid whose every cell finished exits 0; permanently failed cells are
+// listed with their error class and retry count and exit with status 3.
+//
 // Malformed flags (unknown names, non-numeric or out-of-range values) exit
 // with status 2 and usage on stderr.
 #include <cmath>
@@ -36,6 +50,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/zoo.hpp"
+#include "orchestrator/dag.hpp"
+#include "orchestrator/merge.hpp"
 #include "runtime/aggregate.hpp"
 #include "runtime/parallel_eval.hpp"
 #include "serve/spec.hpp"
@@ -56,6 +72,10 @@ struct Options {
   int checkpoint_every = -1;  // -1 => leave ADSEC_CKPT_EVERY as-is
   bool with_reference = false;
   std::string csv;
+  std::string grid;       // grid-spec string; non-empty selects grid mode
+  std::string store_dir;  // result store directory (grid mode)
+  bool resume = false;    // accept a non-empty store and reuse its cells
+  int deadline_ms = 0;    // per-job deadline (grid mode); 0 disables
   telemetry::TelemetryOptions telemetry;
 };
 
@@ -65,7 +85,12 @@ struct Options {
       "usage: %s [--agent A] [--attacker T] [--budget E] [--episodes N]\n"
       "          [--scenario P] [--seed S] [--jobs N] [--checkpoint-every N]\n"
       "          [--with-reference] [--csv PATH] [--list]\n"
+      "          [--grid SPEC --store-dir DIR [--resume] [--deadline-ms N]]\n"
       "          [--metrics-out PATH] [--chrome-trace PATH] [--log-json PATH]\n"
+      "grid:      SPEC like \"agents=modular,e2e;attackers=none,camera;\n"
+      "           budgets=0.5,1.0;scenarios=paper;episodes=3;seeds=2\";\n"
+      "           finished cells commit to --store-dir and --resume reuses\n"
+      "           them (exit 3 when any cell permanently failed)\n"
       "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
       "attackers: none | oracle | noise | full | camera | imu | td3\n"
       "scenarios: paper dense sparse two-lane s-curve fast-npc\n"
@@ -151,6 +176,13 @@ Options parse(int argc, char** argv) {
       if (!parse_int(v, 0, opt.checkpoint_every)) bad_value(v);
     } else if (arg == "--with-reference") opt.with_reference = true;
     else if (arg == "--csv") opt.csv = value();
+    else if (arg == "--grid") opt.grid = value();
+    else if (arg == "--store-dir") opt.store_dir = value();
+    else if (arg == "--resume") opt.resume = true;
+    else if (arg == "--deadline-ms") {
+      const std::string v = value();
+      if (!parse_int(v, 0, opt.deadline_ms)) bad_value(v);
+    }
     else if (arg == "--metrics-out") opt.telemetry.metrics_out = value();
     else if (arg == "--chrome-trace") opt.telemetry.chrome_trace = value();
     else if (arg == "--log-json") opt.telemetry.events_jsonl = value();
@@ -169,6 +201,106 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
+// Shared tail for both modes: flush telemetry sinks and report what landed.
+// Returns 0, or 2 when a requested sink could not be written.
+int finalize_telemetry(const Options& opt) {
+  if (!opt.telemetry.any()) return 0;
+  const telemetry::FinalizeResult fin = telemetry::finalize();
+  bool write_failed = false;
+  const auto report = [&write_failed](const std::string& path, bool written) {
+    if (path.empty()) return;
+    if (written) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      write_failed = true;
+    }
+  };
+  report(opt.telemetry.metrics_out, fin.metrics_written);
+  report(opt.telemetry.chrome_trace, fin.trace_written);
+  // The JSONL sink streamed while the run executed; configure() already
+  // failed hard if it could not be opened.
+  if (!opt.telemetry.events_jsonl.empty())
+    std::printf("wrote %s\n", opt.telemetry.events_jsonl.c_str());
+  return write_failed ? 2 : 0;
+}
+
+// Grid mode: expand the spec, run it through the orchestrator against the
+// content-addressed store, and render the merged fig5/fig8 tables.
+// Exit codes: 0 complete, 2 bad spec / store refusal, 3 when one or more
+// cells permanently failed (the rest still completed and committed).
+int run_grid_mode(const Options& opt) {
+  orch::GridSpec grid;
+  try {
+    grid = orch::parse_grid_spec(opt.grid);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bad --grid spec: %s\n", e.what());
+    return 2;
+  }
+
+  orch::ResultStore store(opt.store_dir);
+  if (store.finished_cells() > 0 && !opt.resume) {
+    std::fprintf(stderr,
+                 "store %s already holds %zu finished cell(s); pass --resume "
+                 "to reuse them or point --store-dir at a fresh directory\n",
+                 opt.store_dir.c_str(), store.finished_cells());
+    return 2;
+  }
+
+  telemetry::emit_event("cli.grid",
+                        {{"spec", opt.grid},
+                         {"store", opt.store_dir},
+                         {"resume", opt.resume ? 1 : 0},
+                         {"jobs", opt.jobs > 0 ? opt.jobs : hardware_jobs()}});
+
+  PolicyZoo zoo;
+  orch::GridOptions grid_opts;
+  grid_opts.jobs = opt.jobs;
+  grid_opts.deadline_ms = opt.deadline_ms;
+  grid_opts.on_progress = [](int done, int total) {
+    if (total >= 20 && done % std::max(1, total / 10) == 0) {
+      std::printf("grid: %d/%d jobs\n", done, total);
+      std::fflush(stdout);
+    }
+  };
+
+  orch::GridReport report;
+  try {
+    report = orch::run_grid(store, zoo, grid, grid_opts);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  Table summary({"cells", "count"});
+  summary.add_row({"total", std::to_string(report.cells_total)});
+  summary.add_row({"cached (resumed)", std::to_string(report.cells_cached)});
+  summary.add_row({"computed", std::to_string(report.cells_computed)});
+  summary.add_row({"failed", std::to_string(report.cells_failed)});
+  summary.print();
+
+  if (!report.failures.empty()) {
+    Table failures({"job", "state", "class", "retries", "message"});
+    for (const auto& f : report.failures) {
+      failures.add_row({f.name, orch::to_string(f.state), f.error_class,
+                        std::to_string(f.retries), f.message});
+    }
+    failures.print();
+  }
+
+  const orch::MergedTables tables = orch::merge_grid(store, grid);
+  tables.fig5.print();
+  tables.fig8.print();
+  if (!opt.csv.empty()) {
+    // --csv is a prefix in grid mode: two tables, two files.
+    tables.fig5.write_csv(opt.csv + ".fig5.csv");
+    tables.fig8.write_csv(opt.csv + ".fig8.csv");
+    std::printf("wrote %s.fig5.csv and %s.fig8.csv\n", opt.csv.c_str(),
+                opt.csv.c_str());
+  }
+  return report.complete() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +314,18 @@ int main(int argc, char** argv) {
                  opt.telemetry.events_jsonl.c_str());
     return 2;
   }
+
+  // --- grid mode ---
+  if (!opt.grid.empty() || !opt.store_dir.empty() || opt.resume) {
+    if (opt.grid.empty() || opt.store_dir.empty()) {
+      std::fprintf(stderr, "--grid and --store-dir must be given together\n");
+      usage(argv[0], 2);
+    }
+    const int code = run_grid_mode(opt);
+    const int telemetry_code = finalize_telemetry(opt);
+    return code != 0 ? code : telemetry_code;
+  }
+
   telemetry::emit_event("cli.run",
                         {{"agent", opt.agent},
                          {"attacker", opt.attacker},
@@ -259,25 +403,5 @@ int main(int argc, char** argv) {
     t.write_csv(opt.csv);
     std::printf("wrote %s\n", opt.csv.c_str());
   }
-  if (opt.telemetry.any()) {
-    const telemetry::FinalizeResult fin = telemetry::finalize();
-    bool write_failed = false;
-    const auto report = [&write_failed](const std::string& path, bool written) {
-      if (path.empty()) return;
-      if (written) {
-        std::printf("wrote %s\n", path.c_str());
-      } else {
-        std::fprintf(stderr, "failed to write %s\n", path.c_str());
-        write_failed = true;
-      }
-    };
-    report(opt.telemetry.metrics_out, fin.metrics_written);
-    report(opt.telemetry.chrome_trace, fin.trace_written);
-    // The JSONL sink streamed while the run executed; configure() already
-    // failed hard if it could not be opened.
-    if (!opt.telemetry.events_jsonl.empty())
-      std::printf("wrote %s\n", opt.telemetry.events_jsonl.c_str());
-    if (write_failed) return 2;
-  }
-  return 0;
+  return finalize_telemetry(opt);
 }

@@ -156,9 +156,8 @@ bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = n == text.size() && std::fclose(f) == 0;
-  if (n != text.size()) std::fclose(f);
-  return ok;
+  const bool closed = std::fclose(f) == 0;
+  return n == text.size() && closed;
 }
 
 }  // namespace
@@ -216,6 +215,13 @@ int main(int argc, char** argv) {
       transport.write_report();
     }
     server.drain();
+    // A SIGUSR1 that landed during the drain window was not serviced by the
+    // transport tick (it had already exited); honor it now rather than
+    // dropping the request on the floor.
+    if (g_report.exchange(false, std::memory_order_relaxed)) {
+      server.report().to_table().print();
+      std::fflush(stdout);
+    }
 
     // Shutdown banner: the tail-latency table plus the optional JSON dump.
     const serve::LatencyReport report = server.report();

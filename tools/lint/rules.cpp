@@ -315,6 +315,64 @@ bool brace_opens_code(const std::vector<Token>& toks, std::size_t i,
   return true;  // unknown shapes err toward "code": rules stay quiet inside
 }
 
+// orchestrator-atomic-write -------------------------------------------------
+//
+// Orchestrator artifacts (result cells, the manifest) must survive a crash
+// at any instruction, so the only sanctioned persistence path in
+// src/orchestrator/ is BinaryWriter::save_checked — write to a temp file,
+// rename into place, CRC on read. A direct ofstream/stdio write or a
+// std::filesystem mutation there is a torn-file bug waiting for the chaos
+// sweep to find it. Provably-safe operations (deleting an entry that
+// already failed its CRC) carry allow(orchestrator-atomic-write)
+// suppressions.
+
+bool orchestrator_scope(const std::string& path) {
+  return starts_with(path, "src/orchestrator/") ||
+         basename_of(path).find("orchestrator") != std::string::npos;
+}
+
+// `std::filesystem::rename` / `fs::remove` — the qualifier right before the
+// call names the filesystem library (member_or_foreign_qualified can't see
+// this: it treats any non-std qualifier as foreign).
+bool filesystem_qualified(const std::vector<Token>& toks, std::size_t i) {
+  const Token* p = prev_tok(toks, i);
+  if (p == nullptr || !is_punct(*p, "::")) return false;
+  const Token* q = i >= 2 ? &toks[i - 2] : nullptr;
+  return q != nullptr && (is_ident(*q, "filesystem") || is_ident(*q, "fs"));
+}
+
+void rule_orchestrator_atomic_write(const std::string& path,
+                                    const std::vector<Token>& toks,
+                                    std::vector<Finding>& out) {
+  if (!orchestrator_scope(path)) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "ofstream" || t.text == "fstream") {
+      add(out, path, t, "orchestrator-atomic-write",
+          "std::" + t.text +
+              " writes in place; orchestrator artifacts go through "
+              "BinaryWriter::save_checked (temp file + rename + CRC)");
+    } else if ((t.text == "fopen" || t.text == "fwrite" ||
+                t.text == "fprintf" || t.text == "fputs") &&
+               called(toks, i) && !member_or_foreign_qualified(toks, i)) {
+      add(out, path, t, "orchestrator-atomic-write",
+          t.text +
+              "() writes in place; orchestrator artifacts go through "
+              "BinaryWriter::save_checked (temp file + rename + CRC)");
+    } else if ((t.text == "rename" || t.text == "remove" ||
+                t.text == "remove_all" || t.text == "copy_file" ||
+                t.text == "resize_file") &&
+               called(toks, i) && filesystem_qualified(toks, i)) {
+      add(out, path, t, "orchestrator-atomic-write",
+          "std::filesystem::" + t.text +
+              " mutates the store directly; stage through save_checked, or "
+              "suppress a provably-safe op with "
+              "allow(orchestrator-atomic-write)");
+    }
+  }
+}
+
 // include-iostream-in-header ------------------------------------------------
 //
 // <iostream> in a header injects the static ios initializer into every TU
@@ -350,6 +408,9 @@ const std::vector<RuleDesc>& rule_table() {
       {"alloc-hygiene", "naked new/delete or C allocator calls anywhere"},
       {"nodiscard-result",
        "header functions returning Error/*Result types must be [[nodiscard]]"},
+      {"orchestrator-atomic-write",
+       "direct file writes / std::filesystem mutations in src/orchestrator/ "
+       "bypassing the checked temp-file+rename path"},
       {"include-iostream-in-header", "<iostream> included from a header"},
   };
   return kRules;
@@ -363,6 +424,7 @@ void check_file(const std::string& path, const LexedFile& lexed,
   rule_io(path, toks, out);
   rule_alloc(path, toks, out);
   rule_nodiscard(path, toks, out);
+  rule_orchestrator_atomic_write(path, toks, out);
   rule_include_iostream(path, toks, out);
 }
 
