@@ -461,9 +461,12 @@ void write_overhead_table() {
 
   telemetry::set_metrics_enabled(false);
   telemetry::set_tracing_enabled(false);
+  telemetry::set_flight_enabled(false);
   row("counter.inc", "disabled", measure_ns_per_op([&] { c.inc(); }));
   row("histogram.observe", "disabled", measure_ns_per_op([&] { h.observe(7.0); }));
   row("span", "disabled", measure_ns_per_op([] { ADSEC_SPAN("bench.overhead"); }));
+  row("flight.note", "disabled",
+      measure_ns_per_op([] { telemetry::flight_note("bench.overhead"); }));
 
   telemetry::set_metrics_enabled(true);
   row("counter.inc", "enabled", measure_ns_per_op([&] { c.inc(); }));
@@ -474,6 +477,12 @@ void write_overhead_table() {
   row("span", "enabled", measure_ns_per_op([] { ADSEC_SPAN("bench.overhead"); }));
   telemetry::set_tracing_enabled(false);
   telemetry::clear_trace();
+
+  telemetry::set_flight_enabled(true);
+  row("flight.note", "enabled",
+      measure_ns_per_op([] { telemetry::flight_note("bench.overhead"); }));
+  telemetry::set_flight_enabled(false);
+  telemetry::clear_flight();
 
   bench::maybe_write_csv(t, "telemetry_overhead");
 }

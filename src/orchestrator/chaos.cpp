@@ -1,6 +1,7 @@
 #include "orchestrator/chaos.hpp"
 
 #include "common/fault_injection.hpp"
+#include "telemetry/flight.hpp"
 
 namespace adsec::orch {
 
@@ -11,6 +12,12 @@ const char* InjectedCrash::what() const noexcept { return message_.c_str(); }
 
 void crash_point(const std::string& site) {
   if (fault_injector().fire("orch.crash")) {
+    // A firing crash point is the simulated process death — the one moment
+    // the flight recorder exists for. Dump before the throw unwinds, so
+    // every crash point in the kill sweep leaves a parseable black box.
+    if (telemetry::flight_enabled()) {
+      telemetry::dump_flight_recorder("orch.crash:" + site);
+    }
     throw InjectedCrash(site);
   }
 }

@@ -58,6 +58,9 @@ bool is_transient(ErrorCode code) {
 
 struct Job {
   std::string name;
+  // Literal span name by job kind (span names must be literals — only the
+  // pointer is stored); the job identity travels in flight notes instead.
+  const char* span_name{"orch.job"};
   int cell_index{-1};  // >= 0 identifies an eval job
   std::function<void()> body;
   std::vector<std::size_t> dependents;
@@ -113,6 +116,15 @@ class GridExecution {
                             1000000ull;
       }
     }
+    // The job span parents to whatever submitted it (the orch.grid root for
+    // first-wave jobs, the finishing parent job for dependents — the pool
+    // carries the submitter's context), and it encloses finish(), so
+    // dependent submissions inherit *this* span: the executed DAG is one
+    // rooted trace whose parent links mirror the dependency edges.
+    // span_name is always one of the "orch.*" literals set at job-creation
+    // sites, routed through the Job member. adsec-lint: allow(span-name)
+    telemetry::SpanGuard span(jobs_[i].span_name);
+    telemetry::flight_note("orch.job_start", static_cast<std::uint64_t>(i));
     // Deterministic jitter stream per job index: reruns back off identically.
     Rng jitter(options_.backoff_seed ^
                (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(i) + 1)));
@@ -173,6 +185,9 @@ class GridExecution {
       j.state = state;
       j.error_class = std::move(error_class);
       j.message = std::move(message);
+      telemetry::flight_note(state == JobState::Done ? "orch.job_done"
+                                                     : "orch.job_failed",
+                             static_cast<std::uint64_t>(i));
       ++terminal_;
       if (state == JobState::Done) {
         for (const std::size_t d : j.dependents) {
@@ -317,6 +332,7 @@ GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
     if (vit == victim_jobs.end()) {
       Job j;
       j.name = "train:" + cell.agent;
+      j.span_name = "orch.train";
       j.body = [&zoo, cell] {
         maybe_inject("orch.job");
         crash_point("train.victim");
@@ -339,6 +355,7 @@ GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
       if (ait == attacker_jobs.end()) {
         Job j;
         j.name = "train:" + pair;
+        j.span_name = "orch.train";
         j.body = [&zoo, cell] {
           maybe_inject("orch.job");
           crash_point("train.attacker");
@@ -360,6 +377,7 @@ GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
 
     Job j;
     j.name = "eval:" + canonical_config(cell);
+    j.span_name = "orch.eval";
     j.cell_index = static_cast<int>(ci);
     j.body = [&zoo, &store, cell] {
       maybe_inject("orch.job");
@@ -382,7 +400,13 @@ GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
   }
 
   GridExecution exec(std::move(jobs), options);
-  exec.run();
+  {
+    // Root span for the run: first-wave jobs are submitted (from run(), on
+    // this thread) while it is live, so every job span in the executed DAG
+    // walks its parent links back to this single root.
+    telemetry::SpanGuard grid_span("orch.grid");
+    exec.run();
+  }
   if (exec.crash() != nullptr) std::rethrow_exception(exec.crash());
 
   crash_point("grid.done");
@@ -406,6 +430,11 @@ GridReport run_grid(ResultStore& store, PolicyZoo& zoo, const GridSpec& grid,
     log_warn("grid: job '%s' %s (%s, %d retries): %s", out.name.c_str(),
              to_string(out.state), out.error_class.c_str(), out.retries,
              out.message.c_str());
+  }
+  if (report.cells_failed > 0 && telemetry::flight_enabled()) {
+    // Failed cells survive the run (the grid completes degraded), so the
+    // ring still holds the job_start/job_failed notes that explain them.
+    telemetry::dump_flight_recorder("orch.cells_failed");
   }
   return report;
 }

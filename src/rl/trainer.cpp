@@ -259,6 +259,13 @@ TrainResult train_sac(Sac& sac, Env& env, const TrainConfig& config,
   // position, env-by-replay) back to the last good snapshot and back off
   // the learning rates. Returns the step to continue from.
   auto rollback = [&](int step) -> int {
+    // Divergence is a flight-recorder trip: the ring holds the span/note
+    // history leading up to the NaN, which the post-rollback state erases.
+    telemetry::flight_note("trainer.divergence",
+                           static_cast<std::uint64_t>(step));
+    if (telemetry::flight_enabled()) {
+      telemetry::dump_flight_recorder("trainer.divergence");
+    }
     if (good_snapshot.empty()) {
       throw Error(ErrorCode::Diverged,
                   "training diverged (NaN/Inf) at step " + std::to_string(step) +

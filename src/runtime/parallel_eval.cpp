@@ -37,6 +37,10 @@ std::vector<EpisodeMetrics> run_batch_parallel(const AgentFactory& make_agent,
                                                int episodes, std::uint64_t seed_base,
                                                const ParallelEvalOptions& options) {
   if (episodes <= 0) return {};
+  // Root span for the whole batch: episode spans parent to it (directly on
+  // the serial path, via the pool's context capture on the parallel one),
+  // so one batch is one rooted trace regardless of how work was scheduled.
+  ADSEC_SPAN("runtime.batch");
   std::vector<EpisodeMetrics> out(static_cast<std::size_t>(episodes));
   const int jobs = options.jobs > 0 ? options.jobs : hardware_jobs();
 

@@ -116,6 +116,7 @@ bool WorkStealingPool::try_take(int self, std::function<void()>& out) {
 void WorkStealingPool::worker_loop(int index) {
   tl_pool = this;
   tl_worker_index = index;
+  telemetry::set_thread_name("pool.worker-" + std::to_string(index));
   WorkerStats& my = stats_[static_cast<std::size_t>(index)];
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

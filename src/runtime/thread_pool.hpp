@@ -25,6 +25,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/trace.hpp"
+
 namespace adsec {
 
 // Usable parallelism of the host; never 0.
@@ -90,7 +92,15 @@ class WorkStealingPool {
     // shared_ptr because std::function requires copyable callables.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
-    push(worker, [task] { (*task)(); });
+    // Capture the submitter's trace context so whichever worker dequeues
+    // the task — including a stealer mid-span of unrelated work — parents
+    // its spans to the *submitting* span, keeping causality intact across
+    // thread hops.
+    const telemetry::TraceContext ctx = telemetry::current_trace_context();
+    push(worker, [task, ctx] {
+      telemetry::TraceContextScope scope(ctx);
+      (*task)();
+    });
     return future;
   }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "telemetry/trace.hpp"
 
 namespace adsec::serve {
 
@@ -34,6 +35,9 @@ struct PendingRequest {
   EvalRequest request;
   ResultCallback sink;           // empty => server default sink
   std::uint64_t enqueue_ns{0};   // telemetry clock at admission
+  // Context of the submit-side admit span; the worker's serve.request span
+  // parents to it so each request is one rooted cross-thread trace.
+  telemetry::TraceContext trace;
 };
 
 struct AdmitDecision {

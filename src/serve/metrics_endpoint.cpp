@@ -1,0 +1,123 @@
+#include "serve/metrics_endpoint.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "telemetry/expo.hpp"
+#include "telemetry/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ADSEC_HAVE_UDS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define ADSEC_HAVE_UDS 0
+#endif
+
+namespace adsec::serve {
+
+#if ADSEC_HAVE_UDS
+
+struct MetricsEndpoint::Impl {
+  int listen_fd{-1};
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  void accept_loop() {
+    telemetry::set_thread_name("serve.metrics");
+    while (!stop.load(std::memory_order_relaxed)) {
+      pollfd pfd{};
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK) {
+          continue;
+        }
+        break;  // listening socket is broken; stop scraping, not the daemon
+      }
+      // One scrape per connection: render, write, close. The text is
+      // small (a few KB), so a single blocking send loop suffices.
+      const std::string text = telemetry::metrics_prometheus_text();
+#ifdef MSG_NOSIGNAL
+      constexpr int kFlags = MSG_NOSIGNAL;
+#else
+      constexpr int kFlags = 0;
+#endif
+      std::size_t off = 0;
+      while (off < text.size()) {
+        const ssize_t n =
+            ::send(fd, text.data() + off, text.size() - off, kFlags);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+};
+
+MetricsEndpoint::MetricsEndpoint(std::string socket_path)
+    : socket_path_(std::move(socket_path)), impl_(std::make_unique<Impl>()) {
+  if (socket_path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error(ErrorCode::Config, "socket path too long: " + socket_path_);
+  }
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) {
+    throw Error(ErrorCode::Io, "cannot create unix socket: " +
+                                   std::string(std::strerror(errno)));
+  }
+  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw Error(ErrorCode::Io,
+                "cannot bind/listen on " + socket_path_ + ": " + reason);
+  }
+  impl_->thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+MetricsEndpoint::~MetricsEndpoint() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  ::unlink(socket_path_.c_str());
+}
+
+#else  // !ADSEC_HAVE_UDS
+
+struct MetricsEndpoint::Impl {};
+
+MetricsEndpoint::MetricsEndpoint(std::string socket_path)
+    : socket_path_(std::move(socket_path)), impl_(std::make_unique<Impl>()) {
+  throw Error(ErrorCode::Config,
+              "unix-domain sockets are unavailable on this platform; poll a "
+              "--metrics-out file instead");
+}
+
+MetricsEndpoint::~MetricsEndpoint() = default;
+
+#endif  // ADSEC_HAVE_UDS
+
+}  // namespace adsec::serve

@@ -1,0 +1,33 @@
+// Live metrics exposition socket for the serving daemon: a tiny
+// connection-per-scrape Unix-domain listener that answers every connection
+// with the current Prometheus text rendering of the telemetry registry and
+// closes. No request parsing, no framing — `nc -U <path>` or adsec_top is
+// a complete client. POSIX only (the constructor throws Error{Config}
+// elsewhere), same as UdsTransport.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace adsec::serve {
+
+class MetricsEndpoint {
+ public:
+  // Binds and listens on `socket_path` (a stale socket file is replaced)
+  // and starts the accept thread. Throws adsec::Error{Io} when the socket
+  // cannot be bound, adsec::Error{Config} without UDS support.
+  explicit MetricsEndpoint(std::string socket_path);
+  ~MetricsEndpoint();  // stops the thread and unlinks the socket
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  const std::string& path() const { return socket_path_; }
+
+ private:
+  struct Impl;
+  std::string socket_path_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace adsec::serve

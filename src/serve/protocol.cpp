@@ -109,7 +109,7 @@ ParsedLine parse_line(const std::string& line) {
     throw Error(ErrorCode::Config, "request line must be a JSON object");
   }
 
-  // Control lines: {"op":"report"} / {"op":"shutdown"}.
+  // Control lines: {"op":"report"} / {"op":"metrics"} / {"op":"shutdown"}.
   if (const JsonValue* op = doc.find("op")) {
     const std::string name = require_string(*op, "op");
     if (doc.members().size() != 1) {
@@ -118,6 +118,8 @@ ParsedLine parse_line(const std::string& line) {
     ParsedLine out;
     if (name == "report") {
       out.kind = LineKind::Report;
+    } else if (name == "metrics") {
+      out.kind = LineKind::Metrics;
     } else if (name == "shutdown") {
       out.kind = LineKind::Shutdown;
     } else {

@@ -20,8 +20,8 @@
 //
 // Terminal statuses are exactly one of done | failed | rejected; `failed`
 // and `rejected` records carry an error code from common/error plus a
-// human-readable reason. Control lines ({"op":"report"} / {"op":"shutdown"})
-// drive the daemon without a second channel.
+// human-readable reason. Control lines ({"op":"report"} / {"op":"metrics"}
+// / {"op":"shutdown"}) drive the daemon without a second channel.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +45,7 @@ struct EvalRequest {
 std::string request_class(const EvalRequest& req);
 
 // Everything one line from a client can mean.
-enum class LineKind { Request, Report, Shutdown };
+enum class LineKind { Request, Report, Metrics, Shutdown };
 
 struct ParsedLine {
   LineKind kind{LineKind::Request};

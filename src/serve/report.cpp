@@ -121,6 +121,21 @@ std::string LatencyReport::to_json() const {
   return out;
 }
 
+std::string full_report_json() {
+  const std::string report = build_latency_report().to_json();
+  std::string metrics = telemetry::metrics_snapshot().to_json();
+  // The registry document pretty-prints across lines; a report must stay
+  // one JSONL-framable line. Raw newlines in JSON only ever appear between
+  // tokens (inside strings they are escaped), so stripping them is lossless.
+  std::string compact;
+  compact.reserve(metrics.size());
+  for (const char c : metrics) {
+    if (c != '\n') compact += c;
+  }
+  return "{\"kind\":\"report\",\"report\":" + report + ",\"metrics\":" + compact +
+         "}";
+}
+
 Table LatencyReport::to_table() const {
   Table t({"class", "count", "mean ms", "p50 ms", "p90 ms", "p95 ms", "p99 ms"});
   for (const ClassRow& c : classes) {

@@ -55,4 +55,10 @@ struct LatencyReport {
 // to be enabled (the server enables it on construction).
 [[nodiscard]] LatencyReport build_latency_report();
 
+// One document with both views of the same snapshot moment:
+// {"report": <LatencyReport::to_json()>, "metrics": <full registry JSON>}.
+// This is what {"op":"report"} and the SIGUSR1 report file carry, so an
+// operator gets every counter/gauge/histogram, not just latency classes.
+[[nodiscard]] std::string full_report_json();
+
 }  // namespace adsec::serve

@@ -74,8 +74,11 @@ EvalServer::EvalServer(const ServerOptions& options, ResultCallback default_sink
     zoo_ = owned_zoo_.get();
   }
   // The server is its own metrics consumer: the latency report reads the
-  // registry, so collection is always on while a server exists.
+  // registry, so collection is always on while a server exists — and so is
+  // the flight recorder, whose whole point is to already be running when a
+  // long-lived server finally hits something fatal.
   telemetry::set_metrics_enabled(true);
+  telemetry::set_flight_enabled(true);
   pool_ = std::make_unique<WorkStealingPool>(workers_);
   caches_ = std::make_unique<WorkerCaches>();
   caches_->per_worker.resize(static_cast<std::size_t>(pool_->size()));
@@ -141,6 +144,10 @@ void EvalServer::submit_line(const std::string& line, ResultCallback sink) {
 }
 
 void EvalServer::submit(EvalRequest request, ResultCallback sink) {
+  // The admit span records on the submitting thread; its context travels
+  // with the request so the worker-side serve.request span parents to it —
+  // one rooted trace per request even though it crosses threads.
+  telemetry::SpanGuard admit_span("serve.admit");
   // Name validation up front: a bad request must never occupy a queue slot
   // or reach a worker.
   try {
@@ -157,6 +164,7 @@ void EvalServer::submit(EvalRequest request, ResultCallback sink) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.sink = std::move(sink);
+  pending.trace = telemetry::current_trace_context();
   const ResultRecord queued = status_record(pending.request, "queued");
   const ResultCallback sink_copy = pending.sink;
   // The queued record is emitted under the queue lock, before any worker
@@ -168,11 +176,21 @@ void EvalServer::submit(EvalRequest request, ResultCallback sink) {
     rec.status = "rejected";
     rec.error_code = error_code_name(ErrorCode::Rejected);
     rec.error = "admission rejected: " + decision.reason;
+    telemetry::flight_note("serve.rejected");
+    const int storm = consecutive_rejections_.fetch_add(1) + 1;
+    if (options_.rejection_storm_threshold > 0 &&
+        storm == options_.rejection_storm_threshold &&
+        telemetry::flight_enabled()) {
+      telemetry::dump_flight_recorder("serve.rejection_storm");
+    }
     emit(sink_copy, rec);
+  } else {
+    consecutive_rejections_.store(0);
   }
 }
 
 void EvalServer::dispatcher_loop() {
+  telemetry::set_thread_name("serve.dispatcher");
   while (auto pending = queue_.pop()) {
     {
       // Hold dispatch until a worker slot frees: the queue depth, not the
@@ -200,6 +218,9 @@ void EvalServer::dispatcher_loop() {
 }
 
 void EvalServer::execute(PendingRequest& pending) {
+  // Adopt the submit-side context: everything below (including run_batch's
+  // episode spans) hangs off this request's trace.
+  telemetry::SpanGuard span("serve.request", pending.trace);
   const EvalRequest& req = pending.request;
   const std::uint64_t start_ns = telemetry::monotonic_ns();
   emit(pending.sink, status_record(req, "running"));
@@ -235,6 +256,7 @@ void EvalServer::execute(PendingRequest& pending) {
     server_metrics().completed.inc();
   } else {
     server_metrics().failed.inc();
+    telemetry::flight_note("serve.request_failed");
   }
   telemetry::emit_event("serve.request",
                         {{"id", req.id},

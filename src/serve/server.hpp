@@ -29,6 +29,7 @@
 // suites prove crash-safety.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -48,6 +49,11 @@ namespace adsec::serve {
 struct ServerOptions {
   int workers{0};             // concurrent requests; <= 0 => hardware_jobs()
   std::size_t queue_depth{64};  // admitted-but-not-started bound
+
+  // After this many consecutive admission rejections the server dumps the
+  // flight recorder once (the storm is exactly the moment the recent-past
+  // evidence matters); the counter re-arms after an admit. <= 0 disables.
+  int rejection_storm_threshold{32};
 
   // Share an external zoo (tests point it at a temp dir); nullptr => the
   // server owns a PolicyZoo on the default directory.
@@ -112,6 +118,7 @@ class EvalServer {
 
   mutable std::mutex mu_;            // guards in_flight_, answered_, drained_
   std::condition_variable slots_cv_;
+  std::atomic<int> consecutive_rejections_{0};
   int in_flight_{0};
   std::uint64_t answered_{0};
   bool drained_{false};

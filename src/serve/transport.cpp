@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/expo.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ADSEC_HAVE_UDS 1
@@ -33,16 +35,16 @@ FileWatchTransport::FileWatchTransport(EvalServer& server, std::string request_p
       request_path_(std::move(request_path)),
       result_path_(std::move(result_path)) {}
 
-void FileWatchTransport::append_line(const std::string& line) {
+bool FileWatchTransport::append_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(*write_mu_);
   if (std::FILE* f = std::fopen(result_path_.c_str(), "a")) {
     std::string out = line;
     out += '\n';
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
-  } else {
-    log_error("serve: cannot append to result file %s", result_path_.c_str());
+    const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && wrote;
   }
+  log_error("serve: cannot append to result file %s", result_path_.c_str());
+  return false;
 }
 
 ResultCallback FileWatchTransport::sink() {
@@ -63,8 +65,18 @@ ResultCallback FileWatchTransport::sink() {
   };
 }
 
-void FileWatchTransport::write_report() {
-  append_line("{\"kind\":\"report\",\"report\":" + server_.report().to_json() + "}");
+bool FileWatchTransport::write_report() {
+  const bool ok = append_line(full_report_json());
+  if (!ok) report_write_failed_ = true;
+  return ok;
+}
+
+bool FileWatchTransport::write_metrics() {
+  const bool ok = append_line(
+      "{\"kind\":\"metrics\",\"text\":" +
+      telemetry::json_quote(telemetry::metrics_prometheus_text()) + "}");
+  if (!ok) report_write_failed_ = true;
+  return ok;
 }
 
 int FileWatchTransport::poll_once() {
@@ -104,6 +116,8 @@ int FileWatchTransport::poll_once() {
     if (control) {
       if (kind == LineKind::Report) {
         write_report();
+      } else if (kind == LineKind::Metrics) {
+        write_metrics();
       } else {
         shutdown_requested_ = true;
       }
@@ -256,9 +270,13 @@ void UdsTransport::Impl::handle_connection(EvalServer& server,
       }
       if (control) {
         if (kind == LineKind::Report) {
+          write_line_fd(conn->fd, conn->write_mu, full_report_json());
+        } else if (kind == LineKind::Metrics) {
           write_line_fd(conn->fd, conn->write_mu,
-                        "{\"kind\":\"report\",\"report\":" +
-                            server.report().to_json() + "}");
+                        "{\"kind\":\"metrics\",\"text\":" +
+                            telemetry::json_quote(
+                                telemetry::metrics_prometheus_text()) +
+                            "}");
         } else {
           shutdown.store(true, std::memory_order_relaxed);
         }

@@ -13,9 +13,11 @@
 //     report on that connection.
 //
 // Both transports understand the control lines from serve/protocol.hpp:
-// {"op":"report"} emits a report record, {"op":"shutdown"} asks the daemon
-// to drain and exit. Transport loops take an external stop flag so signal
-// handlers stay async-signal-safe (they only flip the atomic).
+// {"op":"report"} emits a report record (latency classes + a full metrics
+// snapshot), {"op":"metrics"} emits the Prometheus exposition text as a
+// {"kind":"metrics"} record, {"op":"shutdown"} asks the daemon to drain and
+// exit. Transport loops take an external stop flag so signal handlers stay
+// async-signal-safe (they only flip the atomic).
 #pragma once
 
 #include <atomic>
@@ -47,17 +49,26 @@ class FileWatchTransport {
   void run(const std::atomic<bool>& stop, int poll_interval_ms = 20,
            const std::function<void()>& on_tick = {});
 
-  // Append one latency-report line ({"kind":"report",...}) to the results.
-  void write_report();
+  // Append one report line ({"kind":"report","report":...,"metrics":...} —
+  // the latency classes plus a full metrics-registry snapshot) to the
+  // results. Returns false when the append failed; the failure also
+  // latches into report_write_failed() so the daemon can exit non-zero
+  // even for reports requested in-band.
+  bool write_report();
+
+  // Append one metrics line ({"kind":"metrics","text":...} carrying the
+  // Prometheus exposition text). Same failure latching as write_report().
+  bool write_metrics();
 
   bool shutdown_requested() const { return shutdown_requested_; }
+  bool report_write_failed() const { return report_write_failed_; }
 
   // The sink bound to the result file (used by the daemon as the server's
   // default sink). Thread-safe; one line per record, flushed.
   ResultCallback sink();
 
  private:
-  void append_line(const std::string& line);
+  bool append_line(const std::string& line);
 
   EvalServer& server_;
   std::string request_path_;
@@ -65,6 +76,7 @@ class FileWatchTransport {
   std::uint64_t offset_{0};   // bytes of the request file consumed so far
   std::string carry_;         // partial last line awaiting its '\n'
   bool shutdown_requested_{false};
+  bool report_write_failed_{false};
   std::shared_ptr<std::mutex> write_mu_{std::make_shared<std::mutex>()};
 };
 

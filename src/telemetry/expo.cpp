@@ -1,0 +1,114 @@
+#include "telemetry/expo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace adsec::telemetry {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = "adsec_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_prometheus_text() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  // One (name, body) block per metric so the output sorts stably by
+  // exposition name regardless of registration order.
+  std::vector<std::pair<std::string, std::string>> blocks;
+  char buf[128];
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = sanitize(name);
+    std::string body = "# TYPE " + n + " counter\n";
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(value));
+    body += n + buf;
+    blocks.emplace_back(n, std::move(body));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = sanitize(name);
+    std::string body = "# TYPE " + n + " gauge\n";
+    body += n + " " + fmt_double(value) + "\n";
+    blocks.emplace_back(n, std::move(body));
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string n = sanitize(h.name);
+    std::string body = "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      std::snprintf(buf, sizeof buf, "\"} %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      body += n + "_bucket{le=\"" + fmt_double(h.bounds[i]) + buf;
+    }
+    std::snprintf(buf, sizeof buf, "_bucket{le=\"+Inf\"} %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    body += n + buf;
+    body += n + "_sum " + fmt_double(h.sum) + "\n";
+    std::snprintf(buf, sizeof buf, "_count %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    body += n + buf;
+    blocks.emplace_back(n, std::move(body));
+  }
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (const auto& [n, body] : blocks) out += body;
+  return out;
+}
+
+void PeriodicSnapshotWriter::start(const std::string& path, int interval_ms) {
+  if (thread_.joinable() || interval_ms <= 0) return;
+  stop_ = false;
+  thread_ = std::thread([this, path, interval_ms] { loop(path, interval_ms); });
+}
+
+void PeriodicSnapshotWriter::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void PeriodicSnapshotWriter::loop(std::string path, int interval_ms) {
+  set_thread_name("telemetry.snapshot");
+  const std::string tmp = path + ".tmp";
+  auto write_once = [&] {
+    if (!write_metrics_json(tmp)) return;
+    std::rename(tmp.c_str(), path.c_str());
+  };
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(interval_ms), [this] { return stop_; });
+    write_once();
+    if (stopping) return;
+  }
+}
+
+}  // namespace adsec::telemetry

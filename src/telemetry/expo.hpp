@@ -1,0 +1,43 @@
+// Live metrics exposition: render the registry as Prometheus text format
+// (for the serve metrics endpoint and adsec_top) and a periodic snapshot
+// writer that keeps a metrics JSON file fresh during long grid runs.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace adsec::telemetry {
+
+// metrics_snapshot() rendered as Prometheus exposition text, sorted by
+// metric name. Names are prefixed "adsec_" and sanitized to [a-z0-9_]
+// ('.', '|', '-' and anything else become '_'); histograms render as
+// cumulative _bucket{le="..."} series plus _sum and _count.
+std::string metrics_prometheus_text();
+
+// Background thread that rewrites `path` with metrics_snapshot().to_json()
+// every interval, via a temp file + rename so readers never observe a torn
+// document. One final write happens on stop(), so the file always holds the
+// end-of-run state.
+class PeriodicSnapshotWriter {
+ public:
+  PeriodicSnapshotWriter() = default;
+  ~PeriodicSnapshotWriter() { stop(); }
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  // No-op if already running or interval_ms <= 0.
+  void start(const std::string& path, int interval_ms);
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void loop(std::string path, int interval_ms);
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_{false};
+};
+
+}  // namespace adsec::telemetry

@@ -1,0 +1,213 @@
+#include "telemetry/flight.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"  // json_quote
+#include "telemetry/metrics.hpp"
+
+namespace adsec::telemetry {
+
+namespace {
+
+// Slots are all-atomic so concurrent writers after a ring wrap, and a dump
+// reading mid-write, stay data-race-free (a laps-behind reader may see a
+// mixed entry; the dump treats entries as best-effort). seq is the global
+// write index + 1, so 0 marks a never-written slot and sorting by seq
+// recovers oldest -> newest order.
+struct Entry {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> span_id{0};
+  std::atomic<std::uint64_t> parent_span_id{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<int> tid{0};
+  std::atomic<int> is_span{0};
+};
+
+Entry g_ring[kFlightCapacity];
+std::atomic<std::uint64_t> g_cursor{0};
+std::atomic<std::uint64_t> g_dumps{0};
+std::atomic<bool> g_dumping{false};
+
+std::mutex g_dir_mutex;
+std::string& dir_storage() {
+  // Leaked on purpose: readable from late/signal-path dumps. adsec-lint: allow(alloc-hygiene)
+  static std::string* d = new std::string(".");
+  return *d;
+}
+
+void write_entry(const char* name, int is_span, std::uint64_t ts,
+                 std::uint64_t dur, const TraceContext& ctx, std::uint64_t a,
+                 std::uint64_t b) {
+  const std::uint64_t idx = g_cursor.fetch_add(1, std::memory_order_relaxed);
+  Entry& e = g_ring[idx & (kFlightCapacity - 1)];
+  e.name.store(name, std::memory_order_relaxed);
+  e.ts_ns.store(ts, std::memory_order_relaxed);
+  e.dur_ns.store(dur, std::memory_order_relaxed);
+  e.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  e.span_id.store(ctx.span_id, std::memory_order_relaxed);
+  e.parent_span_id.store(ctx.parent_span_id, std::memory_order_relaxed);
+  e.a.store(a, std::memory_order_relaxed);
+  e.b.store(b, std::memory_order_relaxed);
+  e.tid.store(current_tid(), std::memory_order_relaxed);
+  e.is_span.store(is_span, std::memory_order_relaxed);
+  e.seq.store(idx + 1, std::memory_order_release);
+}
+
+extern "C" void flight_signal_handler(int sig) {
+  // Not strictly async-signal-safe (the dump allocates); the process is
+  // dying anyway, so a best-effort black box beats losing the evidence.
+  std::signal(sig, SIG_DFL);
+  dump_flight_recorder("signal:" + std::to_string(sig));
+  std::raise(sig);
+}
+
+}  // namespace
+
+void set_flight_enabled(bool on) {
+  if (on) {
+    detail::g_span_bits.fetch_or(detail::kFlightBit, std::memory_order_relaxed);
+  } else {
+    detail::g_span_bits.fetch_and(~detail::kFlightBit,
+                                  std::memory_order_relaxed);
+  }
+}
+
+void set_flight_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  dir_storage() = dir.empty() ? "." : dir;
+}
+
+std::string flight_dir() {
+  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  return dir_storage();
+}
+
+void flight_note(const char* name, std::uint64_t a, std::uint64_t b) {
+  if (!flight_enabled()) return;
+  write_entry(name, 0, monotonic_ns(), 0, current_trace_context(), a, b);
+}
+
+void flight_record_span(const char* name, std::uint64_t begin_ns,
+                        std::uint64_t end_ns, const TraceContext& ctx) {
+  write_entry(name, 1, begin_ns, end_ns - begin_ns, ctx, 0, 0);
+}
+
+std::size_t flight_entry_count() {
+  const std::uint64_t n = g_cursor.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(n, kFlightCapacity));
+}
+
+std::uint64_t flight_dump_count() {
+  return g_dumps.load(std::memory_order_relaxed);
+}
+
+void clear_flight() {
+  g_cursor.store(0, std::memory_order_relaxed);
+  for (Entry& e : g_ring) {
+    e.seq.store(0, std::memory_order_relaxed);
+    e.name.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+std::string dump_flight_recorder(const std::string& reason) {
+  bool expected = false;
+  if (!g_dumping.compare_exchange_strong(expected, true)) return "";
+
+  struct Snap {
+    std::uint64_t seq, ts, dur, trace, span, parent, a, b;
+    const char* name;
+    int tid, is_span;
+  };
+  std::vector<Snap> snaps;
+  snaps.reserve(kFlightCapacity);
+  for (const Entry& e : g_ring) {
+    Snap s;
+    s.seq = e.seq.load(std::memory_order_acquire);
+    if (s.seq == 0) continue;
+    s.name = e.name.load(std::memory_order_relaxed);
+    if (s.name == nullptr) continue;
+    s.ts = e.ts_ns.load(std::memory_order_relaxed);
+    s.dur = e.dur_ns.load(std::memory_order_relaxed);
+    s.trace = e.trace_id.load(std::memory_order_relaxed);
+    s.span = e.span_id.load(std::memory_order_relaxed);
+    s.parent = e.parent_span_id.load(std::memory_order_relaxed);
+    s.a = e.a.load(std::memory_order_relaxed);
+    s.b = e.b.load(std::memory_order_relaxed);
+    s.tid = e.tid.load(std::memory_order_relaxed);
+    s.is_span = e.is_span.load(std::memory_order_relaxed);
+    snaps.push_back(s);
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const Snap& x, const Snap& y) { return x.seq < y.seq; });
+
+  const std::uint64_t now = monotonic_ns();
+  const std::uint64_t dump_seq = g_dumps.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::string doc = "{\"kind\": \"flight\", \"reason\": ";
+  doc += json_quote(reason);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                ", \"seq\": %llu, \"ts_ns\": %llu, \"entries\": [",
+                static_cast<unsigned long long>(dump_seq),
+                static_cast<unsigned long long>(now));
+  doc += buf;
+  bool first = true;
+  for (const Snap& s : snaps) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += s.is_span != 0 ? "{\"type\": \"span\", \"name\": "
+                          : "{\"type\": \"note\", \"name\": ";
+    doc += json_quote(s.name);
+    std::snprintf(buf, sizeof buf,
+                  ", \"seq\": %llu, \"tid\": %d, \"ts_ns\": %llu, "
+                  "\"dur_ns\": %llu, \"trace_id\": %llu, \"span_id\": %llu, "
+                  "\"parent_span_id\": %llu, \"a\": %llu, \"b\": %llu}",
+                  static_cast<unsigned long long>(s.seq), s.tid,
+                  static_cast<unsigned long long>(s.ts),
+                  static_cast<unsigned long long>(s.dur),
+                  static_cast<unsigned long long>(s.trace),
+                  static_cast<unsigned long long>(s.span),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.a),
+                  static_cast<unsigned long long>(s.b));
+    doc += buf;
+  }
+  doc += "\n], \"metrics\": ";
+  doc += metrics_snapshot().to_json();
+  doc += "}\n";
+
+  std::snprintf(buf, sizeof buf, "/flight_%llu_%llu.json",
+                static_cast<unsigned long long>(dump_seq),
+                static_cast<unsigned long long>(now));
+  const std::string path = flight_dir() + buf;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  bool ok = f != nullptr;
+  if (ok) {
+    ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+  }
+  g_dumping.store(false, std::memory_order_relaxed);
+  return ok ? path : std::string();
+}
+
+void install_flight_signal_handlers() {
+  for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL,
+#ifdef SIGBUS
+                        SIGBUS,
+#endif
+       }) {
+    std::signal(sig, flight_signal_handler);
+  }
+}
+
+}  // namespace adsec::telemetry

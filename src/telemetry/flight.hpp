@@ -1,0 +1,64 @@
+// Always-on crash-time flight recorder: a bounded, lock-free global ring of
+// the most recent spans and notes, dumpable (together with a full metrics
+// snapshot) to flight_<seq>_<ts>.json when something goes wrong — a fatal
+// signal, a divergence-guard trip, a failed orchestrator cell, or a serve
+// admission-rejection storm.
+//
+// Recording is one relaxed fetch_add on the cursor plus relaxed stores into
+// the claimed slot; there is no mutex anywhere on the write path, so it is
+// safe to leave enabled in production daemons and (best-effort) to call
+// from a signal handler's process-death path. A writer that laps the ring
+// while a dump is reading can produce a torn entry; the dump tolerates
+// that — a black box favors availability over perfect edges. When the
+// recorder is disabled (the library default) every hook is one relaxed
+// load and a branch, inside the same ≤5 ns/op budget as the rest of
+// telemetry (CI-enforced via BENCH_micro.json).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace adsec::telemetry {
+
+inline constexpr std::size_t kFlightCapacity = 1 << 12;  // entries, power of two
+
+void set_flight_enabled(bool on);
+inline bool flight_enabled() {
+  return (detail::g_span_bits.load(std::memory_order_relaxed) &
+          detail::kFlightBit) != 0;
+}
+
+// Where dump files land (default "."). Set before the first dump.
+void set_flight_dir(const std::string& dir);
+std::string flight_dir();
+
+// Append one note entry; no-op while disabled. `name` must outlive the
+// process (string literal); a/b are free-form payload words.
+void flight_note(const char* name, std::uint64_t a = 0, std::uint64_t b = 0);
+
+// Span-exit mirror, called by SpanGuard when the flight bit is set.
+void flight_record_span(const char* name, std::uint64_t begin_ns,
+                        std::uint64_t end_ns, const TraceContext& ctx);
+
+// Entries currently held (saturates at kFlightCapacity).
+std::size_t flight_entry_count();
+// Dumps written since process start.
+std::uint64_t flight_dump_count();
+// Drop all entries (enable state and dump count stay). For tests.
+void clear_flight();
+
+// Serialize the ring (oldest -> newest) plus a full metrics snapshot to
+// flight_<seq>_<ts>.json in flight_dir(). Returns the written path, or ""
+// on I/O failure / when a dump is already in progress on another thread.
+// Works regardless of the enabled bit so late hooks still capture state.
+std::string dump_flight_recorder(const std::string& reason);
+
+// Install best-effort fatal-signal hooks (SIGSEGV, SIGABRT, SIGFPE,
+// SIGILL, SIGBUS): dump the recorder, restore the default handler, and
+// re-raise so the process still dies with the original signal.
+void install_flight_signal_handlers();
+
+}  // namespace adsec::telemetry

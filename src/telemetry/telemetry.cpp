@@ -14,7 +14,9 @@ bool configure(const TelemetryOptions& opts) {
   g_options = opts;
   bool ok = true;
   if (!opts.events_jsonl.empty()) ok = open_event_log(opts.events_jsonl) && ok;
-  if (!opts.chrome_trace.empty()) set_tracing_enabled(true);
+  if (!opts.chrome_trace.empty() || !opts.trace_jsonl.empty()) {
+    set_tracing_enabled(true);
+  }
   // Metrics power the snapshot file but also feed the JSONL stream's
   // counters, so any configured output turns them on.
   if (opts.any()) set_metrics_enabled(true);
@@ -29,6 +31,9 @@ FinalizeResult finalize() {
   }
   if (!g_options.chrome_trace.empty()) {
     res.trace_written = write_chrome_trace(g_options.chrome_trace);
+  }
+  if (!g_options.trace_jsonl.empty()) {
+    res.trace_jsonl_written = write_trace_jsonl(g_options.trace_jsonl);
   }
   close_event_log();
   set_tracing_enabled(false);

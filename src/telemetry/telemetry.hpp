@@ -18,6 +18,8 @@
 
 #include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"
+#include "telemetry/expo.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -26,10 +28,12 @@ namespace adsec::telemetry {
 struct TelemetryOptions {
   std::string metrics_out;   // metrics snapshot JSON, written at finalize()
   std::string chrome_trace;  // Chrome trace-event JSON, written at finalize()
+  std::string trace_jsonl;   // per-trace span JSONL, written at finalize()
   std::string events_jsonl;  // structured run events, streamed while open
 
   bool any() const {
-    return !metrics_out.empty() || !chrome_trace.empty() || !events_jsonl.empty();
+    return !metrics_out.empty() || !chrome_trace.empty() ||
+           !trace_jsonl.empty() || !events_jsonl.empty();
   }
 };
 
@@ -43,6 +47,7 @@ bool configure(const TelemetryOptions& opts);
 struct FinalizeResult {
   bool metrics_written{false};
   bool trace_written{false};
+  bool trace_jsonl_written{false};
 };
 
 // Write metrics/trace outputs configured earlier, close the event sink,

@@ -1,25 +1,38 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"  // json_quote
+#include "telemetry/flight.hpp"
 
 namespace adsec::telemetry {
 
 namespace detail {
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<unsigned> g_span_bits{0};
 }
 
 namespace {
+
+thread_local TraceContext tl_ctx;
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
 
 struct TraceEvent {
   const char* name;
   std::uint64_t begin_ns;
   std::uint64_t end_ns;
+  std::uint64_t trace_id;
+  std::uint64_t span_id;
+  std::uint64_t parent_span_id;
 };
 
 // One ring per thread, guarded by its own mutex. The owner thread appends;
@@ -37,6 +50,7 @@ struct Ring {
 struct TraceRegistry {
   std::mutex mutex;
   std::vector<std::shared_ptr<Ring>> rings;
+  std::map<int, std::string> thread_names;
 };
 
 TraceRegistry& registry() {
@@ -58,27 +72,96 @@ Ring& local_ring() {
   return *ring;
 }
 
-}  // namespace
-
-void set_tracing_enabled(bool on) {
-  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
-}
-
-std::uint64_t SpanGuard::now_ns() { return monotonic_ns(); }
-
-void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+void push_event(const TraceEvent& e) {
   Ring& ring = local_ring();
   std::lock_guard<std::mutex> lock(ring.mutex);
   if (ring.events.size() < kTraceRingCapacity && !ring.wrapped) {
-    ring.events.push_back({name, begin_ns, end_ns});
+    ring.events.push_back(e);
     if (ring.events.size() == kTraceRingCapacity) {
       ring.wrapped = true;  // from now on overwrite in place
       ring.next = 0;
     }
   } else {
-    ring.events[ring.next] = {name, begin_ns, end_ns};
+    ring.events[ring.next] = e;
     ring.next = (ring.next + 1) % kTraceRingCapacity;
   }
+}
+
+// Snapshot every ring into one flat vector (tid attached per event).
+std::vector<std::pair<int, TraceEvent>> snapshot_events() {
+  std::vector<std::pair<int, TraceEvent>> out;
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    for (const TraceEvent& e : ring->events) out.emplace_back(ring->tid, e);
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool on) {
+  if (on) {
+    detail::g_span_bits.fetch_or(detail::kTraceBit, std::memory_order_relaxed);
+  } else {
+    detail::g_span_bits.fetch_and(~detail::kTraceBit,
+                                  std::memory_order_relaxed);
+  }
+}
+
+TraceContext current_trace_context() { return tl_ctx; }
+void set_trace_context(const TraceContext& ctx) { tl_ctx = ctx; }
+
+std::uint64_t new_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+std::uint64_t new_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SpanGuard::enter(const char* name, const TraceContext* parent) {
+  name_ = name;
+  saved_ = tl_ctx;
+  const TraceContext& base = parent != nullptr ? *parent : saved_;
+  if (base.trace_id == 0) {
+    self_.trace_id = new_trace_id();  // bare thread: root a fresh trace
+    self_.parent_span_id = 0;
+  } else {
+    self_.trace_id = base.trace_id;
+    self_.parent_span_id = base.span_id;
+  }
+  self_.span_id = new_span_id();
+  tl_ctx = self_;
+  begin_ = monotonic_ns();
+}
+
+void SpanGuard::finish() {
+  const std::uint64_t end = monotonic_ns();
+  if (tracing_enabled()) {
+    push_event({name_, begin_, end, self_.trace_id, self_.span_id,
+                self_.parent_span_id});
+  }
+  if (flight_enabled()) flight_record_span(name_, begin_, end, self_);
+  tl_ctx = saved_;
+}
+
+void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  push_event({name, begin_ns, end_ns, 0, 0, 0});
+}
+
+void set_thread_name(const std::string& name) {
+  const int tid = current_tid();
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.thread_names[tid] = name;
+}
+
+std::string thread_name(int tid) {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.thread_names.find(tid);
+  return it == reg.thread_names.end() ? std::string() : it->second;
 }
 
 std::size_t trace_event_count() {
@@ -92,29 +175,122 @@ std::size_t trace_event_count() {
   return n;
 }
 
+std::vector<SpanRecord> collect_spans() {
+  std::vector<SpanRecord> out;
+  for (const auto& [tid, e] : snapshot_events()) {
+    SpanRecord r;
+    r.name = e.name;
+    r.trace_id = e.trace_id;
+    r.span_id = e.span_id;
+    r.parent_span_id = e.parent_span_id;
+    r.begin_ns = e.begin_ns;
+    r.end_ns = e.end_ns;
+    r.tid = tid;
+    r.thread = thread_name(tid);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return std::tie(a.trace_id, a.begin_ns, a.span_id) <
+                     std::tie(b.trace_id, b.begin_ns, b.span_id);
+            });
+  return out;
+}
+
+std::vector<SpanRecord> collect_trace(std::uint64_t trace_id) {
+  std::vector<SpanRecord> all = collect_spans();
+  std::vector<SpanRecord> out;
+  for (auto& r : all) {
+    if (r.trace_id == trace_id) out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::string chrome_trace_json() {
+  const std::vector<std::pair<int, TraceEvent>> events = snapshot_events();
+
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   // Fixed-size buffer for the numeric tail only; the name goes through
   // json_quote so any characters (and any length) survive as valid JSON.
-  char buf[128];
-  TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
-  for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> rlock(ring->mutex);
-    for (const TraceEvent& e : ring->events) {
-      const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
-      const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
-      out += first ? "\n" : ",\n";
-      out += "{\"name\": ";
-      out += json_quote(e.name);
-      std::snprintf(buf, sizeof buf,
-                    ", \"cat\": \"adsec\", \"ph\": \"X\", "
-                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
-                    ts_us, dur_us, ring->tid);
-      out += buf;
-      first = false;
+  char buf[256];
+  auto emit = [&out, &first](const std::string& record) {
+    out += first ? "\n" : ",\n";
+    out += record;
+    first = false;
+  };
+
+  // "M" metadata records first: dense tid -> registered worker name, so
+  // Perfetto labels the tracks.
+  {
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& [tid, name] : reg.thread_names) {
+      std::string rec = "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                        "\"pid\": 1, \"tid\": ";
+      std::snprintf(buf, sizeof buf, "%d", tid);
+      rec += buf;
+      rec += ", \"args\": {\"name\": ";
+      rec += json_quote(name);
+      rec += "}}";
+      emit(rec);
     }
+  }
+
+  // span_id -> (tid, begin, end) for flow-event resolution. A parent whose
+  // ring slot has been overwritten simply gets no flow arrow.
+  std::map<std::uint64_t, std::pair<int, std::pair<std::uint64_t, std::uint64_t>>>
+      by_span;
+  for (const auto& [tid, e] : events) {
+    if (e.span_id != 0) by_span[e.span_id] = {tid, {e.begin_ns, e.end_ns}};
+  }
+
+  for (const auto& [tid, e] : events) {
+    const double ts_us = static_cast<double>(e.begin_ns) / 1000.0;
+    const double dur_us = static_cast<double>(e.end_ns - e.begin_ns) / 1000.0;
+    std::string rec = "{\"name\": ";
+    rec += json_quote(e.name);
+    std::snprintf(buf, sizeof buf,
+                  ", \"cat\": \"adsec\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d",
+                  ts_us, dur_us, tid);
+    rec += buf;
+    if (e.trace_id != 0) {
+      std::snprintf(buf, sizeof buf,
+                    ", \"args\": {\"trace_id\": %llu, \"span_id\": %llu, "
+                    "\"parent_span_id\": %llu}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_span_id));
+      rec += buf;
+    }
+    rec += "}";
+    emit(rec);
+
+    // Cross-thread parent edge -> one "s"/"f" flow pair so Perfetto draws
+    // the causal arrow between tracks.
+    if (e.parent_span_id == 0) continue;
+    const auto it = by_span.find(e.parent_span_id);
+    if (it == by_span.end() || it->second.first == tid) continue;
+    const int parent_tid = it->second.first;
+    // The start step must land inside the parent slice for the UI to bind
+    // it; clamp the child's begin into the parent's interval.
+    const std::uint64_t clamped =
+        std::min(std::max(e.begin_ns, it->second.second.first),
+                 it->second.second.second);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"adsec.flow\", \"cat\": \"adsec.flow\", "
+                  "\"ph\": \"s\", \"id\": %llu, \"ts\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d}",
+                  static_cast<unsigned long long>(e.span_id),
+                  static_cast<double>(clamped) / 1000.0, parent_tid);
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"adsec.flow\", \"cat\": \"adsec.flow\", "
+                  "\"ph\": \"f\", \"bp\": \"e\", \"id\": %llu, \"ts\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d}",
+                  static_cast<unsigned long long>(e.span_id), ts_us, tid);
+    emit(buf);
   }
   out += "\n]}\n";
   return out;
@@ -122,6 +298,35 @@ std::string chrome_trace_json() {
 
 bool write_chrome_trace(const std::string& path) {
   const std::string doc = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool write_trace_jsonl(const std::string& path) {
+  const std::vector<SpanRecord> spans = collect_spans();
+  std::string doc;
+  char buf[256];
+  for (const SpanRecord& r : spans) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"trace_id\": %llu, \"span_id\": %llu, "
+                  "\"parent_span_id\": %llu, \"name\": ",
+                  static_cast<unsigned long long>(r.trace_id),
+                  static_cast<unsigned long long>(r.span_id),
+                  static_cast<unsigned long long>(r.parent_span_id));
+    doc += buf;
+    doc += json_quote(r.name);
+    doc += ", \"thread\": ";
+    doc += json_quote(r.thread);
+    std::snprintf(buf, sizeof buf,
+                  ", \"tid\": %d, \"begin_ns\": %llu, \"end_ns\": %llu, "
+                  "\"dur_ns\": %llu}\n",
+                  r.tid, static_cast<unsigned long long>(r.begin_ns),
+                  static_cast<unsigned long long>(r.end_ns),
+                  static_cast<unsigned long long>(r.end_ns - r.begin_ns));
+    doc += buf;
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();

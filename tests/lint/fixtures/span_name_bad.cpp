@@ -1,0 +1,13 @@
+// Fixture: span names that break the lowercase-dotted-literal contract.
+// Expected findings: 4 x span-name — an undotted name, an uppercase name,
+// a trailing-dot name, and a non-literal (runtime string) name.
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+void traced(const std::string& dynamic) {
+  ADSEC_SPAN("episode");                       // no subsystem prefix
+  telemetry::SpanGuard a("Serve.Request");     // uppercase
+  telemetry::SpanGuard b("runtime.");          // empty verb segment
+  telemetry::SpanGuard c(dynamic.c_str());     // not a literal
+}

@@ -1,0 +1,13 @@
+// Fixture: conforming span names, plus shapes the rule must not touch —
+// a bare SpanGuard mention (reference type) and span-like names inside
+// other calls. Expected findings: none.
+#include "telemetry/trace.hpp"
+
+void moved(telemetry::SpanGuard& guard);
+
+void traced() {
+  ADSEC_SPAN("runtime.batch");
+  telemetry::SpanGuard deep("serve.request.retry_2");
+  telemetry::SpanGuard child("orch.job", telemetry::current_trace_context());
+  moved(child);
+}

@@ -63,6 +63,7 @@ const FixturePair kPairs[] = {
      "nodiscard_result_ok.hpp"},
     {"orchestrator-atomic-write", "orchestrator_write_bad.cpp", 5,
      "orchestrator_write_ok.cpp"},
+    {"span-name", "span_name_bad.cpp", 4, "span_name_ok.cpp"},
     {"include-iostream-in-header", "include_iostream_bad.hpp", 1,
      "include_iostream_ok.hpp"},
 };
@@ -135,6 +136,18 @@ TEST(LintRules, PathScopingFollowsTheAllowedModuleLists) {
       "void m() { std::filesystem::rename(\"a\", \"b\"); }\n";
   EXPECT_TRUE(lint_source("src/core/zoo_probe.cpp", fs_src).empty());
   EXPECT_FALSE(lint_source("src/orchestrator/probe.cpp", fs_src).empty());
+}
+
+TEST(LintRules, SpanNameRuleExemptsTheTelemetryDefinitionSite) {
+  // SpanGuard's own constructor declarations take `const char* name` — a
+  // non-literal first token. That shape is only legal where it is defined.
+  const std::string src =
+      "class SpanGuard {\n"
+      " public:\n"
+      "  explicit SpanGuard(const char* name);\n"
+      "};\n";
+  EXPECT_FALSE(lint_source("src/serve/probe.hpp", src).empty());
+  EXPECT_TRUE(lint_source("src/telemetry/trace.hpp", src).empty());
 }
 
 TEST(LintRules, UnorderedContainerTriggersOnSerializePathNames) {

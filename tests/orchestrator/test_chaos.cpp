@@ -5,9 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <tuple>
+#include <vector>
 
+#include "../telemetry/json_check.hpp"
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
 #include "core/zoo.hpp"
@@ -15,7 +21,9 @@
 #include "orchestrator/dag.hpp"
 #include "orchestrator/merge.hpp"
 #include "orchestrator/store.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace adsec::orch {
 namespace {
@@ -148,6 +156,124 @@ TEST_F(OrchChaosTest, KilledAtEveryPointResumesWithZeroRecompute) {
   // job start/finish, every store commit step); a shrunken sweep means one
   // got dropped.
   EXPECT_GE(sweep, 15);
+}
+
+// The flight-recorder acceptance sweep: at EVERY crash point the dying
+// process must leave exactly one parseable flight_*.json naming the site,
+// with the ring history and a metrics snapshot inside.
+TEST_F(OrchChaosTest, KillSweepLeavesAParseableFlightDumpAtEveryCrashPoint) {
+  const GridSpec grid = small_grid();
+  PolicyZoo zoo(dir_ + "/zoo");
+  telemetry::set_flight_enabled(true);
+
+  int sweep = 0;
+  for (int k = 1;; ++k) {
+    SCOPED_TRACE("killed at crash-point hit " + std::to_string(k));
+    const std::string store_dir = dir_ + "/k" + std::to_string(k);
+    const std::string flight_dir = dir_ + "/flight_k" + std::to_string(k);
+    std::filesystem::create_directories(flight_dir);
+    telemetry::set_flight_dir(flight_dir);
+    const std::uint64_t dumps_before = telemetry::flight_dump_count();
+
+    fault_injector().arm("orch.crash", FaultKind::Throw, /*fire_at=*/k);
+    bool died = false;
+    {
+      ResultStore store(store_dir);
+      try {
+        std::ignore = run_grid(store, zoo, grid, serial_options());
+      } catch (const InjectedCrash&) {
+        died = true;
+      }
+    }
+    fault_injector().reset();
+    if (!died) break;
+    ++sweep;
+
+    EXPECT_EQ(telemetry::flight_dump_count(), dumps_before + 1);
+    std::vector<std::string> dumps;
+    for (const auto& e : std::filesystem::directory_iterator(flight_dir)) {
+      if (e.path().filename().string().rfind("flight_", 0) == 0) {
+        dumps.push_back(e.path().string());
+      }
+    }
+    ASSERT_EQ(dumps.size(), 1u) << "exactly one black box per death";
+    std::ifstream in(dumps[0], std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    EXPECT_TRUE(testjson::valid_json(doc)) << dumps[0];
+    EXPECT_NE(doc.find("\"reason\": \"orch.crash:"), std::string::npos);
+    EXPECT_NE(doc.find("\"entries\""), std::string::npos);
+    EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+
+    std::filesystem::remove_all(store_dir);
+    std::filesystem::remove_all(flight_dir);
+  }
+  telemetry::set_flight_dir(".");
+  telemetry::set_flight_enabled(false);
+  telemetry::clear_flight();
+  EXPECT_GE(sweep, 15);
+}
+
+// Tracing acceptance criterion for the orchestrator half: a killed-and-
+// resumed grid still yields ONE rooted span tree — orch.grid at the root,
+// every job span (train/eval/cells) reachable from it via parent links,
+// across >= 2 worker threads.
+TEST_F(OrchChaosTest, ResumedGridFormsOneRootedSpanTree) {
+  const GridSpec grid = small_grid();
+  const std::string store_dir = dir_ + "/store";
+  PolicyZoo zoo(dir_ + "/zoo");
+
+  fault_injector().arm("orch.crash", FaultKind::Throw, /*fire_at=*/8);
+  {
+    ResultStore store(store_dir);
+    EXPECT_THROW(std::ignore = run_grid(store, zoo, grid, serial_options()),
+                 InjectedCrash);
+  }
+  fault_injector().reset();
+
+  telemetry::clear_trace();
+  telemetry::set_tracing_enabled(true);
+  GridOptions opts;
+  opts.jobs = 2;  // the resumed run must root correctly across a real pool
+  ResultStore resumed(store_dir);
+  const GridReport report = run_grid(resumed, zoo, grid, opts);
+  EXPECT_TRUE(report.complete());
+
+  std::uint64_t trace_id = 0;
+  for (const telemetry::SpanRecord& s : telemetry::collect_spans()) {
+    if (s.name == std::string("orch.grid")) trace_id = s.trace_id;
+  }
+  ASSERT_NE(trace_id, 0u) << "grid root span missing";
+  const std::vector<telemetry::SpanRecord> spans =
+      telemetry::collect_trace(trace_id);
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+
+  std::map<std::uint64_t, const telemetry::SpanRecord*> by_id;
+  std::set<int> tids;
+  int roots = 0;
+  int jobs = 0;
+  for (const telemetry::SpanRecord& s : spans) {
+    by_id[s.span_id] = &s;
+    tids.insert(s.tid);
+  }
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(s.name, std::string("orch.grid"));
+    } else {
+      EXPECT_TRUE(by_id.count(s.parent_span_id))
+          << s.name << " has a dangling parent link";
+    }
+    if (s.name == std::string("orch.eval") ||
+        s.name == std::string("orch.train")) {
+      ++jobs;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_GT(jobs, 0) << "resumed run recomputed nothing traced";
+  EXPECT_GE(tids.size(), 2u) << "jobs must have run off the main thread";
 }
 
 // A double kill: die, resume, die again later, resume again. Committed

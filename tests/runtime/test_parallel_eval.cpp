@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <set>
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "agents/e2e_agent.hpp"
@@ -130,6 +133,55 @@ TEST(ParallelEval, ProgressCallbackCountsEveryEpisode) {
   run_batch_parallel(modular_factory(), {}, cfg, 12, 300, opt);
   EXPECT_EQ(ticks.load(), 12);
   EXPECT_EQ(last_total.load(), 12);
+}
+
+TEST(ParallelEval, BatchFormsOneRootedSpanTree) {
+  // Acceptance criterion for the tracing tentpole: a parallel batch is ONE
+  // rooted trace — runtime.batch on the submitting thread, every
+  // runtime.episode parenting to it from the worker threads.
+  telemetry::clear_trace();
+  telemetry::set_tracing_enabled(true);
+  ExperimentConfig cfg;
+  run_batch_parallel(modular_factory(), {}, cfg, 6, 11, false, 4);
+
+  std::uint64_t trace_id = 0;
+  for (const telemetry::SpanRecord& s : telemetry::collect_spans()) {
+    if (s.name == std::string("runtime.batch")) trace_id = s.trace_id;
+  }
+  ASSERT_NE(trace_id, 0u) << "batch root span missing";
+  const std::vector<telemetry::SpanRecord> spans =
+      telemetry::collect_trace(trace_id);
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+
+  std::map<std::uint64_t, const telemetry::SpanRecord*> by_id;
+  std::set<int> tids;
+  for (const telemetry::SpanRecord& s : spans) {
+    by_id[s.span_id] = &s;
+    tids.insert(s.tid);
+  }
+  EXPECT_GE(tids.size(), 2u) << "episodes must have run off the main thread";
+  int roots = 0;
+  int episodes = 0;
+  std::uint64_t batch_span_id = 0;
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(s.name, std::string("runtime.batch"));
+      batch_span_id = s.span_id;
+    } else {
+      EXPECT_TRUE(by_id.count(s.parent_span_id))
+          << s.name << " has a dangling parent link";
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.name == std::string("runtime.episode")) {
+      ++episodes;
+      EXPECT_EQ(s.parent_span_id, batch_span_id);
+    }
+  }
+  EXPECT_EQ(episodes, 6);
 }
 
 TEST(ParallelEval, FirstEpisodeExceptionPropagates) {

@@ -86,6 +86,52 @@ TEST(ThreadPool, StealsFromLoadedWorker) {
   blocker.get();
 }
 
+TEST(ThreadPool, StolenTaskParentsToSubmittingSpan) {
+  // Same deterministic-steal setup as above, but what is checked is the
+  // causal edge: a task dequeued by a *different* worker than its home
+  // deque must still parent to the span that submitted it. This suite runs
+  // under TSan in CI, so the context hand-off is also race-checked.
+  telemetry::clear_trace();
+  telemetry::set_tracing_enabled(true);
+  {
+    WorkStealingPool pool(2);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::promise<int> started;
+    auto blocker = pool.submit([&started, gate] {
+      started.set_value(WorkStealingPool::current_worker_index());
+      gate.wait();
+    });
+    const int busy = started.get_future().get();
+
+    // Seed the stealing worker with unrelated traced work first — its
+    // thread must not leak that context into the stolen task.
+    pool.submit([] { telemetry::SpanGuard noise("test.steal.noise"); }).get();
+
+    telemetry::TraceContext submit_ctx;
+    telemetry::TraceContext task_ctx;
+    int ran_on = -2;
+    {
+      telemetry::SpanGuard submit_span("test.steal.submit");
+      submit_ctx = telemetry::current_trace_context();
+      pool.submit_to(busy, [&task_ctx, &ran_on] {
+            telemetry::SpanGuard span("test.steal.task");
+            task_ctx = telemetry::current_trace_context();
+            ran_on = WorkStealingPool::current_worker_index();
+          })
+          .get();
+    }
+    release.set_value();
+    blocker.get();
+
+    EXPECT_NE(ran_on, busy);  // the task really was stolen
+    EXPECT_EQ(task_ctx.trace_id, submit_ctx.trace_id);
+    EXPECT_EQ(task_ctx.parent_span_id, submit_ctx.span_id);
+  }
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<int> ran{0};
   {

@@ -5,17 +5,23 @@
 #include <atomic>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "../telemetry/json_check.hpp"
 #include "common/config.hpp"
 #include "common/fault_injection.hpp"
 #include "runtime/aggregate.hpp"
 #include "serve/spec.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace adsec::serve {
 namespace {
@@ -462,6 +468,106 @@ TEST_F(ServeServerTest, ReportDuringGracefulDrainNeitherCrashesNorStalls) {
   // Post-drain reports still work (the daemon prints one final table).
   const LatencyReport final_report = server.report();
   EXPECT_EQ(final_report.completed, 4u);
+}
+
+TEST_F(ServeServerTest, ServedRequestFormsOneRootedSpanTree) {
+  // Acceptance criterion for the tracing tentpole: one served request is
+  // ONE rooted trace. serve.admit records on the submitting thread, the
+  // worker-side serve.request adopts its context, and the rollout spans
+  // hang below that — parent links resolve across >= 2 threads.
+  telemetry::clear_trace();
+  telemetry::set_tracing_enabled(true);
+  PolicyZoo zoo(dir_);
+  Recorder rec;
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.queue_depth = 4;
+  opts.zoo = &zoo;
+  {
+    EvalServer server(opts, rec.sink());
+    server.submit(grid_request("traced", "none", 1, 2, false));
+    server.drain();
+  }
+  EXPECT_EQ(rec.terminal("traced").status, "done");
+
+  std::uint64_t trace_id = 0;
+  for (const telemetry::SpanRecord& s : telemetry::collect_spans()) {
+    if (s.name == std::string("serve.admit")) trace_id = s.trace_id;
+  }
+  ASSERT_NE(trace_id, 0u) << "admit-side root span missing";
+  const std::vector<telemetry::SpanRecord> spans =
+      telemetry::collect_trace(trace_id);
+  telemetry::set_tracing_enabled(false);
+  telemetry::clear_trace();
+
+  std::map<std::uint64_t, const telemetry::SpanRecord*> by_id;
+  std::set<int> tids;
+  for (const telemetry::SpanRecord& s : spans) {
+    by_id[s.span_id] = &s;
+    tids.insert(s.tid);
+  }
+  EXPECT_GE(spans.size(), 2u);
+  EXPECT_GE(tids.size(), 2u) << "request must have crossed threads";
+  int roots = 0;
+  std::uint64_t admit_id = 0;
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(s.name, std::string("serve.admit"));
+      admit_id = s.span_id;
+    } else {
+      EXPECT_TRUE(by_id.count(s.parent_span_id))
+          << s.name << " has a dangling parent link";
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  bool saw_request_span = false;
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.name == std::string("serve.request")) {
+      saw_request_span = true;
+      EXPECT_EQ(s.parent_span_id, admit_id);
+    }
+  }
+  EXPECT_TRUE(saw_request_span);
+}
+
+TEST_F(ServeServerTest, RejectionStormDumpsFlightRecorderExactlyOnce) {
+  PolicyZoo zoo(dir_);
+  Recorder rec;
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 4;
+  opts.zoo = &zoo;
+  opts.rejection_storm_threshold = 3;
+  std::filesystem::create_directories(dir_);
+  telemetry::set_flight_dir(dir_);
+  const std::uint64_t dumps_before = telemetry::flight_dump_count();
+  {
+    EvalServer server(opts, rec.sink());
+    server.drain();  // every later submit is a deterministic rejection
+    for (int i = 0; i < 6; ++i) {
+      server.submit(grid_request("s" + std::to_string(i), "none", 1, 1, false));
+      EXPECT_EQ(rec.terminal("s" + std::to_string(i)).status, "rejected");
+    }
+  }
+  telemetry::set_flight_dir(".");
+  // One dump at the threshold crossing, not one per rejection past it.
+  EXPECT_EQ(telemetry::flight_dump_count(), dumps_before + 1);
+
+  std::string dump_path;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("flight_", 0) == 0) dump_path = e.path().string();
+  }
+  ASSERT_FALSE(dump_path.empty()) << "no flight_*.json in " << dir_;
+  std::ifstream in(dump_path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_TRUE(testjson::valid_json(doc));
+  EXPECT_NE(doc.find("serve.rejection_storm"), std::string::npos);
+  EXPECT_NE(doc.find("serve.rejected"), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
 }
 
 TEST_F(ServeServerTest, RepeatedPolicyRequestsHitZooCache) {

@@ -146,6 +146,35 @@ TEST_F(TransportTest, FileWatchRoundTrip) {
   EXPECT_FALSE(transport.shutdown_requested());
 }
 
+TEST_F(TransportTest, InBandMetricsOpAnswersWithPrometheusText) {
+  const std::string req = dir_ + "/req.jsonl";
+  const std::string res = dir_ + "/res.jsonl";
+  PolicyZoo zoo(dir_ + "/zoo");
+  EvalServer server(options(zoo), {});
+  FileWatchTransport transport(server, req, res);
+
+  append(req, R"({"id":"m1","agent":"modular","attacker":"none","seed":41})");
+  append(req, "\n");
+  EXPECT_EQ(transport.poll_once(), 1);
+  server.drain();
+  append(req, "{\"op\":\"metrics\"}\n");
+  EXPECT_EQ(transport.poll_once(), 1);
+
+  bool saw_metrics = false;
+  for (const auto& line : read_lines(res)) {
+    const JsonValue v = JsonValue::parse(line);
+    const JsonValue* kind = v.find("kind");
+    if (kind == nullptr || kind->as_string() != "metrics") continue;
+    saw_metrics = true;
+    // The payload is the same exposition text a --metrics-socket scrape
+    // returns: typed, adsec_-prefixed, with the serve counters populated.
+    const std::string text = v.find("text")->as_string();
+    EXPECT_NE(text.find("# TYPE "), std::string::npos) << text;
+    EXPECT_NE(text.find("adsec_serve_completed 1"), std::string::npos) << text;
+  }
+  EXPECT_TRUE(saw_metrics);
+}
+
 TEST_F(TransportTest, FileWatchShutdownLineStopsTheLoop) {
   const std::string req = dir_ + "/req.jsonl";
   const std::string res = dir_ + "/res.jsonl";

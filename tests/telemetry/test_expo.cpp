@@ -1,0 +1,141 @@
+// Live exposition: Prometheus text emission and the periodic snapshot
+// writer used by adsec_cli --metrics-every-ms / adsec_serve --metrics-socket.
+#include "telemetry/expo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace adsec::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+class ExpoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics_values();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(ExpoTest, PrometheusTextCarriesTypedSamplesWithAdsecPrefix) {
+  counter("test.expo.requests").inc(42);
+  gauge("test.expo.depth").set(2.5);
+
+  const std::string text = metrics_prometheus_text();
+  EXPECT_NE(text.find("# TYPE adsec_test_expo_requests counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("adsec_test_expo_requests 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE adsec_test_expo_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adsec_test_expo_depth 2.5\n"), std::string::npos);
+  // Dots sanitize to underscores; nothing may leak the raw dotted name.
+  EXPECT_EQ(text.find("test.expo"), std::string::npos);
+}
+
+TEST_F(ExpoTest, PrometheusHistogramBucketsAreCumulative) {
+  Histogram h = histogram("test.expo.lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // -> le=1
+  h.observe(5.0);   // -> le=10
+  h.observe(5.0);   // -> le=10
+  h.observe(1e9);   // -> overflow, only +Inf
+  const std::string text = metrics_prometheus_text();
+
+  EXPECT_NE(text.find("# TYPE adsec_test_expo_lat histogram\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("adsec_test_expo_lat_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("adsec_test_expo_lat_bucket{le=\"10\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adsec_test_expo_lat_bucket{le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adsec_test_expo_lat_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adsec_test_expo_lat_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("adsec_test_expo_lat_sum"), std::string::npos);
+}
+
+TEST_F(ExpoTest, PrometheusBlocksAreSortedByExpositionName) {
+  counter("test.expo.zz").inc();
+  counter("test.expo.aa").inc();
+  const std::string text = metrics_prometheus_text();
+  const std::size_t a = text.find("adsec_test_expo_aa");
+  const std::size_t z = text.find("adsec_test_expo_zz");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z) << "scrapes must be diffable run-to-run";
+}
+
+TEST_F(ExpoTest, SnapshotWriterProducesParseableJsonAndFinalWriteOnStop) {
+  Counter c = counter("test.expo.snap");
+  const std::string path = ::testing::TempDir() + "adsec_expo_snap.json";
+  std::remove(path.c_str());
+  {
+    PeriodicSnapshotWriter writer;
+    writer.start(path, 5);
+    EXPECT_TRUE(writer.running());
+    c.inc(7);
+    writer.stop();  // guarantees one final write with the latest values
+    EXPECT_FALSE(writer.running());
+  }
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  EXPECT_TRUE(testjson::valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("test.expo.snap"), std::string::npos);
+}
+
+TEST_F(ExpoTest, SnapshotWriterIgnoresBadIntervalAndDoubleStart) {
+  PeriodicSnapshotWriter writer;
+  writer.start(::testing::TempDir() + "adsec_expo_noop.json", 0);
+  EXPECT_FALSE(writer.running());
+  const std::string path = ::testing::TempDir() + "adsec_expo_once.json";
+  writer.start(path, 10);
+  EXPECT_TRUE(writer.running());
+  writer.start(path + ".other", 10);  // second start is a no-op
+  writer.stop();
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  EXPECT_EQ(slurp(path + ".other"), "");
+}
+
+TEST_F(ExpoTest, SnapshotFileIsNeverTorn) {
+  // temp+rename commit: a reader polling the path mid-run must only ever
+  // see complete documents (this is what adsec_top tails).
+  Counter c = counter("test.expo.torn");
+  const std::string path = ::testing::TempDir() + "adsec_expo_torn.json";
+  std::remove(path.c_str());
+  PeriodicSnapshotWriter writer;
+  writer.start(path, 1);
+  for (int i = 0; i < 200; ++i) {
+    c.inc();
+    const std::string doc = slurp(path);
+    if (!doc.empty()) {
+      EXPECT_TRUE(testjson::valid_json(doc)) << doc;
+    }
+  }
+  writer.stop();
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace adsec::telemetry

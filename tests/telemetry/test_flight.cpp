@@ -1,0 +1,167 @@
+// Flight recorder: bounded lock-free ring, crash-time dumps, and the
+// disabled-path contract. The concurrent-hammering test is the TSan proof
+// that the all-atomic ring stays data-race-free under wrap.
+#include "telemetry/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace adsec::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_flight();
+    set_flight_enabled(true);
+    set_flight_dir(::testing::TempDir());
+  }
+  void TearDown() override {
+    set_flight_enabled(false);
+    clear_flight();
+    set_flight_dir(".");
+  }
+};
+
+TEST_F(FlightTest, DisabledNoteIsANoOp) {
+  set_flight_enabled(false);
+  flight_note("test.flight.off", 1, 2);
+  EXPECT_EQ(flight_entry_count(), 0u);
+}
+
+TEST_F(FlightTest, NoteCapturesTheCurrentTraceContext) {
+  SpanGuard span("test.flight.ctx");  // flight bit alone activates spans
+  const TraceContext ctx = current_trace_context();
+  ASSERT_NE(ctx.trace_id, 0u);
+  flight_note("test.flight.note", 7, 9);
+
+  const std::string path = dump_flight_recorder("test");
+  ASSERT_FALSE(path.empty());
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(testjson::valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("test.flight.note"), std::string::npos);
+  EXPECT_NE(doc.find("\"a\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("\"trace_id\": " + std::to_string(ctx.trace_id)),
+            std::string::npos);
+}
+
+TEST_F(FlightTest, SpanExitMirrorsIntoTheRing) {
+  ASSERT_EQ(flight_entry_count(), 0u);
+  {
+    SpanGuard span("test.flight.span");
+  }
+  EXPECT_EQ(flight_entry_count(), 1u);
+
+  const std::string path = dump_flight_recorder("test");
+  ASSERT_FALSE(path.empty());
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_NE(doc.find("\"type\": \"span\""), std::string::npos);
+  EXPECT_NE(doc.find("test.flight.span"), std::string::npos);
+}
+
+TEST_F(FlightTest, RingSaturatesAtCapacityAndDumpStaysParseable) {
+  for (std::size_t i = 0; i < kFlightCapacity + 100; ++i) {
+    flight_note("test.flight.wrap", i);
+  }
+  EXPECT_EQ(flight_entry_count(), kFlightCapacity);
+
+  const std::string path = dump_flight_recorder("wrap");
+  ASSERT_FALSE(path.empty());
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(testjson::valid_json(doc)) << "dump after wrap must parse";
+  // The oldest 100 entries were overwritten: the lowest surviving payload
+  // word is 100 (entries sort oldest -> newest by seq).
+  EXPECT_EQ(doc.find("\"a\": 99,"), std::string::npos);
+  EXPECT_NE(doc.find("\"a\": 100,"), std::string::npos);
+}
+
+TEST_F(FlightTest, DumpCarriesReasonAndFullMetricsSnapshot) {
+  set_metrics_enabled(true);
+  counter("test.flight_dump_counter").inc();
+  set_metrics_enabled(false);
+  flight_note("test.flight.before_dump");
+
+  const std::string path = dump_flight_recorder("test.reason:42");
+  ASSERT_FALSE(path.empty());
+  // Filename shape: flight_<dumpseq>_<ts>.json inside the flight dir.
+  EXPECT_NE(path.find("flight_"), std::string::npos);
+  EXPECT_NE(path.find(".json"), std::string::npos);
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(testjson::valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"reason\": \"test.reason:42\""), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("test.flight_dump_counter"), std::string::npos);
+}
+
+TEST_F(FlightTest, DumpWorksEvenWhileDisabled) {
+  flight_note("test.flight.pre");  // recorded while enabled
+  set_flight_enabled(false);
+  // Late hooks (atexit, failure paths) must still capture what the ring
+  // held at disable time.
+  const std::string path = dump_flight_recorder("late");
+  ASSERT_FALSE(path.empty());
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_NE(doc.find("test.flight.pre"), std::string::npos);
+}
+
+TEST_F(FlightTest, DumpSequenceNumbersAdvance) {
+  const std::uint64_t before = flight_dump_count();
+  const std::string p1 = dump_flight_recorder("one");
+  const std::string p2 = dump_flight_recorder("two");
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(flight_dump_count(), before + 2);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST_F(FlightTest, ConcurrentWritersAndADumpStayDataRaceFree) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;  // several ring laps in aggregate
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        flight_note("test.flight.hammer", static_cast<std::uint64_t>(t),
+                    static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  // Dump while the ring is being lapped: torn entries are tolerated, but
+  // the document must still be valid JSON.
+  const std::string path = dump_flight_recorder("mid.hammer");
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(flight_entry_count(), kFlightCapacity);
+  if (!path.empty()) {
+    const std::string doc = slurp(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(testjson::valid_json(doc));
+  }
+}
+
+}  // namespace
+}  // namespace adsec::telemetry

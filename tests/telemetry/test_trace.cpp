@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "json_check.hpp"
 #include "telemetry/clock.hpp"
@@ -125,6 +129,161 @@ TEST_F(TraceTest, WriteChromeTraceCreatesParseableFile) {
   std::remove(path.c_str());
   EXPECT_TRUE(testjson::valid_json(content)) << content;
   EXPECT_NE(content.find("test.trace.file"), std::string::npos);
+}
+
+// ---- causal context ------------------------------------------------------
+
+TEST_F(TraceTest, SpanGuardDerivesAndRestoresContext) {
+  ASSERT_EQ(current_trace_context().trace_id, 0u);
+  TraceContext outer_ctx;
+  {
+    SpanGuard outer("test.ctx.outer");
+    outer_ctx = current_trace_context();
+    EXPECT_NE(outer_ctx.trace_id, 0u);
+    EXPECT_NE(outer_ctx.span_id, 0u);
+    EXPECT_EQ(outer_ctx.parent_span_id, 0u);  // root span
+    {
+      SpanGuard inner("test.ctx.inner");
+      const TraceContext inner_ctx = current_trace_context();
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(inner_ctx.parent_span_id, outer_ctx.span_id);
+      EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+    }
+    EXPECT_EQ(current_trace_context().span_id, outer_ctx.span_id);
+  }
+  EXPECT_EQ(current_trace_context().trace_id, 0u);
+}
+
+TEST_F(TraceTest, ExplicitParentOverridesThreadContext) {
+  SpanGuard ambient("test.ctx.ambient");
+  const TraceContext ambient_ctx = current_trace_context();
+
+  TraceContext foreign;
+  foreign.trace_id = new_trace_id();
+  foreign.span_id = new_span_id();
+  {
+    SpanGuard child("test.ctx.adopted", foreign);
+    const TraceContext child_ctx = current_trace_context();
+    EXPECT_EQ(child_ctx.trace_id, foreign.trace_id);
+    EXPECT_EQ(child_ctx.parent_span_id, foreign.span_id);
+  }
+  // Popping the explicit-parent span restores the ambient context.
+  EXPECT_EQ(current_trace_context().span_id, ambient_ctx.span_id);
+}
+
+TEST_F(TraceTest, TraceContextScopeAdoptsAndRestores) {
+  TraceContext foreign;
+  foreign.trace_id = new_trace_id();
+  foreign.span_id = new_span_id();
+  {
+    TraceContextScope scope(foreign);
+    EXPECT_EQ(current_trace_context().trace_id, foreign.trace_id);
+  }
+  EXPECT_EQ(current_trace_context().trace_id, 0u);
+}
+
+TEST_F(TraceTest, CrossThreadSpansFormOneRootedTree) {
+  std::uint64_t trace_id = 0;
+  {
+    SpanGuard root("test.tree.root");
+    const TraceContext root_ctx = current_trace_context();
+    trace_id = root_ctx.trace_id;
+    std::thread worker([root_ctx] {
+      TraceContextScope scope(root_ctx);  // what the pool does per task
+      SpanGuard child("test.tree.child");
+      SpanGuard grandchild("test.tree.grandchild");
+    });
+    worker.join();
+  }
+
+  const std::vector<SpanRecord> spans = collect_trace(trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+  // Exactly one root; every other span's parent link resolves within the
+  // trace, across >= 2 distinct threads.
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  std::set<int> tids;
+  for (const SpanRecord& s : spans) {
+    by_id[s.span_id] = &s;
+    tids.insert(s.tid);
+  }
+  EXPECT_GE(tids.size(), 2u);
+  int roots = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(s.name, "test.tree.root");
+    } else {
+      EXPECT_TRUE(by_id.count(s.parent_span_id))
+          << s.name << " has a dangling parent";
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_F(TraceTest, TraceJsonlWritesOneParseableObjectPerSpan) {
+  {
+    SpanGuard outer("test.jsonl.outer");
+    SpanGuard inner("test.jsonl.inner");
+  }
+  const std::string path = ::testing::TempDir() + "adsec_trace_test.jsonl";
+  ASSERT_TRUE(write_trace_jsonl(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(testjson::valid_json(line)) << line;
+    EXPECT_NE(line.find("\"trace_id\""), std::string::npos);
+    EXPECT_NE(line.find("\"parent_span_id\""), std::string::npos);
+    EXPECT_NE(line.find("\"dur_ns\""), std::string::npos);
+  }
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 2);
+}
+
+TEST_F(TraceTest, ChromeTraceCarriesThreadNameMetadata) {
+  std::thread worker([] {
+    set_thread_name("test.worker-0");
+    SpanGuard span("test.meta.work");
+  });
+  worker.join();
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("test.worker-0"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceEmitsFlowPairForCrossThreadEdges) {
+  {
+    SpanGuard root("test.flow.root");
+    const TraceContext root_ctx = current_trace_context();
+    std::thread worker([root_ctx] {
+      TraceContextScope scope(root_ctx);
+      SpanGuard child("test.flow.child");
+    });
+    worker.join();
+    // Same-thread nesting must NOT produce a flow pair.
+    SpanGuard sibling("test.flow.sibling");
+  }
+
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(testjson::valid_json(json)) << json;
+  const auto count = [&json](const char* needle) {
+    int n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  // Exactly one cross-thread edge -> one "s" + one binding "f".
+  EXPECT_EQ(count("\"ph\": \"s\""), 1) << json;
+  EXPECT_EQ(count("\"ph\": \"f\""), 1) << json;
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
 }
 
 }  // namespace

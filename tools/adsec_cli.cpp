@@ -6,7 +6,9 @@
 //             [--budget <eps>] [--episodes <n>] [--scenario <preset>]
 //             [--seed <base>] [--jobs <n>] [--checkpoint-every <n>]
 //             [--with-reference] [--csv <path>] [--list]
-//             [--metrics-out <path>] [--chrome-trace <path>] [--log-json <path>]
+//             [--metrics-out <path>] [--chrome-trace <path>]
+//             [--trace-jsonl <path>] [--log-json <path>]
+//             [--metrics-every-ms <n>]
 //
 // Learned agents/attackers come from the policy zoo (training on first use).
 // --checkpoint-every N makes that training crash-safe: progress is saved to
@@ -16,10 +18,14 @@
 //
 // Telemetry (src/telemetry): --metrics-out dumps the final metrics registry
 // snapshot as JSON, --chrome-trace writes profiling spans in Chrome
-// trace-event format (open in Perfetto / chrome://tracing), --log-json
-// streams structured run events as JSON Lines while the run executes. All
-// three are independent; omitting them keeps telemetry disabled (~1 branch
-// per instrumentation site).
+// trace-event format (open in Perfetto / chrome://tracing), --trace-jsonl
+// writes the same spans as one causally-linked JSON object per line
+// (trace_id/span_id/parent_span_id), --log-json streams structured run
+// events as JSON Lines while the run executes. All are independent;
+// omitting them keeps telemetry disabled (~1 branch per instrumentation
+// site). --metrics-every-ms N additionally rewrites the --metrics-out file
+// every N ms while the run executes (tear-free via rename), so adsec_top
+// --json can watch a long grid live.
 //
 // Grid mode runs a whole victim x attacker x scenario x seed cross-product
 // through the fault-tolerant orchestrator (src/orchestrator) instead of a
@@ -76,6 +82,7 @@ struct Options {
   std::string store_dir;  // result store directory (grid mode)
   bool resume = false;    // accept a non-empty store and reuse its cells
   int deadline_ms = 0;    // per-job deadline (grid mode); 0 disables
+  int metrics_every_ms = 0;  // live --metrics-out rewrite cadence; 0 off
   telemetry::TelemetryOptions telemetry;
 };
 
@@ -86,7 +93,8 @@ struct Options {
       "          [--scenario P] [--seed S] [--jobs N] [--checkpoint-every N]\n"
       "          [--with-reference] [--csv PATH] [--list]\n"
       "          [--grid SPEC --store-dir DIR [--resume] [--deadline-ms N]]\n"
-      "          [--metrics-out PATH] [--chrome-trace PATH] [--log-json PATH]\n"
+      "          [--metrics-out PATH] [--chrome-trace PATH] [--trace-jsonl PATH]\n"
+      "          [--log-json PATH] [--metrics-every-ms N]\n"
       "grid:      SPEC like \"agents=modular,e2e;attackers=none,camera;\n"
       "           budgets=0.5,1.0;scenarios=paper;episodes=3;seeds=2\";\n"
       "           finished cells commit to --store-dir and --resume reuses\n"
@@ -97,7 +105,10 @@ struct Options {
       "telemetry: --metrics-out  final counters/gauges/histograms (JSON)\n"
       "           --chrome-trace profiling spans (Chrome trace-event JSON;\n"
       "                          open at https://ui.perfetto.dev)\n"
-      "           --log-json     structured run events (JSON Lines)\n",
+      "           --trace-jsonl  causal spans, one JSON object per line\n"
+      "           --log-json     structured run events (JSON Lines)\n"
+      "           --metrics-every-ms N  rewrite --metrics-out every N ms\n"
+      "                          during the run (watch with adsec_top --json)\n",
       argv0);
   std::exit(code);
 }
@@ -185,7 +196,12 @@ Options parse(int argc, char** argv) {
     }
     else if (arg == "--metrics-out") opt.telemetry.metrics_out = value();
     else if (arg == "--chrome-trace") opt.telemetry.chrome_trace = value();
+    else if (arg == "--trace-jsonl") opt.telemetry.trace_jsonl = value();
     else if (arg == "--log-json") opt.telemetry.events_jsonl = value();
+    else if (arg == "--metrics-every-ms") {
+      const std::string v = value();
+      if (!parse_int(v, 1, opt.metrics_every_ms)) bad_value(v);
+    }
     else if (arg == "--list") {
       std::printf("scenario presets:");
       for (const auto& n : scenario_preset_names()) std::printf(" %s", n.c_str());
@@ -197,6 +213,10 @@ Options parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       usage(argv[0], 2);
     }
+  }
+  if (opt.metrics_every_ms > 0 && opt.telemetry.metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-every-ms requires --metrics-out\n");
+    usage(argv[0], 2);
   }
   return opt;
 }
@@ -218,6 +238,7 @@ int finalize_telemetry(const Options& opt) {
   };
   report(opt.telemetry.metrics_out, fin.metrics_written);
   report(opt.telemetry.chrome_trace, fin.trace_written);
+  report(opt.telemetry.trace_jsonl, fin.trace_jsonl_written);
   // The JSONL sink streamed while the run executed; configure() already
   // failed hard if it could not be opened.
   if (!opt.telemetry.events_jsonl.empty())
@@ -237,6 +258,13 @@ int run_grid_mode(const Options& opt) {
     std::fprintf(stderr, "bad --grid spec: %s\n", e.what());
     return 2;
   }
+
+  // Grid runs are the long-lived, crash-prone mode: arm the flight
+  // recorder so failed cells and fatal signals leave a black box next to
+  // the result store, where --resume debugging already looks.
+  telemetry::set_flight_enabled(true);
+  telemetry::set_flight_dir(opt.store_dir);
+  telemetry::install_flight_signal_handlers();
 
   orch::ResultStore store(opt.store_dir);
   if (store.finished_cells() > 0 && !opt.resume) {
@@ -264,6 +292,14 @@ int run_grid_mode(const Options& opt) {
     }
   };
 
+  // Keep --metrics-out fresh while the grid runs so a separate terminal can
+  // `adsec_top --json <path>` the live counters; the final authoritative
+  // write still happens in finalize_telemetry().
+  telemetry::PeriodicSnapshotWriter snapshots;
+  if (opt.metrics_every_ms > 0) {
+    snapshots.start(opt.telemetry.metrics_out, opt.metrics_every_ms);
+  }
+
   orch::GridReport report;
   try {
     report = orch::run_grid(store, zoo, grid, grid_opts);
@@ -271,6 +307,7 @@ int run_grid_mode(const Options& opt) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  snapshots.stop();
 
   Table summary({"cells", "count"});
   summary.add_row({"total", std::to_string(report.cells_total)});
@@ -306,6 +343,7 @@ int run_grid_mode(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   set_log_level(LogLevel::Warn);
+  telemetry::set_thread_name("main");
   if (opt.checkpoint_every >= 0) {
     runtime_config().checkpoint_every = opt.checkpoint_every;
   }
@@ -372,8 +410,13 @@ int main(int argc, char** argv) {
   ProgressMeter progress(opt.episodes, "episodes",
                          opt.episodes >= 20 ? std::max(1, opt.episodes / 10) : 0);
   run_opts.on_progress = [&progress](int, int) { progress.tick(); };
+  telemetry::PeriodicSnapshotWriter snapshots;
+  if (opt.metrics_every_ms > 0) {
+    snapshots.start(opt.telemetry.metrics_out, opt.metrics_every_ms);
+  }
   const auto ms = run_batch_parallel(agent_factory, attacker_factory, cfg,
                                      opt.episodes, opt.seed, run_opts);
+  snapshots.stop();
 
   // Aggregate the ordered batch (deterministic regardless of --jobs).
   EpisodeAggregator agg;

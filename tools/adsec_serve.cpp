@@ -2,8 +2,9 @@
 //
 //   adsec_serve --socket PATH | --watch REQ --out RES
 //               [--workers N] [--queue-depth N] [--poll-ms N] [--once]
-//               [--zoo DIR] [--report PATH]
-//               [--metrics-out PATH] [--chrome-trace PATH] [--log-json PATH]
+//               [--zoo DIR] [--report PATH] [--metrics-socket PATH]
+//               [--flight-dir DIR] [--metrics-out PATH] [--chrome-trace PATH]
+//               [--trace-jsonl PATH] [--log-json PATH]
 //
 // Clients stream JSONL requests (see src/serve/protocol.hpp):
 //
@@ -20,10 +21,19 @@
 //                   line is a client). --once processes the lines already
 //                   in REQ, drains, reports, and exits (CI smoke mode).
 //
-// Control: {"op":"report"} answers with the tail-latency report in-band;
-// {"op":"shutdown"} (or SIGTERM/SIGINT) drains admitted work, prints the
-// per-request-class latency table, and exits. SIGUSR1 emits an on-demand
-// report without stopping. --report PATH also writes the final report JSON.
+// Control: {"op":"report"} answers with the tail-latency report plus the
+// full metrics-registry snapshot in-band; {"op":"metrics"} answers with the
+// Prometheus text rendering; {"op":"shutdown"} (or SIGTERM/SIGINT) drains
+// admitted work, prints the per-request-class latency table, and exits.
+// SIGUSR1 emits an on-demand report (latency classes + metrics snapshot)
+// without stopping; the daemon exits non-zero if any report write failed.
+// --report PATH also writes the final report JSON.
+//
+// Live exposition: --metrics-socket PATH opens a connection-per-scrape UDS
+// listener answering every connection with the Prometheus text (`nc -U` or
+// tools/adsec_top is a client). The flight recorder is always on; fatal
+// signals and admission-rejection storms dump flight_<n>_<ts>.json into
+// --flight-dir (default: the working directory).
 //
 // Admission is bounded (--queue-depth): when the queue is full, a request
 // is answered immediately with status "rejected" and the backpressure
@@ -33,12 +43,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/metrics_endpoint.hpp"
+#include "serve/report.hpp"
 #include "serve/server.hpp"
 #include "serve/spec.hpp"
 #include "serve/transport.hpp"
@@ -64,6 +77,8 @@ struct Options {
   bool once = false;
   std::string zoo;
   std::string report;
+  std::string metrics_socket;
+  std::string flight_dir;
   telemetry::TelemetryOptions telemetry;
 };
 
@@ -72,14 +87,16 @@ struct Options {
   std::fprintf(out,
       "usage: %s --socket PATH | --watch REQ --out RES\n"
       "          [--workers N] [--queue-depth N] [--poll-ms N] [--once]\n"
-      "          [--zoo DIR] [--report PATH]\n"
-      "          [--metrics-out PATH] [--chrome-trace PATH] [--log-json PATH]\n"
+      "          [--zoo DIR] [--report PATH] [--metrics-socket PATH]\n"
+      "          [--flight-dir DIR] [--metrics-out PATH] [--chrome-trace PATH]\n"
+      "          [--trace-jsonl PATH] [--log-json PATH]\n"
       "requests:  one JSON object per line, e.g.\n"
       "           {\"id\":\"r1\",\"agent\":\"e2e\",\"attacker\":\"camera\","
       "\"episodes\":3,\"seed\":700000}\n"
       "agents:    modular | e2e | finetune:<rho> | pnn:<sigma> | pnn-detector:<sigma>\n"
       "attackers: none | oracle | noise | full | camera | imu | td3\n"
-      "control:   {\"op\":\"report\"} in-band report, {\"op\":\"shutdown\"} drain+exit\n"
+      "control:   {\"op\":\"report\"} in-band report+metrics, {\"op\":\"metrics\"}\n"
+      "           prometheus text, {\"op\":\"shutdown\"} drain+exit\n"
       "signals:   SIGTERM/SIGINT graceful drain, SIGUSR1 on-demand report\n",
       argv0);
   std::exit(code);
@@ -127,8 +144,11 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--once") opt.once = true;
     else if (arg == "--zoo") opt.zoo = value();
     else if (arg == "--report") opt.report = value();
+    else if (arg == "--metrics-socket") opt.metrics_socket = value();
+    else if (arg == "--flight-dir") opt.flight_dir = value();
     else if (arg == "--metrics-out") opt.telemetry.metrics_out = value();
     else if (arg == "--chrome-trace") opt.telemetry.chrome_trace = value();
+    else if (arg == "--trace-jsonl") opt.telemetry.trace_jsonl = value();
     else if (arg == "--log-json") opt.telemetry.events_jsonl = value();
     else if (arg == "--help" || arg == "-h") usage(argv[0], 0);
     else {
@@ -165,12 +185,16 @@ bool write_text_file(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   set_log_level(LogLevel::Warn);
+  telemetry::set_thread_name("main");
   if (!opt.zoo.empty()) runtime_config().zoo_dir = opt.zoo;
   if (opt.telemetry.any() && !telemetry::configure(opt.telemetry)) {
     std::fprintf(stderr, "cannot open --log-json file '%s' for writing\n",
                  opt.telemetry.events_jsonl.c_str());
     return 2;
   }
+  telemetry::set_flight_enabled(true);
+  if (!opt.flight_dir.empty()) telemetry::set_flight_dir(opt.flight_dir);
+  telemetry::install_flight_signal_handlers();
 
   std::signal(SIGTERM, handle_stop);
   std::signal(SIGINT, handle_stop);
@@ -185,6 +209,10 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   try {
     serve::EvalServer server(server_opts, {});
+    std::unique_ptr<serve::MetricsEndpoint> scrape;
+    if (!opt.metrics_socket.empty()) {
+      scrape = std::make_unique<serve::MetricsEndpoint>(opt.metrics_socket);
+    }
     std::printf("adsec_serve: %d workers, queue depth %zu, %s\n",
                 server.workers(), server.queue_depth(),
                 opt.socket.empty()
@@ -192,12 +220,20 @@ int main(int argc, char** argv) {
                     : ("listening on " + opt.socket).c_str());
     std::fflush(stdout);
 
+    // The SIGUSR1 on-demand report: the human-readable latency table plus
+    // the full metrics-registry snapshot as one JSON line (same payload as
+    // the in-band {"op":"report"} answer).
+    const auto print_report = [&server] {
+      server.report().to_table().print();
+      std::printf("%s\n", serve::full_report_json().c_str());
+      std::fflush(stdout);
+    };
+
     if (!opt.socket.empty()) {
       serve::UdsTransport transport(server, opt.socket);
-      transport.run(g_stop, [&server] {
+      transport.run(g_stop, [&print_report] {
         if (g_report.exchange(false, std::memory_order_relaxed)) {
-          server.report().to_table().print();
-          std::fflush(stdout);
+          print_report();
         }
       });
     } else {
@@ -213,14 +249,18 @@ int main(int argc, char** argv) {
       }
       server.drain();  // answer everything before the final report line
       transport.write_report();
+      if (transport.report_write_failed()) {
+        std::fprintf(stderr, "adsec_serve: report write to %s failed\n",
+                     opt.out.c_str());
+        exit_code = 2;
+      }
     }
     server.drain();
     // A SIGUSR1 that landed during the drain window was not serviced by the
     // transport tick (it had already exited); honor it now rather than
     // dropping the request on the floor.
     if (g_report.exchange(false, std::memory_order_relaxed)) {
-      server.report().to_table().print();
-      std::fflush(stdout);
+      print_report();
     }
 
     // Shutdown banner: the tail-latency table plus the optional JSON dump.
@@ -252,6 +292,7 @@ int main(int argc, char** argv) {
     };
     report_file(opt.telemetry.metrics_out, fin.metrics_written);
     report_file(opt.telemetry.chrome_trace, fin.trace_written);
+    report_file(opt.telemetry.trace_jsonl, fin.trace_jsonl_written);
     if (!opt.telemetry.events_jsonl.empty())
       std::printf("wrote %s\n", opt.telemetry.events_jsonl.c_str());
   }

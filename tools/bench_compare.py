@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against a committed baseline.
+
+Only dimensionless ratio columns (speedup-style) are gated: raw ns columns
+shift with the host and would make the gate flaky, while a kernel's speedup
+over its own reference implementation on the same machine is stable. The
+full comparison table is printed as GitHub-flavored markdown so CI can
+append it to the job summary; the exit code carries the verdict.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+# Headers whose values are dimensionless ratios, gated at +/- tolerance.
+RATIO_HEADERS = ("speedup", "ratio")
+
+
+def load_tables(path):
+    with open(path) as f:
+        doc = json.load(f)
+    tables = {}
+    for table in doc.get("tables", []):
+        rows = {row[0]: row for row in table.get("rows", [])}
+        tables[table["name"]] = {"headers": table.get("headers", []), "rows": rows}
+    return tables
+
+
+def is_number(text):
+    try:
+        float(text)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative drift on ratio columns")
+    args = parser.parse_args()
+
+    base = load_tables(args.baseline)
+    cur = load_tables(args.current)
+    failures = []
+
+    print("## Benchmark comparison (current vs committed baseline)")
+    for name, base_table in sorted(base.items()):
+        cur_table = cur.get(name)
+        if cur_table is None:
+            failures.append(f"table `{name}` missing from current run")
+            continue
+        headers = base_table["headers"]
+        print(f"\n### {name}\n")
+        print("| " + " | ".join(headers[:1]) + " | column | baseline | current"
+              " | ratio | gated |")
+        print("| --- | --- | --- | --- | --- | --- |")
+        for key, base_row in base_table["rows"].items():
+            cur_row = cur_table["rows"].get(key)
+            if cur_row is None:
+                failures.append(f"{name}: row `{key}` missing from current run")
+                continue
+            for i, header in enumerate(headers[1:], start=1):
+                if not (is_number(base_row[i]) and i < len(cur_row)
+                        and is_number(cur_row[i])):
+                    continue
+                b, c = float(base_row[i]), float(cur_row[i])
+                ratio = c / b if b != 0 else float("inf")
+                gated = header in RATIO_HEADERS
+                verdict = "yes" if gated else "no"
+                if gated and abs(ratio - 1.0) > args.tolerance:
+                    verdict = "**FAIL**"
+                    failures.append(
+                        f"{name}: `{key}` {header} drifted "
+                        f"{b:g} -> {c:g} (ratio {ratio:.3f}, "
+                        f"tolerance +/-{args.tolerance:.0%})")
+                print(f"| {key} | {header} | {b:g} | {c:g} | {ratio:.3f}"
+                      f" | {verdict} |")
+
+    if failures:
+        print("\n### Regressions\n")
+        for f in failures:
+            print(f"- {f}")
+        print(f"\nbench_compare: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("\nAll gated columns within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,13 +158,16 @@ class Lexer {
       raw_string(l, c);
       return;
     }
+    const std::size_t start = pos_;
     advance();  // opening quote
     while (pos_ < s_.size() && s_[pos_] != '"' && s_[pos_] != '\n') {
       if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) advance();
       advance();
     }
     if (pos_ < s_.size() && s_[pos_] == '"') advance();
-    emit(TokKind::String, "<string>", l, c);
+    // Keep the literal verbatim (quotes included): the span-name rule
+    // validates the text, and findings quote it back at the author.
+    emit(TokKind::String, s_.substr(start, pos_ - start), l, c);
   }
 
   void raw_string(int l, int c) {

@@ -25,7 +25,7 @@ namespace adsec::lint {
 enum class TokKind {
   Identifier,  // names and keywords, undifferentiated
   Number,      // numeric literal (digit separators consumed)
-  String,      // string literal, escapes/raw-string body swallowed
+  String,      // string literal, verbatim with quotes (raw-string body swallowed)
   CharLit,     // character literal
   Punct,       // operators/punctuation; "::" and "->" kept as one token
   PpInclude,   // #include directive; text is the target incl. delimiters

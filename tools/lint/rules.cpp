@@ -373,6 +373,70 @@ void rule_orchestrator_atomic_write(const std::string& path,
   }
 }
 
+// span-name -----------------------------------------------------------------
+//
+// Trace span names are the join key across every exported view (Chrome
+// trace, per-trace JSONL, the flight recorder ring) and the flight ring
+// stores them as raw const char* — so they must be string literals, and
+// dashboards/greps rely on one shape: lowercase dotted "subsystem.verb".
+// src/telemetry/ is the definition site (SpanGuard's own constructors take
+// a `const char* name` parameter) and is exempt.
+
+bool valid_span_name(const std::string& quoted) {
+  // Token text retains the quotes; escapes would appear verbatim and fail
+  // the character class below, which is what we want.
+  if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"') {
+    return false;
+  }
+  const std::string name = quoted.substr(1, quoted.size() - 2);
+  int segments = 0;
+  std::size_t seg_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;  // empty segment
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  return segments >= 1 && seg_len > 0;  // >= 2 non-empty dotted segments
+}
+
+void rule_span_name(const std::string& path, const std::vector<Token>& toks,
+                    std::vector<Finding>& out) {
+  if (starts_with(path, "src/telemetry/")) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text != "ADSEC_SPAN" && t.text != "SpanGuard") continue;
+    // ADSEC_SPAN(  — or —  SpanGuard [var] ( : a construction site. A bare
+    // mention (forward declaration, reference type) has no paren and is
+    // skipped.
+    std::size_t j = i + 1;
+    if (t.text == "SpanGuard" && j < toks.size() &&
+        toks[j].kind == TokKind::Identifier) {
+      ++j;  // named guard variable
+    }
+    if (j >= toks.size() || !is_punct(toks[j], "(")) continue;
+    if (j + 1 >= toks.size()) continue;
+    const Token& arg = toks[j + 1];
+    if (arg.kind != TokKind::String) {
+      add(out, path, t, "span-name",
+          "span name must be a string literal (the flight ring stores the "
+          "pointer, and exports join on the text)");
+      continue;
+    }
+    if (!valid_span_name(arg.text)) {
+      add(out, path, arg, "span-name",
+          "span name " + arg.text +
+              " must be lowercase dotted, like \"subsystem.verb\"");
+    }
+  }
+}
+
 // include-iostream-in-header ------------------------------------------------
 //
 // <iostream> in a header injects the static ios initializer into every TU
@@ -411,6 +475,9 @@ const std::vector<RuleDesc>& rule_table() {
       {"orchestrator-atomic-write",
        "direct file writes / std::filesystem mutations in src/orchestrator/ "
        "bypassing the checked temp-file+rename path"},
+      {"span-name",
+       "ADSEC_SPAN/SpanGuard names must be lowercase dotted string literals "
+       "(\"subsystem.verb\")"},
       {"include-iostream-in-header", "<iostream> included from a header"},
   };
   return kRules;
@@ -425,6 +492,7 @@ void check_file(const std::string& path, const LexedFile& lexed,
   rule_alloc(path, toks, out);
   rule_nodiscard(path, toks, out);
   rule_orchestrator_atomic_write(path, toks, out);
+  rule_span_name(path, toks, out);
   rule_include_iostream(path, toks, out);
 }
 
