@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/zoo.hpp"
+#include "nn/simd.hpp"
 #include "runtime/parallel_eval.hpp"
 #include "telemetry/events.hpp"
 
@@ -39,6 +40,19 @@ inline int bench_jobs() {
     if (n > 0) return n;
   }
   return hardware_jobs();
+}
+
+// Episode lanes per worker for cross-episode batched inference:
+// ADSEC_LANES overrides, default 8. Lane-batched runs are bit-identical to
+// serial ones for any lane count (see runtime/lane_scheduler.hpp), so like
+// ADSEC_JOBS this only changes wall-clock time.
+inline int bench_lanes() {
+  const char* env = std::getenv("ADSEC_LANES");
+  if (env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
 }
 
 // Machine-readable mirror of everything a bench binary prints. Each bench
@@ -68,6 +82,10 @@ class BenchSummary {
     if (name_.empty() || tables_.empty()) return;
     std::string json = "{\n  \"bench\": ";
     json += telemetry::json_quote(name_);
+    // The active SIMD dispatch tier, so bench_compare.py can refuse to
+    // diff timings taken on different kernel tiers (scalar vs avx2).
+    json += ",\n  \"simd_tier\": ";
+    json += telemetry::json_quote(simd::tier_name(simd::active_tier()));
     json += ",\n  \"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const Entry& e = tables_[t];

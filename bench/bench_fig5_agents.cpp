@@ -47,10 +47,15 @@ SweepResult sweep_agent(const std::string& label, const AgentFactory& make_agent
     }
     // Seeds match the serial sweep: episode r of budget bi uses
     // kEvalSeedBase + 1000*bi + r, and the batch comes back in r order.
+    // Lane-batched inference (ADSEC_LANES) shares one policy forward
+    // across in-flight episodes without changing any result bit.
+    ParallelEvalOptions run_opts;
+    run_opts.jobs = bench_jobs();
+    run_opts.batch_lanes = bench_lanes();
+    run_opts.with_reference = true;
     const auto ms = run_batch_parallel(
         make_agent, make_attacker, cfg, rounds,
-        kEvalSeedBase + 1000 * static_cast<std::uint64_t>(bi),
-        /*with_reference=*/true, bench_jobs());
+        kEvalSeedBase + 1000 * static_cast<std::uint64_t>(bi), run_opts);
     RunningStats eff, route_dev, ref_dev, ttc;
     int side = 0;
     for (const EpisodeMetrics& m : ms) {

@@ -10,10 +10,12 @@
 #include <cmath>
 #include <functional>
 
+#include "agents/e2e_agent.hpp"
 #include "agents/modular_agent.hpp"
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "nn/gaussian_policy.hpp"
+#include "nn/simd.hpp"
 #include "rl/sac.hpp"
 #include "runtime/parallel_eval.hpp"
 #include "sensors/camera.hpp"
@@ -132,6 +134,52 @@ BENCHMARK(BM_EpisodeBatch)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The e2e workload the lane scheduler was built for: a fleet of identical
+// policy agents whose per-step GEMV collapses into one batched GEMM across
+// in-flight episodes. Arg is the lane count (1 = the serial per-episode
+// decide() loop); items/sec == episodes/sec. Results are bit-identical at
+// every lane count — this measures throughput only. The policy is wider
+// than the zoo's e2e nets so the workload is inference-bound: per-row GEMV
+// streams the full 512-wide weight panels from memory every step, which is
+// exactly the traffic the batched GEMM amortizes across lanes.
+const GaussianPolicy& bench_e2e_policy() {
+  static const GaussianPolicy policy = [] {
+    Rng rng(25);
+    const int obs_dim = StackedCameraObserver({}, 3).dim();
+    return GaussianPolicy::make_mlp(obs_dim, {512, 512}, 2, rng);
+  }();
+  return policy;
+}
+
+AgentFactory bench_e2e_factory() {
+  return [] {
+    return std::make_unique<E2EAgent>(bench_e2e_policy(), CameraConfig{}, 3);
+  };
+}
+
+void BM_BatchedDecide(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  // Enough episodes that per-lane fleet construction (each agent clones the
+  // policy) amortizes away and the steady-state batched forward dominates.
+  constexpr int kEpisodes = 128;
+  const ExperimentConfig cfg;
+  const AgentFactory make_agent = bench_e2e_factory();
+  ParallelEvalOptions opts;
+  opts.jobs = 1;
+  opts.batch_lanes = lanes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_batch_parallel(make_agent, AttackerFactory{}, cfg, kEpisodes, 1, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * kEpisodes);
+}
+BENCHMARK(BM_BatchedDecide)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -342,8 +390,12 @@ struct RefMlp {
 };
 
 // Old-vs-new kernel table for BENCH_micro.json: blocked/fused path against
-// the pre-PR reference kernels at the shapes that matter.
+// the pre-PR reference kernels at the shapes that matter. Measured with the
+// dispatch tier FORCED to scalar so the gated speedup column compares the
+// blocking/fusion work alone and reads the same on any host; the SIMD gain
+// on top is the separate simd_kernels table below.
 void write_gemm_kernels_table() {
+  simd::force_tier(simd::Tier::Scalar);
   Rng rng(21);
   Table t({"op", "new_ns", "ref_ns", "speedup"});
   auto row = [&t](const char* op, double new_ns, double ref_ns) {
@@ -407,6 +459,94 @@ void write_gemm_kernels_table() {
   }
 
   bench::maybe_write_csv(t, "gemm_kernels");
+  simd::reset_tier();
+}
+
+// SIMD-vs-scalar ratio table: the same kernel shapes timed under both
+// dispatch tiers in one process via force_tier. Only written when the host
+// can execute the AVX2 tier — bench_compare.py skips its gates when the
+// recorded simd_tier differs from the baseline's, so a scalar-only host
+// neither fakes nor fails this table. Acceptance floor: >= 1.8x on
+// gemm_256.
+void write_simd_kernels_table() {
+  const std::vector<simd::Tier> tiers = simd::available_tiers();
+  if (std::find(tiers.begin(), tiers.end(), simd::Tier::Avx2) == tiers.end()) {
+    std::printf(
+        "simd kernels: AVX2 tier unavailable on this host — "
+        "simd_kernels table skipped\n");
+    return;
+  }
+
+  Rng rng(26);
+  Table t({"op", "scalar_ns", "avx2_ns", "speedup"});
+  auto row = [&t](const char* op, double scalar_ns, double avx2_ns) {
+    t.add_row({op, fmt(scalar_ns, 0), fmt(avx2_ns, 0),
+               fmt(scalar_ns / avx2_ns, 2)});
+    std::printf("simd kernels: %-14s scalar %10.0f ns  avx2 %10.0f ns  "
+                "speedup %5.2fx\n",
+                op, scalar_ns, avx2_ns, scalar_ns / avx2_ns);
+  };
+  auto timed = [](simd::Tier tier, const std::function<void()>& op, int iters) {
+    simd::force_tier(tier);
+    const double ns = measure_ns_scaled(op, iters);
+    simd::reset_tier();
+    return ns;
+  };
+
+  for (const int n : {64, 256}) {
+    const Matrix a = Matrix::randn(n, n, rng, 1.0);
+    const Matrix b = Matrix::randn(n, n, rng, 1.0);
+    Matrix c;
+    const int iters = n == 64 ? 256 : 16;
+    const auto op = [&] { matmul_into(c, a, b); };
+    row(n == 64 ? "gemm_64" : "gemm_256", timed(simd::Tier::Scalar, op, iters),
+        timed(simd::Tier::Avx2, op, iters));
+  }
+
+  {
+    const Matrix x = Matrix::randn(1, 256, rng, 1.0);
+    const Matrix w = Matrix::randn(256, 256, rng, 0.1);
+    const Matrix bias = Matrix::randn(1, 256, rng, 0.1);
+    Matrix y;
+    const auto op = [&] { linear_forward_into(y, x, w, bias, Activation::ReLU); };
+    row("gemv_1x256", timed(simd::Tier::Scalar, op, 2048),
+        timed(simd::Tier::Avx2, op, 2048));
+  }
+
+  bench::maybe_write_csv(t, "simd_kernels");
+}
+
+// Serial-vs-batched episode throughput on the active tier: the BM_BatchedDecide
+// workload (128 e2e episodes, one process) executed with batch_lanes=1 and
+// with the lane scheduler gathering 8/16 in-flight episodes into one policy
+// forward. Acceptance floor: >= 1.5x at 8 lanes on an AVX2 host.
+void write_batched_decide_table() {
+  const ExperimentConfig cfg;
+  const AgentFactory make_agent = bench_e2e_factory();
+  const auto run_ns = [&](int lanes) {
+    ParallelEvalOptions opts;
+    opts.jobs = 1;
+    opts.batch_lanes = lanes;
+    return measure_ns_scaled(
+        [&] {
+          benchmark::DoNotOptimize(run_batch_parallel(
+              make_agent, AttackerFactory{}, cfg, 128, 1, opts));
+        },
+        2);
+  };
+
+  Table t({"op", "serial_ns", "batched_ns", "speedup"});
+  const double serial_ns = run_ns(1);
+  for (const int lanes : {8, 16}) {
+    const double batched_ns = run_ns(lanes);
+    const std::string op = "e2e_128ep_lanes" + std::to_string(lanes);
+    t.add_row({op, fmt(serial_ns, 0), fmt(batched_ns, 0),
+               fmt(serial_ns / batched_ns, 2)});
+    std::printf("batched decide: %-18s serial %12.0f ns  batched %12.0f ns  "
+                "speedup %5.2fx\n",
+                op.c_str(), serial_ns, batched_ns, serial_ns / batched_ns);
+  }
+  bench::maybe_write_csv(t, "batched_decide");
 }
 
 // Kernel telemetry for one representative gradient step: gemm/gemv call and
@@ -499,6 +639,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   adsec::write_gemm_kernels_table();
+  adsec::write_simd_kernels_table();
+  adsec::write_batched_decide_table();
   adsec::write_nn_counter_table();
   adsec::write_overhead_table();
   return 0;

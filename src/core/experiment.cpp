@@ -22,62 +22,72 @@ ExperimentMetrics& experiment_metrics() {
 
 }  // namespace
 
+EpisodeRunner::EpisodeRunner(DrivingAgent& agent, Attacker* attacker,
+                             const ExperimentConfig& config, std::uint64_t seed)
+    : attacker_(attacker),
+      config_(config),
+      world_([&] {
+        // Chaos hook: lets the orchestrator tests make an episode transiently
+        // fail or stall without touching the simulation itself.
+        maybe_inject("experiment.episode");
+        Rng rng(seed);
+        return make_scenario(config.scenario, rng);
+      }()),
+      planner_(config.reference_planner) {
+  agent.reset(world_);
+  if (attacker_ != nullptr) attacker_->reset(world_);
+  planner_.reset(config.scenario.ego_start_lane);
+}
+
+void EpisodeRunner::step(Action a) {
+  const PlanStep plan = planner_.plan(world_);
+  double delta = 0.0;
+  double thrust_delta = 0.0;
+  if (attacker_ != nullptr) {
+    delta = attacker_->decide(world_);
+    thrust_delta = attacker_->decide_thrust(world_);
+  }
+  const int target = world_.target_npc_index();
+
+  a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
+  a.thrust_variation = clamp(a.thrust_variation + thrust_delta, -1.0, 1.0);
+  world_.step(a, delta);
+  if (attacker_ != nullptr) attacker_->post_step(world_);
+
+  m_.nominal_reward += driving_reward(world_, plan, config_.driving_reward);
+  m_.adv_reward += adv_reward_step(world_, target, delta, config_.adv_reward);
+
+  const double lane_err =
+      (world_.ego_frenet().d - plan.target_d) / config_.scenario.lane_width;
+  plan_dev2_ += lane_err * lane_err;
+}
+
+EpisodeMetrics EpisodeRunner::finish(Trajectory* traj_out) {
+  if (world_.step_count() > 0) {
+    m_.plan_deviation_rmse = std::sqrt(plan_dev2_ / world_.step_count());
+  }
+
+  m_.steps = world_.step_count();
+  m_.passed_npcs = world_.passed_npcs();
+  m_.collision = world_.collision();
+  m_.side_collision =
+      world_.collided() && world_.collision()->type == CollisionType::Side;
+  m_.attack_effort = attack_effort(world_);
+  for (const auto& rec : world_.history()) m_.total_injected += std::abs(rec.attack_delta);
+  m_.time_to_collision = time_to_collision(world_);
+  if (traj_out != nullptr) *traj_out = extract_trajectory(world_);
+  experiment_metrics().episodes.inc();
+  experiment_metrics().episode_steps.observe(static_cast<double>(m_.steps));
+  return m_;
+}
+
 EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,
                            const ExperimentConfig& config, std::uint64_t seed,
                            Trajectory* traj_out) {
   ADSEC_SPAN("experiment.episode");
-  // Chaos hook: lets the orchestrator tests make an episode transiently
-  // fail or stall without touching the simulation itself.
-  maybe_inject("experiment.episode");
-  Rng rng(seed);
-  World world = make_scenario(config.scenario, rng);
-  agent.reset(world);
-  if (attacker != nullptr) attacker->reset(world);
-
-  BehaviorPlanner reference(config.reference_planner);
-  reference.reset(config.scenario.ego_start_lane);
-
-  EpisodeMetrics m;
-  double plan_dev2 = 0.0;
-  while (!world.done()) {
-    const PlanStep plan = reference.plan(world);
-    Action a = agent.decide(world);
-    double delta = 0.0;
-    double thrust_delta = 0.0;
-    if (attacker != nullptr) {
-      delta = attacker->decide(world);
-      thrust_delta = attacker->decide_thrust(world);
-    }
-    const int target = world.target_npc_index();
-
-    a.steer_variation = clamp(a.steer_variation + delta, -1.0, 1.0);
-    a.thrust_variation = clamp(a.thrust_variation + thrust_delta, -1.0, 1.0);
-    world.step(a, delta);
-    if (attacker != nullptr) attacker->post_step(world);
-
-    m.nominal_reward += driving_reward(world, plan, config.driving_reward);
-    m.adv_reward += adv_reward_step(world, target, delta, config.adv_reward);
-
-    const double lane_err =
-        (world.ego_frenet().d - plan.target_d) / config.scenario.lane_width;
-    plan_dev2 += lane_err * lane_err;
-  }
-  if (world.step_count() > 0) {
-    m.plan_deviation_rmse = std::sqrt(plan_dev2 / world.step_count());
-  }
-
-  m.steps = world.step_count();
-  m.passed_npcs = world.passed_npcs();
-  m.collision = world.collision();
-  m.side_collision =
-      world.collided() && world.collision()->type == CollisionType::Side;
-  m.attack_effort = attack_effort(world);
-  for (const auto& rec : world.history()) m.total_injected += std::abs(rec.attack_delta);
-  m.time_to_collision = time_to_collision(world);
-  if (traj_out != nullptr) *traj_out = extract_trajectory(world);
-  experiment_metrics().episodes.inc();
-  experiment_metrics().episode_steps.observe(static_cast<double>(m.steps));
-  return m;
+  EpisodeRunner runner(agent, attacker, config, seed);
+  while (runner.running()) runner.step(agent.decide(runner.world()));
+  return runner.finish(traj_out);
 }
 
 EpisodeMetrics evaluate_with_reference(DrivingAgent& agent, Attacker* attacker,

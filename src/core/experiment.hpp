@@ -25,6 +25,43 @@ struct ExperimentConfig {
   BehaviorConfig reference_planner;  // privileged planner for reward/reference
 };
 
+// One episode, decomposed so a scheduler can interleave many in-flight
+// episodes (runtime/lane_scheduler.hpp): construction seeds the world and
+// resets the actors; step() advances one control cycle given the agent's
+// decided action for the CURRENT world state; finish() extracts the
+// metrics once the episode is over. run_episode() below is exactly
+//
+//   EpisodeRunner r(agent, attacker, config, seed);
+//   while (r.running()) r.step(agent.decide(r.world()));
+//   return r.finish(traj_out);
+//
+// so interleaved and straight-line execution are bit-identical. `config`
+// is held by reference and must outlive the runner.
+class EpisodeRunner {
+ public:
+  EpisodeRunner(DrivingAgent& agent, Attacker* attacker,
+                const ExperimentConfig& config, std::uint64_t seed);
+
+  bool running() const { return !world_.done(); }
+  const World& world() const { return world_; }
+
+  // Apply the attacker, advance the simulation, and accumulate the
+  // per-step metrics. Only valid while running().
+  void step(Action decided);
+
+  // Finalize and return the episode metrics; call once, after the episode
+  // is over. If `traj_out` is non-null the ego trajectory is stored there.
+  EpisodeMetrics finish(Trajectory* traj_out = nullptr);
+
+ private:
+  Attacker* attacker_;
+  const ExperimentConfig& config_;
+  World world_;
+  BehaviorPlanner planner_;
+  EpisodeMetrics m_;
+  double plan_dev2_{0.0};
+};
+
 // Roll one episode. `attacker` may be null (nominal driving). If `traj_out`
 // is non-null the ego (s, d) trajectory is stored there.
 EpisodeMetrics run_episode(DrivingAgent& agent, Attacker* attacker,

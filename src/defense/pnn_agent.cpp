@@ -24,12 +24,29 @@ PnnSwitchedAgent::PnnSwitchedAgent(GaussianPolicy original, GaussianPolicy pnn_c
 void PnnSwitchedAgent::reset(const World& world) { observer_.reset(world); }
 
 Action PnnSwitchedAgent::decide(const World& world) {
-  row_into(obs_mat_, observer_.observe(world));
+  obs_mat_.resize(1, observer_.dim());
+  observer_.observe_into(world, obs_mat_.row(0));
   const GaussianPolicy& active = using_adversarial_column() ? pnn_column_ : original_;
   active.mean_action_into(obs_mat_, act_mat_);
   Action act;
   act.steer_variation = act_mat_(0, 0);
   act.thrust_variation = act_mat_(0, 1);
+  return act;
+}
+
+void PnnSwitchedAgent::stage_observation(const World& world, std::span<double> row) {
+  observer_.observe_into(world, row);
+}
+
+void PnnSwitchedAgent::policy_forward(const Matrix& obs, Matrix& act) const {
+  const GaussianPolicy& active = using_adversarial_column() ? pnn_column_ : original_;
+  active.mean_action_into(obs, act);
+}
+
+Action PnnSwitchedAgent::action_from_row(std::span<const double> row) const {
+  Action act;
+  act.steer_variation = row[0];
+  act.thrust_variation = row[1];
   return act;
 }
 

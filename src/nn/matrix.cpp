@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/kernel_table.hpp"
+#include "nn/simd.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace adsec {
@@ -24,7 +26,7 @@ Matrix Matrix::randn(int rows, int cols, Rng& rng, double scale) {
 
 Matrix Matrix::from_vector(const std::vector<double>& v) {
   Matrix m(1, static_cast<int>(v.size()));
-  m.data_ = v;
+  m.data_.assign(v.begin(), v.end());
   return m;
 }
 
@@ -111,10 +113,13 @@ void apply_activation_grad(Activation act, const Matrix& h, Matrix& grad) {
 
 namespace {
 
-// Register tile: kMr rows x kNr columns of C held in scalars the compiler
-// keeps in vector registers. 4x8 needs 32 accumulator doubles — 4 AVX
+// Scalar-tier register tile: kMr rows x kNr columns of C held in scalars
+// the compiler keeps in vector registers (auto-vectorized at -O3 without
+// reassociating any reduction). 4x8 needs 32 accumulator doubles — 4 AVX
 // registers per row; the SSE2 baseline gets a 4x4 tile so the accumulators
-// still fit the 16 xmm registers.
+// still fit the 16 xmm registers. The AVX2 tier (matrix_avx2.cpp) brings
+// its own 4x8 FMA tile; the driver below reads whichever table the runtime
+// dispatcher selected.
 #if defined(__AVX__)
 constexpr int kMr = 4;
 constexpr int kNr = 8;
@@ -122,6 +127,8 @@ constexpr int kNr = 8;
 constexpr int kMr = 4;
 constexpr int kNr = 4;
 #endif
+static_assert(kMr <= detail::kMaxMr && kNr <= detail::kMaxNr,
+              "driver stack tiles size to the max over all tiers");
 // Rows of C processed per packed-A block (A block = kMc x kc doubles, well
 // inside L2 alongside the B panel being streamed).
 constexpr int kMc = 128;
@@ -153,8 +160,8 @@ inline double act_scalar(Activation act, double v) {
 // packed contiguously (A as [p][kMr], B as [p][kNr]) and zero-padded at the
 // edges, so this kernel has no bounds logic. Ascending p keeps the per-
 // element summation chain identical to the reference kernels.
-inline void micro_kernel(int kc, const double* __restrict ap, const double* __restrict bp,
-                         double* __restrict acc) {
+void micro_kernel(int kc, const double* __restrict ap, const double* __restrict bp,
+                  double* __restrict acc) {
   for (int p = 0; p < kc; ++p) {
     const double* __restrict av = ap + static_cast<std::size_t>(p) * kMr;
     const double* __restrict bv = bp + static_cast<std::size_t>(p) * kNr;
@@ -166,13 +173,37 @@ inline void micro_kernel(int kc, const double* __restrict ap, const double* __re
   }
 }
 
+// Scalar-tier GEMV inner loops and epilogue: multiply-then-add, ascending
+// k, matching micro_kernel's per-element chains (see kernel_table.hpp).
+void gemv_axpy_scalar(double* __restrict crow, double a,
+                      const double* __restrict brow, int n) {
+  for (int j = 0; j < n; ++j) crow[j] += a * brow[j];
+}
+
+double gemv_dot_scalar(double s, const double* __restrict arow,
+                       const double* __restrict bcol, int k) {
+  for (int p = 0; p < k; ++p) s += arow[p] * bcol[p];
+  return s;
+}
+
+void epilogue_scalar(double* __restrict row, const double* __restrict bias,
+                     Activation act, int n) {
+  for (int j = 0; j < n; ++j) {
+    double v = row[j];
+    if (bias != nullptr) v += bias[j];
+    row[j] = act_scalar(act, v);
+  }
+}
+
 // Pack buffers grow once and are reused for every subsequent call on the
 // thread, so steady-state GEMM performs no heap allocation. thread_local
-// keeps parallel-eval workers race-free without locks.
-thread_local std::vector<double> tl_pack_a;
-thread_local std::vector<double> tl_pack_b;
+// keeps parallel-eval workers race-free without locks; the 32-byte-aligned
+// base makes every packed panel a valid target for the AVX2 tier's aligned
+// vector loads.
+thread_local AlignedVector tl_pack_a;
+thread_local AlignedVector tl_pack_b;
 
-inline void ensure_capacity(std::vector<double>& buf, std::size_t need) {
+inline void ensure_capacity(AlignedVector& buf, std::size_t need) {
   if (buf.size() < need) buf.resize(need);
 }
 
@@ -182,11 +213,38 @@ struct Epilogue {
   bool any() const { return bias != nullptr || act != Activation::Identity; }
 };
 
+// Pack one k-chunk of B into the panel-major [panel][p][nr] layout the
+// microkernel streams, zero-padding the ragged last panel. Shared between
+// the per-call path (thread-local buffer) and pack_weights (persistent
+// WeightPack), so both produce byte-identical panels.
+void pack_b_chunk(double* __restrict dst, BView B, int p0, int kc, int n,
+                  int t_nr) {
+  const int n_panels = (n + t_nr - 1) / t_nr;
+  for (int panel = 0; panel < n_panels; ++panel) {
+    const int j0 = panel * t_nr;
+    const int nr = std::min(t_nr, n - j0);
+    double* __restrict pdst = dst + static_cast<std::size_t>(panel) * kc * t_nr;
+    for (int p = 0; p < kc; ++p) {
+      const double* __restrict src = B.p + (p0 + p) * B.sp + j0 * B.sj;
+      for (int c = 0; c < t_nr; ++c) {
+        pdst[static_cast<std::size_t>(p) * t_nr + c] = c < nr ? src[c * B.sj] : 0.0;
+      }
+    }
+  }
+}
+
 // Core driver: C (m x n, row-major, leading dim n) = or += A * B with the
-// epilogue fused into the final store. Telemetry tallies calls/FLOPs here so
-// every variant and fast path is counted once.
+// epilogue fused into the final store. The microkernel, GEMV inner loops,
+// and fused epilogue come from the dispatch tier's kernel table (resolved
+// once per process; see simd.hpp); the packing/blocking strategy is shared
+// by every tier. Telemetry tallies calls/FLOPs here so every variant and
+// fast path is counted once.
+// `packed_b`, when non-null, points at B already packed for the active tier
+// in pack_weights layout (chunk p0 at offset p0 * n_panels * nr); the
+// blocked path then skips its per-call B pack. The GEMV fast paths read B
+// directly either way.
 void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
-          Epilogue epi) {
+          Epilogue epi, const double* packed_b = nullptr) {
   static const auto gemm_calls = telemetry::counter("nn.gemm.calls");
   static const auto gemm_flops = telemetry::counter("nn.gemm.flops");
   static const auto gemv_calls = telemetry::counter("nn.gemv.calls");
@@ -196,24 +254,22 @@ void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
 
   if (m == 0 || n == 0) return;
 
+  const detail::KernelTable& kt = detail::active_kernel_table();
+
   if (k == 0) {
     // Empty reduction: the product is all zeros; only the epilogue remains.
     for (int i = 0; i < m; ++i) {
       double* __restrict crow = cdata + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        double v = accumulate ? crow[j] : 0.0;
-        if (epi.bias != nullptr) v += epi.bias[j];
-        crow[j] = act_scalar(epi.act, v);
-      }
+      if (!accumulate) std::fill(crow, crow + n, 0.0);
+      kt.epilogue(crow, epi.bias, epi.act, n);
     }
     return;
   }
 
   // GEMV fast paths for the 1 x N shapes that dominate rollout stepping: no
   // packing, B streamed once. Both accumulate in ascending k, so they agree
-  // bit-for-bit with the blocked path and the reference kernels (absent FP
-  // contraction).
-  if (m < kMr) {
+  // bit-for-bit with the blocked path within the active tier.
+  if (m < kt.mr) {
     gemv_calls.inc();
     if (B.sj == 1) {
       // B rows contiguous: saxpy over rows of B.
@@ -222,16 +278,9 @@ void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
         if (!accumulate) std::fill(crow, crow + n, 0.0);
         for (int p = 0; p < k; ++p) {
           const double a = A.p[i * A.si + p * A.sp];
-          const double* __restrict brow = B.p + static_cast<std::size_t>(p) * B.sp;
-          for (int j = 0; j < n; ++j) crow[j] += a * brow[j];
+          kt.gemv_axpy(crow, a, B.p + static_cast<std::size_t>(p) * B.sp, n);
         }
-        if (epi.any()) {
-          for (int j = 0; j < n; ++j) {
-            double v = crow[j];
-            if (epi.bias != nullptr) v += epi.bias[j];
-            crow[j] = act_scalar(epi.act, v);
-          }
-        }
+        if (epi.any()) kt.epilogue(crow, epi.bias, epi.act, n);
       }
       return;
     }
@@ -242,8 +291,7 @@ void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
         double* __restrict crow = cdata + static_cast<std::size_t>(i) * n;
         for (int j = 0; j < n; ++j) {
           const double* __restrict bcol = B.p + static_cast<std::size_t>(j) * B.sj;
-          double s = accumulate ? crow[j] : 0.0;
-          for (int p = 0; p < k; ++p) s += arow[p] * bcol[p];
+          double s = kt.gemv_dot(accumulate ? crow[j] : 0.0, arow, bcol, k);
           if (epi.bias != nullptr) s += epi.bias[j];
           crow[j] = act_scalar(epi.act, s);
         }
@@ -254,12 +302,17 @@ void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
 
   // Blocked path: pack B once per k-chunk (reused by every row block), pack
   // A per kMc-row block, then sweep the microkernel over the tile grid.
-  const int n_panels = (n + kNr - 1) / kNr;
+  const int t_mr = kt.mr;
+  const int t_nr = kt.nr;
+  const int n_panels = (n + t_nr - 1) / t_nr;
   const int kc_max = std::min(k, kKernelKc);
-  ensure_capacity(tl_pack_b, static_cast<std::size_t>(n_panels) * kNr * kc_max);
+  double* bbuf = nullptr;
+  if (packed_b == nullptr) {
+    ensure_capacity(tl_pack_b, static_cast<std::size_t>(n_panels) * t_nr * kc_max);
+    bbuf = tl_pack_b.data();
+  }
   ensure_capacity(tl_pack_a,
-                  static_cast<std::size_t>((kMc + kMr - 1) / kMr) * kMr * kc_max);
-  double* const bbuf = tl_pack_b.data();
+                  static_cast<std::size_t>((kMc + t_mr - 1) / t_mr) * t_mr * kc_max);
   double* const abuf = tl_pack_a.data();
 
   for (int p0 = 0; p0 < k; p0 += kKernelKc) {
@@ -267,55 +320,50 @@ void gemm(double* cdata, int m, int n, int k, AView A, BView B, bool accumulate,
     const bool first = p0 == 0;
     const bool last = p0 + kc == k;
 
-    for (int panel = 0; panel < n_panels; ++panel) {
-      const int j0 = panel * kNr;
-      const int nr = std::min(kNr, n - j0);
-      double* __restrict dst = bbuf + static_cast<std::size_t>(panel) * kc * kNr;
-      for (int p = 0; p < kc; ++p) {
-        const double* __restrict src = B.p + (p0 + p) * B.sp + j0 * B.sj;
-        for (int c = 0; c < kNr; ++c) {
-          dst[static_cast<std::size_t>(p) * kNr + c] = c < nr ? src[c * B.sj] : 0.0;
-        }
-      }
+    const double* bpanels;
+    if (packed_b != nullptr) {
+      bpanels = packed_b + static_cast<std::size_t>(p0) * n_panels * t_nr;
+    } else {
+      pack_b_chunk(bbuf, B, p0, kc, n, t_nr);
+      bpanels = bbuf;
     }
 
     for (int i0 = 0; i0 < m; i0 += kMc) {
       const int mb = std::min(kMc, m - i0);
-      const int m_panels = (mb + kMr - 1) / kMr;
+      const int m_panels = (mb + t_mr - 1) / t_mr;
       for (int ip = 0; ip < m_panels; ++ip) {
-        const int i1 = i0 + ip * kMr;
-        const int mr = std::min(kMr, m - i1);
-        double* __restrict dst = abuf + static_cast<std::size_t>(ip) * kc * kMr;
+        const int i1 = i0 + ip * t_mr;
+        const int mr = std::min(t_mr, m - i1);
+        double* __restrict dst = abuf + static_cast<std::size_t>(ip) * kc * t_mr;
         for (int p = 0; p < kc; ++p) {
           const double* __restrict src = A.p + i1 * A.si + (p0 + p) * A.sp;
-          for (int r = 0; r < kMr; ++r) {
-            dst[static_cast<std::size_t>(p) * kMr + r] = r < mr ? src[r * A.si] : 0.0;
+          for (int r = 0; r < t_mr; ++r) {
+            dst[static_cast<std::size_t>(p) * t_mr + r] = r < mr ? src[r * A.si] : 0.0;
           }
         }
       }
 
       for (int ip = 0; ip < m_panels; ++ip) {
-        const int i1 = i0 + ip * kMr;
-        const int mr = std::min(kMr, m - i1);
-        const double* ap = abuf + static_cast<std::size_t>(ip) * kc * kMr;
+        const int i1 = i0 + ip * t_mr;
+        const int mr = std::min(t_mr, m - i1);
+        const double* ap = abuf + static_cast<std::size_t>(ip) * kc * t_mr;
         for (int panel = 0; panel < n_panels; ++panel) {
-          const int j0 = panel * kNr;
-          const int nr = std::min(kNr, n - j0);
-          double acc[kMr * kNr] = {};
-          micro_kernel(kc, ap, bbuf + static_cast<std::size_t>(panel) * kc * kNr, acc);
+          const int j0 = panel * t_nr;
+          const int nr = std::min(t_nr, n - j0);
+          alignas(32) double acc[detail::kMaxMr * detail::kMaxNr] = {};
+          kt.micro(kc, ap, bpanels + static_cast<std::size_t>(panel) * kc * t_nr, acc);
 
           const bool add = accumulate || !first;
           const bool fuse = last && epi.any();
           for (int r = 0; r < mr; ++r) {
             double* __restrict crow = cdata + static_cast<std::size_t>(i1 + r) * n + j0;
-            const double* __restrict accr = acc + static_cast<std::size_t>(r) * kNr;
+            const double* __restrict accr = acc + static_cast<std::size_t>(r) * t_nr;
             for (int c = 0; c < nr; ++c) {
-              double v = add ? crow[c] + accr[c] : accr[c];
-              if (fuse) {
-                if (epi.bias != nullptr) v += epi.bias[j0 + c];
-                v = act_scalar(epi.act, v);
-              }
-              crow[c] = v;
+              crow[c] = add ? crow[c] + accr[c] : accr[c];
+            }
+            if (fuse) {
+              kt.epilogue(crow, epi.bias != nullptr ? epi.bias + j0 : nullptr,
+                          epi.act, nr);
             }
           }
         }
@@ -343,6 +391,16 @@ void prep_dest(Matrix& c, int m, int n, bool accumulate, const char* who) {
 }
 
 }  // namespace
+
+namespace detail {
+
+const KernelTable& scalar_kernel_table() {
+  static const KernelTable table{kMr, kNr, micro_kernel, gemv_axpy_scalar,
+                                 gemv_dot_scalar, epilogue_scalar};
+  return table;
+}
+
+}  // namespace detail
 
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
@@ -378,6 +436,48 @@ void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w, const Matr
   prep_dest(y, x.rows(), w.cols(), false, "linear_forward_into");
   gemm(y.data(), x.rows(), w.cols(), x.cols(), {x.data(), x.cols(), 1},
        {w.data(), w.cols(), 1}, false, {b.data(), act});
+}
+
+bool WeightPack::matches(const Matrix& w) const {
+  return k_ == w.rows() && n_ == w.cols() &&
+         tier_ == static_cast<int>(simd::active_tier());
+}
+
+void WeightPack::clear() {
+  panels_.clear();
+  k_ = n_ = tier_ = -1;
+}
+
+void pack_weights(WeightPack& pack, const Matrix& w) {
+  const detail::KernelTable& kt = detail::active_kernel_table();
+  const int k = w.rows();
+  const int n = w.cols();
+  const int t_nr = kt.nr;
+  const int n_panels = (n + t_nr - 1) / t_nr;
+  pack.panels_.resize(static_cast<std::size_t>(n_panels) * t_nr *
+                      static_cast<std::size_t>(k));
+  const BView B{w.data(), w.cols(), 1};
+  for (int p0 = 0; p0 < k; p0 += kKernelKc) {
+    const int kc = std::min(kKernelKc, k - p0);
+    pack_b_chunk(pack.panels_.data() + static_cast<std::size_t>(p0) * n_panels * t_nr,
+                 B, p0, kc, n, t_nr);
+  }
+  pack.k_ = k;
+  pack.n_ = n;
+  pack.tier_ = static_cast<int>(simd::active_tier());
+}
+
+void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w, const Matrix& b,
+                         Activation act, WeightPack& pack) {
+  if (!pack.matches(w)) pack_weights(pack, w);
+  if (x.cols() != w.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  if (b.rows() != 1 || b.cols() != w.cols()) {
+    throw std::invalid_argument("linear_forward: bias shape mismatch");
+  }
+  assert(no_alias(y, x) && no_alias(y, w) && no_alias(y, b));
+  prep_dest(y, x.rows(), w.cols(), false, "linear_forward_into");
+  gemm(y.data(), x.rows(), w.cols(), x.cols(), {x.data(), x.cols(), 1},
+       {w.data(), w.cols(), 1}, false, {b.data(), act}, pack.panels_.data());
 }
 
 void column_sum_into(Matrix& s, const Matrix& m, bool accumulate) {

@@ -13,10 +13,14 @@
 // The allocating wrappers (matmul, linear_forward, ...) forward to the
 // blocked kernels, so legacy call sites get the fast path too.
 //
-// Summation order is ascending-k everywhere (microkernel, GEMV path, and
-// reference), so for k <= kKernelKc the blocked kernels are bit-identical
-// to the reference ones in builds without FP contraction; see DESIGN.md
-// "Compute kernels".
+// The hot-path kernels are runtime-dispatched over SIMD tiers (scalar
+// fallback or AVX2/FMA; see nn/simd.hpp). Summation order is ascending-k
+// everywhere (microkernel, GEMV path, and reference), with one chain per
+// C element, so for k <= kKernelKc the blocked kernels are bit-identical
+// to each other and to a row-batched forward WITHIN a tier; the scalar
+// tier is additionally bit-identical to `reference::` in builds without
+// FP contraction. See DESIGN.md "Compute kernels" and "SIMD dispatch &
+// batched inference".
 #pragma once
 
 #include <cstddef>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/aligned.hpp"
 
 namespace adsec {
 
@@ -69,7 +74,7 @@ class Matrix {
   void axpy_inplace(double scale, const Matrix& other);
   void scale_inplace(double s);
 
-  std::vector<double> to_vector() const { return data_; }
+  std::vector<double> to_vector() const { return {data_.begin(), data_.end()}; }
 
  private:
   std::size_t idx(int r, int c) const {
@@ -78,7 +83,9 @@ class Matrix {
   }
   int rows_{0};
   int cols_{0};
-  std::vector<double> data_;
+  // 32-byte-aligned base regardless of shape, so the SIMD tiers can assume
+  // vector-aligned packed panels and sanitizers can check the contract.
+  AlignedVector data_;
 };
 
 // m = 1 x n row copy of v, reusing m's storage — the allocation-free
@@ -118,6 +125,51 @@ void matmul_nt_into(Matrix& c, const Matrix& a, const Matrix& b, bool accumulate
 // into the store epilogue (Y is touched once). b is 1 x out.
 void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w, const Matrix& b,
                          Activation act = Activation::Identity);
+
+// ---- Pre-packed weights (repeated inference forwards) ----------------------
+//
+// The blocked GEMM re-packs its right-hand side into tier-specific panels
+// on every call. Inference forwards multiply by the SAME weight matrix call
+// after call, so for small row counts (one lane batch) the per-call K x N
+// pack traffic rivals the useful FLOPs. A WeightPack holds those panels
+// packed once, ready for every later call.
+//
+// Contract: packing is an explicit caller promise that `w`'s CONTENTS are
+// frozen while the pack is in use — nothing revalidates them, and training
+// updates weights in place through params() pointers, so never hold a pack
+// across an optimizer step. The dispatch tier IS checked: the packed
+// layout depends on the tier's register tile, and the packed overload of
+// linear_forward_into repacks automatically if the active tier changed
+// (so force_tier in tests cannot make kernels read foreign panels).
+// Results are bit-identical with and without a pack: the panels are laid
+// out by the same code either way, and the summation chains are unchanged.
+class WeightPack {
+ public:
+  // True when the pack holds panels for `w`'s shape under the active tier.
+  // Contents are NOT compared — see the contract above.
+  bool matches(const Matrix& w) const;
+  void clear();
+
+ private:
+  friend void pack_weights(WeightPack& pack, const Matrix& w);
+  friend void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w,
+                                  const Matrix& b, Activation act,
+                                  WeightPack& pack);
+  AlignedVector panels_;
+  int k_{-1};
+  int n_{-1};
+  int tier_{-1};
+};
+
+// Pack `w` (k x out, the linear_forward orientation) for the active tier.
+void pack_weights(WeightPack& pack, const Matrix& w);
+
+// linear_forward_into reusing pre-packed weights. `pack` must have been
+// built from this `w`; it is rebuilt in place when the active tier (or
+// `w`'s shape) no longer matches. The m < mr GEMV fast path ignores the
+// pack — identical results either way.
+void linear_forward_into(Matrix& y, const Matrix& x, const Matrix& w, const Matrix& b,
+                         Activation act, WeightPack& pack);
 
 // s (1 x cols) = or += column-sum of m (bias gradients).
 void column_sum_into(Matrix& s, const Matrix& m, bool accumulate = false);

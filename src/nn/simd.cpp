@@ -1,0 +1,121 @@
+#include "nn/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "nn/kernel_table.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace adsec {
+namespace {
+
+// The latched dispatch decision. nullptr = not resolved yet; the first
+// kernel call (or an explicit active_tier()/force_tier()) resolves it.
+std::atomic<const detail::KernelTable*> g_table{nullptr};
+std::mutex g_resolve_mu;
+
+const detail::KernelTable* table_for(simd::Tier tier) {
+  return tier == simd::Tier::Avx2 ? detail::avx2_kernel_table()
+                                  : &detail::scalar_kernel_table();
+}
+
+simd::Tier tier_of(const detail::KernelTable* t) {
+  return t == detail::avx2_kernel_table() && t != nullptr ? simd::Tier::Avx2
+                                                          : simd::Tier::Scalar;
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+void publish(const detail::KernelTable* t) {
+  telemetry::gauge("nn.simd.tier")
+      .set(static_cast<double>(static_cast<int>(tier_of(t))));
+  g_table.store(t, std::memory_order_release);
+}
+
+// Resolve ADSEC_SIMD / CPUID under the lock; idempotent.
+const detail::KernelTable* resolve_locked() {
+  const detail::KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  simd::Tier tier = simd::Tier::Scalar;
+  const char* env = std::getenv("ADSEC_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const std::string v(env);
+    if (v == "scalar") {
+      tier = simd::Tier::Scalar;
+    } else if (v == "avx2") {
+      tier = simd::Tier::Avx2;
+    } else {
+      throw Error(ErrorCode::Config,
+                  "ADSEC_SIMD: unknown tier '" + v + "' (want scalar|avx2)");
+    }
+    if (!simd::tier_supported(tier)) {
+      throw Error(ErrorCode::Config, "ADSEC_SIMD=" + v +
+                                         ": tier not supported on this "
+                                         "machine/build");
+    }
+  } else if (simd::tier_supported(simd::Tier::Avx2)) {
+    tier = simd::Tier::Avx2;
+  }
+  t = table_for(tier);
+  publish(t);
+  return t;
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable& active_kernel_table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  return *resolve_locked();
+}
+
+}  // namespace detail
+
+namespace simd {
+
+const char* tier_name(Tier tier) {
+  return tier == Tier::Avx2 ? "avx2" : "scalar";
+}
+
+bool tier_supported(Tier tier) {
+  if (tier == Tier::Scalar) return true;
+  return detail::avx2_kernel_table() != nullptr && cpu_has_avx2_fma();
+}
+
+std::vector<Tier> available_tiers() {
+  std::vector<Tier> tiers{Tier::Scalar};
+  if (tier_supported(Tier::Avx2)) tiers.push_back(Tier::Avx2);
+  return tiers;
+}
+
+Tier active_tier() { return tier_of(&detail::active_kernel_table()); }
+
+void force_tier(Tier tier) {
+  if (!tier_supported(tier)) {
+    throw Error(ErrorCode::Config, std::string("force_tier: tier '") +
+                                       tier_name(tier) +
+                                       "' not supported on this machine/build");
+  }
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  publish(table_for(tier));
+}
+
+void reset_tier() {
+  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  g_table.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace adsec

@@ -92,12 +92,15 @@ void Sac::init(int obs_dim, int act_dim, Rng& rng) {
 
 std::vector<double> Sac::act(std::span<const double> obs, Rng& rng,
                              bool deterministic) const {
-  Matrix o(1, static_cast<int>(obs.size()));
-  std::copy(obs.begin(), obs.end(), o.data());
+  act_obs_.resize(1, static_cast<int>(obs.size()));
+  std::copy(obs.begin(), obs.end(), act_obs_.data());
   if (deterministic) {
-    return actor_.mean_action(o).to_vector();
+    actor_.mean_action_into(act_obs_, act_mean_);
+    return {act_mean_.data(), act_mean_.data() + act_mean_.cols()};
   }
-  return actor_.sample_inference(o, rng).action.to_vector();
+  actor_.sample_inference_into(act_obs_, rng, act_sample_);
+  return {act_sample_.action.data(),
+          act_sample_.action.data() + act_sample_.action.cols()};
 }
 
 void Sac::update(const ReplayBuffer& buffer, Rng& rng) {

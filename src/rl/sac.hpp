@@ -110,6 +110,11 @@ class Sac {
     Matrix dL_da, dL_dlogp;
   };
   Scratch scratch_;
+  // act() staging, reused across calls (act is logically const but not
+  // safe to call concurrently on one instance — same as update()).
+  mutable Matrix act_obs_;
+  mutable Matrix act_mean_;
+  mutable PolicySample act_sample_;
 
   // Gradient pointer lists cached at init() (the networks never move after
   // that), so per-update grad-norm diagnostics allocate nothing.

@@ -39,18 +39,17 @@ void Td3::warm_start_actor(const Mlp& net) {
   actor_target_.soft_update_from(net, 1.0);
 }
 
-Matrix Td3::actor_forward_inference(const Matrix& obs) const {
-  Matrix a = actor_.forward_inference(obs);
-  apply_activation(Activation::Tanh, a);
-  return a;
+void Td3::actor_forward_inference_into(const Matrix& obs, Matrix& out) const {
+  actor_.forward_inference_into(obs, out);
+  apply_activation(Activation::Tanh, out);
 }
 
 std::vector<double> Td3::act(std::span<const double> obs, Rng& rng,
                              bool deterministic) const {
-  Matrix o(1, static_cast<int>(obs.size()));
-  std::copy(obs.begin(), obs.end(), o.data());
-  Matrix a = actor_forward_inference(o);
-  std::vector<double> out(a.data(), a.data() + a.cols());
+  act_obs_.resize(1, static_cast<int>(obs.size()));
+  std::copy(obs.begin(), obs.end(), act_obs_.data());
+  actor_forward_inference_into(act_obs_, act_a_);
+  std::vector<double> out(act_a_.data(), act_a_.data() + act_a_.cols());
   if (!deterministic) {
     for (auto& v : out) v = clamp(v + rng.normal(0.0, config_.explore_noise), -1.0, 1.0);
   }

@@ -54,7 +54,9 @@ class Td3 {
   void warm_start_actor(const Mlp& net);
 
  private:
-  Matrix actor_forward_inference(const Matrix& obs) const;  // tanh-squashed
+  // Tanh-squashed actor forward; B x obs rows in, B x act rows out. Writes
+  // the caller's buffer so act() and batched eval stay allocation-free.
+  void actor_forward_inference_into(const Matrix& obs, Matrix& out) const;
 
   Td3Config config_;
   Mlp actor_, actor_target_;
@@ -73,6 +75,9 @@ class Td3 {
     Matrix a, qin_pi, gq, da;
   };
   Scratch scratch_;
+  // act() staging, reused across calls (act is logically const but not
+  // safe to call concurrently on one instance — same as update()).
+  mutable Matrix act_obs_, act_a_;
 };
 
 }  // namespace adsec

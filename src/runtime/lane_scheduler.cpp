@@ -1,0 +1,143 @@
+#include "runtime/lane_scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "agents/batch_policy.hpp"
+#include "nn/matrix.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace adsec {
+
+namespace {
+
+telemetry::Counter& episodes_counter() {
+  static telemetry::Counter c = telemetry::counter("runtime.episodes");
+  return c;
+}
+
+// A lane: one agent/attacker pair cycling through episodes. For a
+// with_reference job the lane rolls two episodes back to back — phase 0 is
+// the nominal (attacker-less) reference, phase 1 the attacked episode —
+// mirroring evaluate_with_reference exactly.
+struct Lane {
+  std::unique_ptr<DrivingAgent> agent;
+  std::unique_ptr<Attacker> attacker;
+  BatchPolicy* batch = nullptr;  // null => per-lane decide() fallback
+
+  std::optional<EpisodeRunner> runner;
+  int job = -1;    // index into `jobs`, -1 when idle
+  int phase = 1;   // 0 = reference rollout, 1 = scored rollout
+  Trajectory reference;
+};
+
+}  // namespace
+
+void run_episode_jobs_batched(const AgentFactory& make_agent,
+                              const AttackerFactory& make_attacker,
+                              const ExperimentConfig& config,
+                              std::span<const EpisodeJob> jobs, int lanes,
+                              const std::function<void(int)>& on_job_done) {
+  if (jobs.empty()) return;
+  ADSEC_SPAN("runtime.lanes");
+
+  const int n_lanes =
+      std::max(1, std::min(lanes, static_cast<int>(jobs.size())));
+  std::vector<Lane> fleet(static_cast<std::size_t>(n_lanes));
+  for (auto& lane : fleet) {
+    lane.agent = make_agent();
+    if (make_attacker) lane.attacker = make_attacker();
+    lane.batch = dynamic_cast<BatchPolicy*>(lane.agent.get());
+  }
+  // The batched forward runs on lane 0's policy for every row; this is
+  // sound for the same reason the parallel runner is deterministic: the
+  // factories must build identical actors, so every lane's policy computes
+  // the same function. Mixed batchability across lanes would break that
+  // premise, so it disables batching outright.
+  bool batchable = true;
+  for (const auto& lane : fleet) batchable = batchable && lane.batch != nullptr;
+
+  std::size_t next_job = 0;
+  // Start a lane on job `j` (phase 0 first when the job wants a reference
+  // trajectory). EpisodeRunner's constructor resets the actors.
+  const auto start = [&](Lane& lane, std::size_t j) {
+    lane.job = static_cast<int>(j);
+    lane.phase = jobs[j].with_reference ? 0 : 1;
+    Attacker* atk = lane.phase == 0 ? nullptr : lane.attacker.get();
+    lane.runner.emplace(*lane.agent, atk, config, jobs[j].seed);
+  };
+  // A lane's episode ended: finish it, advance the phase or publish the
+  // job's metrics, then refill from the pending jobs.
+  const auto harvest = [&](Lane& lane) {
+    while (lane.runner && !lane.runner->running()) {
+      const EpisodeJob& job = jobs[static_cast<std::size_t>(lane.job)];
+      if (lane.phase == 0) {
+        lane.runner->finish(&lane.reference);  // metrics discarded, as in
+                                               // evaluate_with_reference
+        lane.phase = 1;
+        lane.runner.emplace(*lane.agent, lane.attacker.get(), config, job.seed);
+        continue;
+      }
+      EpisodeMetrics m;
+      if (job.with_reference) {
+        Trajectory attacked;
+        m = lane.runner->finish(&attacked);
+        m.deviation_rmse =
+            deviation_rmse(attacked, lane.reference, config.scenario.lane_width);
+      } else {
+        m = lane.runner->finish();
+      }
+      if (job.out != nullptr) *job.out = m;
+      episodes_counter().inc();
+      if (on_job_done) on_job_done(lane.job);
+      lane.runner.reset();
+      lane.job = -1;
+      if (next_job < jobs.size()) start(lane, next_job++);
+    }
+  };
+
+  for (auto& lane : fleet) {
+    if (next_job < jobs.size()) start(lane, next_job++);
+  }
+  // A freshly started episode can in principle already be done; drain that
+  // before entering the step loop.
+  for (auto& lane : fleet) harvest(lane);
+
+  Matrix obs, act;
+  std::vector<Lane*> live;
+  live.reserve(fleet.size());
+  for (;;) {
+    live.clear();
+    for (auto& lane : fleet) {
+      if (lane.runner) live.push_back(&lane);
+    }
+    if (live.empty()) break;
+
+    if (batchable) {
+      // Gather -> one forward -> scatter, all in lane-index order. Staging
+      // advances each lane's sensor state exactly as its own decide()
+      // would; the shared forward is bit-identical per row to the 1-row
+      // forward (nn/matrix.hpp per-tier contract).
+      const int b = static_cast<int>(live.size());
+      obs.resize(b, live[0]->batch->policy_obs_dim());
+      for (int r = 0; r < b; ++r) {
+        live[static_cast<std::size_t>(r)]->batch->stage_observation(
+            live[static_cast<std::size_t>(r)]->runner->world(), obs.row(r));
+      }
+      live[0]->batch->policy_forward(obs, act);
+      for (int r = 0; r < b; ++r) {
+        Lane& lane = *live[static_cast<std::size_t>(r)];
+        lane.runner->step(lane.batch->action_from_row(act.row(r)));
+      }
+    } else {
+      for (Lane* lane : live) {
+        lane->runner->step(lane->agent->decide(lane->runner->world()));
+      }
+    }
+    for (Lane* lane : live) harvest(*lane);
+  }
+}
+
+}  // namespace adsec

@@ -1,0 +1,63 @@
+// Cross-episode batched inference: a step-synchronized episode-lane
+// scheduler.
+//
+// N in-flight episodes ("lanes") that share the same policy advance in
+// lockstep: each control cycle the scheduler gathers every live lane's
+// observation into one B x obs_dim matrix, runs ONE policy forward, and
+// scatters the action rows back — so the per-step MLP cost is one batched
+// GEMM instead of B GEMVs, which is where the SIMD micro-kernels (see
+// nn/matrix.hpp) actually get dense panels to chew on. When a lane's
+// episode ends it is refilled with the next pending job, keeping the batch
+// full until the job list drains.
+//
+// Determinism contract (the reason this is safe to enable by default):
+//
+//   run_episode_jobs_batched(jobs, lanes) fills each job's result
+//   bit-identical to evaluate_episode(seed, with_reference) run serially,
+//   for ANY lane count.
+//
+// This holds because (a) every episode is fully determined by its seed and
+// the reset state of its actors — EpisodeRunner reseeds the world, and
+// reset() re-initializes every stateful actor (FrameStack refills all
+// slots, NoiseAttacker reseeds) — and (b) a BatchPolicy forward is
+// row-independent and bit-identical per row to the 1-row decide() forward
+// (the per-tier ascending-k contract in nn/matrix.hpp). The lane schedule
+// therefore decides only *when* a step's forward runs, never what it
+// computes.
+//
+// Agents that do not implement BatchPolicy still run under the scheduler
+// (per-lane decide() in lane-index order), they just don't get the batched
+// forward.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/experiment.hpp"
+
+namespace adsec {
+
+// One episode's worth of work. `out` must stay valid until the call
+// returns; `with_reference` runs the same-seed nominal episode first and
+// fills deviation_rmse, exactly like evaluate_with_reference.
+struct EpisodeJob {
+  std::uint64_t seed = 0;
+  bool with_reference = false;
+  EpisodeMetrics* out = nullptr;
+};
+
+// Run all `jobs` to completion on at most `lanes` concurrent episode lanes
+// (single-threaded; thread-level parallelism layers on top by giving each
+// pool worker its own contiguous job range — see parallel_eval.cpp). Each
+// lane owns an agent/attacker pair built by the factories; like the
+// parallel runner, factories must produce identical actors. `on_job_done`
+// (optional) is invoked with the job's index in `jobs` as each finishes —
+// jobs complete out of order across lanes.
+void run_episode_jobs_batched(const AgentFactory& make_agent,
+                              const AttackerFactory& make_attacker,
+                              const ExperimentConfig& config,
+                              std::span<const EpisodeJob> jobs, int lanes,
+                              const std::function<void(int)>& on_job_done = {});
+
+}  // namespace adsec

@@ -26,6 +26,13 @@ struct ParallelEvalOptions {
   int jobs = 0;                // <= 0 => hardware_jobs()
   bool with_reference = false; // fill deviation_rmse via a reference rollout
 
+  // Episode lanes per worker: > 1 routes episodes through the
+  // step-synchronized lane scheduler (runtime/lane_scheduler.hpp), which
+  // batches the policy forward across in-flight episodes. Results stay
+  // bit-identical for any value — episode k still uses seed_base + k and
+  // slot k — so this is purely a throughput knob.
+  int batch_lanes = 1;
+
   // Called after each finished episode with (episodes done, total), from
   // worker threads — must be thread-safe (e.g. ProgressMeter::tick).
   std::function<void(int, int)> on_progress;

@@ -1,5 +1,6 @@
 #include "sensors/camera.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,6 +34,15 @@ bool CameraSensor::cell_of(const Vec2& p, int& row, int& col) const {
 
 std::vector<double> CameraSensor::observe(const World& world) {
   std::vector<double> frame(static_cast<std::size_t>(frame_dim()), 0.0);
+  observe_into(world, frame);
+  return frame;
+}
+
+void CameraSensor::observe_into(const World& world, std::span<double> frame) {
+  if (static_cast<int>(frame.size()) != frame_dim()) {
+    throw std::invalid_argument("CameraSensor::observe_into: frame dim mismatch");
+  }
+  std::fill(frame.begin(), frame.end(), 0.0);
   const Vec2 ego_pos = world.ego().state().position;
   const double ego_heading = world.ego().state().heading;
   const Road& road = world.road();
@@ -88,7 +98,6 @@ std::vector<double> CameraSensor::observe(const World& world) {
     frame[base + 3] = world.ego().actuation().steer;
     frame[base + 4] = world.ego().actuation().thrust;
   }
-  return frame;
 }
 
 FrameStack::FrameStack(int depth, int frame_dim) : depth_(depth), frame_dim_(frame_dim) {
@@ -125,6 +134,24 @@ std::vector<double> FrameStack::observation() const {
   return obs;
 }
 
+std::span<double> FrameStack::push_slot() {
+  auto& slot = frames_[static_cast<std::size_t>(head_)];
+  head_ = (head_ + 1) % depth_;
+  return {slot.data(), slot.size()};
+}
+
+void FrameStack::observation_into(std::span<double> out) const {
+  if (static_cast<int>(out.size()) != dim()) {
+    throw std::invalid_argument("FrameStack::observation_into: dim mismatch");
+  }
+  double* dst = out.data();
+  for (int i = 0; i < depth_; ++i) {
+    const auto& f = frames_[static_cast<std::size_t>((head_ + i) % depth_)];
+    std::copy(f.begin(), f.end(), dst);
+    dst += f.size();
+  }
+}
+
 StackedCameraObserver::StackedCameraObserver(const CameraConfig& config, int depth)
     : camera_(config), stack_(depth, camera_.frame_dim()) {}
 
@@ -133,8 +160,14 @@ void StackedCameraObserver::reset(const World& world) {
 }
 
 std::vector<double> StackedCameraObserver::observe(const World& world) {
-  stack_.push(camera_.observe(world));
-  return stack_.observation();
+  std::vector<double> out(static_cast<std::size_t>(dim()));
+  observe_into(world, out);
+  return out;
+}
+
+void StackedCameraObserver::observe_into(const World& world, std::span<double> out) {
+  camera_.observe_into(world, stack_.push_slot());
+  stack_.observation_into(out);
 }
 
 }  // namespace adsec

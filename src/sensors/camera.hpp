@@ -12,6 +12,7 @@
 // mirroring the paper's 84-pixel image height at panorama scale.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -51,6 +52,10 @@ class CameraSensor {
   // only because fault injection draws from the sensor's noise stream.
   std::vector<double> observe(const World& world);
 
+  // Allocation-free variant: render into a caller buffer of exactly
+  // frame_dim() doubles (the batched-gather and decide() hot paths).
+  void observe_into(const World& world, std::span<double> frame);
+
   int frame_dim() const;
   const CameraConfig& config() const { return config_; }
 
@@ -71,6 +76,13 @@ class FrameStack {
   void reset(const std::vector<double>& frame);
   void push(const std::vector<double>& frame);
   std::vector<double> observation() const;
+
+  // Allocation-free counterparts: push_slot() rotates the ring and hands
+  // back the slot that becomes the newest frame for in-place rendering;
+  // observation_into writes the stacked observation (oldest first) into a
+  // caller buffer of exactly dim() doubles.
+  std::span<double> push_slot();
+  void observation_into(std::span<double> out) const;
 
   int depth() const { return depth_; }
   int frame_dim() const { return frame_dim_; }
@@ -93,6 +105,9 @@ class StackedCameraObserver {
   void reset(const World& world);
   // Capture one frame and return the stacked observation.
   std::vector<double> observe(const World& world);
+  // Allocation-free variant: capture into the ring and write the stacked
+  // observation into `out` (dim() doubles) — e.g. one row of a batch.
+  void observe_into(const World& world, std::span<double> out);
 
   int dim() const { return stack_.dim(); }
   const CameraSensor& camera() const { return camera_; }

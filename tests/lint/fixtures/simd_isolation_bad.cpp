@@ -1,0 +1,11 @@
+// Fixture: x86 intrinsics leaking outside a dedicated *_avx2 SIMD TU.
+// This file's basename has no "_avx2", so it would be compiled WITHOUT
+// -mavx2 -mfma and must not touch vector intrinsics directly — that is
+// the kernel-table dispatch boundary. Expected findings: 4
+// (the include plus three intrinsic tokens).
+#include <immintrin.h>
+
+void leak(double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  _mm256_storeu_pd(p, v);
+}

@@ -1,0 +1,10 @@
+// Fixture: the same intrinsics are legal inside a dedicated SIMD TU — the
+// basename contains "_avx2", marking it as one of the translation units
+// compiled with -mavx2 -mfma (like src/nn/matrix_avx2.cpp). Expected
+// findings: none.
+#include <immintrin.h>
+
+void micro(double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  _mm256_storeu_pd(p, v);
+}

@@ -66,6 +66,8 @@ const FixturePair kPairs[] = {
     {"span-name", "span_name_bad.cpp", 4, "span_name_ok.cpp"},
     {"include-iostream-in-header", "include_iostream_bad.hpp", 1,
      "include_iostream_ok.hpp"},
+    {"intrinsics-isolation", "simd_isolation_bad.cpp", 4,
+     "simd_isolation_ok_avx2.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleHasAPositiveAndNegativeFixture) {

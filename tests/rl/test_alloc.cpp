@@ -14,10 +14,14 @@
 // pairing is correct. The diagnostic cannot see through the replacement.
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
+#include "agents/e2e_agent.hpp"
+#include "nn/simd.hpp"
 #include "nn/workspace.hpp"
 #include "rl/replay.hpp"
 #include "rl/sac.hpp"
 #include "rl/td3.hpp"
+#include "sensors/camera.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
@@ -141,6 +145,90 @@ TEST(SteadyStateAllocations, ForwardInferenceIntoIsAllocationFreeAfterWarmup) {
     for (int i = 0; i < 100; ++i) net.forward_inference_into(obs, out);
   });
   EXPECT_EQ(allocs, 0);
+}
+
+// The batched forward must be allocation-free under EVERY dispatch tier:
+// the AVX2 micro-kernels share the same thread-local pack buffers and
+// per-destination workspaces as the scalar tier, just with different
+// panel shapes.
+TEST(SteadyStateAllocations, BatchedForwardIsAllocationFreeOnEveryTier) {
+  Rng rng(3);
+  const Mlp net({64, 128, 128, 8}, Activation::ReLU, rng);
+  Matrix obs(16, 64);
+  for (int r = 0; r < 16; ++r) {
+    for (int j = 0; j < 64; ++j) obs(r, j) = 0.01 * (r - j);
+  }
+  Matrix out;
+  for (const simd::Tier tier : simd::available_tiers()) {
+    simd::force_tier(tier);
+    // Warm the pack buffers for this tier's panel shape.
+    net.forward_inference_into(obs, out);
+    const long allocs = count_allocs([&] {
+      for (int i = 0; i < 50; ++i) net.forward_inference_into(obs, out);
+    });
+    EXPECT_EQ(allocs, 0) << "tier " << simd::tier_name(tier);
+  }
+  simd::reset_tier();
+}
+
+// The lane scheduler's inner loop — stage each lane's observation into a
+// shared batch row, one batched policy forward, decode each action row —
+// must be allocation-free once the batch matrices are warm. This is the
+// loop that runs once per control cycle for the whole fleet.
+TEST(SteadyStateAllocations, BatchedGatherForwardScatterIsAllocationFree) {
+  Rng rng(42);
+  const int obs_dim = StackedCameraObserver({}, 3).dim();
+  const GaussianPolicy policy = GaussianPolicy::make_mlp(obs_dim, {32, 32}, 2, rng);
+  const int lanes = 8;
+  std::vector<std::unique_ptr<E2EAgent>> agents;
+  std::vector<World> worlds;
+  for (int i = 0; i < lanes; ++i) {
+    Rng world_rng(500 + static_cast<std::uint64_t>(i));
+    worlds.push_back(make_scenario(ScenarioConfig{}, world_rng));
+    agents.push_back(std::make_unique<E2EAgent>(policy, CameraConfig{}, 3));
+    agents.back()->reset(worlds.back());
+  }
+
+  Matrix obs, act;
+  double sink = 0.0;
+  const auto cycle = [&] {
+    obs.resize(lanes, obs_dim);
+    for (int r = 0; r < lanes; ++r) {
+      BatchPolicy& bp = *agents[static_cast<std::size_t>(r)];
+      bp.stage_observation(worlds[static_cast<std::size_t>(r)], obs.row(r));
+    }
+    agents[0]->policy_forward(obs, act);
+    for (int r = 0; r < lanes; ++r) {
+      const Action a =
+          agents[static_cast<std::size_t>(r)]->action_from_row(act.row(r));
+      sink += a.steer_variation + a.thrust_variation;
+    }
+  };
+  cycle();  // warm: batch matrices sized, workspaces and pack buffers leased
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 10; ++i) cycle();
+  });
+  EXPECT_EQ(allocs, 0) << "batched gather/forward/scatter allocated (sink=" << sink
+                       << ")";
+}
+
+// The single-lane decide() path shares the same staging matrices, so a
+// steady-state episode performs no per-step policy allocations either.
+TEST(SteadyStateAllocations, E2EDecideIsAllocationFreeAfterWarmup) {
+  Rng rng(42);
+  const int obs_dim = StackedCameraObserver({}, 3).dim();
+  const GaussianPolicy policy = GaussianPolicy::make_mlp(obs_dim, {32, 32}, 2, rng);
+  E2EAgent agent(policy, CameraConfig{}, 3);
+  Rng world_rng(7);
+  World world = make_scenario(ScenarioConfig{}, world_rng);
+  agent.reset(world);
+  double sink = 0.0;
+  sink += agent.decide(world).steer_variation;  // warm
+  const long allocs = count_allocs([&] {
+    for (int i = 0; i < 20; ++i) sink += agent.decide(world).steer_variation;
+  });
+  EXPECT_EQ(allocs, 0) << "decide() allocated on the steady-state path (sink="
+                       << sink << ")";
 }
 
 // The workspace telemetry byte counter corroborates the allocator shim: the

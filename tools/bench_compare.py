@@ -7,6 +7,12 @@ over its own reference implementation on the same machine is stable. The
 full comparison table is printed as GitHub-flavored markdown so CI can
 append it to the job summary; the exit code carries the verdict.
 
+Ratios are only comparable within one SIMD dispatch tier: the baseline is
+recorded on an AVX2 host, and e.g. the avx2-vs-scalar table is not written
+at all when the runner lacks AVX2. Both JSON files carry a top-level
+"simd_tier" field; when the tiers differ the comparison is reported but
+nothing is gated (and missing tier-dependent tables/rows are not failures).
+
 Usage:
     bench_compare.py BASELINE CURRENT [--tolerance 0.15]
 """
@@ -19,14 +25,14 @@ import sys
 RATIO_HEADERS = ("speedup", "ratio")
 
 
-def load_tables(path):
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     tables = {}
     for table in doc.get("tables", []):
         rows = {row[0]: row for row in table.get("rows", [])}
         tables[table["name"]] = {"headers": table.get("headers", []), "rows": rows}
-    return tables
+    return tables, doc.get("simd_tier", "unknown")
 
 
 def is_number(text):
@@ -45,15 +51,24 @@ def main():
                         help="allowed relative drift on ratio columns")
     args = parser.parse_args()
 
-    base = load_tables(args.baseline)
-    cur = load_tables(args.current)
+    base, base_tier = load_doc(args.baseline)
+    cur, cur_tier = load_doc(args.current)
+    tier_match = base_tier == cur_tier
     failures = []
 
     print("## Benchmark comparison (current vs committed baseline)")
+    if not tier_match:
+        print(f"\n> **Note:** SIMD tier mismatch — baseline recorded on"
+              f" `{base_tier}`, current run on `{cur_tier}`. Ratio columns"
+              f" are reported but NOT gated, and tier-dependent tables/rows"
+              f" absent from the current run are not failures.")
     for name, base_table in sorted(base.items()):
         cur_table = cur.get(name)
         if cur_table is None:
-            failures.append(f"table `{name}` missing from current run")
+            if tier_match:
+                failures.append(f"table `{name}` missing from current run")
+            else:
+                print(f"\n### {name}\n\n(absent on `{cur_tier}` host — skipped)")
             continue
         headers = base_table["headers"]
         print(f"\n### {name}\n")
@@ -63,7 +78,8 @@ def main():
         for key, base_row in base_table["rows"].items():
             cur_row = cur_table["rows"].get(key)
             if cur_row is None:
-                failures.append(f"{name}: row `{key}` missing from current run")
+                if tier_match:
+                    failures.append(f"{name}: row `{key}` missing from current run")
                 continue
             for i, header in enumerate(headers[1:], start=1):
                 if not (is_number(base_row[i]) and i < len(cur_row)
@@ -71,7 +87,7 @@ def main():
                     continue
                 b, c = float(base_row[i]), float(cur_row[i])
                 ratio = c / b if b != 0 else float("inf")
-                gated = header in RATIO_HEADERS
+                gated = header in RATIO_HEADERS and tier_match
                 verdict = "yes" if gated else "no"
                 if gated and abs(ratio - 1.0) > args.tolerance:
                     verdict = "**FAIL**"

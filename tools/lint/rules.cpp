@@ -456,6 +456,48 @@ void rule_include_iostream(const std::string& path,
   }
 }
 
+// intrinsics-isolation -------------------------------------------------------
+//
+// x86 intrinsics may only live in the dedicated SIMD translation units
+// (basename containing "_avx2", e.g. nn/matrix_avx2.cpp), which are the
+// only TUs compiled with -mavx2 -mfma. An <immintrin.h> include or an
+// _mm*/__m256 token anywhere else would either fail to compile on the
+// portable build or — worse — silently let the compiler emit AVX2 in a TU
+// that must stay runtime-dispatched (the whole point of the kernel table).
+
+bool simd_tu(const std::string& path) {
+  return basename_of(path).find("_avx2") != std::string::npos;
+}
+
+bool intrinsics_identifier(const std::string& text) {
+  return starts_with(text, "_mm") || starts_with(text, "__m128") ||
+         starts_with(text, "__m256") || starts_with(text, "__m512");
+}
+
+void rule_intrinsics_isolation(const std::string& path,
+                               const std::vector<Token>& toks,
+                               std::vector<Finding>& out) {
+  if (simd_tu(path)) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::PpInclude &&
+        (t.text == "<immintrin.h>" || t.text == "<x86intrin.h>" ||
+         t.text == "<emmintrin.h>" || t.text == "<xmmintrin.h>" ||
+         t.text == "<avxintrin.h>" || t.text == "<avx2intrin.h>")) {
+      add(out, path, t, "intrinsics-isolation",
+          "intrinsics header " + t.text +
+              " outside a dedicated *_avx2 SIMD TU; keep vector code behind "
+              "the nn/kernel_table.hpp dispatch");
+    } else if (t.kind == TokKind::Identifier && intrinsics_identifier(t.text) &&
+               !member_or_foreign_qualified(toks, i)) {
+      add(out, path, t, "intrinsics-isolation",
+          "intrinsic token " + t.text +
+              " outside a dedicated *_avx2 SIMD TU; keep vector code behind "
+              "the nn/kernel_table.hpp dispatch");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleDesc>& rule_table() {
@@ -479,6 +521,9 @@ const std::vector<RuleDesc>& rule_table() {
        "ADSEC_SPAN/SpanGuard names must be lowercase dotted string literals "
        "(\"subsystem.verb\")"},
       {"include-iostream-in-header", "<iostream> included from a header"},
+      {"intrinsics-isolation",
+       "<immintrin.h>-family includes or _mm*/__m128/__m256/__m512 tokens "
+       "outside a dedicated *_avx2 SIMD TU"},
   };
   return kRules;
 }
@@ -494,6 +539,7 @@ void check_file(const std::string& path, const LexedFile& lexed,
   rule_orchestrator_atomic_write(path, toks, out);
   rule_span_name(path, toks, out);
   rule_include_iostream(path, toks, out);
+  rule_intrinsics_isolation(path, toks, out);
 }
 
 }  // namespace adsec::lint
