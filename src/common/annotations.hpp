@@ -1,0 +1,126 @@
+// Compile-time concurrency contracts: Clang thread-safety annotations plus
+// annotated mutex wrappers.
+//
+// The raw libstdc++ std::mutex carries no thread-safety attributes, so
+// -Wthread-safety has nothing to check against it. Every lock in src/
+// therefore goes through the annotated adsec::Mutex below, fields it
+// protects carry ADSEC_GUARDED_BY(mu_), and helpers that assume the lock is
+// already held carry ADSEC_REQUIRES(mu_). CI's thread-safety job compiles
+// the tree under clang with -Wthread-safety -Werror=thread-safety, which
+// turns those declarations into checked contracts; under GCC (and any other
+// compiler) every macro expands to nothing and the wrappers cost exactly a
+// std::mutex / std::lock_guard.
+//
+// Known analysis limits that shape the code style (see DESIGN.md
+// "Concurrency contracts"):
+//   - constructors and destructors are not analyzed, so post-join reads in
+//     a destructor need no annotation;
+//   - lambda bodies are analyzed as separate functions — a capability held
+//     at the capture site does NOT transfer inside, so condition-variable
+//     waits use explicit `while (!pred()) cv_.wait(lock);` loops instead of
+//     predicate lambdas;
+//   - the analysis is intra-procedural: a `*_locked()` helper must declare
+//     ADSEC_REQUIRES(mu_) or its guarded accesses will be flagged.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ADSEC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADSEC_THREAD_ANNOTATION
+#define ADSEC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type declares a capability (a lock); instances can be held or not held.
+#define ADSEC_CAPABILITY(x) ADSEC_THREAD_ANNOTATION(capability(x))
+// RAII type whose lifetime equals holding the capability passed to its ctor.
+#define ADSEC_SCOPED_CAPABILITY ADSEC_THREAD_ANNOTATION(scoped_lockable)
+// Field may only be read/written while holding the named capability.
+#define ADSEC_GUARDED_BY(x) ADSEC_THREAD_ANNOTATION(guarded_by(x))
+// Pointer field: the pointee (not the pointer) is guarded.
+#define ADSEC_PT_GUARDED_BY(x) ADSEC_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function requires the capabilities to be held on entry (and exit).
+#define ADSEC_REQUIRES(...) \
+  ADSEC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function acquires / releases the capabilities (empty list = `this`).
+#define ADSEC_ACQUIRE(...) \
+  ADSEC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ADSEC_RELEASE(...) \
+  ADSEC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Function conditionally acquires: holds iff it returned `ret`.
+#define ADSEC_TRY_ACQUIRE(ret, ...) \
+  ADSEC_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+// Caller must NOT hold the capabilities (non-reentrancy contract).
+#define ADSEC_EXCLUDES(...) ADSEC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Function returns a reference to the named capability.
+#define ADSEC_RETURN_CAPABILITY(x) ADSEC_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch for code the analysis cannot model; use with a comment.
+#define ADSEC_NO_THREAD_SAFETY_ANALYSIS \
+  ADSEC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace adsec {
+
+// Annotated std::mutex. The wrapped member is the one sanctioned raw
+// std::mutex in src/ (adsec_lint's unguarded-mutex rule exempts this file).
+class ADSEC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADSEC_ACQUIRE() { mu_.lock(); }
+  void unlock() ADSEC_RELEASE() { mu_.unlock(); }
+  bool try_lock() ADSEC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// std::lock_guard equivalent over the annotated Mutex.
+class ADSEC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ADSEC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ADSEC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::unique_lock equivalent: BasicLockable, so it drives
+// std::condition_variable_any waits and supports the unlock-work-relock
+// pattern the blocking-call rule demands around I/O.
+class ADSEC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ADSEC_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    held_ = true;
+  }
+  ~UniqueLock() ADSEC_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ADSEC_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() ADSEC_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  Mutex& mu_;
+  bool held_{false};
+};
+
+}  // namespace adsec

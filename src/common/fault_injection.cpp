@@ -14,7 +14,7 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(const std::string& point, FaultKind kind, int fire_at,
                         int repeat, int param) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plans_.find(point) == plans_.end()) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -23,7 +23,7 @@ void FaultInjector::arm(const std::string& point, FaultKind kind, int fire_at,
 }
 
 void FaultInjector::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_.clear();
   hits_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
@@ -31,7 +31,7 @@ void FaultInjector::reset() {
 
 std::optional<Fault> FaultInjector::fire(const std::string& point) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto plan = plans_.find(point);
   if (plan == plans_.end()) return std::nullopt;
   const int hit = ++hits_[point];
@@ -48,7 +48,7 @@ std::optional<Fault> FaultInjector::fire(const std::string& point) {
 }
 
 int FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hits_.find(point);
   return it == hits_.end() ? 0 : it->second;
 }

@@ -13,10 +13,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/annotations.hpp"
 
 namespace adsec {
 
@@ -70,9 +71,9 @@ class FaultInjector {
   };
 
   std::atomic<int> armed_count_{0};
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Plan> plans_;
-  std::unordered_map<std::string, int> hits_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Plan> plans_ ADSEC_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> hits_ ADSEC_GUARDED_BY(mu_);
 };
 
 inline FaultInjector& fault_injector() { return FaultInjector::instance(); }

@@ -103,7 +103,7 @@ GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
   std::shared_future<GaussianPolicy> future;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     auto it = inflight_.find(name);
     if (it == inflight_.end()) {
       leader = true;
@@ -123,13 +123,13 @@ GaussianPolicy PolicyZoo::cached_or_train(const std::string& name,
   try {
     GaussianPolicy policy = load_or_train(name, train);
     promise.set_value(policy);
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.erase(name);
     return policy;
   } catch (...) {
     promise.set_exception(std::current_exception());
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(inflight_mu_);
       inflight_.erase(name);
     }
     throw;
@@ -228,7 +228,7 @@ Mlp PolicyZoo::td3_attacker() {
   // Same single-flight discipline as cached_or_train, specialised to the
   // one Mlp entry: serialize lookups so concurrent callers never train the
   // TD3 actor twice or read a half-written cache file.
-  std::lock_guard<std::mutex> guard(td3_mu_);
+  MutexLock guard(td3_mu_);
   const std::string file = path("attacker_cam_td3");
   if (file_exists(file)) {
     try {

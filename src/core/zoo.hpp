@@ -11,10 +11,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "agents/e2e_agent.hpp"
+#include "common/annotations.hpp"
 #include "agents/modular_agent.hpp"
 #include "attack/attacker.hpp"
 #include "core/experiment.hpp"
@@ -97,9 +97,12 @@ class PolicyZoo {
   ImuConfig imu_;
   int frame_stack_{3};
 
-  std::mutex inflight_mu_;
-  std::map<std::string, std::shared_future<GaussianPolicy>> inflight_;
-  std::mutex td3_mu_;  // serializes td3_attacker (one cache entry)
+  Mutex inflight_mu_;
+  std::map<std::string, std::shared_future<GaussianPolicy>> inflight_
+      ADSEC_GUARDED_BY(inflight_mu_);
+  // Serializes td3_attacker (one cache entry): protects the load-or-train
+  // critical section, not a field. adsec-lint: allow(unguarded-mutex)
+  Mutex td3_mu_;
 };
 
 }  // namespace adsec

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "nn/kernel_table.hpp"
 #include "telemetry/metrics.hpp"
@@ -15,7 +15,9 @@ namespace {
 // The latched dispatch decision. nullptr = not resolved yet; the first
 // kernel call (or an explicit active_tier()/force_tier()) resolves it.
 std::atomic<const detail::KernelTable*> g_table{nullptr};
-std::mutex g_resolve_mu;
+// Serializes resolve/publish so one resolver wins; the latch itself is the
+// atomic above, not a guarded field. adsec-lint: allow(unguarded-mutex)
+Mutex g_resolve_mu;
 
 const detail::KernelTable* table_for(simd::Tier tier) {
   return tier == simd::Tier::Avx2 ? detail::avx2_kernel_table()
@@ -42,7 +44,7 @@ void publish(const detail::KernelTable* t) {
 }
 
 // Resolve ADSEC_SIMD / CPUID under the lock; idempotent.
-const detail::KernelTable* resolve_locked() {
+const detail::KernelTable* resolve_locked() ADSEC_REQUIRES(g_resolve_mu) {
   const detail::KernelTable* t = g_table.load(std::memory_order_acquire);
   if (t != nullptr) return t;
   simd::Tier tier = simd::Tier::Scalar;
@@ -77,7 +79,7 @@ namespace detail {
 const KernelTable& active_kernel_table() {
   const KernelTable* t = g_table.load(std::memory_order_acquire);
   if (t != nullptr) return *t;
-  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  MutexLock lock(g_resolve_mu);
   return *resolve_locked();
 }
 
@@ -108,12 +110,12 @@ void force_tier(Tier tier) {
                                        tier_name(tier) +
                                        "' not supported on this machine/build");
   }
-  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  MutexLock lock(g_resolve_mu);
   publish(table_for(tier));
 }
 
 void reset_tier() {
-  std::lock_guard<std::mutex> lock(g_resolve_mu);
+  MutexLock lock(g_resolve_mu);
   g_table.store(nullptr, std::memory_order_release);
 }
 

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <tuple>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/logging.hpp"
@@ -88,8 +88,10 @@ class GridExecution {
       if (jobs_[i].deps_remaining == 0) submit(pool, i);
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return terminal_ == jobs_.size(); });
+      UniqueLock lock(mu_);
+      // Manual wait loop: a predicate lambda would be analyzed as a
+      // separate function and could not see that mu_ is held.
+      while (terminal_ != jobs_.size()) cv_.wait(lock);
     }
     if (watchdog.joinable()) watchdog.join();
     // The pool destructor drains queued lambdas; anything still enqueued
@@ -97,7 +99,10 @@ class GridExecution {
   }
 
   [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
-  [[nodiscard]] std::exception_ptr crash() const { return crash_; }
+  [[nodiscard]] std::exception_ptr crash() const {
+    MutexLock lock(mu_);
+    return crash_;
+  }
 
  private:
   void submit(WorkStealingPool& pool, std::size_t i) {
@@ -106,7 +111,7 @@ class GridExecution {
 
   void run_job(WorkStealingPool& pool, std::size_t i) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Job& j = jobs_[i];
       if (j.state != JobState::Pending) return;  // skipped or crash-stopped
       j.state = JobState::Running;
@@ -142,7 +147,7 @@ class GridExecution {
             still_running(i)) {
           ++attempt;
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             jobs_[i].retries = attempt;
           }
           dag_metrics().retries.inc();
@@ -171,7 +176,7 @@ class GridExecution {
   }
 
   bool still_running(std::size_t i) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return jobs_[i].state == JobState::Running && crash_ == nullptr;
   }
 
@@ -179,7 +184,7 @@ class GridExecution {
               std::string error_class, std::string message) {
     std::vector<std::size_t> ready;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       Job& j = jobs_[i];
       if (j.state != JobState::Running) return;  // watchdog got here first
       j.state = state;
@@ -204,7 +209,7 @@ class GridExecution {
   }
 
   // A failed/timed-out/skipped job poisons everything downstream of it.
-  void skip_dependents_locked(std::size_t i) {
+  void skip_dependents_locked(std::size_t i) ADSEC_REQUIRES(mu_) {
     for (const std::size_t d : jobs_[i].dependents) {
       Job& dep = jobs_[d];
       --dep.deps_remaining;
@@ -219,7 +224,7 @@ class GridExecution {
   }
 
   void record_crash(std::size_t i, std::exception_ptr eptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (crash_ == nullptr) crash_ = eptr;
     Job& j = jobs_[i];
     if (j.state == JobState::Running) {
@@ -241,7 +246,7 @@ class GridExecution {
   }
 
   void watchdog_loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     while (terminal_ < jobs_.size()) {
       const std::uint64_t now = telemetry::monotonic_ns();
       for (std::size_t i = 0; i < jobs_.size(); ++i) {
@@ -263,7 +268,7 @@ class GridExecution {
     }
   }
 
-  void notify_progress_locked() {
+  void notify_progress_locked() ADSEC_REQUIRES(mu_) {
     if (options_.on_progress) {
       options_.on_progress(static_cast<int>(terminal_),
                            static_cast<int>(jobs_.size()));
@@ -271,12 +276,17 @@ class GridExecution {
     cv_.notify_all();
   }
 
+  // Job bodies and span names are immutable after construction and read
+  // without the lock; the mutable Job fields (state, retries, error text,
+  // deps_remaining, deadline) are only touched under mu_. The analyzer
+  // cannot express a per-field split inside a vector element, so jobs_
+  // itself stays unannotated.
   std::vector<Job> jobs_;
   const GridOptions& options_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t terminal_{0};
-  std::exception_ptr crash_{nullptr};
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  std::size_t terminal_ ADSEC_GUARDED_BY(mu_){0};
+  std::exception_ptr crash_ ADSEC_GUARDED_BY(mu_){nullptr};
 };
 
 }  // namespace

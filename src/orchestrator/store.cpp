@@ -66,6 +66,9 @@ std::string ResultStore::cell_path(const std::string& key_hex) const {
 }
 
 void ResultStore::load_or_rebuild_manifest() {
+  // Constructor-only path, so the lock is uncontended; taking it anyway
+  // keeps index_ access uniform under analysis.
+  MutexLock lock(mu_);
   const std::string manifest = dir_ + "/MANIFEST";
   if (std::filesystem::exists(manifest)) {
     try {
@@ -121,7 +124,7 @@ void ResultStore::load_or_rebuild_manifest() {
 std::optional<CellResult> ResultStore::lookup(const Cell& cell) {
   const std::string key_hex = cell_key(cell).hex();
   const std::string canonical = canonical_config(cell);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key_hex);
   if (it == index_.end()) {
     store_metrics().misses.inc();
@@ -162,7 +165,7 @@ void ResultStore::put(const Cell& cell, const CellResult& result) {
   w.save_checked(cell_path(key_hex), kCellFileVersion);
   crash_point("store.put.cell_written");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     index_[key_hex] = canonical;
     commit_manifest_locked();
   }
@@ -183,7 +186,7 @@ void ResultStore::commit_manifest_locked() {
 }
 
 std::size_t ResultStore::finished_cells() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.size();
 }
 

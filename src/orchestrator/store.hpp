@@ -21,11 +21,11 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "core/metrics.hpp"
 #include "orchestrator/cell.hpp"
 
@@ -53,13 +53,14 @@ class ResultStore {
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
  private:
-  void load_or_rebuild_manifest();
-  void commit_manifest_locked();
+  void load_or_rebuild_manifest() ADSEC_EXCLUDES(mu_);
+  void commit_manifest_locked() ADSEC_REQUIRES(mu_);
   [[nodiscard]] std::string cell_path(const std::string& key_hex) const;
 
   std::string dir_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> index_;  // key hex -> canonical config
+  mutable Mutex mu_;
+  // key hex -> canonical config
+  std::map<std::string, std::string> index_ ADSEC_GUARDED_BY(mu_);
 };
 
 }  // namespace adsec::orch

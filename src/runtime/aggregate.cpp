@@ -3,7 +3,7 @@
 namespace adsec {
 
 void EpisodeAggregator::add(const EpisodeMetrics& m) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++episodes_;
   if (m.collision.has_value()) ++collisions_;
   if (m.side_collision) ++side_collisions_;
@@ -17,58 +17,58 @@ void EpisodeAggregator::add(const EpisodeMetrics& m) {
 }
 
 int EpisodeAggregator::episodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return episodes_;
 }
 
 int EpisodeAggregator::collisions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return collisions_;
 }
 
 int EpisodeAggregator::side_collisions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return side_collisions_;
 }
 
 double EpisodeAggregator::success_rate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (episodes_ == 0) return 0.0;
   return static_cast<double>(side_collisions_) / static_cast<double>(episodes_);
 }
 
 RunningStats EpisodeAggregator::nominal_reward() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return nominal_reward_;
 }
 
 RunningStats EpisodeAggregator::adv_reward() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return adv_reward_;
 }
 
 RunningStats EpisodeAggregator::passed_npcs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return passed_npcs_;
 }
 
 RunningStats EpisodeAggregator::attack_effort() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return attack_effort_;
 }
 
 RunningStats EpisodeAggregator::plan_deviation_rmse() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return plan_deviation_rmse_;
 }
 
 RunningStats EpisodeAggregator::deviation_rmse() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return deviation_rmse_;
 }
 
 RunningStats EpisodeAggregator::time_to_collision() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return time_to_collision_;
 }
 

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "common/stats.hpp"
 #include "core/metrics.hpp"
 
@@ -40,17 +40,17 @@ class EpisodeAggregator {
   RunningStats time_to_collision() const;
 
  private:
-  mutable std::mutex mutex_;
-  int episodes_{0};
-  int collisions_{0};
-  int side_collisions_{0};
-  RunningStats nominal_reward_;
-  RunningStats adv_reward_;
-  RunningStats passed_npcs_;
-  RunningStats attack_effort_;
-  RunningStats plan_deviation_rmse_;
-  RunningStats deviation_rmse_;
-  RunningStats time_to_collision_;
+  mutable Mutex mutex_;
+  int episodes_ ADSEC_GUARDED_BY(mutex_){0};
+  int collisions_ ADSEC_GUARDED_BY(mutex_){0};
+  int side_collisions_ ADSEC_GUARDED_BY(mutex_){0};
+  RunningStats nominal_reward_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats adv_reward_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats passed_npcs_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats attack_effort_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats plan_deviation_rmse_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats deviation_rmse_ ADSEC_GUARDED_BY(mutex_);
+  RunningStats time_to_collision_ ADSEC_GUARDED_BY(mutex_);
 };
 
 // Monotonic completion counter with an optional stderr ticker, safe to call

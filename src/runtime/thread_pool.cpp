@@ -44,7 +44,7 @@ WorkStealingPool::WorkStealingPool(int threads)
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     done_ = true;
   }
   cv_.notify_all();
@@ -68,7 +68,7 @@ WorkStealingPool::~WorkStealingPool() {
 }
 
 std::vector<WorkerStats> WorkStealingPool::worker_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -76,7 +76,7 @@ int WorkStealingPool::current_worker_index() { return tl_worker_index; }
 
 void WorkStealingPool::push(int worker, std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (done_) throw std::runtime_error("WorkStealingPool: submit after shutdown");
     std::size_t home;
     if (worker >= 0 && worker < size()) {
@@ -117,8 +117,8 @@ void WorkStealingPool::worker_loop(int index) {
   tl_pool = this;
   tl_worker_index = index;
   telemetry::set_thread_name("pool.worker-" + std::to_string(index));
+  UniqueLock lock(mutex_);
   WorkerStats& my = stats_[static_cast<std::size_t>(index)];
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     std::function<void()> task;
     if (try_take(index, task)) {

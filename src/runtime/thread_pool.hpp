@@ -20,11 +20,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "telemetry/trace.hpp"
 
 namespace adsec {
@@ -104,18 +104,18 @@ class WorkStealingPool {
     return future;
   }
 
-  void push(int worker, std::function<void()> task);
-  bool try_take(int self, std::function<void()>& out);
+  void push(int worker, std::function<void()> task) ADSEC_EXCLUDES(mutex_);
+  bool try_take(int self, std::function<void()>& out) ADSEC_REQUIRES(mutex_);
   void worker_loop(int index);
 
   int size_{0};
-  std::vector<std::deque<std::function<void()>>> queues_;
-  std::vector<WorkerStats> stats_;  // per-worker, guarded by mutex_
+  std::vector<std::deque<std::function<void()>>> queues_ ADSEC_GUARDED_BY(mutex_);
+  std::vector<WorkerStats> stats_ ADSEC_GUARDED_BY(mutex_);  // per-worker
   std::vector<std::thread> workers_;
-  mutable std::mutex mutex_;  // guards queues_, stats_, next_, done_
-  std::condition_variable cv_;
-  std::size_t next_{0};  // round-robin cursor for external submits
-  bool done_{false};
+  mutable Mutex mutex_;  // guards queues_, stats_, next_, done_
+  std::condition_variable_any cv_;
+  std::size_t next_ ADSEC_GUARDED_BY(mutex_){0};  // round-robin submit cursor
+  bool done_ ADSEC_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace adsec

@@ -27,7 +27,7 @@ AdmitDecision AdmissionQueue::try_push(PendingRequest pending,
                                        const std::function<void()>& on_admit) {
   std::string reason;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       reason = "shutting_down";
     } else if (items_.size() >= depth_) {
@@ -50,8 +50,10 @@ AdmitDecision AdmissionQueue::try_push(PendingRequest pending,
 }
 
 std::optional<PendingRequest> AdmissionQueue::pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  UniqueLock lock(mu_);
+  // Manual wait loop: a predicate lambda would be analyzed as a separate
+  // function and could not see that mu_ is held.
+  while (!closed_ && items_.empty()) cv_.wait(lock);
   if (items_.empty()) return std::nullopt;  // closed and drained
   PendingRequest out = std::move(items_.front());
   items_.pop_front();
@@ -63,7 +65,7 @@ std::vector<PendingRequest> AdmissionQueue::pop_matching(
     const std::function<bool(const PendingRequest&)>& match,
     std::size_t max_items) {
   std::vector<PendingRequest> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = items_.begin(); it != items_.end() && out.size() < max_items;) {
     if (match(*it)) {
       out.push_back(std::move(*it));
@@ -80,19 +82,19 @@ std::vector<PendingRequest> AdmissionQueue::pop_matching(
 
 void AdmissionQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t AdmissionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 

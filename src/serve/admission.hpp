@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/trace.hpp"
 
@@ -81,10 +81,10 @@ class AdmissionQueue {
 
  private:
   const std::size_t depth_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<PendingRequest> items_;
-  bool closed_{false};
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<PendingRequest> items_ ADSEC_GUARDED_BY(mu_);
+  bool closed_ ADSEC_GUARDED_BY(mu_){false};
 };
 
 }  // namespace adsec::serve

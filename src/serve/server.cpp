@@ -129,17 +129,17 @@ void EvalServer::emit(const ResultCallback& sink, const ResultRecord& record) {
   const bool terminal = record.status == "done" || record.status == "failed" ||
                         record.status == "rejected";
   {
-    std::lock_guard<std::mutex> lock(sink_mu_);
+    MutexLock lock(sink_mu_);
     if (target) target(record);
   }
   if (terminal) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++answered_;
   }
 }
 
 std::uint64_t EvalServer::answered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return answered_;
 }
 
@@ -249,8 +249,8 @@ void EvalServer::dispatcher_loop() {
     {
       // Hold dispatch until a worker slot frees: the queue depth, not the
       // pool's internal deques, is the server's only backlog.
-      std::unique_lock<std::mutex> lock(mu_);
-      slots_cv_.wait(lock, [&] { return in_flight_ < workers_; });
+      UniqueLock lock(mu_);
+      while (in_flight_ >= workers_) slots_cv_.wait(lock);
       ++in_flight_;
     }
     pool_->submit([this, group] {
@@ -258,14 +258,14 @@ void EvalServer::dispatcher_loop() {
       // Notify under the lock: the destructor may destroy slots_cv_ as soon
       // as the dispatcher observes in_flight_ == 0, and holding mu_ through
       // the notify orders this call before that observation.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       slots_cv_.notify_all();
     });
   }
   // Queue closed and drained; wait for in-flight work, then mark drained.
-  std::unique_lock<std::mutex> lock(mu_);
-  slots_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  UniqueLock lock(mu_);
+  while (in_flight_ != 0) slots_cv_.wait(lock);
   drained_ = true;
   slots_cv_.notify_all();
 }
@@ -441,7 +441,7 @@ void EvalServer::drain() {
   if (dispatcher_.joinable()) dispatcher_.join();
   // After the dispatcher exits, drained_ is set and in_flight_ is 0; the
   // join itself is the barrier, but keep the flag for idempotent re-entry.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   drained_ = true;
 }
 

@@ -34,11 +34,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "core/zoo.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/admission.hpp"
@@ -127,14 +127,16 @@ class EvalServer {
   std::unique_ptr<WorkStealingPool> pool_;
   std::unique_ptr<WorkerCaches> caches_;
 
-  mutable std::mutex mu_;            // guards in_flight_, answered_, drained_
-  std::condition_variable slots_cv_;
+  mutable Mutex mu_;  // guards in_flight_, answered_, drained_
+  std::condition_variable_any slots_cv_;
   std::atomic<int> consecutive_rejections_{0};
-  int in_flight_{0};
-  std::uint64_t answered_{0};
-  bool drained_{false};
+  int in_flight_ ADSEC_GUARDED_BY(mu_){0};
+  std::uint64_t answered_ ADSEC_GUARDED_BY(mu_){0};
+  bool drained_ ADSEC_GUARDED_BY(mu_){false};
 
-  mutable std::mutex sink_mu_;  // serializes record emission
+  // Serializes record emission; protects an ordering invariant (records
+  // never interleave), not a field. adsec-lint: allow(unguarded-mutex)
+  mutable Mutex sink_mu_;
   std::thread dispatcher_;
 };
 

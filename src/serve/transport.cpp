@@ -36,10 +36,13 @@ FileWatchTransport::FileWatchTransport(EvalServer& server, std::string request_p
       result_path_(std::move(result_path)) {}
 
 bool FileWatchTransport::append_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(*write_mu_);
+  MutexLock lock(*write_mu_);
+  // The append must happen under the lock: it is exactly what the lock
+  // serializes. adsec-lint: allow(lock-held-blocking)
   if (std::FILE* f = std::fopen(result_path_.c_str(), "a")) {
     std::string out = line;
     out += '\n';
+    // adsec-lint: allow(lock-held-blocking)
     const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
     return std::fclose(f) == 0 && wrote;
   }
@@ -53,10 +56,13 @@ ResultCallback FileWatchTransport::sink() {
   auto mu = write_mu_;
   std::string path = result_path_;
   return [mu, path](const ResultRecord& record) {
-    std::lock_guard<std::mutex> lock(*mu);
+    MutexLock lock(*mu);
+    // Serialized append is the point of the lock.
+    // adsec-lint: allow(lock-held-blocking)
     if (std::FILE* f = std::fopen(path.c_str(), "a")) {
       std::string out = record.to_jsonl();
       out += '\n';
+      // adsec-lint: allow(lock-held-blocking)
       std::fwrite(out.data(), 1, out.size(), f);
       std::fclose(f);
     } else {
@@ -151,8 +157,8 @@ namespace {
 
 // Write all of `line` + '\n' to `fd`, suppressing SIGPIPE. Returns false on
 // a write error (the peer hung up); callers drop the record.
-bool write_line_fd(int fd, std::mutex& mu, const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu);
+bool write_line_fd(int fd, Mutex& mu, const std::string& line) {
+  MutexLock lock(mu);
   std::string out = line;
   out += '\n';
 #ifdef MSG_NOSIGNAL
@@ -177,11 +183,13 @@ bool write_line_fd(int fd, std::mutex& mu, const std::string& line) {
 // never written to a recycled descriptor.
 struct Connection {
   int fd{-1};
-  std::mutex write_mu;
-  std::mutex mu;
-  std::condition_variable cv;
-  int outstanding{0};
-  bool eof{false};
+  // Serializes writes to the fd so records never interleave; protects an
+  // ordering invariant, not a field. adsec-lint: allow(unguarded-mutex)
+  Mutex write_mu;
+  Mutex mu;
+  std::condition_variable_any cv;
+  int outstanding ADSEC_GUARDED_BY(mu){0};
+  bool eof ADSEC_GUARDED_BY(mu){false};
 };
 
 }  // namespace
@@ -190,8 +198,8 @@ struct UdsTransport::Impl {
   int listen_fd{-1};
   std::atomic<bool> shutdown{false};
   std::vector<std::thread> threads;
-  std::mutex conns_mu;
-  std::vector<std::shared_ptr<Connection>> conns;
+  Mutex conns_mu;
+  std::vector<std::shared_ptr<Connection>> conns ADSEC_GUARDED_BY(conns_mu);
 
   void handle_connection(EvalServer& server, std::shared_ptr<Connection> conn);
 };
@@ -228,7 +236,7 @@ UdsTransport::~UdsTransport() {
   if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
   {
     // Unblock connection readers so their threads can exit.
-    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    MutexLock lock(impl_->conns_mu);
     for (const auto& conn : impl_->conns) ::shutdown(conn->fd, SHUT_RDWR);
   }
   for (auto& t : impl_->threads) {
@@ -284,14 +292,14 @@ void UdsTransport::Impl::handle_connection(EvalServer& server,
       }
 
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(conn->mu);
         ++conn->outstanding;
       }
       server.submit_line(line, [conn](const ResultRecord& record) {
         write_line_fd(conn->fd, conn->write_mu, record.to_jsonl());
         if (record.status == "done" || record.status == "failed" ||
             record.status == "rejected") {
-          std::lock_guard<std::mutex> lock(conn->mu);
+          MutexLock lock(conn->mu);
           --conn->outstanding;
           conn->cv.notify_all();
         }
@@ -301,9 +309,11 @@ void UdsTransport::Impl::handle_connection(EvalServer& server,
   }
   // Keep the fd alive until every in-flight request has answered.
   {
-    std::unique_lock<std::mutex> lock(conn->mu);
+    UniqueLock lock(conn->mu);
     conn->eof = true;
-    conn->cv.wait(lock, [&] { return conn->outstanding == 0; });
+    // Manual wait loop: a predicate lambda would be analyzed as a separate
+    // function and could not see that conn->mu is held.
+    while (conn->outstanding != 0) conn->cv.wait(lock);
   }
   ::close(conn->fd);
 }
@@ -352,7 +362,7 @@ void UdsTransport::run(const std::atomic<bool>& stop,
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
-      std::lock_guard<std::mutex> lock(impl_->conns_mu);
+      MutexLock lock(impl_->conns_mu);
       impl_->conns.push_back(conn);
     }
     impl_->threads.emplace_back(

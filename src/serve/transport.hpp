@@ -24,9 +24,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "serve/server.hpp"
 
 namespace adsec::serve {
@@ -77,7 +77,10 @@ class FileWatchTransport {
   std::string carry_;         // partial last line awaiting its '\n'
   bool shutdown_requested_{false};
   bool report_write_failed_{false};
-  std::shared_ptr<std::mutex> write_mu_{std::make_shared<std::mutex>()};
+  // Shared with the sink closures so in-flight requests can still append
+  // after the transport is gone; serializes appends (an ordering invariant,
+  // not a field). adsec-lint: allow(unguarded-mutex)
+  std::shared_ptr<Mutex> write_mu_{std::make_shared<Mutex>()};
 };
 
 // POSIX-only; on other platforms the constructor throws Error{Config}.

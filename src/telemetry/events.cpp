@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "telemetry/clock.hpp"
 
 namespace adsec::telemetry {
@@ -14,8 +14,9 @@ std::atomic<bool> g_events_open{false};
 
 namespace {
 
-std::mutex g_sink_mutex;       // guards g_sink and serializes writes
-std::FILE* g_sink = nullptr;   // owned; non-null iff g_events_open
+Mutex g_sink_mutex;  // guards g_sink and serializes writes
+// owned; non-null iff g_events_open
+std::FILE* g_sink ADSEC_GUARDED_BY(g_sink_mutex) = nullptr;
 
 }  // namespace
 
@@ -74,18 +75,20 @@ void EventField::append_to(std::string& out) const {
 }
 
 bool open_event_log(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
+  // Swapping the sink must be atomic with respect to concurrent emits.
   if (g_sink != nullptr) {
     std::fclose(g_sink);
     g_sink = nullptr;
   }
+  // adsec-lint: allow(lock-held-blocking)
   g_sink = std::fopen(path.c_str(), "w");
   detail::g_events_open.store(g_sink != nullptr, std::memory_order_relaxed);
   return g_sink != nullptr;
 }
 
 void close_event_log() {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   detail::g_events_open.store(false, std::memory_order_relaxed);
   if (g_sink != nullptr) {
     std::fclose(g_sink);
@@ -110,8 +113,10 @@ void emit_event(const char* kind, std::initializer_list<EventField> fields) {
     f.append_to(line);
   }
   line += "}\n";
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink == nullptr) return;  // closed between the check and the lock
+  // The serialized write IS the critical section (one record per line).
+  // adsec-lint: allow(lock-held-blocking)
   std::fwrite(line.data(), 1, line.size(), g_sink);
   std::fflush(g_sink);
 }

@@ -81,14 +81,17 @@ std::string metrics_prometheus_text() {
 
 void PeriodicSnapshotWriter::start(const std::string& path, int interval_ms) {
   if (thread_.joinable() || interval_ms <= 0) return;
-  stop_ = false;
+  {
+    MutexLock lock(mutex_);
+    stop_ = false;
+  }
   thread_ = std::thread([this, path, interval_ms] { loop(path, interval_ms); });
 }
 
 void PeriodicSnapshotWriter::stop() {
   if (!thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -102,12 +105,23 @@ void PeriodicSnapshotWriter::loop(std::string path, int interval_ms) {
     if (!write_metrics_json(tmp)) return;
     std::rename(tmp.c_str(), path.c_str());
   };
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    const bool stopping = cv_.wait_for(
-        lock, std::chrono::milliseconds(interval_ms), [this] { return stop_; });
+    // Manual timed wait (a predicate lambda would be analyzed as a separate
+    // function and could not see that mutex_ is held): sleep until stop_
+    // flips or the interval elapses.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(interval_ms);
+    while (!stop_ &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    const bool stopping = stop_;
+    // Snapshot I/O happens outside the lock so stop() never stalls behind
+    // a slow disk write.
+    lock.unlock();
     write_once();
     if (stopping) return;
+    lock.lock();
   }
 }
 

@@ -4,9 +4,10 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "common/annotations.hpp"
 
 namespace adsec::telemetry {
 
@@ -35,9 +36,9 @@ class PeriodicSnapshotWriter {
  private:
   void loop(std::string path, int interval_ms);
   std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_{false};
+  mutable Mutex mutex_;
+  std::condition_variable_any cv_;
+  bool stop_ ADSEC_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace adsec::telemetry

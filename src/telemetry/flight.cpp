@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"  // json_quote
 #include "telemetry/metrics.hpp"
@@ -38,8 +38,8 @@ std::atomic<std::uint64_t> g_cursor{0};
 std::atomic<std::uint64_t> g_dumps{0};
 std::atomic<bool> g_dumping{false};
 
-std::mutex g_dir_mutex;
-std::string& dir_storage() {
+Mutex g_dir_mutex;
+std::string& dir_storage() ADSEC_REQUIRES(g_dir_mutex) {
   // Leaked on purpose: readable from late/signal-path dumps. adsec-lint: allow(alloc-hygiene)
   static std::string* d = new std::string(".");
   return *d;
@@ -83,12 +83,12 @@ void set_flight_enabled(bool on) {
 }
 
 void set_flight_dir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  MutexLock lock(g_dir_mutex);
   dir_storage() = dir.empty() ? "." : dir;
 }
 
 std::string flight_dir() {
-  std::lock_guard<std::mutex> lock(g_dir_mutex);
+  MutexLock lock(g_dir_mutex);
   return dir_storage();
 }
 

@@ -5,8 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "telemetry/clock.hpp"
 
 namespace adsec::telemetry {
@@ -43,14 +43,16 @@ struct Shard {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
+  Mutex mutex;
+  std::vector<std::string> counter_names ADSEC_GUARDED_BY(mutex);
+  std::vector<std::string> gauge_names ADSEC_GUARDED_BY(mutex);
+  // Gauge slots are atomic and written lock-free by Gauge::set; the lock
+  // only orders name registration.
   std::array<std::atomic<double>, kMaxGauges> gauges{};
-  std::vector<std::unique_ptr<HistogramDef>> histograms;
-  std::size_t hist_cells_used{0};
+  std::vector<std::unique_ptr<HistogramDef>> histograms ADSEC_GUARDED_BY(mutex);
+  std::size_t hist_cells_used ADSEC_GUARDED_BY(mutex){0};
   // shared_ptr keeps a shard alive (and countable) after its thread exits.
-  std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<std::shared_ptr<Shard>> shards ADSEC_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -63,7 +65,7 @@ Shard& local_shard() {
   thread_local std::shared_ptr<Shard> shard = [] {
     auto s = std::make_shared<Shard>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.shards.push_back(s);
     return s;
   }();
@@ -94,7 +96,7 @@ void set_metrics_enabled(bool on) {
 
 Counter counter(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
     if (r.counter_names[i] == name) return Counter(static_cast<std::uint32_t>(i));
   }
@@ -105,7 +107,7 @@ Counter counter(const std::string& name) {
 
 Gauge gauge(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (std::size_t i = 0; i < r.gauge_names.size(); ++i) {
     if (r.gauge_names[i] == name) return Gauge(static_cast<std::uint32_t>(i));
   }
@@ -116,7 +118,7 @@ Gauge gauge(const std::string& name) {
 
 Histogram histogram(const std::string& name, const std::vector<double>& bounds) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& def : r.histograms) {
     if (def->name == name) return Histogram(def.get());
   }
@@ -186,7 +188,7 @@ double HistogramSnapshot::quantile(double q) const {
 
 MetricsSnapshot metrics_snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   MetricsSnapshot snap;
   snap.counters.reserve(r.counter_names.size());
   for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
@@ -270,7 +272,7 @@ bool write_metrics_json(const std::string& path) {
 
 void reset_metrics_values() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (auto& g : r.gauges) g.store(0.0, std::memory_order_relaxed);
   for (const auto& s : r.shards) {
     for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);

@@ -1,16 +1,16 @@
 #include "telemetry/telemetry.hpp"
 
-#include <mutex>
+#include "common/annotations.hpp"
 
 namespace adsec::telemetry {
 
 namespace {
-std::mutex g_mutex;
-TelemetryOptions g_options;
+Mutex g_config_mutex;
+TelemetryOptions g_options ADSEC_GUARDED_BY(g_config_mutex);
 }  // namespace
 
 bool configure(const TelemetryOptions& opts) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_config_mutex);
   g_options = opts;
   bool ok = true;
   if (!opts.events_jsonl.empty()) ok = open_event_log(opts.events_jsonl) && ok;
@@ -24,7 +24,7 @@ bool configure(const TelemetryOptions& opts) {
 }
 
 FinalizeResult finalize() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_config_mutex);
   FinalizeResult res;
   if (!g_options.metrics_out.empty()) {
     res.metrics_written = write_metrics_json(g_options.metrics_out);

@@ -4,11 +4,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "telemetry/clock.hpp"
 #include "telemetry/events.hpp"  // json_quote
 #include "telemetry/flight.hpp"
@@ -40,17 +40,19 @@ struct TraceEvent {
 // granularity in this codebase is microseconds-to-seconds, so an
 // uncontended lock per span exit is noise.
 struct Ring {
-  std::mutex mutex;
-  int tid;
-  std::vector<TraceEvent> events;  // circular once full
-  std::size_t next{0};             // write cursor
-  bool wrapped{false};
+  Mutex ring_mu;
+  int tid;  // set once at ring creation, before the ring is published
+  std::vector<TraceEvent> events ADSEC_GUARDED_BY(ring_mu);  // circular once full
+  std::size_t next ADSEC_GUARDED_BY(ring_mu){0};             // write cursor
+  bool wrapped ADSEC_GUARDED_BY(ring_mu){false};
 };
 
+// Lock order: registry_mu before any ring_mu (the exporters walk rings
+// while holding the registry lock); no path acquires them the other way.
 struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Ring>> rings;
-  std::map<int, std::string> thread_names;
+  Mutex registry_mu;
+  std::vector<std::shared_ptr<Ring>> rings ADSEC_GUARDED_BY(registry_mu);
+  std::map<int, std::string> thread_names ADSEC_GUARDED_BY(registry_mu);
 };
 
 TraceRegistry& registry() {
@@ -63,9 +65,14 @@ Ring& local_ring() {
   thread_local std::shared_ptr<Ring> ring = [] {
     auto r = std::make_shared<Ring>();
     r->tid = current_tid();
-    r->events.reserve(1024);
+    {
+      // Not yet published, so the lock is uncontended; taken for uniform
+      // analysis of the guarded vector.
+      MutexLock lock(r->ring_mu);
+      r->events.reserve(1024);
+    }
     TraceRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.registry_mu);
     reg.rings.push_back(r);
     return r;
   }();
@@ -74,7 +81,7 @@ Ring& local_ring() {
 
 void push_event(const TraceEvent& e) {
   Ring& ring = local_ring();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.ring_mu);
   if (ring.events.size() < kTraceRingCapacity && !ring.wrapped) {
     ring.events.push_back(e);
     if (ring.events.size() == kTraceRingCapacity) {
@@ -91,9 +98,9 @@ void push_event(const TraceEvent& e) {
 std::vector<std::pair<int, TraceEvent>> snapshot_events() {
   std::vector<std::pair<int, TraceEvent>> out;
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.registry_mu);
   for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> rlock(ring->mutex);
+    MutexLock rlock(ring->ring_mu);
     for (const TraceEvent& e : ring->events) out.emplace_back(ring->tid, e);
   }
   return out;
@@ -153,23 +160,23 @@ void record_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns)
 void set_thread_name(const std::string& name) {
   const int tid = current_tid();
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.registry_mu);
   reg.thread_names[tid] = name;
 }
 
 std::string thread_name(int tid) {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.registry_mu);
   const auto it = reg.thread_names.find(tid);
   return it == reg.thread_names.end() ? std::string() : it->second;
 }
 
 std::size_t trace_event_count() {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.registry_mu);
   std::size_t n = 0;
   for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> rlock(ring->mutex);
+    MutexLock rlock(ring->ring_mu);
     n += ring->events.size();
   }
   return n;
@@ -224,7 +231,7 @@ std::string chrome_trace_json() {
   // Perfetto labels the tracks.
   {
     TraceRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.registry_mu);
     for (const auto& [tid, name] : reg.thread_names) {
       std::string rec = "{\"name\": \"thread_name\", \"ph\": \"M\", "
                         "\"pid\": 1, \"tid\": ";
@@ -335,9 +342,9 @@ bool write_trace_jsonl(const std::string& path) {
 
 void clear_trace() {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.registry_mu);
   for (const auto& ring : reg.rings) {
-    std::lock_guard<std::mutex> rlock(ring->mutex);
+    MutexLock rlock(ring->ring_mu);
     ring->events.clear();
     ring->next = 0;
     ring->wrapped = false;

@@ -1,0 +1,13 @@
+// Positive fixture: a header that participates in an include cycle — the
+// smallest one possible (it includes itself), so the rule fires even when
+// CI lints this file in isolation. The multi-file shape is covered by the
+// in-process lint_sources tests.
+#pragma once
+
+#include "include_cycle_bad.hpp"
+
+namespace fixture {
+
+inline int cycle_marker() { return 1; }
+
+}  // namespace fixture

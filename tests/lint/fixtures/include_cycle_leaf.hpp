@@ -1,0 +1,8 @@
+// Leaf of the acyclic include_cycle_ok chain; includes nothing.
+#pragma once
+
+namespace fixture {
+
+inline int include_cycle_leaf_marker() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Negative fixture: a quoted include that resolves within the scan set
+// (same directory) and layers acyclically.
+#pragma once
+
+#include "include_cycle_leaf.hpp"
+
+namespace fixture {
+
+inline int chain_marker() { return include_cycle_leaf_marker() + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Positive fixture: blocking work under a lock — file I/O, a sleep, and
+// a condition-variable wait that releases a different mutex than the
+// second one held. Four findings.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+adsec::Mutex g_log_mu;
+std::FILE* g_log ADSEC_GUARDED_BY(g_log_mu) = nullptr;
+adsec::Mutex g_state_mu;
+bool g_ready ADSEC_GUARDED_BY(g_state_mu) = false;
+std::condition_variable_any g_cv;
+
+void append(const char* line, unsigned n) {
+  adsec::MutexLock lock(g_log_mu);
+  g_log = std::fopen("fixture.log", "a");
+  if (g_log != nullptr) {
+    std::fwrite(line, 1, n, g_log);
+  }
+}
+
+void throttle() {
+  adsec::MutexLock lock(g_state_mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  g_ready = true;
+}
+
+void wait_ready() {
+  adsec::UniqueLock state(g_state_mu);
+  adsec::MutexLock log(g_log_mu);
+  while (!g_ready) g_cv.wait(state);
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Negative fixture: the same work shaped correctly — open the file
+// outside the critical section, wait only on the lock being released —
+// plus one explicitly suppressed serialized-write-is-the-point site.
+#include <condition_variable>
+#include <cstdio>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+adsec::Mutex g_state_mu;
+bool g_ready ADSEC_GUARDED_BY(g_state_mu) = false;
+std::condition_variable_any g_cv;
+adsec::Mutex g_log_mu;
+std::FILE* g_log ADSEC_GUARDED_BY(g_log_mu) = nullptr;
+
+void wait_ready() {
+  adsec::UniqueLock lock(g_state_mu);
+  while (!g_ready) g_cv.wait(lock);
+}
+
+void append(const char* line, unsigned n) {
+  std::FILE* f = std::fopen("fixture.log", "a");
+  if (f == nullptr) return;
+  adsec::MutexLock lock(g_log_mu);
+  // The serialized write is exactly what the lock orders.
+  // adsec-lint: allow(lock-held-blocking)
+  std::fwrite(line, 1, n, f);
+  g_log = f;
+}
+
+}  // namespace fixture

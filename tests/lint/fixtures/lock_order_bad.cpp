@@ -1,0 +1,26 @@
+// Positive fixture: two critical sections acquire the same pair of locks
+// in opposite orders — the classic deadlock shape the lock-order rule
+// exists to catch. One finding: the cycle is reported once, at its
+// earliest edge.
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+adsec::Mutex g_jobs_mu;
+int g_jobs ADSEC_GUARDED_BY(g_jobs_mu) = 0;
+adsec::Mutex g_stats_mu;
+int g_stats ADSEC_GUARDED_BY(g_stats_mu) = 0;
+
+void record() {
+  adsec::MutexLock jobs(g_jobs_mu);
+  adsec::MutexLock stats(g_stats_mu);
+  g_stats += g_jobs;
+}
+
+void steal() {
+  adsec::MutexLock stats(g_stats_mu);
+  adsec::MutexLock jobs(g_jobs_mu);
+  g_jobs += g_stats;
+}
+
+}  // namespace fixture

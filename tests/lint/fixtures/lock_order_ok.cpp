@@ -1,0 +1,25 @@
+// Negative fixture: the same two locks nested in a consistent order from
+// every path — the acquisition graph has edges but no cycle.
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+adsec::Mutex g_jobs_mu;
+int g_jobs ADSEC_GUARDED_BY(g_jobs_mu) = 0;
+adsec::Mutex g_stats_mu;
+int g_stats ADSEC_GUARDED_BY(g_stats_mu) = 0;
+
+void record() {
+  adsec::MutexLock jobs(g_jobs_mu);
+  adsec::MutexLock stats(g_stats_mu);
+  g_stats += g_jobs;
+}
+
+void drain() {
+  adsec::MutexLock jobs(g_jobs_mu);
+  adsec::MutexLock stats(g_stats_mu);
+  g_jobs = 0;
+  g_stats = 0;
+}
+
+}  // namespace fixture

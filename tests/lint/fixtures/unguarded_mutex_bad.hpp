@@ -1,0 +1,24 @@
+// Positive fixture: unguarded-mutex must flag (a) a raw std::mutex
+// member, which cannot carry thread-safety annotations, and (b) an
+// adsec::Mutex that no ADSEC_GUARDED_BY / ADSEC_REQUIRES contract
+// references.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+class Worklist {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex raw_mu_;
+  adsec::Mutex orphan_mu_;
+  adsec::Mutex guarded_mu_;
+  int value_ ADSEC_GUARDED_BY(guarded_mu_){0};
+};
+
+}  // namespace fixture

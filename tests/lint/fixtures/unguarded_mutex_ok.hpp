@@ -1,0 +1,24 @@
+// Negative fixture: every adsec::Mutex is tied to a contract — a guarded
+// field, an ADSEC_REQUIRES capability, or an explicit suppression for a
+// mutex that orders a critical section rather than protecting a field.
+#pragma once
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+class Worklist {
+ public:
+  void push(int v);
+  void drain() ADSEC_REQUIRES(flush_mu_);
+
+ private:
+  adsec::Mutex mu_;
+  int value_ ADSEC_GUARDED_BY(mu_){0};
+  adsec::Mutex flush_mu_;
+  // Serializes flushes: protects an ordering invariant, not a field.
+  // adsec-lint: allow(unguarded-mutex)
+  adsec::Mutex section_mu_;
+};
+
+}  // namespace fixture

@@ -68,6 +68,10 @@ const FixturePair kPairs[] = {
      "include_iostream_ok.hpp"},
     {"intrinsics-isolation", "simd_isolation_bad.cpp", 4,
      "simd_isolation_ok_avx2.cpp"},
+    {"unguarded-mutex", "unguarded_mutex_bad.hpp", 2, "unguarded_mutex_ok.hpp"},
+    {"lock-order", "lock_order_bad.cpp", 1, "lock_order_ok.cpp"},
+    {"lock-held-blocking", "lock_blocking_bad.cpp", 4, "lock_blocking_ok.cpp"},
+    {"include-cycle", "include_cycle_bad.hpp", 1, "include_cycle_ok.hpp"},
 };
 
 TEST(LintFixtures, EveryRuleHasAPositiveAndNegativeFixture) {
@@ -207,6 +211,79 @@ TEST(LintReport, JsonReportRoundTripsThroughDisk) {
   ss << in.rdbuf();
   EXPECT_TRUE(adsec::testjson::valid_json(ss.str()));
   std::filesystem::remove(path);
+}
+
+// Cross-file shapes only lint_sources can see: a two-header include cycle,
+// and a lock-order inversion split between a class declaration and its
+// out-of-line member definitions.
+TEST(LintSemantic, TwoFileIncludeCycleIsOneFinding) {
+  const std::vector<SourceUnit> units = {
+      {"src/serve/a.hpp", "#pragma once\n#include \"serve/b.hpp\"\n"},
+      {"src/serve/b.hpp", "#pragma once\n#include \"serve/a.hpp\"\n"},
+  };
+  const LintResult result = lint_sources(units);
+  expect_only_rule(result.findings, "include-cycle", 1);
+}
+
+TEST(LintSemantic, CrossTuLockOrderInversionResolvesThroughMemberOwner) {
+  const std::string hpp =
+      "#pragma once\n"
+      "#include \"common/annotations.hpp\"\n"
+      "class Pair {\n"
+      " public:\n"
+      "  void fwd();\n"
+      "  void rev();\n"
+      " private:\n"
+      "  adsec::Mutex a_mu_;\n"
+      "  int a_ ADSEC_GUARDED_BY(a_mu_){0};\n"
+      "  adsec::Mutex b_mu_;\n"
+      "  int b_ ADSEC_GUARDED_BY(b_mu_){0};\n"
+      "};\n";
+  const std::string cpp =
+      "#include \"serve/pair.hpp\"\n"
+      "void Pair::fwd() {\n"
+      "  adsec::MutexLock a(a_mu_);\n"
+      "  adsec::MutexLock b(b_mu_);\n"
+      "  a_ += b_;\n"
+      "}\n"
+      "void Pair::rev() {\n"
+      "  adsec::MutexLock b(b_mu_);\n"
+      "  adsec::MutexLock a(a_mu_);\n"
+      "  b_ += a_;\n"
+      "}\n";
+  const std::vector<SourceUnit> units = {
+      {"src/serve/pair.hpp", hpp},
+      {"src/serve/pair.cpp", cpp},
+  };
+  const LintResult result = lint_sources(units);
+  expect_only_rule(result.findings, "lock-order", 1);
+}
+
+// --diff-base semantics: only_files narrows the *report*; the analysis
+// still spans every unit, so a cycle closed by an unchanged file is
+// attributed to (and reported at) the changed one when that edge is the
+// cycle's anchor — and dropped entirely when it is not.
+TEST(LintSemantic, OnlyFilesFiltersTheReportNotTheAnalysis) {
+  const std::vector<SourceUnit> units = {
+      {"src/serve/a.hpp",
+       "#pragma once\n#include \"serve/b.hpp\"\nint naked() { return *new "
+       "int(1); }\n"},
+      {"src/serve/b.hpp", "#pragma once\n#include \"serve/a.hpp\"\n"},
+  };
+  const LintResult full = lint_sources(units);
+  EXPECT_EQ(full.findings.size(), 2u);  // include-cycle + alloc-hygiene
+
+  const LintResult only_a = lint_sources(units, {"src/serve/a.hpp"});
+  for (const Finding& f : only_a.findings) {
+    EXPECT_EQ(f.file, "src/serve/a.hpp");
+  }
+  EXPECT_EQ(only_a.findings.size(), 2u);
+
+  // Filtered to b.hpp, the alloc finding in a.hpp disappears; the cycle
+  // is still detected (the graph spanned both files) but is reported at
+  // its anchor edge, which sorts into a.hpp — so b's report is clean.
+  const LintResult only_b = lint_sources(units, {"src/serve/b.hpp"});
+  EXPECT_TRUE(only_b.findings.empty());
 }
 
 // The contract itself: the tree this test compiled from scans clean. A

@@ -62,6 +62,12 @@ def main():
               f" `{base_tier}`, current run on `{cur_tier}`. Ratio columns"
               f" are reported but NOT gated, and tier-dependent tables/rows"
               f" absent from the current run are not failures.")
+        # One machine-greppable line on stderr (stdout is the markdown
+        # summary) so CI and humans can distinguish "passed because nothing
+        # was gated" from "passed within tolerance" without parsing tables.
+        print(f"bench_compare: tier mismatch (baseline={base_tier}, "
+              f"current={cur_tier}) — ratios skipped, nothing gated",
+              file=sys.stderr)
     for name, base_table in sorted(base.items()):
         cur_table = cur.get(name)
         if cur_table is None:

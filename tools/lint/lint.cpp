@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
+#include "semantic.hpp"
 #include "telemetry/events.hpp"  // json_quote: one escaping policy repo-wide
 
 namespace adsec::lint {
@@ -61,20 +65,46 @@ void sort_findings(std::vector<Finding>& findings) {
 
 }  // namespace
 
-std::vector<Finding> lint_source(const std::string& rel_path,
-                                 const std::string& source, int* suppressed) {
-  const LexedFile lexed = lex(source);
+LintResult lint_sources(const std::vector<SourceUnit>& units,
+                        const std::vector<std::string>& only_files) {
+  std::vector<LexedFile> lexed(units.size());
+  std::map<std::string, const LexedFile*> by_path;
+  std::vector<SemanticUnit> sem;
+  sem.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    lexed[i] = lex(units[i].source);
+    by_path[units[i].path] = &lexed[i];
+    sem.push_back(SemanticUnit{units[i].path, &lexed[i]});
+  }
+
   std::vector<Finding> raw;
-  check_file(rel_path, lexed, raw);
-  std::vector<Finding> kept;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    check_file(units[i].path, lexed[i], raw);
+  }
+  check_semantic(sem, raw);
+
+  const std::set<std::string> keep(only_files.begin(), only_files.end());
+  LintResult result;
+  result.files_scanned = static_cast<int>(units.size());
   for (Finding& f : raw) {
-    if (suppressed_at(lexed, f)) {
-      if (suppressed != nullptr) ++*suppressed;
-    } else {
-      kept.push_back(std::move(f));
+    // Suppressions apply before the report filter: an allow() comment
+    // silences a finding whether or not its file is in the changed set.
+    const auto it = by_path.find(f.file);
+    if (it != by_path.end() && suppressed_at(*it->second, f)) {
+      ++result.suppressed;
+    } else if (keep.empty() || keep.count(f.file) != 0) {
+      result.findings.push_back(std::move(f));
     }
   }
-  return kept;
+  sort_findings(result.findings);
+  return result;
+}
+
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& source, int* suppressed) {
+  LintResult result = lint_sources({SourceUnit{rel_path, source}});
+  if (suppressed != nullptr) *suppressed += result.suppressed;
+  return std::move(result.findings);
 }
 
 LintResult run_lint(const std::string& repo_root, const LintOptions& opts) {
@@ -101,17 +131,14 @@ LintResult run_lint(const std::string& repo_root, const LintOptions& opts) {
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  LintResult result;
+  std::vector<SourceUnit> units;
+  units.reserve(files.size());
   for (const fs::path& p : files) {
-    const std::string rel = slashed(fs::relative(p, root));
-    ++result.files_scanned;
-    std::vector<Finding> found =
-        lint_source(rel, read_file(p), &result.suppressed);
-    for (Finding& f : found) result.findings.push_back(std::move(f));
+    units.push_back(SourceUnit{slashed(fs::relative(p, root)), read_file(p)});
   }
-  sort_findings(result.findings);
-  return result;
+  return lint_sources(units, opts.only_files);
 }
 
 std::string findings_json(const LintResult& result) {

@@ -18,6 +18,12 @@ namespace adsec::lint {
 struct LintOptions {
   // Repo-relative directories (or single files) to scan.
   std::vector<std::string> roots{"src", "tools", "bench", "tests"};
+  // When non-empty, findings are reported only for these repo-relative
+  // paths. The whole scan set is still lexed and fed to the cross-file
+  // pass — the include graph and lock-order graph need every edge — so
+  // incremental mode (--diff-base) narrows the *report*, never the
+  // analysis.
+  std::vector<std::string> only_files;
 };
 
 struct LintResult {
@@ -25,6 +31,19 @@ struct LintResult {
   int files_scanned{0};
   int suppressed{0};
 };
+
+struct SourceUnit {
+  std::string path;  // repo-relative, forward slashes
+  std::string source;
+};
+
+// Lint a set of in-memory files together: per-file token rules plus the
+// cross-file semantic pass (include cycles, mutex contracts, lock order).
+// Suppression comments are applied per finding against the file that
+// carries it; findings land sorted by (file, line, col, rule).
+[[nodiscard]] LintResult lint_sources(
+    const std::vector<SourceUnit>& units,
+    const std::vector<std::string>& only_files = {});
 
 // Lint one in-memory file. `rel_path` decides which path-scoped rules
 // apply. Suppression comments are honoured; the pre-suppression finding

@@ -1,10 +1,16 @@
 // adsec_lint CLI.
 //
-//   adsec_lint [--root DIR] [--json PATH] [--list-rules] [scan-roots...]
+//   adsec_lint [--root DIR] [--json PATH] [--diff-base REF] [--list-rules]
+//              [scan-roots...]
 //
 // Scans src/ tools/ bench/ tests/ under --root (default: cwd) unless
 // explicit scan roots are given. Prints findings as file:line:col: [rule]
 // message. Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
+//
+// --diff-base REF reports findings only for files changed since REF
+// (`git diff --name-only REF`); the full tree is still lexed so the
+// cross-file rules (include-cycle, lock-order) see every edge. CI keeps
+// the full scan; incremental mode is for local pre-push loops.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,8 +22,64 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: adsec_lint [--root DIR] [--json PATH] [--list-rules] "
-      "[scan-roots...]\n");
+      "usage: adsec_lint [--root DIR] [--json PATH] [--diff-base REF] "
+      "[--list-rules] [scan-roots...]\n");
+}
+
+bool lintable(const std::string& path) {
+  const auto has_suffix = [&](const char* ext) {
+    const std::string e(ext);
+    return path.size() > e.size() &&
+           path.compare(path.size() - e.size(), e.size(), e) == 0;
+  };
+  return has_suffix(".cpp") || has_suffix(".hpp");
+}
+
+// A git ref we are willing to splice into a shell command line. Refs are
+// names, hashes, or rev expressions (origin/main, HEAD~2, v1.0^) — anything
+// else is rejected rather than quoted.
+bool safe_ref(const std::string& ref) {
+  if (ref.empty()) return false;
+  for (const char c : ref) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.' || c == '/' || c == '~' || c == '^' || c == '@';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Changed files since `ref`, repo-relative, filtered to lintable paths.
+// Returns false (with a message on stderr) when git fails.
+bool changed_files(const std::string& root, const std::string& ref,
+                   std::vector<std::string>& out) {
+  if (!safe_ref(ref)) {
+    std::fprintf(stderr, "adsec_lint: unusable ref '%s'\n", ref.c_str());
+    return false;
+  }
+  const std::string cmd =
+      "git -C '" + root + "' diff --name-only " + ref + " -- 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "adsec_lint: cannot run git diff\n");
+    return false;
+  }
+  std::string line;
+  for (int c = std::fgetc(pipe); c != EOF; c = std::fgetc(pipe)) {
+    if (c == '\n') {
+      if (lintable(line)) out.push_back(line);
+      line.clear();
+    } else {
+      line += static_cast<char>(c);
+    }
+  }
+  if (lintable(line)) out.push_back(line);
+  if (pclose(pipe) != 0) {
+    std::fprintf(stderr, "adsec_lint: git diff --name-only %s failed\n",
+                 ref.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -25,6 +87,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_out;
+  std::string diff_base;
   adsec::lint::LintOptions opts;
   std::vector<std::string> explicit_roots;
 
@@ -34,6 +97,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--diff-base" && i + 1 < argc) {
+      diff_base = argv[++i];
     } else if (arg == "--list-rules") {
       for (const adsec::lint::RuleDesc& r : adsec::lint::rule_table()) {
         std::printf("%-28s %s\n", r.name, r.summary);
@@ -51,6 +116,25 @@ int main(int argc, char** argv) {
     }
   }
   if (!explicit_roots.empty()) opts.roots = explicit_roots;
+
+  if (!diff_base.empty()) {
+    if (!changed_files(root, diff_base, opts.only_files)) return 2;
+    std::printf("adsec_lint: --diff-base %s selected %zu changed file(s)\n",
+                diff_base.c_str(), opts.only_files.size());
+    if (opts.only_files.empty()) {
+      // Nothing changed: an empty filter would mean "report everything",
+      // so short-circuit to a clean empty report instead.
+      adsec::lint::LintResult empty;
+      std::printf("adsec_lint: 0 finding(s) in 0 file(s), 0 suppressed\n");
+      if (!json_out.empty() &&
+          !adsec::lint::write_findings_json(json_out, empty)) {
+        std::fprintf(stderr, "adsec_lint: cannot write %s\n",
+                     json_out.c_str());
+        return 2;
+      }
+      return 0;
+    }
+  }
 
   adsec::lint::LintResult result;
   try {

@@ -524,6 +524,20 @@ const std::vector<RuleDesc>& rule_table() {
       {"intrinsics-isolation",
        "<immintrin.h>-family includes or _mm*/__m128/__m256/__m512 tokens "
        "outside a dedicated *_avx2 SIMD TU"},
+      // Cross-file rules implemented by the semantic pass (semantic.cpp);
+      // they ride the same fixture/suppression/report machinery.
+      {"unguarded-mutex",
+       "raw std::mutex in src/ (use adsec::Mutex), or an adsec::Mutex no "
+       "ADSEC_GUARDED_BY/ADSEC_REQUIRES contract references"},
+      {"lock-order",
+       "cycle in the static lock-acquisition graph (lexically nested guard "
+       "scopes + ADSEC_REQUIRES entry capabilities): a potential deadlock"},
+      {"lock-held-blocking",
+       "file I/O, sleeps, pool submits, or a condition-variable wait on a "
+       "different mutex while a lock is held"},
+      {"include-cycle",
+       "cyclic quoted-#include chain among scanned files (one report per "
+       "cycle)"},
   };
   return kRules;
 }

@@ -1,0 +1,46 @@
+// Cross-file semantic pass for adsec_lint.
+//
+// Where rules.cpp matches single tokens, this pass builds lightweight
+// structures over the whole scan set and checks contracts that only exist
+// between declarations:
+//
+//   * an include graph (quoted includes resolved within the scan set) —
+//     cycles are reported once per strongly connected component;
+//   * a mutex symbol index (adsec::Mutex class members and file-scope
+//     globals, plus every ADSEC_* annotation argument that references
+//     them) backing the unguarded-mutex rule;
+//   * per-function lexical guard scopes (MutexLock/UniqueLock/std guards,
+//     ADSEC_REQUIRES entry capabilities, UniqueLock unlock()/lock()
+//     toggles) feeding a global lock-acquisition-order graph — a cycle
+//     there is a potential deadlock — and the lock-held-blocking rule.
+//
+// The analysis is lexical, not a compiler: aliases, locks reached through
+// references, and callback-shaped nesting are invisible (see DESIGN.md
+// "Concurrency contracts" for the limits). It errs quiet: a mutex
+// expression that cannot be resolved to a declaration never produces an
+// ordering edge or a foreign-wait finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace adsec::lint {
+
+// One lexed translation unit handed to the cross-file pass. The LexedFile
+// is owned by the caller and must outlive the call.
+struct SemanticUnit {
+  std::string path;  // repo-relative, forward slashes
+  const LexedFile* lexed;
+};
+
+// Run the cross-file rules (unguarded-mutex, lock-order,
+// lock-held-blocking, include-cycle) over the whole scan set. Findings
+// are appended raw: unsorted, and with suppression comments NOT yet
+// applied — the driver owns both steps.
+void check_semantic(const std::vector<SemanticUnit>& units,
+                    std::vector<Finding>& out);
+
+}  // namespace adsec::lint
